@@ -1,0 +1,314 @@
+//! The Apriori frequent-itemset miner (Agrawal & Srikant, VLDB '94).
+//!
+//! The support half of the support–confidence framework the paper
+//! generalizes away from: level-wise search using the *downward closure* of
+//! support — "if any subset of an (i+1)-itemset does not have support, then
+//! neither can the (i+1)-itemset".
+
+use std::collections::HashMap;
+
+use bmb_basket::{BasketDatabase, ItemId, Itemset};
+use bmb_lattice::{generate_candidates, ItemsetTable};
+
+/// Minimum support expressed either as an absolute basket count or as a
+/// fraction of the database.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MinSupport {
+    /// At least this many baskets.
+    Count(u64),
+    /// At least this fraction of all baskets (the paper's `s%`).
+    Fraction(f64),
+}
+
+impl MinSupport {
+    /// Resolves to an absolute count over a database of `n` baskets.
+    ///
+    /// Fractions round *up*: support `s%` means `>= ceil(s·n)` baskets.
+    pub fn to_count(self, n: u64) -> u64 {
+        match self {
+            MinSupport::Count(c) => c,
+            MinSupport::Fraction(f) => {
+                assert!((0.0..=1.0).contains(&f), "support fraction out of range: {f}");
+                (f * n as f64).ceil() as u64
+            }
+        }
+    }
+}
+
+/// One frequent itemset with its support count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrequentItemset {
+    /// The itemset.
+    pub itemset: Itemset,
+    /// Number of baskets containing it.
+    pub count: u64,
+}
+
+impl FrequentItemset {
+    /// Support as a fraction of `n` baskets.
+    pub fn fraction(&self, n: u64) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            self.count as f64 / n as f64
+        }
+    }
+}
+
+/// Per-level accounting, mirroring the correlation miner's statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AprioriLevelStats {
+    /// Level (itemset size).
+    pub level: usize,
+    /// Candidates counted at this level.
+    pub candidates: usize,
+    /// Candidates that met the support threshold.
+    pub frequent: usize,
+}
+
+/// Result of a full Apriori run.
+#[derive(Clone, Debug, Default)]
+pub struct AprioriResult {
+    /// All frequent itemsets of size >= 1, in ascending (size, lexicographic)
+    /// order.
+    pub frequent: Vec<FrequentItemset>,
+    /// Per-level candidate/survivor counts.
+    pub levels: Vec<AprioriLevelStats>,
+}
+
+impl AprioriResult {
+    /// Looks up the support count of an exact itemset, if frequent.
+    pub fn support_of(&self, set: &Itemset) -> Option<u64> {
+        self.frequent
+            .iter()
+            .find(|f| &f.itemset == set)
+            .map(|f| f.count)
+    }
+
+    /// All frequent itemsets of one size.
+    pub fn at_level(&self, level: usize) -> impl Iterator<Item = &FrequentItemset> {
+        self.frequent.iter().filter(move |f| f.itemset.len() == level)
+    }
+}
+
+/// Runs Apriori over `db` with the given minimum support.
+///
+/// `max_level` caps the itemset size explored (use `usize::MAX` for no cap).
+pub fn apriori(db: &BasketDatabase, min_support: MinSupport, max_level: usize) -> AprioriResult {
+    let n = db.len() as u64;
+    let threshold = min_support.to_count(n).max(1);
+    let mut result = AprioriResult::default();
+
+    // Level 1: direct item counts.
+    let mut survivors = ItemsetTable::new();
+    let mut level1: Vec<FrequentItemset> = (0..db.n_items())
+        .map(|i| ItemId(i as u32))
+        .filter(|&i| db.item_count(i) >= threshold)
+        .map(|i| FrequentItemset { itemset: Itemset::singleton(i), count: db.item_count(i) })
+        .collect();
+    level1.sort_unstable_by(|a, b| a.itemset.cmp(&b.itemset));
+    result.levels.push(AprioriLevelStats {
+        level: 1,
+        candidates: db.n_items(),
+        frequent: level1.len(),
+    });
+    for f in &level1 {
+        survivors.insert(f.itemset.clone());
+    }
+    result.frequent.extend(level1);
+
+    let mut level = 1usize;
+    while level < max_level && !survivors.is_empty() {
+        level += 1;
+        let candidates = generate_candidates(&survivors);
+        if candidates.is_empty() {
+            break;
+        }
+        let counts = count_candidates(db, &candidates, level);
+        let mut next_survivors = ItemsetTable::with_capacity(candidates.len());
+        let mut frequent_here = 0usize;
+        for candidate in &candidates {
+            let count = counts.get(candidate).copied().unwrap_or(0);
+            if count >= threshold {
+                frequent_here += 1;
+                next_survivors.insert(candidate.clone());
+                result
+                    .frequent
+                    .push(FrequentItemset { itemset: candidate.clone(), count });
+            }
+        }
+        result.levels.push(AprioriLevelStats {
+            level,
+            candidates: candidates.len(),
+            frequent: frequent_here,
+        });
+        survivors = next_survivors;
+    }
+    result
+}
+
+/// Counts all candidates of one size in a single database pass, testing
+/// each size-`level` subset of every basket against the candidate table.
+fn count_candidates(
+    db: &BasketDatabase,
+    candidates: &[Itemset],
+    level: usize,
+) -> HashMap<Itemset, u64> {
+    let lookup: ItemsetTable = candidates.iter().cloned().collect();
+    let mut counts: HashMap<Itemset, u64> = HashMap::with_capacity(candidates.len());
+    for basket in db.baskets() {
+        if basket.len() < level {
+            continue;
+        }
+        // For small baskets enumerate basket subsets; for large baskets it
+        // would be cheaper to test candidates directly, but market baskets
+        // are short in all of the paper's workloads.
+        let basket_set = Itemset::from_items(basket.iter().copied());
+        if binom(basket.len(), level) <= candidates.len() as u64 {
+            for subset in basket_set.subsets_of_size(level) {
+                if lookup.contains(&subset) {
+                    *counts.entry(subset).or_insert(0) += 1;
+                }
+            }
+        } else {
+            for candidate in candidates {
+                if candidate.is_subset_of(&basket_set) {
+                    *counts.entry(candidate.clone()).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    counts
+}
+
+/// Small binomial coefficient with saturation, for the strategy switch.
+fn binom(n: usize, k: usize) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let mut acc: u64 = 1;
+    for i in 0..k {
+        acc = acc.saturating_mul((n - i) as u64) / (i as u64 + 1);
+        if acc > 1 << 40 {
+            return u64::MAX;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The classic 5-transaction example used in many Apriori expositions.
+    fn db() -> BasketDatabase {
+        BasketDatabase::from_id_baskets(
+            5,
+            vec![
+                vec![0, 1, 4],
+                vec![1, 3],
+                vec![1, 2],
+                vec![0, 1, 3],
+                vec![0, 2],
+                vec![1, 2],
+                vec![0, 2],
+                vec![0, 1, 2, 4],
+                vec![0, 1, 2],
+            ],
+        )
+    }
+
+    #[test]
+    fn frequent_itemsets_with_count_threshold() {
+        let result = apriori(&db(), MinSupport::Count(2), usize::MAX);
+        // Hand-checked frequents at count >= 2.
+        let expect = [
+            (vec![0u32], 6),
+            (vec![1], 7),
+            (vec![2], 6),
+            (vec![3], 2),
+            (vec![4], 2),
+            (vec![0, 1], 4),
+            (vec![0, 2], 4),
+            (vec![0, 4], 2),
+            (vec![1, 2], 4),
+            (vec![1, 3], 2),
+            (vec![1, 4], 2),
+            (vec![0, 1, 2], 2),
+            (vec![0, 1, 4], 2),
+        ];
+        for (ids, count) in &expect {
+            let set = Itemset::from_ids(ids.iter().copied());
+            assert_eq!(result.support_of(&set), Some(*count), "for {set}");
+        }
+        assert_eq!(result.frequent.len(), expect.len());
+    }
+
+    #[test]
+    fn fraction_threshold_rounds_up() {
+        assert_eq!(MinSupport::Fraction(0.01).to_count(30370), 304);
+        assert_eq!(MinSupport::Fraction(0.5).to_count(9), 5);
+        assert_eq!(MinSupport::Count(7).to_count(100), 7);
+    }
+
+    #[test]
+    fn downward_closure_holds_on_output() {
+        let result = apriori(&db(), MinSupport::Count(2), usize::MAX);
+        for f in &result.frequent {
+            for facet in f.itemset.facets() {
+                if !facet.is_empty() {
+                    assert!(
+                        result.support_of(&facet).is_some(),
+                        "facet {facet} of {} missing",
+                        f.itemset
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn supports_are_monotone_in_subsets() {
+        let result = apriori(&db(), MinSupport::Count(1), usize::MAX);
+        for f in &result.frequent {
+            for facet in f.itemset.facets() {
+                if facet.is_empty() {
+                    continue;
+                }
+                let facet_count = result.support_of(&facet).unwrap();
+                assert!(facet_count >= f.count);
+            }
+        }
+    }
+
+    #[test]
+    fn max_level_truncates() {
+        let result = apriori(&db(), MinSupport::Count(2), 1);
+        assert!(result.frequent.iter().all(|f| f.itemset.len() == 1));
+        assert_eq!(result.levels.len(), 1);
+    }
+
+    #[test]
+    fn level_stats_track_candidates() {
+        let result = apriori(&db(), MinSupport::Count(2), usize::MAX);
+        assert_eq!(result.levels[0].level, 1);
+        assert_eq!(result.levels[0].candidates, 5);
+        assert_eq!(result.levels[0].frequent, 5);
+        // Level 2 candidates: all C(5,2) = 10 pairs of frequent singletons.
+        assert_eq!(result.levels[1].candidates, 10);
+        assert_eq!(result.levels[1].frequent, 6);
+    }
+
+    #[test]
+    fn empty_database() {
+        let empty = BasketDatabase::new(3);
+        let result = apriori(&empty, MinSupport::Count(1), usize::MAX);
+        assert!(result.frequent.is_empty());
+    }
+
+    #[test]
+    fn high_threshold_yields_nothing() {
+        let result = apriori(&db(), MinSupport::Count(100), usize::MAX);
+        assert!(result.frequent.is_empty());
+    }
+}

@@ -1,0 +1,25 @@
+//! # bmb-apriori — the support–confidence baseline
+//!
+//! The framework the paper generalizes away from, implemented as the
+//! comparison baseline:
+//!
+//! * [`apriori`](mod@crate::apriori) — level-wise frequent-itemset mining
+//!   exploiting downward closure of support (Agrawal–Srikant);
+//! * [`pcy`] — the Park–Chen–Yu hash-bucket pair pruning the paper
+//!   contrasts its exact hash tables against;
+//! * [`rules`] — association-rule generation with confidence and the
+//!   dependence ratio (lift), including the paper's Example 2 machinery;
+//! * [`pair_report`] — the full 4-support / 8-confidence per-pair summary
+//!   behind Table 3.
+
+#![warn(missing_docs)]
+
+pub mod apriori;
+pub mod pair_report;
+pub mod pcy;
+pub mod rules;
+
+pub use apriori::{apriori, AprioriLevelStats, AprioriResult, FrequentItemset, MinSupport};
+pub use pair_report::{all_pair_reports, PairReport, PairRule, ALL_PAIR_RULES};
+pub use pcy::{pcy_pairs, PcyResult};
+pub use rules::{evaluate_rule, generate_rules, Rule};

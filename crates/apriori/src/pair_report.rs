@@ -1,0 +1,306 @@
+//! The full support–confidence report for item pairs (the paper's Table 3).
+//!
+//! For every pair `(a, b)` the paper tabulates the supports of all four
+//! contingency cells and the confidences of all eight directional rules
+//! (`a ⇒ b`, `ā ⇒ b`, `a ⇒ b̄`, `ā ⇒ b̄`, and the four with `b` on the
+//! left). A support value is *significant* when it meets the support
+//! cutoff; a confidence value counts only when it meets the confidence
+//! cutoff **and** its cell's support is significant.
+
+use bmb_basket::{BasketDatabase, ContingencyTable, ItemId, Itemset};
+
+/// The eight directional pair rules of Table 3, in column order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PairRule {
+    /// `a ⇒ b`
+    AToB,
+    /// `ā ⇒ b`
+    NotAToB,
+    /// `a ⇒ b̄`
+    AToNotB,
+    /// `ā ⇒ b̄`
+    NotAToNotB,
+    /// `b ⇒ a`
+    BToA,
+    /// `b ⇒ ā`
+    BToNotA,
+    /// `b̄ ⇒ a`
+    NotBToA,
+    /// `b̄ ⇒ ā`
+    NotBToNotA,
+}
+
+/// All eight rules in the paper's column order.
+pub const ALL_PAIR_RULES: [PairRule; 8] = [
+    PairRule::AToB,
+    PairRule::NotAToB,
+    PairRule::AToNotB,
+    PairRule::NotAToNotB,
+    PairRule::BToA,
+    PairRule::BToNotA,
+    PairRule::NotBToA,
+    PairRule::NotBToNotA,
+];
+
+impl PairRule {
+    /// Human-readable arrow form, e.g. `"!a => b"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            PairRule::AToB => "a => b",
+            PairRule::NotAToB => "!a => b",
+            PairRule::AToNotB => "a => !b",
+            PairRule::NotAToNotB => "!a => !b",
+            PairRule::BToA => "b => a",
+            PairRule::BToNotA => "b => !a",
+            PairRule::NotBToA => "!b => a",
+            PairRule::NotBToNotA => "!b => !a",
+        }
+    }
+
+    /// The contingency cell this rule's support lives in
+    /// (bit0 = `a` present, bit1 = `b` present).
+    pub fn cell(self) -> u32 {
+        match self {
+            PairRule::AToB | PairRule::BToA => 0b11,
+            PairRule::NotAToB | PairRule::BToNotA => 0b10,
+            PairRule::AToNotB | PairRule::NotBToA => 0b01,
+            PairRule::NotAToNotB | PairRule::NotBToNotA => 0b00,
+        }
+    }
+}
+
+/// The support/confidence summary of one item pair.
+#[derive(Clone, Debug)]
+pub struct PairReport {
+    /// First item (`a`).
+    pub a: ItemId,
+    /// Second item (`b`).
+    pub b: ItemId,
+    /// Total baskets.
+    pub n: u64,
+    /// Cell counts indexed by mask (bit0 = `a`, bit1 = `b`).
+    pub cells: [u64; 4],
+}
+
+impl PairReport {
+    /// Builds the report for `(a, b)` with one scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn from_database(db: &BasketDatabase, a: ItemId, b: ItemId) -> Self {
+        assert_ne!(a, b, "a pair needs two distinct items");
+        let set = Itemset::from_items([a, b]);
+        let table = ContingencyTable::from_database(db, &set);
+        Self::from_table(&table, a)
+    }
+
+    /// Builds the report from an existing 2-item contingency table; `a`
+    /// names which of the two items plays the row role.
+    pub fn from_table(table: &ContingencyTable, a: ItemId) -> Self {
+        assert_eq!(table.dims(), 2, "pair report needs a 2-item table");
+        let items = table.itemset().items();
+        let (a_id, b_id, a_is_first) = if items[0] == a {
+            (items[0], items[1], true)
+        } else {
+            assert_eq!(items[1], a, "item {a} is not in the table");
+            (items[1], items[0], false)
+        };
+        let mut cells = [0u64; 4];
+        for (mask, count) in table.cells() {
+            // Table masks are in sorted-item order; remap so bit0 = a.
+            let a_bit = if a_is_first { mask & 1 } else { (mask >> 1) & 1 };
+            let b_bit = if a_is_first { (mask >> 1) & 1 } else { mask & 1 };
+            cells[(a_bit | (b_bit << 1)) as usize] += count;
+        }
+        PairReport { a: a_id, b: b_id, n: table.n(), cells }
+    }
+
+    /// Support count of a cell (mask: bit0 = `a` present, bit1 = `b`).
+    pub fn cell_count(&self, mask: u32) -> u64 {
+        self.cells[mask as usize]
+    }
+
+    /// Support fraction of a cell.
+    pub fn cell_support(&self, mask: u32) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.cells[mask as usize] as f64 / self.n as f64
+        }
+    }
+
+    /// The four cell supports in the paper's column order:
+    /// `s(ab), s(āb), s(ab̄), s(āb̄)`.
+    pub fn supports_in_table_order(&self) -> [f64; 4] {
+        [
+            self.cell_support(0b11),
+            self.cell_support(0b10),
+            self.cell_support(0b01),
+            self.cell_support(0b00),
+        ]
+    }
+
+    /// Confidence of one of the eight directional rules; `None` when the
+    /// antecedent never occurs.
+    pub fn confidence(&self, rule: PairRule) -> Option<f64> {
+        let numerator = self.cells[rule.cell() as usize] as f64;
+        let denominator = match rule {
+            PairRule::AToB | PairRule::AToNotB => self.cells[0b01] + self.cells[0b11],
+            PairRule::NotAToB | PairRule::NotAToNotB => self.cells[0b00] + self.cells[0b10],
+            PairRule::BToA | PairRule::BToNotA => self.cells[0b10] + self.cells[0b11],
+            PairRule::NotBToA | PairRule::NotBToNotA => self.cells[0b00] + self.cells[0b01],
+        } as f64;
+        if denominator == 0.0 {
+            None
+        } else {
+            Some(numerator / denominator)
+        }
+    }
+
+    /// All eight confidences in the paper's column order.
+    pub fn confidences_in_table_order(&self) -> [Option<f64>; 8] {
+        ALL_PAIR_RULES.map(|r| self.confidence(r))
+    }
+
+    /// Whether a rule *passes* the support–confidence test: its cell's
+    /// support meets `support_cutoff` (a fraction) and its confidence meets
+    /// `confidence_cutoff`.
+    pub fn rule_passes(&self, rule: PairRule, support_cutoff: f64, confidence_cutoff: f64) -> bool {
+        self.cell_support(rule.cell()) + 1e-12 >= support_cutoff
+            && self.confidence(rule).is_some_and(|c| c + 1e-12 >= confidence_cutoff)
+    }
+
+    /// The rules passing both cutoffs, in table order.
+    pub fn passing_rules(&self, support_cutoff: f64, confidence_cutoff: f64) -> Vec<PairRule> {
+        ALL_PAIR_RULES
+            .into_iter()
+            .filter(|&r| self.rule_passes(r, support_cutoff, confidence_cutoff))
+            .collect()
+    }
+}
+
+/// Builds reports for every unordered item pair of the database, in
+/// `(a, b)` lexicographic order — the row order of Tables 2 and 3.
+pub fn all_pair_reports(db: &BasketDatabase) -> Vec<PairReport> {
+    let k = db.n_items() as u32;
+    let mut out = Vec::with_capacity((k as usize * (k as usize - 1)) / 2);
+    for a in 0..k {
+        for b in a + 1..k {
+            out.push(PairReport::from_database(db, ItemId(a), ItemId(b)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A pair with the paper's Example 4 shape: a = i2 (never served),
+    /// b = i7 (40 or younger), using Table 3's percentages of n = 1000.
+    /// s(ab) = 58.9%, s(āb) = 2.7%, s(ab̄) = 30.4%, s(āb̄) = 8.0%.
+    fn military_age() -> PairReport {
+        PairReport {
+            a: ItemId(2),
+            b: ItemId(7),
+            n: 1000,
+            cells: [80, 304, 27, 589], // masks 00, 01(a only), 10(b only), 11
+        }
+    }
+
+    #[test]
+    fn confidences_match_paper_row() {
+        let r = military_age();
+        // Paper row i2 i7: 0.66 0.26 0.34 0.74 | 0.96 0.04 0.79 0.21
+        let expect = [0.66, 0.26, 0.34, 0.74, 0.96, 0.04, 0.79, 0.21];
+        for (rule, want) in ALL_PAIR_RULES.iter().zip(expect) {
+            let got = r.confidence(*rule).unwrap();
+            // The paper's table was computed before rounding the supports
+            // to one decimal, so allow ~0.01 of slack.
+            assert!(
+                (got - want).abs() < 1.2e-2,
+                "{}: got {got:.3}, paper says {want}",
+                rule.label()
+            );
+        }
+    }
+
+    #[test]
+    fn paper_example_4_passing_rules() {
+        // "All possible rules pass the support test, but only half pass the
+        // confidence test. These are ā ⇒ b̄ (i.e. !i2 ⇒ !i7... in the
+        // paper's orientation i2̄ ⇒ i7̄), a ⇒ b, b̄ ⇒ a, and b ⇒ a."
+        let r = military_age();
+        let passing = r.passing_rules(0.01, 0.5);
+        assert_eq!(
+            passing,
+            vec![
+                PairRule::AToB,
+                PairRule::NotAToNotB,
+                PairRule::BToA,
+                PairRule::NotBToA,
+            ]
+        );
+    }
+
+    #[test]
+    fn supports_in_table_order() {
+        let r = military_age();
+        let s = r.supports_in_table_order();
+        assert!((s[0] - 0.589).abs() < 1e-12);
+        assert!((s[1] - 0.027).abs() < 1e-12);
+        assert!((s[2] - 0.304).abs() < 1e-12);
+        assert!((s[3] - 0.080).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_database_round_trip() {
+        let db = BasketDatabase::from_id_baskets(
+            2,
+            vec![vec![0, 1], vec![0, 1], vec![0], vec![1], vec![], vec![1]],
+        );
+        let r = PairReport::from_database(&db, ItemId(0), ItemId(1));
+        assert_eq!(r.cell_count(0b11), 2);
+        assert_eq!(r.cell_count(0b01), 1);
+        assert_eq!(r.cell_count(0b10), 2);
+        assert_eq!(r.cell_count(0b00), 1);
+        // And with the roles swapped, a-cells mirror.
+        let r = PairReport::from_database(&db, ItemId(1), ItemId(0));
+        assert_eq!(r.cell_count(0b01), 2); // b(=item0) absent, a(=item1) present
+    }
+
+    #[test]
+    fn degenerate_antecedent_is_none() {
+        let db = BasketDatabase::from_id_baskets(2, vec![vec![0], vec![0]]);
+        let r = PairReport::from_database(&db, ItemId(0), ItemId(1));
+        assert_eq!(r.confidence(PairRule::BToA), None);
+        assert_eq!(r.confidence(PairRule::NotAToB), None);
+        assert_eq!(r.confidence(PairRule::AToB), Some(0.0));
+    }
+
+    #[test]
+    fn all_pairs_enumeration() {
+        let db = BasketDatabase::from_id_baskets(4, vec![vec![0, 1, 2, 3]]);
+        let reports = all_pair_reports(&db);
+        assert_eq!(reports.len(), 6);
+        assert_eq!((reports[0].a, reports[0].b), (ItemId(0), ItemId(1)));
+        assert_eq!((reports[5].a, reports[5].b), (ItemId(2), ItemId(3)));
+    }
+
+    #[test]
+    fn contradictory_rules_can_both_pass() {
+        // The paper: "If you are married you are likely to be male" and
+        // "If you are male you are likely not to be married" coexist.
+        // a = married, b = male with cells chosen to that effect.
+        let r = PairReport {
+            a: ItemId(6),
+            b: ItemId(8),
+            n: 1000,
+            cells: [413, 57, 409, 121],
+        };
+        // a ⇒ b: 121/178 ≈ 0.68 passes; b ⇒ ā: 409/530 ≈ 0.77 passes.
+        assert!(r.rule_passes(PairRule::AToB, 0.01, 0.5));
+        assert!(r.rule_passes(PairRule::BToNotA, 0.01, 0.5));
+    }
+}

@@ -1,0 +1,213 @@
+//! The PCY (Park–Chen–Yu) hash-bucket refinement for pair counting.
+//!
+//! The paper compares its hash-table construction to "the hash-based
+//! algorithm of Park, Chen, and Yu" and notes the key difference: PCY's
+//! buckets *allow collisions* — several pairs share a counter, so a bucket
+//! below threshold proves all of its pairs infrequent, while a bucket above
+//! threshold proves nothing. Collisions "reduce the effectiveness of
+//! pruning \[but\] do not affect the final result". This module implements
+//! the classic two-pass pair miner: pass 1 counts items and hashes every
+//! pair of every basket into a bucket array; pass 2 counts only candidate
+//! pairs whose items are frequent *and* whose bucket is frequent.
+
+use std::collections::HashMap;
+
+use bmb_basket::{BasketDatabase, ItemId, Itemset};
+
+use crate::apriori::{FrequentItemset, MinSupport};
+
+/// Result of a PCY run, with pruning diagnostics.
+#[derive(Clone, Debug)]
+pub struct PcyResult {
+    /// Frequent pairs with exact counts, sorted.
+    pub frequent_pairs: Vec<FrequentItemset>,
+    /// Number of pairs of frequent items (Apriori's level-2 candidates).
+    pub apriori_candidates: usize,
+    /// Number of those that also landed in a frequent bucket — PCY's
+    /// candidate set, counted exactly in pass 2.
+    pub pcy_candidates: usize,
+    /// Buckets whose accumulated count met the threshold.
+    pub frequent_buckets: usize,
+    /// Total buckets.
+    pub n_buckets: usize,
+}
+
+/// Pair hash: mixes the two item ids into a bucket index with a
+/// splitmix64-style finalizer so every output bit depends on both ids.
+#[inline]
+fn bucket_of(a: ItemId, b: ItemId, n_buckets: usize) -> usize {
+    let mut x = (u64::from(a.0) << 32) | u64::from(b.0);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    (x % n_buckets as u64) as usize
+}
+
+/// Runs the two-pass PCY pair miner.
+///
+/// # Panics
+///
+/// Panics if `n_buckets` is zero.
+pub fn pcy_pairs(db: &BasketDatabase, min_support: MinSupport, n_buckets: usize) -> PcyResult {
+    assert!(n_buckets > 0, "need at least one bucket");
+    let n = db.len() as u64;
+    let threshold = min_support.to_count(n).max(1);
+
+    // Pass 1: item counts are already maintained by the database; hash every
+    // pair of every basket into the bucket array.
+    let mut buckets = vec![0u64; n_buckets];
+    for basket in db.baskets() {
+        for i in 0..basket.len() {
+            for j in i + 1..basket.len() {
+                buckets[bucket_of(basket[i], basket[j], n_buckets)] += 1;
+            }
+        }
+    }
+    let frequent_buckets = buckets.iter().filter(|&&c| c >= threshold).count();
+
+    // Between passes: compress the bucket counts to a bitmap of "frequent"
+    // buckets (the PCY paper's summary structure).
+    let bucket_frequent: Vec<bool> = buckets.iter().map(|&c| c >= threshold).collect();
+
+    // Candidate pairs: both items frequent, bucket frequent.
+    let frequent_items: Vec<ItemId> = (0..db.n_items())
+        .map(|i| ItemId(i as u32))
+        .filter(|&i| db.item_count(i) >= threshold)
+        .collect();
+    let mut apriori_candidates = 0usize;
+    let mut candidates: Vec<(ItemId, ItemId)> = Vec::new();
+    for (i, &a) in frequent_items.iter().enumerate() {
+        for &b in &frequent_items[i + 1..] {
+            apriori_candidates += 1;
+            if bucket_frequent[bucket_of(a, b, n_buckets)] {
+                candidates.push((a, b));
+            }
+        }
+    }
+    let pcy_candidates = candidates.len();
+
+    // Pass 2: exact counts for the surviving candidates.
+    let candidate_index: HashMap<(ItemId, ItemId), usize> = candidates
+        .iter()
+        .enumerate()
+        .map(|(idx, &pair)| (pair, idx))
+        .collect();
+    let mut counts = vec![0u64; candidates.len()];
+    for basket in db.baskets() {
+        for i in 0..basket.len() {
+            for j in i + 1..basket.len() {
+                if let Some(&idx) = candidate_index.get(&(basket[i], basket[j])) {
+                    counts[idx] += 1;
+                }
+            }
+        }
+    }
+
+    let mut frequent_pairs: Vec<FrequentItemset> = candidates
+        .into_iter()
+        .zip(counts)
+        .filter(|&(_, c)| c >= threshold)
+        .map(|((a, b), count)| FrequentItemset {
+            itemset: Itemset::from_items([a, b]),
+            count,
+        })
+        .collect();
+    frequent_pairs.sort_unstable_by(|x, y| x.itemset.cmp(&y.itemset));
+
+    PcyResult {
+        frequent_pairs,
+        apriori_candidates,
+        pcy_candidates,
+        frequent_buckets,
+        n_buckets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::{apriori, MinSupport};
+
+    fn db() -> BasketDatabase {
+        BasketDatabase::from_id_baskets(
+            6,
+            vec![
+                vec![0, 1, 4],
+                vec![1, 3],
+                vec![1, 2],
+                vec![0, 1, 3],
+                vec![0, 2],
+                vec![1, 2],
+                vec![0, 2],
+                vec![0, 1, 2, 4],
+                vec![0, 1, 2],
+                vec![5],
+            ],
+        )
+    }
+
+    #[test]
+    fn pcy_finds_the_same_frequent_pairs_as_apriori() {
+        let threshold = MinSupport::Count(2);
+        let reference = apriori(&db(), threshold, 2);
+        let expected: Vec<&FrequentItemset> = reference
+            .frequent
+            .iter()
+            .filter(|f| f.itemset.len() == 2)
+            .collect();
+        for n_buckets in [1usize, 2, 7, 64, 4096] {
+            let pcy = pcy_pairs(&db(), threshold, n_buckets);
+            assert_eq!(
+                pcy.frequent_pairs.len(),
+                expected.len(),
+                "bucket count {n_buckets}"
+            );
+            for (got, want) in pcy.frequent_pairs.iter().zip(&expected) {
+                assert_eq!(&got.itemset, &want.itemset);
+                assert_eq!(got.count, want.count);
+            }
+        }
+    }
+
+    #[test]
+    fn more_buckets_never_weakens_pruning_guarantee() {
+        // PCY candidates are always a subset of Apriori candidates.
+        for n_buckets in [1usize, 3, 16, 1024] {
+            let pcy = pcy_pairs(&db(), MinSupport::Count(2), n_buckets);
+            assert!(pcy.pcy_candidates <= pcy.apriori_candidates);
+        }
+    }
+
+    #[test]
+    fn single_bucket_degenerates_to_apriori() {
+        // One bucket swallows every pair, so no pruning happens (the bucket
+        // is trivially frequent in any non-degenerate database).
+        let pcy = pcy_pairs(&db(), MinSupport::Count(2), 1);
+        assert_eq!(pcy.pcy_candidates, pcy.apriori_candidates);
+    }
+
+    #[test]
+    fn many_buckets_prune_infrequent_pairs() {
+        // With enough buckets, collisions vanish and only pairs that are
+        // genuinely frequent (or collide with one) survive.
+        let pcy = pcy_pairs(&db(), MinSupport::Count(2), 1 << 16);
+        assert!(pcy.pcy_candidates < pcy.apriori_candidates);
+        assert_eq!(pcy.frequent_pairs.len(), 6);
+    }
+
+    #[test]
+    fn bucket_accounting() {
+        let pcy = pcy_pairs(&db(), MinSupport::Count(2), 128);
+        assert_eq!(pcy.n_buckets, 128);
+        assert!(pcy.frequent_buckets <= 128);
+        assert!(pcy.frequent_buckets > 0);
+    }
+
+    #[test]
+    fn empty_database_yields_nothing() {
+        let empty = BasketDatabase::new(4);
+        let pcy = pcy_pairs(&empty, MinSupport::Count(1), 8);
+        assert!(pcy.frequent_pairs.is_empty());
+        assert_eq!(pcy.apriori_candidates, 0);
+    }
+}

@@ -1,0 +1,350 @@
+//! Fixed-width bitmaps and the per-item vertical index.
+//!
+//! Counting a contingency-table cell needs "how many baskets contain all of
+//! P and none of A". With one bitmap per item over the baskets, that is a
+//! word-wise AND/AND-NOT sweep plus popcount — the workhorse behind the
+//! [`crate::counts::BitmapCounter`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::database::BasketDatabase;
+use crate::item::ItemId;
+
+/// A fixed-length bitmap over `len` positions, packed into `u64` words.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bitmap {
+    len: usize,
+    words: Box<[u64]>,
+}
+
+impl Bitmap {
+    /// An all-zeros bitmap over `len` positions.
+    pub fn zeros(len: usize) -> Self {
+        Bitmap {
+            len,
+            words: vec![0u64; len.div_ceil(64)].into_boxed_slice(),
+        }
+    }
+
+    /// An all-ones bitmap over `len` positions.
+    pub fn ones(len: usize) -> Self {
+        let mut bm = Self::zeros(len);
+        for w in bm.words.iter_mut() {
+            *w = u64::MAX;
+        }
+        bm.mask_tail();
+        bm
+    }
+
+    /// Number of positions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap covers zero positions.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets position `i` to one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range for bitmap of {} bits", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears position `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range for bitmap of {} bits", self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Reads position `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range for bitmap of {} bits", self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    /// In-place AND with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn and_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= b;
+        }
+    }
+
+    /// In-place AND-NOT with `other` (`self &= !other`).
+    pub fn and_not_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= !b;
+        }
+    }
+
+    /// In-place OR with `other`.
+    pub fn or_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// In-place complement (within `len`).
+    pub fn not_assign(&mut self) {
+        for w in self.words.iter_mut() {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+
+    /// `popcount(self & other)` without materializing the intersection.
+    pub fn and_count(&self, other: &Bitmap) -> u64 {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| u64::from((a & b).count_ones()))
+            .sum()
+    }
+
+    /// Iterates the indexes of set bits in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut rem = w;
+            std::iter::from_fn(move || {
+                if rem == 0 {
+                    None
+                } else {
+                    let tz = rem.trailing_zeros() as usize;
+                    rem &= rem - 1;
+                    Some(wi * 64 + tz)
+                }
+            })
+        })
+    }
+
+    /// Zeroes any bits past `len` in the final word, restoring the invariant
+    /// after whole-word operations like `not_assign`.
+    fn mask_tail(&mut self) {
+        let rem = self.len % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+/// A vertical index: one [`Bitmap`] per item, over the baskets of a database.
+///
+/// `index.item(i)` has bit `b` set iff basket `b` contains item `i`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BitmapIndex {
+    n_baskets: usize,
+    item_bitmaps: Vec<Bitmap>,
+}
+
+impl BitmapIndex {
+    /// Builds the index with one pass over `db`.
+    pub fn build(db: &BasketDatabase) -> Self {
+        let n = db.len();
+        let k = db.n_items();
+        let mut item_bitmaps = vec![Bitmap::zeros(n); k];
+        for (b, basket) in db.baskets().enumerate() {
+            for &item in basket {
+                item_bitmaps[item.index()].set(b);
+            }
+        }
+        BitmapIndex { n_baskets: n, item_bitmaps }
+    }
+
+    /// Number of baskets the index covers.
+    pub fn n_baskets(&self) -> usize {
+        self.n_baskets
+    }
+
+    /// Number of items the index covers.
+    pub fn n_items(&self) -> usize {
+        self.item_bitmaps.len()
+    }
+
+    /// The bitmap for one item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item` is out of range.
+    pub fn item(&self, item: ItemId) -> &Bitmap {
+        &self.item_bitmaps[item.index()]
+    }
+
+    /// `O(S)`: the number of baskets containing every item of `items`.
+    ///
+    /// The empty set is contained in every basket. Allocation-free: the
+    /// intersection is folded word by word without materializing it — this
+    /// sits in the miner's hottest loop.
+    pub fn support_count(&self, items: &[ItemId]) -> u64 {
+        match items {
+            [] => self.n_baskets as u64,
+            [single] => self.item(*single).count_ones(),
+            [first, rest @ ..] => {
+                let first = &self.item_bitmaps[first.index()];
+                let mut total = 0u64;
+                for w in 0..first.words.len() {
+                    let mut word = first.words[w];
+                    for item in rest {
+                        word &= self.item_bitmaps[item.index()].words[w];
+                        if word == 0 {
+                            break;
+                        }
+                    }
+                    total += u64::from(word.count_ones());
+                }
+                total
+            }
+        }
+    }
+
+    /// Counts baskets containing all of `present` and none of `absent` —
+    /// exactly one cell of a contingency table.
+    pub fn cell_count(&self, present: &[ItemId], absent: &[ItemId]) -> u64 {
+        let mut acc = match present {
+            [] => Bitmap::ones(self.n_baskets),
+            [first, rest @ ..] => {
+                let mut acc = self.item(*first).clone();
+                for item in rest {
+                    acc.and_assign(self.item(*item));
+                }
+                acc
+            }
+        };
+        for item in absent {
+            acc.and_not_assign(self.item(*item));
+        }
+        acc.count_ones()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::BasketDatabase;
+
+    #[test]
+    fn zeros_ones_and_len() {
+        let z = Bitmap::zeros(130);
+        assert_eq!(z.len(), 130);
+        assert_eq!(z.count_ones(), 0);
+        let o = Bitmap::ones(130);
+        assert_eq!(o.count_ones(), 130);
+    }
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = Bitmap::zeros(70);
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(69);
+        assert!(b.get(0) && b.get(63) && b.get(64) && b.get(69));
+        assert!(!b.get(1));
+        assert_eq!(b.count_ones(), 4);
+        b.clear(63);
+        assert!(!b.get(63));
+        assert_eq!(b.count_ones(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        Bitmap::zeros(10).get(10);
+    }
+
+    #[test]
+    fn not_assign_masks_tail() {
+        let mut b = Bitmap::zeros(65);
+        b.not_assign();
+        assert_eq!(b.count_ones(), 65);
+        b.not_assign();
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    fn boolean_ops() {
+        let mut a = Bitmap::zeros(100);
+        let mut b = Bitmap::zeros(100);
+        for i in (0..100).step_by(2) {
+            a.set(i);
+        }
+        for i in (0..100).step_by(3) {
+            b.set(i);
+        }
+        assert_eq!(a.and_count(&b), 17); // multiples of 6 in [0,100)
+        let mut c = a.clone();
+        c.and_assign(&b);
+        assert_eq!(c.count_ones(), 17);
+        let mut d = a.clone();
+        d.or_assign(&b);
+        assert_eq!(d.count_ones(), 50 + 34 - 17);
+        let mut e = a.clone();
+        e.and_not_assign(&b);
+        assert_eq!(e.count_ones(), 50 - 17);
+    }
+
+    #[test]
+    fn iter_ones_round_trip() {
+        let mut b = Bitmap::zeros(200);
+        let positions = [0usize, 1, 63, 64, 65, 127, 128, 199];
+        for &p in &positions {
+            b.set(p);
+        }
+        let got: Vec<usize> = b.iter_ones().collect();
+        assert_eq!(got, positions);
+    }
+
+    fn toy_db() -> BasketDatabase {
+        // 4 baskets over 3 items:
+        //   b0 = {0,1}, b1 = {1}, b2 = {0,2}, b3 = {}
+        BasketDatabase::from_id_baskets(3, vec![vec![0, 1], vec![1], vec![0, 2], vec![]])
+    }
+
+    #[test]
+    fn index_support_counts() {
+        let idx = BitmapIndex::build(&toy_db());
+        assert_eq!(idx.support_count(&[]), 4);
+        assert_eq!(idx.support_count(&[ItemId(0)]), 2);
+        assert_eq!(idx.support_count(&[ItemId(1)]), 2);
+        assert_eq!(idx.support_count(&[ItemId(2)]), 1);
+        assert_eq!(idx.support_count(&[ItemId(0), ItemId(1)]), 1);
+        assert_eq!(idx.support_count(&[ItemId(0), ItemId(1), ItemId(2)]), 0);
+    }
+
+    #[test]
+    fn index_cell_counts() {
+        let idx = BitmapIndex::build(&toy_db());
+        // Baskets with item 0 but not item 1: only b2.
+        assert_eq!(idx.cell_count(&[ItemId(0)], &[ItemId(1)]), 1);
+        // Baskets with neither item 0 nor item 1: only b3.
+        assert_eq!(idx.cell_count(&[], &[ItemId(0), ItemId(1)]), 1);
+        // All four cells of the (0,1) table sum to n.
+        let total = idx.cell_count(&[ItemId(0), ItemId(1)], &[])
+            + idx.cell_count(&[ItemId(0)], &[ItemId(1)])
+            + idx.cell_count(&[ItemId(1)], &[ItemId(0)])
+            + idx.cell_count(&[], &[ItemId(0), ItemId(1)]);
+        assert_eq!(total, 4);
+    }
+}

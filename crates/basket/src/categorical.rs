@@ -1,0 +1,344 @@
+//! Multinomial (non-binary) contingency tables.
+//!
+//! Section 5.1 of the paper notes that "the chi-squared test extends easily
+//! to non-binary data" — census answers are naturally multi-valued, and a
+//! non-collapsed table "with more than two rows and columns could find
+//! finer-grained dependency". This module provides that extension: records
+//! are tuples of categorical attribute values, and the contingency table is
+//! a `u_1 × u_2 × ... × u_m` array with independence expectations taken from
+//! per-attribute marginals. Degrees of freedom follow Appendix A:
+//! `(u_1 − 1)(u_2 − 1)···(u_m − 1)`.
+
+use serde::{Deserialize, Serialize};
+
+/// A categorical attribute: a name plus its value labels.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Attribute name, e.g. `"commute"`.
+    pub name: String,
+    /// Value labels, e.g. `["drives alone", "carpools", "does not drive"]`.
+    pub values: Vec<String>,
+}
+
+impl Attribute {
+    /// Creates an attribute with the given value labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two values are supplied — a one-valued attribute
+    /// carries no information and breaks the degrees-of-freedom formula.
+    pub fn new<S: Into<String>, V: Into<String>>(
+        name: S,
+        values: impl IntoIterator<Item = V>,
+    ) -> Self {
+        let values: Vec<String> = values.into_iter().map(Into::into).collect();
+        assert!(values.len() >= 2, "attribute needs at least two values");
+        Attribute { name: name.into(), values }
+    }
+
+    /// Number of distinct values `u`.
+    pub fn cardinality(&self) -> usize {
+        self.values.len()
+    }
+}
+
+/// A table of records over categorical attributes.
+///
+/// Each record assigns one value index per attribute.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct CategoricalData {
+    attributes: Vec<Attribute>,
+    records: Vec<Box<[u16]>>,
+}
+
+impl CategoricalData {
+    /// An empty dataset over the given attributes.
+    pub fn new(attributes: Vec<Attribute>) -> Self {
+        CategoricalData { attributes, records: Vec::new() }
+    }
+
+    /// The schema.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether there are no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Appends one record of value indexes, one per attribute.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record length or any value index is out of range.
+    pub fn push_record(&mut self, values: &[u16]) {
+        assert_eq!(values.len(), self.attributes.len(), "record arity mismatch");
+        for (a, &v) in self.attributes.iter().zip(values) {
+            assert!((v as usize) < a.cardinality(), "value {v} out of range for {}", a.name);
+        }
+        self.records.push(values.to_vec().into_boxed_slice());
+    }
+
+    /// The record at `index`.
+    pub fn record(&self, index: usize) -> &[u16] {
+        &self.records[index]
+    }
+
+    /// Builds the multinomial contingency table over a subset of attribute
+    /// positions.
+    pub fn contingency(&self, positions: &[usize]) -> CategoricalTable {
+        CategoricalTable::from_data(self, positions)
+    }
+}
+
+/// A dense multinomial contingency table over a subset of attributes.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CategoricalTable {
+    /// Which attribute positions of the source data are tabulated.
+    positions: Vec<usize>,
+    /// Cardinality of each tabulated attribute.
+    dims: Vec<usize>,
+    n: u64,
+    /// Row-major counts; the first position varies slowest.
+    counts: Vec<u64>,
+    /// Per-attribute marginal counts.
+    marginals: Vec<Vec<u64>>,
+}
+
+impl CategoricalTable {
+    /// Tabulates `data` over the attribute `positions`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions` is empty, has duplicates, or indexes past the
+    /// schema, or if the cell space exceeds 2^24 cells.
+    pub fn from_data(data: &CategoricalData, positions: &[usize]) -> Self {
+        assert!(!positions.is_empty(), "need at least one attribute");
+        let mut seen = vec![false; data.attributes().len()];
+        for &p in positions {
+            assert!(p < data.attributes().len(), "attribute position {p} out of range");
+            assert!(!seen[p], "duplicate attribute position {p}");
+            seen[p] = true;
+        }
+        let dims: Vec<usize> = positions
+            .iter()
+            .map(|&p| data.attributes()[p].cardinality())
+            .collect();
+        let n_cells: usize = dims.iter().product();
+        assert!(n_cells <= 1 << 24, "cell space too large for a dense table");
+        let mut counts = vec![0u64; n_cells];
+        let mut marginals: Vec<Vec<u64>> = dims.iter().map(|&d| vec![0u64; d]).collect();
+        for rec in &data.records {
+            let mut cell = 0usize;
+            for (j, &p) in positions.iter().enumerate() {
+                let v = rec[p] as usize;
+                cell = cell * dims[j] + v;
+                marginals[j][v] += 1;
+            }
+            counts[cell] += 1;
+        }
+        CategoricalTable {
+            positions: positions.to_vec(),
+            dims,
+            n: data.len() as u64,
+            counts,
+            marginals,
+        }
+    }
+
+    /// Builds a 2-attribute table directly from a row-major count matrix.
+    pub fn from_matrix(rows: usize, cols: usize, counts: Vec<u64>) -> Self {
+        assert_eq!(counts.len(), rows * cols, "count matrix shape mismatch");
+        let n: u64 = counts.iter().sum();
+        let mut row_marg = vec![0u64; rows];
+        let mut col_marg = vec![0u64; cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                row_marg[r] += counts[r * cols + c];
+                col_marg[c] += counts[r * cols + c];
+            }
+        }
+        CategoricalTable {
+            positions: vec![0, 1],
+            dims: vec![rows, cols],
+            n,
+            counts,
+            marginals: vec![row_marg, col_marg],
+        }
+    }
+
+    /// The tabulated attribute positions.
+    pub fn positions(&self) -> &[usize] {
+        &self.positions
+    }
+
+    /// Cardinalities of the tabulated attributes.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Total observations.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of cells.
+    pub fn n_cells(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Observed count for a cell given one value index per attribute.
+    pub fn observed(&self, values: &[usize]) -> u64 {
+        self.counts[self.cell_index(values)]
+    }
+
+    /// Expected count under full independence of the tabulated attributes.
+    pub fn expected(&self, values: &[usize]) -> f64 {
+        assert_eq!(values.len(), self.dims.len(), "cell arity mismatch");
+        if self.n == 0 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        let mut e = n;
+        for (j, &v) in values.iter().enumerate() {
+            e *= self.marginals[j][v] as f64 / n;
+        }
+        e
+    }
+
+    /// Iterates `(cell_values, observed)` over every cell.
+    pub fn cells(&self) -> impl Iterator<Item = (Vec<usize>, u64)> + '_ {
+        (0..self.counts.len()).map(|flat| (self.unflatten(flat), self.counts[flat]))
+    }
+
+    /// Degrees of freedom `(u_1 − 1)(u_2 − 1)···(u_m − 1)` (Appendix A).
+    pub fn degrees_of_freedom(&self) -> u64 {
+        self.dims.iter().map(|&d| (d as u64) - 1).product()
+    }
+
+    /// The marginal counts of attribute `j` (in `positions` order).
+    pub fn marginal(&self, j: usize) -> &[u64] {
+        &self.marginals[j]
+    }
+
+    fn cell_index(&self, values: &[usize]) -> usize {
+        assert_eq!(values.len(), self.dims.len(), "cell arity mismatch");
+        let mut cell = 0usize;
+        for (j, &v) in values.iter().enumerate() {
+            assert!(v < self.dims[j], "value {v} out of range in dimension {j}");
+            cell = cell * self.dims[j] + v;
+        }
+        cell
+    }
+
+    fn unflatten(&self, mut flat: usize) -> Vec<usize> {
+        let mut out = vec![0usize; self.dims.len()];
+        for j in (0..self.dims.len()).rev() {
+            out[j] = flat % self.dims[j];
+            flat /= self.dims[j];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn commute_data() -> CategoricalData {
+        let mut data = CategoricalData::new(vec![
+            Attribute::new("commute", ["drives", "carpools", "walks"]),
+            Attribute::new("married", ["yes", "no"]),
+        ]);
+        // 3x2 layout of counts:
+        //            yes no
+        // drives      30  10
+        // carpools     5  15
+        // walks        5  35
+        for (commute, married, count) in [
+            (0u16, 0u16, 30),
+            (0, 1, 10),
+            (1, 0, 5),
+            (1, 1, 15),
+            (2, 0, 5),
+            (2, 1, 35),
+        ] {
+            for _ in 0..count {
+                data.push_record(&[commute, married]);
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn tabulation_counts_and_marginals() {
+        let data = commute_data();
+        let t = data.contingency(&[0, 1]);
+        assert_eq!(t.n(), 100);
+        assert_eq!(t.n_cells(), 6);
+        assert_eq!(t.observed(&[0, 0]), 30);
+        assert_eq!(t.observed(&[2, 1]), 35);
+        assert_eq!(t.marginal(0), &[40, 20, 40]);
+        assert_eq!(t.marginal(1), &[40, 60]);
+    }
+
+    #[test]
+    fn expected_under_independence() {
+        let t = commute_data().contingency(&[0, 1]);
+        // E[drives, yes] = 100 · 0.4 · 0.4 = 16.
+        assert!((t.expected(&[0, 0]) - 16.0).abs() < 1e-9);
+        let e_total: f64 = t.cells().map(|(v, _)| t.expected(&v)).sum();
+        assert!((e_total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degrees_of_freedom_formula() {
+        let t = commute_data().contingency(&[0, 1]);
+        assert_eq!(t.degrees_of_freedom(), 2); // (3−1)(2−1)
+    }
+
+    #[test]
+    fn single_attribute_marginal_table() {
+        let t = commute_data().contingency(&[1]);
+        assert_eq!(t.observed(&[0]), 40);
+        assert_eq!(t.observed(&[1]), 60);
+        assert_eq!(t.degrees_of_freedom(), 1);
+    }
+
+    #[test]
+    fn from_matrix_agrees_with_tabulation() {
+        let from_data = commute_data().contingency(&[0, 1]);
+        let from_matrix =
+            CategoricalTable::from_matrix(3, 2, vec![30, 10, 5, 15, 5, 35]);
+        assert_eq!(from_matrix.n(), from_data.n());
+        for (values, c) in from_data.cells() {
+            assert_eq!(from_matrix.observed(&values), c);
+        }
+    }
+
+    #[test]
+    fn cells_iterate_all_and_sum_to_n() {
+        let t = commute_data().contingency(&[0, 1]);
+        let total: u64 = t.cells().map(|(_, c)| c).sum();
+        assert_eq!(total, 100);
+        assert_eq!(t.cells().count(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn wrong_arity_panics() {
+        commute_data().contingency(&[0, 1]).observed(&[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two values")]
+    fn degenerate_attribute_panics() {
+        Attribute::new("constant", ["only"]);
+    }
+}

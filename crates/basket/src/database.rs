@@ -1,0 +1,340 @@
+//! The basket database: the paper's `B = {b_1, ..., b_n}`.
+//!
+//! A [`BasketDatabase`] is an ordered collection of baskets over a fixed item
+//! space of `k` items. Baskets are stored horizontally (sorted item lists);
+//! vertical bitmap access is provided by [`crate::bitmap::BitmapIndex`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::item::{ItemCatalog, ItemId};
+use crate::itemset::Itemset;
+
+/// A database of baskets over items `0..n_items`.
+///
+/// # Examples
+///
+/// ```
+/// use bmb_basket::BasketDatabase;
+///
+/// let db = BasketDatabase::from_id_baskets(3, vec![vec![0, 1], vec![2], vec![0, 1, 2]]);
+/// assert_eq!(db.len(), 3);
+/// assert_eq!(db.n_items(), 3);
+/// assert_eq!(db.item_count(bmb_basket::ItemId(0)), 2);
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct BasketDatabase {
+    n_items: usize,
+    baskets: Vec<Box<[ItemId]>>,
+    /// `O(i)` for every item, maintained incrementally on insertion.
+    item_counts: Vec<u64>,
+    /// Optional names for items; empty when the workload is purely numeric.
+    catalog: Option<ItemCatalog>,
+}
+
+impl BasketDatabase {
+    /// An empty database over an item space of `n_items` items.
+    pub fn new(n_items: usize) -> Self {
+        BasketDatabase {
+            n_items,
+            baskets: Vec::new(),
+            item_counts: vec![0; n_items],
+            catalog: None,
+        }
+    }
+
+    /// Builds a database from raw `u32` item-id baskets.
+    ///
+    /// Baskets are sorted and deduplicated. Item ids must be `< n_items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any basket mentions an item `>= n_items`.
+    pub fn from_id_baskets(n_items: usize, baskets: Vec<Vec<u32>>) -> Self {
+        let mut db = Self::new(n_items);
+        for b in baskets {
+            db.push_basket(b.into_iter().map(ItemId));
+        }
+        db
+    }
+
+    /// Builds a database of named baskets, interning names into a catalog.
+    pub fn from_named_baskets<I, B, S>(baskets: I) -> Self
+    where
+        I: IntoIterator<Item = B>,
+        B: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut catalog = ItemCatalog::new();
+        let id_baskets: Vec<Vec<ItemId>> = baskets
+            .into_iter()
+            .map(|b| b.into_iter().map(|s| catalog.intern(s)).collect())
+            .collect();
+        let mut db = Self::new(catalog.len());
+        db.catalog = Some(catalog);
+        for b in id_baskets {
+            db.push_basket(b);
+        }
+        db
+    }
+
+    /// Appends one basket; the items are sorted and deduplicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any item id is `>= n_items`.
+    pub fn push_basket<I: IntoIterator<Item = ItemId>>(&mut self, items: I) {
+        let mut v: Vec<ItemId> = items.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        for &item in &v {
+            assert!(
+                item.index() < self.n_items,
+                "item {item} out of range for item space of {} items",
+                self.n_items
+            );
+            self.item_counts[item.index()] += 1;
+        }
+        self.baskets.push(v.into_boxed_slice());
+    }
+
+    /// Attaches a name catalog (e.g. after loading numeric data).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the catalog covers fewer items than the item space.
+    pub fn set_catalog(&mut self, catalog: ItemCatalog) {
+        assert!(
+            catalog.len() >= self.n_items,
+            "catalog has {} names but the item space has {} items",
+            catalog.len(),
+            self.n_items
+        );
+        self.catalog = Some(catalog);
+    }
+
+    /// The attached name catalog, if any.
+    pub fn catalog(&self) -> Option<&ItemCatalog> {
+        self.catalog.as_ref()
+    }
+
+    /// `n`: the number of baskets.
+    pub fn len(&self) -> usize {
+        self.baskets.len()
+    }
+
+    /// Whether the database holds no baskets.
+    pub fn is_empty(&self) -> bool {
+        self.baskets.is_empty()
+    }
+
+    /// `k`: the size of the item space.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// The basket at `index` as a sorted item slice.
+    pub fn basket(&self, index: usize) -> &[ItemId] {
+        &self.baskets[index]
+    }
+
+    /// Iterates all baskets in insertion order.
+    pub fn baskets(&self) -> impl Iterator<Item = &[ItemId]> {
+        self.baskets.iter().map(|b| &**b)
+    }
+
+    /// `O(i)`: the number of baskets containing item `i`.
+    pub fn item_count(&self, item: ItemId) -> u64 {
+        self.item_counts[item.index()]
+    }
+
+    /// All per-item counts, indexed by item id.
+    pub fn item_counts(&self) -> &[u64] {
+        &self.item_counts
+    }
+
+    /// The observed marginal probability `O(i)/n`.
+    ///
+    /// Returns 0 for an empty database.
+    pub fn item_frequency(&self, item: ItemId) -> f64 {
+        if self.baskets.is_empty() {
+            0.0
+        } else {
+            self.item_count(item) as f64 / self.baskets.len() as f64
+        }
+    }
+
+    /// Whether basket `index` contains every item of `set` (merge walk).
+    pub fn basket_contains(&self, index: usize, set: &Itemset) -> bool {
+        let basket = &self.baskets[index];
+        let mut bi = 0;
+        'outer: for &want in set.items() {
+            while bi < basket.len() {
+                match basket[bi].cmp(&want) {
+                    std::cmp::Ordering::Less => bi += 1,
+                    std::cmp::Ordering::Equal => {
+                        bi += 1;
+                        continue 'outer;
+                    }
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Mean basket size.
+    pub fn mean_basket_len(&self) -> f64 {
+        if self.baskets.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.baskets.iter().map(|b| b.len()).sum();
+        total as f64 / self.baskets.len() as f64
+    }
+
+    /// Renders an itemset using the catalog when available, ids otherwise.
+    pub fn describe(&self, set: &Itemset) -> String {
+        match &self.catalog {
+            Some(catalog) => {
+                let names: Vec<&str> = set
+                    .items()
+                    .iter()
+                    .map(|&i| catalog.name(i).unwrap_or("?"))
+                    .collect();
+                format!("{{{}}}", names.join(", "))
+            }
+            None => set.to_string(),
+        }
+    }
+
+    /// Returns a new database containing only the items for which `keep`
+    /// returns true, renumbering the survivors densely and dropping the rest
+    /// from every basket. The returned mapping gives, for every new id, the
+    /// old id it came from.
+    ///
+    /// This is the document-frequency pruning step the paper applies to the
+    /// newsgroup corpus ("we pruned all words occurring in less than 10% of
+    /// the documents").
+    pub fn filter_items<F: FnMut(ItemId, u64) -> bool>(
+        &self,
+        mut keep: F,
+    ) -> (BasketDatabase, Vec<ItemId>) {
+        let mut old_of_new: Vec<ItemId> = Vec::new();
+        let mut new_of_old: Vec<Option<ItemId>> = vec![None; self.n_items];
+        for (old, slot) in new_of_old.iter_mut().enumerate() {
+            let old_id = ItemId(old as u32);
+            if keep(old_id, self.item_counts[old]) {
+                *slot = Some(ItemId(old_of_new.len() as u32));
+                old_of_new.push(old_id);
+            }
+        }
+        let mut db = BasketDatabase::new(old_of_new.len());
+        if let Some(catalog) = &self.catalog {
+            let names: Vec<String> = old_of_new
+                .iter()
+                .map(|&old| catalog.name(old).unwrap_or("?").to_string())
+                .collect();
+            db.catalog = Some(ItemCatalog::from_names(names));
+        }
+        for basket in self.baskets() {
+            db.push_basket(basket.iter().filter_map(|&it| new_of_old[it.index()]));
+        }
+        (db, old_of_new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> BasketDatabase {
+        BasketDatabase::from_id_baskets(
+            4,
+            vec![vec![0, 1, 2], vec![1, 2], vec![0], vec![], vec![2, 3]],
+        )
+    }
+
+    #[test]
+    fn counts_and_sizes() {
+        let db = toy();
+        assert_eq!(db.len(), 5);
+        assert_eq!(db.n_items(), 4);
+        assert_eq!(db.item_count(ItemId(0)), 2);
+        assert_eq!(db.item_count(ItemId(1)), 2);
+        assert_eq!(db.item_count(ItemId(2)), 3);
+        assert_eq!(db.item_count(ItemId(3)), 1);
+        assert!((db.mean_basket_len() - 8.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequencies() {
+        let db = toy();
+        assert!((db.item_frequency(ItemId(2)) - 0.6).abs() < 1e-12);
+        assert_eq!(BasketDatabase::new(2).item_frequency(ItemId(0)), 0.0);
+    }
+
+    #[test]
+    fn push_sorts_and_dedups() {
+        let mut db = BasketDatabase::new(5);
+        db.push_basket([ItemId(3), ItemId(1), ItemId(3)]);
+        assert_eq!(db.basket(0), &[ItemId(1), ItemId(3)]);
+        assert_eq!(db.item_count(ItemId(3)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_item_panics() {
+        let mut db = BasketDatabase::new(2);
+        db.push_basket([ItemId(2)]);
+    }
+
+    #[test]
+    fn basket_contains_merge_walk() {
+        let db = toy();
+        assert!(db.basket_contains(0, &Itemset::from_ids([0, 2])));
+        assert!(db.basket_contains(0, &Itemset::empty()));
+        assert!(!db.basket_contains(1, &Itemset::from_ids([0])));
+        assert!(!db.basket_contains(3, &Itemset::from_ids([0])));
+    }
+
+    #[test]
+    fn named_baskets_round_trip() {
+        let db = BasketDatabase::from_named_baskets(vec![
+            vec!["tea", "coffee"],
+            vec!["coffee"],
+        ]);
+        let catalog = db.catalog().unwrap();
+        let tea = catalog.get("tea").unwrap();
+        let coffee = catalog.get("coffee").unwrap();
+        assert_eq!(db.item_count(tea), 1);
+        assert_eq!(db.item_count(coffee), 2);
+        assert_eq!(
+            db.describe(&Itemset::from_items([tea, coffee])),
+            "{tea, coffee}"
+        );
+    }
+
+    #[test]
+    fn filter_items_renumbers() {
+        let db = toy();
+        // Keep only items occurring in >= 2 baskets: items 0, 1, 2.
+        let (filtered, mapping) = db.filter_items(|_, count| count >= 2);
+        assert_eq!(filtered.n_items(), 3);
+        assert_eq!(mapping, vec![ItemId(0), ItemId(1), ItemId(2)]);
+        assert_eq!(filtered.len(), db.len());
+        // Basket {2,3} loses item 3.
+        assert_eq!(filtered.basket(4), &[ItemId(2)]);
+        assert_eq!(filtered.item_count(ItemId(2)), 3);
+    }
+
+    #[test]
+    fn filter_items_preserves_names() {
+        let db = BasketDatabase::from_named_baskets(vec![
+            vec!["a", "b"],
+            vec!["a"],
+        ]);
+        let (filtered, _) = db.filter_items(|_, count| count >= 2);
+        assert_eq!(filtered.n_items(), 1);
+        assert_eq!(filtered.catalog().unwrap().name(ItemId(0)), Some("a"));
+    }
+}

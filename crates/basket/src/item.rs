@@ -1,0 +1,188 @@
+//! Item identifiers and the catalog mapping them to human-readable names.
+//!
+//! The paper works with an item space `I = {i_1, ..., i_k}`; items may be
+//! retail products, dictionary words, or binarized census answers. We
+//! represent an item as a dense `u32` index into an [`ItemCatalog`], which
+//! interns names and hands out identifiers in insertion order.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A dense identifier for an item in an item space.
+///
+/// Identifiers are allocated contiguously from zero by [`ItemCatalog`], so
+/// they can index per-item arrays (counts, bitmaps) directly.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ItemId(pub u32);
+
+impl ItemId {
+    /// The identifier as a `usize`, for indexing per-item arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+impl From<u32> for ItemId {
+    fn from(v: u32) -> Self {
+        ItemId(v)
+    }
+}
+
+/// An interning catalog of item names.
+///
+/// Mirrors the paper's item space `I`: every distinct item gets a stable
+/// [`ItemId`], and names can be looked up in both directions. The catalog is
+/// optional — purely numeric workloads (e.g. Quest synthetic data) can skip
+/// it entirely and mint `ItemId`s directly.
+///
+/// # Examples
+///
+/// ```
+/// use bmb_basket::ItemCatalog;
+///
+/// let mut catalog = ItemCatalog::new();
+/// let tea = catalog.intern("tea");
+/// let coffee = catalog.intern("coffee");
+/// assert_ne!(tea, coffee);
+/// assert_eq!(catalog.intern("tea"), tea);
+/// assert_eq!(catalog.name(tea), Some("tea"));
+/// assert_eq!(catalog.len(), 2);
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ItemCatalog {
+    names: Vec<String>,
+    by_name: HashMap<String, ItemId>,
+}
+
+impl ItemCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a catalog pre-populated with `names`, in order.
+    ///
+    /// Duplicate names collapse to the first occurrence's id.
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut catalog = Self::new();
+        for name in names {
+            catalog.intern(name);
+        }
+        catalog
+    }
+
+    /// Returns the id for `name`, allocating a fresh one if unseen.
+    pub fn intern<S: Into<String>>(&mut self, name: S) -> ItemId {
+        let name = name.into();
+        if let Some(&id) = self.by_name.get(&name) {
+            return id;
+        }
+        let id = ItemId(
+            u32::try_from(self.names.len()).expect("item catalog exceeded u32::MAX entries"),
+        );
+        self.by_name.insert(name.clone(), id);
+        self.names.push(name);
+        id
+    }
+
+    /// Looks up an already-interned name without allocating.
+    pub fn get(&self, name: &str) -> Option<ItemId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name for `id`, if it was allocated by this catalog.
+    pub fn name(&self, id: ItemId) -> Option<&str> {
+        self.names.get(id.index()).map(String::as_str)
+    }
+
+    /// Number of distinct items interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no items have been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ItemId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (ItemId(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut c = ItemCatalog::new();
+        let a = c.intern("beer");
+        let b = c.intern("beer");
+        assert_eq!(a, b);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut c = ItemCatalog::new();
+        for i in 0..100u32 {
+            let id = c.intern(format!("item-{i}"));
+            assert_eq!(id, ItemId(i));
+        }
+        assert_eq!(c.len(), 100);
+    }
+
+    #[test]
+    fn name_round_trip() {
+        let c = ItemCatalog::from_names(["diapers", "beer", "cat food"]);
+        for (id, name) in c.iter() {
+            assert_eq!(c.get(name), Some(id));
+            assert_eq!(c.name(id), Some(name));
+        }
+    }
+
+    #[test]
+    fn unknown_lookups_are_none() {
+        let c = ItemCatalog::from_names(["x"]);
+        assert_eq!(c.get("y"), None);
+        assert_eq!(c.name(ItemId(5)), None);
+    }
+
+    #[test]
+    fn from_names_collapses_duplicates() {
+        let c = ItemCatalog::from_names(["a", "b", "a"]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get("a"), Some(ItemId(0)));
+        assert_eq!(c.get("b"), Some(ItemId(1)));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(ItemId(7).to_string(), "i7");
+        assert_eq!(format!("{:?}", ItemId(7)), "i7");
+    }
+}

@@ -1,0 +1,413 @@
+//! Sorted itemsets and subset enumeration.
+//!
+//! An [`Itemset`] is a set of distinct items kept in sorted order. Sorted
+//! storage gives canonical equality/hashing (needed for the SIG/NOTSIG hash
+//! tables of the paper's Figure 1 algorithm), cheap subset tests by merge
+//! walk, and prefix-based joins for level-wise candidate generation.
+
+use std::fmt;
+use std::ops::Deref;
+
+use serde::{Deserialize, Serialize};
+
+use crate::item::ItemId;
+
+/// A canonical (sorted, deduplicated) set of items.
+///
+/// # Examples
+///
+/// ```
+/// use bmb_basket::{ItemId, Itemset};
+///
+/// let s = Itemset::from_ids([3, 1, 2, 3]);
+/// assert_eq!(s.len(), 3);
+/// assert!(s.contains(ItemId(2)));
+/// assert!(Itemset::from_ids([1, 3]).is_subset_of(&s));
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Itemset {
+    items: Box<[ItemId]>,
+}
+
+impl Itemset {
+    /// The empty itemset (the bottom of the lattice).
+    pub fn empty() -> Self {
+        Itemset { items: Box::new([]) }
+    }
+
+    /// A singleton itemset.
+    pub fn singleton(item: ItemId) -> Self {
+        Itemset { items: Box::new([item]) }
+    }
+
+    /// Builds an itemset from any iterator of items, sorting and deduplicating.
+    pub fn from_items<I: IntoIterator<Item = ItemId>>(items: I) -> Self {
+        let mut v: Vec<ItemId> = items.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        Itemset { items: v.into_boxed_slice() }
+    }
+
+    /// Builds an itemset from raw `u32` ids; convenient in tests.
+    pub fn from_ids<I: IntoIterator<Item = u32>>(ids: I) -> Self {
+        Self::from_items(ids.into_iter().map(ItemId))
+    }
+
+    /// Builds from a slice already known to be strictly sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `items` is not strictly increasing.
+    pub fn from_sorted(items: Vec<ItemId>) -> Self {
+        debug_assert!(items.windows(2).all(|w| w[0] < w[1]), "items must be strictly sorted");
+        Itemset { items: items.into_boxed_slice() }
+    }
+
+    /// Number of items (the itemset's "level" in the lattice).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether this is the empty itemset.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The items in sorted order.
+    pub fn items(&self) -> &[ItemId] {
+        &self.items
+    }
+
+    /// Membership test by binary search.
+    pub fn contains(&self, item: ItemId) -> bool {
+        self.items.binary_search(&item).is_ok()
+    }
+
+    /// Position of `item` within the sorted items, if present.
+    pub fn position(&self, item: ItemId) -> Option<usize> {
+        self.items.binary_search(&item).ok()
+    }
+
+    /// Whether `self ⊆ other`, by a linear merge walk.
+    pub fn is_subset_of(&self, other: &Itemset) -> bool {
+        is_sorted_subset(&self.items, &other.items)
+    }
+
+    /// Whether `self ⊇ other`.
+    pub fn is_superset_of(&self, other: &Itemset) -> bool {
+        other.is_subset_of(self)
+    }
+
+    /// Set union, preserving canonical order.
+    pub fn union(&self, other: &Itemset) -> Itemset {
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        let (mut a, mut b) = (0, 0);
+        while a < self.items.len() && b < other.items.len() {
+            match self.items[a].cmp(&other.items[b]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.items[a]);
+                    a += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.items[b]);
+                    b += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.items[a]);
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.items[a..]);
+        out.extend_from_slice(&other.items[b..]);
+        Itemset { items: out.into_boxed_slice() }
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &Itemset) -> Itemset {
+        let mut out = Vec::new();
+        let (mut a, mut b) = (0, 0);
+        while a < self.items.len() && b < other.items.len() {
+            match self.items[a].cmp(&other.items[b]) {
+                std::cmp::Ordering::Less => a += 1,
+                std::cmp::Ordering::Greater => b += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.items[a]);
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+        Itemset { items: out.into_boxed_slice() }
+    }
+
+    /// The itemset with `item` inserted (no-op if already present).
+    pub fn with_item(&self, item: ItemId) -> Itemset {
+        match self.items.binary_search(&item) {
+            Ok(_) => self.clone(),
+            Err(pos) => {
+                let mut v = Vec::with_capacity(self.len() + 1);
+                v.extend_from_slice(&self.items[..pos]);
+                v.push(item);
+                v.extend_from_slice(&self.items[pos..]);
+                Itemset { items: v.into_boxed_slice() }
+            }
+        }
+    }
+
+    /// The itemset with `item` removed (no-op if absent).
+    pub fn without_item(&self, item: ItemId) -> Itemset {
+        match self.items.binary_search(&item) {
+            Err(_) => self.clone(),
+            Ok(pos) => {
+                let mut v = Vec::with_capacity(self.len() - 1);
+                v.extend_from_slice(&self.items[..pos]);
+                v.extend_from_slice(&self.items[pos + 1..]);
+                Itemset { items: v.into_boxed_slice() }
+            }
+        }
+    }
+
+    /// All subsets of size `len − 1`, i.e. the itemset's children in the
+    /// lattice. These are exactly the sets whose presence in NOTSIG the
+    /// paper's Step 8 checks.
+    pub fn facets(&self) -> impl Iterator<Item = Itemset> + '_ {
+        (0..self.items.len()).map(move |skip| {
+            let mut v = Vec::with_capacity(self.items.len() - 1);
+            for (i, &it) in self.items.iter().enumerate() {
+                if i != skip {
+                    v.push(it);
+                }
+            }
+            Itemset { items: v.into_boxed_slice() }
+        })
+    }
+
+    /// All subsets of exactly `size` items, in lexicographic order.
+    ///
+    /// Intended for small itemsets (contingency table dimensionalities); the
+    /// output has `C(len, size)` entries.
+    pub fn subsets_of_size(&self, size: usize) -> Vec<Itemset> {
+        let n = self.items.len();
+        if size > n {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut idx: Vec<usize> = (0..size).collect();
+        loop {
+            out.push(Itemset {
+                items: idx.iter().map(|&i| self.items[i]).collect(),
+            });
+            // Advance the combination cursor.
+            let mut pos = size;
+            while pos > 0 {
+                pos -= 1;
+                if idx[pos] + (size - pos) < n {
+                    idx[pos] += 1;
+                    for j in pos + 1..size {
+                        idx[j] = idx[j - 1] + 1;
+                    }
+                    break;
+                }
+                if pos == 0 {
+                    return out;
+                }
+            }
+            if size == 0 {
+                return out;
+            }
+        }
+    }
+
+    /// All 2^len subsets, in mask order (the empty set first).
+    ///
+    /// Only sensible for small itemsets; panics if `len >= 32`.
+    pub fn power_set(&self) -> Vec<Itemset> {
+        let n = self.items.len();
+        assert!(n < 32, "power_set is only supported for itemsets of < 32 items");
+        (0u32..(1 << n))
+            .map(|mask| Itemset {
+                items: (0..n)
+                    .filter(|&i| mask & (1 << i) != 0)
+                    .map(|i| self.items[i])
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// The prefix of all but the last item; used for level-wise joins.
+    pub fn prefix(&self) -> &[ItemId] {
+        &self.items[..self.items.len().saturating_sub(1)]
+    }
+
+    /// The largest item, if non-empty.
+    pub fn last(&self) -> Option<ItemId> {
+        self.items.last().copied()
+    }
+}
+
+impl std::borrow::Borrow<[ItemId]> for Itemset {
+    fn borrow(&self) -> &[ItemId] {
+        &self.items
+    }
+}
+
+impl Deref for Itemset {
+    type Target = [ItemId];
+    fn deref(&self) -> &[ItemId] {
+        &self.items
+    }
+}
+
+impl<'a> IntoIterator for &'a Itemset {
+    type Item = ItemId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, ItemId>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter().copied()
+    }
+}
+
+impl FromIterator<ItemId> for Itemset {
+    fn from_iter<I: IntoIterator<Item = ItemId>>(iter: I) -> Self {
+        Itemset::from_items(iter)
+    }
+}
+
+impl fmt::Debug for Itemset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for Itemset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Merge-walk subset test on two sorted slices.
+fn is_sorted_subset(small: &[ItemId], large: &[ItemId]) -> bool {
+    if small.len() > large.len() {
+        return false;
+    }
+    let mut b = 0;
+    'outer: for &x in small {
+        while b < large.len() {
+            match large[b].cmp(&x) {
+                std::cmp::Ordering::Less => b += 1,
+                std::cmp::Ordering::Equal => {
+                    b += 1;
+                    continue 'outer;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(ids: &[u32]) -> Itemset {
+        Itemset::from_ids(ids.iter().copied())
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let set = s(&[5, 1, 3, 1, 5]);
+        assert_eq!(set.items(), &[ItemId(1), ItemId(3), ItemId(5)]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(Itemset::empty().is_empty());
+        assert_eq!(Itemset::singleton(ItemId(4)).items(), &[ItemId(4)]);
+    }
+
+    #[test]
+    fn subset_tests() {
+        let big = s(&[1, 2, 3, 4, 5]);
+        assert!(s(&[]).is_subset_of(&big));
+        assert!(s(&[2, 4]).is_subset_of(&big));
+        assert!(s(&[1, 2, 3, 4, 5]).is_subset_of(&big));
+        assert!(!s(&[0]).is_subset_of(&big));
+        assert!(!s(&[2, 6]).is_subset_of(&big));
+        assert!(big.is_superset_of(&s(&[5])));
+        assert!(!s(&[1, 2, 3, 4, 5, 6]).is_subset_of(&big));
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = s(&[1, 3, 5]);
+        let b = s(&[2, 3, 6]);
+        assert_eq!(a.union(&b), s(&[1, 2, 3, 5, 6]));
+        assert_eq!(a.intersection(&b), s(&[3]));
+        assert_eq!(a.union(&Itemset::empty()), a);
+        assert_eq!(a.intersection(&Itemset::empty()), Itemset::empty());
+    }
+
+    #[test]
+    fn with_and_without_item() {
+        let a = s(&[1, 3]);
+        assert_eq!(a.with_item(ItemId(2)), s(&[1, 2, 3]));
+        assert_eq!(a.with_item(ItemId(3)), a);
+        assert_eq!(a.without_item(ItemId(1)), s(&[3]));
+        assert_eq!(a.without_item(ItemId(9)), a);
+    }
+
+    #[test]
+    fn facets_are_all_len_minus_one_subsets() {
+        let a = s(&[1, 2, 3]);
+        let facets: Vec<Itemset> = a.facets().collect();
+        assert_eq!(facets, vec![s(&[2, 3]), s(&[1, 3]), s(&[1, 2])]);
+    }
+
+    #[test]
+    fn subsets_of_size_counts() {
+        let a = s(&[1, 2, 3, 4, 5]);
+        assert_eq!(a.subsets_of_size(0).len(), 1);
+        assert_eq!(a.subsets_of_size(2).len(), 10);
+        assert_eq!(a.subsets_of_size(3).len(), 10);
+        assert_eq!(a.subsets_of_size(5).len(), 1);
+        assert_eq!(a.subsets_of_size(6).len(), 0);
+        // Every subset really is a subset and has the right size.
+        for sub in a.subsets_of_size(3) {
+            assert_eq!(sub.len(), 3);
+            assert!(sub.is_subset_of(&a));
+        }
+    }
+
+    #[test]
+    fn power_set_size() {
+        let a = s(&[7, 9, 11]);
+        let ps = a.power_set();
+        assert_eq!(ps.len(), 8);
+        assert_eq!(ps[0], Itemset::empty());
+        assert!(ps.contains(&a));
+    }
+
+    #[test]
+    fn prefix_join_fields() {
+        let a = s(&[1, 2, 9]);
+        assert_eq!(a.prefix(), &[ItemId(1), ItemId(2)]);
+        assert_eq!(a.last(), Some(ItemId(9)));
+        assert_eq!(Itemset::empty().last(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(s(&[1, 2]).to_string(), "{i1,i2}");
+        assert_eq!(Itemset::empty().to_string(), "{}");
+    }
+}

@@ -1,0 +1,43 @@
+//! # bmb-basket — generalized basket data
+//!
+//! Data-model substrate for the *Beyond Market Baskets* reproduction
+//! (Brin, Motwani & Silverstein, SIGMOD 1997). A "generalized basket" is any
+//! collection of subsets drawn from an item space: register transactions,
+//! text documents over a vocabulary, or binarized census records.
+//!
+//! The crate provides:
+//!
+//! * [`ItemId`] / [`ItemCatalog`] — dense item identifiers with optional
+//!   name interning;
+//! * [`Itemset`] — canonical sorted itemsets with the subset machinery the
+//!   lattice algorithms need;
+//! * [`BasketDatabase`] — the paper's `B`, with per-item counts maintained
+//!   online;
+//! * [`Bitmap`] / [`BitmapIndex`] — a vertical representation for fast
+//!   cell counting;
+//! * [`ScanCounter`] / [`BitmapCounter`] — interchangeable support-counting
+//!   strategies behind the [`SupportCounter`] trait;
+//! * [`ContingencyTable`] / [`SparseContingencyTable`] — dense and
+//!   occupied-cells-only presence/absence tables;
+//! * [`categorical`] — the multinomial (non-binary) extension;
+//! * [`io`] — a plain-text basket interchange format.
+
+#![warn(missing_docs)]
+
+pub mod bitmap;
+pub mod categorical;
+pub mod contingency;
+pub mod counts;
+pub mod database;
+pub mod io;
+pub mod item;
+pub mod itemset;
+
+pub use bitmap::{Bitmap, BitmapIndex};
+pub use contingency::{
+    cell_mask_of, CellMask, ContingencyTable, SparseContingencyTable, MAX_DENSE_DIMS,
+};
+pub use counts::{BitmapCounter, ScanCounter, SupportCounter};
+pub use database::BasketDatabase;
+pub use item::{ItemCatalog, ItemId};
+pub use itemset::Itemset;

@@ -1,0 +1,46 @@
+//! Ablation: prefix-join candidate generation vs naive enumeration
+//! (DESIGN.md "Candidate generation").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bmb_basket::Itemset;
+use bmb_lattice::levelwise::{generate_candidates, generate_candidates_naive};
+use bmb_lattice::ItemsetTable;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random NOTSIG-like survivor set of pairs over `k` items.
+fn survivors(k: u32, keep: f64, seed: u64) -> ItemsetTable {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut table = ItemsetTable::new();
+    for a in 0..k {
+        for b in a + 1..k {
+            if rng.gen_bool(keep) {
+                table.insert(Itemset::from_ids([a, b]));
+            }
+        }
+    }
+    table
+}
+
+fn bench_candgen(c: &mut Criterion) {
+    // The realistic regime: thousands of surviving pairs, like the paper's
+    // NOTSIG(2) = 3582.
+    let big = survivors(120, 0.5, 3);
+    c.bench_function("candgen_join_3500_pairs", |b| {
+        b.iter(|| generate_candidates(&big));
+    });
+
+    // Naive enumeration is only feasible over a small universe; compare on
+    // matching input.
+    let small = survivors(24, 0.5, 4);
+    let mut group = c.benchmark_group("candgen_small_universe");
+    group.bench_function("prefix_join", |b| b.iter(|| generate_candidates(&small)));
+    group.bench_function("naive_enumeration", |b| {
+        b.iter(|| generate_candidates_naive(&small, 24));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_candgen);
+criterion_main!(benches);

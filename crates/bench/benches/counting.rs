@@ -1,0 +1,53 @@
+//! Ablation: bitmap-index vs horizontal-scan support counting, sequential
+//! vs threaded (DESIGN.md "Bitmap vs. scan counting").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bmb_basket::{BasketDatabase, BitmapIndex, Itemset};
+use bmb_core::counting::{count_with_bitmaps, count_with_scan};
+use bmb_quest::{generate, QuestParams};
+
+fn workload() -> (BasketDatabase, Vec<Itemset>) {
+    let db = generate(&QuestParams {
+        n_transactions: 20_000,
+        n_items: 300,
+        avg_transaction_len: 12.0,
+        n_patterns: 100,
+        seed: 5,
+        ..QuestParams::default()
+    });
+    // Candidate pairs: the 2000 lexicographically-first frequent pairs.
+    let mut candidates = Vec::new();
+    'outer: for a in 0..300u32 {
+        for b in a + 1..300 {
+            candidates.push(Itemset::from_ids([a, b]));
+            if candidates.len() == 2000 {
+                break 'outer;
+            }
+        }
+    }
+    (db, candidates)
+}
+
+fn bench_counting(c: &mut Criterion) {
+    let (db, candidates) = workload();
+    let index = BitmapIndex::build(&db);
+    let mut group = c.benchmark_group("counting_2000_pairs");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("bitmap", threads), &threads, |b, &t| {
+            b.iter(|| count_with_bitmaps(&index, &candidates, t));
+        });
+        group.bench_with_input(BenchmarkId::new("scan", threads), &threads, |b, &t| {
+            b.iter(|| count_with_scan(&db, &candidates, t));
+        });
+    }
+    group.finish();
+
+    c.bench_function("bitmap_index_build_20k_baskets", |b| {
+        b.iter(|| BitmapIndex::build(&db));
+    });
+}
+
+criterion_group!(benches, bench_counting);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! End-to-end mining benchmarks and the remaining DESIGN.md ablations:
+//! level-1 pruning on/off, walk vs level-wise, IPF calibration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bmb_core::{mine, mine_walk, Level1Prune, MinerConfig, SupportSpec};
+use bmb_lattice::WalkConfig;
+use bmb_quest::{generate, QuestParams};
+
+fn quest_db() -> bmb_basket::BasketDatabase {
+    generate(&QuestParams {
+        n_transactions: 10_000,
+        n_items: 200,
+        avg_transaction_len: 10.0,
+        n_patterns: 60,
+        seed: 12,
+        ..QuestParams::default()
+    })
+}
+
+fn config() -> MinerConfig {
+    MinerConfig {
+        support: SupportSpec::Fraction(0.01),
+        support_fraction: 0.26,
+        ..MinerConfig::default()
+    }
+}
+
+fn bench_mining(c: &mut Criterion) {
+    let db = quest_db();
+
+    let mut group = c.benchmark_group("mine_quest_10k");
+    group.sample_size(10);
+    group.bench_function("level1_prune_paper", |b| {
+        b.iter(|| mine(&db, &MinerConfig { level1: Level1Prune::PaperBothFrequent, ..config() }));
+    });
+    group.bench_function("level1_prune_off", |b| {
+        b.iter(|| mine(&db, &MinerConfig { level1: Level1Prune::Off, ..config() }));
+    });
+    group.bench_function("threads_4", |b| {
+        b.iter(|| mine(&db, &MinerConfig { threads: 4, ..config() }));
+    });
+    group.finish();
+
+    // Walk vs level-wise on a small universe where both find the border.
+    let parity = bmb_datasets::parity_triple(2000, 10);
+    let parity_config = MinerConfig {
+        support: SupportSpec::Count(5),
+        ..MinerConfig::default()
+    };
+    let mut group = c.benchmark_group("walk_vs_levelwise_parity");
+    group.sample_size(10);
+    group.bench_function("levelwise", |b| b.iter(|| mine(&parity, &parity_config)));
+    group.bench_function("random_walk_200", |b| {
+        b.iter(|| {
+            mine_walk(
+                &parity,
+                &parity_config,
+                WalkConfig { walks: 200, max_level: 10, seed: 8 },
+                None,
+            )
+        });
+    });
+    group.finish();
+
+    // Census pipeline pieces.
+    let mut group = c.benchmark_group("census");
+    group.sample_size(10);
+    group.bench_function("ipf_calibration", |b| {
+        b.iter(bmb_datasets::calibrate);
+    });
+    let census = bmb_datasets::generate_census();
+    group.bench_function("mine_census_pairs", |b| {
+        b.iter(|| mine(&census, &MinerConfig { max_level: 2, ..config() }));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mining);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerates Examples 4 and 5 plus the Section 5.1 mining run.
+fn main() {
+    print!("{}", bmb_bench::census::examples_4_and_5());
+    println!();
+    print!("{}", bmb_bench::census::census_mining_run());
+}

@@ -1,0 +1,50 @@
+//! The non-collapsed census analysis — answering the question Section 5.1
+//! says the binary collapse cannot: is the commute/marital dependence
+//! about carpooling or about children?
+fn main() {
+    use bmb_core::categorical_pairs_report;
+    use bmb_datasets::census::expanded::{attr, expanded_census};
+    use bmb_stats::Chi2Test;
+
+    let data = expanded_census(1997);
+    println!(
+        "non-collapsed census: {} records, attributes:",
+        data.len()
+    );
+    for a in data.attributes() {
+        println!("  {} ({} values: {})", a.name, a.cardinality(), a.values.join(" / "));
+    }
+    let rows = categorical_pairs_report(&data, &Chi2Test::default());
+    println!("\npairwise chi-squared over multi-valued attributes:");
+    println!(
+        "{:<22} {:>12} {:>4} {:>9} {:>11}  major dependence",
+        "pair", "chi2", "df", "cutoff", "Cramér's V"
+    );
+    for row in &rows {
+        let names = data.attributes();
+        let (av, bv, observed, expected) = row.major_dependence;
+        println!(
+            "{:<22} {:>12.1} {:>4} {:>9.2} {:>11.3}  {}={} & {}={} (O={}, E={:.0})",
+            format!("{} x {}", names[row.a].name, names[row.b].name),
+            row.chi2.statistic,
+            row.chi2.df,
+            row.chi2.cutoff,
+            row.cramers_v,
+            names[row.a].name,
+            names[row.a].values[av],
+            names[row.b].name,
+            names[row.b].values[bv],
+            observed,
+            expected,
+        );
+    }
+    let commute_age = rows.iter().find(|r| (r.a, r.b) == (attr::COMMUTE, attr::AGE)).unwrap();
+    let commute_marital =
+        rows.iter().find(|r| (r.a, r.b) == (attr::COMMUTE, attr::MARITAL)).unwrap();
+    println!(
+        "\nanswer to the paper's open question (in this simulated world):\n\
+         V(commute, age) = {:.3} > V(commute, marital) = {:.3} — the marital\n\
+         association rides on minors, who can neither drive nor marry.",
+        commute_age.cramers_v, commute_marital.cramers_v
+    );
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 1 (census schema + sample baskets).
+fn main() {
+    print!("{}", bmb_bench::census::table1());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 2 (chi-squared + interest for all pairs).
+fn main() {
+    print!("{}", bmb_bench::census::table2());
+}

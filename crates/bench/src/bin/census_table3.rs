@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 3 (support-confidence for all pairs).
+fn main() {
+    print!("{}", bmb_bench::census::table3());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the worked Examples 1, 2 and 3.
+fn main() {
+    print!("{}", bmb_bench::examples::all());
+}

@@ -1,0 +1,62 @@
+//! Parameter sweep over the support knobs (s, p) on the Quest workload —
+//! shows how the pruning shape of Table 5 responds to the thresholds.
+//!
+//! Usage: `quest_sweep [--n BASKETS]` (default 10,000).
+
+use bmb_core::{mine, MinerConfig, SupportSpec};
+use bmb_quest::{generate, QuestParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n = args
+        .iter()
+        .position(|a| a == "--n")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+    let params = QuestParams { n_transactions: n, ..QuestParams::paper_table5() };
+    let db = generate(&params);
+    println!(
+        "Quest sweep: n = {}, k = {}, |T| = 20, |I| = 4\n",
+        db.len(),
+        db.n_items()
+    );
+    println!(
+        "{:>7} {:>5} | {:>8} {:>8} {:>6} {:>8} | {:>8} {:>8} {:>6} {:>8} | {:>7} {:>6}",
+        "s", "p", "CAND2", "disc2", "SIG2", "NOTSIG2", "CAND3", "disc3", "SIG3", "NOTSIG3",
+        "levels", "secs"
+    );
+    for s in [0.015, 0.02, 0.03] {
+        for (p, low_e) in [(0.26, None), (0.45, None), (0.45, Some(1.0))] {
+            let config = MinerConfig {
+                support: SupportSpec::Fraction(s),
+                support_fraction: p,
+                low_expectation_cutoff: low_e,
+                max_level: 4,
+                threads: std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1),
+                ..MinerConfig::default()
+            };
+            let start = std::time::Instant::now();
+            let result = mine(&db, &config);
+            let secs = start.elapsed().as_secs_f64();
+            let l2 = result.levels.first().copied().unwrap_or_default();
+            let l3 = result.levels.get(1).copied().unwrap_or_default();
+            println!(
+                "{:>7} {:>5}/{:?} | {:>8} {:>8} {:>6} {:>8} | {:>8} {:>8} {:>6} {:>8} | {:>7} {:>6.1}",
+                s,
+                p,
+                low_e,
+                l2.candidates,
+                l2.discards,
+                l2.significant,
+                l2.not_significant,
+                l3.candidates,
+                l3.discards,
+                l3.significant,
+                l3.not_significant,
+                result.levels.len() + 1,
+                secs
+            );
+        }
+    }
+}

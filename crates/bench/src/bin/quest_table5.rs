@@ -1,0 +1,20 @@
+//! Regenerates the paper's Table 5 (pruning effectiveness on Quest data).
+//!
+//! Pass `--small` for a 10k-basket quick run; default is the paper's
+//! 99,997 baskets. Optional `--threads N` (default: available cores).
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        });
+    if args.iter().any(|a| a == "--small") {
+        print!("{}", bmb_bench::quest::table5_small(threads));
+    } else {
+        print!("{}", bmb_bench::quest::table5(threads));
+    }
+}

@@ -1,0 +1,28 @@
+//! Runs every experiment of the paper in sequence — the single command
+//! behind EXPERIMENTS.md. Pass `--small` to shrink the Quest run.
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let threads =
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let sections: Vec<String> = vec![
+        bmb_bench::examples::all(),
+        bmb_bench::census::table1(),
+        bmb_bench::census::table2(),
+        bmb_bench::census::table3(),
+        bmb_bench::census::examples_4_and_5(),
+        bmb_bench::census::census_mining_run(),
+        bmb_bench::text::table4(),
+        bmb_bench::text::corpus_stats(),
+        if small {
+            bmb_bench::quest::table5_small(threads)
+        } else {
+            bmb_bench::quest::table5(threads)
+        },
+    ];
+    for (i, s) in sections.iter().enumerate() {
+        if i > 0 {
+            println!("\n{}\n", "=".repeat(78));
+        }
+        print!("{s}");
+    }
+}

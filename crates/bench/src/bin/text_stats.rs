@@ -1,0 +1,4 @@
+//! Regenerates the Section 5.2 corpus statistics.
+fn main() {
+    print!("{}", bmb_bench::text::corpus_stats());
+}

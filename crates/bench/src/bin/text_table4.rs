@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 4 (correlated words with major dependence).
+fn main() {
+    print!("{}", bmb_bench::text::table4());
+}

@@ -1,0 +1,21 @@
+//! # bmb-bench — the table-regeneration harness
+//!
+//! One module per experiment of the paper; each returns its report as a
+//! `String` so the thin binaries in `src/bin/` (and the all-in-one
+//! `repro_all`) can print or collect them. Criterion micro-benchmarks for
+//! the ablations called out in DESIGN.md live in `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod census;
+pub mod examples;
+pub mod quest;
+pub mod table;
+pub mod text;
+
+/// Runs a closure and returns its result with the wall-clock seconds.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now();
+    let value = f();
+    (value, start.elapsed().as_secs_f64())
+}

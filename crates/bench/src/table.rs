@@ -1,0 +1,126 @@
+//! Minimal fixed-width text-table rendering for the reports.
+
+/// A text table builder with right-aligned numeric columns.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row; its arity must match the header.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a separator line under the header.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = w - cell.chars().count();
+                // First column left-aligned (labels), the rest right-aligned.
+                if i == 0 {
+                    line.push_str(cell);
+                    line.extend(std::iter::repeat_n(' ', pad));
+                } else {
+                    line.extend(std::iter::repeat_n(' ', pad));
+                    line.push_str(cell);
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.extend(std::iter::repeat_n('-', total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with `digits` decimals, rendering exact zero as "0".
+pub fn num(value: f64, digits: usize) -> String {
+    if value == 0.0 {
+        "0".to_string()
+    } else {
+        format!("{value:.digits$}")
+    }
+}
+
+/// Marks a value with `*` when `significant` (the report's stand-in for
+/// the paper's bold face).
+pub fn starred(text: String, significant: bool) -> String {
+    if significant {
+        format!("{text}*")
+    } else {
+        text
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(["pair", "chi2"]);
+        t.row(["i0 i1", "37.15"]);
+        t.row(["i10 i11", "0.9"]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("pair"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Numeric column right-aligned.
+        assert!(lines[2].ends_with("37.15"));
+        assert!(lines[3].ends_with("  0.9"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked() {
+        TextTable::new(["a", "b"]).row(["only one"]);
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(num(0.0, 3), "0");
+        assert_eq!(num(1.2345, 2), "1.23");
+        assert_eq!(starred("3.9".into(), true), "3.9*");
+        assert_eq!(starred("3.9".into(), false), "3.9");
+    }
+}

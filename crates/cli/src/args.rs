@@ -1,0 +1,130 @@
+//! Tiny hand-rolled argument parsing (no external parser crates).
+//!
+//! Flags are `--name value` or boolean `--name`; everything else is a
+//! positional argument. Unknown flags are an error so typos fail loudly.
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Default)]
+pub struct Args {
+    positionals: Vec<String>,
+    flags: HashMap<String, String>,
+    booleans: Vec<String>,
+}
+
+/// A flag's declared shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlagKind {
+    /// Takes a value: `--support 0.01`.
+    Value,
+    /// Presence-only: `--walk`.
+    Boolean,
+}
+
+impl Args {
+    /// Parses `argv` (without the program name) against the declared flag
+    /// set `spec` (`name -> kind`).
+    pub fn parse(
+        argv: impl IntoIterator<Item = String>,
+        spec: &[(&str, FlagKind)],
+    ) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut iter = argv.into_iter();
+        while let Some(token) = iter.next() {
+            if let Some(name) = token.strip_prefix("--") {
+                match spec.iter().find(|(n, _)| *n == name) {
+                    None => return Err(format!("unknown flag --{name}")),
+                    Some((_, FlagKind::Boolean)) => args.booleans.push(name.to_string()),
+                    Some((_, FlagKind::Value)) => {
+                        let value = iter
+                            .next()
+                            .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                        args.flags.insert(name.to_string(), value);
+                    }
+                }
+            } else {
+                args.positionals.push(token);
+            }
+        }
+        Ok(args)
+    }
+
+    /// The `i`-th positional argument.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
+    }
+
+    /// Number of positionals.
+    pub fn n_positionals(&self) -> usize {
+        self.positionals.len()
+    }
+
+    /// A value flag, parsed into `T`.
+    pub fn get<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.flags.get(name) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{name}: cannot parse {raw:?}")),
+        }
+    }
+
+    /// A value flag with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        Ok(self.get(name)?.unwrap_or(default))
+    }
+
+    /// Whether a boolean flag is present.
+    pub fn has(&self, name: &str) -> bool {
+        self.booleans.iter().any(|b| b == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &[(&str, FlagKind)] = &[
+        ("support", FlagKind::Value),
+        ("walk", FlagKind::Boolean),
+    ];
+
+    fn parse(tokens: &[&str]) -> Result<Args, String> {
+        Args::parse(tokens.iter().map(|s| s.to_string()), SPEC)
+    }
+
+    #[test]
+    fn positionals_and_flags() {
+        let args = parse(&["mine", "data.baskets", "--support", "0.01", "--walk"]).unwrap();
+        assert_eq!(args.positional(0), Some("mine"));
+        assert_eq!(args.positional(1), Some("data.baskets"));
+        assert_eq!(args.get::<f64>("support").unwrap(), Some(0.01));
+        assert!(args.has("walk"));
+        assert_eq!(args.n_positionals(), 2);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let args = parse(&["mine"]).unwrap();
+        assert_eq!(args.get_or("support", 0.05).unwrap(), 0.05);
+        assert!(!args.has("walk"));
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        assert!(parse(&["--bogus"]).unwrap_err().contains("unknown flag"));
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        assert!(parse(&["--support"]).unwrap_err().contains("needs a value"));
+    }
+
+    #[test]
+    fn unparsable_value_rejected() {
+        let args = parse(&["--support", "banana"]).unwrap();
+        assert!(args.get::<f64>("support").unwrap_err().contains("cannot parse"));
+    }
+}

@@ -1,0 +1,359 @@
+//! The `bmb` subcommands, factored as library functions so they can be
+//! tested without spawning processes. Each writes its report to a
+//! `Write` sink and returns `Err(message)` on user error.
+
+use std::io::Write;
+
+use bmb_basket::{io as basket_io, BasketDatabase, Itemset};
+use bmb_core::{
+    mine, mine_walk, pairs_report, CountingStrategy, MinerConfig, SupportSpec,
+};
+use bmb_lattice::WalkConfig;
+use bmb_stats::Chi2Test;
+
+use crate::args::{Args, FlagKind};
+
+/// Flags accepted by `bmb mine`.
+pub const MINE_SPEC: &[(&str, FlagKind)] = &[
+    ("support", FlagKind::Value),
+    ("p", FlagKind::Value),
+    ("alpha", FlagKind::Value),
+    ("max-level", FlagKind::Value),
+    ("threads", FlagKind::Value),
+    ("numeric", FlagKind::Boolean),
+    ("walk", FlagKind::Boolean),
+    ("walks", FlagKind::Value),
+    ("scan", FlagKind::Boolean),
+];
+
+/// Flags accepted by `bmb pairs`.
+pub const PAIRS_SPEC: &[(&str, FlagKind)] =
+    &[("alpha", FlagKind::Value), ("numeric", FlagKind::Boolean)];
+
+/// Flags accepted by `bmb rules`.
+pub const RULES_SPEC: &[(&str, FlagKind)] = &[
+    ("support", FlagKind::Value),
+    ("confidence", FlagKind::Value),
+    ("numeric", FlagKind::Boolean),
+];
+
+/// Flags accepted by `bmb generate`.
+pub const GENERATE_SPEC: &[(&str, FlagKind)] = &[
+    ("n", FlagKind::Value),
+    ("items", FlagKind::Value),
+    ("seed", FlagKind::Value),
+    ("out", FlagKind::Value),
+];
+
+/// Flags accepted by `bmb stats`.
+pub const STATS_SPEC: &[(&str, FlagKind)] = &[("numeric", FlagKind::Boolean)];
+
+/// Loads a basket file, named by default, numeric with `--numeric`.
+pub fn load(path: &str, numeric: bool) -> Result<BasketDatabase, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let reader = std::io::BufReader::new(file);
+    let db = if numeric {
+        basket_io::read_numeric(reader).map_err(|e| e.to_string())?
+    } else {
+        basket_io::read_named(reader).map_err(|e| e.to_string())?
+    };
+    if db.is_empty() {
+        return Err(format!("{path} holds no baskets"));
+    }
+    Ok(db)
+}
+
+/// `bmb mine FILE` — minimal correlated itemsets.
+pub fn cmd_mine(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let path = args.positional(1).ok_or("usage: bmb mine FILE [flags]")?;
+    let db = load(path, args.has("numeric"))?;
+    let config = MinerConfig {
+        support: SupportSpec::Fraction(args.get_or("support", 0.01)?),
+        support_fraction: args.get_or("p", 0.3)?,
+        alpha: args.get_or("alpha", 0.95)?,
+        max_level: args.get_or("max-level", 6usize)?,
+        threads: args.get_or("threads", 1usize)?,
+        counting: if args.has("scan") {
+            CountingStrategy::BasketScan
+        } else {
+            CountingStrategy::Bitmap
+        },
+        ..MinerConfig::default()
+    };
+    let sink = |e: std::io::Error| e.to_string();
+    if args.has("walk") {
+        let walk = WalkConfig {
+            walks: args.get_or("walks", 256usize)?,
+            max_level: config.max_level,
+            seed: 7,
+        };
+        let result = mine_walk(&db, &config, walk, None);
+        writeln!(out, "# random-walk border ({} crossings)", result.raw.stats.crossings)
+            .map_err(sink)?;
+        for set in &result.border {
+            writeln!(out, "{}", db.describe(set)).map_err(sink)?;
+        }
+        return Ok(());
+    }
+    let result = mine(&db, &config);
+    writeln!(
+        out,
+        "# {} significant itemsets (s = {}, chi2 cutoff {:.2}, {:?})",
+        result.significant.len(),
+        result.support_count,
+        result.chi2_cutoff,
+        result.elapsed
+    )
+    .map_err(sink)?;
+    for level in &result.levels {
+        writeln!(
+            out,
+            "# level {}: {} candidates, {} discarded, {} SIG, {} NOTSIG",
+            level.level, level.candidates, level.discards, level.significant,
+            level.not_significant
+        )
+        .map_err(sink)?;
+    }
+    for rule in &result.significant {
+        let (includes, omits) = rule.major_dependence_words(&db);
+        writeln!(
+            out,
+            "{}\tchi2={:.3}\tdependence: [{}] without [{}]",
+            db.describe(&rule.itemset),
+            rule.chi2.statistic,
+            includes.join(" "),
+            omits.join(" "),
+        )
+        .map_err(sink)?;
+    }
+    Ok(())
+}
+
+/// `bmb pairs FILE` — the Table 2 style report for every pair.
+pub fn cmd_pairs(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let path = args.positional(1).ok_or("usage: bmb pairs FILE [flags]")?;
+    let db = load(path, args.has("numeric"))?;
+    let test = Chi2Test::at_level(args.get_or("alpha", 0.95)?);
+    let rows = pairs_report(&db, &test);
+    let sink = |e: std::io::Error| e.to_string();
+    writeln!(out, "# pair\tchi2\tsignificant\tI(ab)\tI(!ab)\tI(a!b)\tI(!a!b)").map_err(sink)?;
+    for row in rows {
+        writeln!(
+            out,
+            "{}\t{:.3}\t{}\t{:.3}\t{:.3}\t{:.3}\t{:.3}",
+            db.describe(&Itemset::from_items([row.a, row.b])),
+            row.chi2.statistic,
+            row.chi2.significant,
+            row.interests[0],
+            row.interests[1],
+            row.interests[2],
+            row.interests[3],
+        )
+        .map_err(sink)?;
+    }
+    Ok(())
+}
+
+/// `bmb rules FILE` — support-confidence association rules (the baseline).
+pub fn cmd_rules(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let path = args.positional(1).ok_or("usage: bmb rules FILE [flags]")?;
+    let db = load(path, args.has("numeric"))?;
+    let support = args.get_or("support", 0.01)?;
+    let confidence = args.get_or("confidence", 0.5)?;
+    let frequent = bmb_apriori::apriori(
+        &db,
+        bmb_apriori::MinSupport::Fraction(support),
+        usize::MAX,
+    );
+    let rules = bmb_apriori::generate_rules(&frequent, db.len() as u64, confidence);
+    let sink = |e: std::io::Error| e.to_string();
+    writeln!(out, "# {} rules (s >= {support}, c >= {confidence})", rules.len()).map_err(sink)?;
+    for rule in rules {
+        writeln!(
+            out,
+            "{} => {}\tsupport={:.4}\tconfidence={:.3}\tlift={:.3}",
+            db.describe(&rule.antecedent),
+            db.describe(&rule.consequent),
+            rule.support,
+            rule.confidence,
+            rule.lift,
+        )
+        .map_err(sink)?;
+    }
+    Ok(())
+}
+
+/// `bmb generate {quest|census|text}` — write a synthetic dataset.
+pub fn cmd_generate(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let kind = args
+        .positional(1)
+        .ok_or("usage: bmb generate {quest|census|text} [flags]")?;
+    let db = match kind {
+        "quest" => bmb_quest::generate(&bmb_quest::QuestParams {
+            n_transactions: args.get_or("n", 10_000usize)?,
+            n_items: args.get_or("items", 870usize)?,
+            seed: args.get_or("seed", 0x5151u64)?,
+            ..bmb_quest::QuestParams::paper_table5()
+        }),
+        "census" => bmb_datasets::generate_census(),
+        "text" => bmb_datasets::generate_text(&bmb_datasets::TextParams {
+            seed: args.get_or("seed", 0x7e47u64)?,
+            ..Default::default()
+        }),
+        other => return Err(format!("unknown dataset kind {other:?}")),
+    };
+    match args.get::<String>("out")? {
+        Some(path) => {
+            let file =
+                std::fs::File::create(&path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            basket_io::write(&db, std::io::BufWriter::new(file)).map_err(|e| e.to_string())?;
+            writeln!(out, "wrote {} baskets over {} items to {path}", db.len(), db.n_items())
+                .map_err(|e| e.to_string())?;
+        }
+        None => {
+            basket_io::write(&db, &mut *out).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+/// `bmb stats FILE` — database summary.
+pub fn cmd_stats(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let path = args.positional(1).ok_or("usage: bmb stats FILE [flags]")?;
+    let db = load(path, args.has("numeric"))?;
+    let sink = |e: std::io::Error| e.to_string();
+    writeln!(out, "baskets: {}", db.len()).map_err(sink)?;
+    writeln!(out, "items: {}", db.n_items()).map_err(sink)?;
+    writeln!(out, "mean basket size: {:.2}", db.mean_basket_len()).map_err(sink)?;
+    let mut counts: Vec<(u64, u32)> = db
+        .item_counts()
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c, i as u32))
+        .collect();
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    writeln!(out, "top items:").map_err(sink)?;
+    for &(count, id) in counts.iter().take(10) {
+        let name = db
+            .catalog()
+            .and_then(|c| c.name(bmb_basket::ItemId(id)))
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("i{id}"));
+        writeln!(out, "  {name} ({count})").map_err(sink)?;
+    }
+    Ok(())
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+bmb — correlation mining for generalized basket data
+(Brin/Motwani/Silverstein, SIGMOD 1997)
+
+USAGE:
+  bmb mine FILE      [--support F] [--p F] [--alpha F] [--max-level N]
+                     [--threads N] [--numeric] [--scan] [--walk] [--walks N]
+  bmb pairs FILE     [--alpha F] [--numeric]
+  bmb rules FILE     [--support F] [--confidence F] [--numeric]
+  bmb generate KIND  [--n N] [--items N] [--seed N] [--out FILE]
+                     (KIND: quest | census | text)
+  bmb stats FILE     [--numeric]
+
+Basket files are one basket per line; tokens are item names (default) or
+numeric ids (--numeric). '#' starts a comment line.
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(spec: &[(&str, FlagKind)], tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string()), spec).unwrap()
+    }
+
+    fn temp_basket_file(contents: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "bmb-cli-test-{}-{}.baskets",
+            std::process::id(),
+            contents.len()
+        ));
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn mine_command_end_to_end() {
+        // Parity data as a named file: the miner must find the triple.
+        let db = bmb_datasets::parity_triple(200, 3);
+        let mut text = Vec::new();
+        bmb_basket::io::write(&db, &mut text).unwrap();
+        let path = temp_basket_file(std::str::from_utf8(&text).unwrap());
+        let a = args(
+            MINE_SPEC,
+            &["mine", path.to_str().unwrap(), "--numeric", "--support", "0.02"],
+        );
+        let mut out = Vec::new();
+        cmd_mine(&a, &mut out).unwrap();
+        let rendered = String::from_utf8(out).unwrap();
+        assert!(rendered.contains("{0, 1, 2}") || rendered.contains("{i0,i1,i2}"), "{rendered}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn pairs_command_reports_interest() {
+        let path = temp_basket_file("tea coffee\ncoffee\ncoffee\ntea\n");
+        let a = args(PAIRS_SPEC, &["pairs", path.to_str().unwrap()]);
+        let mut out = Vec::new();
+        cmd_pairs(&a, &mut out).unwrap();
+        let rendered = String::from_utf8(out).unwrap();
+        assert!(rendered.contains("tea"), "{rendered}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rules_command_finds_the_association() {
+        let path = temp_basket_file("beer diapers\nbeer diapers\nbeer\nmilk\n");
+        let a = args(
+            RULES_SPEC,
+            &["rules", path.to_str().unwrap(), "--support", "0.25", "--confidence", "0.6"],
+        );
+        let mut out = Vec::new();
+        cmd_rules(&a, &mut out).unwrap();
+        let rendered = String::from_utf8(out).unwrap();
+        assert!(rendered.contains("diapers"), "{rendered}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn generate_census_round_trips_through_stats() {
+        let out_path = std::env::temp_dir().join(format!(
+            "bmb-cli-census-{}.baskets",
+            std::process::id()
+        ));
+        let a = args(
+            GENERATE_SPEC,
+            &["generate", "census", "--out", out_path.to_str().unwrap()],
+        );
+        let mut out = Vec::new();
+        cmd_generate(&a, &mut out).unwrap();
+        let s = args(STATS_SPEC, &["stats", out_path.to_str().unwrap()]);
+        let mut out = Vec::new();
+        cmd_stats(&s, &mut out).unwrap();
+        let rendered = String::from_utf8(out).unwrap();
+        assert!(rendered.contains("baskets: 30370"), "{rendered}");
+        std::fs::remove_file(out_path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_a_user_error() {
+        let a = args(STATS_SPEC, &["stats", "/definitely/not/here.baskets"]);
+        let mut out = Vec::new();
+        assert!(cmd_stats(&a, &mut out).unwrap_err().contains("cannot open"));
+    }
+
+    #[test]
+    fn bad_dataset_kind_is_reported() {
+        let a = args(GENERATE_SPEC, &["generate", "sandwiches"]);
+        let mut out = Vec::new();
+        assert!(cmd_generate(&a, &mut out).unwrap_err().contains("unknown dataset"));
+    }
+}

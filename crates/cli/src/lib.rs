@@ -1,0 +1,11 @@
+//! # bmb-cli — the `bmb` command
+//!
+//! Command-line access to the correlation miner: mine basket files, print
+//! pair reports, run the support-confidence baseline, and generate the
+//! synthetic datasets. The subcommands live in [`commands`] as testable
+//! functions; [`args`] is the dependency-free flag parser.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;

@@ -1,0 +1,40 @@
+//! `bmb` — correlation mining from the command line.
+
+use bmb_cli::args::Args;
+use bmb_cli::commands::{
+    cmd_generate, cmd_mine, cmd_pairs, cmd_rules, cmd_stats, GENERATE_SPEC, MINE_SPEC,
+    PAIRS_SPEC, RULES_SPEC, STATS_SPEC, USAGE,
+};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let command: String = argv.first().cloned().unwrap_or_default();
+    let command = command.as_str();
+    let spec = match command {
+        "mine" => MINE_SPEC,
+        "pairs" => PAIRS_SPEC,
+        "rules" => RULES_SPEC,
+        "generate" => GENERATE_SPEC,
+        "stats" => STATS_SPEC,
+        _ => {
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let result = Args::parse(argv, spec).and_then(|args| {
+        let stdout = std::io::stdout();
+        let mut out = std::io::BufWriter::new(stdout.lock());
+        match command {
+            "mine" => cmd_mine(&args, &mut out),
+            "pairs" => cmd_pairs(&args, &mut out),
+            "rules" => cmd_rules(&args, &mut out),
+            "generate" => cmd_generate(&args, &mut out),
+            "stats" => cmd_stats(&args, &mut out),
+            _ => unreachable!(),
+        }
+    });
+    if let Err(message) = result {
+        eprintln!("error: {message}");
+        std::process::exit(1);
+    }
+}

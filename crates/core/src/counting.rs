@@ -1,0 +1,317 @@
+//! Batch support counting and contingency-table assembly.
+//!
+//! The miner needs, at each level, the support `O(S)` of every candidate.
+//! Both strategies of [`crate::config::CountingStrategy`] are implemented,
+//! each optionally parallelized with crossbeam scoped threads. Full
+//! contingency tables are then assembled *without further passes*: every
+//! proper subset of a candidate was itself counted at a lower level (that
+//! is the invariant of candidate generation), so the `2^m` cell counts
+//! follow from stored subset supports by Möbius inversion.
+
+use std::collections::HashMap;
+
+use bmb_basket::{BasketDatabase, BitmapIndex, ContingencyTable, Itemset};
+use bmb_lattice::FnvHashMap;
+
+/// Stored supports of all itemsets counted so far (singletons live in the
+/// database's item counts and are consulted directly).
+///
+/// Keyed with FNV-1a: the store is probed several times per candidate in
+/// the miner's hottest loop, and the keys are internal itemsets, not
+/// untrusted input.
+#[derive(Debug, Default)]
+pub struct SupportStore {
+    map: FnvHashMap<Itemset, u64>,
+}
+
+impl SupportStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a counted support.
+    pub fn insert(&mut self, set: Itemset, support: u64) {
+        self.map.insert(set, support);
+    }
+
+    /// Number of stored itemsets.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing has been stored.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up `O(S)` for a set of size >= 2; singletons and the empty set
+    /// are answered from `db`.
+    pub fn support_of(&self, db: &BasketDatabase, set: &Itemset) -> Option<u64> {
+        self.support_of_sorted(db, set.items())
+    }
+
+    /// Slice-keyed variant of [`SupportStore::support_of`]: `items` must be
+    /// strictly sorted. Allocation-free — the miner's hot path.
+    pub fn support_of_sorted(&self, db: &BasketDatabase, items: &[bmb_basket::ItemId]) -> Option<u64> {
+        debug_assert!(items.windows(2).all(|w| w[0] < w[1]));
+        match items {
+            [] => Some(db.len() as u64),
+            [single] => Some(db.item_count(*single)),
+            _ => self.map.get(items).copied(),
+        }
+    }
+}
+
+/// Counts `O(S)` for every candidate by bitmap intersection, using up to
+/// `threads` workers.
+pub fn count_with_bitmaps(
+    index: &BitmapIndex,
+    candidates: &[Itemset],
+    threads: usize,
+) -> Vec<u64> {
+    let threads = threads.max(1).min(candidates.len().max(1));
+    if threads == 1 || candidates.len() < 64 {
+        return candidates.iter().map(|c| index.support_count(c.items())).collect();
+    }
+    let mut out = vec![0u64; candidates.len()];
+    let chunk = candidates.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (cand_chunk, out_chunk) in candidates.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move |_| {
+                for (c, slot) in cand_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = index.support_count(c.items());
+                }
+            });
+        }
+    })
+    .expect("counting worker panicked");
+    out
+}
+
+/// Counts `O(S)` for every candidate with one pass over the horizontal
+/// database (the paper's per-level pass), using up to `threads` workers
+/// over disjoint basket ranges.
+pub fn count_with_scan(
+    db: &BasketDatabase,
+    candidates: &[Itemset],
+    threads: usize,
+) -> Vec<u64> {
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    let level = candidates[0].len();
+    debug_assert!(candidates.iter().all(|c| c.len() == level));
+    let lookup: HashMap<&Itemset, usize> =
+        candidates.iter().enumerate().map(|(i, c)| (c, i)).collect();
+    let n = db.len();
+    let threads = threads.max(1).min(n.max(1));
+    let count_range = |lo: usize, hi: usize| -> Vec<u64> {
+        let mut local = vec![0u64; candidates.len()];
+        for b in lo..hi {
+            let basket = db.basket(b);
+            if basket.len() < level {
+                continue;
+            }
+            let basket_set = Itemset::from_items(basket.iter().copied());
+            if subsets_cheaper(basket.len(), level, candidates.len()) {
+                for subset in basket_set.subsets_of_size(level) {
+                    if let Some(&idx) = lookup.get(&subset) {
+                        local[idx] += 1;
+                    }
+                }
+            } else {
+                for (idx, candidate) in candidates.iter().enumerate() {
+                    if candidate.is_subset_of(&basket_set) {
+                        local[idx] += 1;
+                    }
+                }
+            }
+        }
+        local
+    };
+    if threads == 1 {
+        return count_range(0, n);
+    }
+    let chunk = n.div_ceil(threads);
+    let partials: Vec<Vec<u64>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                let count_range = &count_range;
+                scope.spawn(move |_| count_range(lo, hi))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("scan worker panicked")).collect()
+    })
+    .expect("counting scope panicked");
+    let mut out = vec![0u64; candidates.len()];
+    for partial in partials {
+        for (acc, v) in out.iter_mut().zip(partial) {
+            *acc += v;
+        }
+    }
+    out
+}
+
+/// Whether enumerating the basket's size-`level` subsets beats testing
+/// every candidate.
+fn subsets_cheaper(basket_len: usize, level: usize, n_candidates: usize) -> bool {
+    let mut combos: u64 = 1;
+    for i in 0..level {
+        combos = combos.saturating_mul((basket_len - i) as u64) / (i as u64 + 1);
+        if combos > 1 << 40 {
+            return false;
+        }
+    }
+    combos <= n_candidates as u64
+}
+
+/// Assembles the full `2^m` contingency table of `set` from stored subset
+/// supports plus the set's own support `own_support = O(set)`, by Möbius
+/// inversion of the superset-sum relation.
+///
+/// Passing `own_support` explicitly lets the miner assemble a candidate's
+/// table *before* deciding whether its support is worth retaining — only
+/// NOTSIG members' supports are needed by future levels.
+///
+/// # Panics
+///
+/// Panics if any proper subset's support is missing — candidate generation
+/// guarantees presence, so a miss is a logic error.
+pub fn table_from_supports(
+    db: &BasketDatabase,
+    store: &SupportStore,
+    set: &Itemset,
+    own_support: u64,
+) -> ContingencyTable {
+    let m = set.len();
+    assert!((1..=24).contains(&m), "table assembly supports 1..=24 items");
+    let items = set.items();
+    let full: u32 = if m == 32 { u32::MAX } else { (1u32 << m) - 1 };
+    let mut supp: Vec<i64> = vec![0; 1 << m];
+    // Scratch buffer for subset keys — no per-mask allocation.
+    let mut subset: Vec<bmb_basket::ItemId> = Vec::with_capacity(m);
+    for mask in 0u32..(1 << m) {
+        if mask == full {
+            supp[mask as usize] = own_support as i64;
+            continue;
+        }
+        subset.clear();
+        subset.extend((0..m).filter(|&j| mask & (1 << j) != 0).map(|j| items[j]));
+        let value = store.support_of_sorted(db, &subset).unwrap_or_else(|| {
+            panic!("support of {subset:?} missing from the store")
+        });
+        supp[mask as usize] = value as i64;
+    }
+    for bit in 0..m {
+        for mask in 0..(1u32 << m) {
+            if mask & (1 << bit) == 0 {
+                supp[mask as usize] -= supp[(mask | (1 << bit)) as usize];
+            }
+        }
+    }
+    let counts: Vec<u64> = supp.into_iter().map(|c| c.max(0) as u64).collect();
+    ContingencyTable::from_counts(set.clone(), counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> BasketDatabase {
+        BasketDatabase::from_id_baskets(
+            4,
+            vec![
+                vec![0, 1, 2],
+                vec![0, 1],
+                vec![1, 2, 3],
+                vec![0, 2],
+                vec![],
+                vec![3],
+                vec![0, 1, 2, 3],
+                vec![2, 3],
+            ],
+        )
+    }
+
+    fn all_pairs() -> Vec<Itemset> {
+        let mut v = Vec::new();
+        for a in 0..4u32 {
+            for b in a + 1..4 {
+                v.push(Itemset::from_ids([a, b]));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn bitmap_and_scan_agree() {
+        let db = db();
+        let index = BitmapIndex::build(&db);
+        let candidates = all_pairs();
+        let a = count_with_bitmaps(&index, &candidates, 1);
+        let b = count_with_scan(&db, &candidates, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let db = db();
+        let index = BitmapIndex::build(&db);
+        // Enough candidates to engage the parallel path.
+        let candidates: Vec<Itemset> = (0..200)
+            .map(|i| Itemset::from_ids([i % 4, (i + 1) % 4]))
+            .collect();
+        let seq = count_with_bitmaps(&index, &candidates, 1);
+        let par = count_with_bitmaps(&index, &candidates, 4);
+        assert_eq!(seq, par);
+        let seq = count_with_scan(&db, &candidates, 1);
+        let par = count_with_scan(&db, &candidates, 3);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn assembled_table_matches_direct_construction() {
+        let db = db();
+        let mut store = SupportStore::new();
+        let index = BitmapIndex::build(&db);
+        // Count and store all pairs, then a triple.
+        for pair in all_pairs() {
+            let supp = index.support_count(pair.items());
+            store.insert(pair, supp);
+        }
+        let triple = Itemset::from_ids([0, 1, 2]);
+        for set in [Itemset::from_ids([0, 1]), triple] {
+            let own = index.support_count(set.items());
+            let assembled = table_from_supports(&db, &store, &set, own);
+            let direct = ContingencyTable::from_database(&db, &set);
+            assert_eq!(assembled, direct, "mismatch for {set}");
+        }
+    }
+
+    #[test]
+    fn store_answers_trivial_sets_from_database() {
+        let db = db();
+        let store = SupportStore::new();
+        assert_eq!(store.support_of(&db, &Itemset::empty()), Some(8));
+        assert_eq!(store.support_of(&db, &Itemset::from_ids([2])), Some(5));
+        assert_eq!(store.support_of(&db, &Itemset::from_ids([0, 1])), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing from the store")]
+    fn missing_subset_is_a_logic_error() {
+        let db = db();
+        let store = SupportStore::new();
+        // A triple needs its pair subsets in the store; none are there.
+        table_from_supports(&db, &store, &Itemset::from_ids([0, 1, 2]), 1);
+    }
+
+    #[test]
+    fn empty_candidate_list() {
+        let db = db();
+        assert!(count_with_scan(&db, &[], 4).is_empty());
+    }
+}

@@ -1,0 +1,59 @@
+//! # bmb-core — correlation-rule mining
+//!
+//! The primary contribution of *Beyond Market Baskets: Generalizing
+//! Association Rules to Correlations* (Brin, Motwani & Silverstein,
+//! SIGMOD 1997): mine the itemsets whose presence/absence pattern fails
+//! the chi-squared test of independence, exploiting the upward closure of
+//! significance to return only the *border* of minimal correlated
+//! itemsets, with the paper's cell-based support pruning.
+//!
+//! ```
+//! use bmb_core::{mine, MinerConfig, SupportSpec};
+//!
+//! // The canonical minimal 3-way correlation: pairwise independent items
+//! // whose triple is functionally determined.
+//! let db = bmb_datasets::parity_triple(400, 4);
+//! let result = mine(&db, &MinerConfig {
+//!     support: SupportSpec::Count(5),
+//!     ..MinerConfig::default()
+//! });
+//! assert_eq!(result.significant.len(), 1);
+//! assert_eq!(result.significant[0].itemset.len(), 3);
+//! ```
+//!
+//! Modules:
+//!
+//! * [`miner`] — the level-wise `x²-support` algorithm (Figure 1);
+//! * [`walk_miner`] — the random-walk alternative the paper sketches;
+//! * [`config`] / [`support`] / [`prune`] — thresholds and pruning rules;
+//! * [`locality`] — spatial-locality rules over ordered baskets (the
+//!   conclusion's first future-work item);
+//! * [`counting`] — batch support counting and Möbius table assembly;
+//! * [`report`] — pairwise χ²-and-interest reports (Table 2);
+//! * [`stats`] — per-level accounting (Table 5);
+//! * [`sig`] — the significant-itemset output type.
+
+#![warn(missing_docs)]
+
+pub mod categorical_report;
+pub mod config;
+pub mod counting;
+pub mod locality;
+pub mod miner;
+pub mod prune;
+pub mod report;
+pub mod sig;
+pub mod stats;
+pub mod support;
+pub mod walk_miner;
+
+pub use categorical_report::{
+    categorical_pair, categorical_pairs_report, CategoricalPairCorrelation,
+};
+pub use config::{CountingStrategy, Level1Prune, MinerConfig, SupportSpec};
+pub use miner::{mine, MiningResult};
+pub use report::{pairs_report, PairCorrelation};
+pub use sig::CorrelationRule;
+pub use stats::{lattice_level_size, LevelStats};
+pub use locality::{locality_test, mine_locality, LocalityReport};
+pub use walk_miner::{mine_walk, WalkMiningResult};

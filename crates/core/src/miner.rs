@@ -1,0 +1,441 @@
+//! The `x²-support` algorithm — Figure 1 of the paper.
+//!
+//! Level-wise search for *significant* (supported and minimally
+//! correlated) itemsets:
+//!
+//! 1. count `O(i)` for every item;
+//! 2. CAND ← item pairs passing the level-1 prune;
+//! 3. for each candidate: build its contingency table; discard it if fewer
+//!    than `p` of the cells reach count `s`; otherwise send it to SIG
+//!    (χ² at or above the cutoff) or NOTSIG (below);
+//! 4. CAND at the next level ← every set whose facets are all in NOTSIG —
+//!    supersets of correlated sets are *not minimal* and supersets of
+//!    unsupported sets are unsupported, so only NOTSIG spawns candidates;
+//! 5. repeat until CAND is empty.
+//!
+//! The upward closure of chi-squared significance (Theorem 1) makes SIG
+//! exactly the *border of correlation* among supported itemsets.
+
+use std::time::{Duration, Instant};
+
+use bmb_basket::{BasketDatabase, BitmapIndex, ItemId, Itemset};
+use bmb_lattice::{generate_candidates, Border, ItemsetTable};
+use bmb_stats::{Chi2Test, SignificanceLevel};
+
+use crate::config::{CountingStrategy, Level1Prune, MinerConfig};
+use crate::counting::{count_with_bitmaps, count_with_scan, table_from_supports, SupportStore};
+use crate::sig::CorrelationRule;
+use crate::stats::{lattice_level_size, LevelStats};
+use crate::support::cell_support;
+
+/// Result of a mining run.
+#[derive(Debug)]
+pub struct MiningResult {
+    /// All significant itemsets, in discovery (level, lexicographic) order.
+    pub significant: Vec<CorrelationRule>,
+    /// Per-level accounting (Table 5's columns).
+    pub levels: Vec<LevelStats>,
+    /// The resolved absolute support threshold `s`.
+    pub support_count: u64,
+    /// The chi-squared cutoff used.
+    pub chi2_cutoff: f64,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+impl MiningResult {
+    /// The border of correlation: the significant itemsets as an antichain.
+    ///
+    /// (They are minimal by construction; assembling the border re-checks
+    /// the antichain property in debug builds.)
+    pub fn border(&self) -> Border {
+        Border::from_holders(self.significant.iter().map(|r| r.itemset.clone()))
+    }
+
+    /// Looks up a significant itemset.
+    pub fn rule_for(&self, set: &Itemset) -> Option<&CorrelationRule> {
+        self.significant.iter().find(|r| &r.itemset == set)
+    }
+
+    /// Total candidates examined across levels.
+    pub fn total_candidates(&self) -> usize {
+        self.levels.iter().map(|l| l.candidates).sum()
+    }
+}
+
+/// Runs the miner over `db` with `config`.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (see [`MinerConfig::validate`]).
+pub fn mine(db: &BasketDatabase, config: &MinerConfig) -> MiningResult {
+    config.validate();
+    let start = Instant::now();
+    let n = db.len() as u64;
+    let k = db.n_items();
+    let s = config.support.to_count(n).max(1);
+    let chi2_test = Chi2Test {
+        level: SignificanceLevel::new(config.alpha),
+        df: config.df,
+        low_expectation_cutoff: config.low_expectation_cutoff,
+    };
+
+    let index = match config.counting {
+        CountingStrategy::Bitmap => Some(BitmapIndex::build(db)),
+        CountingStrategy::BasketScan => None,
+    };
+
+    let mut store = SupportStore::new();
+    let mut significant: Vec<CorrelationRule> = Vec::new();
+    let mut levels: Vec<LevelStats> = Vec::new();
+    let mut chi2_cutoff = f64::NAN;
+
+    // Step 3: level-1 pruning builds the initial candidate pairs.
+    let mut candidates = initial_pairs(db, s, config.level1);
+
+    let mut level = 2usize;
+    while !candidates.is_empty() && level <= config.max_level {
+        let supports = match (&index, config.counting) {
+            (Some(index), _) => count_with_bitmaps(index, &candidates, config.threads),
+            (None, _) => count_with_scan(db, &candidates, config.threads),
+        };
+        let mut stats = LevelStats {
+            level,
+            lattice_itemsets: lattice_level_size(k, level),
+            candidates: candidates.len(),
+            ..Default::default()
+        };
+        let cells_required = config.cells_required(level);
+        let is_last_level = level >= config.max_level;
+        // Evaluation (table assembly → support test → χ²) only *reads* the
+        // store — every needed subset support was inserted at lower levels
+        // and the candidate's own support is passed explicitly — so the
+        // per-candidate work parallelizes; SIG/NOTSIG bookkeeping happens
+        // afterwards, in order.
+        let verdicts = evaluate_candidates(
+            db,
+            &store,
+            &candidates,
+            &supports,
+            s,
+            cells_required,
+            &chi2_test,
+            config.threads,
+        );
+        let mut notsig = ItemsetTable::with_capacity(candidates.len());
+        for ((candidate, supp), verdict) in
+            candidates.iter().zip(&supports).zip(verdicts)
+        {
+            match verdict {
+                Verdict::Discarded => stats.discards += 1,
+                Verdict::Significant(rule) => {
+                    stats.significant += 1;
+                    chi2_cutoff = rule.chi2.cutoff;
+                    significant.push(rule);
+                }
+                Verdict::NotSignificant { cutoff } => {
+                    stats.not_significant += 1;
+                    chi2_cutoff = cutoff;
+                    notsig.insert(candidate.clone());
+                    // Only NOTSIG members can be subsets of future
+                    // candidates, so theirs are the only supports worth
+                    // retaining — and none at the final level.
+                    if !is_last_level {
+                        store.insert(candidate.clone(), *supp);
+                    }
+                }
+            }
+        }
+        debug_assert!(stats.is_consistent());
+        levels.push(stats);
+        // Don't generate candidates the level cap would discard unseen.
+        candidates =
+            if is_last_level { Vec::new() } else { generate_candidates(&notsig) };
+        level += 1;
+    }
+    if chi2_cutoff.is_nan() {
+        chi2_cutoff = chi2_test.test_dense(&trivial_table()).cutoff;
+    }
+
+    MiningResult {
+        significant,
+        levels,
+        support_count: s,
+        chi2_cutoff,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Per-candidate outcome of one level's evaluation pass.
+enum Verdict {
+    /// Failed the cell-support test.
+    Discarded,
+    /// Supported and correlated — a finished rule.
+    Significant(CorrelationRule),
+    /// Supported but uncorrelated (NOTSIG); carries the χ² cutoff so the
+    /// caller can report it.
+    NotSignificant {
+        /// The cutoff the statistic was compared against.
+        cutoff: f64,
+    },
+}
+
+/// Evaluates all candidates of one level, in parallel chunks when
+/// `threads > 1`.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_candidates(
+    db: &BasketDatabase,
+    store: &SupportStore,
+    candidates: &[Itemset],
+    supports: &[u64],
+    s: u64,
+    cells_required: usize,
+    chi2_test: &Chi2Test,
+    threads: usize,
+) -> Vec<Verdict> {
+    let evaluate = |candidate: &Itemset, supp: u64| -> Verdict {
+        let table = table_from_supports(db, store, candidate, supp);
+        let support = cell_support(&table, s, cells_required);
+        if !support.supported() {
+            return Verdict::Discarded;
+        }
+        let outcome = chi2_test.test_dense(&table);
+        if outcome.significant {
+            Verdict::Significant(CorrelationRule {
+                itemset: candidate.clone(),
+                chi2: outcome,
+                support_cells: support.cells_with_support,
+                table,
+            })
+        } else {
+            Verdict::NotSignificant { cutoff: outcome.cutoff }
+        }
+    };
+    let threads = threads.max(1).min(candidates.len().max(1));
+    if threads == 1 || candidates.len() < 256 {
+        return candidates
+            .iter()
+            .zip(supports)
+            .map(|(c, &supp)| evaluate(c, supp))
+            .collect();
+    }
+    let chunk = candidates.len().div_ceil(threads);
+    let chunks: Vec<Vec<Verdict>> = crossbeam::thread::scope(|scope| {
+        let evaluate = &evaluate;
+        let handles: Vec<_> = candidates
+            .chunks(chunk)
+            .zip(supports.chunks(chunk))
+            .map(|(cand_chunk, supp_chunk)| {
+                scope.spawn(move |_| {
+                    cand_chunk
+                        .iter()
+                        .zip(supp_chunk)
+                        .map(|(c, &supp)| evaluate(c, supp))
+                        .collect::<Vec<Verdict>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("evaluation worker panicked"))
+            .collect()
+    })
+    .expect("evaluation scope panicked");
+    chunks.into_iter().flatten().collect()
+}
+
+/// Step 3: the initial pair candidates under the chosen level-1 policy.
+fn initial_pairs(db: &BasketDatabase, s: u64, policy: Level1Prune) -> Vec<Itemset> {
+    let k = db.n_items() as u32;
+    let keep = |a: u32, b: u32| -> bool {
+        let ca = db.item_count(ItemId(a));
+        let cb = db.item_count(ItemId(b));
+        match policy {
+            Level1Prune::PaperBothFrequent => ca >= s && cb >= s,
+            Level1Prune::BothRare => ca >= s || cb >= s,
+            Level1Prune::Off => true,
+        }
+    };
+    let mut out = Vec::new();
+    for a in 0..k {
+        for b in a + 1..k {
+            if keep(a, b) {
+                out.push(Itemset::from_ids([a, b]));
+            }
+        }
+    }
+    out
+}
+
+/// A placeholder table used only to extract the χ² cutoff when no
+/// candidate was ever tested.
+fn trivial_table() -> bmb_basket::ContingencyTable {
+    bmb_basket::ContingencyTable::from_counts(Itemset::from_ids([0, 1]), vec![1, 1, 1, 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SupportSpec;
+
+    fn base_config() -> MinerConfig {
+        MinerConfig {
+            support: SupportSpec::Count(5),
+            support_fraction: 0.26,
+            ..Default::default()
+        }
+    }
+
+    /// Parity data: pairs independent, triple maximally dependent. The
+    /// miner must output exactly {0,1,2} — the canonical minimal
+    /// level-3 correlation.
+    #[test]
+    fn finds_minimal_triple_in_parity_data() {
+        let db = bmb_datasets::parity_triple(400, 4);
+        let result = mine(&db, &base_config());
+        let sets: Vec<&Itemset> = result.significant.iter().map(|r| &r.itemset).collect();
+        assert_eq!(sets, vec![&Itemset::from_ids([0, 1, 2])]);
+        // Level accounting: no level-2 significance, one level-3 hit.
+        assert_eq!(result.levels[0].significant, 0);
+        assert_eq!(result.levels[1].significant, 1);
+    }
+
+    #[test]
+    fn planted_pair_is_minimal_at_level_2() {
+        let db = bmb_datasets::planted_pair(3000, 6, 0.3, 0.7, 99);
+        let result = mine(&db, &base_config());
+        let planted = Itemset::from_ids([0, 1]);
+        assert!(
+            result.rule_for(&planted).is_some(),
+            "planted pair not found among {:?}",
+            result.significant.iter().map(|r| r.itemset.to_string()).collect::<Vec<_>>()
+        );
+        // Everything significant is minimal: no reported set contains
+        // another.
+        let border = result.border();
+        assert_eq!(border.len(), result.significant.len());
+    }
+
+    #[test]
+    fn independent_data_yields_nothing_under_saturated_df() {
+        // With the paper's single-df convention, deep levels accumulate
+        // statistic over 2^m cells against a 1-df cutoff and false
+        // positives appear — a *limitation the paper acknowledges* (its
+        // accuracy concerns in Section 3.3). The saturated convention is
+        // calibrated at every level: independent data yields nothing.
+        let db = bmb_datasets::independent(3000, 6, 0.3, 5);
+        let config = MinerConfig {
+            alpha: 0.9999,
+            df: bmb_stats::DfConvention::Saturated,
+            ..base_config()
+        };
+        let result = mine(&db, &config);
+        assert!(
+            result.significant.is_empty(),
+            "false positives: {:?}",
+            result.significant.iter().map(|r| r.itemset.to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn paper_df_convention_overreports_at_deep_levels() {
+        // The flip side of the test above, pinned as a documented property:
+        // the single-df convention lets some deep itemsets through on
+        // independent data.
+        let db = bmb_datasets::independent(3000, 6, 0.3, 5);
+        let config = MinerConfig { alpha: 0.9999, ..base_config() };
+        let result = mine(&db, &config);
+        assert!(
+            result.significant.iter().all(|r| r.itemset.len() >= 4),
+            "levels 2-3 must stay clean even under the paper convention"
+        );
+    }
+
+    #[test]
+    fn bitmap_and_scan_strategies_agree() {
+        let db = bmb_datasets::planted_pair(1500, 8, 0.25, 0.6, 11);
+        let a = mine(&db, &MinerConfig { counting: CountingStrategy::Bitmap, ..base_config() });
+        let b = mine(
+            &db,
+            &MinerConfig { counting: CountingStrategy::BasketScan, ..base_config() },
+        );
+        assert_eq!(a.levels, b.levels);
+        let sa: Vec<&Itemset> = a.significant.iter().map(|r| &r.itemset).collect();
+        let sb: Vec<&Itemset> = b.significant.iter().map(|r| &r.itemset).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn threads_do_not_change_results() {
+        let db = bmb_datasets::planted_pair(1500, 8, 0.25, 0.6, 12);
+        let a = mine(&db, &MinerConfig { threads: 1, ..base_config() });
+        let b = mine(&db, &MinerConfig { threads: 4, ..base_config() });
+        assert_eq!(a.levels, b.levels);
+    }
+
+    #[test]
+    fn max_level_stops_early() {
+        let db = bmb_datasets::parity_triple(400, 4);
+        let config = MinerConfig { max_level: 2, ..base_config() };
+        let result = mine(&db, &config);
+        assert!(result.significant.is_empty());
+        assert_eq!(result.levels.len(), 1);
+    }
+
+    #[test]
+    fn support_threshold_discards_rare_structure() {
+        // The parity triple on only 40 baskets puts exactly 10 baskets in
+        // every pair cell; a support threshold of 11 discards every pair,
+        // so NOTSIG stays empty and the genuinely-correlated triple is
+        // never even generated — support pruning trades rare structure
+        // for speed, as Section 3.3 discusses.
+        let db = bmb_datasets::parity_triple(40, 3);
+        let config = MinerConfig {
+            support: SupportSpec::Count(11),
+            level1: Level1Prune::Off,
+            ..base_config()
+        };
+        let result = mine(&db, &config);
+        assert_eq!(result.levels[0].discards, result.levels[0].candidates);
+        assert_eq!(result.levels.len(), 1, "no level-3 candidates can form");
+        assert!(result.significant.is_empty());
+    }
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let db = bmb_datasets::planted_pair(2000, 10, 0.2, 0.5, 4);
+        let result = mine(&db, &base_config());
+        for level in &result.levels {
+            assert!(level.is_consistent(), "{level:?}");
+        }
+        assert!((result.chi2_cutoff - 3.841).abs() < 1e-2);
+        assert_eq!(result.support_count, 5);
+    }
+
+    #[test]
+    fn census_mine_matches_pairwise_verdicts() {
+        // End-to-end: mining the simulated census at the paper's settings
+        // finds exactly the pairs Table 2 bolds (all of which are minimal,
+        // being pairs), minus none — the support test passes for every
+        // pair at s = 1%, p = 0.26.
+        let db = bmb_datasets::generate_census();
+        let config = MinerConfig {
+            support: SupportSpec::Fraction(0.01),
+            support_fraction: 0.26,
+            max_level: 2,
+            ..MinerConfig::default()
+        };
+        let result = mine(&db, &config);
+        let expected: Vec<(usize, usize)> = bmb_datasets::census::targets::PAIR_TARGETS
+            .iter()
+            .filter(|t| t.paper_significant())
+            .map(|t| (t.a, t.b))
+            .collect();
+        assert_eq!(result.levels[0].candidates, 45);
+        assert_eq!(result.significant.len(), expected.len());
+        for (a, b) in expected {
+            let set = Itemset::from_ids([a as u32, b as u32]);
+            assert!(result.rule_for(&set).is_some(), "missing (i{a}, i{b})");
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Pairwise correlation reports — the machinery behind the paper's Table 2.
+//!
+//! For every item pair: the chi-squared value, its significance at the
+//! configured level, and the four interest values in the paper's column
+//! order `I(ab), I(āb), I(ab̄), I(āb̄)`, with the most extreme one marked
+//! (Table 2 bolds it only when χ² is significant).
+
+use bmb_basket::{BasketDatabase, ContingencyTable, ItemId, Itemset};
+use bmb_stats::{Chi2Outcome, Chi2Test, InterestReport};
+
+/// The Table 2 row for one pair.
+#[derive(Clone, Debug)]
+pub struct PairCorrelation {
+    /// First item (`a` — the lower id).
+    pub a: ItemId,
+    /// Second item (`b`).
+    pub b: ItemId,
+    /// Chi-squared outcome.
+    pub chi2: Chi2Outcome,
+    /// Interest values in the paper's order: `[I(ab), I(āb), I(ab̄), I(āb̄)]`.
+    pub interests: [f64; 4],
+    /// Index (into `interests`) of the most extreme value — the major
+    /// dependence. Meaningful only when `chi2.significant`.
+    pub most_extreme: usize,
+}
+
+impl PairCorrelation {
+    /// Builds the row from a 2-item contingency table (items in sorted
+    /// order: bit0 = `a`, bit1 = `b`).
+    pub fn from_table(table: &ContingencyTable, test: &Chi2Test) -> Self {
+        assert_eq!(table.dims(), 2, "pair report needs a 2-item table");
+        let chi2 = test.test_dense(table);
+        let report = InterestReport::analyze(table);
+        // Paper order: ab, āb, ab̄, āb̄ → masks 0b11, 0b10, 0b01, 0b00.
+        let order: [u32; 4] = [0b11, 0b10, 0b01, 0b00];
+        let interests = order.map(|m| report.interest(m));
+        let most_extreme = (0..4)
+            .max_by(|&x, &y| {
+                extremity(interests[x])
+                    .partial_cmp(&extremity(interests[y]))
+                    .expect("interest values are never NaN")
+            })
+            .expect("four interests always exist");
+        let items = table.itemset().items();
+        PairCorrelation { a: items[0], b: items[1], chi2, interests, most_extreme }
+    }
+}
+
+fn extremity(interest: f64) -> f64 {
+    if interest.is_infinite() {
+        f64::INFINITY
+    } else {
+        (interest - 1.0).abs()
+    }
+}
+
+/// Builds Table 2 rows for every item pair of the database.
+pub fn pairs_report(db: &BasketDatabase, test: &Chi2Test) -> Vec<PairCorrelation> {
+    let k = db.n_items() as u32;
+    let mut out = Vec::with_capacity((k as usize * k.saturating_sub(1) as usize) / 2);
+    for a in 0..k {
+        for b in a + 1..k {
+            let set = Itemset::from_ids([a, b]);
+            let table = ContingencyTable::from_database(db, &set);
+            out.push(PairCorrelation::from_table(&table, test));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_pair_rows_match_paper_table_2() {
+        // Spot-check the (i2, i7) row: χ² = 2006.34 and interests
+        // 1.067 / 0.385 / 0.892 / 1.988 (ab, āb, ab̄, āb̄), most extreme āb̄.
+        let db = bmb_datasets::generate_census();
+        let test = Chi2Test::default();
+        let rows = pairs_report(&db, &test);
+        assert_eq!(rows.len(), 45);
+        let row = rows
+            .iter()
+            .find(|r| r.a == ItemId(2) && r.b == ItemId(7))
+            .unwrap();
+        assert!((row.chi2.statistic - 2006.34).abs() < 80.0);
+        let paper = [1.067, 0.385, 0.892, 1.988];
+        for (got, want) in row.interests.iter().zip(paper) {
+            assert!(
+                (got - want).abs() < 0.05,
+                "interest {got:.3} vs paper {want}"
+            );
+        }
+        assert_eq!(row.most_extreme, 3, "āb̄ (veteran ∧ over-40) dominates");
+    }
+
+    #[test]
+    fn insignificant_pairs_reported_as_such() {
+        let db = bmb_datasets::generate_census();
+        let rows = pairs_report(&db, &Chi2Test::default());
+        // (i3, i9) has χ² = 0.10 in the paper — deeply insignificant.
+        let row = rows
+            .iter()
+            .find(|r| r.a == ItemId(3) && r.b == ItemId(9))
+            .unwrap();
+        assert!(!row.chi2.significant);
+        assert!(row.chi2.statistic < 3.0);
+    }
+
+    #[test]
+    fn interest_zero_marks_impossible_cells() {
+        // (i1, i8): the "3+ children ∧ male" cell (ā b) has interest 0.000
+        // in Table 2.
+        let db = bmb_datasets::generate_census();
+        let rows = pairs_report(&db, &Chi2Test::default());
+        let row = rows
+            .iter()
+            .find(|r| r.a == ItemId(1) && r.b == ItemId(8))
+            .unwrap();
+        assert_eq!(row.interests[1], 0.0, "I(āb) must be 0 (impossible cell)");
+    }
+
+    #[test]
+    fn row_count_scales_quadratically() {
+        let db = bmb_basket::BasketDatabase::from_id_baskets(5, vec![vec![0, 1, 2, 3, 4]]);
+        assert_eq!(pairs_report(&db, &Chi2Test::default()).len(), 10);
+    }
+}

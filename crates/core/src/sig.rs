@@ -1,0 +1,104 @@
+//! Significant itemsets: the miner's output type.
+
+use bmb_basket::{BasketDatabase, CellMask, ContingencyTable, Itemset};
+use bmb_stats::{Chi2Outcome, InterestReport};
+
+/// One *significant* itemset — supported and minimally correlated (no
+/// subset of it is correlated), the paper's definition of the output set
+/// SIG.
+#[derive(Clone, Debug)]
+pub struct CorrelationRule {
+    /// The itemset.
+    pub itemset: Itemset,
+    /// Its chi-squared outcome.
+    pub chi2: Chi2Outcome,
+    /// The contingency table it was judged on.
+    pub table: ContingencyTable,
+    /// How many cells met the support threshold.
+    pub support_cells: usize,
+}
+
+impl CorrelationRule {
+    /// Interest analysis of the rule's table.
+    pub fn interest(&self) -> InterestReport {
+        InterestReport::analyze(&self.table)
+    }
+
+    /// The major dependence: the cell contributing most to χ².
+    ///
+    /// Returns `(cell, interest)`; interpret the cell mask against
+    /// [`CorrelationRule::itemset`] order.
+    pub fn major_dependence(&self) -> (CellMask, f64) {
+        let report = self.interest();
+        let cell = report.major_dependence();
+        (cell.cell, cell.interest)
+    }
+
+    /// Splits the major-dependence cell into the item names it *includes*
+    /// and those it *omits* — the presentation of the paper's Table 4.
+    pub fn major_dependence_words(&self, db: &BasketDatabase) -> (Vec<String>, Vec<String>) {
+        let (cell, _) = self.major_dependence();
+        let mut includes = Vec::new();
+        let mut omits = Vec::new();
+        for (j, &item) in self.itemset.items().iter().enumerate() {
+            let name = db
+                .catalog()
+                .and_then(|c| c.name(item))
+                .map(str::to_string)
+                .unwrap_or_else(|| item.to_string());
+            if cell & (1 << j) != 0 {
+                includes.push(name);
+            } else {
+                omits.push(name);
+            }
+        }
+        (includes, omits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmb_stats::Chi2Test;
+
+    fn rule() -> CorrelationRule {
+        // Example 1's tea/coffee table (bit0 = tea, bit1 = coffee).
+        let table = ContingencyTable::from_counts(
+            Itemset::from_ids([0, 1]),
+            vec![5, 5, 70, 20],
+        );
+        let chi2 = Chi2Test::default().test_dense(&table);
+        CorrelationRule {
+            itemset: table.itemset().clone(),
+            support_cells: table.cells_with_count_at_least(5),
+            chi2,
+            table,
+        }
+    }
+
+    #[test]
+    fn major_dependence_cell() {
+        let r = rule();
+        let (cell, interest) = r.major_dependence();
+        assert_eq!(cell, 0b01); // tea-without-coffee dominates
+        assert!((interest - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn words_split_against_catalog() {
+        let db = BasketDatabase::from_named_baskets(vec![vec!["tea", "coffee"]]);
+        let r = rule();
+        let (includes, omits) = r.major_dependence_words(&db);
+        assert_eq!(includes, vec!["tea".to_string()]);
+        assert_eq!(omits, vec!["coffee".to_string()]);
+    }
+
+    #[test]
+    fn words_fall_back_to_ids_without_catalog() {
+        let db = BasketDatabase::new(2);
+        let r = rule();
+        let (includes, omits) = r.major_dependence_words(&db);
+        assert_eq!(includes, vec!["i0".to_string()]);
+        assert_eq!(omits, vec!["i1".to_string()]);
+    }
+}

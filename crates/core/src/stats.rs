@@ -1,0 +1,113 @@
+//! Per-level mining statistics — the accounting behind the paper's Table 5.
+
+use std::fmt;
+
+/// Counters for one level of the level-wise search.
+///
+/// The paper's Table 5 prints exactly these columns: the number of itemsets
+/// in the lattice at this level, |CAND|, the candidates discarded by the
+/// support test, |SIG|, and |NOTSIG| (always
+/// `candidates = discards + significant + not_significant`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Itemset size at this level.
+    pub level: usize,
+    /// `C(k, level)`: how many itemsets exist at this level (saturating).
+    pub lattice_itemsets: u64,
+    /// Candidates actually examined (|CAND|).
+    pub candidates: usize,
+    /// Candidates that failed the cell-support test.
+    pub discards: usize,
+    /// Candidates found supported and correlated (added to SIG).
+    pub significant: usize,
+    /// Candidates found supported but uncorrelated (added to NOTSIG).
+    pub not_significant: usize,
+}
+
+impl LevelStats {
+    /// Internal consistency: every candidate is accounted for.
+    pub fn is_consistent(&self) -> bool {
+        self.candidates == self.discards + self.significant + self.not_significant
+    }
+
+    /// Fraction of the lattice level the pruning avoided examining.
+    pub fn pruning_ratio(&self) -> f64 {
+        if self.lattice_itemsets == 0 {
+            0.0
+        } else {
+            1.0 - self.candidates as f64 / self.lattice_itemsets as f64
+        }
+    }
+}
+
+impl fmt::Display for LevelStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>5} {:>15} {:>10} {:>10} {:>8} {:>8}",
+            self.level,
+            self.lattice_itemsets,
+            self.candidates,
+            self.discards,
+            self.significant,
+            self.not_significant
+        )
+    }
+}
+
+/// `C(k, level)` saturating at `u64::MAX`.
+pub fn lattice_level_size(k: usize, level: usize) -> u64 {
+    if level > k {
+        return 0;
+    }
+    let mut acc: u128 = 1;
+    for i in 0..level {
+        acc = acc * (k - i) as u128 / (i as u128 + 1);
+        if acc > u64::MAX as u128 {
+            return u64::MAX;
+        }
+    }
+    acc as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_sizes_match_paper_table_5() {
+        // k = 870: the paper prints 378015, 109372340, 23706454695.
+        assert_eq!(lattice_level_size(870, 2), 378_015);
+        assert_eq!(lattice_level_size(870, 3), 109_372_340);
+        assert_eq!(lattice_level_size(870, 4), 23_706_454_695);
+    }
+
+    #[test]
+    fn lattice_size_edges() {
+        assert_eq!(lattice_level_size(5, 0), 1);
+        assert_eq!(lattice_level_size(5, 5), 1);
+        assert_eq!(lattice_level_size(5, 6), 0);
+        assert_eq!(lattice_level_size(0, 1), 0);
+    }
+
+    #[test]
+    fn saturation() {
+        assert_eq!(lattice_level_size(10_000, 50), u64::MAX);
+    }
+
+    #[test]
+    fn consistency_check() {
+        let good = LevelStats {
+            level: 2,
+            lattice_itemsets: 378_015,
+            candidates: 8019,
+            discards: 323,
+            significant: 4114,
+            not_significant: 3582,
+        };
+        assert!(good.is_consistent());
+        assert!((good.pruning_ratio() - (1.0 - 8019.0 / 378_015.0)).abs() < 1e-12);
+        let bad = LevelStats { candidates: 10, ..good };
+        assert!(!bad.is_consistent());
+    }
+}

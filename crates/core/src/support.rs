@@ -1,0 +1,135 @@
+//! The paper's cell-based support definition (Section 4).
+//!
+//! "A set of items S has support s at the p% level if at least p% of the
+//! cells in the contingency table for S have value s." Unlike the
+//! support-confidence framework's single-cell support, this looks at the
+//! whole table — absence patterns count too, which is what lets the miner
+//! find negative dependence. Requiring `p` to be a *fraction* of cells
+//! (rather than an absolute number) is what makes the definition downward
+//! closed (each cell of a subset's table is a sum of `2^{m-j}` cells of
+//! the superset's, so cell mass only concentrates when marginalizing).
+
+use bmb_basket::ContingencyTable;
+
+/// Outcome of the cell-support test for one itemset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SupportOutcome {
+    /// Number of cells with observed count `>= s`.
+    pub cells_with_support: usize,
+    /// Cells required (`ceil(p · 2^m)`).
+    pub cells_required: usize,
+    /// Total cells `2^m`.
+    pub n_cells: usize,
+}
+
+impl SupportOutcome {
+    /// Whether the itemset is supported.
+    pub fn supported(&self) -> bool {
+        self.cells_with_support >= self.cells_required
+    }
+}
+
+/// Runs the test on a dense table.
+pub fn cell_support(table: &ContingencyTable, s: u64, cells_required: usize) -> SupportOutcome {
+    SupportOutcome {
+        cells_with_support: table.cells_with_count_at_least(s),
+        cells_required,
+        n_cells: table.n_cells(),
+    }
+}
+
+/// The paper's level-1 special pruning argument: when *neither* item
+/// reaches count `s`, at most the both-absent cell of their pair table can
+/// reach `s`, so support at any `p > 0.25` is impossible. (True regardless
+/// of the joint distribution: `O(ab), O(ab̄) <= O(a) < s` and
+/// `O(āb) <= O(b) < s`.)
+pub fn pair_support_impossible(count_a: u64, count_b: u64, s: u64) -> bool {
+    count_a < s && count_b < s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmb_basket::{BasketDatabase, Itemset};
+
+    fn table(counts: Vec<u64>) -> ContingencyTable {
+        let dims = counts.len().trailing_zeros() as usize;
+        ContingencyTable::from_counts(Itemset::from_ids(0..dims as u32), counts)
+    }
+
+    #[test]
+    fn counts_cells_meeting_threshold() {
+        let t = table(vec![5, 5, 70, 20]);
+        let outcome = cell_support(&t, 6, 2);
+        assert_eq!(outcome.cells_with_support, 2);
+        assert_eq!(outcome.n_cells, 4);
+        assert!(outcome.supported());
+        assert!(!cell_support(&t, 21, 2).supported());
+    }
+
+    #[test]
+    fn single_strong_cell_fails_higher_requirements() {
+        let t = table(vec![990, 4, 3, 3]);
+        assert!(cell_support(&t, 100, 1).supported());
+        assert!(!cell_support(&t, 100, 2).supported());
+    }
+
+    #[test]
+    fn support_is_downward_closed_exhaustively() {
+        // For random small databases, verify: if S is supported at (s, p)
+        // then every facet of S is too (using fraction-derived cell
+        // requirements). This is the property the level-wise algorithm
+        // rests on.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31337);
+        for _ in 0..20 {
+            let n = 200;
+            let k = 5u32;
+            let mut db = BasketDatabase::new(k as usize);
+            for _ in 0..n {
+                db.push_basket(
+                    (0..k).filter(|_| rng.gen_bool(0.4)).map(bmb_basket::ItemId),
+                );
+            }
+            let s = 8u64;
+            let p = 0.3f64;
+            let universe = Itemset::from_ids(0..k);
+            for size in 3..=k as usize {
+                for set in universe.subsets_of_size(size) {
+                    let t = ContingencyTable::from_database(&db, &set);
+                    let req = ((p * t.n_cells() as f64).ceil() as usize).max(1);
+                    if !cell_support(&t, s, req).supported() {
+                        continue;
+                    }
+                    for facet in set.facets() {
+                        let ft = ContingencyTable::from_database(&db, &facet);
+                        let freq = ((p * ft.n_cells() as f64).ceil() as usize).max(1);
+                        assert!(
+                            cell_support(&ft, s, freq).supported(),
+                            "support not downward closed: {set} supported, {facet} not"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rare_rare_pairs_cannot_be_supported() {
+        assert!(pair_support_impossible(3, 4, 5));
+        assert!(!pair_support_impossible(10, 4, 5));
+        assert!(!pair_support_impossible(3, 9, 5));
+    }
+
+    #[test]
+    fn rare_common_pairs_can_still_be_supported() {
+        // One rare item (count 2 < s = 50), one common: the absent-rare
+        // cells carry the support — the reason the paper's Step 3 is a
+        // heuristic rather than a sound prune.
+        let t = table(vec![400, 2, 598, 0]);
+        // cells: āb̄ = 400, ab̄ = 2, āb = 598, ab = 0 (item 0 rare).
+        assert!(cell_support(&t, 50, 2).supported());
+        assert!(!pair_support_impossible(2, 598, 50));
+    }
+}

@@ -1,0 +1,194 @@
+//! The *non-collapsed* census: multi-valued attributes.
+//!
+//! Section 5.1 closes with an open question the binary collapse cannot
+//! answer: "Does this imply that non-married people tend to carpool more
+//! often than married folk? Or is the data skewed because children cannot
+//! drive and also tend not to be married? Because we have collapsed the
+//! answers 'does not drive' and 'carpools,' we cannot answer this
+//! question. A non-collapsed chi-squared table, with more than two rows
+//! and columns, could find finer-grained dependency."
+//!
+//! This module builds that non-collapsed table: it refines the simulated
+//! binary census into categorical attributes — commute in three values,
+//! age in three bands — *planting* the paper's hypothesized confounder
+//! (minors do not drive and are not married) so the multinomial analysis
+//! can be seen resolving the question the binary analysis could not.
+
+use bmb_basket::categorical::{Attribute, CategoricalData};
+use bmb_basket::ItemId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Value indexes of the `commute` attribute.
+pub mod commute {
+    /// Drives alone (the binary item i0).
+    pub const DRIVES_ALONE: u16 = 0;
+    /// Carpools.
+    pub const CARPOOLS: u16 = 1;
+    /// Does not drive.
+    pub const DOES_NOT_DRIVE: u16 = 2;
+}
+
+/// Value indexes of the `age` attribute.
+pub mod age {
+    /// Under 18 (a minor).
+    pub const UNDER_18: u16 = 0;
+    /// 18 to 40 — with UNDER_18 this partitions the binary i7.
+    pub const ADULT_TO_40: u16 = 1;
+    /// Over 40 (the binary ī7).
+    pub const OVER_40: u16 = 2;
+}
+
+/// Positions of the four attributes in the expanded schema.
+pub mod attr {
+    /// commute: drives alone / carpools / does not drive.
+    pub const COMMUTE: usize = 0;
+    /// marital: married / single.
+    pub const MARITAL: usize = 1;
+    /// age: under 18 / 18–40 / over 40.
+    pub const AGE: usize = 2;
+    /// military: never served / veteran.
+    pub const MILITARY: usize = 3;
+}
+
+/// The expanded schema.
+pub fn expanded_schema() -> Vec<Attribute> {
+    vec![
+        Attribute::new("commute", ["drives alone", "carpools", "does not drive"]),
+        Attribute::new("marital", ["married", "single/div/widowed"]),
+        Attribute::new("age", ["under 18", "18-40", "over 40"]),
+        Attribute::new("military", ["never served", "veteran"]),
+    ]
+}
+
+/// Builds the expanded categorical census from the binary simulation.
+///
+/// Refinement rules (seeded, deterministic):
+///
+/// * a non-driving (ī0), unmarried, ≤40 record is a *minor* with
+///   probability 0.45 — minors never drive and are never married, the
+///   planted confounder;
+/// * other ≤40 records are minors with probability 0.04;
+/// * non-driving adults split carpools/does-not-drive 70/30, independent
+///   of marital status — so in this simulated world the answer to the
+///   paper's question is "it was the children": among *adults*, commuting
+///   mode carries (almost) no extra marital signal.
+pub fn expanded_census(seed: u64) -> CategoricalData {
+    let db = super::generate();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = CategoricalData::new(expanded_schema());
+    for index in 0..db.len() {
+        let basket = db.basket(index);
+        let has = |i: u32| basket.binary_search(&ItemId(i)).is_ok();
+        let drives_alone = has(0);
+        let married = has(6);
+        let at_most_40 = has(7);
+        let never_served = has(2);
+
+        // Age refinement with the planted confounder.
+        let minor = at_most_40
+            && !married
+            && !drives_alone
+            && rng.gen_bool(0.45)
+            || (at_most_40 && rng.gen_bool(0.04));
+        let age_value = if !at_most_40 {
+            age::OVER_40
+        } else if minor {
+            age::UNDER_18
+        } else {
+            age::ADULT_TO_40
+        };
+
+        // Commute refinement: minors never drive; non-driving adults split
+        // 70/30 carpool/no-drive independent of marriage.
+        let commute_value = if drives_alone && age_value != age::UNDER_18 {
+            commute::DRIVES_ALONE
+        } else if age_value == age::UNDER_18 {
+            commute::DOES_NOT_DRIVE
+        } else if rng.gen_bool(0.7) {
+            commute::CARPOOLS
+        } else {
+            commute::DOES_NOT_DRIVE
+        };
+
+        let marital_value = if married && age_value != age::UNDER_18 { 0u16 } else { 1u16 };
+        let military_value = u16::from(!never_served);
+        data.push_record(&[commute_value, marital_value, age_value, military_value]);
+    }
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmb_stats::{cramers_v_categorical, Chi2Test};
+
+    fn data() -> CategoricalData {
+        expanded_census(1997)
+    }
+
+    #[test]
+    fn shape_matches_binary_census() {
+        let d = data();
+        assert_eq!(d.len(), 30_370);
+        assert_eq!(d.attributes().len(), 4);
+        assert_eq!(d.attributes()[attr::COMMUTE].cardinality(), 3);
+        assert_eq!(d.attributes()[attr::AGE].cardinality(), 3);
+    }
+
+    #[test]
+    fn minors_never_drive_or_marry() {
+        let d = data();
+        for i in 0..d.len() {
+            let record = d.record(i);
+            if record[attr::AGE] == age::UNDER_18 {
+                assert_eq!(record[attr::COMMUTE], commute::DOES_NOT_DRIVE);
+                assert_eq!(record[attr::MARITAL], 1, "minor marked married");
+            }
+        }
+    }
+
+    #[test]
+    fn non_collapsed_table_localizes_the_dependence() {
+        // The paper's question: is commute×marital dependence about
+        // carpooling or about children? In the expanded table the
+        // under-18 × does-not-drive cell dominates commute×age, and
+        // the commute×marital association weakens once age is the finer
+        // lens — measured by Cramér's V.
+        let d = data();
+        let test = Chi2Test::default();
+        let commute_marital = d.contingency(&[attr::COMMUTE, attr::MARITAL]);
+        let commute_age = d.contingency(&[attr::COMMUTE, attr::AGE]);
+        let out_cm = test.test_categorical(&commute_marital);
+        let out_ca = test.test_categorical(&commute_age);
+        assert!(out_cm.significant && out_ca.significant);
+        let v_cm = cramers_v_categorical(&commute_marital);
+        let v_ca = cramers_v_categorical(&commute_age);
+        assert!(
+            v_ca > v_cm,
+            "age should carry the stronger commute association: V(age) = {v_ca}, V(marital) = {v_cm}"
+        );
+    }
+
+    #[test]
+    fn degrees_of_freedom_follow_appendix_a() {
+        let d = data();
+        let t = d.contingency(&[attr::COMMUTE, attr::AGE]);
+        assert_eq!(t.degrees_of_freedom(), 4); // (3−1)(3−1)
+        let out = Chi2Test::default().test_categorical(&t);
+        assert_eq!(out.df, 4.0);
+        assert!((out.cutoff - 9.488).abs() < 5e-3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = expanded_census(7);
+        let b = expanded_census(7);
+        for i in 0..50 {
+            assert_eq!(a.record(i), b.record(i));
+        }
+        let c = expanded_census(8);
+        let differs = (0..a.len()).any(|i| a.record(i) != c.record(i));
+        assert!(differs);
+    }
+}

@@ -1,0 +1,202 @@
+//! Iterative proportional fitting over a `2^k` joint distribution.
+//!
+//! Given pairwise cell-probability targets, IPF alternately rescales the
+//! joint so each pair's four marginal cells match its targets. For
+//! consistent targets it converges to the maximum-entropy joint with those
+//! margins; for targets made slightly inconsistent by rounding (our case:
+//! the paper's one-decimal percentages) it settles into a compromise whose
+//! residual error we report.
+
+/// One pairwise constraint: positions `(a, b)` among the `k` variables and
+/// cell probabilities keyed `(a_present, b_present)` in the fixed order
+/// `[(1,1), (0,1), (1,0), (0,0)]`.
+#[derive(Clone, Copy, Debug)]
+pub struct PairConstraint {
+    /// First variable position.
+    pub a: usize,
+    /// Second variable position.
+    pub b: usize,
+    /// Cell probabilities `[p(ab), p(āb), p(ab̄), p(āb̄)]`.
+    pub cells: [f64; 4],
+}
+
+impl PairConstraint {
+    fn cell_index(a_present: bool, b_present: bool) -> usize {
+        match (a_present, b_present) {
+            (true, true) => 0,
+            (false, true) => 1,
+            (true, false) => 2,
+            (false, false) => 3,
+        }
+    }
+}
+
+/// The fitted joint distribution.
+#[derive(Clone, Debug)]
+pub struct IpfFit {
+    /// Number of binary variables.
+    pub k: usize,
+    /// `2^k` cell probabilities; cell index bit `i` = variable `i` present.
+    pub probabilities: Vec<f64>,
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Largest remaining |fitted − target| over all constraint cells.
+    pub max_residual: f64,
+}
+
+impl IpfFit {
+    /// The fitted marginal of one variable.
+    pub fn marginal(&self, var: usize) -> f64 {
+        self.probabilities
+            .iter()
+            .enumerate()
+            .filter(|(cell, _)| cell >> var & 1 == 1)
+            .map(|(_, &p)| p)
+            .sum()
+    }
+
+    /// The fitted four-cell distribution of a pair, ordered
+    /// `[p(ab), p(āb), p(ab̄), p(āb̄)]`.
+    pub fn pair_cells(&self, a: usize, b: usize) -> [f64; 4] {
+        let mut cells = [0.0f64; 4];
+        for (cell, &p) in self.probabilities.iter().enumerate() {
+            let idx = PairConstraint::cell_index(cell >> a & 1 == 1, cell >> b & 1 == 1);
+            cells[idx] += p;
+        }
+        cells
+    }
+}
+
+/// Runs IPF.
+///
+/// # Panics
+///
+/// Panics if `k` is 0 or exceeds 24, if a constraint references a variable
+/// out of range, or if any constraint cell is negative.
+pub fn fit(k: usize, constraints: &[PairConstraint], max_iterations: usize, tolerance: f64) -> IpfFit {
+    assert!(k > 0 && k <= 24, "k must be in 1..=24, got {k}");
+    for c in constraints {
+        assert!(c.a < k && c.b < k && c.a != c.b, "bad constraint positions ({}, {})", c.a, c.b);
+        assert!(c.cells.iter().all(|&p| p >= 0.0), "negative target probability");
+    }
+    let n_cells = 1usize << k;
+    let mut f = vec![1.0 / n_cells as f64; n_cells];
+    let mut iterations = 0;
+    let mut max_residual = f64::INFINITY;
+    while iterations < max_iterations && max_residual > tolerance {
+        max_residual = 0.0;
+        for c in constraints {
+            // Current pair marginals.
+            let mut current = [0.0f64; 4];
+            for (cell, &p) in f.iter().enumerate() {
+                current[PairConstraint::cell_index(cell >> c.a & 1 == 1, cell >> c.b & 1 == 1)] +=
+                    p;
+            }
+            let mut scale = [0.0f64; 4];
+            for i in 0..4 {
+                max_residual = max_residual.max((current[i] - c.cells[i]).abs());
+                scale[i] = if current[i] > 0.0 { c.cells[i] / current[i] } else { 0.0 };
+            }
+            for (cell, p) in f.iter_mut().enumerate() {
+                *p *= scale
+                    [PairConstraint::cell_index(cell >> c.a & 1 == 1, cell >> c.b & 1 == 1)];
+            }
+        }
+        iterations += 1;
+    }
+    // Renormalize the numerical dust so probabilities sum to exactly 1.
+    let total: f64 = f.iter().sum();
+    if total > 0.0 {
+        for p in f.iter_mut() {
+            *p /= total;
+        }
+    }
+    IpfFit { k, probabilities: f, iterations, max_residual }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Consistent 2-variable problem: IPF must hit it exactly.
+    #[test]
+    fn exact_fit_for_single_pair() {
+        let constraint = PairConstraint { a: 0, b: 1, cells: [0.2, 0.7, 0.05, 0.05] };
+        let fit = fit(2, &[constraint], 100, 1e-12);
+        assert!(fit.max_residual < 1e-12);
+        let cells = fit.pair_cells(0, 1);
+        for (got, want) in cells.iter().zip(constraint.cells) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    /// Independence targets produce a product distribution.
+    #[test]
+    fn independent_targets_give_product_form() {
+        // Three variables, all pairs independent with p = 0.3, 0.5, 0.8.
+        let p = [0.3, 0.5, 0.8];
+        let mut constraints = Vec::new();
+        for a in 0..3 {
+            for b in a + 1..3 {
+                constraints.push(PairConstraint {
+                    a,
+                    b,
+                    cells: [
+                        p[a] * p[b],
+                        (1.0 - p[a]) * p[b],
+                        p[a] * (1.0 - p[b]),
+                        (1.0 - p[a]) * (1.0 - p[b]),
+                    ],
+                });
+            }
+        }
+        let fit = fit(3, &constraints, 200, 1e-12);
+        for (cell, &prob) in fit.probabilities.iter().enumerate() {
+            let mut expected = 1.0;
+            for (v, &pv) in p.iter().enumerate() {
+                expected *= if cell >> v & 1 == 1 { pv } else { 1.0 - pv };
+            }
+            assert!(
+                (prob - expected).abs() < 1e-9,
+                "cell {cell}: {prob} vs product {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn marginals_match_constraints() {
+        let constraint = PairConstraint { a: 0, b: 2, cells: [0.1, 0.3, 0.2, 0.4] };
+        let fit = fit(3, &[constraint], 100, 1e-12);
+        assert!((fit.marginal(0) - 0.3).abs() < 1e-9); // 0.1 + 0.2
+        assert!((fit.marginal(2) - 0.4).abs() < 1e-9); // 0.1 + 0.3
+        let total: f64 = fit.probabilities.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cells_stay_zero() {
+        let constraint = PairConstraint { a: 0, b: 1, cells: [0.0, 0.6, 0.2, 0.2] };
+        let fit = fit(2, &[constraint], 100, 1e-12);
+        let cells = fit.pair_cells(0, 1);
+        assert_eq!(cells[0], 0.0);
+    }
+
+    #[test]
+    fn inconsistent_targets_reach_a_compromise() {
+        // Two constraints disagree about variable 0's marginal (0.3 vs 0.4);
+        // IPF oscillates but stays bounded, and the residual reports it.
+        let c1 = PairConstraint { a: 0, b: 1, cells: [0.15, 0.35, 0.15, 0.35] };
+        let c2 = PairConstraint { a: 0, b: 2, cells: [0.2, 0.3, 0.2, 0.3] };
+        let fit = fit(3, &[c1, c2], 500, 1e-12);
+        assert!(fit.max_residual > 1e-6, "inconsistency must show in the residual");
+        assert!(fit.max_residual < 0.12, "residual should stay near the disagreement");
+        let m0 = fit.marginal(0);
+        assert!(m0 > 0.28 && m0 < 0.42, "marginal {m0} should sit between the claims");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad constraint positions")]
+    fn out_of_range_constraint_panics() {
+        fit(2, &[PairConstraint { a: 0, b: 5, cells: [0.25; 4] }], 10, 1e-6);
+    }
+}

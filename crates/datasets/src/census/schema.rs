@@ -1,0 +1,67 @@
+//! The census schema of the paper's Table 1: ten binarized attributes.
+
+/// One binarized census attribute: the value when the item is *present*
+/// and the value when it is *absent*.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CensusAttribute {
+    /// Short identifier, `i0` through `i9`.
+    pub id: &'static str,
+    /// The attribute when present (e.g. "drives alone").
+    pub present: &'static str,
+    /// The complementary values when absent (e.g. "does not drive, carpools").
+    pub absent: &'static str,
+}
+
+/// The ten attributes exactly as printed in Table 1.
+pub const CENSUS_ATTRIBUTES: [CensusAttribute; 10] = [
+    CensusAttribute { id: "i0", present: "drives alone", absent: "does not drive, carpools" },
+    CensusAttribute {
+        id: "i1",
+        present: "male or less than 3 children",
+        absent: "3 or more children",
+    },
+    CensusAttribute { id: "i2", present: "never served in the military", absent: "veteran" },
+    CensusAttribute {
+        id: "i3",
+        present: "native speaker of English",
+        absent: "not a native speaker",
+    },
+    CensusAttribute { id: "i4", present: "not a U.S. citizen", absent: "U.S. citizen" },
+    CensusAttribute { id: "i5", present: "born in the U.S.", absent: "born abroad" },
+    CensusAttribute { id: "i6", present: "married", absent: "single, divorced, widowed" },
+    CensusAttribute {
+        id: "i7",
+        present: "no more than 40 years old",
+        absent: "more than 40 years old",
+    },
+    CensusAttribute { id: "i8", present: "male", absent: "female" },
+    CensusAttribute { id: "i9", present: "householder", absent: "dependent, boarder, renter" },
+];
+
+/// Number of census items.
+pub const N_CENSUS_ITEMS: usize = CENSUS_ATTRIBUTES.len();
+
+/// The database size of the paper's experiments.
+pub const CENSUS_N: usize = 30_370;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_attributes_with_stable_ids() {
+        assert_eq!(N_CENSUS_ITEMS, 10);
+        for (i, attr) in CENSUS_ATTRIBUTES.iter().enumerate() {
+            assert_eq!(attr.id, format!("i{i}"));
+            assert!(!attr.present.is_empty());
+            assert!(!attr.absent.is_empty());
+        }
+    }
+
+    #[test]
+    fn paper_examples_reference_real_attributes() {
+        // Example 4 mines military service (i2) against age (i7).
+        assert_eq!(CENSUS_ATTRIBUTES[2].absent, "veteran");
+        assert_eq!(CENSUS_ATTRIBUTES[7].present, "no more than 40 years old");
+    }
+}

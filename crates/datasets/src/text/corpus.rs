@@ -1,0 +1,315 @@
+//! Corpus generation: topics, Zipfian filler, planted structure.
+
+use bmb_basket::{BasketDatabase, ItemId};
+use bmb_sampling::AliasTable;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the synthetic corpus.
+#[derive(Clone, Copy, Debug)]
+pub struct TextParams {
+    /// Number of documents (the paper uses 91).
+    pub n_documents: usize,
+    /// Minimum tokens per document (the paper filtered at 200 words).
+    pub min_tokens: usize,
+    /// Maximum tokens per document.
+    pub max_tokens: usize,
+    /// Raw vocabulary size before document-frequency pruning.
+    pub vocabulary: usize,
+    /// Zipf exponent of the filler vocabulary.
+    pub zipf_exponent: f64,
+    /// Number of topics; topical words co-occur, giving the broad
+    /// correlation mass the paper observes.
+    pub n_topics: usize,
+    /// Multiplicative boost a topic gives its own slice of the vocabulary.
+    pub topic_boost: f64,
+    /// Document-frequency pruning threshold (the paper's 10%).
+    pub df_threshold: f64,
+    /// RNG seed; generation is deterministic given the seed.
+    pub seed: u64,
+}
+
+impl Default for TextParams {
+    fn default() -> Self {
+        TextParams {
+            n_documents: 91,
+            min_tokens: 200,
+            max_tokens: 600,
+            vocabulary: 4200,
+            zipf_exponent: 1.05,
+            n_topics: 6,
+            topic_boost: 20.0,
+            df_threshold: 0.10,
+            seed: 0x7e47,
+        }
+    }
+}
+
+/// Planted pair collocations `(word_a, word_b, active_fraction)`, named
+/// after Table 4's findings. In an *active* document both words appear;
+/// elsewhere they appear only at background rates.
+pub const PLANTED_PAIRS: [(&str, &str, f64); 5] = [
+    ("mandela", "nelson", 0.45),
+    ("liberia", "west", 0.35),
+    ("area", "province", 0.40),
+    ("deputy", "director", 0.30),
+    ("members", "minority", 0.30),
+];
+
+/// The parity-planted triple: pairwise independent, 3-way dependent.
+pub const PARITY_TRIPLE: [&str; 3] = ["burundi", "commission", "plan"];
+
+/// Convenience: the planted pair names without the fractions.
+pub fn planted_pairs() -> Vec<(&'static str, &'static str)> {
+    PLANTED_PAIRS.iter().map(|&(a, b, _)| (a, b)).collect()
+}
+
+/// Generates the corpus as a word-basket database (each basket = the set
+/// of distinct words of one document), then applies the paper's
+/// document-frequency pruning. Returns the pruned database; the catalog
+/// names planted words by their Table 4 names and fillers `w0000`, `w0001`,
+/// ….
+pub fn generate(params: &TextParams) -> BasketDatabase {
+    assert!(params.n_documents > 0, "need at least one document");
+    assert!(params.min_tokens <= params.max_tokens, "token bounds inverted");
+    assert!(params.n_topics > 0, "need at least one topic");
+    let mut rng = StdRng::seed_from_u64(params.seed);
+
+    // Vocabulary: planted names first, fillers after.
+    let mut names: Vec<String> = Vec::with_capacity(params.vocabulary + 16);
+    for &(a, b, _) in &PLANTED_PAIRS {
+        names.push(a.to_string());
+        names.push(b.to_string());
+    }
+    for w in PARITY_TRIPLE {
+        names.push(w.to_string());
+    }
+    let n_planted = names.len();
+    for i in 0..params.vocabulary {
+        names.push(format!("w{i:04}"));
+    }
+    let n_words = names.len();
+
+    // Topic-specific samplers over the filler portion of the vocabulary.
+    // Base weights are Zipf; each topic boosts its own contiguous slice.
+    let base: Vec<f64> = (0..params.vocabulary)
+        .map(|r| 1.0 / ((r + 1) as f64).powf(params.zipf_exponent))
+        .collect();
+    let slice_len = params.vocabulary / params.n_topics;
+    let topic_samplers: Vec<AliasTable> = (0..params.n_topics)
+        .map(|t| {
+            let lo = t * slice_len;
+            let hi = lo + slice_len;
+            let weights: Vec<f64> = base
+                .iter()
+                .enumerate()
+                .map(|(r, &w)| if r >= lo && r < hi { w * params.topic_boost } else { w })
+                .collect();
+            AliasTable::new(&weights)
+        })
+        .collect();
+
+    // Deterministic activation sets: exactly round(fraction·n) documents
+    // activate each planted pair, chosen by a seeded shuffle.
+    let n = params.n_documents;
+    let mut activations: Vec<Vec<bool>> = Vec::new();
+    for &(_, _, fraction) in &PLANTED_PAIRS {
+        let k = ((fraction * n as f64).round() as usize).min(n);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng);
+        let mut active = vec![false; n];
+        for &doc in order.iter().take(k) {
+            active[doc] = true;
+        }
+        activations.push(active);
+    }
+    // Parity triple: per document, (x, y) cycles through the four
+    // combinations (shuffled order), and the third word appears iff x == y.
+    // Every pair of the three indicators is exactly balanced — independent —
+    // while the triple is functionally determined.
+    let mut parity_combo: Vec<usize> = (0..n).map(|d| d % 4).collect();
+    parity_combo.shuffle(&mut rng);
+
+    let mut db = BasketDatabase::new(n_words);
+    for doc in 0..n {
+        let mut words: Vec<ItemId> = Vec::new();
+        // Planted pairs.
+        for (pair_idx, &(_, _, _)) in PLANTED_PAIRS.iter().enumerate() {
+            if activations[pair_idx][doc] {
+                words.push(ItemId((pair_idx * 2) as u32));
+                words.push(ItemId((pair_idx * 2 + 1) as u32));
+            }
+        }
+        // Parity triple occupies ids n_planted-3 .. n_planted.
+        let combo = parity_combo[doc];
+        let (x, y) = (combo & 1 == 1, combo & 2 == 2);
+        let base_id = (n_planted - 3) as u32;
+        if x {
+            words.push(ItemId(base_id));
+        }
+        if y {
+            words.push(ItemId(base_id + 1));
+        }
+        if x == y {
+            words.push(ItemId(base_id + 2));
+        }
+        // Filler text from this document's topic.
+        let topic = rng.gen_range(0..params.n_topics);
+        let tokens = rng.gen_range(params.min_tokens..=params.max_tokens);
+        for _ in 0..tokens {
+            let filler_rank = topic_samplers[topic].sample(&mut rng);
+            words.push(ItemId((n_planted + filler_rank) as u32));
+        }
+        db.push_basket(words);
+    }
+    db.set_catalog(bmb_basket::ItemCatalog::from_names(names));
+
+    // The paper's document-frequency pruning.
+    let min_df = (params.df_threshold * n as f64).ceil() as u64;
+    let (pruned, _) = db.filter_items(|_, count| count >= min_df);
+    pruned
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmb_basket::{ContingencyTable, Itemset};
+    use bmb_stats::Chi2Test;
+
+    fn corpus() -> BasketDatabase {
+        generate(&TextParams::default())
+    }
+
+    fn item(db: &BasketDatabase, word: &str) -> ItemId {
+        db.catalog()
+            .unwrap()
+            .get(word)
+            .unwrap_or_else(|| panic!("word {word} pruned from corpus"))
+    }
+
+    #[test]
+    fn corpus_shape_mirrors_the_paper() {
+        let db = corpus();
+        assert_eq!(db.len(), 91);
+        // "This left us with 416 distinct words" — we land in the same
+        // regime (a few hundred post-prune words).
+        assert!(
+            db.n_items() >= 150 && db.n_items() <= 900,
+            "post-prune vocabulary {} outside the paper's regime",
+            db.n_items()
+        );
+    }
+
+    #[test]
+    fn df_pruning_holds() {
+        let db = corpus();
+        for i in 0..db.n_items() {
+            let count = db.item_count(ItemId(i as u32));
+            assert!(count * 10 >= 91, "item {i} survived pruning with df {count}/91");
+        }
+    }
+
+    #[test]
+    fn planted_pairs_are_strongly_correlated() {
+        let db = corpus();
+        let test = Chi2Test::default();
+        for (a, b) in planted_pairs() {
+            let set = Itemset::from_items([item(&db, a), item(&db, b)]);
+            let table = ContingencyTable::from_database(&db, &set);
+            let outcome = test.test_dense(&table);
+            assert!(
+                outcome.significant && outcome.statistic > 20.0,
+                "{a}/{b}: χ² = {}",
+                outcome.statistic
+            );
+        }
+    }
+
+    #[test]
+    fn parity_triple_is_minimal_three_way_correlation() {
+        let db = corpus();
+        let test = Chi2Test::default();
+        let ids = [
+            item(&db, PARITY_TRIPLE[0]),
+            item(&db, PARITY_TRIPLE[1]),
+            item(&db, PARITY_TRIPLE[2]),
+        ];
+        // Every pair: independent (statistic near zero by construction).
+        for (x, y) in [(0, 1), (0, 2), (1, 2)] {
+            let set = Itemset::from_items([ids[x], ids[y]]);
+            let table = ContingencyTable::from_database(&db, &set);
+            let outcome = test.test_dense(&table);
+            assert!(
+                !outcome.significant,
+                "pair {x},{y} unexpectedly significant: χ² = {}",
+                outcome.statistic
+            );
+        }
+        // The triple: overwhelmingly significant.
+        let set = Itemset::from_items(ids);
+        let table = ContingencyTable::from_database(&db, &set);
+        let outcome = test.test_dense(&table);
+        assert!(
+            outcome.significant && outcome.statistic > 50.0,
+            "triple χ² = {}",
+            outcome.statistic
+        );
+    }
+
+    #[test]
+    fn topic_structure_correlates_a_notable_share_of_pairs() {
+        // The paper: "10% of all word pairs are correlated". Exact fractions
+        // depend on the corpus; we assert a non-trivial share without
+        // scanning all ~100k pairs — sample the first 40 items.
+        let db = corpus();
+        let test = Chi2Test::default();
+        let mut total = 0usize;
+        let mut correlated = 0usize;
+        for a in 0..40u32.min(db.n_items() as u32) {
+            for b in a + 1..40u32.min(db.n_items() as u32) {
+                let set = Itemset::from_ids([a, b]);
+                let table = ContingencyTable::from_database(&db, &set);
+                if test.test_dense(&table).significant {
+                    correlated += 1;
+                }
+                total += 1;
+            }
+        }
+        let share = correlated as f64 / total as f64;
+        assert!(
+            share > 0.04 && share < 0.8,
+            "correlated share {share} out of the plausible regime"
+        );
+    }
+
+    #[test]
+    fn documents_meet_length_floor() {
+        let db = generate(&TextParams { df_threshold: 0.0, ..TextParams::default() });
+        // Without pruning, each document's distinct-word basket reflects at
+        // least a substantial portion of its >= 200 tokens.
+        for basket in db.baskets() {
+            assert!(basket.len() >= 50, "suspiciously short document: {}", basket.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = corpus();
+        let b = corpus();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.n_items(), b.n_items());
+        for i in 0..a.len() {
+            assert_eq!(a.basket(i), b.basket(i));
+        }
+    }
+
+    #[test]
+    fn different_seed_changes_corpus() {
+        let a = corpus();
+        let b = generate(&TextParams { seed: 999, ..TextParams::default() });
+        let identical =
+            a.n_items() == b.n_items() && (0..a.len()).all(|i| a.basket(i) == b.basket(i));
+        assert!(!identical);
+    }
+}

@@ -1,0 +1,23 @@
+//! Synthetic newsgroup corpus (substitute for clari.world.africa, Sept 1996).
+//!
+//! Section 5.2 of the paper mines 91 news articles of ≥ 200 words,
+//! pruned to the 416 words occurring in at least 10% of documents. We do
+//! not have the articles, so this module generates a corpus with the same
+//! statistical anatomy:
+//!
+//! * a Zipfian vocabulary with topic structure, so that — as in the paper —
+//!   on the order of 10% of word pairs end up correlated;
+//! * *planted collocations* named after Table 4's strongest findings
+//!   (nelson-mandela, liberia-west, area-province, deputy-director,
+//!   members-minority), with activation counts fixed per corpus so the
+//!   reproduction is deterministic;
+//! * a *parity-planted triple* (burundi, commission, plan) that is 3-way
+//!   correlated while every pair is independent — the "minimal correlated
+//!   triple" phenomenon Table 4 reports (commission and plan alone are
+//!   not correlated).
+
+pub mod corpus;
+pub mod sequences;
+
+pub use corpus::{generate, planted_pairs, TextParams, PARITY_TRIPLE, PLANTED_PAIRS};
+pub use sequences::{generate_sequences, SequenceCorpus};

@@ -1,0 +1,186 @@
+//! Ordered token streams — the corpus with word order preserved.
+//!
+//! The basket abstraction deliberately forgets ordering ("there could be
+//! structure in the data (e.g., word ordering within documents) that is
+//! lost in this general framework" — Section 1.1). The paper's conclusion
+//! proposes rules that exploit that ordering; this module generates the
+//! corpus as token sequences so `bmb-core::locality` can test them.
+//! Planted *collocation adjacency*: in documents where a planted pair is
+//! active, the two words are also emitted adjacently several times (the
+//! way "Nelson" precedes "Mandela" in real text).
+
+use bmb_basket::{BasketDatabase, ItemCatalog, ItemId};
+use bmb_sampling::AliasTable;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use super::corpus::{TextParams, PARITY_TRIPLE, PLANTED_PAIRS};
+
+/// A corpus with ordering: token streams plus the word catalog.
+#[derive(Clone, Debug)]
+pub struct SequenceCorpus {
+    /// One token stream per document.
+    pub documents: Vec<Vec<ItemId>>,
+    /// Word names for the item space.
+    pub catalog: ItemCatalog,
+}
+
+impl SequenceCorpus {
+    /// The number of distinct words in the item space.
+    pub fn n_words(&self) -> usize {
+        self.catalog.len()
+    }
+
+    /// Collapses the ordered corpus into a basket database (distinct words
+    /// per document), the Section 5.2 representation.
+    pub fn to_baskets(&self) -> BasketDatabase {
+        let mut db = BasketDatabase::new(self.n_words());
+        for doc in &self.documents {
+            db.push_basket(doc.iter().copied());
+        }
+        db.set_catalog(self.catalog.clone());
+        db
+    }
+}
+
+/// Generates an ordered corpus. Shares [`TextParams`] with the unordered
+/// generator but emits token streams; planted pairs appear *adjacent*
+/// (within a couple of tokens) in their active documents.
+pub fn generate_sequences(params: &TextParams) -> SequenceCorpus {
+    assert!(params.n_documents > 0, "need at least one document");
+    assert!(params.min_tokens <= params.max_tokens, "token bounds inverted");
+    assert!(params.n_topics > 0, "need at least one topic");
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0x5e9);
+
+    let mut names: Vec<String> = Vec::new();
+    for &(a, b, _) in &PLANTED_PAIRS {
+        names.push(a.to_string());
+        names.push(b.to_string());
+    }
+    for w in PARITY_TRIPLE {
+        names.push(w.to_string());
+    }
+    let n_planted = names.len();
+    for i in 0..params.vocabulary {
+        names.push(format!("w{i:04}"));
+    }
+    let catalog = ItemCatalog::from_names(names);
+
+    let base: Vec<f64> = (0..params.vocabulary)
+        .map(|r| 1.0 / ((r + 1) as f64).powf(params.zipf_exponent))
+        .collect();
+    let slice_len = params.vocabulary / params.n_topics;
+    let topic_samplers: Vec<AliasTable> = (0..params.n_topics)
+        .map(|t| {
+            let lo = t * slice_len;
+            let hi = lo + slice_len;
+            let weights: Vec<f64> = base
+                .iter()
+                .enumerate()
+                .map(|(r, &w)| if r >= lo && r < hi { w * params.topic_boost } else { w })
+                .collect();
+            AliasTable::new(&weights)
+        })
+        .collect();
+
+    let n = params.n_documents;
+    let mut activations: Vec<Vec<bool>> = Vec::new();
+    for &(_, _, fraction) in &PLANTED_PAIRS {
+        let k = ((fraction * n as f64).round() as usize).min(n);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng);
+        let mut active = vec![false; n];
+        for &doc in order.iter().take(k) {
+            active[doc] = true;
+        }
+        activations.push(active);
+    }
+
+    let mut documents = Vec::with_capacity(n);
+    for doc in 0..n {
+        let topic = rng.gen_range(0..params.n_topics);
+        let tokens = rng.gen_range(params.min_tokens..=params.max_tokens);
+        let mut stream: Vec<ItemId> = Vec::with_capacity(tokens + 16);
+        for _ in 0..tokens {
+            let filler_rank = topic_samplers[topic].sample(&mut rng);
+            stream.push(ItemId((n_planted + filler_rank) as u32));
+        }
+        // Splice the active collocations in as *adjacent* token pairs, a
+        // few mentions each, at random positions.
+        for (pair_idx, active) in activations.iter().enumerate() {
+            if !active[doc] {
+                continue;
+            }
+            let first = ItemId((pair_idx * 2) as u32);
+            let second = ItemId((pair_idx * 2 + 1) as u32);
+            let mentions = rng.gen_range(2..=5);
+            for _ in 0..mentions {
+                let at = rng.gen_range(0..=stream.len());
+                stream.insert(at, second);
+                stream.insert(at, first);
+            }
+        }
+        documents.push(stream);
+    }
+    SequenceCorpus { documents, catalog }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequences_have_order_and_length() {
+        let corpus = generate_sequences(&TextParams {
+            vocabulary: 500,
+            ..TextParams::default()
+        });
+        assert_eq!(corpus.documents.len(), 91);
+        for doc in &corpus.documents {
+            assert!(doc.len() >= 200, "document shorter than the paper's floor");
+        }
+    }
+
+    #[test]
+    fn collapsing_to_baskets_matches_membership() {
+        let corpus = generate_sequences(&TextParams {
+            vocabulary: 300,
+            ..TextParams::default()
+        });
+        let db = corpus.to_baskets();
+        assert_eq!(db.len(), corpus.documents.len());
+        for (i, doc) in corpus.documents.iter().enumerate() {
+            for &token in doc {
+                assert!(db.basket(i).contains(&token));
+            }
+        }
+    }
+
+    #[test]
+    fn planted_pairs_are_adjacent_in_active_documents() {
+        let corpus = generate_sequences(&TextParams {
+            vocabulary: 400,
+            ..TextParams::default()
+        });
+        let mandela = corpus.catalog.get("mandela").unwrap();
+        let nelson = corpus.catalog.get("nelson").unwrap();
+        let mut adjacent = 0usize;
+        for doc in &corpus.documents {
+            for w in doc.windows(2) {
+                if w[0] == mandela && w[1] == nelson {
+                    adjacent += 1;
+                }
+            }
+        }
+        assert!(adjacent >= 40, "expected many adjacent mentions, got {adjacent}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let params = TextParams { vocabulary: 200, ..TextParams::default() };
+        let a = generate_sequences(&params);
+        let b = generate_sequences(&params);
+        assert_eq!(a.documents, b.documents);
+    }
+}

@@ -1,0 +1,184 @@
+//! The border of an upward-closed property (Section 2.2 of the paper).
+//!
+//! For an upward-closed property (like chi-squared correlation at a fixed
+//! significance level), the minimal itemsets possessing it form an
+//! *antichain* that encodes the whole property: a set has the property iff
+//! it is a superset of some border element. This module stores such borders
+//! and answers above/below queries.
+
+use bmb_basket::Itemset;
+
+/// A border: an antichain of minimal itemsets possessing an upward-closed
+/// property.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Border {
+    /// Minimal elements, sorted lexicographically.
+    minimal: Vec<Itemset>,
+}
+
+impl Border {
+    /// An empty border: no itemset has the property.
+    pub fn empty() -> Self {
+        Border::default()
+    }
+
+    /// Builds a border from arbitrary property-holders, discarding
+    /// non-minimal elements so the result is an antichain.
+    pub fn from_holders<I: IntoIterator<Item = Itemset>>(holders: I) -> Self {
+        let mut sets: Vec<Itemset> = holders.into_iter().collect();
+        // Sorting by size lets each set be checked only against smaller ones.
+        sets.sort_unstable_by_key(|s| (s.len(), s.clone()));
+        sets.dedup();
+        let mut minimal: Vec<Itemset> = Vec::new();
+        'outer: for s in sets {
+            for m in &minimal {
+                if m.is_subset_of(&s) {
+                    continue 'outer;
+                }
+            }
+            minimal.push(s);
+        }
+        minimal.sort_unstable();
+        Border { minimal }
+    }
+
+    /// Builds directly from elements already known to be minimal.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the elements are not an antichain.
+    pub fn from_minimal(mut minimal: Vec<Itemset>) -> Self {
+        minimal.sort_unstable();
+        minimal.dedup();
+        debug_assert!(
+            is_antichain(&minimal),
+            "border elements must be mutually incomparable"
+        );
+        Border { minimal }
+    }
+
+    /// The minimal elements, sorted.
+    pub fn minimal_sets(&self) -> &[Itemset] {
+        &self.minimal
+    }
+
+    /// Number of minimal elements.
+    pub fn len(&self) -> usize {
+        self.minimal.len()
+    }
+
+    /// Whether the border is empty (property holds nowhere).
+    pub fn is_empty(&self) -> bool {
+        self.minimal.is_empty()
+    }
+
+    /// Whether `set` is at or above the border, i.e. has the property.
+    pub fn covers(&self, set: &Itemset) -> bool {
+        self.minimal.iter().any(|m| m.is_subset_of(set))
+    }
+
+    /// Whether `set` is itself a minimal property-holder.
+    pub fn is_minimal(&self, set: &Itemset) -> bool {
+        self.minimal.binary_search(set).is_ok()
+    }
+
+    /// The lowest level (itemset size) at which the property appears.
+    pub fn lowest_level(&self) -> Option<usize> {
+        self.minimal.iter().map(|s| s.len()).min()
+    }
+
+    /// The highest level among minimal elements (where the border "peaks").
+    pub fn highest_level(&self) -> Option<usize> {
+        self.minimal.iter().map(|s| s.len()).max()
+    }
+
+    /// Merges two borders: the border of the union of the two properties'
+    /// holder sets (property holds if either held).
+    pub fn union(&self, other: &Border) -> Border {
+        Border::from_holders(self.minimal.iter().chain(other.minimal.iter()).cloned())
+    }
+}
+
+/// Whether a sorted, deduplicated list of itemsets is an antichain.
+pub fn is_antichain(sets: &[Itemset]) -> bool {
+    for (i, a) in sets.iter().enumerate() {
+        for b in &sets[i + 1..] {
+            if a.is_subset_of(b) || b.is_subset_of(a) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(ids: &[u32]) -> Itemset {
+        Itemset::from_ids(ids.iter().copied())
+    }
+
+    #[test]
+    fn from_holders_discards_non_minimal() {
+        let border = Border::from_holders(vec![
+            s(&[1, 2]),
+            s(&[1, 2, 3]), // superset of {1,2} — not minimal
+            s(&[4]),
+            s(&[4, 5]), // superset of {4}
+            s(&[2, 3]),
+        ]);
+        assert_eq!(border.minimal_sets(), &[s(&[1, 2]), s(&[2, 3]), s(&[4])]);
+    }
+
+    #[test]
+    fn covers_follows_upward_closure() {
+        let border = Border::from_minimal(vec![s(&[1, 2]), s(&[3])]);
+        assert!(border.covers(&s(&[1, 2])));
+        assert!(border.covers(&s(&[1, 2, 9])));
+        assert!(border.covers(&s(&[3])));
+        assert!(border.covers(&s(&[0, 3])));
+        assert!(!border.covers(&s(&[1])));
+        assert!(!border.covers(&s(&[2, 9])));
+        assert!(!border.covers(&Itemset::empty()));
+    }
+
+    #[test]
+    fn minimality_queries() {
+        let border = Border::from_minimal(vec![s(&[1, 2]), s(&[3])]);
+        assert!(border.is_minimal(&s(&[1, 2])));
+        assert!(!border.is_minimal(&s(&[1, 2, 3])));
+        assert_eq!(border.lowest_level(), Some(1));
+        assert_eq!(border.highest_level(), Some(2));
+    }
+
+    #[test]
+    fn empty_border_covers_nothing() {
+        let border = Border::empty();
+        assert!(!border.covers(&s(&[1])));
+        assert!(border.is_empty());
+        assert_eq!(border.lowest_level(), None);
+    }
+
+    #[test]
+    fn union_re_minimizes() {
+        let a = Border::from_minimal(vec![s(&[1, 2])]);
+        let b = Border::from_minimal(vec![s(&[1])]);
+        let u = a.union(&b);
+        // {1} subsumes {1,2}.
+        assert_eq!(u.minimal_sets(), &[s(&[1])]);
+    }
+
+    #[test]
+    fn antichain_check() {
+        assert!(is_antichain(&[s(&[1]), s(&[2, 3])]));
+        assert!(!is_antichain(&[s(&[1]), s(&[1, 2])]));
+        assert!(is_antichain(&[]));
+    }
+
+    #[test]
+    fn duplicate_holders_collapse() {
+        let border = Border::from_holders(vec![s(&[7]), s(&[7]), s(&[7, 8])]);
+        assert_eq!(border.len(), 1);
+    }
+}

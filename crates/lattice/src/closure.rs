@@ -1,0 +1,218 @@
+//! Closure properties over the itemset lattice (Section 2.1 of the paper).
+//!
+//! *Downward closed*: if a set has the property, so does every subset
+//! (support). *Upward closed*: if a set has it, so does every superset
+//! (correlation at a fixed significance level — Theorem 1). This module
+//! checks either property exhaustively over a small item universe, which is
+//! how the reproduction's property tests validate Theorem 1 empirically,
+//! and derives borders from arbitrary predicates.
+
+use bmb_basket::{ItemId, Itemset};
+
+use crate::border::Border;
+
+/// Exhaustively enumerates all non-empty subsets of `0..n_items`.
+///
+/// Sizes are capped by `max_size` to keep enumeration affordable.
+pub fn enumerate_itemsets(n_items: u32, max_size: usize) -> Vec<Itemset> {
+    let universe = Itemset::from_items((0..n_items).map(ItemId));
+    let mut out = Vec::new();
+    for size in 1..=max_size.min(n_items as usize) {
+        out.extend(universe.subsets_of_size(size));
+    }
+    out
+}
+
+/// A counterexample to a closure claim: `small ⊂ large` where the property
+/// holds on one side but not the other.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClosureViolation {
+    /// The subset.
+    pub small: Itemset,
+    /// The superset (exactly one item larger).
+    pub large: Itemset,
+}
+
+/// Checks that `property` is upward closed on all itemsets over `0..n_items`
+/// up to `max_size` items: whenever it holds on a set it holds on every
+/// one-item extension. Returns the first violation found.
+pub fn check_upward_closed<F>(
+    n_items: u32,
+    max_size: usize,
+    mut property: F,
+) -> Option<ClosureViolation>
+where
+    F: FnMut(&Itemset) -> bool,
+{
+    for set in enumerate_itemsets(n_items, max_size.saturating_sub(1)) {
+        if !property(&set) {
+            continue;
+        }
+        for next in 0..n_items {
+            let id = ItemId(next);
+            if set.contains(id) {
+                continue;
+            }
+            let bigger = set.with_item(id);
+            if !property(&bigger) {
+                return Some(ClosureViolation { small: set, large: bigger });
+            }
+        }
+    }
+    None
+}
+
+/// Checks that `property` is downward closed: whenever it holds on a set it
+/// holds on every facet. Returns the first violation found.
+pub fn check_downward_closed<F>(
+    n_items: u32,
+    max_size: usize,
+    mut property: F,
+) -> Option<ClosureViolation>
+where
+    F: FnMut(&Itemset) -> bool,
+{
+    for set in enumerate_itemsets(n_items, max_size) {
+        if set.len() < 2 || !property(&set) {
+            continue;
+        }
+        let facets: Vec<Itemset> = set.facets().collect();
+        for facet in facets {
+            if !property(&facet) {
+                return Some(ClosureViolation { small: facet, large: set });
+            }
+        }
+    }
+    None
+}
+
+/// Computes the exact border of an upward-closed predicate by exhaustive
+/// enumeration — the ground truth the mining algorithms are tested against.
+pub fn exhaustive_border<F>(n_items: u32, max_size: usize, mut property: F) -> Border
+where
+    F: FnMut(&Itemset) -> bool,
+{
+    let holders = enumerate_itemsets(n_items, max_size)
+        .into_iter()
+        .filter(|s| property(s));
+    Border::from_holders(holders)
+}
+
+/// The *negative border* of an upward-closed predicate: the maximal
+/// itemsets that do **not** hold it (within `max_size`). Together with
+/// [`exhaustive_border`] this partitions the lattice — a set holds the
+/// property iff it is above the positive border, iff it is not below the
+/// negative one. (For the dual notion over downward-closed properties see
+/// Mannila & Toivonen; the paper's SIG/NOTSIG split is exactly this
+/// positive/negative boundary restricted to supported sets.)
+pub fn exhaustive_negative_border<F>(
+    n_items: u32,
+    max_size: usize,
+    mut property: F,
+) -> Vec<Itemset>
+where
+    F: FnMut(&Itemset) -> bool,
+{
+    let non_holders: Vec<Itemset> = enumerate_itemsets(n_items, max_size)
+        .into_iter()
+        .filter(|s| !property(s))
+        .collect();
+    // Maximal elements: no other non-holder strictly contains them.
+    let mut maximal: Vec<Itemset> = Vec::new();
+    'outer: for s in &non_holders {
+        for t in &non_holders {
+            if s != t && s.is_subset_of(t) {
+                continue 'outer;
+            }
+        }
+        maximal.push(s.clone());
+    }
+    maximal.sort_unstable();
+    maximal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_counts() {
+        // Σ C(5, i) for i in 1..=5 is 31.
+        assert_eq!(enumerate_itemsets(5, 5).len(), 31);
+        assert_eq!(enumerate_itemsets(5, 2).len(), 15);
+        assert_eq!(enumerate_itemsets(0, 3).len(), 0);
+    }
+
+    #[test]
+    fn size_threshold_is_upward_closed() {
+        assert_eq!(check_upward_closed(6, 4, |s| s.len() >= 3), None);
+    }
+
+    #[test]
+    fn size_threshold_is_downward_open() {
+        let violation = check_downward_closed(6, 4, |s| s.len() >= 3).unwrap();
+        assert_eq!(violation.large.len(), 3);
+        assert_eq!(violation.small.len(), 2);
+    }
+
+    #[test]
+    fn membership_cap_is_downward_closed() {
+        // "contains no item above 3" survives subsetting.
+        assert_eq!(
+            check_downward_closed(6, 4, |s| s.items().iter().all(|i| i.0 <= 3)),
+            None
+        );
+    }
+
+    #[test]
+    fn non_monotone_property_caught_both_ways() {
+        // "even size" is closed in neither direction.
+        assert!(check_upward_closed(5, 4, |s| s.len() % 2 == 0).is_some());
+        assert!(check_downward_closed(5, 4, |s| s.len() % 2 == 0).is_some());
+    }
+
+    #[test]
+    fn negative_border_complements_the_positive() {
+        // Property: contains item 0. Positive border = {{0}}; negative
+        // border = the full complement set {1,2,3,4} (every non-holder is
+        // below it).
+        let positive = exhaustive_border(5, 5, |s| s.contains(ItemId(0)));
+        let negative = exhaustive_negative_border(5, 5, |s| s.contains(ItemId(0)));
+        assert_eq!(positive.minimal_sets(), &[Itemset::from_ids([0])]);
+        assert_eq!(negative, vec![Itemset::from_ids([1, 2, 3, 4])]);
+        // Partition check over the whole (truncated) lattice.
+        for set in enumerate_itemsets(5, 5) {
+            let holds = set.contains(ItemId(0));
+            assert_eq!(positive.covers(&set), holds, "{set}");
+            let below_negative = negative.iter().any(|m| set.is_subset_of(m));
+            assert_eq!(below_negative, !holds, "{set}");
+        }
+    }
+
+    #[test]
+    fn negative_border_of_size_property() {
+        // Property: size >= 3 over 4 items. Non-holders are all sets of
+        // size <= 2; the maximal ones are exactly the C(4,2) = 6 pairs.
+        let negative = exhaustive_negative_border(4, 4, |s| s.len() >= 3);
+        assert_eq!(negative.len(), 6);
+        assert!(negative.iter().all(|s| s.len() == 2));
+    }
+
+    #[test]
+    fn everything_holds_means_empty_negative_border() {
+        let negative = exhaustive_negative_border(4, 4, |_| true);
+        assert!(negative.is_empty());
+    }
+
+    #[test]
+    fn exhaustive_border_of_membership_property() {
+        // Property: contains item 0 or contains both 2 and 3.
+        let border = exhaustive_border(5, 5, |s| {
+            s.contains(ItemId(0)) || (s.contains(ItemId(2)) && s.contains(ItemId(3)))
+        });
+        assert_eq!(
+            border.minimal_sets(),
+            &[Itemset::from_ids([0]), Itemset::from_ids([2, 3])]
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! # bmb-lattice — itemset lattice machinery
+//!
+//! The lattice-algorithm substrate of the *Beyond Market Baskets*
+//! reproduction:
+//!
+//! * [`ItemsetTable`] — the constant-time membership table behind the
+//!   paper's SIG/NOTSIG/CAND bookkeeping (Figure 1, Step 8);
+//! * [`levelwise`] — candidate generation by prefix join + facet check;
+//! * [`Border`] — antichains of minimal itemsets for upward-closed
+//!   properties (Section 2.2);
+//! * [`closure`] — exhaustive upward/downward closure checking and ground-
+//!   truth borders for small universes;
+//! * [`walk`] — the random-walk border sampler the paper sketches as future
+//!   work (Sections 2.1 and 6);
+//! * [`datacube`] — contingency tables served from a one-scan count cube,
+//!   the "natural implementation" the paper mentions for walks.
+
+#![warn(missing_docs)]
+
+pub mod border;
+pub mod closure;
+pub mod datacube;
+pub mod fnv;
+pub mod itemset_table;
+pub mod levelwise;
+pub mod walk;
+
+pub use border::{is_antichain, Border};
+pub use closure::{
+    check_downward_closed, check_upward_closed, exhaustive_border,
+    exhaustive_negative_border,
+};
+pub use datacube::{CountCube, MAX_CUBE_DIMS};
+pub use fnv::{BuildFnv, FnvHashMap, FnvHasher};
+pub use itemset_table::ItemsetTable;
+pub use levelwise::{all_facets_present, generate_candidates};
+pub use walk::{random_walk_border, WalkConfig, WalkOutcome, WalkStats};

@@ -1,0 +1,207 @@
+//! Random walks on the itemset lattice.
+//!
+//! The paper (Sections 2.1, 4, 6) repeatedly points at the random-walk
+//! algorithm of Gunopulos, Mannila & Saluja as the natural companion to
+//! level-wise search for upward-closed properties: "a given walk can stop
+//! as soon as it crosses the border. It can then do a local analysis of the
+//! border near the crossing." This module implements that idea: walk up
+//! from the empty set adding random items until the property first holds,
+//! then walk back down (greedy item removal) to a *minimal* holder. Many
+//! walks collect a sample of the border; on lattices whose border is small
+//! the sample converges to the whole border quickly.
+
+use bmb_basket::{ItemId, Itemset};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::border::Border;
+
+/// Configuration of a border random walk.
+#[derive(Clone, Copy, Debug)]
+pub struct WalkConfig {
+    /// Number of independent walks to run.
+    pub walks: usize,
+    /// Abandon a walk that reaches this many items without the property.
+    pub max_level: usize,
+    /// RNG seed; walks are deterministic given the seed.
+    pub seed: u64,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        WalkConfig { walks: 64, max_level: usize::MAX, seed: 0x5eed }
+    }
+}
+
+/// Statistics from a batch of walks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalkStats {
+    /// Walks that crossed the border.
+    pub crossings: usize,
+    /// Walks abandoned at `max_level`.
+    pub abandoned: usize,
+    /// Total property evaluations performed.
+    pub evaluations: usize,
+}
+
+/// Result of [`random_walk_border`]: a sampled border plus walk statistics.
+#[derive(Clone, Debug)]
+pub struct WalkOutcome {
+    /// Border elements discovered (always genuinely minimal holders).
+    pub border: Border,
+    /// Walk accounting.
+    pub stats: WalkStats,
+}
+
+/// Samples the border of an upward-closed `property` over items
+/// `0..n_items` by repeated random walks.
+///
+/// The property is assumed upward closed; minimality of the returned sets
+/// is guaranteed only under that assumption (each result is verified to
+/// hold, with no holding facet).
+pub fn random_walk_border<F>(n_items: u32, config: WalkConfig, mut property: F) -> WalkOutcome
+where
+    F: FnMut(&Itemset) -> bool,
+{
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut stats = WalkStats::default();
+    let mut found: Vec<Itemset> = Vec::new();
+    let mut order: Vec<ItemId> = (0..n_items).map(ItemId).collect();
+
+    for _ in 0..config.walks {
+        order.shuffle(&mut rng);
+        // Walk up until the property first holds.
+        let mut current = Itemset::empty();
+        let mut crossed = None;
+        for &item in order.iter().take(config.max_level.min(order.len())) {
+            current = current.with_item(item);
+            stats.evaluations += 1;
+            if property(&current) {
+                crossed = Some(current.clone());
+                break;
+            }
+        }
+        match crossed {
+            None => stats.abandoned += 1,
+            Some(holder) => {
+                stats.crossings += 1;
+                let minimal = minimize(holder, &mut property, &mut stats);
+                found.push(minimal);
+            }
+        }
+    }
+    WalkOutcome { border: Border::from_holders(found), stats }
+}
+
+/// Greedy descent: removes items one at a time while the property still
+/// holds, yielding a minimal holder (for an upward-closed property).
+fn minimize<F>(mut set: Itemset, property: &mut F, stats: &mut WalkStats) -> Itemset
+where
+    F: FnMut(&Itemset) -> bool,
+{
+    loop {
+        let mut shrunk = false;
+        for item in set.items().to_vec() {
+            if set.len() == 1 {
+                break;
+            }
+            let smaller = set.without_item(item);
+            stats.evaluations += 1;
+            if property(&smaller) {
+                set = smaller;
+                shrunk = true;
+            }
+        }
+        if !shrunk {
+            return set;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closure::exhaustive_border;
+
+    #[test]
+    fn finds_simple_membership_border() {
+        // Property: contains item 3, or contains both 0 and 1.
+        let property = |s: &Itemset| {
+            s.contains(ItemId(3)) || (s.contains(ItemId(0)) && s.contains(ItemId(1)))
+        };
+        let outcome = random_walk_border(6, WalkConfig { walks: 200, ..Default::default() }, property);
+        let exact = exhaustive_border(6, 6, property);
+        assert_eq!(outcome.border, exact);
+        assert_eq!(outcome.stats.crossings, 200);
+        assert_eq!(outcome.stats.abandoned, 0);
+    }
+
+    #[test]
+    fn results_are_genuinely_minimal() {
+        let property = |s: &Itemset| s.len() >= 3;
+        let outcome =
+            random_walk_border(7, WalkConfig { walks: 100, ..Default::default() }, property);
+        for m in outcome.border.minimal_sets() {
+            assert_eq!(m.len(), 3);
+            assert!(property(m));
+            for facet in m.facets() {
+                assert!(!property(&facet), "facet {facet} also holds — not minimal");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_property_abandons_all_walks() {
+        let outcome = random_walk_border(
+            5,
+            WalkConfig { walks: 10, ..Default::default() },
+            |_| false,
+        );
+        assert!(outcome.border.is_empty());
+        assert_eq!(outcome.stats.abandoned, 10);
+        assert_eq!(outcome.stats.crossings, 0);
+    }
+
+    #[test]
+    fn max_level_caps_walk_depth() {
+        // Property only holds at size 4, but walks stop at 2.
+        let outcome = random_walk_border(
+            6,
+            WalkConfig { walks: 20, max_level: 2, seed: 1 },
+            |s: &Itemset| s.len() >= 4,
+        );
+        assert!(outcome.border.is_empty());
+        assert_eq!(outcome.stats.abandoned, 20);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let property = |s: &Itemset| s.contains(ItemId(2));
+        let cfg = WalkConfig { walks: 16, max_level: 8, seed: 99 };
+        let a = random_walk_border(8, cfg, property);
+        let b = random_walk_border(8, cfg, property);
+        assert_eq!(a.border, b.border);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn high_chi2_ceiling_style_pruning_composes() {
+        // The paper suggests walks suit non-downward-closed pruning like
+        // "ignore absurdly obvious correlations". Model that as a property
+        // window: holds iff it contains {0,1} but NOT item 5 (the "too
+        // obvious" marker). The walk still finds the windowed border
+        // because the predicate is evaluated directly.
+        let property = |s: &Itemset| {
+            s.contains(ItemId(0)) && s.contains(ItemId(1)) && !s.contains(ItemId(5))
+        };
+        let outcome = random_walk_border(
+            6,
+            WalkConfig { walks: 400, ..Default::default() },
+            property,
+        );
+        // Some walks pick item 5 early and never satisfy the property; the
+        // rest cross at {0,1}.
+        assert!(outcome.border.covers(&Itemset::from_ids([0, 1])));
+    }
+}

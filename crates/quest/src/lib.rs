@@ -1,0 +1,31 @@
+//! # bmb-quest — the IBM Quest synthetic data generator, reimplemented
+//!
+//! Section 5.3 of *Beyond Market Baskets* evaluates pruning on "synthetic
+//! data from IBM's Quest group". The original generator is not
+//! distributable, so this crate reimplements the published algorithm
+//! (Agrawal & Srikant, VLDB '94): weighted "potentially large" itemsets
+//! with inter-pattern correlation and per-use corruption, packed into
+//! Poisson-sized transactions.
+//!
+//! ```
+//! use bmb_quest::{generate, QuestParams};
+//!
+//! let db = generate(&QuestParams {
+//!     n_transactions: 100,
+//!     n_items: 50,
+//!     avg_transaction_len: 5.0,
+//!     n_patterns: 10,
+//!     ..QuestParams::default()
+//! });
+//! assert_eq!(db.len(), 100);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod params;
+pub mod patterns;
+
+pub use generator::generate;
+pub use params::QuestParams;
+pub use patterns::{Pattern, PatternPool};

@@ -1,0 +1,206 @@
+//! The "potentially large" itemsets seeding Quest transactions.
+//!
+//! Following Agrawal & Srikant: pattern sizes are Poisson around `|I|`
+//! (minimum 1); each pattern shares an exponentially-distributed fraction
+//! of its items with its predecessor (modelling the fact that frequent
+//! itemsets overlap); pattern weights are exponential and normalized, and
+//! each pattern carries a corruption level drawn from a clamped normal.
+
+use bmb_basket::ItemId;
+use bmb_sampling::{exponential, normal, poisson, AliasTable, Zipf};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::params::QuestParams;
+
+/// One potentially large itemset.
+#[derive(Clone, Debug)]
+pub struct Pattern {
+    /// The items, sorted.
+    pub items: Vec<ItemId>,
+    /// Relative selection weight (normalized across the pattern set).
+    pub weight: f64,
+    /// Corruption level in `[0,1]`: higher means more items dropped per use.
+    pub corruption: f64,
+}
+
+/// The full pattern pool plus its weighted sampler.
+#[derive(Clone, Debug)]
+pub struct PatternPool {
+    patterns: Vec<Pattern>,
+    sampler: AliasTable,
+}
+
+impl PatternPool {
+    /// Generates the pool from `params` using `rng`.
+    pub fn generate<R: Rng + ?Sized>(params: &QuestParams, rng: &mut R) -> Self {
+        params.validate();
+        // Item popularity: uniform at exponent 0, power-law above.
+        let popularity = Zipf::new(params.n_items, params.item_zipf_exponent);
+        let mut patterns: Vec<Pattern> = Vec::with_capacity(params.n_patterns);
+        let mut previous: Vec<ItemId> = Vec::new();
+        for _ in 0..params.n_patterns {
+            let size = (poisson(rng, params.avg_pattern_len - 1.0) + 1)
+                .min(params.n_items as u64) as usize;
+            let mut items: Vec<ItemId> = Vec::with_capacity(size);
+            // Carry over a fraction of the previous pattern's items.
+            if !previous.is_empty() && params.correlation > 0.0 {
+                let frac = exponential(rng, 1.0 / params.correlation).min(1.0);
+                let carry = ((frac * size as f64).round() as usize)
+                    .min(previous.len())
+                    .min(size);
+                let mut prev = previous.clone();
+                prev.shuffle(rng);
+                items.extend(prev.into_iter().take(carry));
+            }
+            // Fill the remainder with fresh items drawn by popularity.
+            while items.len() < size {
+                let candidate = ItemId(popularity.sample(rng) as u32);
+                if !items.contains(&candidate) {
+                    items.push(candidate);
+                }
+            }
+            items.sort_unstable();
+            items.dedup();
+            let weight = exponential(rng, 1.0);
+            let corruption =
+                normal(rng, params.corruption_mean, params.corruption_sd).clamp(0.0, 1.0);
+            previous.clone_from(&items);
+            patterns.push(Pattern { items, weight, corruption });
+        }
+        let total: f64 = patterns.iter().map(|p| p.weight).sum();
+        for p in &mut patterns {
+            p.weight /= total;
+        }
+        let sampler = AliasTable::new(
+            &patterns.iter().map(|p| p.weight).collect::<Vec<f64>>(),
+        );
+        PatternPool { patterns, sampler }
+    }
+
+    /// All patterns.
+    pub fn patterns(&self) -> &[Pattern] {
+        &self.patterns
+    }
+
+    /// Draws one pattern index by weight.
+    pub fn sample_index<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.sampler.sample(rng)
+    }
+
+    /// Draws a reference to one pattern by weight.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> &Pattern {
+        &self.patterns[self.sample_index(rng)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pool(params: &QuestParams) -> PatternPool {
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        PatternPool::generate(params, &mut rng)
+    }
+
+    #[test]
+    fn pool_size_and_item_validity() {
+        let params = QuestParams { n_patterns: 500, n_items: 100, ..Default::default() };
+        let pool = pool(&params);
+        assert_eq!(pool.patterns().len(), 500);
+        for p in pool.patterns() {
+            assert!(!p.items.is_empty());
+            assert!(p.items.windows(2).all(|w| w[0] < w[1]), "items not sorted/deduped");
+            assert!(p.items.iter().all(|i| i.index() < 100));
+            assert!((0.0..=1.0).contains(&p.corruption));
+        }
+    }
+
+    #[test]
+    fn weights_normalized() {
+        let params = QuestParams { n_patterns: 300, ..Default::default() };
+        let pool = pool(&params);
+        let total: f64 = pool.patterns().iter().map(|p| p.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn average_pattern_size_tracks_parameter() {
+        let params = QuestParams {
+            n_patterns: 4000,
+            avg_pattern_len: 4.0,
+            n_items: 1000,
+            ..Default::default()
+        };
+        let pool = pool(&params);
+        let mean: f64 = pool.patterns().iter().map(|p| p.items.len() as f64).sum::<f64>()
+            / pool.patterns().len() as f64;
+        assert!((mean - 4.0).abs() < 0.25, "mean pattern size {mean}");
+    }
+
+    #[test]
+    fn consecutive_patterns_overlap_more_than_random() {
+        let params = QuestParams {
+            n_patterns: 2000,
+            n_items: 1000,
+            avg_pattern_len: 6.0,
+            correlation: 0.9,
+            ..Default::default()
+        };
+        let pool = pool(&params);
+        let overlap = |a: &[ItemId], b: &[ItemId]| {
+            a.iter().filter(|i| b.contains(i)).count()
+        };
+        let consecutive: usize = pool
+            .patterns()
+            .windows(2)
+            .map(|w| overlap(&w[0].items, &w[1].items))
+            .sum();
+        let distant: usize = (0..pool.patterns().len() - 500)
+            .map(|i| overlap(&pool.patterns()[i].items, &pool.patterns()[i + 500].items))
+            .sum();
+        assert!(
+            consecutive > distant * 2,
+            "consecutive overlap {consecutive} vs distant {distant}"
+        );
+    }
+
+    #[test]
+    fn weighted_sampling_prefers_heavy_patterns() {
+        let params = QuestParams { n_patterns: 50, ..Default::default() };
+        let pool = pool(&params);
+        let heaviest = pool
+            .patterns()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.weight.partial_cmp(&b.1.weight).unwrap())
+            .unwrap()
+            .0;
+        let lightest = pool
+            .patterns()
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.weight.partial_cmp(&b.1.weight).unwrap())
+            .unwrap()
+            .0;
+        let mut rng = StdRng::seed_from_u64(1234);
+        let mut counts = vec![0u64; 50];
+        for _ in 0..100_000 {
+            counts[pool.sample_index(&mut rng)] += 1;
+        }
+        assert!(counts[heaviest] > counts[lightest]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let params = QuestParams { n_patterns: 100, ..Default::default() };
+        let a = pool(&params);
+        let b = pool(&params);
+        for (x, y) in a.patterns().iter().zip(b.patterns()) {
+            assert_eq!(x.items, y.items);
+            assert_eq!(x.weight, y.weight);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Walker's alias method for O(1) weighted sampling.
+//!
+//! The Quest generator draws "potentially large" itemsets by weight for
+//! every transaction, and the text simulator draws words from Zipfian
+//! vocabularies; both need constant-time categorical sampling from a fixed
+//! weight vector, which the alias method provides after O(n) setup.
+
+use rand::Rng;
+
+/// A preprocessed categorical distribution over `0..len`.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    /// Acceptance probability of the home index in each column.
+    prob: Vec<f64>,
+    /// Fallback index in each column.
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds the table from non-negative weights (not necessarily
+    /// normalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "need at least one weight");
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w.is_finite() && w >= 0.0, "bad weight {w}");
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let n = weights.len();
+        let mut prob = vec![0.0f64; n];
+        let mut alias = vec![0usize; n];
+        // Scaled weights; "small" columns (< 1) get topped up by "large".
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+        let mut small: Vec<usize> = (0..n).filter(|&i| scaled[i] < 1.0).collect();
+        let mut large: Vec<usize> = (0..n).filter(|&i| scaled[i] >= 1.0).collect();
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] -= 1.0 - scaled[s];
+            if scaled[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Numerical leftovers: all remaining columns saturate.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+            alias[i] = i;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true — construction requires at
+    /// least one weight).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let column = rng.gen_range(0..self.prob.len());
+        if rng.gen_range(0.0..1.0) < self.prob[column] {
+            column
+        } else {
+            self.alias[column]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empirical_frequencies_match_weights() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let table = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0u64; 4];
+        let n = 400_000;
+        for _ in 0..n {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = w / 10.0;
+            let got = counts[i] as f64 / n as f64;
+            assert!(
+                (got - expected).abs() < 0.005,
+                "index {i}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_weight_categories_never_drawn() {
+        let table = AliasTable::new(&[0.0, 1.0, 0.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let i = table.sample(&mut rng);
+            assert!(i == 1 || i == 3);
+        }
+    }
+
+    #[test]
+    fn single_category() {
+        let table = AliasTable::new(&[42.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(table.sample(&mut rng), 0);
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn unnormalized_weights_are_fine() {
+        let a = AliasTable::new(&[10.0, 30.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let ones = (0..100_000).filter(|_| a.sample(&mut rng) == 1).count();
+        assert!((ones as f64 / 100_000.0 - 0.75).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "all be zero")]
+    fn all_zero_weights_panic() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad weight")]
+    fn negative_weight_panics() {
+        AliasTable::new(&[1.0, -0.5]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Scalar random variates: exponential, normal, Poisson.
+//!
+//! `rand` (as configured in this workspace) gives uniform bits only, so the
+//! classic transforms live here: inversion for the exponential, Marsaglia's
+//! polar method for the normal, Knuth multiplication for small-mean Poisson
+//! with a normal approximation fallback for large means.
+
+use rand::Rng;
+
+/// Samples `Exp(rate)` by inversion: `−ln(U)/rate`.
+///
+/// # Panics
+///
+/// Panics unless `rate > 0`.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "exponential rate must be positive, got {rate}");
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+/// Samples a standard normal by Marsaglia's polar method.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let x: f64 = rng.gen_range(-1.0..1.0);
+        let y: f64 = rng.gen_range(-1.0..1.0);
+        let s = x * x + y * y;
+        if s > 0.0 && s < 1.0 {
+            return x * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Samples `N(mean, sd²)`.
+///
+/// # Panics
+///
+/// Panics if `sd < 0`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    assert!(sd >= 0.0, "standard deviation must be non-negative, got {sd}");
+    mean + sd * standard_normal(rng)
+}
+
+/// Samples `Poisson(mean)`.
+///
+/// Knuth's product-of-uniforms method below mean 30; above that, the
+/// rounded normal approximation `N(mean, mean)` clamped at zero (adequate
+/// for workload generation, where the Quest paper itself assumes the
+/// normal regime).
+///
+/// # Panics
+///
+/// Panics unless `mean` is finite and non-negative.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    assert!(mean.is_finite() && mean >= 0.0, "Poisson mean must be >= 0, got {mean}");
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean < 30.0 {
+        let limit = (-mean).exp();
+        let mut product: f64 = rng.gen_range(0.0..1.0);
+        let mut count = 0u64;
+        while product > limit {
+            product *= rng.gen_range(0.0f64..1.0);
+            count += 1;
+        }
+        count
+    } else {
+        let x = normal(rng, mean, mean.sqrt());
+        x.round().max(0.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xdead_beef)
+    }
+
+    fn mean_and_var(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn exponential_moments() {
+        let mut rng = rng();
+        let samples: Vec<f64> = (0..200_000).map(|_| exponential(&mut rng, 2.0)).collect();
+        let (mean, var) = mean_and_var(&samples);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        assert!((var - 0.25).abs() < 0.02, "var {var}");
+        assert!(samples.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = rng();
+        let samples: Vec<f64> = (0..200_000).map(|_| normal(&mut rng, 3.0, 2.0)).collect();
+        let (mean, var) = mean_and_var(&samples);
+        assert!((mean - 3.0).abs() < 0.03, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn normal_tail_symmetry() {
+        let mut rng = rng();
+        let above = (0..100_000)
+            .filter(|_| standard_normal(&mut rng) > 0.0)
+            .count();
+        assert!((above as f64 / 100_000.0 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn poisson_small_mean_moments() {
+        let mut rng = rng();
+        let samples: Vec<f64> = (0..200_000)
+            .map(|_| poisson(&mut rng, 4.0) as f64)
+            .collect();
+        let (mean, var) = mean_and_var(&samples);
+        assert!((mean - 4.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn poisson_large_mean_uses_normal_regime() {
+        let mut rng = rng();
+        let samples: Vec<f64> = (0..100_000)
+            .map(|_| poisson(&mut rng, 100.0) as f64)
+            .collect();
+        let (mean, var) = mean_and_var(&samples);
+        assert!((mean - 100.0).abs() < 0.5, "mean {mean}");
+        assert!((var - 100.0).abs() < 3.0, "var {var}");
+    }
+
+    #[test]
+    fn poisson_zero_mean() {
+        let mut rng = rng();
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn bad_exponential_rate() {
+        exponential(&mut rng(), 0.0);
+    }
+}

@@ -1,0 +1,19 @@
+//! # bmb-sampling — random-variate primitives
+//!
+//! The workspace pins `rand` to its uniform core, so the variates the
+//! workload generators need are derived here from first principles:
+//!
+//! * [`dists`] — exponential (inversion), normal (Marsaglia polar),
+//!   Poisson (Knuth product / normal regime);
+//! * [`AliasTable`] — Walker's alias method for O(1) categorical draws;
+//! * [`Zipf`] — rank-frequency power laws for vocabulary simulation.
+
+#![warn(missing_docs)]
+
+pub mod alias;
+pub mod dists;
+pub mod zipf;
+
+pub use alias::AliasTable;
+pub use dists::{exponential, normal, poisson, standard_normal};
+pub use zipf::Zipf;

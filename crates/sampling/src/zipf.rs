@@ -1,0 +1,100 @@
+//! Zipfian rank-frequency distributions.
+//!
+//! Natural-language word frequencies follow Zipf's law; the text-corpus
+//! simulator uses this module to make its vocabulary realistic (the
+//! paper's newsgroup experiment prunes at 10% document frequency, which
+//! only bites on a heavy-tailed vocabulary).
+
+use rand::Rng;
+
+use crate::alias::AliasTable;
+
+/// A Zipf distribution over ranks `0..n` with exponent `s`:
+/// `P[rank = r] ∝ 1/(r+1)^s`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    table: AliasTable,
+}
+
+impl Zipf {
+    /// Builds the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "need at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "exponent must be >= 0, got {s}");
+        let weights: Vec<f64> = (0..n).map(|r| 1.0 / ((r + 1) as f64).powf(s)).collect();
+        Zipf { table: AliasTable::new(&weights) }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether there are no ranks (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Draws one rank in `0..n` (0 = most frequent).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.table.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rank_frequencies_decay_like_power_law() {
+        let zipf = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = vec![0u64; 100];
+        let n = 500_000;
+        for _ in 0..n {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        // Rank 0 over rank 9 should be ≈ 10 under s = 1.
+        let ratio = counts[0] as f64 / counts[9] as f64;
+        assert!((ratio - 10.0).abs() < 1.0, "ratio {ratio}");
+        // Monotone-ish decay over well-sampled ranks.
+        assert!(counts[0] > counts[4] && counts[4] > counts[20]);
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let zipf = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = vec![0u64; 10];
+        for _ in 0..200_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 / 20_000.0 - 1.0).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn heavier_exponent_concentrates_mass() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let head_mass = |s: f64, rng: &mut StdRng| {
+            let zipf = Zipf::new(1000, s);
+            (0..100_000).filter(|_| zipf.sample(rng) < 10).count()
+        };
+        let light = head_mass(0.8, &mut rng);
+        let heavy = head_mass(1.6, &mut rng);
+        assert!(heavy > light);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_zipf_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Combinatorial and discrete-distribution helpers.
+//!
+//! Log-space binomial coefficients, binomial and hypergeometric pmfs — the
+//! exact-probability machinery behind [`crate::fisher`] and useful on their
+//! own for calibrating synthetic workloads.
+
+use crate::gamma::ln_gamma;
+
+/// `ln C(n, k)` in log space, exact to f64 precision for huge `n`.
+///
+/// Returns `-inf` when `k > n`.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// `C(n, k)` as f64; saturates to infinity past ~10^308.
+pub fn choose(n: u64, k: u64) -> f64 {
+    ln_choose(n, k).exp()
+}
+
+/// Binomial pmf `P[X = k]` for `X ~ Bin(n, p)`.
+///
+/// # Panics
+///
+/// Panics unless `0 <= p <= 1`.
+pub fn binomial_pmf(n: u64, k: u64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+    if k > n {
+        return 0.0;
+    }
+    if p == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    (ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln()).exp()
+}
+
+/// Binomial CDF `P[X <= k]` by direct summation.
+pub fn binomial_cdf(n: u64, k: u64, p: f64) -> f64 {
+    (0..=k.min(n)).map(|i| binomial_pmf(n, i, p)).sum::<f64>().min(1.0)
+}
+
+/// Hypergeometric pmf: drawing `draws` without replacement from a population
+/// of `total` containing `successes` marked elements,
+/// `P[X = k] = C(successes, k)·C(total−successes, draws−k) / C(total, draws)`.
+pub fn hypergeometric_pmf(total: u64, successes: u64, draws: u64, k: u64) -> f64 {
+    assert!(successes <= total, "successes exceed population");
+    assert!(draws <= total, "draws exceed population");
+    if k > draws || k > successes || draws - k > total - successes {
+        return 0.0;
+    }
+    (ln_choose(successes, k) + ln_choose(total - successes, draws - k)
+        - ln_choose(total, draws))
+    .exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol * (1.0 + b.abs()), "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn small_binomial_coefficients_exact() {
+        assert_eq!(choose(5, 2).round() as u64, 10);
+        assert_eq!(choose(10, 5).round() as u64, 252);
+        assert_eq!(choose(52, 5).round() as u64, 2_598_960);
+        assert_eq!(choose(870, 2).round() as u64, 378_015); // Table 5 level 2
+        assert_eq!(choose(870, 3).round() as u64, 109_372_340); // Table 5 level 3
+    }
+
+    #[test]
+    fn choose_boundaries() {
+        assert_eq!(choose(7, 0), 1.0);
+        assert_eq!(choose(7, 7), 1.0);
+        assert_eq!(choose(3, 4), 0.0);
+        assert_eq!(ln_choose(3, 4), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn pascal_identity() {
+        for n in 2..40u64 {
+            for k in 1..n {
+                let lhs = choose(n, k);
+                let rhs = choose(n - 1, k - 1) + choose(n - 1, k);
+                close(lhs, rhs, 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        for &(n, p) in &[(10u64, 0.3), (25, 0.5), (40, 0.01), (40, 0.99)] {
+            let total: f64 = (0..=n).map(|k| binomial_pmf(n, k, p)).sum();
+            close(total, 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn binomial_degenerate_p() {
+        assert_eq!(binomial_pmf(5, 0, 0.0), 1.0);
+        assert_eq!(binomial_pmf(5, 3, 0.0), 0.0);
+        assert_eq!(binomial_pmf(5, 5, 1.0), 1.0);
+        assert_eq!(binomial_pmf(5, 4, 1.0), 0.0);
+    }
+
+    #[test]
+    fn binomial_cdf_monotone_and_complete() {
+        let n = 20;
+        let p = 0.35;
+        let mut prev = 0.0;
+        for k in 0..=n {
+            let c = binomial_cdf(n, k, p);
+            assert!(c >= prev);
+            prev = c;
+        }
+        close(binomial_cdf(n, n, p), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn hypergeometric_pmf_sums_to_one() {
+        let (total, succ, draws) = (30u64, 12u64, 10u64);
+        let total_p: f64 = (0..=draws)
+            .map(|k| hypergeometric_pmf(total, succ, draws, k))
+            .sum();
+        close(total_p, 1.0, 1e-12);
+    }
+
+    #[test]
+    fn hypergeometric_known_value() {
+        // Classic urn: 5 red of 10, draw 4, P[2 red] = C(5,2)C(5,2)/C(10,4)
+        //             = 10·10/210 = 10/21.
+        close(hypergeometric_pmf(10, 5, 4, 2), 10.0 / 21.0, 1e-12);
+    }
+
+    #[test]
+    fn hypergeometric_impossible_values() {
+        assert_eq!(hypergeometric_pmf(10, 3, 5, 4), 0.0); // more than successes
+        assert_eq!(hypergeometric_pmf(10, 9, 5, 1), 0.0); // too few failures
+    }
+}

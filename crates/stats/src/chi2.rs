@@ -1,0 +1,342 @@
+//! The chi-squared test for independence over contingency tables.
+//!
+//! For an itemset `S` with table cells `r`, the statistic is
+//!
+//! ```text
+//! χ² = Σ_r (O(r) − E[r])² / E[r]
+//! ```
+//!
+//! compared against the cutoff `χ²_α`. Following Appendix A of the paper,
+//! the binomial (presence/absence) table is treated as having **one degree
+//! of freedom regardless of the itemset size** — that single-df convention
+//! is what makes Theorem 1's upward closure argument go through, and it is
+//! the convention all of the paper's numbers (3.84 cutoff everywhere) use.
+//! The saturated-model df `2^m − m − 1` is also exposed for users who want
+//! the orthodox test.
+//!
+//! Sparse tables use the paper's massaged form
+//! `χ² = Σ_{O(r)>0} O(r)(O(r) − 2E[r])/E[r] + Σ_r E[r]`, so only occupied
+//! cells are visited (`Σ_r E[r] = n`).
+
+use bmb_basket::categorical::CategoricalTable;
+use bmb_basket::{ContingencyTable, SparseContingencyTable};
+
+use crate::chi2dist::ChiSquared;
+use crate::critical::SignificanceLevel;
+
+/// Which degrees-of-freedom convention to use for binary tables.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DfConvention {
+    /// The paper's Appendix A: always one degree of freedom.
+    #[default]
+    PaperSingle,
+    /// The saturated independence model: `2^m − m − 1` for an `m`-itemset
+    /// (reduces to 1 for pairs, matching the classic 2×2 test).
+    Saturated,
+}
+
+impl DfConvention {
+    /// Degrees of freedom for an `m`-item presence/absence table.
+    pub fn df_for_dims(self, m: usize) -> f64 {
+        match self {
+            DfConvention::PaperSingle => 1.0,
+            DfConvention::Saturated => {
+                let cells = (1u64 << m) as f64;
+                (cells - m as f64 - 1.0).max(1.0)
+            }
+        }
+    }
+}
+
+/// Configuration for the chi-squared test.
+#[derive(Clone, Copy, Debug)]
+pub struct Chi2Test {
+    /// Significance level α; the cutoff is `χ²_α` at the chosen df.
+    pub level: SignificanceLevel,
+    /// Degrees-of-freedom convention for binary tables.
+    pub df: DfConvention,
+    /// When set, cells with expectation below this value are excluded from
+    /// the statistic — the paper's pragmatic answer to the normal
+    /// approximation breaking down on rare cells (Section 3.3).
+    pub low_expectation_cutoff: Option<f64>,
+}
+
+impl Default for Chi2Test {
+    fn default() -> Self {
+        Chi2Test {
+            level: SignificanceLevel::P95,
+            df: DfConvention::PaperSingle,
+            low_expectation_cutoff: None,
+        }
+    }
+}
+
+/// Outcome of one chi-squared test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Chi2Outcome {
+    /// The statistic value.
+    pub statistic: f64,
+    /// Degrees of freedom used for the cutoff.
+    pub df: f64,
+    /// The cutoff `χ²_α`.
+    pub cutoff: f64,
+    /// Whether the statistic meets or exceeds the cutoff.
+    pub significant: bool,
+    /// Natural log of the p-value `P[χ² > statistic]`.
+    pub ln_p_value: f64,
+    /// Number of cells that were skipped by the low-expectation policy.
+    pub cells_ignored: usize,
+}
+
+impl Chi2Outcome {
+    /// The p-value; may underflow to zero for extreme statistics — use
+    /// [`Chi2Outcome::ln_p_value`] when that matters.
+    pub fn p_value(&self) -> f64 {
+        self.ln_p_value.exp()
+    }
+}
+
+impl Chi2Test {
+    /// A test at significance level α with the paper's conventions.
+    pub fn at_level(alpha: f64) -> Self {
+        Chi2Test { level: SignificanceLevel::new(alpha), ..Default::default() }
+    }
+
+    /// Tests a dense presence/absence table.
+    pub fn test_dense(&self, table: &ContingencyTable) -> Chi2Outcome {
+        let mut stat = 0.0;
+        let mut ignored = 0usize;
+        for (cell, observed) in table.cells() {
+            let expected = table.expected(cell);
+            if let Some(cutoff) = self.low_expectation_cutoff {
+                if expected < cutoff {
+                    ignored += 1;
+                    continue;
+                }
+            }
+            if expected > 0.0 {
+                let d = observed as f64 - expected;
+                stat += d * d / expected;
+            }
+            // expected == 0 forces observed == 0 (a zero marginal); the
+            // cell's contribution is the 0/0 limit, i.e. zero.
+        }
+        self.outcome(stat, self.df.df_for_dims(table.dims()), ignored)
+    }
+
+    /// Tests a sparse table using the occupied-cells-only formula.
+    ///
+    /// The low-expectation policy cannot drop *unoccupied* cells here (they
+    /// are never materialized); their aggregate expectation is retained in
+    /// the `+ n` term, matching the paper's treatment.
+    pub fn test_sparse(&self, table: &SparseContingencyTable) -> Chi2Outcome {
+        let mut stat = table.n() as f64;
+        let mut ignored = 0usize;
+        for (cell, observed) in table.occupied_cells() {
+            let expected = table.expected(cell);
+            if let Some(cutoff) = self.low_expectation_cutoff {
+                if expected < cutoff {
+                    ignored += 1;
+                    // Remove this cell's (O−E)²/E ≈ contribution entirely:
+                    // we also must remove its E from the Σ E = n term so the
+                    // skipped cell is fully excluded from the statistic.
+                    stat -= expected;
+                    continue;
+                }
+            }
+            let o = observed as f64;
+            stat += o * (o - 2.0 * expected) / expected;
+            // Note: occupied cells always have expected > 0 unless an item
+            // marginal is degenerate, which implies the cell is impossible.
+        }
+        self.outcome(stat.max(0.0), self.df.df_for_dims(table.dims()), ignored)
+    }
+
+    /// Tests a multinomial table with `Π (u_i − 1)` degrees of freedom.
+    pub fn test_categorical(&self, table: &CategoricalTable) -> Chi2Outcome {
+        let mut stat = 0.0;
+        let mut ignored = 0usize;
+        for (values, observed) in table.cells() {
+            let expected = table.expected(&values);
+            if let Some(cutoff) = self.low_expectation_cutoff {
+                if expected < cutoff {
+                    ignored += 1;
+                    continue;
+                }
+            }
+            if expected > 0.0 {
+                let d = observed as f64 - expected;
+                stat += d * d / expected;
+            }
+        }
+        self.outcome(stat, table.degrees_of_freedom().max(1) as f64, ignored)
+    }
+
+    fn outcome(&self, statistic: f64, df: f64, cells_ignored: usize) -> Chi2Outcome {
+        let dist = ChiSquared::new(df);
+        let cutoff = dist.quantile(self.level.alpha());
+        Chi2Outcome {
+            statistic,
+            df,
+            cutoff,
+            significant: statistic >= cutoff,
+            ln_p_value: dist.ln_sf(statistic),
+            cells_ignored,
+        }
+    }
+}
+
+/// The raw statistic of a dense table (no significance machinery).
+pub fn chi2_statistic(table: &ContingencyTable) -> f64 {
+    Chi2Test::default().test_dense(table).statistic
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmb_basket::categorical::CategoricalTable;
+    use bmb_basket::{BasketDatabase, ContingencyTable, Itemset, SparseContingencyTable};
+
+    /// The paper's Example 3: the 9-basket census sample, items i8 and i9.
+    /// Published table (rows i9/!i9 × cols i8/!i8):
+    ///   O(i9 i8) = 1, O(i9 !i8) = 2, O(!i9 i8) = 4, O(!i9 !i8) = 2.
+    /// χ² = 0.267 + 0.333 + 0.133 + 0.167 = 0.900, not significant.
+    fn example3_table() -> ContingencyTable {
+        // Our mask convention: bit0 = i8 present, bit1 = i9 present.
+        let set = Itemset::from_ids([8, 9]);
+        ContingencyTable::from_counts(set, vec![2, 4, 2, 1])
+    }
+
+    #[test]
+    fn paper_example_3_statistic() {
+        let outcome = Chi2Test::default().test_dense(&example3_table());
+        assert!(
+            (outcome.statistic - 0.900).abs() < 5e-4,
+            "χ² = {}, expected 0.900",
+            outcome.statistic
+        );
+        assert!(!outcome.significant, "0.900 < 3.84 must not be significant");
+        assert_eq!(outcome.df, 1.0);
+        assert!((outcome.cutoff - 3.841).abs() < 1e-3);
+    }
+
+    #[test]
+    fn independent_table_scores_near_zero() {
+        // Perfectly independent 2×2: O = E exactly.
+        let set = Itemset::from_ids([0, 1]);
+        let t = ContingencyTable::from_counts(set, vec![36, 24, 24, 16]);
+        let outcome = Chi2Test::default().test_dense(&t);
+        assert!(outcome.statistic.abs() < 1e-9);
+        assert!(!outcome.significant);
+        assert!((outcome.p_value() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfectly_correlated_table_scores_n() {
+        // Items always co-occur: all mass on the diagonal. For a 2×2 with
+        // p = 1/2 marginals the statistic equals n.
+        let set = Itemset::from_ids([0, 1]);
+        let t = ContingencyTable::from_counts(set, vec![50, 0, 0, 50]);
+        let outcome = Chi2Test::default().test_dense(&t);
+        assert!((outcome.statistic - 100.0).abs() < 1e-9);
+        assert!(outcome.significant);
+    }
+
+    #[test]
+    fn sparse_matches_dense() {
+        let db = BasketDatabase::from_id_baskets(
+            3,
+            vec![
+                vec![0, 1, 2],
+                vec![0, 1],
+                vec![0],
+                vec![1, 2],
+                vec![2],
+                vec![],
+                vec![0, 2],
+                vec![1],
+            ],
+        );
+        let test = Chi2Test::default();
+        for set in [
+            Itemset::from_ids([0, 1]),
+            Itemset::from_ids([1, 2]),
+            Itemset::from_ids([0, 1, 2]),
+        ] {
+            let dense = test.test_dense(&ContingencyTable::from_database(&db, &set));
+            let sparse = test.test_sparse(&SparseContingencyTable::from_database(&db, &set));
+            assert!(
+                (dense.statistic - sparse.statistic).abs() < 1e-9,
+                "dense {} vs sparse {} for {set}",
+                dense.statistic,
+                sparse.statistic
+            );
+            assert_eq!(dense.significant, sparse.significant);
+        }
+    }
+
+    #[test]
+    fn degenerate_marginal_gives_zero_statistic() {
+        // Item 1 never occurs: its cells are impossible, E = O = 0 there,
+        // and the rest of the table is a perfect 1-dim fit.
+        let set = Itemset::from_ids([0, 1]);
+        let t = ContingencyTable::from_counts(set, vec![60, 40, 0, 0]);
+        let outcome = Chi2Test::default().test_dense(&t);
+        assert!(outcome.statistic.abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturated_df_convention() {
+        assert_eq!(DfConvention::Saturated.df_for_dims(2), 1.0);
+        assert_eq!(DfConvention::Saturated.df_for_dims(3), 4.0);
+        assert_eq!(DfConvention::Saturated.df_for_dims(4), 11.0);
+        assert_eq!(DfConvention::PaperSingle.df_for_dims(10), 1.0);
+    }
+
+    #[test]
+    fn low_expectation_cells_can_be_ignored() {
+        // A huge spike in one rare cell: with the policy off it dominates,
+        // with the policy on it is excluded.
+        let set = Itemset::from_ids([0, 1]);
+        // marginals: item0 = 12/1000, item1 = 11/1000, E[both] ≈ 0.13.
+        let t = ContingencyTable::from_counts(set, vec![978, 2, 10, 10]);
+        let with = Chi2Test::default().test_dense(&t);
+        let without = Chi2Test {
+            low_expectation_cutoff: Some(1.0),
+            ..Chi2Test::default()
+        }
+        .test_dense(&t);
+        assert!(without.cells_ignored >= 1);
+        assert!(without.statistic < with.statistic);
+    }
+
+    #[test]
+    fn categorical_two_by_two_agrees_with_binary() {
+        // The 3×2 commute table from bmb-basket's tests, collapsed:
+        // compare a 2×2 categorical against the equivalent binary table.
+        let cat = CategoricalTable::from_matrix(2, 2, vec![20, 5, 70, 5]);
+        let set = Itemset::from_ids([0, 1]);
+        // Binary layout bit0 = row-0 ("tea"), bit1 = col-0 ("coffee"):
+        // O(t,c) = 20, O(t,!c) = 5, O(!t,c) = 70, O(!t,!c) = 5.
+        let bin = ContingencyTable::from_counts(set, vec![5, 5, 70, 20]);
+        let a = Chi2Test::default().test_categorical(&cat);
+        let b = Chi2Test::default().test_dense(&bin);
+        assert!((a.statistic - b.statistic).abs() < 1e-9);
+        assert_eq!(a.df, 1.0);
+    }
+
+    #[test]
+    fn categorical_df_from_cardinalities() {
+        let cat = CategoricalTable::from_matrix(3, 2, vec![30, 10, 5, 15, 5, 35]);
+        let outcome = Chi2Test::default().test_categorical(&cat);
+        assert_eq!(outcome.df, 2.0);
+        assert!(outcome.significant); // strongly associated by construction
+    }
+
+    #[test]
+    fn outcome_pvalue_consistency() {
+        let outcome = Chi2Test::default().test_dense(&example3_table());
+        // χ²(1) survival at 0.9 is about 0.3428.
+        assert!((outcome.p_value() - 0.3428).abs() < 1e-3);
+    }
+}

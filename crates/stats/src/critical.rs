@@ -1,0 +1,130 @@
+//! Critical values of the chi-squared distribution.
+//!
+//! The paper's cutoff "3.84 at the 95% significance level" is
+//! `χ²_{0.95}` with one degree of freedom. This module provides both exact
+//! computation (via [`ChiSquared::quantile`]) and a precomputed table of the
+//! values "obtained from widely available tables for the chi-squared
+//! distribution", which doubles as a regression check on the quantile code.
+
+use crate::chi2dist::ChiSquared;
+
+/// A significance level `α` in `(0, 1)`, e.g. 0.95.
+///
+/// Under the null hypothesis, `χ² < χ²_α` with probability `α`; an observed
+/// statistic at or above the cutoff rejects independence at level `α`.
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]
+pub struct SignificanceLevel(f64);
+
+impl SignificanceLevel {
+    /// The paper's default: 95%.
+    pub const P95: SignificanceLevel = SignificanceLevel(0.95);
+    /// 90%.
+    pub const P90: SignificanceLevel = SignificanceLevel(0.90);
+    /// 99%.
+    pub const P99: SignificanceLevel = SignificanceLevel(0.99);
+
+    /// Creates a level.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha < 1`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "significance level must be in (0,1), got {alpha}"
+        );
+        SignificanceLevel(alpha)
+    }
+
+    /// The raw `α`.
+    pub fn alpha(self) -> f64 {
+        self.0
+    }
+
+    /// The cutoff `χ²_α` for the given degrees of freedom.
+    pub fn critical_value(self, df: f64) -> f64 {
+        ChiSquared::new(df).quantile(self.0)
+    }
+}
+
+/// The classic textbook table: `(df, α, χ²_α)` rows as printed in
+/// Moore-style statistics appendices.
+pub const TEXTBOOK_TABLE: &[(u32, f64, f64)] = &[
+    (1, 0.90, 2.706),
+    (1, 0.95, 3.841),
+    (1, 0.99, 6.635),
+    (2, 0.90, 4.605),
+    (2, 0.95, 5.991),
+    (2, 0.99, 9.210),
+    (3, 0.90, 6.251),
+    (3, 0.95, 7.815),
+    (3, 0.99, 11.345),
+    (4, 0.95, 9.488),
+    (5, 0.95, 11.070),
+    (6, 0.95, 12.592),
+    (7, 0.95, 14.067),
+    (8, 0.95, 15.507),
+    (9, 0.95, 16.919),
+    (10, 0.95, 18.307),
+    (15, 0.95, 24.996),
+    (20, 0.95, 31.410),
+    (25, 0.95, 37.652),
+    (30, 0.95, 43.773),
+];
+
+/// Looks up a critical value in [`TEXTBOOK_TABLE`], falling back to exact
+/// computation when the `(df, α)` pair is not tabulated.
+pub fn critical_value(alpha: f64, df: u32) -> f64 {
+    for &(tdf, talpha, value) in TEXTBOOK_TABLE {
+        if tdf == df && (talpha - alpha).abs() < 1e-12 {
+            return value;
+        }
+    }
+    SignificanceLevel::new(alpha).critical_value(df as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cutoff() {
+        // "If it is higher than a cutoff value (3.84 at the 95% significance
+        // level) we reject the independence assumption."
+        assert!((critical_value(0.95, 1) - 3.841).abs() < 1e-9);
+        assert!((SignificanceLevel::P95.critical_value(1.0) - 3.841).abs() < 5e-4);
+    }
+
+    #[test]
+    fn table_agrees_with_quantile_code() {
+        for &(df, alpha, value) in TEXTBOOK_TABLE {
+            let exact = ChiSquared::new(df as f64).quantile(alpha);
+            assert!(
+                (exact - value).abs() < 5e-4 * (1.0 + value),
+                "table entry (df={df}, α={alpha}) = {value} but quantile gives {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn untabulated_pairs_fall_back() {
+        let v = critical_value(0.975, 1);
+        assert!((v - 5.024).abs() < 5e-3);
+        let v = critical_value(0.95, 42);
+        assert!((v - 58.124).abs() < 5e-2);
+    }
+
+    #[test]
+    fn higher_alpha_means_higher_cutoff() {
+        let c90 = SignificanceLevel::P90.critical_value(1.0);
+        let c95 = SignificanceLevel::P95.critical_value(1.0);
+        let c99 = SignificanceLevel::P99.critical_value(1.0);
+        assert!(c90 < c95 && c95 < c99);
+    }
+
+    #[test]
+    #[should_panic(expected = "in (0,1)")]
+    fn degenerate_level_panics() {
+        SignificanceLevel::new(1.0);
+    }
+}

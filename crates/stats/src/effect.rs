@@ -1,0 +1,234 @@
+//! Effect sizes for contingency tables.
+//!
+//! A χ² statistic mixes dependence strength with sample size (it scales
+//! linearly in `n` for a fixed joint distribution), which is why the paper
+//! needs the *interest* measure to say anything about magnitude. The
+//! classical effect sizes here complete that picture:
+//!
+//! * the **phi coefficient** `φ = √(χ²/n)` for 2×2 tables (equals the
+//!   Pearson correlation of the two indicator variables, signed here by
+//!   the diagonal);
+//! * **Cramér's V** `= √(χ²/(n·(min(u₁,u₂)−1)))` for general two-attribute
+//!   tables — 0 for independence, 1 for a perfect association;
+//! * the **odds ratio** for 2×2 tables.
+
+use bmb_basket::categorical::CategoricalTable;
+use bmb_basket::ContingencyTable;
+
+use crate::chi2::chi2_statistic;
+
+/// The signed phi coefficient of a 2-item presence/absence table.
+///
+/// `φ = (O₁₁O₀₀ − O₁₀O₀₁) / √(r₁r₀c₁c₀)`; NaN for degenerate margins.
+///
+/// # Panics
+///
+/// Panics unless the table has exactly 2 dimensions.
+pub fn phi_coefficient(table: &ContingencyTable) -> f64 {
+    assert_eq!(table.dims(), 2, "phi needs a 2-item table");
+    let o11 = table.observed(0b11) as f64;
+    let o10 = table.observed(0b01) as f64; // item0 present, item1 absent
+    let o01 = table.observed(0b10) as f64;
+    let o00 = table.observed(0b00) as f64;
+    let r1 = o11 + o10;
+    let r0 = o01 + o00;
+    let c1 = o11 + o01;
+    let c0 = o10 + o00;
+    let denom = (r1 * r0 * c1 * c0).sqrt();
+    if denom == 0.0 {
+        f64::NAN
+    } else {
+        (o11 * o00 - o10 * o01) / denom
+    }
+}
+
+/// Cramér's V of a binary presence/absence table (`min(u) − 1 = 1`, so it
+/// reduces to `|φ|` for pairs and `√(χ²/n)` generally).
+pub fn cramers_v(table: &ContingencyTable) -> f64 {
+    let n = table.n() as f64;
+    if n == 0.0 {
+        return f64::NAN;
+    }
+    (chi2_statistic(table) / n).sqrt().min(1.0)
+}
+
+/// Cramér's V of a multinomial two-attribute table.
+///
+/// # Panics
+///
+/// Panics unless the table covers exactly two attributes.
+pub fn cramers_v_categorical(table: &CategoricalTable) -> f64 {
+    assert_eq!(table.dims().len(), 2, "Cramér's V needs a two-attribute table");
+    let n = table.n() as f64;
+    if n == 0.0 {
+        return f64::NAN;
+    }
+    let min_dim = table.dims().iter().copied().min().unwrap_or(2);
+    if min_dim < 2 {
+        return f64::NAN;
+    }
+    let mut chi2 = 0.0;
+    for (values, observed) in table.cells() {
+        let e = table.expected(&values);
+        if e > 0.0 {
+            let d = observed as f64 - e;
+            chi2 += d * d / e;
+        }
+    }
+    (chi2 / (n * (min_dim as f64 - 1.0))).sqrt().min(1.0)
+}
+
+/// The odds ratio `(O₁₁·O₀₀)/(O₁₀·O₀₁)` of a 2-item table; infinite when
+/// the off-diagonal product is zero but the diagonal is not, NaN when both
+/// vanish.
+///
+/// # Panics
+///
+/// Panics unless the table has exactly 2 dimensions.
+pub fn odds_ratio(table: &ContingencyTable) -> f64 {
+    assert_eq!(table.dims(), 2, "odds ratio needs a 2-item table");
+    let num = table.observed(0b11) as f64 * table.observed(0b00) as f64;
+    let den = table.observed(0b01) as f64 * table.observed(0b10) as f64;
+    if den > 0.0 {
+        num / den
+    } else if num > 0.0 {
+        f64::INFINITY
+    } else {
+        f64::NAN
+    }
+}
+
+/// Pearson's 2×2 statistic with the Yates continuity correction:
+/// `Σ (|O − E| − ½)² / E`, clamping each deviation at zero. Less
+/// anti-conservative than the plain statistic on small samples.
+///
+/// # Panics
+///
+/// Panics unless the table has exactly 2 dimensions.
+pub fn yates_chi2(table: &ContingencyTable) -> f64 {
+    assert_eq!(table.dims(), 2, "Yates correction applies to 2x2 tables");
+    let mut stat = 0.0;
+    for (cell, observed) in table.cells() {
+        let e = table.expected(cell);
+        if e > 0.0 {
+            let d = ((observed as f64 - e).abs() - 0.5).max(0.0);
+            stat += d * d / e;
+        }
+    }
+    stat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmb_basket::categorical::CategoricalTable;
+    use bmb_basket::Itemset;
+
+    fn table(counts: Vec<u64>) -> ContingencyTable {
+        ContingencyTable::from_counts(Itemset::from_ids([0, 1]), counts)
+    }
+
+    #[test]
+    fn phi_zero_for_independence() {
+        let t = table(vec![36, 24, 24, 16]);
+        assert!(phi_coefficient(&t).abs() < 1e-12);
+        assert!(cramers_v(&t) < 1e-6);
+    }
+
+    #[test]
+    fn phi_signs_follow_the_diagonal() {
+        // Positive association: diagonal-heavy.
+        let pos = table(vec![40, 10, 10, 40]);
+        assert!(phi_coefficient(&pos) > 0.5);
+        // Negative: off-diagonal heavy (layout: [00, 01, 10, 11]).
+        let neg = table(vec![10, 40, 40, 10]);
+        assert!(phi_coefficient(&neg) < -0.5);
+    }
+
+    #[test]
+    fn phi_squared_equals_chi2_over_n() {
+        let t = table(vec![35, 25, 20, 20]);
+        let phi = phi_coefficient(&t);
+        let chi2 = chi2_statistic(&t);
+        assert!((phi * phi - chi2 / 100.0).abs() < 1e-12);
+        assert!((cramers_v(&t) - phi.abs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_association_is_one() {
+        let t = table(vec![50, 0, 0, 50]);
+        assert!((phi_coefficient(&t) - 1.0).abs() < 1e-12);
+        assert!((cramers_v(&t) - 1.0).abs() < 1e-12);
+        assert!(odds_ratio(&t).is_infinite());
+    }
+
+    #[test]
+    fn effect_size_is_sample_size_invariant_where_chi2_is_not() {
+        // Same joint distribution at n and 10n: χ² grows 10×, φ unchanged.
+        let small = table(vec![30, 20, 20, 30]);
+        let large = table(vec![300, 200, 200, 300]);
+        let chi_small = chi2_statistic(&small);
+        let chi_large = chi2_statistic(&large);
+        assert!((chi_large / chi_small - 10.0).abs() < 1e-9);
+        assert!(
+            (phi_coefficient(&small) - phi_coefficient(&large)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn census_example_4_effect_is_moderate() {
+        // χ² = 2006 sounds enormous; φ ≈ 0.26 says the association is
+        // real but moderate — the effect-size half of the paper's
+        // "significance is not magnitude" lesson.
+        let db = bmb_datasets_free_table();
+        let phi = phi_coefficient(&db).abs();
+        assert!(phi > 0.2 && phi < 0.35, "phi = {phi}");
+    }
+
+    /// The (i2, i7) table with Table 3's cell counts of n = 30,370.
+    fn bmb_datasets_free_table() -> ContingencyTable {
+        // masks: [00, 01(i2 only), 10(i7 only), 11] from 8.0/30.4/2.7/58.9%.
+        table(vec![2430, 9232, 820, 17888])
+    }
+
+    #[test]
+    fn odds_ratio_values() {
+        let t = table(vec![5, 1, 2, 8]); // OR = (8·5)/(1·2) = 20
+        assert!((odds_ratio(&t) - 20.0).abs() < 1e-12);
+        let degenerate = table(vec![0, 0, 0, 7]);
+        assert!(odds_ratio(&degenerate).is_nan());
+    }
+
+    #[test]
+    fn yates_is_more_conservative() {
+        let t = table(vec![12, 5, 4, 9]);
+        let plain = chi2_statistic(&t);
+        let corrected = yates_chi2(&t);
+        assert!(corrected < plain);
+        assert!(corrected >= 0.0);
+        // And converges to the plain statistic as counts grow.
+        let big = table(vec![1200, 500, 400, 900]);
+        let rel = (chi2_statistic(&big) - yates_chi2(&big)) / chi2_statistic(&big);
+        assert!(rel < 0.05);
+    }
+
+    #[test]
+    fn categorical_v_matches_binary_v_on_2x2() {
+        let bin = table(vec![30, 20, 25, 25]);
+        // Same counts as a 2×2 categorical matrix: rows = item0 present?,
+        // layout row-major [present∧present, present∧absent, ...].
+        let cat = CategoricalTable::from_matrix(2, 2, vec![25, 20, 25, 30]);
+        assert!((cramers_v(&bin) - cramers_v_categorical(&cat)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn categorical_v_for_three_level_attribute() {
+        // Perfect association between a 3-level and a 3-level attribute.
+        let cat = CategoricalTable::from_matrix(
+            3,
+            3,
+            vec![30, 0, 0, 0, 30, 0, 0, 0, 30],
+        );
+        assert!((cramers_v_categorical(&cat) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,157 @@
+//! Fisher's exact test for 2×2 tables.
+//!
+//! Section 3.3 of the paper notes the chi-squared approximation breaks down
+//! when expected cell values are small, and that "the solution to this
+//! problem is to use an exact calculation for the probability". For 2×2
+//! tables the exact calculation is classical: condition on the margins and
+//! sum hypergeometric point probabilities. We provide it as the validator
+//! the paper wished for (the general `2^m` exact test remains open; Agresti
+//! 1992 surveys the state of the art the paper cites).
+
+use crate::binomial::hypergeometric_pmf;
+
+/// Alternative hypothesis for the exact test.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Alternative {
+    /// Dependence in either direction (point-probability method).
+    #[default]
+    TwoSided,
+    /// The `a` cell is larger than independence predicts.
+    Greater,
+    /// The `a` cell is smaller than independence predicts.
+    Less,
+}
+
+/// Result of one exact test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FisherOutcome {
+    /// The p-value.
+    pub p_value: f64,
+    /// The sample odds ratio `(a·d)/(b·c)`; infinite when `b·c = 0 < a·d`,
+    /// NaN for fully degenerate tables.
+    pub odds_ratio: f64,
+}
+
+/// Fisher's exact test on the 2×2 table
+///
+/// ```text
+///         B      !B
+///   A     a       b
+///  !A     c       d
+/// ```
+///
+/// Margins are fixed; under independence `a` is hypergeometric.
+pub fn fisher_exact(a: u64, b: u64, c: u64, d: u64, alternative: Alternative) -> FisherOutcome {
+    let row1 = a + b;
+    let col1 = a + c;
+    let n = a + b + c + d;
+    let odds_ratio = {
+        let num = a as f64 * d as f64;
+        let den = b as f64 * c as f64;
+        if den > 0.0 {
+            num / den
+        } else if num > 0.0 {
+            f64::INFINITY
+        } else {
+            f64::NAN
+        }
+    };
+    if n == 0 {
+        return FisherOutcome { p_value: 1.0, odds_ratio };
+    }
+    // Feasible range of the a-cell given the margins.
+    let a_min = col1.saturating_sub(n - row1);
+    let a_max = row1.min(col1);
+    let p_observed = hypergeometric_pmf(n, col1, row1, a);
+    let p_value = match alternative {
+        Alternative::Greater => (a..=a_max)
+            .map(|k| hypergeometric_pmf(n, col1, row1, k))
+            .sum::<f64>(),
+        Alternative::Less => (a_min..=a)
+            .map(|k| hypergeometric_pmf(n, col1, row1, k))
+            .sum::<f64>(),
+        Alternative::TwoSided => {
+            // Point-probability method: sum every arrangement at most as
+            // probable as the observed one (with a tolerance for ties).
+            let tol = p_observed * (1.0 + 1e-7);
+            (a_min..=a_max)
+                .map(|k| hypergeometric_pmf(n, col1, row1, k))
+                .filter(|&p| p <= tol)
+                .sum::<f64>()
+        }
+    };
+    FisherOutcome { p_value: p_value.min(1.0), odds_ratio }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol * (1.0 + b.abs()), "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn lady_tasting_tea() {
+        // Fisher's original experiment: all 4 cups classified correctly.
+        //        guessed-milk  guessed-tea
+        // milk        4            0
+        // tea         0            4
+        let out = fisher_exact(4, 0, 0, 4, Alternative::Greater);
+        close(out.p_value, 1.0 / 70.0, 1e-10);
+        assert!(out.odds_ratio.is_infinite());
+    }
+
+    #[test]
+    fn two_sided_textbook_value() {
+        // scipy reference: fisher_exact([[8, 2], [1, 5]]) two-sided
+        // p = 0.03496503496503495.
+        let out = fisher_exact(8, 2, 1, 5, Alternative::TwoSided);
+        close(out.p_value, 0.034_965_034_965, 1e-9);
+        close(out.odds_ratio, 20.0, 1e-12);
+    }
+
+    #[test]
+    fn one_sided_halves_complement() {
+        // greater + less ≥ 1 (the observed point counted twice).
+        let g = fisher_exact(8, 2, 1, 5, Alternative::Greater).p_value;
+        let l = fisher_exact(8, 2, 1, 5, Alternative::Less).p_value;
+        assert!(g + l >= 1.0 - 1e-12);
+        assert!(g < l);
+    }
+
+    #[test]
+    fn independent_table_is_insignificant() {
+        let out = fisher_exact(30, 30, 30, 30, Alternative::TwoSided);
+        assert!(out.p_value > 0.99);
+        close(out.odds_ratio, 1.0, 1e-12);
+    }
+
+    #[test]
+    fn agrees_with_chi2_for_large_balanced_tables() {
+        // For comfortable expectations the exact and asymptotic tests agree
+        // on the significance verdict.
+        use crate::chi2::Chi2Test;
+        use bmb_basket::{ContingencyTable, Itemset};
+        let (a, b, c, d) = (60u64, 40u64, 40u64, 60u64);
+        let fisher = fisher_exact(a, b, c, d, Alternative::TwoSided);
+        // Binary layout: bit0 = A, bit1 = B.
+        let t = ContingencyTable::from_counts(
+            Itemset::from_ids([0, 1]),
+            vec![d, b, c, a],
+        );
+        let chi2 = Chi2Test::default().test_dense(&t);
+        assert!(chi2.significant);
+        assert!(fisher.p_value < 0.05);
+    }
+
+    #[test]
+    fn degenerate_tables() {
+        let out = fisher_exact(0, 0, 0, 0, Alternative::TwoSided);
+        assert_eq!(out.p_value, 1.0);
+        assert!(out.odds_ratio.is_nan());
+        // One empty margin: only one feasible arrangement, p = 1.
+        let out = fisher_exact(5, 0, 3, 0, Alternative::TwoSided);
+        close(out.p_value, 1.0, 1e-12);
+    }
+}

@@ -1,0 +1,214 @@
+//! The interest measure `I(r) = O(r) / E[r]` (Section 3.1 of the paper).
+//!
+//! Chi-squared decides *whether* a group of items is correlated; interest
+//! says *which cell* drives the correlation. Values above 1 indicate
+//! positive dependence, below 1 negative dependence, and the cell with the
+//! most extreme interest is the one contributing most to χ² — the paper's
+//! "major dependence".
+
+use bmb_basket::{CellMask, ContingencyTable};
+
+/// Interest and χ²-contribution of one cell.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CellInterest {
+    /// The cell (presence bitmask in itemset order).
+    pub cell: CellMask,
+    /// Observed count `O(r)`.
+    pub observed: u64,
+    /// Expected count `E[r]` under independence.
+    pub expected: f64,
+    /// `I(r) = O(r)/E[r]`; infinite when `E[r] = 0` and `O(r) > 0`.
+    pub interest: f64,
+    /// This cell's term `(O − E)²/E` of the χ² statistic.
+    pub chi2_contribution: f64,
+}
+
+impl CellInterest {
+    /// `|I(r) − 1|` — distance from independence; the paper's criterion for
+    /// the most extreme cell. Infinite interest ranks above everything.
+    pub fn extremity(&self) -> f64 {
+        if self.interest.is_infinite() {
+            f64::INFINITY
+        } else {
+            (self.interest - 1.0).abs()
+        }
+    }
+
+    /// Whether the dependence is positive (`I > 1`).
+    pub fn is_positive(&self) -> bool {
+        self.interest > 1.0
+    }
+}
+
+/// Interest analysis of a full contingency table.
+#[derive(Clone, Debug)]
+pub struct InterestReport {
+    cells: Vec<CellInterest>,
+}
+
+impl InterestReport {
+    /// Analyzes every cell of `table`.
+    pub fn analyze(table: &ContingencyTable) -> Self {
+        let cells = table
+            .cells()
+            .map(|(cell, observed)| {
+                let expected = table.expected(cell);
+                let interest = if expected > 0.0 {
+                    observed as f64 / expected
+                } else if observed == 0 {
+                    // 0/0: an impossible cell that is indeed empty — treat as
+                    // exactly independent.
+                    1.0
+                } else {
+                    f64::INFINITY
+                };
+                let chi2_contribution = if expected > 0.0 {
+                    let d = observed as f64 - expected;
+                    d * d / expected
+                } else {
+                    0.0
+                };
+                CellInterest { cell, observed, expected, interest, chi2_contribution }
+            })
+            .collect();
+        InterestReport { cells }
+    }
+
+    /// All cells, in mask order.
+    pub fn cells(&self) -> &[CellInterest] {
+        &self.cells
+    }
+
+    /// The interest of a specific cell.
+    pub fn interest(&self, cell: CellMask) -> f64 {
+        self.cells[cell as usize].interest
+    }
+
+    /// The paper's *major dependence*: the cell with the largest χ²
+    /// contribution (equivalently the most extreme interest).
+    pub fn major_dependence(&self) -> &CellInterest {
+        self.cells
+            .iter()
+            .max_by(|a, b| {
+                a.chi2_contribution
+                    .partial_cmp(&b.chi2_contribution)
+                    .expect("chi2 contributions are never NaN")
+            })
+            .expect("a contingency table always has at least two cells")
+    }
+
+    /// The cell with the most extreme interest value `|I(r) − 1|`.
+    pub fn most_extreme(&self) -> &CellInterest {
+        self.cells
+            .iter()
+            .max_by(|a, b| {
+                a.extremity()
+                    .partial_cmp(&b.extremity())
+                    .expect("extremities are never NaN")
+            })
+            .expect("a contingency table always has at least two cells")
+    }
+}
+
+/// The simple dependence ratio of Example 1:
+/// `P[A ∧ B] / (P[A] · P[B])` for the all-present cell of a pair.
+///
+/// Returns `None` if either marginal is zero.
+pub fn dependence_ratio(n: u64, count_a: u64, count_b: u64, count_ab: u64) -> Option<f64> {
+    if n == 0 || count_a == 0 || count_b == 0 {
+        return None;
+    }
+    let n = n as f64;
+    Some((count_ab as f64 / n) / ((count_a as f64 / n) * (count_b as f64 / n)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmb_basket::Itemset;
+
+    /// Example 1's tea/coffee table: bit0 = tea, bit1 = coffee.
+    fn tea_coffee() -> ContingencyTable {
+        ContingencyTable::from_counts(Itemset::from_ids([0, 1]), vec![5, 5, 70, 20])
+    }
+
+    #[test]
+    fn paper_example_1_dependence() {
+        // P[t ∧ c]/(P[t]·P[c]) = 0.2/(0.25·0.9) = 0.89.
+        let ratio = dependence_ratio(100, 25, 90, 20).unwrap();
+        assert!((ratio - 0.888_888).abs() < 1e-5);
+        // The same number must come out of the interest machinery.
+        let report = InterestReport::analyze(&tea_coffee());
+        assert!((report.interest(0b11) - 0.888_888).abs() < 1e-5);
+    }
+
+    #[test]
+    fn interests_bracket_one() {
+        let report = InterestReport::analyze(&tea_coffee());
+        // Tea & coffee negatively dependent, tea-without-coffee positively.
+        assert!(report.interest(0b11) < 1.0);
+        assert!(report.interest(0b01) > 1.0); // tea, no coffee: 5 vs E = 2.5
+        assert!((report.interest(0b01) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn major_dependence_is_top_chi2_contributor() {
+        let report = InterestReport::analyze(&tea_coffee());
+        let major = report.major_dependence();
+        for c in report.cells() {
+            assert!(major.chi2_contribution >= c.chi2_contribution);
+        }
+        // For this table the tea-without-coffee cell dominates:
+        // (5 − 2.5)²/2.5 = 2.5 beats (20 − 22.5)²/22.5 ≈ 0.278 etc.
+        assert_eq!(major.cell, 0b01);
+    }
+
+    #[test]
+    fn extremity_ranks_infinite_interest_first() {
+        // An impossible-but-observed arrangement cannot happen with
+        // consistent marginals, so craft infinite interest via a zero
+        // marginal... which forces O = 0. Instead verify the finite path:
+        let report = InterestReport::analyze(&tea_coffee());
+        let extreme = report.most_extreme();
+        assert_eq!(extreme.cell, 0b01);
+        assert!((extreme.extremity() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn impossible_empty_cells_read_as_independent() {
+        // Item 1 never occurs: cells with it present have E = 0 and O = 0.
+        let t = ContingencyTable::from_counts(Itemset::from_ids([0, 1]), vec![60, 40, 0, 0]);
+        let report = InterestReport::analyze(&t);
+        assert_eq!(report.interest(0b10), 1.0);
+        assert_eq!(report.interest(0b11), 1.0);
+    }
+
+    #[test]
+    fn interest_zero_flags_impossible_events() {
+        // The paper: "These values often have interest levels of 0,
+        // indicating an impossible event" — e.g. >3 children and male.
+        let t = ContingencyTable::from_counts(
+            Itemset::from_ids([1, 8]),
+            vec![10, 0, 50, 40], // present-together cell observed 40, (i1,!i8) empty...
+        );
+        let report = InterestReport::analyze(&t);
+        assert_eq!(report.interest(0b01), 0.0);
+        assert!(!report.cells()[0b01].is_positive());
+    }
+
+    #[test]
+    fn sum_of_contributions_is_chi2() {
+        let t = tea_coffee();
+        let report = InterestReport::analyze(&t);
+        let total: f64 = report.cells().iter().map(|c| c.chi2_contribution).sum();
+        let stat = crate::chi2::chi2_statistic(&t);
+        assert!((total - stat).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dependence_ratio_degenerate_inputs() {
+        assert_eq!(dependence_ratio(0, 0, 0, 0), None);
+        assert_eq!(dependence_ratio(10, 0, 5, 0), None);
+        assert_eq!(dependence_ratio(10, 5, 0, 0), None);
+    }
+}

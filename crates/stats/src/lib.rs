@@ -1,0 +1,44 @@
+//! # bmb-stats — classical statistics, from scratch
+//!
+//! The statistical substrate of the *Beyond Market Baskets* reproduction:
+//! everything the paper's Section 3 and Appendix A rely on, implemented
+//! without external numerics crates.
+//!
+//! * [`gamma`] — `ln Γ`, regularized incomplete gamma functions;
+//! * [`ChiSquared`] — CDF / survival / quantiles of the chi-squared
+//!   distribution (the paper's `χ²_α` cutoffs);
+//! * [`Chi2Test`] — the independence test over dense, sparse, and
+//!   multinomial contingency tables, with the paper's single-df convention
+//!   and low-expectation cell policy;
+//! * [`InterestReport`] — the interest measure `I(r) = O(r)/E[r]` and the
+//!   "major dependence" cell;
+//! * [`gtest`] — the likelihood-ratio G-test, χ²'s main competitor;
+//! * [`effect`] — phi, Cramér's V, odds ratios, Yates correction: the
+//!   effect-size complement to significance;
+//! * [`fisher`] — Fisher's exact test for 2×2 tables (the exact
+//!   calculation Section 3.3 wishes for);
+//! * [`validity`] — Moore's rules of thumb for when the chi-squared
+//!   approximation can be trusted;
+//! * [`binomial`] — log-space combinatorics and discrete pmfs.
+
+#![warn(missing_docs)]
+
+pub mod binomial;
+pub mod chi2;
+pub mod chi2dist;
+pub mod critical;
+pub mod effect;
+pub mod fisher;
+pub mod gamma;
+pub mod gtest;
+pub mod interest;
+pub mod validity;
+
+pub use chi2::{chi2_statistic, Chi2Outcome, Chi2Test, DfConvention};
+pub use effect::{cramers_v, cramers_v_categorical, odds_ratio, phi_coefficient, yates_chi2};
+pub use gtest::{g_statistic, g_test};
+pub use chi2dist::{standard_normal_quantile, ChiSquared};
+pub use critical::{critical_value, SignificanceLevel};
+pub use fisher::{fisher_exact, Alternative, FisherOutcome};
+pub use interest::{dependence_ratio, CellInterest, InterestReport};
+pub use validity::{check_dense, Validity, ValidityRule};

@@ -1,0 +1,174 @@
+//! Validity diagnostics for the chi-squared approximation.
+//!
+//! Section 3.3: "statistics texts (such as Moore) recommend the use of the
+//! chi-squared test only if all cells in the contingency table have expected
+//! value greater than 1, and at least 80% of the cells have expected value
+//! greater than 5." This module checks those rules so a caller can tell
+//! whether a significance verdict rests on solid asymptotics — and, when it
+//! does not, fall back to [`crate::fisher`] (2×2) or ignore low-expectation
+//! cells.
+
+use bmb_basket::categorical::CategoricalTable;
+use bmb_basket::ContingencyTable;
+
+/// Moore's rule-of-thumb thresholds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ValidityRule {
+    /// Every cell must have expectation above this (Moore: 1.0).
+    pub min_expectation: f64,
+    /// This fraction of cells must have expectation above
+    /// [`ValidityRule::bulk_expectation`] (Moore: 0.8).
+    pub bulk_fraction: f64,
+    /// The "comfortable" expectation for the bulk (Moore: 5.0).
+    pub bulk_expectation: f64,
+}
+
+impl Default for ValidityRule {
+    fn default() -> Self {
+        ValidityRule { min_expectation: 1.0, bulk_fraction: 0.8, bulk_expectation: 5.0 }
+    }
+}
+
+/// The verdict of a validity check.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Validity {
+    /// Total number of cells examined.
+    pub n_cells: usize,
+    /// Cells with expectation at or below the minimum threshold.
+    pub cells_below_min: usize,
+    /// Cells with expectation above the bulk threshold.
+    pub cells_above_bulk: usize,
+    /// The rule that was applied.
+    pub rule: ValidityRule,
+}
+
+impl Validity {
+    /// Whether the approximation is trustworthy under the rule.
+    pub fn is_valid(&self) -> bool {
+        self.cells_below_min == 0
+            && (self.cells_above_bulk as f64)
+                >= self.rule.bulk_fraction * self.n_cells as f64
+    }
+
+    /// Fraction of cells above the bulk threshold.
+    pub fn bulk_ratio(&self) -> f64 {
+        if self.n_cells == 0 {
+            0.0
+        } else {
+            self.cells_above_bulk as f64 / self.n_cells as f64
+        }
+    }
+}
+
+/// Checks a binary presence/absence table.
+pub fn check_dense(table: &ContingencyTable, rule: ValidityRule) -> Validity {
+    let mut below = 0usize;
+    let mut above = 0usize;
+    for (cell, _) in table.cells() {
+        let e = table.expected(cell);
+        if e <= rule.min_expectation {
+            below += 1;
+        }
+        if e > rule.bulk_expectation {
+            above += 1;
+        }
+    }
+    Validity { n_cells: table.n_cells(), cells_below_min: below, cells_above_bulk: above, rule }
+}
+
+/// Checks a multinomial table.
+pub fn check_categorical(table: &CategoricalTable, rule: ValidityRule) -> Validity {
+    let mut below = 0usize;
+    let mut above = 0usize;
+    for (values, _) in table.cells() {
+        let e = table.expected(&values);
+        if e <= rule.min_expectation {
+            below += 1;
+        }
+        if e > rule.bulk_expectation {
+            above += 1;
+        }
+    }
+    Validity { n_cells: table.n_cells(), cells_below_min: below, cells_above_bulk: above, rule }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmb_basket::Itemset;
+
+    #[test]
+    fn comfortable_table_is_valid() {
+        // Example 1's table: expectations 22.5, 2.5... wait, the tea-only
+        // cell expects 2.5 < 5 — so only 3/4 = 75% of cells clear the bulk
+        // threshold and Moore's rule flags it.
+        let t = ContingencyTable::from_counts(Itemset::from_ids([0, 1]), vec![5, 5, 70, 20]);
+        let v = check_dense(&t, ValidityRule::default());
+        assert_eq!(v.n_cells, 4);
+        assert_eq!(v.cells_below_min, 0);
+        assert_eq!(v.cells_above_bulk, 3);
+        assert!(!v.is_valid());
+        assert!((v.bulk_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_large_table_is_valid() {
+        let t = ContingencyTable::from_counts(
+            Itemset::from_ids([0, 1]),
+            vec![250, 250, 250, 250],
+        );
+        let v = check_dense(&t, ValidityRule::default());
+        assert!(v.is_valid());
+        assert_eq!(v.cells_above_bulk, 4);
+    }
+
+    #[test]
+    fn rare_items_violate_min_expectation() {
+        // Item 0 occurs twice in 1000 baskets; item 1 five times.
+        // E[both] = 1000·0.002·0.005 = 0.01 ≤ 1.
+        let t = ContingencyTable::from_counts(
+            Itemset::from_ids([0, 1]),
+            vec![993, 2, 5, 0],
+        );
+        let v = check_dense(&t, ValidityRule::default());
+        assert!(v.cells_below_min >= 1);
+        assert!(!v.is_valid());
+    }
+
+    #[test]
+    fn paper_dimensionality_argument() {
+        // "Even a contingency table with as few as 3 dimensions will have
+        // [many] cells ... not all cells can have expected value greater
+        // than 1" — with enough rare items, high-dimensional tables always
+        // fail. 10 items each at 1% in n = 1000:
+        let n = 1000usize;
+        let k = 10usize;
+        let mut baskets: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for item in 0..k {
+            for row in 0..10 {
+                baskets[item * 10 + row].push(item as u32);
+            }
+        }
+        let db = bmb_basket::BasketDatabase::from_id_baskets(k, baskets);
+        let t = ContingencyTable::from_database(&db, &Itemset::from_items((0..k as u32).map(bmb_basket::ItemId)));
+        let v = check_dense(&t, ValidityRule::default());
+        assert!(!v.is_valid());
+        assert!(v.cells_below_min > 0);
+    }
+
+    #[test]
+    fn categorical_check() {
+        use bmb_basket::categorical::CategoricalTable;
+        let good = CategoricalTable::from_matrix(2, 2, vec![100, 100, 100, 100]);
+        assert!(check_categorical(&good, ValidityRule::default()).is_valid());
+        let bad = CategoricalTable::from_matrix(2, 2, vec![998, 1, 1, 0]);
+        assert!(!check_categorical(&bad, ValidityRule::default()).is_valid());
+    }
+
+    #[test]
+    fn custom_rule_thresholds() {
+        let t = ContingencyTable::from_counts(Itemset::from_ids([0, 1]), vec![5, 5, 70, 20]);
+        let lax = ValidityRule { min_expectation: 0.0, bulk_fraction: 0.5, bulk_expectation: 2.0 };
+        assert!(check_dense(&t, lax).is_valid());
+    }
+}

@@ -1,0 +1,77 @@
+//! Spatial-locality mining over word *order* — the paper's first
+//! future-work item ("rules that capture the spatial locality of words by
+//! paying attention to item ordering within the basket"), implemented.
+//!
+//! Generates an ordered corpus, then contrasts the document-level
+//! correlation verdicts with the position-level locality verdicts: planted
+//! collocations are adjacent (high locality interest), while the parity
+//! triple's words merely share documents.
+//!
+//! Run with: `cargo run --release --example word_locality`
+
+use beyond_market_baskets::corr::locality::{locality_test, mine_locality};
+use beyond_market_baskets::datasets::text::{generate_sequences, TextParams};
+use beyond_market_baskets::prelude::*;
+
+fn main() {
+    let corpus = generate_sequences(&TextParams {
+        vocabulary: 1500,
+        ..TextParams::default()
+    });
+    println!(
+        "ordered corpus: {} documents, mean length {:.0} tokens",
+        corpus.documents.len(),
+        corpus.documents.iter().map(Vec::len).sum::<usize>() as f64
+            / corpus.documents.len() as f64
+    );
+
+    let test = Chi2Test::default();
+    let window = 2;
+
+    // The planted collocations, by (trigger, follower) order.
+    let pairs: Vec<(ItemId, ItemId)> = beyond_market_baskets::datasets::text::planted_pairs()
+        .iter()
+        .map(|&(a, b)| {
+            (
+                corpus.catalog.get(a).expect("planted word"),
+                corpus.catalog.get(b).expect("planted word"),
+            )
+        })
+        .collect();
+    println!("\nlocality (window = {window}) for the planted collocations:");
+    for report in mine_locality(&corpus.documents, &pairs, window, &test) {
+        println!(
+            "  {} -> {}   chi2 = {:>10.1}   adjacency interest = {:>7.1}   significant: {}",
+            corpus.catalog.name(report.a).unwrap(),
+            corpus.catalog.name(report.b).unwrap(),
+            report.chi2.statistic,
+            report.adjacency_interest(),
+            report.chi2.significant,
+        );
+    }
+
+    // Contrast: two words that share documents but not positions. The
+    // baskets view calls them correlated; the locality view does not.
+    let db = corpus.to_baskets();
+    let (a, b) = (pairs[0].0, pairs[1].0); // mandela and liberia triggers
+    let basket_table =
+        beyond_market_baskets::basket::ContingencyTable::from_database(
+            &db,
+            &Itemset::from_items([a, b]),
+        );
+    let doc_level = test.test_dense(&basket_table);
+    let position_level = locality_test(&corpus.documents, a, b, window, &test);
+    println!(
+        "\n{} vs {}:",
+        corpus.catalog.name(a).unwrap(),
+        corpus.catalog.name(b).unwrap()
+    );
+    println!(
+        "  document-level chi2 = {:.1} (significant: {})",
+        doc_level.statistic, doc_level.significant
+    );
+    println!(
+        "  locality chi2 = {:.1} (significant: {}) — ordering adds information\n   that the basket abstraction deliberately forgets (paper, Section 1.1)",
+        position_level.chi2.statistic, position_level.chi2.significant
+    );
+}

@@ -1,0 +1,146 @@
+//! Integration tests for the beyond-the-paper extensions: G-test and
+//! effect sizes against the census, the non-collapsed categorical
+//! analysis, spatial locality, and negative borders.
+
+use beyond_market_baskets::prelude::*;
+use beyond_market_baskets::{datasets, lattice, stats};
+use bmb_basket::ContingencyTable;
+
+/// The G-test and Pearson's χ² agree on every census pair verdict, and
+/// their statistics track each other.
+#[test]
+fn g_test_agrees_with_pearson_on_census() {
+    let db = datasets::generate_census();
+    let config = Chi2Test::default();
+    let mut verdict_disagreements = 0usize;
+    for a in 0..10u32 {
+        for b in a + 1..10 {
+            let table = ContingencyTable::from_database(&db, &Itemset::from_ids([a, b]));
+            let pearson = config.test_dense(&table);
+            let g = stats::g_test(&table, &config);
+            if pearson.significant != g.significant {
+                verdict_disagreements += 1;
+            }
+            if pearson.statistic > 50.0 {
+                // Strong associations: the two statistics are within 2x.
+                let ratio = g.statistic / pearson.statistic;
+                assert!(
+                    (0.5..2.0).contains(&ratio),
+                    "(i{a}, i{b}): G = {:.1}, chi2 = {:.1}",
+                    g.statistic,
+                    pearson.statistic
+                );
+            }
+        }
+    }
+    assert!(
+        verdict_disagreements <= 1,
+        "{verdict_disagreements} verdict disagreements between G and chi2"
+    );
+}
+
+/// Effect sizes decouple strength from sample size on the census: the
+/// highest-χ² pair (i4, i5 at 18,500) is also the strongest association by
+/// |phi|, while (i2, i7)'s enormous χ² corresponds to a moderate effect.
+#[test]
+fn effect_sizes_rank_census_associations() {
+    let db = datasets::generate_census();
+    let strongest = ContingencyTable::from_database(&db, &Itemset::from_ids([4, 5]));
+    let moderate = ContingencyTable::from_database(&db, &Itemset::from_ids([2, 7]));
+    let phi_strong = stats::phi_coefficient(&strongest).abs();
+    let phi_moderate = stats::phi_coefficient(&moderate).abs();
+    assert!(phi_strong > 0.7, "citizenship/birthplace is near-deterministic: {phi_strong}");
+    assert!(
+        phi_moderate > 0.2 && phi_moderate < 0.35,
+        "military/age is moderate: {phi_moderate}"
+    );
+    // Odds ratio direction: i4 ∧ i5 (non-citizen born in US) is impossible.
+    assert_eq!(stats::odds_ratio(&strongest), 0.0);
+}
+
+/// The expanded (multi-valued) census answers the paper's open question:
+/// commute's strongest companion is age, not marital status.
+#[test]
+fn non_collapsed_census_resolves_the_confounder() {
+    use beyond_market_baskets::corr::categorical_pairs_report;
+    use datasets::census::expanded::attr;
+    let data = datasets::expanded_census(1997);
+    let rows = categorical_pairs_report(&data, &Chi2Test::default());
+    let v = |a: usize, b: usize| {
+        rows.iter().find(|r| (r.a, r.b) == (a.min(b), a.max(b))).unwrap().cramers_v
+    };
+    assert!(v(attr::COMMUTE, attr::AGE) > v(attr::COMMUTE, attr::MARITAL));
+    assert!(v(attr::COMMUTE, attr::AGE) > v(attr::COMMUTE, attr::MILITARY));
+    // And the collapsed binary view cannot see any of this: it has only
+    // the single (i0, i6) number.
+    let db = datasets::generate_census();
+    let collapsed = ContingencyTable::from_database(&db, &Itemset::from_ids([0, 6]));
+    assert!(Chi2Test::default().test_dense(&collapsed).significant);
+}
+
+/// Locality mining across the generated corpus end to end: every planted
+/// collocation is locality-significant at window 2 with extreme adjacency
+/// interest, and a random filler pair is not.
+#[test]
+fn locality_pipeline() {
+    use beyond_market_baskets::corr::locality::locality_test;
+    let corpus = datasets::text::generate_sequences(&datasets::text::TextParams {
+        vocabulary: 800,
+        ..Default::default()
+    });
+    let test = Chi2Test::default();
+    for (a, b) in datasets::text::planted_pairs() {
+        let ia = corpus.catalog.get(a).unwrap();
+        let ib = corpus.catalog.get(b).unwrap();
+        let report = locality_test(&corpus.documents, ia, ib, 2, &test);
+        assert!(report.chi2.significant, "{a}/{b} not locality-significant");
+        assert!(report.adjacency_interest() > 20.0);
+    }
+    // Two mid-frequency filler words: no planted adjacency.
+    let wa = corpus.catalog.get("w0040").unwrap();
+    let wb = corpus.catalog.get("w0041").unwrap();
+    let report = locality_test(&corpus.documents, wa, wb, 2, &test);
+    assert!(
+        report.adjacency_interest() < 20.0,
+        "filler words look collocated: {}",
+        report.adjacency_interest()
+    );
+}
+
+/// Positive and negative borders partition the supported lattice for the
+/// chi-squared property on planted data.
+#[test]
+fn borders_partition_the_lattice() {
+    let db = datasets::parity_triple(400, 5);
+    let test = Chi2Test::default();
+    let property = |set: &Itemset| {
+        !set.is_empty()
+            && test
+                .test_dense(&ContingencyTable::from_database(&db, set))
+                .significant
+    };
+    let positive = lattice::exhaustive_border(5, 5, property);
+    let negative = lattice::exhaustive_negative_border(5, 5, property);
+    assert_eq!(positive.minimal_sets(), &[Itemset::from_ids([0, 1, 2])]);
+    for set in lattice::closure::enumerate_itemsets(5, 5) {
+        let above = positive.covers(&set);
+        let below = negative.iter().any(|m| set.is_subset_of(m));
+        assert!(above ^ below, "{set} is in both or neither region");
+    }
+}
+
+/// Yates-corrected verdicts are never *more* liberal than the plain test.
+#[test]
+fn yates_is_conservative_across_random_tables() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..200 {
+        let counts: Vec<u64> = (0..4).map(|_| rng.gen_range(0..40)).collect();
+        if counts.iter().sum::<u64>() == 0 {
+            continue;
+        }
+        let t = ContingencyTable::from_counts(Itemset::from_ids([0, 1]), counts);
+        assert!(stats::yates_chi2(&t) <= stats::chi2_statistic(&t) + 1e-9);
+    }
+}
