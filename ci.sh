@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The repo's CI gate, runnable locally: formatting, clippy, the
+# workspace's own static analyzer, and the test suite. Any failure
+# fails the script.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace -- -D warnings
+
+echo "==> bmb-xtask lint"
+cargo run -q -p bmb-xtask -- lint
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "CI: all gates passed"

@@ -28,7 +28,10 @@ impl MinSupport {
         match self {
             MinSupport::Count(c) => c,
             MinSupport::Fraction(f) => {
-                assert!((0.0..=1.0).contains(&f), "support fraction out of range: {f}");
+                assert!(
+                    (0.0..=1.0).contains(&f),
+                    "support fraction out of range: {f}"
+                );
                 (f * n as f64).ceil() as u64
             }
         }
@@ -87,7 +90,9 @@ impl AprioriResult {
 
     /// All frequent itemsets of one size.
     pub fn at_level(&self, level: usize) -> impl Iterator<Item = &FrequentItemset> {
-        self.frequent.iter().filter(move |f| f.itemset.len() == level)
+        self.frequent
+            .iter()
+            .filter(move |f| f.itemset.len() == level)
     }
 }
 
@@ -104,7 +109,10 @@ pub fn apriori(db: &BasketDatabase, min_support: MinSupport, max_level: usize) -
     let mut level1: Vec<FrequentItemset> = (0..db.n_items())
         .map(|i| ItemId(i as u32))
         .filter(|&i| db.item_count(i) >= threshold)
-        .map(|i| FrequentItemset { itemset: Itemset::singleton(i), count: db.item_count(i) })
+        .map(|i| FrequentItemset {
+            itemset: Itemset::singleton(i),
+            count: db.item_count(i),
+        })
         .collect();
     level1.sort_unstable_by(|a, b| a.itemset.cmp(&b.itemset));
     result.levels.push(AprioriLevelStats {
@@ -132,9 +140,10 @@ pub fn apriori(db: &BasketDatabase, min_support: MinSupport, max_level: usize) -
             if count >= threshold {
                 frequent_here += 1;
                 next_survivors.insert(candidate.clone());
-                result
-                    .frequent
-                    .push(FrequentItemset { itemset: candidate.clone(), count });
+                result.frequent.push(FrequentItemset {
+                    itemset: candidate.clone(),
+                    count,
+                });
             }
         }
         result.levels.push(AprioriLevelStats {

@@ -109,11 +109,24 @@ impl PairReport {
         let mut cells = [0u64; 4];
         for (mask, count) in table.cells() {
             // Table masks are in sorted-item order; remap so bit0 = a.
-            let a_bit = if a_is_first { mask & 1 } else { (mask >> 1) & 1 };
-            let b_bit = if a_is_first { (mask >> 1) & 1 } else { mask & 1 };
+            let a_bit = if a_is_first {
+                mask & 1
+            } else {
+                (mask >> 1) & 1
+            };
+            let b_bit = if a_is_first {
+                (mask >> 1) & 1
+            } else {
+                mask & 1
+            };
             cells[(a_bit | (b_bit << 1)) as usize] += count;
         }
-        PairReport { a: a_id, b: b_id, n: table.n(), cells }
+        PairReport {
+            a: a_id,
+            b: b_id,
+            n: table.n(),
+            cells,
+        }
     }
 
     /// Support count of a cell (mask: bit0 = `a` present, bit1 = `b`).
@@ -168,7 +181,9 @@ impl PairReport {
     /// `confidence_cutoff`.
     pub fn rule_passes(&self, rule: PairRule, support_cutoff: f64, confidence_cutoff: f64) -> bool {
         self.cell_support(rule.cell()) + 1e-12 >= support_cutoff
-            && self.confidence(rule).is_some_and(|c| c + 1e-12 >= confidence_cutoff)
+            && self
+                .confidence(rule)
+                .is_some_and(|c| c + 1e-12 >= confidence_cutoff)
     }
 
     /// The rules passing both cutoffs, in table order.

@@ -34,7 +34,10 @@ pub struct Rule {
 /// (antecedent, consequent) partition. Rule support equals the itemset's
 /// support and so already meets the mining threshold.
 pub fn generate_rules(result: &AprioriResult, n: u64, min_confidence: f64) -> Vec<Rule> {
-    assert!((0.0..=1.0).contains(&min_confidence), "confidence out of range");
+    assert!(
+        (0.0..=1.0).contains(&min_confidence),
+        "confidence out of range"
+    );
     let mut rules = Vec::new();
     for f in &result.frequent {
         if f.itemset.len() < 2 {
@@ -50,7 +53,11 @@ pub fn generate_rules(result: &AprioriResult, n: u64, min_confidence: f64) -> Ve
                     continue;
                 };
                 let consequent = Itemset::from_items(
-                    items.items().iter().copied().filter(|i| !antecedent.contains(*i)),
+                    items
+                        .items()
+                        .iter()
+                        .copied()
+                        .filter(|i| !antecedent.contains(*i)),
                 );
                 let confidence = whole_count as f64 / antecedent_count as f64;
                 if confidence + 1e-12 < min_confidence {
@@ -189,8 +196,7 @@ mod tests {
         let counter = ScanCounter::new(&db);
         for rule in &rules {
             assert!(rule.confidence >= 0.5 - 1e-12);
-            let direct =
-                evaluate_rule(&counter, &rule.antecedent, &rule.consequent).unwrap();
+            let direct = evaluate_rule(&counter, &rule.antecedent, &rule.consequent).unwrap();
             assert!((direct.confidence - rule.confidence).abs() < 1e-12);
             assert!((direct.support - rule.support).abs() < 1e-12);
             assert!((direct.lift - rule.lift).abs() < 1e-12);
@@ -212,20 +218,12 @@ mod tests {
         // 0 and 1 co-occur 3/7 ≈ 0.43 vs independence (4/7)(4/7) ≈ 0.33 — lift > 1.
         let db = toy_db();
         let counter = ScanCounter::new(&db);
-        let rule = evaluate_rule(
-            &counter,
-            &Itemset::from_ids([0]),
-            &Itemset::from_ids([1]),
-        )
-        .unwrap();
+        let rule =
+            evaluate_rule(&counter, &Itemset::from_ids([0]), &Itemset::from_ids([1])).unwrap();
         assert!(rule.lift > 1.0);
         // 1 and 2 never co-occur — lift 0.
-        let rule = evaluate_rule(
-            &counter,
-            &Itemset::from_ids([1]),
-            &Itemset::from_ids([2]),
-        )
-        .unwrap();
+        let rule =
+            evaluate_rule(&counter, &Itemset::from_ids([1]), &Itemset::from_ids([2])).unwrap();
         assert_eq!(rule.lift, 0.0);
     }
 

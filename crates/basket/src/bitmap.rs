@@ -5,13 +5,11 @@
 //! word-wise AND/AND-NOT sweep plus popcount — the workhorse behind the
 //! [`crate::counts::BitmapCounter`].
 
-use serde::{Deserialize, Serialize};
-
 use crate::database::BasketDatabase;
 use crate::item::ItemId;
 
 /// A fixed-length bitmap over `len` positions, packed into `u64` words.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Bitmap {
     len: usize,
     words: Box<[u64]>,
@@ -53,21 +51,33 @@ impl Bitmap {
     /// Panics if `i >= len`.
     #[inline]
     pub fn set(&mut self, i: usize) {
-        assert!(i < self.len, "bit {i} out of range for bitmap of {} bits", self.len);
+        assert!(
+            i < self.len,
+            "bit {i} out of range for bitmap of {} bits",
+            self.len
+        );
         self.words[i / 64] |= 1u64 << (i % 64);
     }
 
     /// Clears position `i`.
     #[inline]
     pub fn clear(&mut self, i: usize) {
-        assert!(i < self.len, "bit {i} out of range for bitmap of {} bits", self.len);
+        assert!(
+            i < self.len,
+            "bit {i} out of range for bitmap of {} bits",
+            self.len
+        );
         self.words[i / 64] &= !(1u64 << (i % 64));
     }
 
     /// Reads position `i`.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit {i} out of range for bitmap of {} bits", self.len);
+        assert!(
+            i < self.len,
+            "bit {i} out of range for bitmap of {} bits",
+            self.len
+        );
         self.words[i / 64] & (1u64 << (i % 64)) != 0
     }
 
@@ -153,7 +163,7 @@ impl Bitmap {
 /// A vertical index: one [`Bitmap`] per item, over the baskets of a database.
 ///
 /// `index.item(i)` has bit `b` set iff basket `b` contains item `i`.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct BitmapIndex {
     n_baskets: usize,
     item_bitmaps: Vec<Bitmap>,
@@ -170,7 +180,10 @@ impl BitmapIndex {
                 item_bitmaps[item.index()].set(b);
             }
         }
-        BitmapIndex { n_baskets: n, item_bitmaps }
+        BitmapIndex {
+            n_baskets: n,
+            item_bitmaps,
+        }
     }
 
     /// Number of baskets the index covers.

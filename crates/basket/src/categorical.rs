@@ -9,10 +9,8 @@
 //! per-attribute marginals. Degrees of freedom follow Appendix A:
 //! `(u_1 − 1)(u_2 − 1)···(u_m − 1)`.
 
-use serde::{Deserialize, Serialize};
-
 /// A categorical attribute: a name plus its value labels.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Attribute {
     /// Attribute name, e.g. `"commute"`.
     pub name: String,
@@ -33,7 +31,10 @@ impl Attribute {
     ) -> Self {
         let values: Vec<String> = values.into_iter().map(Into::into).collect();
         assert!(values.len() >= 2, "attribute needs at least two values");
-        Attribute { name: name.into(), values }
+        Attribute {
+            name: name.into(),
+            values,
+        }
     }
 
     /// Number of distinct values `u`.
@@ -45,7 +46,7 @@ impl Attribute {
 /// A table of records over categorical attributes.
 ///
 /// Each record assigns one value index per attribute.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct CategoricalData {
     attributes: Vec<Attribute>,
     records: Vec<Box<[u16]>>,
@@ -54,7 +55,10 @@ pub struct CategoricalData {
 impl CategoricalData {
     /// An empty dataset over the given attributes.
     pub fn new(attributes: Vec<Attribute>) -> Self {
-        CategoricalData { attributes, records: Vec::new() }
+        CategoricalData {
+            attributes,
+            records: Vec::new(),
+        }
     }
 
     /// The schema.
@@ -80,7 +84,11 @@ impl CategoricalData {
     pub fn push_record(&mut self, values: &[u16]) {
         assert_eq!(values.len(), self.attributes.len(), "record arity mismatch");
         for (a, &v) in self.attributes.iter().zip(values) {
-            assert!((v as usize) < a.cardinality(), "value {v} out of range for {}", a.name);
+            assert!(
+                (v as usize) < a.cardinality(),
+                "value {v} out of range for {}",
+                a.name
+            );
         }
         self.records.push(values.to_vec().into_boxed_slice());
     }
@@ -98,7 +106,7 @@ impl CategoricalData {
 }
 
 /// A dense multinomial contingency table over a subset of attributes.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CategoricalTable {
     /// Which attribute positions of the source data are tabulated.
     positions: Vec<usize>,
@@ -122,7 +130,10 @@ impl CategoricalTable {
         assert!(!positions.is_empty(), "need at least one attribute");
         let mut seen = vec![false; data.attributes().len()];
         for &p in positions {
-            assert!(p < data.attributes().len(), "attribute position {p} out of range");
+            assert!(
+                p < data.attributes().len(),
+                "attribute position {p} out of range"
+            );
             assert!(!seen[p], "duplicate attribute position {p}");
             seen[p] = true;
         }
@@ -314,8 +325,7 @@ mod tests {
     #[test]
     fn from_matrix_agrees_with_tabulation() {
         let from_data = commute_data().contingency(&[0, 1]);
-        let from_matrix =
-            CategoricalTable::from_matrix(3, 2, vec![30, 10, 5, 15, 5, 35]);
+        let from_matrix = CategoricalTable::from_matrix(3, 2, vec![30, 10, 5, 15, 5, 35]);
         assert_eq!(from_matrix.n(), from_data.n());
         for (values, c) in from_data.cells() {
             assert_eq!(from_matrix.observed(&values), c);

@@ -18,8 +18,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::bitmap::BitmapIndex;
 use crate::database::BasketDatabase;
 use crate::item::ItemId;
@@ -32,7 +30,7 @@ pub type CellMask = u32;
 pub const MAX_DENSE_DIMS: usize = 24;
 
 /// A dense `2^m` contingency table for one itemset.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ContingencyTable {
     itemset: Itemset,
     n: u64,
@@ -43,6 +41,35 @@ pub struct ContingencyTable {
 }
 
 impl ContingencyTable {
+    /// Debug-build contract applied by every constructor: cell counts
+    /// sum to `n`, and each stored item marginal equals the sum of the
+    /// cells where that item is present. Free in release builds.
+    fn checked(self) -> Self {
+        if cfg!(debug_assertions) {
+            let cell_sum: u64 = self.counts.iter().sum();
+            debug_assert!(
+                cell_sum == self.n,
+                "contingency contract violated: cells sum to {cell_sum}, n = {}",
+                self.n
+            );
+            for (j, &marginal) in self.item_counts.iter().enumerate() {
+                let from_cells: u64 = self
+                    .counts
+                    .iter()
+                    .enumerate()
+                    .filter(|(mask, _)| mask & (1 << j) != 0)
+                    .map(|(_, &c)| c)
+                    .sum();
+                debug_assert!(
+                    from_cells == marginal,
+                    "contingency contract violated: marginal {j} is {from_cells} \
+                     from cells but {marginal} was stored"
+                );
+            }
+        }
+        self
+    }
+
     /// Builds the table with a single scan over the database — the
     /// counting pass of the paper's Figure 1 algorithm.
     ///
@@ -52,7 +79,10 @@ impl ContingencyTable {
     pub fn from_database(db: &BasketDatabase, itemset: &Itemset) -> Self {
         let m = itemset.len();
         assert!(m > 0, "contingency table needs at least one item");
-        assert!(m <= MAX_DENSE_DIMS, "dense table limited to {MAX_DENSE_DIMS} dimensions");
+        assert!(
+            m <= MAX_DENSE_DIMS,
+            "dense table limited to {MAX_DENSE_DIMS} dimensions"
+        );
         let mut counts = vec![0u64; 1 << m];
         for basket in db.baskets() {
             counts[cell_mask_of(basket, itemset) as usize] += 1;
@@ -64,6 +94,7 @@ impl ContingencyTable {
             counts,
             item_counts,
         }
+        .checked()
     }
 
     /// Builds the table from a vertical bitmap index by computing the
@@ -75,7 +106,10 @@ impl ContingencyTable {
     pub fn from_index(index: &BitmapIndex, itemset: &Itemset) -> Self {
         let m = itemset.len();
         assert!(m > 0, "contingency table needs at least one item");
-        assert!(m <= MAX_DENSE_DIMS, "dense table limited to {MAX_DENSE_DIMS} dimensions");
+        assert!(
+            m <= MAX_DENSE_DIMS,
+            "dense table limited to {MAX_DENSE_DIMS} dimensions"
+        );
         let items = itemset.items();
         // supp[mask]: number of baskets containing all items selected by mask.
         let mut supp: Vec<i64> = vec![0; 1 << m];
@@ -101,16 +135,14 @@ impl ContingencyTable {
                 c.max(0) as u64
             })
             .collect();
-        let item_counts = items
-            .iter()
-            .map(|&i| index.item(i).count_ones())
-            .collect();
+        let item_counts = items.iter().map(|&i| index.item(i).count_ones()).collect();
         ContingencyTable {
             itemset: itemset.clone(),
             n: index.n_baskets() as u64,
             counts,
             item_counts,
         }
+        .checked()
     }
 
     /// Builds a table directly from raw cell counts and item marginals.
@@ -136,7 +168,13 @@ impl ContingencyTable {
                     .sum()
             })
             .collect();
-        ContingencyTable { itemset, n, counts, item_counts }
+        ContingencyTable {
+            itemset,
+            n,
+            counts,
+            item_counts,
+        }
+        .checked()
     }
 
     /// The itemset this table describes.
@@ -210,8 +248,14 @@ impl ContingencyTable {
     /// Panics if `keep` is empty, unsorted, or out of range.
     pub fn marginalize(&self, keep: &[usize]) -> ContingencyTable {
         assert!(!keep.is_empty(), "must keep at least one dimension");
-        assert!(keep.windows(2).all(|w| w[0] < w[1]), "keep must be strictly sorted");
-        assert!(*keep.last().unwrap() < self.dims(), "keep position out of range");
+        assert!(
+            keep.windows(2).all(|w| w[0] < w[1]),
+            "keep must be strictly sorted"
+        );
+        assert!(
+            keep.last().is_some_and(|&j| j < self.dims()),
+            "keep position out of range"
+        );
         let new_items: Vec<ItemId> = keep.iter().map(|&j| self.itemset.items()[j]).collect();
         let mut counts = vec![0u64; 1 << keep.len()];
         for (mask, c) in self.cells() {
@@ -230,6 +274,7 @@ impl ContingencyTable {
             counts,
             item_counts,
         }
+        .checked()
     }
 
     /// Renders a cell as present/absent item labels, e.g. `ab̄c`.
@@ -255,7 +300,7 @@ impl ContingencyTable {
 /// When `2^m` exceeds `n`, most cells are empty; the paper notes the
 /// chi-squared value can still be computed from occupied cells alone via
 /// `x² = Σ_{O(r)>0} O(r)(O(r) − 2E[r])/E[r] + n`.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SparseContingencyTable {
     itemset: Itemset,
     n: u64,
@@ -400,7 +445,7 @@ mod tests {
         assert_eq!(t.observed(0b00), 5);
         assert_eq!(t.item_count(0), 25); // tea row sum
         assert_eq!(t.item_count(1), 90); // coffee column sum
-        // E[t∧c] = 100 · 0.25 · 0.9 = 22.5
+                                         // E[t∧c] = 100 · 0.25 · 0.9 = 22.5
         assert!((t.expected(0b11) - 22.5).abs() < 1e-9);
         // E[t̄∧c̄] = 100 · 0.75 · 0.1 = 7.5
         assert!((t.expected(0b00) - 7.5).abs() < 1e-9);
@@ -446,7 +491,14 @@ mod tests {
     fn three_way_table() {
         let db = BasketDatabase::from_id_baskets(
             3,
-            vec![vec![0, 1, 2], vec![0, 1], vec![0], vec![], vec![1, 2], vec![2]],
+            vec![
+                vec![0, 1, 2],
+                vec![0, 1],
+                vec![0],
+                vec![],
+                vec![1, 2],
+                vec![2],
+            ],
         );
         let set = Itemset::from_ids([0, 1, 2]);
         let t = ContingencyTable::from_database(&db, &set);

@@ -83,7 +83,9 @@ pub struct BitmapCounter {
 impl BitmapCounter {
     /// Builds the index in one pass over `db`.
     pub fn build(db: &BasketDatabase) -> Self {
-        BitmapCounter { index: BitmapIndex::build(db) }
+        BitmapCounter {
+            index: BitmapIndex::build(db),
+        }
     }
 
     /// Wraps an existing index.

@@ -4,8 +4,6 @@
 //! space of `k` items. Baskets are stored horizontally (sorted item lists);
 //! vertical bitmap access is provided by [`crate::bitmap::BitmapIndex`].
 
-use serde::{Deserialize, Serialize};
-
 use crate::item::{ItemCatalog, ItemId};
 use crate::itemset::Itemset;
 
@@ -21,7 +19,7 @@ use crate::itemset::Itemset;
 /// assert_eq!(db.n_items(), 3);
 /// assert_eq!(db.item_count(bmb_basket::ItemId(0)), 2);
 /// ```
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct BasketDatabase {
     n_items: usize,
     baskets: Vec<Box<[ItemId]>>,
@@ -299,10 +297,7 @@ mod tests {
 
     #[test]
     fn named_baskets_round_trip() {
-        let db = BasketDatabase::from_named_baskets(vec![
-            vec!["tea", "coffee"],
-            vec!["coffee"],
-        ]);
+        let db = BasketDatabase::from_named_baskets(vec![vec!["tea", "coffee"], vec!["coffee"]]);
         let catalog = db.catalog().unwrap();
         let tea = catalog.get("tea").unwrap();
         let coffee = catalog.get("coffee").unwrap();
@@ -329,10 +324,7 @@ mod tests {
 
     #[test]
     fn filter_items_preserves_names() {
-        let db = BasketDatabase::from_named_baskets(vec![
-            vec!["a", "b"],
-            vec!["a"],
-        ]);
+        let db = BasketDatabase::from_named_baskets(vec![vec!["a", "b"], vec!["a"]]);
         let (filtered, _) = db.filter_items(|_, count| count >= 2);
         assert_eq!(filtered.n_items(), 1);
         assert_eq!(filtered.catalog().unwrap().name(ItemId(0)), Some("a"));

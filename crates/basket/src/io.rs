@@ -155,11 +155,7 @@ mod tests {
 
     #[test]
     fn write_read_round_trip_named() {
-        let db = BasketDatabase::from_named_baskets(vec![
-            vec!["a", "b"],
-            vec![],
-            vec!["b"],
-        ]);
+        let db = BasketDatabase::from_named_baskets(vec![vec!["a", "b"], vec![], vec!["b"]]);
         let mut buf = Vec::new();
         write(&db, &mut buf).unwrap();
         let back = read_named(buf.as_slice()).unwrap();

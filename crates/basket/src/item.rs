@@ -8,13 +8,11 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A dense identifier for an item in an item space.
 ///
 /// Identifiers are allocated contiguously from zero by [`ItemCatalog`], so
 /// they can index per-item arrays (counts, bitmaps) directly.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ItemId(pub u32);
 
 impl ItemId {
@@ -63,7 +61,7 @@ impl From<u32> for ItemId {
 /// assert_eq!(catalog.name(tea), Some("tea"));
 /// assert_eq!(catalog.len(), 2);
 /// ```
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct ItemCatalog {
     names: Vec<String>,
     by_name: HashMap<String, ItemId>,
@@ -96,9 +94,11 @@ impl ItemCatalog {
         if let Some(&id) = self.by_name.get(&name) {
             return id;
         }
-        let id = ItemId(
-            u32::try_from(self.names.len()).expect("item catalog exceeded u32::MAX entries"),
+        assert!(
+            self.names.len() < u32::MAX as usize,
+            "item catalog exceeded u32::MAX entries"
         );
+        let id = ItemId(self.names.len() as u32);
         self.by_name.insert(name.clone(), id);
         self.names.push(name);
         id

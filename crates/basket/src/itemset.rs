@@ -8,8 +8,6 @@
 use std::fmt;
 use std::ops::Deref;
 
-use serde::{Deserialize, Serialize};
-
 use crate::item::ItemId;
 
 /// A canonical (sorted, deduplicated) set of items.
@@ -24,7 +22,7 @@ use crate::item::ItemId;
 /// assert!(s.contains(ItemId(2)));
 /// assert!(Itemset::from_ids([1, 3]).is_subset_of(&s));
 /// ```
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Itemset {
     items: Box<[ItemId]>,
 }
@@ -32,12 +30,16 @@ pub struct Itemset {
 impl Itemset {
     /// The empty itemset (the bottom of the lattice).
     pub fn empty() -> Self {
-        Itemset { items: Box::new([]) }
+        Itemset {
+            items: Box::new([]),
+        }
     }
 
     /// A singleton itemset.
     pub fn singleton(item: ItemId) -> Self {
-        Itemset { items: Box::new([item]) }
+        Itemset {
+            items: Box::new([item]),
+        }
     }
 
     /// Builds an itemset from any iterator of items, sorting and deduplicating.
@@ -45,7 +47,9 @@ impl Itemset {
         let mut v: Vec<ItemId> = items.into_iter().collect();
         v.sort_unstable();
         v.dedup();
-        Itemset { items: v.into_boxed_slice() }
+        Itemset {
+            items: v.into_boxed_slice(),
+        }
     }
 
     /// Builds an itemset from raw `u32` ids; convenient in tests.
@@ -59,8 +63,13 @@ impl Itemset {
     ///
     /// Panics in debug builds if `items` is not strictly increasing.
     pub fn from_sorted(items: Vec<ItemId>) -> Self {
-        debug_assert!(items.windows(2).all(|w| w[0] < w[1]), "items must be strictly sorted");
-        Itemset { items: items.into_boxed_slice() }
+        debug_assert!(
+            items.windows(2).all(|w| w[0] < w[1]),
+            "items must be strictly sorted"
+        );
+        Itemset {
+            items: items.into_boxed_slice(),
+        }
     }
 
     /// Number of items (the itemset's "level" in the lattice).
@@ -121,7 +130,9 @@ impl Itemset {
         }
         out.extend_from_slice(&self.items[a..]);
         out.extend_from_slice(&other.items[b..]);
-        Itemset { items: out.into_boxed_slice() }
+        Itemset {
+            items: out.into_boxed_slice(),
+        }
     }
 
     /// Set intersection.
@@ -139,7 +150,9 @@ impl Itemset {
                 }
             }
         }
-        Itemset { items: out.into_boxed_slice() }
+        Itemset {
+            items: out.into_boxed_slice(),
+        }
     }
 
     /// The itemset with `item` inserted (no-op if already present).
@@ -151,7 +164,9 @@ impl Itemset {
                 v.extend_from_slice(&self.items[..pos]);
                 v.push(item);
                 v.extend_from_slice(&self.items[pos..]);
-                Itemset { items: v.into_boxed_slice() }
+                Itemset {
+                    items: v.into_boxed_slice(),
+                }
             }
         }
     }
@@ -164,7 +179,9 @@ impl Itemset {
                 let mut v = Vec::with_capacity(self.len() - 1);
                 v.extend_from_slice(&self.items[..pos]);
                 v.extend_from_slice(&self.items[pos + 1..]);
-                Itemset { items: v.into_boxed_slice() }
+                Itemset {
+                    items: v.into_boxed_slice(),
+                }
             }
         }
     }
@@ -180,7 +197,9 @@ impl Itemset {
                     v.push(it);
                 }
             }
-            Itemset { items: v.into_boxed_slice() }
+            Itemset {
+                items: v.into_boxed_slice(),
+            }
         })
     }
 
@@ -225,7 +244,10 @@ impl Itemset {
     /// Only sensible for small itemsets; panics if `len >= 32`.
     pub fn power_set(&self) -> Vec<Itemset> {
         let n = self.items.len();
-        assert!(n < 32, "power_set is only supported for itemsets of < 32 items");
+        assert!(
+            n < 32,
+            "power_set is only supported for itemsets of < 32 items"
+        );
         (0u32..(1 << n))
             .map(|mask| Itemset {
                 items: (0..n)

@@ -47,7 +47,10 @@ fn bench_chi2(c: &mut Criterion) {
 
     // The low-expectation cell policy's cost on a wide sparse table.
     let wide_table = ContingencyTable::from_database(&db, &wide);
-    let with_policy = Chi2Test { low_expectation_cutoff: Some(1.0), ..Chi2Test::default() };
+    let with_policy = Chi2Test {
+        low_expectation_cutoff: Some(1.0),
+        ..Chi2Test::default()
+    };
     let mut group = c.benchmark_group("low_expectation_policy");
     group.sample_size(20);
     group.bench_function("off", |b| b.iter(|| test.test_dense(&wide_table)));

@@ -32,13 +32,37 @@ fn bench_mining(c: &mut Criterion) {
     let mut group = c.benchmark_group("mine_quest_10k");
     group.sample_size(10);
     group.bench_function("level1_prune_paper", |b| {
-        b.iter(|| mine(&db, &MinerConfig { level1: Level1Prune::PaperBothFrequent, ..config() }));
+        b.iter(|| {
+            mine(
+                &db,
+                &MinerConfig {
+                    level1: Level1Prune::PaperBothFrequent,
+                    ..config()
+                },
+            )
+        });
     });
     group.bench_function("level1_prune_off", |b| {
-        b.iter(|| mine(&db, &MinerConfig { level1: Level1Prune::Off, ..config() }));
+        b.iter(|| {
+            mine(
+                &db,
+                &MinerConfig {
+                    level1: Level1Prune::Off,
+                    ..config()
+                },
+            )
+        });
     });
     group.bench_function("threads_4", |b| {
-        b.iter(|| mine(&db, &MinerConfig { threads: 4, ..config() }));
+        b.iter(|| {
+            mine(
+                &db,
+                &MinerConfig {
+                    threads: 4,
+                    ..config()
+                },
+            )
+        });
     });
     group.finish();
 
@@ -56,7 +80,11 @@ fn bench_mining(c: &mut Criterion) {
             mine_walk(
                 &parity,
                 &parity_config,
-                WalkConfig { walks: 200, max_level: 10, seed: 8 },
+                WalkConfig {
+                    walks: 200,
+                    max_level: 10,
+                    seed: 8,
+                },
                 None,
             )
         });
@@ -71,7 +99,15 @@ fn bench_mining(c: &mut Criterion) {
     });
     let census = bmb_datasets::generate_census();
     group.bench_function("mine_census_pairs", |b| {
-        b.iter(|| mine(&census, &MinerConfig { max_level: 2, ..config() }));
+        b.iter(|| {
+            mine(
+                &census,
+                &MinerConfig {
+                    max_level: 2,
+                    ..config()
+                },
+            )
+        });
     });
     group.finish();
 }

@@ -7,12 +7,14 @@ fn main() {
     use bmb_stats::Chi2Test;
 
     let data = expanded_census(1997);
-    println!(
-        "non-collapsed census: {} records, attributes:",
-        data.len()
-    );
+    println!("non-collapsed census: {} records, attributes:", data.len());
     for a in data.attributes() {
-        println!("  {} ({} values: {})", a.name, a.cardinality(), a.values.join(" / "));
+        println!(
+            "  {} ({} values: {})",
+            a.name,
+            a.cardinality(),
+            a.values.join(" / ")
+        );
     }
     let rows = categorical_pairs_report(&data, &Chi2Test::default());
     println!("\npairwise chi-squared over multi-valued attributes:");
@@ -38,9 +40,14 @@ fn main() {
             expected,
         );
     }
-    let commute_age = rows.iter().find(|r| (r.a, r.b) == (attr::COMMUTE, attr::AGE)).unwrap();
-    let commute_marital =
-        rows.iter().find(|r| (r.a, r.b) == (attr::COMMUTE, attr::MARITAL)).unwrap();
+    let commute_age = rows
+        .iter()
+        .find(|r| (r.a, r.b) == (attr::COMMUTE, attr::AGE))
+        .unwrap();
+    let commute_marital = rows
+        .iter()
+        .find(|r| (r.a, r.b) == (attr::COMMUTE, attr::MARITAL))
+        .unwrap();
     println!(
         "\nanswer to the paper's open question (in this simulated world):\n\
          V(commute, age) = {:.3} > V(commute, marital) = {:.3} — the marital\n\

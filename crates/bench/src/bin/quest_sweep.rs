@@ -14,7 +14,10 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(10_000);
-    let params = QuestParams { n_transactions: n, ..QuestParams::paper_table5() };
+    let params = QuestParams {
+        n_transactions: n,
+        ..QuestParams::paper_table5()
+    };
     let db = generate(&params);
     println!(
         "Quest sweep: n = {}, k = {}, |T| = 20, |I| = 4\n",
@@ -23,8 +26,18 @@ fn main() {
     );
     println!(
         "{:>7} {:>5} | {:>8} {:>8} {:>6} {:>8} | {:>8} {:>8} {:>6} {:>8} | {:>7} {:>6}",
-        "s", "p", "CAND2", "disc2", "SIG2", "NOTSIG2", "CAND3", "disc3", "SIG3", "NOTSIG3",
-        "levels", "secs"
+        "s",
+        "p",
+        "CAND2",
+        "disc2",
+        "SIG2",
+        "NOTSIG2",
+        "CAND3",
+        "disc3",
+        "SIG3",
+        "NOTSIG3",
+        "levels",
+        "secs"
     );
     for s in [0.015, 0.02, 0.03] {
         for (p, low_e) in [(0.26, None), (0.45, None), (0.45, Some(1.0))] {
@@ -33,7 +46,9 @@ fn main() {
                 support_fraction: p,
                 low_expectation_cutoff: low_e,
                 max_level: 4,
-                threads: std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1),
+                threads: std::thread::available_parallelism()
+                    .map(|v| v.get())
+                    .unwrap_or(1),
                 ..MinerConfig::default()
             };
             let start = std::time::Instant::now();

@@ -10,7 +10,9 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or_else(|| {
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
         });
     if args.iter().any(|a| a == "--small") {
         print!("{}", bmb_bench::quest::table5_small(threads));

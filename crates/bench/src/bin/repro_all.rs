@@ -2,8 +2,9 @@
 //! behind EXPERIMENTS.md. Pass `--small` to shrink the Quest run.
 fn main() {
     let small = std::env::args().any(|a| a == "--small");
-    let threads =
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     let sections: Vec<String> = vec![
         bmb_bench::examples::all(),
         bmb_bench::census::table1(),

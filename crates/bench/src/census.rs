@@ -37,14 +37,7 @@ pub fn table2() -> String {
     let test = Chi2Test::default();
     let (rows, mine_secs) = timed(|| pairs_report(&db, &test));
     let mut table = TextTable::new([
-        "a b",
-        "chi2",
-        "paper",
-        "I(ab)",
-        "I(!ab)",
-        "I(a!b)",
-        "I(!a!b)",
-        "extreme",
+        "a b", "chi2", "paper", "I(ab)", "I(!ab)", "I(a!b)", "I(!a!b)", "extreme",
     ]);
     let mut verdict_matches = 0usize;
     for row in &rows {
@@ -61,7 +54,11 @@ pub fn table2() -> String {
             num(row.interests[1], 3),
             num(row.interests[2], 3),
             num(row.interests[3], 3),
-            if row.chi2.significant { labels[row.most_extreme].to_string() } else { "-".into() },
+            if row.chi2.significant {
+                labels[row.most_extreme].to_string()
+            } else {
+                "-".into()
+            },
         ]);
     }
     format!(
@@ -190,15 +187,17 @@ pub fn census_mining_run() -> String {
         ..MinerConfig::default()
     };
     let (result, mine_secs) = timed(|| mine(&db, &config));
-    let expected_sig = PAIR_TARGETS.iter().filter(|t| t.paper_significant()).count();
+    let expected_sig = PAIR_TARGETS
+        .iter()
+        .filter(|t| t.paper_significant())
+        .count();
     let mut out = format!(
         "Section 5.1 — full x2-support run on the census (n = {}, k = 10)\n\
          support s = 1% (count {}), p = 0.26, alpha = 95%\n\n",
         db.len(),
         result.support_count
     );
-    let mut table =
-        TextTable::new(["level", "itemsets", "CAND", "discards", "SIG", "NOTSIG"]);
+    let mut table = TextTable::new(["level", "itemsets", "CAND", "discards", "SIG", "NOTSIG"]);
     for l in &result.levels {
         table.row([
             l.level.to_string(),
@@ -235,7 +234,10 @@ mod tests {
     #[test]
     fn table2_matches_all_verdicts() {
         let t = table2();
-        assert!(t.contains("significance verdicts matching the paper: 45/45"), "{t}");
+        assert!(
+            t.contains("significance verdicts matching the paper: 45/45"),
+            "{t}"
+        );
     }
 
     #[test]
@@ -255,6 +257,9 @@ mod tests {
     #[test]
     fn mining_run_finds_the_bolded_pairs() {
         let r = census_mining_run();
-        assert!(r.contains("Table 2 bolds 38 of 45") || r.contains("of 45"), "{r}");
+        assert!(
+            r.contains("Table 2 bolds 38 of 45") || r.contains("of 45"),
+            "{r}"
+        );
     }
 }

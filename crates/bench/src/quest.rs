@@ -62,12 +62,7 @@ pub fn quest_config(threads: usize) -> MinerConfig {
 }
 
 /// Renders measured level stats against the paper's Table 5.
-pub fn render_table5(
-    label: &str,
-    result: &MiningResult,
-    n: usize,
-    k: usize,
-) -> String {
+pub fn render_table5(label: &str, result: &MiningResult, n: usize, k: usize) -> String {
     let mut table = TextTable::new([
         "level",
         "itemsets",
@@ -88,10 +83,10 @@ pub fn render_table5(
             lattice_itemsets: bmb_core::lattice_level_size(k, level),
             ..Default::default()
         });
-        let paper = PAPER_TABLE5
-            .get(i)
-            .copied()
-            .unwrap_or(LevelStats { level, ..Default::default() });
+        let paper = PAPER_TABLE5.get(i).copied().unwrap_or(LevelStats {
+            level,
+            ..Default::default()
+        });
         table.row([
             level.to_string(),
             measured.lattice_itemsets.to_string(),
@@ -121,7 +116,10 @@ pub fn table5(threads: usize) -> String {
 /// A reduced-scale variant for quick runs and tests (10% of the baskets).
 pub fn table5_small(threads: usize) -> String {
     table5_at(
-        QuestParams { n_transactions: 10_000, ..QuestParams::paper_table5() },
+        QuestParams {
+            n_transactions: 10_000,
+            ..QuestParams::paper_table5()
+        },
         threads,
     )
 }
@@ -132,10 +130,18 @@ fn table5_at(params: QuestParams, threads: usize) -> String {
     let (saturated, saturated_secs) = timed(|| {
         mine(
             &db,
-            &MinerConfig { df: DfConvention::Saturated, ..quest_config(threads) },
+            &MinerConfig {
+                df: DfConvention::Saturated,
+                ..quest_config(threads)
+            },
         )
     });
-    let mut out = render_table5("paper single-df convention", &paper_df, db.len(), db.n_items());
+    let mut out = render_table5(
+        "paper single-df convention",
+        &paper_df,
+        db.len(),
+        db.n_items(),
+    );
     out.push('\n');
     out.push_str(&render_table5(
         "saturated-df convention",
@@ -200,7 +206,10 @@ mod tests {
         let paper_df = mine(&db, &quest_config(1));
         let saturated = mine(
             &db,
-            &MinerConfig { df: DfConvention::Saturated, ..quest_config(1) },
+            &MinerConfig {
+                df: DfConvention::Saturated,
+                ..quest_config(1)
+            },
         );
         let sig2 = saturated.levels[0].significant;
         let sig3 = saturated.levels.get(1).map_or(0, |l| l.significant);

@@ -16,7 +16,9 @@ fn corpus_config() -> MinerConfig {
         support: SupportSpec::Count(5),
         support_fraction: 0.26,
         max_level: 3,
-        threads: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+        threads: std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
         ..MinerConfig::default()
     }
 }
@@ -32,11 +34,17 @@ pub fn table4_with(params: &TextParams) -> String {
     let (result, mine_secs) = timed(|| mine(&db, &corpus_config()));
     // Pick the display set like the paper: the strongest pairs (the
     // planted collocations rank at the top) plus the strongest triples.
-    let mut pairs: Vec<&CorrelationRule> =
-        result.significant.iter().filter(|r| r.itemset.len() == 2).collect();
+    let mut pairs: Vec<&CorrelationRule> = result
+        .significant
+        .iter()
+        .filter(|r| r.itemset.len() == 2)
+        .collect();
     pairs.sort_by(|a, b| b.chi2.statistic.partial_cmp(&a.chi2.statistic).unwrap());
-    let mut triples: Vec<&CorrelationRule> =
-        result.significant.iter().filter(|r| r.itemset.len() == 3).collect();
+    let mut triples: Vec<&CorrelationRule> = result
+        .significant
+        .iter()
+        .filter(|r| r.itemset.len() == 3)
+        .collect();
     triples.sort_by(|a, b| b.chi2.statistic.partial_cmp(&a.chi2.statistic).unwrap());
 
     let mut table = TextTable::new([
@@ -86,8 +94,7 @@ pub fn corpus_stats_with(params: &TextParams) -> String {
         let mut max_pair: f64 = 0.0;
         for a in 0..k as u32 {
             for b in a + 1..k as u32 {
-                let table =
-                    ContingencyTable::from_database(&db, &Itemset::from_ids([a, b]));
+                let table = ContingencyTable::from_database(&db, &Itemset::from_ids([a, b]));
                 let outcome = test.test_dense(&table);
                 if outcome.significant {
                     correlated += 1;
@@ -106,7 +113,11 @@ pub fn corpus_stats_with(params: &TextParams) -> String {
         .filter(|r| r.itemset.len() == 3)
         .map(|r| r.chi2.statistic)
         .fold(0.0f64, f64::max);
-    let n_triples = result.levels.iter().find(|l| l.level == 3).map_or(0, |l| l.significant);
+    let n_triples = result
+        .levels
+        .iter()
+        .find(|l| l.level == 3)
+        .map_or(0, |l| l.significant);
     format!(
         "Section 5.2 — corpus statistics\n\n\
          distinct words after 10% df-pruning: {k} (paper: 416)\n\
@@ -127,14 +138,12 @@ pub fn planted_check(db: &BasketDatabase) -> String {
     let test = Chi2Test::default();
     let mut out = String::from("Planted-structure check\n\n");
     for (a, b) in bmb_datasets::text::planted_pairs() {
-        let (Some(ia), Some(ib)) =
-            (db.catalog().unwrap().get(a), db.catalog().unwrap().get(b))
+        let (Some(ia), Some(ib)) = (db.catalog().unwrap().get(a), db.catalog().unwrap().get(b))
         else {
             out.push_str(&format!("  {a}/{b}: pruned (df too low)\n"));
             continue;
         };
-        let table =
-            ContingencyTable::from_database(db, &Itemset::from_items([ia, ib]));
+        let table = ContingencyTable::from_database(db, &Itemset::from_items([ia, ib]));
         let outcome = test.test_dense(&table);
         out.push_str(&format!(
             "  {a}/{b}: chi2 = {:.1}, significant: {}\n",
@@ -151,7 +160,12 @@ mod tests {
     /// A light corpus for tests: far fewer filler words so the level-3
     /// candidate space stays small under `cargo test` (debug).
     fn small_params() -> TextParams {
-        TextParams { vocabulary: 12_000, min_tokens: 120, max_tokens: 250, ..TextParams::default() }
+        TextParams {
+            vocabulary: 12_000,
+            min_tokens: 120,
+            max_tokens: 250,
+            ..TextParams::default()
+        }
     }
 
     #[test]

@@ -86,10 +86,7 @@ impl Args {
 mod tests {
     use super::*;
 
-    const SPEC: &[(&str, FlagKind)] = &[
-        ("support", FlagKind::Value),
-        ("walk", FlagKind::Boolean),
-    ];
+    const SPEC: &[(&str, FlagKind)] = &[("support", FlagKind::Value), ("walk", FlagKind::Boolean)];
 
     fn parse(tokens: &[&str]) -> Result<Args, String> {
         Args::parse(tokens.iter().map(|s| s.to_string()), SPEC)
@@ -125,6 +122,9 @@ mod tests {
     #[test]
     fn unparsable_value_rejected() {
         let args = parse(&["--support", "banana"]).unwrap();
-        assert!(args.get::<f64>("support").unwrap_err().contains("cannot parse"));
+        assert!(args
+            .get::<f64>("support")
+            .unwrap_err()
+            .contains("cannot parse"));
     }
 }

@@ -5,9 +5,7 @@
 use std::io::Write;
 
 use bmb_basket::{io as basket_io, BasketDatabase, Itemset};
-use bmb_core::{
-    mine, mine_walk, pairs_report, CountingStrategy, MinerConfig, SupportSpec,
-};
+use bmb_core::{mine, mine_walk, pairs_report, CountingStrategy, MinerConfig, SupportSpec};
 use bmb_lattice::WalkConfig;
 use bmb_stats::Chi2Test;
 
@@ -88,8 +86,12 @@ pub fn cmd_mine(args: &Args, out: &mut dyn Write) -> Result<(), String> {
             seed: 7,
         };
         let result = mine_walk(&db, &config, walk, None);
-        writeln!(out, "# random-walk border ({} crossings)", result.raw.stats.crossings)
-            .map_err(sink)?;
+        writeln!(
+            out,
+            "# random-walk border ({} crossings)",
+            result.raw.stats.crossings
+        )
+        .map_err(sink)?;
         for set in &result.border {
             writeln!(out, "{}", db.describe(set)).map_err(sink)?;
         }
@@ -109,8 +111,7 @@ pub fn cmd_mine(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         writeln!(
             out,
             "# level {}: {} candidates, {} discarded, {} SIG, {} NOTSIG",
-            level.level, level.candidates, level.discards, level.significant,
-            level.not_significant
+            level.level, level.candidates, level.discards, level.significant, level.not_significant
         )
         .map_err(sink)?;
     }
@@ -136,7 +137,11 @@ pub fn cmd_pairs(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let test = Chi2Test::at_level(args.get_or("alpha", 0.95)?);
     let rows = pairs_report(&db, &test);
     let sink = |e: std::io::Error| e.to_string();
-    writeln!(out, "# pair\tchi2\tsignificant\tI(ab)\tI(!ab)\tI(a!b)\tI(!a!b)").map_err(sink)?;
+    writeln!(
+        out,
+        "# pair\tchi2\tsignificant\tI(ab)\tI(!ab)\tI(a!b)\tI(!a!b)"
+    )
+    .map_err(sink)?;
     for row in rows {
         writeln!(
             out,
@@ -160,14 +165,16 @@ pub fn cmd_rules(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let db = load(path, args.has("numeric"))?;
     let support = args.get_or("support", 0.01)?;
     let confidence = args.get_or("confidence", 0.5)?;
-    let frequent = bmb_apriori::apriori(
-        &db,
-        bmb_apriori::MinSupport::Fraction(support),
-        usize::MAX,
-    );
+    let frequent =
+        bmb_apriori::apriori(&db, bmb_apriori::MinSupport::Fraction(support), usize::MAX);
     let rules = bmb_apriori::generate_rules(&frequent, db.len() as u64, confidence);
     let sink = |e: std::io::Error| e.to_string();
-    writeln!(out, "# {} rules (s >= {support}, c >= {confidence})", rules.len()).map_err(sink)?;
+    writeln!(
+        out,
+        "# {} rules (s >= {support}, c >= {confidence})",
+        rules.len()
+    )
+    .map_err(sink)?;
     for rule in rules {
         writeln!(
             out,
@@ -207,8 +214,13 @@ pub fn cmd_generate(args: &Args, out: &mut dyn Write) -> Result<(), String> {
             let file =
                 std::fs::File::create(&path).map_err(|e| format!("cannot create {path}: {e}"))?;
             basket_io::write(&db, std::io::BufWriter::new(file)).map_err(|e| e.to_string())?;
-            writeln!(out, "wrote {} baskets over {} items to {path}", db.len(), db.n_items())
-                .map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "wrote {} baskets over {} items to {path}",
+                db.len(),
+                db.n_items()
+            )
+            .map_err(|e| e.to_string())?;
         }
         None => {
             basket_io::write(&db, &mut *out).map_err(|e| e.to_string())?;
@@ -289,12 +301,21 @@ mod tests {
         let path = temp_basket_file(std::str::from_utf8(&text).unwrap());
         let a = args(
             MINE_SPEC,
-            &["mine", path.to_str().unwrap(), "--numeric", "--support", "0.02"],
+            &[
+                "mine",
+                path.to_str().unwrap(),
+                "--numeric",
+                "--support",
+                "0.02",
+            ],
         );
         let mut out = Vec::new();
         cmd_mine(&a, &mut out).unwrap();
         let rendered = String::from_utf8(out).unwrap();
-        assert!(rendered.contains("{0, 1, 2}") || rendered.contains("{i0,i1,i2}"), "{rendered}");
+        assert!(
+            rendered.contains("{0, 1, 2}") || rendered.contains("{i0,i1,i2}"),
+            "{rendered}"
+        );
         std::fs::remove_file(path).ok();
     }
 
@@ -314,7 +335,14 @@ mod tests {
         let path = temp_basket_file("beer diapers\nbeer diapers\nbeer\nmilk\n");
         let a = args(
             RULES_SPEC,
-            &["rules", path.to_str().unwrap(), "--support", "0.25", "--confidence", "0.6"],
+            &[
+                "rules",
+                path.to_str().unwrap(),
+                "--support",
+                "0.25",
+                "--confidence",
+                "0.6",
+            ],
         );
         let mut out = Vec::new();
         cmd_rules(&a, &mut out).unwrap();
@@ -325,10 +353,8 @@ mod tests {
 
     #[test]
     fn generate_census_round_trips_through_stats() {
-        let out_path = std::env::temp_dir().join(format!(
-            "bmb-cli-census-{}.baskets",
-            std::process::id()
-        ));
+        let out_path =
+            std::env::temp_dir().join(format!("bmb-cli-census-{}.baskets", std::process::id()));
         let a = args(
             GENERATE_SPEC,
             &["generate", "census", "--out", out_path.to_str().unwrap()],
@@ -354,6 +380,8 @@ mod tests {
     fn bad_dataset_kind_is_reported() {
         let a = args(GENERATE_SPEC, &["generate", "sandwiches"]);
         let mut out = Vec::new();
-        assert!(cmd_generate(&a, &mut out).unwrap_err().contains("unknown dataset"));
+        assert!(cmd_generate(&a, &mut out)
+            .unwrap_err()
+            .contains("unknown dataset"));
     }
 }

@@ -2,8 +2,8 @@
 
 use bmb_cli::args::Args;
 use bmb_cli::commands::{
-    cmd_generate, cmd_mine, cmd_pairs, cmd_rules, cmd_stats, GENERATE_SPEC, MINE_SPEC,
-    PAIRS_SPEC, RULES_SPEC, STATS_SPEC, USAGE,
+    cmd_generate, cmd_mine, cmd_pairs, cmd_rules, cmd_stats, GENERATE_SPEC, MINE_SPEC, PAIRS_SPEC,
+    RULES_SPEC, STATS_SPEC, USAGE,
 };
 
 fn main() {

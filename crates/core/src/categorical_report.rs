@@ -71,7 +71,14 @@ pub fn categorical_pair(
             major = (values[0], values[1], observed, expected);
         }
     }
-    CategoricalPairCorrelation { a, b, chi2, cramers_v, major_dependence: major, table }
+    CategoricalPairCorrelation {
+        a,
+        b,
+        chi2,
+        cramers_v,
+        major_dependence: major,
+        table,
+    }
 }
 
 /// The full pairwise sweep, in `(a, b)` order.
@@ -131,7 +138,11 @@ mod tests {
     fn noise_attribute_is_uncorrelated() {
         let rows = categorical_pairs_report(&data(), &Chi2Test::default());
         let color_noise = rows.iter().find(|r| (r.a, r.b) == (0, 2)).unwrap();
-        assert!(!color_noise.chi2.significant, "χ² = {}", color_noise.chi2.statistic);
+        assert!(
+            !color_noise.chi2.significant,
+            "χ² = {}",
+            color_noise.chi2.statistic
+        );
         assert!(color_noise.cramers_v < 0.12);
     }
 
@@ -142,8 +153,10 @@ mod tests {
         // red∧large and blue∧small are impossible (strongest deviations);
         // red∧small / blue∧large are the strong positives. Any of those four
         // may top the contribution list, but interest must be extreme.
-        assert!(observed as f64 >= 1.9 * expected || (observed == 0 && expected > 10.0),
-            "major cell ({a_val},{b_val}): O = {observed}, E = {expected}");
+        assert!(
+            observed as f64 >= 1.9 * expected || (observed == 0 && expected > 10.0),
+            "major cell ({a_val},{b_val}): O = {observed}, E = {expected}"
+        );
         let interest = row.major_interest();
         assert!(interest > 1.5 || interest < 0.3);
     }
@@ -156,16 +169,13 @@ mod tests {
         let data = bmb_datasets::expanded_census(42);
         let rows = categorical_pairs_report(&data, &Chi2Test::default());
         assert_eq!(rows.len(), 6);
-        let get = |a: usize, b: usize| {
-            rows.iter().find(|r| (r.a, r.b) == (a, b)).unwrap()
-        };
+        let get = |a: usize, b: usize| rows.iter().find(|r| (r.a, r.b) == (a, b)).unwrap();
         use bmb_datasets::census::expanded::attr;
         assert!(get(attr::COMMUTE, attr::AGE).chi2.significant);
         assert!(get(attr::COMMUTE, attr::MARITAL).chi2.significant);
         // The planted story: age explains commute better than marriage does.
         assert!(
-            get(attr::COMMUTE, attr::AGE).cramers_v
-                > get(attr::COMMUTE, attr::MARITAL).cramers_v
+            get(attr::COMMUTE, attr::AGE).cramers_v > get(attr::COMMUTE, attr::MARITAL).cramers_v
         );
     }
 }

@@ -18,7 +18,10 @@ impl SupportSpec {
         match self {
             SupportSpec::Count(c) => c,
             SupportSpec::Fraction(f) => {
-                assert!((0.0..=1.0).contains(&f), "support fraction out of range: {f}");
+                assert!(
+                    (0.0..=1.0).contains(&f),
+                    "support fraction out of range: {f}"
+                );
                 (f * n as f64).ceil() as u64
             }
         }
@@ -100,7 +103,10 @@ impl MinerConfig {
     /// The paper's census-experiment settings: α = 95%, s = 1%, p just
     /// above 25% so one-in-four cells suffices at level 2.
     pub fn paper_census() -> Self {
-        MinerConfig { support_fraction: 0.26, ..Default::default() }
+        MinerConfig {
+            support_fraction: 0.26,
+            ..Default::default()
+        }
     }
 
     /// Validates the configuration.
@@ -111,7 +117,10 @@ impl MinerConfig {
     /// per the paper's Step 3 precondition — when level-1 pruning is
     /// requested with `p <= 0.25`.
     pub fn validate(&self) {
-        assert!(self.alpha > 0.0 && self.alpha < 1.0, "alpha must be in (0,1)");
+        assert!(
+            self.alpha > 0.0 && self.alpha < 1.0,
+            "alpha must be in (0,1)"
+        );
         assert!(
             self.support_fraction > 0.0 && self.support_fraction <= 1.0,
             "support fraction must be in (0,1]"
@@ -125,7 +134,10 @@ impl MinerConfig {
             );
         }
         if let SupportSpec::Fraction(f) = self.support {
-            assert!((0.0..=1.0).contains(&f), "support fraction out of range: {f}");
+            assert!(
+                (0.0..=1.0).contains(&f),
+                "support fraction out of range: {f}"
+            );
         }
     }
 
@@ -150,7 +162,10 @@ mod tests {
 
     #[test]
     fn cells_required_by_level() {
-        let config = MinerConfig { support_fraction: 0.26, ..Default::default() };
+        let config = MinerConfig {
+            support_fraction: 0.26,
+            ..Default::default()
+        };
         assert_eq!(config.cells_required(2), 2); // ceil(0.26·4)
         assert_eq!(config.cells_required(3), 3); // ceil(0.26·8)
         let quarter = MinerConfig {
@@ -171,12 +186,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "p > 0.25")]
     fn paper_prune_demands_p_above_quarter() {
-        MinerConfig { support_fraction: 0.2, ..Default::default() }.validate();
+        MinerConfig {
+            support_fraction: 0.2,
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "alpha")]
     fn bad_alpha_panics() {
-        MinerConfig { alpha: 1.0, ..Default::default() }.validate();
+        MinerConfig {
+            alpha: 1.0,
+            ..Default::default()
+        }
+        .validate();
     }
 }

@@ -9,9 +9,20 @@
 //! follow from stored subset supports by Möbius inversion.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use bmb_basket::{BasketDatabase, BitmapIndex, ContingencyTable, Itemset};
 use bmb_lattice::FnvHashMap;
+
+/// Rejoins a scoped-thread result, re-raising a worker's panic payload
+/// in the calling thread. Unlike `.expect(...)`, the original panic
+/// message and location survive intact.
+pub(crate) fn propagate<T>(result: Result<T, Box<dyn std::any::Any + Send + 'static>>) -> T {
+    match result {
+        Ok(value) => value,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
 
 /// Stored supports of all itemsets counted so far (singletons live in the
 /// database's item counts and are consulted directly).
@@ -53,7 +64,11 @@ impl SupportStore {
 
     /// Slice-keyed variant of [`SupportStore::support_of`]: `items` must be
     /// strictly sorted. Allocation-free — the miner's hot path.
-    pub fn support_of_sorted(&self, db: &BasketDatabase, items: &[bmb_basket::ItemId]) -> Option<u64> {
+    pub fn support_of_sorted(
+        &self,
+        db: &BasketDatabase,
+        items: &[bmb_basket::ItemId],
+    ) -> Option<u64> {
         debug_assert!(items.windows(2).all(|w| w[0] < w[1]));
         match items {
             [] => Some(db.len() as u64),
@@ -65,18 +80,17 @@ impl SupportStore {
 
 /// Counts `O(S)` for every candidate by bitmap intersection, using up to
 /// `threads` workers.
-pub fn count_with_bitmaps(
-    index: &BitmapIndex,
-    candidates: &[Itemset],
-    threads: usize,
-) -> Vec<u64> {
+pub fn count_with_bitmaps(index: &BitmapIndex, candidates: &[Itemset], threads: usize) -> Vec<u64> {
     let threads = threads.max(1).min(candidates.len().max(1));
     if threads == 1 || candidates.len() < 64 {
-        return candidates.iter().map(|c| index.support_count(c.items())).collect();
+        return candidates
+            .iter()
+            .map(|c| index.support_count(c.items()))
+            .collect();
     }
     let mut out = vec![0u64; candidates.len()];
     let chunk = candidates.len().div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    propagate(crossbeam::thread::scope(|scope| {
         for (cand_chunk, out_chunk) in candidates.chunks(chunk).zip(out.chunks_mut(chunk)) {
             scope.spawn(move |_| {
                 for (c, slot) in cand_chunk.iter().zip(out_chunk.iter_mut()) {
@@ -84,19 +98,14 @@ pub fn count_with_bitmaps(
                 }
             });
         }
-    })
-    .expect("counting worker panicked");
+    }));
     out
 }
 
 /// Counts `O(S)` for every candidate with one pass over the horizontal
 /// database (the paper's per-level pass), using up to `threads` workers
 /// over disjoint basket ranges.
-pub fn count_with_scan(
-    db: &BasketDatabase,
-    candidates: &[Itemset],
-    threads: usize,
-) -> Vec<u64> {
+pub fn count_with_scan(db: &BasketDatabase, candidates: &[Itemset], threads: usize) -> Vec<u64> {
     if candidates.is_empty() {
         return Vec::new();
     }
@@ -134,7 +143,7 @@ pub fn count_with_scan(
         return count_range(0, n);
     }
     let chunk = n.div_ceil(threads);
-    let partials: Vec<Vec<u64>> = crossbeam::thread::scope(|scope| {
+    let partials: Vec<Vec<u64>> = propagate(crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let lo = t * chunk;
@@ -143,9 +152,8 @@ pub fn count_with_scan(
                 scope.spawn(move |_| count_range(lo, hi))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("scan worker panicked")).collect()
-    })
-    .expect("counting scope panicked");
+        handles.into_iter().map(|h| propagate(h.join())).collect()
+    }));
     let mut out = vec![0u64; candidates.len()];
     for partial in partials {
         for (acc, v) in out.iter_mut().zip(partial) {
@@ -168,6 +176,22 @@ fn subsets_cheaper(basket_len: usize, level: usize, n_candidates: usize) -> bool
     combos <= n_candidates as u64
 }
 
+/// Error from [`try_table_from_supports`]: a proper subset's support was
+/// absent from the store, violating the candidate-generation invariant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MissingSupport {
+    /// The subset whose support was not stored.
+    pub subset: Vec<bmb_basket::ItemId>,
+}
+
+impl fmt::Display for MissingSupport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "support of {:?} missing from the store", self.subset)
+    }
+}
+
+impl std::error::Error for MissingSupport {}
+
 /// Assembles the full `2^m` contingency table of `set` from stored subset
 /// supports plus the set's own support `own_support = O(set)`, by Möbius
 /// inversion of the superset-sum relation.
@@ -179,15 +203,36 @@ fn subsets_cheaper(basket_len: usize, level: usize, n_candidates: usize) -> bool
 /// # Panics
 ///
 /// Panics if any proper subset's support is missing — candidate generation
-/// guarantees presence, so a miss is a logic error.
+/// guarantees presence, so a miss is a logic error. Use
+/// [`try_table_from_supports`] to observe the failure as a value instead.
 pub fn table_from_supports(
     db: &BasketDatabase,
     store: &SupportStore,
     set: &Itemset,
     own_support: u64,
 ) -> ContingencyTable {
+    match try_table_from_supports(db, store, set, own_support) {
+        Ok(table) => table,
+        // Documented contract: a missing subset support is a candidate-
+        // generation bug that must not silently corrupt mining results.
+        // lint:allow(panic)
+        Err(err) => panic!("{err}"),
+    }
+}
+
+/// Fallible variant of [`table_from_supports`], reporting a missing
+/// subset support as a [`MissingSupport`] error instead of panicking.
+pub fn try_table_from_supports(
+    db: &BasketDatabase,
+    store: &SupportStore,
+    set: &Itemset,
+    own_support: u64,
+) -> Result<ContingencyTable, MissingSupport> {
     let m = set.len();
-    assert!((1..=24).contains(&m), "table assembly supports 1..=24 items");
+    assert!(
+        (1..=24).contains(&m),
+        "table assembly supports 1..=24 items"
+    );
     let items = set.items();
     let full: u32 = if m == 32 { u32::MAX } else { (1u32 << m) - 1 };
     let mut supp: Vec<i64> = vec![0; 1 << m];
@@ -200,9 +245,11 @@ pub fn table_from_supports(
         }
         subset.clear();
         subset.extend((0..m).filter(|&j| mask & (1 << j) != 0).map(|j| items[j]));
-        let value = store.support_of_sorted(db, &subset).unwrap_or_else(|| {
-            panic!("support of {subset:?} missing from the store")
-        });
+        let Some(value) = store.support_of_sorted(db, &subset) else {
+            return Err(MissingSupport {
+                subset: subset.clone(),
+            });
+        };
         supp[mask as usize] = value as i64;
     }
     for bit in 0..m {
@@ -213,7 +260,7 @@ pub fn table_from_supports(
         }
     }
     let counts: Vec<u64> = supp.into_iter().map(|c| c.max(0) as u64).collect();
-    ContingencyTable::from_counts(set.clone(), counts)
+    Ok(ContingencyTable::from_counts(set.clone(), counts))
 }
 
 #[cfg(test)]

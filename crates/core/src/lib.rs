@@ -35,25 +35,36 @@
 
 #![warn(missing_docs)]
 
+/// Pairwise reports over multi-valued categorical attributes.
 pub mod categorical_report;
+/// Miner configuration: support policy, pruning, counting strategy.
 pub mod config;
+/// Batch support counting and Möbius contingency-table assembly.
 pub mod counting;
+/// Word-adjacency locality analysis (the paper's text experiments).
 pub mod locality;
+/// The level-wise significant-itemset miner (Algorithm 2).
 pub mod miner;
+/// Pruning predicates: support, interest, and χ²-based cuts.
 pub mod prune;
+/// Pairwise χ²-and-interest reports (the paper's Table 2).
 pub mod report;
+/// The significant-itemset output type and its major dependences.
 pub mod sig;
+/// Per-level mining statistics (the paper's Table 5).
 pub mod stats;
+/// Cell-based support counting over contingency tables (Section 4).
 pub mod support;
+/// The random-walk border miner over the itemset lattice.
 pub mod walk_miner;
 
 pub use categorical_report::{
     categorical_pair, categorical_pairs_report, CategoricalPairCorrelation,
 };
 pub use config::{CountingStrategy, Level1Prune, MinerConfig, SupportSpec};
+pub use locality::{locality_test, mine_locality, LocalityReport};
 pub use miner::{mine, MiningResult};
 pub use report::{pairs_report, PairCorrelation};
 pub use sig::CorrelationRule;
 pub use stats::{lattice_level_size, LevelStats};
-pub use locality::{locality_test, mine_locality, LocalityReport};
 pub use walk_miner::{mine_walk, WalkMiningResult};

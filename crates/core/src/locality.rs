@@ -37,11 +37,13 @@ impl LocalityReport {
     /// The interest of the "a followed by b" cell: how many times more
     /// often `b` follows `a` than it follows a random position.
     pub fn adjacency_interest(&self) -> f64 {
-        let observed = self.table.observed(0b11) as f64;
+        // Keep the observed count integral until after the emptiness
+        // test — no float comparison needed for the 0/0 case.
+        let observed = self.table.observed(0b11);
         let expected = self.table.expected(0b11);
         if expected > 0.0 {
-            observed / expected
-        } else if observed == 0.0 {
+            observed as f64 / expected
+        } else if observed == 0 {
             1.0
         } else {
             f64::INFINITY
@@ -82,12 +84,16 @@ pub fn locality_test(
             counts[mask] += 1;
         }
     }
-    let table = ContingencyTable::from_counts(
-        Itemset::from_items([a.min(b), a.max(b)]),
-        counts.to_vec(),
-    );
+    let table =
+        ContingencyTable::from_counts(Itemset::from_items([a.min(b), a.max(b)]), counts.to_vec());
     let chi2 = test.test_dense(&table);
-    LocalityReport { a, b, window, table, chi2 }
+    LocalityReport {
+        a,
+        b,
+        window,
+        table,
+        chi2,
+    }
 }
 
 /// Ranks candidate pairs by locality significance — the mining loop for
@@ -216,16 +222,13 @@ mod tests {
     fn planted_corpus_collocations_are_local() {
         // End-to-end with the ordered corpus generator: nelson follows
         // mandela within a 2-token window far beyond chance.
-        let corpus = bmb_datasets::text::generate_sequences(
-            &bmb_datasets::text::TextParams {
-                vocabulary: 400,
-                ..Default::default()
-            },
-        );
+        let corpus = bmb_datasets::text::generate_sequences(&bmb_datasets::text::TextParams {
+            vocabulary: 400,
+            ..Default::default()
+        });
         let mandela = corpus.catalog.get("mandela").unwrap();
         let nelson = corpus.catalog.get("nelson").unwrap();
-        let report =
-            locality_test(&corpus.documents, mandela, nelson, 2, &Chi2Test::default());
+        let report = locality_test(&corpus.documents, mandela, nelson, 2, &Chi2Test::default());
         assert!(report.chi2.significant);
         assert!(report.adjacency_interest() > 50.0);
     }

@@ -123,9 +123,7 @@ pub fn mine(db: &BasketDatabase, config: &MinerConfig) -> MiningResult {
             config.threads,
         );
         let mut notsig = ItemsetTable::with_capacity(candidates.len());
-        for ((candidate, supp), verdict) in
-            candidates.iter().zip(&supports).zip(verdicts)
-        {
+        for ((candidate, supp), verdict) in candidates.iter().zip(&supports).zip(verdicts) {
             match verdict {
                 Verdict::Discarded => stats.discards += 1,
                 Verdict::Significant(rule) => {
@@ -149,8 +147,11 @@ pub fn mine(db: &BasketDatabase, config: &MinerConfig) -> MiningResult {
         debug_assert!(stats.is_consistent());
         levels.push(stats);
         // Don't generate candidates the level cap would discard unseen.
-        candidates =
-            if is_last_level { Vec::new() } else { generate_candidates(&notsig) };
+        candidates = if is_last_level {
+            Vec::new()
+        } else {
+            generate_candidates(&notsig)
+        };
         level += 1;
     }
     if chi2_cutoff.is_nan() {
@@ -208,7 +209,9 @@ fn evaluate_candidates(
                 table,
             })
         } else {
-            Verdict::NotSignificant { cutoff: outcome.cutoff }
+            Verdict::NotSignificant {
+                cutoff: outcome.cutoff,
+            }
         }
     };
     let threads = threads.max(1).min(candidates.len().max(1));
@@ -220,7 +223,7 @@ fn evaluate_candidates(
             .collect();
     }
     let chunk = candidates.len().div_ceil(threads);
-    let chunks: Vec<Vec<Verdict>> = crossbeam::thread::scope(|scope| {
+    let scoped = crossbeam::thread::scope(|scope| {
         let evaluate = &evaluate;
         let handles: Vec<_> = candidates
             .chunks(chunk)
@@ -237,11 +240,13 @@ fn evaluate_candidates(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("evaluation worker panicked"))
-            .collect()
-    })
-    .expect("evaluation scope panicked");
-    chunks.into_iter().flatten().collect()
+            .map(|h| crate::counting::propagate(h.join()))
+            .collect::<Vec<Vec<Verdict>>>()
+    });
+    crate::counting::propagate(scoped)
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 /// Step 3: the initial pair candidates under the chosen level-1 policy.
@@ -308,7 +313,11 @@ mod tests {
         assert!(
             result.rule_for(&planted).is_some(),
             "planted pair not found among {:?}",
-            result.significant.iter().map(|r| r.itemset.to_string()).collect::<Vec<_>>()
+            result
+                .significant
+                .iter()
+                .map(|r| r.itemset.to_string())
+                .collect::<Vec<_>>()
         );
         // Everything significant is minimal: no reported set contains
         // another.
@@ -333,7 +342,11 @@ mod tests {
         assert!(
             result.significant.is_empty(),
             "false positives: {:?}",
-            result.significant.iter().map(|r| r.itemset.to_string()).collect::<Vec<_>>()
+            result
+                .significant
+                .iter()
+                .map(|r| r.itemset.to_string())
+                .collect::<Vec<_>>()
         );
     }
 
@@ -343,7 +356,10 @@ mod tests {
         // the single-df convention lets some deep itemsets through on
         // independent data.
         let db = bmb_datasets::independent(3000, 6, 0.3, 5);
-        let config = MinerConfig { alpha: 0.9999, ..base_config() };
+        let config = MinerConfig {
+            alpha: 0.9999,
+            ..base_config()
+        };
         let result = mine(&db, &config);
         assert!(
             result.significant.iter().all(|r| r.itemset.len() >= 4),
@@ -354,10 +370,19 @@ mod tests {
     #[test]
     fn bitmap_and_scan_strategies_agree() {
         let db = bmb_datasets::planted_pair(1500, 8, 0.25, 0.6, 11);
-        let a = mine(&db, &MinerConfig { counting: CountingStrategy::Bitmap, ..base_config() });
+        let a = mine(
+            &db,
+            &MinerConfig {
+                counting: CountingStrategy::Bitmap,
+                ..base_config()
+            },
+        );
         let b = mine(
             &db,
-            &MinerConfig { counting: CountingStrategy::BasketScan, ..base_config() },
+            &MinerConfig {
+                counting: CountingStrategy::BasketScan,
+                ..base_config()
+            },
         );
         assert_eq!(a.levels, b.levels);
         let sa: Vec<&Itemset> = a.significant.iter().map(|r| &r.itemset).collect();
@@ -368,15 +393,30 @@ mod tests {
     #[test]
     fn threads_do_not_change_results() {
         let db = bmb_datasets::planted_pair(1500, 8, 0.25, 0.6, 12);
-        let a = mine(&db, &MinerConfig { threads: 1, ..base_config() });
-        let b = mine(&db, &MinerConfig { threads: 4, ..base_config() });
+        let a = mine(
+            &db,
+            &MinerConfig {
+                threads: 1,
+                ..base_config()
+            },
+        );
+        let b = mine(
+            &db,
+            &MinerConfig {
+                threads: 4,
+                ..base_config()
+            },
+        );
         assert_eq!(a.levels, b.levels);
     }
 
     #[test]
     fn max_level_stops_early() {
         let db = bmb_datasets::parity_triple(400, 4);
-        let config = MinerConfig { max_level: 2, ..base_config() };
+        let config = MinerConfig {
+            max_level: 2,
+            ..base_config()
+        };
         let result = mine(&db, &config);
         assert!(result.significant.is_empty());
         assert_eq!(result.levels.len(), 1);

@@ -27,11 +27,7 @@ pub fn within_chi2_window(statistic: f64, cutoff: f64, ceiling: f64) -> bool {
 }
 
 /// Convenience: evaluates the windowed-χ² predicate on a table.
-pub fn table_in_window(
-    table: &ContingencyTable,
-    test: &bmb_stats::Chi2Test,
-    ceiling: f64,
-) -> bool {
+pub fn table_in_window(table: &ContingencyTable, test: &bmb_stats::Chi2Test, ceiling: f64) -> bool {
     let outcome = test.test_dense(table);
     within_chi2_window(outcome.statistic, outcome.cutoff, ceiling)
 }
@@ -45,7 +41,14 @@ mod tests {
     fn anti_support_is_upward_closed_on_data() {
         let db = BasketDatabase::from_id_baskets(
             3,
-            vec![vec![0, 1], vec![0], vec![1], vec![0, 1, 2], vec![2], vec![0, 1]],
+            vec![
+                vec![0, 1],
+                vec![0],
+                vec![1],
+                vec![0, 1, 2],
+                vec![2],
+                vec![0, 1],
+            ],
         );
         let counter = ScanCounter::new(&db);
         let t = 3u64;
@@ -85,21 +88,15 @@ mod tests {
         // Example 1's tea/coffee table scores χ² ≈ 3.70 — just *under*
         // the 95% cutoff; doubled (n = 200) it clears 3.84 with χ² ≈ 7.4
         // and sits inside a (3.84, 100) window.
-        let tea_coffee = ContingencyTable::from_counts(
-            Itemset::from_ids([0, 1]),
-            vec![5, 5, 70, 20],
-        );
+        let tea_coffee =
+            ContingencyTable::from_counts(Itemset::from_ids([0, 1]), vec![5, 5, 70, 20]);
         assert!(!table_in_window(&tea_coffee, &test, 100.0));
-        let moderate = ContingencyTable::from_counts(
-            Itemset::from_ids([0, 1]),
-            vec![10, 10, 140, 40],
-        );
+        let moderate =
+            ContingencyTable::from_counts(Itemset::from_ids([0, 1]), vec![10, 10, 140, 40]);
         assert!(table_in_window(&moderate, &test, 100.0));
         // Perfect correlation (χ² = n): excluded as too obvious.
-        let obvious = ContingencyTable::from_counts(
-            Itemset::from_ids([0, 1]),
-            vec![500, 0, 0, 500],
-        );
+        let obvious =
+            ContingencyTable::from_counts(Itemset::from_ids([0, 1]), vec![500, 0, 0, 500]);
         assert!(!table_in_window(&obvious, &test, 100.0));
     }
 }

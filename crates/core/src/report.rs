@@ -34,15 +34,19 @@ impl PairCorrelation {
         // Paper order: ab, āb, ab̄, āb̄ → masks 0b11, 0b10, 0b01, 0b00.
         let order: [u32; 4] = [0b11, 0b10, 0b01, 0b00];
         let interests = order.map(|m| report.interest(m));
+        // `total_cmp` totally orders even NaN; the range is non-empty,
+        // so `unwrap_or` is a never-taken fallback, not a panic.
         let most_extreme = (0..4)
-            .max_by(|&x, &y| {
-                extremity(interests[x])
-                    .partial_cmp(&extremity(interests[y]))
-                    .expect("interest values are never NaN")
-            })
-            .expect("four interests always exist");
+            .max_by(|&x, &y| extremity(interests[x]).total_cmp(&extremity(interests[y])))
+            .unwrap_or(0);
         let items = table.itemset().items();
-        PairCorrelation { a: items[0], b: items[1], chi2, interests, most_extreme }
+        PairCorrelation {
+            a: items[0],
+            b: items[1],
+            chi2,
+            interests,
+            most_extreme,
+        }
     }
 }
 

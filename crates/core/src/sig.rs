@@ -63,10 +63,7 @@ mod tests {
 
     fn rule() -> CorrelationRule {
         // Example 1's tea/coffee table (bit0 = tea, bit1 = coffee).
-        let table = ContingencyTable::from_counts(
-            Itemset::from_ids([0, 1]),
-            vec![5, 5, 70, 20],
-        );
+        let table = ContingencyTable::from_counts(Itemset::from_ids([0, 1]), vec![5, 5, 70, 20]);
         let chi2 = Chi2Test::default().test_dense(&table);
         CorrelationRule {
             itemset: table.itemset().clone(),

@@ -107,7 +107,10 @@ mod tests {
         };
         assert!(good.is_consistent());
         assert!((good.pruning_ratio() - (1.0 - 8019.0 / 378_015.0)).abs() < 1e-12);
-        let bad = LevelStats { candidates: 10, ..good };
+        let bad = LevelStats {
+            candidates: 10,
+            ..good
+        };
         assert!(!bad.is_consistent());
     }
 }

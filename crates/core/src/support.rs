@@ -88,9 +88,7 @@ mod tests {
             let k = 5u32;
             let mut db = BasketDatabase::new(k as usize);
             for _ in 0..n {
-                db.push_basket(
-                    (0..k).filter(|_| rng.gen_bool(0.4)).map(bmb_basket::ItemId),
-                );
+                db.push_basket((0..k).filter(|_| rng.gen_bool(0.4)).map(bmb_basket::ItemId));
             }
             let s = 8u64;
             let p = 0.3f64;

@@ -101,7 +101,11 @@ mod tests {
     }
 
     fn walk_config() -> WalkConfig {
-        WalkConfig { walks: 300, max_level: 6, seed: 77 }
+        WalkConfig {
+            walks: 300,
+            max_level: 6,
+            seed: 77,
+        }
     }
 
     #[test]
@@ -119,10 +123,12 @@ mod tests {
         let walked = mine_walk(&db, &config(), walk_config(), None);
         // Every walk discovery is a level-wise discovery (walks may sample
         // a subset of a large border, but here the border is small).
-        let level_sets: Vec<&Itemset> =
-            levelwise.significant.iter().map(|r| &r.itemset).collect();
+        let level_sets: Vec<&Itemset> = levelwise.significant.iter().map(|r| &r.itemset).collect();
         for set in &walked.border {
-            assert!(level_sets.contains(&set), "walk found {set}, level-wise did not");
+            assert!(
+                level_sets.contains(&set),
+                "walk found {set}, level-wise did not"
+            );
         }
         // And the planted pair is found by both.
         assert!(walked.border.contains(&Itemset::from_ids([0, 1])));
@@ -153,7 +159,15 @@ mod tests {
     #[test]
     fn empty_database_is_handled() {
         let db = bmb_basket::BasketDatabase::new(4);
-        let result = mine_walk(&db, &config(), WalkConfig { walks: 5, ..walk_config() }, None);
+        let result = mine_walk(
+            &db,
+            &config(),
+            WalkConfig {
+                walks: 5,
+                ..walk_config()
+            },
+            None,
+        );
         assert!(result.border.is_empty());
     }
 }

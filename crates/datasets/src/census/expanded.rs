@@ -86,10 +86,7 @@ pub fn expanded_census(seed: u64) -> CategoricalData {
         let never_served = has(2);
 
         // Age refinement with the planted confounder.
-        let minor = at_most_40
-            && !married
-            && !drives_alone
-            && rng.gen_bool(0.45)
+        let minor = at_most_40 && !married && !drives_alone && rng.gen_bool(0.45)
             || (at_most_40 && rng.gen_bool(0.04));
         let age_value = if !at_most_40 {
             age::OVER_40
@@ -111,7 +108,11 @@ pub fn expanded_census(seed: u64) -> CategoricalData {
             commute::DOES_NOT_DRIVE
         };
 
-        let marital_value = if married && age_value != age::UNDER_18 { 0u16 } else { 1u16 };
+        let marital_value = if married && age_value != age::UNDER_18 {
+            0u16
+        } else {
+            1u16
+        };
         let military_value = u16::from(!never_served);
         data.push_record(&[commute_value, marital_value, age_value, military_value]);
     }

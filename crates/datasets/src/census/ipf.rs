@@ -73,11 +73,24 @@ impl IpfFit {
 ///
 /// Panics if `k` is 0 or exceeds 24, if a constraint references a variable
 /// out of range, or if any constraint cell is negative.
-pub fn fit(k: usize, constraints: &[PairConstraint], max_iterations: usize, tolerance: f64) -> IpfFit {
+pub fn fit(
+    k: usize,
+    constraints: &[PairConstraint],
+    max_iterations: usize,
+    tolerance: f64,
+) -> IpfFit {
     assert!(k > 0 && k <= 24, "k must be in 1..=24, got {k}");
     for c in constraints {
-        assert!(c.a < k && c.b < k && c.a != c.b, "bad constraint positions ({}, {})", c.a, c.b);
-        assert!(c.cells.iter().all(|&p| p >= 0.0), "negative target probability");
+        assert!(
+            c.a < k && c.b < k && c.a != c.b,
+            "bad constraint positions ({}, {})",
+            c.a,
+            c.b
+        );
+        assert!(
+            c.cells.iter().all(|&p| p >= 0.0),
+            "negative target probability"
+        );
     }
     let n_cells = 1usize << k;
     let mut f = vec![1.0 / n_cells as f64; n_cells];
@@ -95,23 +108,52 @@ pub fn fit(k: usize, constraints: &[PairConstraint], max_iterations: usize, tole
             let mut scale = [0.0f64; 4];
             for i in 0..4 {
                 max_residual = max_residual.max((current[i] - c.cells[i]).abs());
-                scale[i] = if current[i] > 0.0 { c.cells[i] / current[i] } else { 0.0 };
+                scale[i] = if current[i] > 0.0 {
+                    c.cells[i] / current[i]
+                } else {
+                    0.0
+                };
             }
             for (cell, p) in f.iter_mut().enumerate() {
-                *p *= scale
-                    [PairConstraint::cell_index(cell >> c.a & 1 == 1, cell >> c.b & 1 == 1)];
+                *p *= scale[PairConstraint::cell_index(cell >> c.a & 1 == 1, cell >> c.b & 1 == 1)];
             }
         }
         iterations += 1;
     }
     // Renormalize the numerical dust so probabilities sum to exactly 1.
     let total: f64 = f.iter().sum();
-    if total > 0.0 {
+    let renormalized = total > 0.0;
+    if renormalized {
         for p in f.iter_mut() {
             *p /= total;
         }
     }
-    IpfFit { k, probabilities: f, iterations, max_residual }
+    let result = IpfFit {
+        k,
+        probabilities: f,
+        iterations,
+        max_residual,
+    };
+    if cfg!(debug_assertions) && renormalized {
+        // Contracts: the joint is a probability distribution, and when
+        // the loop exited by convergence every constraint's fitted cells
+        // sit within the reported residual (plus renormalization dust).
+        bmb_stats::contracts::assert_distribution("IPF joint", &result.probabilities, 1e-9);
+        if max_residual <= tolerance {
+            for c in constraints {
+                let fitted = result.pair_cells(c.a, c.b);
+                for (cell, (&got, &want)) in fitted.iter().zip(&c.cells).enumerate() {
+                    bmb_stats::contracts::assert_close(
+                        &format!("IPF pair ({}, {}) cell {cell}", c.a, c.b),
+                        got,
+                        want,
+                        tolerance * 100.0 + 1e-9,
+                    );
+                }
+            }
+        }
+    }
+    result
 }
 
 #[cfg(test)]
@@ -121,7 +163,11 @@ mod tests {
     /// Consistent 2-variable problem: IPF must hit it exactly.
     #[test]
     fn exact_fit_for_single_pair() {
-        let constraint = PairConstraint { a: 0, b: 1, cells: [0.2, 0.7, 0.05, 0.05] };
+        let constraint = PairConstraint {
+            a: 0,
+            b: 1,
+            cells: [0.2, 0.7, 0.05, 0.05],
+        };
         let fit = fit(2, &[constraint], 100, 1e-12);
         assert!(fit.max_residual < 1e-12);
         let cells = fit.pair_cells(0, 1);
@@ -165,7 +211,11 @@ mod tests {
 
     #[test]
     fn marginals_match_constraints() {
-        let constraint = PairConstraint { a: 0, b: 2, cells: [0.1, 0.3, 0.2, 0.4] };
+        let constraint = PairConstraint {
+            a: 0,
+            b: 2,
+            cells: [0.1, 0.3, 0.2, 0.4],
+        };
         let fit = fit(3, &[constraint], 100, 1e-12);
         assert!((fit.marginal(0) - 0.3).abs() < 1e-9); // 0.1 + 0.2
         assert!((fit.marginal(2) - 0.4).abs() < 1e-9); // 0.1 + 0.3
@@ -175,7 +225,11 @@ mod tests {
 
     #[test]
     fn zero_cells_stay_zero() {
-        let constraint = PairConstraint { a: 0, b: 1, cells: [0.0, 0.6, 0.2, 0.2] };
+        let constraint = PairConstraint {
+            a: 0,
+            b: 1,
+            cells: [0.0, 0.6, 0.2, 0.2],
+        };
         let fit = fit(2, &[constraint], 100, 1e-12);
         let cells = fit.pair_cells(0, 1);
         assert_eq!(cells[0], 0.0);
@@ -185,18 +239,44 @@ mod tests {
     fn inconsistent_targets_reach_a_compromise() {
         // Two constraints disagree about variable 0's marginal (0.3 vs 0.4);
         // IPF oscillates but stays bounded, and the residual reports it.
-        let c1 = PairConstraint { a: 0, b: 1, cells: [0.15, 0.35, 0.15, 0.35] };
-        let c2 = PairConstraint { a: 0, b: 2, cells: [0.2, 0.3, 0.2, 0.3] };
+        let c1 = PairConstraint {
+            a: 0,
+            b: 1,
+            cells: [0.15, 0.35, 0.15, 0.35],
+        };
+        let c2 = PairConstraint {
+            a: 0,
+            b: 2,
+            cells: [0.2, 0.3, 0.2, 0.3],
+        };
         let fit = fit(3, &[c1, c2], 500, 1e-12);
-        assert!(fit.max_residual > 1e-6, "inconsistency must show in the residual");
-        assert!(fit.max_residual < 0.12, "residual should stay near the disagreement");
+        assert!(
+            fit.max_residual > 1e-6,
+            "inconsistency must show in the residual"
+        );
+        assert!(
+            fit.max_residual < 0.12,
+            "residual should stay near the disagreement"
+        );
         let m0 = fit.marginal(0);
-        assert!(m0 > 0.28 && m0 < 0.42, "marginal {m0} should sit between the claims");
+        assert!(
+            m0 > 0.28 && m0 < 0.42,
+            "marginal {m0} should sit between the claims"
+        );
     }
 
     #[test]
     #[should_panic(expected = "bad constraint positions")]
     fn out_of_range_constraint_panics() {
-        fit(2, &[PairConstraint { a: 0, b: 5, cells: [0.25; 4] }], 10, 1e-6);
+        fit(
+            2,
+            &[PairConstraint {
+                a: 0,
+                b: 5,
+                cells: [0.25; 4],
+            }],
+            10,
+            1e-6,
+        );
     }
 }

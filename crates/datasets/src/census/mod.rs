@@ -52,7 +52,9 @@ pub fn materialize(fit: &IpfFit, n: usize) -> BasketDatabase {
     by_remainder.sort_by(|&x, &y| {
         let rx = exact[x] - counts[x] as f64;
         let ry = exact[y] - counts[y] as f64;
-        ry.partial_cmp(&rx).unwrap().then(x.cmp(&y))
+        // Remainders are finite, but `total_cmp` stays a total order
+        // (and panic-free) even if one were not.
+        ry.total_cmp(&rx).then(x.cmp(&y))
     });
     for &cell in by_remainder.iter().take(n - assigned) {
         counts[cell] += 1;
@@ -174,9 +176,17 @@ mod tests {
         let set = Itemset::from_ids([2, 7]);
         let table = ContingencyTable::from_database(&db, &set);
         let outcome = Chi2Test::default().test_dense(&table);
-        assert!((outcome.statistic - 2006.34).abs() < 80.0, "χ² = {}", outcome.statistic);
+        assert!(
+            (outcome.statistic - 2006.34).abs() < 80.0,
+            "χ² = {}",
+            outcome.statistic
+        );
         let report = bmb_stats::InterestReport::analyze(&table);
-        assert_eq!(report.major_dependence().cell, 0b00, "veteran ∧ over-40 must dominate");
+        assert_eq!(
+            report.major_dependence().cell,
+            0b00,
+            "veteran ∧ over-40 must dominate"
+        );
     }
 
     #[test]

@@ -14,28 +14,56 @@ pub struct CensusAttribute {
 
 /// The ten attributes exactly as printed in Table 1.
 pub const CENSUS_ATTRIBUTES: [CensusAttribute; 10] = [
-    CensusAttribute { id: "i0", present: "drives alone", absent: "does not drive, carpools" },
+    CensusAttribute {
+        id: "i0",
+        present: "drives alone",
+        absent: "does not drive, carpools",
+    },
     CensusAttribute {
         id: "i1",
         present: "male or less than 3 children",
         absent: "3 or more children",
     },
-    CensusAttribute { id: "i2", present: "never served in the military", absent: "veteran" },
+    CensusAttribute {
+        id: "i2",
+        present: "never served in the military",
+        absent: "veteran",
+    },
     CensusAttribute {
         id: "i3",
         present: "native speaker of English",
         absent: "not a native speaker",
     },
-    CensusAttribute { id: "i4", present: "not a U.S. citizen", absent: "U.S. citizen" },
-    CensusAttribute { id: "i5", present: "born in the U.S.", absent: "born abroad" },
-    CensusAttribute { id: "i6", present: "married", absent: "single, divorced, widowed" },
+    CensusAttribute {
+        id: "i4",
+        present: "not a U.S. citizen",
+        absent: "U.S. citizen",
+    },
+    CensusAttribute {
+        id: "i5",
+        present: "born in the U.S.",
+        absent: "born abroad",
+    },
+    CensusAttribute {
+        id: "i6",
+        present: "married",
+        absent: "single, divorced, widowed",
+    },
     CensusAttribute {
         id: "i7",
         present: "no more than 40 years old",
         absent: "more than 40 years old",
     },
-    CensusAttribute { id: "i8", present: "male", absent: "female" },
-    CensusAttribute { id: "i9", present: "householder", absent: "dependent, boarder, renter" },
+    CensusAttribute {
+        id: "i8",
+        present: "male",
+        absent: "female",
+    },
+    CensusAttribute {
+        id: "i9",
+        present: "householder",
+        absent: "dependent, boarder, renter",
+    },
 ];
 
 /// Number of census items.

@@ -48,52 +48,277 @@ impl PairTarget {
 
 /// All 45 pair targets in Table 2/3 row order.
 pub const PAIR_TARGETS: [PairTarget; 45] = [
-    PairTarget { a: 0, b: 1, percents: [16.6, 73.6, 1.4, 8.5], paper_chi2: 37.15 },
-    PairTarget { a: 0, b: 2, percents: [15.0, 74.3, 3.0, 7.7], paper_chi2: 244.47 },
-    PairTarget { a: 0, b: 3, percents: [16.0, 72.9, 1.9, 9.2], paper_chi2: 0.94 },
+    PairTarget {
+        a: 0,
+        b: 1,
+        percents: [16.6, 73.6, 1.4, 8.5],
+        paper_chi2: 37.15,
+    },
+    PairTarget {
+        a: 0,
+        b: 2,
+        percents: [15.0, 74.3, 3.0, 7.7],
+        paper_chi2: 244.47,
+    },
+    PairTarget {
+        a: 0,
+        b: 3,
+        percents: [16.0, 72.9, 1.9, 9.2],
+        paper_chi2: 0.94,
+    },
     // Refined within the rounding interval; see module docs.
-    PairTarget { a: 0, b: 4, percents: [1.07, 5.55, 16.86, 76.52], paper_chi2: 4.57 },
-    PairTarget { a: 0, b: 5, percents: [16.1, 73.5, 1.9, 8.5], paper_chi2: 0.05 },
-    PairTarget { a: 0, b: 6, percents: [7.1, 18.1, 10.8, 64.0], paper_chi2: 737.18 },
-    PairTarget { a: 0, b: 7, percents: [9.7, 51.9, 8.2, 30.2], paper_chi2: 153.11 },
-    PairTarget { a: 0, b: 8, percents: [9.6, 36.7, 8.3, 45.3], paper_chi2: 138.13 },
-    PairTarget { a: 0, b: 9, percents: [10.3, 30.5, 7.7, 51.6], paper_chi2: 746.20 },
-    PairTarget { a: 1, b: 2, percents: [79.6, 9.7, 10.6, 0.1], paper_chi2: 296.55 },
-    PairTarget { a: 1, b: 3, percents: [79.9, 9.0, 10.3, 0.8], paper_chi2: 24.00 },
-    PairTarget { a: 1, b: 4, percents: [6.0, 0.6, 84.2, 9.2], paper_chi2: 1.60 },
-    PairTarget { a: 1, b: 5, percents: [80.7, 8.9, 9.5, 1.0], paper_chi2: 1.70 },
-    PairTarget { a: 1, b: 6, percents: [21.3, 3.9, 68.9, 6.0], paper_chi2: 352.31 },
-    PairTarget { a: 1, b: 7, percents: [59.3, 2.3, 30.9, 7.5], paper_chi2: 2010.07 },
-    PairTarget { a: 1, b: 8, percents: [46.3, 0.0, 43.8, 9.8], paper_chi2: 2855.73 },
-    PairTarget { a: 1, b: 9, percents: [35.5, 5.3, 54.7, 4.6], paper_chi2: 229.07 },
-    PairTarget { a: 2, b: 3, percents: [78.9, 10.0, 10.4, 0.7], paper_chi2: 82.02 },
-    PairTarget { a: 2, b: 4, percents: [6.5, 0.1, 82.8, 10.6], paper_chi2: 190.71 },
-    PairTarget { a: 2, b: 5, percents: [79.3, 10.3, 10.0, 0.4], paper_chi2: 176.05 },
-    PairTarget { a: 2, b: 6, percents: [20.1, 5.1, 69.2, 5.6], paper_chi2: 993.31 },
-    PairTarget { a: 2, b: 7, percents: [58.9, 2.7, 30.4, 8.0], paper_chi2: 2006.34 },
-    PairTarget { a: 2, b: 8, percents: [36.5, 9.9, 52.9, 0.8], paper_chi2: 3099.38 },
-    PairTarget { a: 2, b: 9, percents: [33.9, 6.9, 55.4, 3.8], paper_chi2: 819.90 },
-    PairTarget { a: 3, b: 4, percents: [1.6, 5.0, 87.3, 6.1], paper_chi2: 9130.58 },
-    PairTarget { a: 3, b: 5, percents: [85.4, 4.2, 3.4, 7.0], paper_chi2: 11119.28 },
-    PairTarget { a: 3, b: 6, percents: [21.6, 3.6, 67.3, 7.5], paper_chi2: 110.31 },
-    PairTarget { a: 3, b: 7, percents: [54.1, 7.6, 34.8, 3.6], paper_chi2: 62.22 },
-    PairTarget { a: 3, b: 8, percents: [40.8, 5.6, 48.1, 5.6], paper_chi2: 21.41 },
-    PairTarget { a: 3, b: 9, percents: [36.2, 4.5, 52.6, 6.6], paper_chi2: 0.10 },
-    PairTarget { a: 4, b: 5, percents: [0.0, 89.6, 6.6, 3.8], paper_chi2: 18504.81 },
-    PairTarget { a: 4, b: 6, percents: [2.5, 22.7, 4.1, 70.7], paper_chi2: 189.66 },
-    PairTarget { a: 4, b: 7, percents: [4.7, 57.0, 1.9, 36.4], paper_chi2: 76.04 },
-    PairTarget { a: 4, b: 8, percents: [3.3, 43.0, 3.3, 50.4], paper_chi2: 14.48 },
-    PairTarget { a: 4, b: 9, percents: [2.6, 38.2, 4.0, 55.2], paper_chi2: 3.27 },
-    PairTarget { a: 5, b: 6, percents: [21.2, 4.0, 68.4, 6.4], paper_chi2: 312.15 },
-    PairTarget { a: 5, b: 7, percents: [54.9, 6.7, 34.6, 3.7], paper_chi2: 10.62 },
-    PairTarget { a: 5, b: 8, percents: [41.2, 5.1, 48.4, 5.3], paper_chi2: 12.95 },
-    PairTarget { a: 5, b: 9, percents: [36.4, 4.4, 53.2, 6.0], paper_chi2: 2.50 },
-    PairTarget { a: 6, b: 7, percents: [9.0, 52.7, 16.2, 22.2], paper_chi2: 2913.05 },
-    PairTarget { a: 6, b: 8, percents: [12.7, 33.6, 12.5, 41.2], paper_chi2: 66.49 },
-    PairTarget { a: 6, b: 9, percents: [11.9, 28.8, 13.3, 46.0], paper_chi2: 186.28 },
-    PairTarget { a: 7, b: 8, percents: [29.9, 16.4, 31.7, 22.0], paper_chi2: 98.63 },
-    PairTarget { a: 7, b: 9, percents: [16.1, 24.6, 45.5, 13.8], paper_chi2: 4285.29 },
-    PairTarget { a: 8, b: 9, percents: [19.4, 21.4, 27.0, 32.3], paper_chi2: 12.40 },
+    PairTarget {
+        a: 0,
+        b: 4,
+        percents: [1.07, 5.55, 16.86, 76.52],
+        paper_chi2: 4.57,
+    },
+    PairTarget {
+        a: 0,
+        b: 5,
+        percents: [16.1, 73.5, 1.9, 8.5],
+        paper_chi2: 0.05,
+    },
+    PairTarget {
+        a: 0,
+        b: 6,
+        percents: [7.1, 18.1, 10.8, 64.0],
+        paper_chi2: 737.18,
+    },
+    PairTarget {
+        a: 0,
+        b: 7,
+        percents: [9.7, 51.9, 8.2, 30.2],
+        paper_chi2: 153.11,
+    },
+    PairTarget {
+        a: 0,
+        b: 8,
+        percents: [9.6, 36.7, 8.3, 45.3],
+        paper_chi2: 138.13,
+    },
+    PairTarget {
+        a: 0,
+        b: 9,
+        percents: [10.3, 30.5, 7.7, 51.6],
+        paper_chi2: 746.20,
+    },
+    PairTarget {
+        a: 1,
+        b: 2,
+        percents: [79.6, 9.7, 10.6, 0.1],
+        paper_chi2: 296.55,
+    },
+    PairTarget {
+        a: 1,
+        b: 3,
+        percents: [79.9, 9.0, 10.3, 0.8],
+        paper_chi2: 24.00,
+    },
+    PairTarget {
+        a: 1,
+        b: 4,
+        percents: [6.0, 0.6, 84.2, 9.2],
+        paper_chi2: 1.60,
+    },
+    PairTarget {
+        a: 1,
+        b: 5,
+        percents: [80.7, 8.9, 9.5, 1.0],
+        paper_chi2: 1.70,
+    },
+    PairTarget {
+        a: 1,
+        b: 6,
+        percents: [21.3, 3.9, 68.9, 6.0],
+        paper_chi2: 352.31,
+    },
+    PairTarget {
+        a: 1,
+        b: 7,
+        percents: [59.3, 2.3, 30.9, 7.5],
+        paper_chi2: 2010.07,
+    },
+    PairTarget {
+        a: 1,
+        b: 8,
+        percents: [46.3, 0.0, 43.8, 9.8],
+        paper_chi2: 2855.73,
+    },
+    PairTarget {
+        a: 1,
+        b: 9,
+        percents: [35.5, 5.3, 54.7, 4.6],
+        paper_chi2: 229.07,
+    },
+    PairTarget {
+        a: 2,
+        b: 3,
+        percents: [78.9, 10.0, 10.4, 0.7],
+        paper_chi2: 82.02,
+    },
+    PairTarget {
+        a: 2,
+        b: 4,
+        percents: [6.5, 0.1, 82.8, 10.6],
+        paper_chi2: 190.71,
+    },
+    PairTarget {
+        a: 2,
+        b: 5,
+        percents: [79.3, 10.3, 10.0, 0.4],
+        paper_chi2: 176.05,
+    },
+    PairTarget {
+        a: 2,
+        b: 6,
+        percents: [20.1, 5.1, 69.2, 5.6],
+        paper_chi2: 993.31,
+    },
+    PairTarget {
+        a: 2,
+        b: 7,
+        percents: [58.9, 2.7, 30.4, 8.0],
+        paper_chi2: 2006.34,
+    },
+    PairTarget {
+        a: 2,
+        b: 8,
+        percents: [36.5, 9.9, 52.9, 0.8],
+        paper_chi2: 3099.38,
+    },
+    PairTarget {
+        a: 2,
+        b: 9,
+        percents: [33.9, 6.9, 55.4, 3.8],
+        paper_chi2: 819.90,
+    },
+    PairTarget {
+        a: 3,
+        b: 4,
+        percents: [1.6, 5.0, 87.3, 6.1],
+        paper_chi2: 9130.58,
+    },
+    PairTarget {
+        a: 3,
+        b: 5,
+        percents: [85.4, 4.2, 3.4, 7.0],
+        paper_chi2: 11119.28,
+    },
+    PairTarget {
+        a: 3,
+        b: 6,
+        percents: [21.6, 3.6, 67.3, 7.5],
+        paper_chi2: 110.31,
+    },
+    PairTarget {
+        a: 3,
+        b: 7,
+        percents: [54.1, 7.6, 34.8, 3.6],
+        paper_chi2: 62.22,
+    },
+    PairTarget {
+        a: 3,
+        b: 8,
+        percents: [40.8, 5.6, 48.1, 5.6],
+        paper_chi2: 21.41,
+    },
+    PairTarget {
+        a: 3,
+        b: 9,
+        percents: [36.2, 4.5, 52.6, 6.6],
+        paper_chi2: 0.10,
+    },
+    PairTarget {
+        a: 4,
+        b: 5,
+        percents: [0.0, 89.6, 6.6, 3.8],
+        paper_chi2: 18504.81,
+    },
+    PairTarget {
+        a: 4,
+        b: 6,
+        percents: [2.5, 22.7, 4.1, 70.7],
+        paper_chi2: 189.66,
+    },
+    PairTarget {
+        a: 4,
+        b: 7,
+        percents: [4.7, 57.0, 1.9, 36.4],
+        paper_chi2: 76.04,
+    },
+    PairTarget {
+        a: 4,
+        b: 8,
+        percents: [3.3, 43.0, 3.3, 50.4],
+        paper_chi2: 14.48,
+    },
+    PairTarget {
+        a: 4,
+        b: 9,
+        percents: [2.6, 38.2, 4.0, 55.2],
+        paper_chi2: 3.27,
+    },
+    PairTarget {
+        a: 5,
+        b: 6,
+        percents: [21.2, 4.0, 68.4, 6.4],
+        paper_chi2: 312.15,
+    },
+    PairTarget {
+        a: 5,
+        b: 7,
+        percents: [54.9, 6.7, 34.6, 3.7],
+        paper_chi2: 10.62,
+    },
+    PairTarget {
+        a: 5,
+        b: 8,
+        percents: [41.2, 5.1, 48.4, 5.3],
+        paper_chi2: 12.95,
+    },
+    PairTarget {
+        a: 5,
+        b: 9,
+        percents: [36.4, 4.4, 53.2, 6.0],
+        paper_chi2: 2.50,
+    },
+    PairTarget {
+        a: 6,
+        b: 7,
+        percents: [9.0, 52.7, 16.2, 22.2],
+        paper_chi2: 2913.05,
+    },
+    PairTarget {
+        a: 6,
+        b: 8,
+        percents: [12.7, 33.6, 12.5, 41.2],
+        paper_chi2: 66.49,
+    },
+    PairTarget {
+        a: 6,
+        b: 9,
+        percents: [11.9, 28.8, 13.3, 46.0],
+        paper_chi2: 186.28,
+    },
+    PairTarget {
+        a: 7,
+        b: 8,
+        percents: [29.9, 16.4, 31.7, 22.0],
+        paper_chi2: 98.63,
+    },
+    PairTarget {
+        a: 7,
+        b: 9,
+        percents: [16.1, 24.6, 45.5, 13.8],
+        paper_chi2: 4285.29,
+    },
+    PairTarget {
+        a: 8,
+        b: 9,
+        percents: [19.4, 21.4, 27.0, 32.3],
+        paper_chi2: 12.40,
+    },
 ];
 
 /// Looks up the target for an unordered item pair.

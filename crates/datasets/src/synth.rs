@@ -75,7 +75,11 @@ pub fn planted_pair(n: usize, k: usize, p: f64, copy: f64, seed: u64) -> BasketD
         if zero {
             basket.push(ItemId(0));
         }
-        let one = if rng.gen_bool(copy) { zero } else { rng.gen_bool(p) };
+        let one = if rng.gen_bool(copy) {
+            zero
+        } else {
+            rng.gen_bool(p)
+        };
         if one {
             basket.push(ItemId(1));
         }
@@ -181,8 +185,7 @@ mod tests {
         let mut total = 0usize;
         for a in 0..8u32 {
             for b in a + 1..8 {
-                let table =
-                    ContingencyTable::from_database(&db, &Itemset::from_ids([a, b]));
+                let table = ContingencyTable::from_database(&db, &Itemset::from_ids([a, b]));
                 if test.test_dense(&table).significant {
                     significant += 1;
                 }
@@ -200,8 +203,7 @@ mod tests {
     fn planted_pair_is_detected() {
         let db = planted_pair(2000, 5, 0.3, 0.8, 7);
         let test = Chi2Test::default();
-        let planted =
-            ContingencyTable::from_database(&db, &Itemset::from_ids([0, 1]));
+        let planted = ContingencyTable::from_database(&db, &Itemset::from_ids([0, 1]));
         assert!(test.test_dense(&planted).statistic > 100.0);
         let noise = ContingencyTable::from_database(&db, &Itemset::from_ids([2, 3]));
         assert!(!test.test_dense(&noise).significant);
@@ -216,10 +218,13 @@ mod tests {
             let stat = test.test_dense(&table).statistic;
             assert!(stat < 1e-9, "pair ({a},{b}) has χ² = {stat}, expected 0");
         }
-        let triple =
-            ContingencyTable::from_database(&db, &Itemset::from_ids([0, 1, 2]));
+        let triple = ContingencyTable::from_database(&db, &Itemset::from_ids([0, 1, 2]));
         let outcome = test.test_dense(&triple);
-        assert!((outcome.statistic - 400.0).abs() < 1e-6, "χ² = {}", outcome.statistic);
+        assert!(
+            (outcome.statistic - 400.0).abs() < 1e-6,
+            "χ² = {}",
+            outcome.statistic
+        );
         assert!(outcome.significant);
     }
 
@@ -231,8 +236,15 @@ mod tests {
         assert_eq!(counter.support_count(&[ItemId(0), ItemId(1)]), 0);
         let table = ContingencyTable::from_database(&db, &Itemset::from_ids([0, 1]));
         let outcome = Chi2Test::default().test_dense(&table);
-        assert!(outcome.significant, "strong negative correlation must be flagged");
+        assert!(
+            outcome.significant,
+            "strong negative correlation must be flagged"
+        );
         let report = bmb_stats::InterestReport::analyze(&table);
-        assert_eq!(report.interest(0b11), 0.0, "co-occurrence cell is impossible");
+        assert_eq!(
+            report.interest(0b11),
+            0.0,
+            "co-occurrence cell is impossible"
+        );
     }
 }

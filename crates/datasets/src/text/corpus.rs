@@ -72,7 +72,10 @@ pub fn planted_pairs() -> Vec<(&'static str, &'static str)> {
 /// ….
 pub fn generate(params: &TextParams) -> BasketDatabase {
     assert!(params.n_documents > 0, "need at least one document");
-    assert!(params.min_tokens <= params.max_tokens, "token bounds inverted");
+    assert!(
+        params.min_tokens <= params.max_tokens,
+        "token bounds inverted"
+    );
     assert!(params.n_topics > 0, "need at least one topic");
     let mut rng = StdRng::seed_from_u64(params.seed);
 
@@ -104,7 +107,13 @@ pub fn generate(params: &TextParams) -> BasketDatabase {
             let weights: Vec<f64> = base
                 .iter()
                 .enumerate()
-                .map(|(r, &w)| if r >= lo && r < hi { w * params.topic_boost } else { w })
+                .map(|(r, &w)| {
+                    if r >= lo && r < hi {
+                        w * params.topic_boost
+                    } else {
+                        w
+                    }
+                })
                 .collect();
             AliasTable::new(&weights)
         })
@@ -206,7 +215,10 @@ mod tests {
         let db = corpus();
         for i in 0..db.n_items() {
             let count = db.item_count(ItemId(i as u32));
-            assert!(count * 10 >= 91, "item {i} survived pruning with df {count}/91");
+            assert!(
+                count * 10 >= 91,
+                "item {i} survived pruning with df {count}/91"
+            );
         }
     }
 
@@ -285,11 +297,18 @@ mod tests {
 
     #[test]
     fn documents_meet_length_floor() {
-        let db = generate(&TextParams { df_threshold: 0.0, ..TextParams::default() });
+        let db = generate(&TextParams {
+            df_threshold: 0.0,
+            ..TextParams::default()
+        });
         // Without pruning, each document's distinct-word basket reflects at
         // least a substantial portion of its >= 200 tokens.
         for basket in db.baskets() {
-            assert!(basket.len() >= 50, "suspiciously short document: {}", basket.len());
+            assert!(
+                basket.len() >= 50,
+                "suspiciously short document: {}",
+                basket.len()
+            );
         }
     }
 
@@ -307,7 +326,10 @@ mod tests {
     #[test]
     fn different_seed_changes_corpus() {
         let a = corpus();
-        let b = generate(&TextParams { seed: 999, ..TextParams::default() });
+        let b = generate(&TextParams {
+            seed: 999,
+            ..TextParams::default()
+        });
         let identical =
             a.n_items() == b.n_items() && (0..a.len()).all(|i| a.basket(i) == b.basket(i));
         assert!(!identical);

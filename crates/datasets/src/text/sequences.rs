@@ -49,7 +49,10 @@ impl SequenceCorpus {
 /// (within a couple of tokens) in their active documents.
 pub fn generate_sequences(params: &TextParams) -> SequenceCorpus {
     assert!(params.n_documents > 0, "need at least one document");
-    assert!(params.min_tokens <= params.max_tokens, "token bounds inverted");
+    assert!(
+        params.min_tokens <= params.max_tokens,
+        "token bounds inverted"
+    );
     assert!(params.n_topics > 0, "need at least one topic");
     let mut rng = StdRng::seed_from_u64(params.seed ^ 0x5e9);
 
@@ -78,7 +81,13 @@ pub fn generate_sequences(params: &TextParams) -> SequenceCorpus {
             let weights: Vec<f64> = base
                 .iter()
                 .enumerate()
-                .map(|(r, &w)| if r >= lo && r < hi { w * params.topic_boost } else { w })
+                .map(|(r, &w)| {
+                    if r >= lo && r < hi {
+                        w * params.topic_boost
+                    } else {
+                        w
+                    }
+                })
                 .collect();
             AliasTable::new(&weights)
         })
@@ -173,12 +182,18 @@ mod tests {
                 }
             }
         }
-        assert!(adjacent >= 40, "expected many adjacent mentions, got {adjacent}");
+        assert!(
+            adjacent >= 40,
+            "expected many adjacent mentions, got {adjacent}"
+        );
     }
 
     #[test]
     fn deterministic() {
-        let params = TextParams { vocabulary: 200, ..TextParams::default() };
+        let params = TextParams {
+            vocabulary: 200,
+            ..TextParams::default()
+        };
         let a = generate_sequences(&params);
         let b = generate_sequences(&params);
         assert_eq!(a.documents, b.documents);

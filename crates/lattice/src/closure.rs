@@ -55,7 +55,10 @@ where
             }
             let bigger = set.with_item(id);
             if !property(&bigger) {
-                return Some(ClosureViolation { small: set, large: bigger });
+                return Some(ClosureViolation {
+                    small: set,
+                    large: bigger,
+                });
             }
         }
     }
@@ -79,7 +82,10 @@ where
         let facets: Vec<Itemset> = set.facets().collect();
         for facet in facets {
             if !property(&facet) {
-                return Some(ClosureViolation { small: facet, large: set });
+                return Some(ClosureViolation {
+                    small: facet,
+                    large: set,
+                });
             }
         }
     }
@@ -105,11 +111,7 @@ where
 /// negative one. (For the dual notion over downward-closed properties see
 /// Mannila & Toivonen; the paper's SIG/NOTSIG split is exactly this
 /// positive/negative boundary restricted to supported sets.)
-pub fn exhaustive_negative_border<F>(
-    n_items: u32,
-    max_size: usize,
-    mut property: F,
-) -> Vec<Itemset>
+pub fn exhaustive_negative_border<F>(n_items: u32, max_size: usize, mut property: F) -> Vec<Itemset>
 where
     F: FnMut(&Itemset) -> bool,
 {

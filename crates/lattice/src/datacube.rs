@@ -50,7 +50,12 @@ impl CountCube {
                 }
             }
         }
-        CountCube { items: items.clone(), n: db.len() as u64, cells, supports }
+        CountCube {
+            items: items.clone(),
+            n: db.len() as u64,
+            cells,
+            supports,
+        }
     }
 
     /// The cube's item sub-universe.
@@ -94,11 +99,7 @@ impl CountCube {
         let positions: Vec<usize> = set
             .items()
             .iter()
-            .map(|&item| {
-                self.items
-                    .position(item)
-                    .unwrap_or_else(|| panic!("item {item} is not in the cube"))
-            })
+            .map(|&item| self.require_position(item))
             .collect();
         let mut counts = vec![0u64; 1 << positions.len()];
         for (full_mask, &count) in self.cells.iter().enumerate() {
@@ -119,13 +120,25 @@ impl CountCube {
     fn mask_of(&self, set: &Itemset) -> u32 {
         let mut mask = 0u32;
         for &item in set.items() {
-            let pos = self
-                .items
-                .position(item)
-                .unwrap_or_else(|| panic!("item {item} is not in the cube"));
-            mask |= 1 << pos;
+            mask |= 1 << self.require_position(item);
         }
         mask
+    }
+
+    /// The cube-internal position of `item`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `item` is not among the cube's items — the documented
+    /// contract of every subset-taking method on the cube.
+    fn require_position(&self, item: bmb_basket::ItemId) -> usize {
+        match self.items.position(item) {
+            Some(pos) => pos,
+            // Documented contract shared by `contingency`/`count`:
+            // callers pass subsets of the cube's items.
+            // lint:allow(panic)
+            None => panic!("item {item} is not in the cube"),
+        }
     }
 }
 
@@ -210,7 +223,10 @@ mod tests {
         let cube = CountCube::build(&db, &Itemset::from_ids([0, 1, 2]));
         let counter = bmb_basket::BitmapCounter::build(&db);
         let probe = Itemset::from_ids([0, 2]);
-        assert_eq!(cube.itemset_support(&probe), counter.itemset_support(&probe));
+        assert_eq!(
+            cube.itemset_support(&probe),
+            counter.itemset_support(&probe)
+        );
     }
 
     #[test]

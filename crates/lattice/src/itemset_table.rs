@@ -61,7 +61,10 @@ impl ItemsetTable {
     /// An empty table pre-sized for `capacity` itemsets.
     pub fn with_capacity(capacity: usize) -> Self {
         let slots = (capacity * 2).next_power_of_two().max(16);
-        ItemsetTable { slots: vec![None; slots], len: 0 }
+        ItemsetTable {
+            slots: vec![None; slots],
+            len: 0,
+        }
     }
 
     /// Number of stored itemsets.
@@ -195,7 +198,11 @@ mod tests {
         let sorted = t.into_sorted_vec();
         assert_eq!(
             sorted,
-            vec![Itemset::from_ids([1]), Itemset::from_ids([3]), Itemset::from_ids([5])]
+            vec![
+                Itemset::from_ids([1]),
+                Itemset::from_ids([3]),
+                Itemset::from_ids([5])
+            ]
         );
     }
 

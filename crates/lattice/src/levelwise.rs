@@ -112,7 +112,10 @@ mod tests {
         assert!(generate_candidates(&survivors).is_empty());
         // Adding {1,2} completes the facets.
         let survivors = table(&[&[0, 1], &[0, 2], &[1, 2]]);
-        assert_eq!(generate_candidates(&survivors), vec![Itemset::from_ids([0, 1, 2])]);
+        assert_eq!(
+            generate_candidates(&survivors),
+            vec![Itemset::from_ids([0, 1, 2])]
+        );
     }
 
     #[test]

@@ -27,8 +27,7 @@ pub mod walk;
 
 pub use border::{is_antichain, Border};
 pub use closure::{
-    check_downward_closed, check_upward_closed, exhaustive_border,
-    exhaustive_negative_border,
+    check_downward_closed, check_upward_closed, exhaustive_border, exhaustive_negative_border,
 };
 pub use datacube::{CountCube, MAX_CUBE_DIMS};
 pub use fnv::{BuildFnv, FnvHashMap, FnvHasher};

@@ -30,7 +30,11 @@ pub struct WalkConfig {
 
 impl Default for WalkConfig {
     fn default() -> Self {
-        WalkConfig { walks: 64, max_level: usize::MAX, seed: 0x5eed }
+        WalkConfig {
+            walks: 64,
+            max_level: usize::MAX,
+            seed: 0x5eed,
+        }
     }
 }
 
@@ -91,7 +95,10 @@ where
             }
         }
     }
-    WalkOutcome { border: Border::from_holders(found), stats }
+    WalkOutcome {
+        border: Border::from_holders(found),
+        stats,
+    }
 }
 
 /// Greedy descent: removes items one at a time while the property still
@@ -127,10 +134,16 @@ mod tests {
     #[test]
     fn finds_simple_membership_border() {
         // Property: contains item 3, or contains both 0 and 1.
-        let property = |s: &Itemset| {
-            s.contains(ItemId(3)) || (s.contains(ItemId(0)) && s.contains(ItemId(1)))
-        };
-        let outcome = random_walk_border(6, WalkConfig { walks: 200, ..Default::default() }, property);
+        let property =
+            |s: &Itemset| s.contains(ItemId(3)) || (s.contains(ItemId(0)) && s.contains(ItemId(1)));
+        let outcome = random_walk_border(
+            6,
+            WalkConfig {
+                walks: 200,
+                ..Default::default()
+            },
+            property,
+        );
         let exact = exhaustive_border(6, 6, property);
         assert_eq!(outcome.border, exact);
         assert_eq!(outcome.stats.crossings, 200);
@@ -140,8 +153,14 @@ mod tests {
     #[test]
     fn results_are_genuinely_minimal() {
         let property = |s: &Itemset| s.len() >= 3;
-        let outcome =
-            random_walk_border(7, WalkConfig { walks: 100, ..Default::default() }, property);
+        let outcome = random_walk_border(
+            7,
+            WalkConfig {
+                walks: 100,
+                ..Default::default()
+            },
+            property,
+        );
         for m in outcome.border.minimal_sets() {
             assert_eq!(m.len(), 3);
             assert!(property(m));
@@ -155,7 +174,10 @@ mod tests {
     fn empty_property_abandons_all_walks() {
         let outcome = random_walk_border(
             5,
-            WalkConfig { walks: 10, ..Default::default() },
+            WalkConfig {
+                walks: 10,
+                ..Default::default()
+            },
             |_| false,
         );
         assert!(outcome.border.is_empty());
@@ -168,7 +190,11 @@ mod tests {
         // Property only holds at size 4, but walks stop at 2.
         let outcome = random_walk_border(
             6,
-            WalkConfig { walks: 20, max_level: 2, seed: 1 },
+            WalkConfig {
+                walks: 20,
+                max_level: 2,
+                seed: 1,
+            },
             |s: &Itemset| s.len() >= 4,
         );
         assert!(outcome.border.is_empty());
@@ -178,7 +204,11 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let property = |s: &Itemset| s.contains(ItemId(2));
-        let cfg = WalkConfig { walks: 16, max_level: 8, seed: 99 };
+        let cfg = WalkConfig {
+            walks: 16,
+            max_level: 8,
+            seed: 99,
+        };
         let a = random_walk_border(8, cfg, property);
         let b = random_walk_border(8, cfg, property);
         assert_eq!(a.border, b.border);
@@ -192,12 +222,14 @@ mod tests {
         // window: holds iff it contains {0,1} but NOT item 5 (the "too
         // obvious" marker). The walk still finds the windowed border
         // because the predicate is evaluated directly.
-        let property = |s: &Itemset| {
-            s.contains(ItemId(0)) && s.contains(ItemId(1)) && !s.contains(ItemId(5))
-        };
+        let property =
+            |s: &Itemset| s.contains(ItemId(0)) && s.contains(ItemId(1)) && !s.contains(ItemId(5));
         let outcome = random_walk_border(
             6,
-            WalkConfig { walks: 400, ..Default::default() },
+            WalkConfig {
+                walks: 400,
+                ..Default::default()
+            },
             property,
         );
         // Some walks pick item 5 early and never satisfy the property; the

@@ -110,7 +110,10 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let a = generate(&small_params());
-        let b = generate(&QuestParams { seed: 9, ..small_params() });
+        let b = generate(&QuestParams {
+            seed: 9,
+            ..small_params()
+        });
         let same = (0..a.len()).all(|i| a.basket(i) == b.basket(i));
         assert!(!same);
     }
@@ -152,7 +155,10 @@ mod tests {
 
     #[test]
     fn zero_transactions() {
-        let db = generate(&QuestParams { n_transactions: 0, ..small_params() });
+        let db = generate(&QuestParams {
+            n_transactions: 0,
+            ..small_params()
+        });
         assert!(db.is_empty());
     }
 }

@@ -90,7 +90,10 @@ impl QuestParams {
             (0.0..=1.0).contains(&self.corruption_mean),
             "corruption mean must be in [0,1]"
         );
-        assert!(self.corruption_sd >= 0.0, "corruption sd must be non-negative");
+        assert!(
+            self.corruption_sd >= 0.0,
+            "corruption sd must be non-negative"
+        );
         assert!(
             (0.0..=1.0).contains(&self.correlation),
             "correlation must be in [0,1]"
@@ -124,12 +127,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one item")]
     fn zero_items_invalid() {
-        QuestParams { n_items: 0, ..Default::default() }.validate();
+        QuestParams {
+            n_items: 0,
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "corruption mean")]
     fn bad_corruption_invalid() {
-        QuestParams { corruption_mean: 1.5, ..Default::default() }.validate();
+        QuestParams {
+            corruption_mean: 1.5,
+            ..Default::default()
+        }
+        .validate();
     }
 }

@@ -40,8 +40,8 @@ impl PatternPool {
         let mut patterns: Vec<Pattern> = Vec::with_capacity(params.n_patterns);
         let mut previous: Vec<ItemId> = Vec::new();
         for _ in 0..params.n_patterns {
-            let size = (poisson(rng, params.avg_pattern_len - 1.0) + 1)
-                .min(params.n_items as u64) as usize;
+            let size = (poisson(rng, params.avg_pattern_len - 1.0) + 1).min(params.n_items as u64)
+                as usize;
             let mut items: Vec<ItemId> = Vec::with_capacity(size);
             // Carry over a fraction of the previous pattern's items.
             if !previous.is_empty() && params.correlation > 0.0 {
@@ -66,15 +66,17 @@ impl PatternPool {
             let corruption =
                 normal(rng, params.corruption_mean, params.corruption_sd).clamp(0.0, 1.0);
             previous.clone_from(&items);
-            patterns.push(Pattern { items, weight, corruption });
+            patterns.push(Pattern {
+                items,
+                weight,
+                corruption,
+            });
         }
         let total: f64 = patterns.iter().map(|p| p.weight).sum();
         for p in &mut patterns {
             p.weight /= total;
         }
-        let sampler = AliasTable::new(
-            &patterns.iter().map(|p| p.weight).collect::<Vec<f64>>(),
-        );
+        let sampler = AliasTable::new(&patterns.iter().map(|p| p.weight).collect::<Vec<f64>>());
         PatternPool { patterns, sampler }
     }
 
@@ -107,12 +109,19 @@ mod tests {
 
     #[test]
     fn pool_size_and_item_validity() {
-        let params = QuestParams { n_patterns: 500, n_items: 100, ..Default::default() };
+        let params = QuestParams {
+            n_patterns: 500,
+            n_items: 100,
+            ..Default::default()
+        };
         let pool = pool(&params);
         assert_eq!(pool.patterns().len(), 500);
         for p in pool.patterns() {
             assert!(!p.items.is_empty());
-            assert!(p.items.windows(2).all(|w| w[0] < w[1]), "items not sorted/deduped");
+            assert!(
+                p.items.windows(2).all(|w| w[0] < w[1]),
+                "items not sorted/deduped"
+            );
             assert!(p.items.iter().all(|i| i.index() < 100));
             assert!((0.0..=1.0).contains(&p.corruption));
         }
@@ -120,7 +129,10 @@ mod tests {
 
     #[test]
     fn weights_normalized() {
-        let params = QuestParams { n_patterns: 300, ..Default::default() };
+        let params = QuestParams {
+            n_patterns: 300,
+            ..Default::default()
+        };
         let pool = pool(&params);
         let total: f64 = pool.patterns().iter().map(|p| p.weight).sum();
         assert!((total - 1.0).abs() < 1e-9);
@@ -135,7 +147,11 @@ mod tests {
             ..Default::default()
         };
         let pool = pool(&params);
-        let mean: f64 = pool.patterns().iter().map(|p| p.items.len() as f64).sum::<f64>()
+        let mean: f64 = pool
+            .patterns()
+            .iter()
+            .map(|p| p.items.len() as f64)
+            .sum::<f64>()
             / pool.patterns().len() as f64;
         assert!((mean - 4.0).abs() < 0.25, "mean pattern size {mean}");
     }
@@ -150,9 +166,7 @@ mod tests {
             ..Default::default()
         };
         let pool = pool(&params);
-        let overlap = |a: &[ItemId], b: &[ItemId]| {
-            a.iter().filter(|i| b.contains(i)).count()
-        };
+        let overlap = |a: &[ItemId], b: &[ItemId]| a.iter().filter(|i| b.contains(i)).count();
         let consecutive: usize = pool
             .patterns()
             .windows(2)
@@ -169,7 +183,10 @@ mod tests {
 
     #[test]
     fn weighted_sampling_prefers_heavy_patterns() {
-        let params = QuestParams { n_patterns: 50, ..Default::default() };
+        let params = QuestParams {
+            n_patterns: 50,
+            ..Default::default()
+        };
         let pool = pool(&params);
         let heaviest = pool
             .patterns()
@@ -195,7 +212,10 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let params = QuestParams { n_patterns: 100, ..Default::default() };
+        let params = QuestParams {
+            n_patterns: 100,
+            ..Default::default()
+        };
         let a = pool(&params);
         let b = pool(&params);
         for (x, y) in a.patterns().iter().zip(b.patterns()) {

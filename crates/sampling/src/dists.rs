@@ -36,7 +36,10 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 ///
 /// Panics if `sd < 0`.
 pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
-    assert!(sd >= 0.0, "standard deviation must be non-negative, got {sd}");
+    assert!(
+        sd >= 0.0,
+        "standard deviation must be non-negative, got {sd}"
+    );
     mean + sd * standard_normal(rng)
 }
 
@@ -51,8 +54,12 @@ pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
 ///
 /// Panics unless `mean` is finite and non-negative.
 pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
-    assert!(mean.is_finite() && mean >= 0.0, "Poisson mean must be >= 0, got {mean}");
-    if mean == 0.0 {
+    assert!(
+        mean.is_finite() && mean >= 0.0,
+        "Poisson mean must be >= 0, got {mean}"
+    );
+    // Degenerate distribution at the asserted lower edge.
+    if mean <= 0.0 {
         return 0;
     }
     if mean < 30.0 {

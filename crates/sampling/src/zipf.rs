@@ -26,7 +26,9 @@ impl Zipf {
         assert!(n > 0, "need at least one rank");
         assert!(s.is_finite() && s >= 0.0, "exponent must be >= 0, got {s}");
         let weights: Vec<f64> = (0..n).map(|r| 1.0 / ((r + 1) as f64).powf(s)).collect();
-        Zipf { table: AliasTable::new(&weights) }
+        Zipf {
+            table: AliasTable::new(&weights),
+        }
     }
 
     /// Number of ranks.

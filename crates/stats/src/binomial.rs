@@ -34,10 +34,14 @@ pub fn binomial_pmf(n: u64, k: u64, p: f64) -> f64 {
     if k > n {
         return 0.0;
     }
-    if p == 0.0 {
+    // Degenerate edges of the asserted [0, 1] range: `p.ln()` or
+    // `(1 - p).ln()` would be −∞ there, so answer combinatorially. The
+    // inclusive bounds also absorb `-0.0` and values that rounded onto
+    // the endpoints.
+    if p <= 0.0 {
         return if k == 0 { 1.0 } else { 0.0 };
     }
-    if p == 1.0 {
+    if p >= 1.0 {
         return if k == n { 1.0 } else { 0.0 };
     }
     (ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln()).exp()
@@ -45,7 +49,10 @@ pub fn binomial_pmf(n: u64, k: u64, p: f64) -> f64 {
 
 /// Binomial CDF `P[X <= k]` by direct summation.
 pub fn binomial_cdf(n: u64, k: u64, p: f64) -> f64 {
-    (0..=k.min(n)).map(|i| binomial_pmf(n, i, p)).sum::<f64>().min(1.0)
+    (0..=k.min(n))
+        .map(|i| binomial_pmf(n, i, p))
+        .sum::<f64>()
+        .min(1.0)
 }
 
 /// Hypergeometric pmf: drawing `draws` without replacement from a population
@@ -57,9 +64,8 @@ pub fn hypergeometric_pmf(total: u64, successes: u64, draws: u64, k: u64) -> f64
     if k > draws || k > successes || draws - k > total - successes {
         return 0.0;
     }
-    (ln_choose(successes, k) + ln_choose(total - successes, draws - k)
-        - ln_choose(total, draws))
-    .exp()
+    (ln_choose(successes, k) + ln_choose(total - successes, draws - k) - ln_choose(total, draws))
+        .exp()
 }
 
 #[cfg(test)]
@@ -67,7 +73,10 @@ mod tests {
     use super::*;
 
     fn close(a: f64, b: f64, tol: f64) {
-        assert!((a - b).abs() <= tol * (1.0 + b.abs()), "expected {b}, got {a}");
+        assert!(
+            (a - b).abs() <= tol * (1.0 + b.abs()),
+            "expected {b}, got {a}"
+        );
     }
 
     #[test]

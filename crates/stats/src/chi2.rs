@@ -99,11 +99,15 @@ impl Chi2Outcome {
 impl Chi2Test {
     /// A test at significance level α with the paper's conventions.
     pub fn at_level(alpha: f64) -> Self {
-        Chi2Test { level: SignificanceLevel::new(alpha), ..Default::default() }
+        Chi2Test {
+            level: SignificanceLevel::new(alpha),
+            ..Default::default()
+        }
     }
 
     /// Tests a dense presence/absence table.
     pub fn test_dense(&self, table: &ContingencyTable) -> Chi2Outcome {
+        crate::contracts::assert_table_consistent("χ² input table", table);
         let mut stat = 0.0;
         let mut ignored = 0usize;
         for (cell, observed) in table.cells() {
@@ -173,14 +177,18 @@ impl Chi2Test {
     }
 
     fn outcome(&self, statistic: f64, df: f64, cells_ignored: usize) -> Chi2Outcome {
+        crate::contracts::assert_chi2_statistic("χ² statistic", statistic);
         let dist = ChiSquared::new(df);
         let cutoff = dist.quantile(self.level.alpha());
+        crate::contracts::assert_chi2_statistic("χ² cutoff", cutoff);
+        let ln_p_value = dist.ln_sf(statistic);
+        crate::contracts::assert_ln_probability("χ² ln p-value", ln_p_value);
         Chi2Outcome {
             statistic,
             df,
             cutoff,
             significant: statistic >= cutoff,
-            ln_p_value: dist.ln_sf(statistic),
+            ln_p_value,
             cells_ignored,
         }
     }

@@ -32,7 +32,10 @@ impl ChiSquared {
     ///
     /// Panics unless `df` is finite and positive.
     pub fn new(df: f64) -> Self {
-        assert!(df.is_finite() && df > 0.0, "degrees of freedom must be positive, got {df}");
+        assert!(
+            df.is_finite() && df > 0.0,
+            "degrees of freedom must be positive, got {df}"
+        );
         ChiSquared { df }
     }
 
@@ -48,7 +51,9 @@ impl ChiSquared {
     /// Panics if `x < 0`.
     pub fn cdf(&self, x: f64) -> f64 {
         assert!(x >= 0.0, "chi-squared support is non-negative, got {x}");
-        regularized_gamma_p(self.df / 2.0, x / 2.0)
+        let p = regularized_gamma_p(self.df / 2.0, x / 2.0);
+        crate::contracts::assert_probability("χ² cdf", p);
+        p
     }
 
     /// `P[X > x]` — the p-value of an observed statistic `x`.
@@ -57,7 +62,9 @@ impl ChiSquared {
     /// precision instead of cancelling against 1.
     pub fn sf(&self, x: f64) -> f64 {
         assert!(x >= 0.0, "chi-squared support is non-negative, got {x}");
-        regularized_gamma_q(self.df / 2.0, x / 2.0)
+        let p = regularized_gamma_q(self.df / 2.0, x / 2.0);
+        crate::contracts::assert_probability("χ² sf", p);
+        p
     }
 
     /// Natural log of the p-value `ln P[X > x]`, stable for statistics so
@@ -72,18 +79,19 @@ impl ChiSquared {
     pub fn pdf(&self, x: f64) -> f64 {
         assert!(x >= 0.0, "chi-squared support is non-negative, got {x}");
         let a = self.df / 2.0;
-        if x == 0.0 {
-            // Density diverges for df < 2, equals 1/2 at df = 2, zero above.
+        if x <= 0.0 {
+            // Density at the origin (x ≥ 0 is asserted, so this is the
+            // boundary): diverges below df = 2, is exactly 1/2 at df = 2,
+            // and vanishes above.
             return if self.df < 2.0 {
                 f64::INFINITY
-            } else if self.df == 2.0 {
+            } else if self.df <= 2.0 {
                 0.5
             } else {
                 0.0
             };
         }
-        let log_pdf =
-            (a - 1.0) * x.ln() - x / 2.0 - a * 2.0f64.ln() - crate::gamma::ln_gamma(a);
+        let log_pdf = (a - 1.0) * x.ln() - x / 2.0 - a * 2.0f64.ln() - crate::gamma::ln_gamma(a);
         log_pdf.exp()
     }
 
@@ -104,15 +112,24 @@ impl ChiSquared {
     ///
     /// Panics unless `0 <= p < 1` (`p = 0` returns 0).
     pub fn quantile(&self, p: f64) -> f64 {
-        assert!((0.0..1.0).contains(&p), "quantile needs p in [0, 1), got {p}");
-        if p == 0.0 {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "quantile needs p in [0, 1), got {p}"
+        );
+        if p <= 0.0 {
+            // The asserted lower edge: the 0-quantile of a non-negative
+            // distribution is 0 and needs no iteration.
             return 0.0;
         }
         // Wilson–Hilferty: X/df ≈ (1 − 2/(9df) + z√(2/(9df)))³.
         let z = standard_normal_quantile(p);
         let c = 2.0 / (9.0 * self.df);
         let wh = self.df * (1.0 - c + z * c.sqrt()).powi(3);
-        let mut x = if wh.is_finite() && wh > 0.0 { wh } else { self.df };
+        let mut x = if wh.is_finite() && wh > 0.0 {
+            wh
+        } else {
+            self.df
+        };
 
         // Safeguarded Newton on cdf(x) − p with bisection fallback.
         let (mut lo, mut hi) = (0.0f64, f64::MAX);
@@ -127,10 +144,18 @@ impl ChiSquared {
                 break;
             }
             let d = self.pdf(x);
-            let mut next = if d > 0.0 && d.is_finite() { x - f / d } else { f64::NAN };
+            let mut next = if d > 0.0 && d.is_finite() {
+                x - f / d
+            } else {
+                f64::NAN
+            };
             if !(next.is_finite() && next > lo && (hi == f64::MAX || next < hi)) {
                 // Newton step escaped the bracket; bisect instead.
-                next = if hi == f64::MAX { (lo + x.max(lo) * 2.0).max(1.0) } else { 0.5 * (lo + hi) };
+                next = if hi == f64::MAX {
+                    (lo + x.max(lo) * 2.0).max(1.0)
+                } else {
+                    0.5 * (lo + hi)
+                };
             }
             if (next - x).abs() <= 1e-14 * (1.0 + x.abs()) {
                 x = next;
@@ -138,6 +163,7 @@ impl ChiSquared {
             }
             x = next;
         }
+        crate::contracts::assert_chi2_statistic("χ² quantile", x);
         x
     }
 }
@@ -146,11 +172,16 @@ impl ChiSquared {
 /// (relative error < 1.15e−9), refined by one Halley step on the
 /// complementary error function evaluated through [`regularized_gamma_q`].
 pub fn standard_normal_quantile(p: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&p), "normal quantile needs p in [0,1], got {p}");
-    if p == 0.0 {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "normal quantile needs p in [0,1], got {p}"
+    );
+    // Closed edges of the asserted range map to the infinite quantiles;
+    // the rational approximation below needs an open interval.
+    if p <= 0.0 {
         return f64::NEG_INFINITY;
     }
-    if p == 1.0 {
+    if p >= 1.0 {
         return f64::INFINITY;
     }
     // Acklam coefficients, kept verbatim from the publication.
@@ -219,7 +250,10 @@ mod tests {
     use super::*;
 
     fn close(a: f64, b: f64, tol: f64) {
-        assert!((a - b).abs() <= tol * (1.0 + b.abs()), "expected {b}, got {a}");
+        assert!(
+            (a - b).abs() <= tol * (1.0 + b.abs()),
+            "expected {b}, got {a}"
+        );
     }
 
     /// Values from standard chi-squared tables.
@@ -311,8 +345,16 @@ mod tests {
         close(standard_normal_quantile(0.975), 1.959_963_984_540_054, 1e-9);
         close(standard_normal_quantile(0.5), 0.0, 1e-12);
         close(standard_normal_quantile(0.95), 1.644_853_626_951_472, 1e-9);
-        close(standard_normal_quantile(0.025), -1.959_963_984_540_054, 1e-9);
-        close(standard_normal_quantile(1e-10), -6.361_340_902_404_056, 1e-6);
+        close(
+            standard_normal_quantile(0.025),
+            -1.959_963_984_540_054,
+            1e-9,
+        );
+        close(
+            standard_normal_quantile(1e-10),
+            -6.361_340_902_404_056,
+            1e-6,
+        );
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Debug-build numerical invariant contracts.
+//!
+//! The statistical layer's correctness arguments rest on a handful of
+//! invariants — probabilities live in `[0, 1]`, a chi-squared statistic
+//! is non-negative, a contingency table's cells sum to its `n`, IPF
+//! marginals land within the reported residual. Each contract here is a
+//! `debug_assert!`-backed check: free in release builds, loud in debug
+//! builds and under `cargo test`, where every pipeline run exercises
+//! them end to end.
+//!
+//! Contracts take a `label` naming the quantity so a violation reads as
+//! a diagnosis ("χ² cutoff is -0.3") rather than a bare boolean failure.
+
+use bmb_basket::ContingencyTable;
+
+/// Slack allowed above `ln p = 0` for log-probabilities, covering the
+/// rounding of `ln(exp(·))` round trips near certainty.
+const LN_PROB_SLACK: f64 = 1e-9;
+
+/// Contract: `p` is a probability — in `[0, 1]`, not NaN.
+#[inline]
+#[track_caller]
+pub fn assert_probability(label: &str, p: f64) {
+    debug_assert!(
+        (0.0..=1.0).contains(&p),
+        "contract violated: {label} = {p} is not a probability in [0, 1]"
+    );
+}
+
+/// Contract: `ln_p` is the natural log of a probability — at most zero
+/// (within rounding slack), never NaN. `-inf` (p = 0) is legal.
+#[inline]
+#[track_caller]
+pub fn assert_ln_probability(label: &str, ln_p: f64) {
+    debug_assert!(
+        ln_p <= LN_PROB_SLACK,
+        "contract violated: {label} = {ln_p} exceeds ln(1) = 0"
+    );
+}
+
+/// Contract: a chi-squared statistic (or cutoff) is non-negative and
+/// never NaN. Infinity is rejected too: every statistic this workspace
+/// produces is a finite sum of finite cell terms.
+#[inline]
+#[track_caller]
+pub fn assert_chi2_statistic(label: &str, stat: f64) {
+    debug_assert!(
+        stat.is_finite() && stat >= 0.0,
+        "contract violated: {label} = {stat} is not a finite non-negative χ² value"
+    );
+}
+
+/// Contract: `value` is within `tolerance` of `target`.
+#[inline]
+#[track_caller]
+pub fn assert_close(label: &str, value: f64, target: f64, tolerance: f64) {
+    debug_assert!(
+        (value - target).abs() <= tolerance,
+        "contract violated: {label} = {value} misses target {target} \
+         by more than {tolerance}"
+    );
+}
+
+/// Contract: `probs` is a probability distribution — every entry in
+/// `[0, 1]` and the total within `tolerance` of 1.
+#[inline]
+#[track_caller]
+pub fn assert_distribution(label: &str, probs: &[f64], tolerance: f64) {
+    if cfg!(debug_assertions) {
+        for (i, &p) in probs.iter().enumerate() {
+            debug_assert!(
+                (0.0..=1.0).contains(&p),
+                "contract violated: {label}[{i}] = {p} is not a probability"
+            );
+        }
+        let total: f64 = probs.iter().sum();
+        debug_assert!(
+            (total - 1.0).abs() <= tolerance,
+            "contract violated: {label} sums to {total}, not 1 ± {tolerance}"
+        );
+    }
+}
+
+/// Contract: a contingency table is internally consistent — its cell
+/// counts sum to `n` and each item marginal equals the sum of the cells
+/// where that item is present.
+///
+/// The walk over `2^m` cells only happens in debug builds.
+#[inline]
+#[track_caller]
+pub fn assert_table_consistent(label: &str, table: &ContingencyTable) {
+    if cfg!(debug_assertions) {
+        let cell_sum: u64 = table.cells().map(|(_, observed)| observed).sum();
+        debug_assert!(
+            cell_sum == table.n(),
+            "contract violated: {label} cells sum to {cell_sum}, n = {}",
+            table.n()
+        );
+        for j in 0..table.dims() {
+            let marginal: u64 = table
+                .cells()
+                .filter(|&(cell, _)| cell & (1 << j) != 0)
+                .map(|(_, observed)| observed)
+                .sum();
+            debug_assert!(
+                marginal == table.item_count(j),
+                "contract violated: {label} marginal {j} is {marginal}, \
+                 item_count says {}",
+                table.item_count(j)
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmb_basket::Itemset;
+
+    #[test]
+    fn in_range_values_pass() {
+        assert_probability("p", 0.0);
+        assert_probability("p", 0.5);
+        assert_probability("p", 1.0);
+        assert_ln_probability("ln p", 0.0);
+        assert_ln_probability("ln p", -1234.5);
+        assert_ln_probability("ln p", f64::NEG_INFINITY);
+        assert_chi2_statistic("χ²", 0.0);
+        assert_chi2_statistic("χ²", 2006.34);
+        assert_close("x", 1.0, 1.0 + 1e-12, 1e-9);
+        assert_distribution("d", &[0.25, 0.25, 0.5], 1e-12);
+    }
+
+    #[test]
+    fn consistent_table_passes() {
+        let t = ContingencyTable::from_counts(Itemset::from_ids([0, 1]), vec![5, 5, 70, 20]);
+        assert_table_consistent("tea/coffee", &t);
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "contracts compile out in release")]
+    #[should_panic(expected = "contract violated")]
+    fn out_of_range_probability_trips() {
+        assert_probability("p", 1.5);
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "contracts compile out in release")]
+    #[should_panic(expected = "contract violated")]
+    fn nan_statistic_trips() {
+        assert_chi2_statistic("χ²", f64::NAN);
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "contracts compile out in release")]
+    #[should_panic(expected = "contract violated")]
+    fn negative_statistic_trips() {
+        assert_chi2_statistic("χ²", -0.001);
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "contracts compile out in release")]
+    #[should_panic(expected = "contract violated")]
+    fn leaky_distribution_trips() {
+        assert_distribution("d", &[0.3, 0.3], 1e-9);
+    }
+}

@@ -35,7 +35,9 @@ pub fn phi_coefficient(table: &ContingencyTable) -> f64 {
     let c1 = o11 + o01;
     let c0 = o10 + o00;
     let denom = (r1 * r0 * c1 * c0).sqrt();
-    if denom == 0.0 {
+    // A zero marginal makes φ undefined; `<= 0.0` also catches the
+    // impossible negative (sqrt never yields one) without exact equality.
+    if denom <= 0.0 {
         f64::NAN
     } else {
         (o11 * o00 - o10 * o01) / denom
@@ -45,10 +47,11 @@ pub fn phi_coefficient(table: &ContingencyTable) -> f64 {
 /// Cramér's V of a binary presence/absence table (`min(u) − 1 = 1`, so it
 /// reduces to `|φ|` for pairs and `√(χ²/n)` generally).
 pub fn cramers_v(table: &ContingencyTable) -> f64 {
-    let n = table.n() as f64;
-    if n == 0.0 {
+    // Test emptiness on the integer count, before the float conversion.
+    if table.n() == 0 {
         return f64::NAN;
     }
+    let n = table.n() as f64;
     (chi2_statistic(table) / n).sqrt().min(1.0)
 }
 
@@ -58,11 +61,16 @@ pub fn cramers_v(table: &ContingencyTable) -> f64 {
 ///
 /// Panics unless the table covers exactly two attributes.
 pub fn cramers_v_categorical(table: &CategoricalTable) -> f64 {
-    assert_eq!(table.dims().len(), 2, "Cramér's V needs a two-attribute table");
-    let n = table.n() as f64;
-    if n == 0.0 {
+    assert_eq!(
+        table.dims().len(),
+        2,
+        "Cramér's V needs a two-attribute table"
+    );
+    // Test emptiness on the integer count, before the float conversion.
+    if table.n() == 0 {
         return f64::NAN;
     }
+    let n = table.n() as f64;
     let min_dim = table.dims().iter().copied().min().unwrap_or(2);
     if min_dim < 2 {
         return f64::NAN;
@@ -170,9 +178,7 @@ mod tests {
         let chi_small = chi2_statistic(&small);
         let chi_large = chi2_statistic(&large);
         assert!((chi_large / chi_small - 10.0).abs() < 1e-9);
-        assert!(
-            (phi_coefficient(&small) - phi_coefficient(&large)).abs() < 1e-12
-        );
+        assert!((phi_coefficient(&small) - phi_coefficient(&large)).abs() < 1e-12);
     }
 
     #[test]
@@ -224,11 +230,7 @@ mod tests {
     #[test]
     fn categorical_v_for_three_level_attribute() {
         // Perfect association between a 3-level and a 3-level attribute.
-        let cat = CategoricalTable::from_matrix(
-            3,
-            3,
-            vec![30, 0, 0, 0, 30, 0, 0, 0, 30],
-        );
+        let cat = CategoricalTable::from_matrix(3, 3, vec![30, 0, 0, 0, 30, 0, 0, 0, 30]);
         assert!((cramers_v_categorical(&cat) - 1.0).abs() < 1e-9);
     }
 }

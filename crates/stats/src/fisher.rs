@@ -57,7 +57,10 @@ pub fn fisher_exact(a: u64, b: u64, c: u64, d: u64, alternative: Alternative) ->
         }
     };
     if n == 0 {
-        return FisherOutcome { p_value: 1.0, odds_ratio };
+        return FisherOutcome {
+            p_value: 1.0,
+            odds_ratio,
+        };
     }
     // Feasible range of the a-cell given the margins.
     let a_min = col1.saturating_sub(n - row1);
@@ -80,7 +83,10 @@ pub fn fisher_exact(a: u64, b: u64, c: u64, d: u64, alternative: Alternative) ->
                 .sum::<f64>()
         }
     };
-    FisherOutcome { p_value: p_value.min(1.0), odds_ratio }
+    FisherOutcome {
+        p_value: p_value.min(1.0),
+        odds_ratio,
+    }
 }
 
 #[cfg(test)]
@@ -88,7 +94,10 @@ mod tests {
     use super::*;
 
     fn close(a: f64, b: f64, tol: f64) {
-        assert!((a - b).abs() <= tol * (1.0 + b.abs()), "expected {b}, got {a}");
+        assert!(
+            (a - b).abs() <= tol * (1.0 + b.abs()),
+            "expected {b}, got {a}"
+        );
     }
 
     #[test]
@@ -136,10 +145,7 @@ mod tests {
         let (a, b, c, d) = (60u64, 40u64, 40u64, 60u64);
         let fisher = fisher_exact(a, b, c, d, Alternative::TwoSided);
         // Binary layout: bit0 = A, bit1 = B.
-        let t = ContingencyTable::from_counts(
-            Itemset::from_ids([0, 1]),
-            vec![d, b, c, a],
-        );
+        let t = ContingencyTable::from_counts(Itemset::from_ids([0, 1]), vec![d, b, c, a]);
         let chi2 = Chi2Test::default().test_dense(&t);
         assert!(chi2.significant);
         assert!(fisher.p_value < 0.05);

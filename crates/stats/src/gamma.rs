@@ -40,8 +40,10 @@ pub fn ln_gamma(x: f64) -> f64 {
     if x < 0.5 {
         // Reflection: Γ(x)Γ(1−x) = π / sin(πx).
         let sin_pi_x = (std::f64::consts::PI * x).sin();
+        // `.abs() > 0.0` rejects both signed zeros (and NaN) — the poles
+        // of Γ at the non-positive integers, where sin(πx) vanishes.
         assert!(
-            sin_pi_x != 0.0,
+            sin_pi_x.abs() > 0.0,
             "ln_gamma has a pole at non-positive integer {x}"
         );
         return std::f64::consts::PI.ln() - sin_pi_x.abs().ln() - ln_gamma(1.0 - x);
@@ -66,7 +68,8 @@ pub fn ln_gamma(x: f64) -> f64 {
 pub fn regularized_gamma_p(a: f64, x: f64) -> f64 {
     assert!(a > 0.0, "shape parameter must be positive, got {a}");
     assert!(x >= 0.0, "argument must be non-negative, got {x}");
-    if x == 0.0 {
+    // The asserted lower edge: the incomplete gamma integral is empty.
+    if x <= 0.0 {
         return 0.0;
     }
     if x < a + 1.0 {
@@ -83,7 +86,8 @@ pub fn regularized_gamma_p(a: f64, x: f64) -> f64 {
 pub fn regularized_gamma_q(a: f64, x: f64) -> f64 {
     assert!(a > 0.0, "shape parameter must be positive, got {a}");
     assert!(x >= 0.0, "argument must be non-negative, got {x}");
-    if x == 0.0 {
+    // The asserted lower edge: the incomplete gamma integral is empty.
+    if x <= 0.0 {
         return 1.0;
     }
     if x < a + 1.0 {
@@ -98,7 +102,8 @@ pub fn regularized_gamma_q(a: f64, x: f64) -> f64 {
 pub fn ln_regularized_gamma_q(a: f64, x: f64) -> f64 {
     assert!(a > 0.0, "shape parameter must be positive, got {a}");
     assert!(x >= 0.0, "argument must be non-negative, got {x}");
-    if x == 0.0 {
+    // The asserted lower edge: the incomplete gamma integral is empty.
+    if x <= 0.0 {
         return 0.0;
     }
     if x < a + 1.0 {
@@ -218,8 +223,16 @@ mod tests {
     fn gamma_p_half_matches_erf() {
         // P(1/2, x) = erf(√x); check against tabulated erf values.
         // erf(1) = 0.8427007929497149, erf(0.5) = 0.5204998778130465.
-        close(regularized_gamma_p(0.5, 1.0), 0.842_700_792_949_714_9, 1e-10);
-        close(regularized_gamma_p(0.5, 0.25), 0.520_499_877_813_046_5, 1e-10);
+        close(
+            regularized_gamma_p(0.5, 1.0),
+            0.842_700_792_949_714_9,
+            1e-10,
+        );
+        close(
+            regularized_gamma_p(0.5, 0.25),
+            0.520_499_877_813_046_5,
+            1e-10,
+        );
     }
 
     #[test]

@@ -68,7 +68,13 @@ impl InterestReport {
                 } else {
                     0.0
                 };
-                CellInterest { cell, observed, expected, interest, chi2_contribution }
+                CellInterest {
+                    cell,
+                    observed,
+                    expected,
+                    interest,
+                    chi2_contribution,
+                }
             })
             .collect();
         InterestReport { cells }
@@ -86,27 +92,32 @@ impl InterestReport {
 
     /// The paper's *major dependence*: the cell with the largest χ²
     /// contribution (equivalently the most extreme interest).
+    ///
+    /// A contingency table always has at least one cell, so `cells` is
+    /// never empty; `total_cmp` gives a total order even if a
+    /// contribution were NaN.
     pub fn major_dependence(&self) -> &CellInterest {
-        self.cells
-            .iter()
-            .max_by(|a, b| {
-                a.chi2_contribution
-                    .partial_cmp(&b.chi2_contribution)
-                    .expect("chi2 contributions are never NaN")
-            })
-            .expect("a contingency table always has at least two cells")
+        let mut best = &self.cells[0];
+        for c in &self.cells[1..] {
+            if c.chi2_contribution
+                .total_cmp(&best.chi2_contribution)
+                .is_gt()
+            {
+                best = c;
+            }
+        }
+        best
     }
 
     /// The cell with the most extreme interest value `|I(r) − 1|`.
     pub fn most_extreme(&self) -> &CellInterest {
-        self.cells
-            .iter()
-            .max_by(|a, b| {
-                a.extremity()
-                    .partial_cmp(&b.extremity())
-                    .expect("extremities are never NaN")
-            })
-            .expect("a contingency table always has at least two cells")
+        let mut best = &self.cells[0];
+        for c in &self.cells[1..] {
+            if c.extremity().total_cmp(&best.extremity()).is_gt() {
+                best = c;
+            }
+        }
+        best
     }
 }
 

@@ -23,22 +23,34 @@
 
 #![warn(missing_docs)]
 
+/// Log-space combinatorics and the binomial pmf/CDF.
 pub mod binomial;
+/// The chi-squared test over contingency tables (the paper's Section 3).
 pub mod chi2;
+/// The chi-squared distribution: CDF, survival, pdf, quantiles.
 pub mod chi2dist;
+/// Debug-build numerical invariant contracts (`debug_assert!`-backed).
+pub mod contracts;
+/// Tabulated and computed critical values `χ²_α`.
 pub mod critical;
+/// Effect-size measures: φ, Cramér's V, odds ratio, Yates' correction.
 pub mod effect;
+/// Fisher's exact test for 2×2 tables too sparse for χ².
 pub mod fisher;
+/// `ln Γ` and the regularized incomplete gamma functions.
 pub mod gamma;
+/// The likelihood-ratio G-test alternative to Pearson's χ².
 pub mod gtest;
+/// The interest measure `I(r) = O(r)/E[r]` (Section 3.1).
 pub mod interest;
+/// Moore's rules of thumb for when the χ² approximation holds.
 pub mod validity;
 
 pub use chi2::{chi2_statistic, Chi2Outcome, Chi2Test, DfConvention};
-pub use effect::{cramers_v, cramers_v_categorical, odds_ratio, phi_coefficient, yates_chi2};
-pub use gtest::{g_statistic, g_test};
 pub use chi2dist::{standard_normal_quantile, ChiSquared};
 pub use critical::{critical_value, SignificanceLevel};
+pub use effect::{cramers_v, cramers_v_categorical, odds_ratio, phi_coefficient, yates_chi2};
 pub use fisher::{fisher_exact, Alternative, FisherOutcome};
+pub use gtest::{g_statistic, g_test};
 pub use interest::{dependence_ratio, CellInterest, InterestReport};
 pub use validity::{check_dense, Validity, ValidityRule};

@@ -25,7 +25,11 @@ pub struct ValidityRule {
 
 impl Default for ValidityRule {
     fn default() -> Self {
-        ValidityRule { min_expectation: 1.0, bulk_fraction: 0.8, bulk_expectation: 5.0 }
+        ValidityRule {
+            min_expectation: 1.0,
+            bulk_fraction: 0.8,
+            bulk_expectation: 5.0,
+        }
     }
 }
 
@@ -46,8 +50,7 @@ impl Validity {
     /// Whether the approximation is trustworthy under the rule.
     pub fn is_valid(&self) -> bool {
         self.cells_below_min == 0
-            && (self.cells_above_bulk as f64)
-                >= self.rule.bulk_fraction * self.n_cells as f64
+            && (self.cells_above_bulk as f64) >= self.rule.bulk_fraction * self.n_cells as f64
     }
 
     /// Fraction of cells above the bulk threshold.
@@ -73,7 +76,12 @@ pub fn check_dense(table: &ContingencyTable, rule: ValidityRule) -> Validity {
             above += 1;
         }
     }
-    Validity { n_cells: table.n_cells(), cells_below_min: below, cells_above_bulk: above, rule }
+    Validity {
+        n_cells: table.n_cells(),
+        cells_below_min: below,
+        cells_above_bulk: above,
+        rule,
+    }
 }
 
 /// Checks a multinomial table.
@@ -89,7 +97,12 @@ pub fn check_categorical(table: &CategoricalTable, rule: ValidityRule) -> Validi
             above += 1;
         }
     }
-    Validity { n_cells: table.n_cells(), cells_below_min: below, cells_above_bulk: above, rule }
+    Validity {
+        n_cells: table.n_cells(),
+        cells_below_min: below,
+        cells_above_bulk: above,
+        rule,
+    }
 }
 
 #[cfg(test)]
@@ -113,10 +126,7 @@ mod tests {
 
     #[test]
     fn balanced_large_table_is_valid() {
-        let t = ContingencyTable::from_counts(
-            Itemset::from_ids([0, 1]),
-            vec![250, 250, 250, 250],
-        );
+        let t = ContingencyTable::from_counts(Itemset::from_ids([0, 1]), vec![250, 250, 250, 250]);
         let v = check_dense(&t, ValidityRule::default());
         assert!(v.is_valid());
         assert_eq!(v.cells_above_bulk, 4);
@@ -126,10 +136,7 @@ mod tests {
     fn rare_items_violate_min_expectation() {
         // Item 0 occurs twice in 1000 baskets; item 1 five times.
         // E[both] = 1000·0.002·0.005 = 0.01 ≤ 1.
-        let t = ContingencyTable::from_counts(
-            Itemset::from_ids([0, 1]),
-            vec![993, 2, 5, 0],
-        );
+        let t = ContingencyTable::from_counts(Itemset::from_ids([0, 1]), vec![993, 2, 5, 0]);
         let v = check_dense(&t, ValidityRule::default());
         assert!(v.cells_below_min >= 1);
         assert!(!v.is_valid());
@@ -150,7 +157,10 @@ mod tests {
             }
         }
         let db = bmb_basket::BasketDatabase::from_id_baskets(k, baskets);
-        let t = ContingencyTable::from_database(&db, &Itemset::from_items((0..k as u32).map(bmb_basket::ItemId)));
+        let t = ContingencyTable::from_database(
+            &db,
+            &Itemset::from_items((0..k as u32).map(bmb_basket::ItemId)),
+        );
         let v = check_dense(&t, ValidityRule::default());
         assert!(!v.is_valid());
         assert!(v.cells_below_min > 0);
@@ -168,7 +178,11 @@ mod tests {
     #[test]
     fn custom_rule_thresholds() {
         let t = ContingencyTable::from_counts(Itemset::from_ids([0, 1]), vec![5, 5, 70, 20]);
-        let lax = ValidityRule { min_expectation: 0.0, bulk_fraction: 0.5, bulk_expectation: 2.0 };
+        let lax = ValidityRule {
+            min_expectation: 0.0,
+            bulk_fraction: 0.5,
+            bulk_expectation: 2.0,
+        };
         assert!(check_dense(&t, lax).is_valid());
     }
 }

@@ -1,0 +1,26 @@
+//! Fixture: a non-strict library crate.
+
+/// Flagged [panic]: unwrap in library code.
+pub fn plain_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap() // line 5: Panic
+}
+
+/// Not flagged: the escape is honored outside strict crates.
+pub fn escaped_unwrap(v: Option<u32>) -> u32 {
+    // lint:allow(panic)
+    v.unwrap()
+}
+
+/// Not flagged: macro_rules! bodies are token soup, not library code.
+macro_rules! fixture_macro {
+    () => {
+        Option::<u32>::None.unwrap()
+    };
+}
+
+/// Not flagged: no float/doc lints run in this crate, and the macro
+/// invocation itself contains no panicky tokens.
+pub fn uses_macro(x: f64) -> bool {
+    let _ = fixture_macro!();
+    x == 1.0
+}

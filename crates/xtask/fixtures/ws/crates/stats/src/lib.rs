@@ -1,0 +1,46 @@
+//! Fixture: a *strict* library crate seeded with violations.
+//!
+//! Every marker comment below names the finding the analyzer must emit
+//! (or must not). The integration tests assert the exact set.
+
+/// Flagged [panic]: unwrap in library code.
+pub fn seeded_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap() // line 8: Panic
+}
+
+/// Flagged [forbidden-escape]: strict crates reject even the escape.
+pub fn escaped_panic() {
+    // lint:allow(panic)
+    panic!("strict crates reject the escape") // line 14: ForbiddenEscape
+}
+
+pub fn undocumented(x: f64) -> bool {
+    // line 17: MissingDocs
+    x == 0.5 // line 19: FloatEq
+}
+
+/// Flagged [lossy-cast]: silent truncation.
+pub fn lossy(x: f64) -> u64 {
+    x as u64 // line 24: LossyCast
+}
+
+/// Not flagged: an integer `df` must not be poisoned by the float `df`
+/// parameter of `other_scope` below (per-function ident scoping).
+pub fn integer_df_compare(df: u32) -> bool {
+    df == 2 // no finding
+}
+
+/// Not flagged: the float `df` lives in this scope only.
+pub fn other_scope(df: f64) -> f64 {
+    df + 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic() {
+        // Not flagged: inside #[cfg(test)].
+        Option::<u32>::Some(3).unwrap();
+        assert!(0.5_f64 == 0.5); // not flagged either
+    }
+}

@@ -1,0 +1,117 @@
+//! Documentation-coverage lint for the contract crates.
+//!
+//! `bmb-stats` and `bmb-core` carry the statistical machinery the paper's
+//! guarantees rest on; their public surface must explain itself. Every
+//! module file needs `//!` docs and every public item (`pub fn`, `pub
+//! struct`, `pub enum`, `pub trait`, `pub const`, `pub type`, `pub mod`)
+//! needs a `///` comment. `pub use` re-exports and `#[cfg(test)]` items
+//! are exempt, as are lines carrying `// lint:allow(missing_docs)`.
+
+use std::collections::HashSet;
+use std::path::Path;
+
+use crate::lexer::Lexed;
+use crate::report::{Finding, Lint};
+
+/// Item introducers that require a doc comment.
+const DOCUMENTED_ITEMS: &[&str] = &[
+    "fn", "struct", "enum", "trait", "const", "type", "mod", "static", "union",
+];
+
+/// Runs the lint over one file's raw text.
+///
+/// `excluded_lines` holds lines inside `#[cfg(test)]` items or
+/// `macro_rules!` bodies (from the token-level span pass).
+pub fn check(
+    file: &Path,
+    src: &str,
+    lexed: &Lexed,
+    excluded_lines: &HashSet<usize>,
+    findings: &mut Vec<Finding>,
+) {
+    let lines: Vec<&str> = src.lines().collect();
+
+    if !lines.iter().any(|l| l.trim_start().starts_with("//!")) {
+        findings.push(Finding {
+            lint: Lint::MissingDocs,
+            file: file.to_path_buf(),
+            line: 1,
+            message: "file has no `//!` module documentation".to_string(),
+        });
+    }
+
+    for (idx, raw) in lines.iter().enumerate() {
+        let line_no = idx + 1;
+        if excluded_lines.contains(&line_no) {
+            continue;
+        }
+        let trimmed = raw.trim_start();
+        let Some(item) = public_item(trimmed) else {
+            continue;
+        };
+        if lexed.allows(line_no, Lint::MissingDocs.allow_name()) {
+            continue;
+        }
+        if has_preceding_doc(&lines, idx) {
+            continue;
+        }
+        findings.push(Finding {
+            lint: Lint::MissingDocs,
+            file: file.to_path_buf(),
+            line: line_no,
+            message: format!(
+                "public `{item}` has no `///` documentation — the statistical \
+                 crates document every exported item"
+            ),
+        });
+    }
+}
+
+/// If the line begins a documented-required public item, returns the item
+/// keyword (`fn`, `struct`, …).
+fn public_item(trimmed: &str) -> Option<&'static str> {
+    // `pub(crate)` and friends are not part of the public API.
+    let rest = trimmed.strip_prefix("pub ")?;
+    // Skip qualifiers: `const fn`, `unsafe fn`, `async fn`, `extern "C" fn`.
+    let mut words = rest.split_whitespace().peekable();
+    while let Some(&w) = words.peek() {
+        match w {
+            "const" => {
+                // `pub const fn` vs `pub const NAME:` — look ahead.
+                let mut lookahead = words.clone();
+                lookahead.next();
+                if lookahead.peek() == Some(&"fn") {
+                    words.next();
+                    continue;
+                }
+                return Some("const");
+            }
+            "unsafe" | "async" | "extern" => {
+                words.next();
+                continue;
+            }
+            _ => break,
+        }
+    }
+    let first = words.next()?;
+    DOCUMENTED_ITEMS.iter().find(|&&k| k == first).copied()
+}
+
+/// Whether the nearest non-attribute line above is a doc comment.
+fn has_preceding_doc(lines: &[&str], item_idx: usize) -> bool {
+    let mut i = item_idx;
+    while i > 0 {
+        i -= 1;
+        let t = lines[i].trim_start();
+        if t.starts_with("///") || t.starts_with("//!") || t.starts_with("#[doc") {
+            return true;
+        }
+        // Attributes (and their continuation lines) sit between docs and
+        // the item; skip them.
+        if t.starts_with("#[") || t.ends_with(']') || t.ends_with(',') || t.ends_with('(') {
+            continue;
+        }
+        return false;
+    }
+    false
+}

@@ -1,0 +1,186 @@
+//! Float-discipline lint for the statistical hot paths.
+//!
+//! Two defect classes silently corrupt a chi-squared pipeline:
+//!
+//! * **Exact float comparison** — `p == 0.0` style tests that miss
+//!   `-0.0`, NaN, and values a ulp away; the paper's upward-closure
+//!   argument assumes the statistic is computed and compared correctly.
+//! * **Lossy `as` casts** — `x as u64` truncates toward zero and
+//!   saturates silently; `x as f32` drops half the mantissa.
+//!
+//! The lint builds a table of float-typed identifiers (from `ident: f64`
+//! annotations and `let ident = <float literal>` bindings) and flags
+//! comparisons/casts whose operand is a float literal or a known float
+//! identifier. Identifiers are scoped per `fn` item — a `df: f64`
+//! parameter in one function must not poison an integer `df` in the
+//! next — with file-level items (consts, statics) visible everywhere.
+//! Intentional sites carry `// lint:allow(float_eq)` /
+//! `// lint:allow(lossy_cast)`.
+
+use std::collections::HashSet;
+use std::path::Path;
+
+use crate::lexer::{Lexed, TokKind};
+use crate::report::{Finding, Lint};
+use crate::spans::{matching_bracket, ExcludedSpans};
+
+/// Integer types a float must not be silently truncated into.
+const INT_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Token-index ranges (inclusive) of `fn` items: signature through the
+/// body's closing brace. Nested functions are absorbed into their outer
+/// span, which only widens the scope — never narrows it incorrectly.
+fn function_spans(lexed: &Lexed) -> Vec<(usize, usize)> {
+    let toks = &lexed.tokens;
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !(toks[i].kind == TokKind::Ident && toks[i].text == "fn") {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        // Scan to the body's `{` (or a `;` for bodyless trait methods and
+        // fn-pointer type aliases) at paren/bracket depth zero.
+        let mut depth = 0i64;
+        let mut j = i + 1;
+        let mut end = None;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => {
+                    end = matching_bracket(lexed, j);
+                    break;
+                }
+                ";" if depth == 0 => {
+                    end = Some(j);
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let end = end.unwrap_or(toks.len().saturating_sub(1));
+        spans.push((start, end));
+        i = end + 1;
+    }
+    spans
+}
+
+/// Collects float-typed identifiers declared inside `[lo, hi]`.
+fn float_idents_in(lexed: &Lexed, lo: usize, hi: usize, set: &mut HashSet<String>) {
+    let toks = &lexed.tokens;
+    for i in lo..=hi.min(toks.len().saturating_sub(1)) {
+        // `name : f64` / `name : f32` — params, fields, lets, consts.
+        if toks[i].kind == TokKind::Ident
+            && i + 2 < toks.len()
+            && toks[i + 1].text == ":"
+            && (toks[i + 2].text == "f64" || toks[i + 2].text == "f32")
+        {
+            set.insert(toks[i].text.clone());
+        }
+        // `let name = <float literal>`.
+        if toks[i].text == "let"
+            && i + 3 < toks.len()
+            && toks[i + 1].kind == TokKind::Ident
+            && toks[i + 2].text == "="
+            && toks[i + 3].kind == TokKind::Float
+        {
+            set.insert(toks[i + 1].text.clone());
+        }
+    }
+}
+
+/// Whether the token is a float literal or a known float identifier.
+fn is_floatish(lexed: &Lexed, idx: usize, floats: &HashSet<String>) -> bool {
+    let tok = &lexed.tokens[idx];
+    match tok.kind {
+        TokKind::Float => true,
+        TokKind::Ident => floats.contains(&tok.text),
+        _ => false,
+    }
+}
+
+/// Runs the lint over one lexed file.
+pub fn check(file: &Path, lexed: &Lexed, excluded: &ExcludedSpans, findings: &mut Vec<Finding>) {
+    let toks = &lexed.tokens;
+    let spans = function_spans(lexed);
+
+    // File-level declarations (outside every fn) are visible everywhere.
+    let mut file_level = HashSet::new();
+    {
+        let mut cursor = 0;
+        for &(lo, hi) in &spans {
+            if cursor < lo {
+                float_idents_in(lexed, cursor, lo - 1, &mut file_level);
+            }
+            cursor = hi + 1;
+        }
+        if cursor < toks.len() {
+            float_idents_in(lexed, cursor, toks.len() - 1, &mut file_level);
+        }
+    }
+    // Per-function scope: file-level idents plus the function's own.
+    let scopes: Vec<HashSet<String>> = spans
+        .iter()
+        .map(|&(lo, hi)| {
+            let mut s = file_level.clone();
+            float_idents_in(lexed, lo, hi, &mut s);
+            s
+        })
+        .collect();
+    let mut span_idx = 0usize;
+
+    for i in 0..toks.len() {
+        // Advance to the function span containing token `i`, if any.
+        while span_idx < spans.len() && spans[span_idx].1 < i {
+            span_idx += 1;
+        }
+        let floats = match spans.get(span_idx) {
+            Some(&(lo, _)) if lo <= i => &scopes[span_idx],
+            _ => &file_level,
+        };
+        if excluded.contains_token(i) {
+            continue;
+        }
+        let t = &toks[i];
+        // Exact comparison on a float operand.
+        if t.kind == TokKind::Punct && (t.text == "==" || t.text == "!=") {
+            let prev_float = i > 0 && is_floatish(lexed, i - 1, floats);
+            let next_float = i + 1 < toks.len() && is_floatish(lexed, i + 1, floats);
+            if (prev_float || next_float) && !lexed.allows(t.line, Lint::FloatEq.allow_name()) {
+                findings.push(Finding {
+                    lint: Lint::FloatEq,
+                    file: file.to_path_buf(),
+                    line: t.line,
+                    message: format!(
+                        "exact float `{}` comparison — handle the edge case \
+                         explicitly (`<= 0.0`, epsilon tolerance) or annotate \
+                         with // lint:allow(float_eq)",
+                        t.text
+                    ),
+                });
+            }
+        }
+        // Lossy cast: `<float> as <int>` or `<f64-ish> as f32`.
+        if t.kind == TokKind::Ident && t.text == "as" && i > 0 && i + 1 < toks.len() {
+            let src_is_float = is_floatish(lexed, i - 1, floats);
+            let dst = toks[i + 1].text.as_str();
+            let lossy = src_is_float && (INT_TYPES.contains(&dst) || dst == "f32");
+            if lossy && !lexed.allows(t.line, Lint::LossyCast.allow_name()) {
+                findings.push(Finding {
+                    lint: Lint::LossyCast,
+                    file: file.to_path_buf(),
+                    line: t.line,
+                    message: format!(
+                        "float cast `as {dst}` truncates silently — round \
+                         explicitly or annotate with // lint:allow(lossy_cast)"
+                    ),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! A small Rust lexer: just enough tokenization for reliable linting.
+//!
+//! The lints must not fire on text inside string literals, comments, or
+//! char literals, and must see multi-char operators (`==`, `!=`) as one
+//! token — that is the difference between a token-aware analyzer and a
+//! grep. The lexer also harvests `// lint:allow(name)` directives from
+//! comments, keyed by line, so lints can honor local escape hatches.
+
+use std::collections::{HashMap, HashSet};
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `as`, `pub`, …).
+    Ident,
+    /// Integer literal (`42`, `0xff`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `2e-3`, `0.5f32`).
+    Float,
+    /// Operator or delimiter, possibly multi-char (`==`, `::`, `{`).
+    Punct,
+    /// A lifetime (`'a`) — kept so char literals are not confused.
+    Lifetime,
+}
+
+/// One lexeme with its source line (1-based).
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// The kind of lexeme.
+    pub kind: TokKind,
+    /// The raw text of the lexeme.
+    pub text: String,
+    /// 1-based source line the lexeme starts on.
+    pub line: usize,
+}
+
+/// A tokenized source file plus the comment directives found in it.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All code tokens, in order. Comments and literals' contents are gone.
+    pub tokens: Vec<Token>,
+    /// `line -> directive names` from `// lint:allow(a, b)` comments.
+    pub directives: HashMap<usize, HashSet<String>>,
+}
+
+impl Lexed {
+    /// Whether `name` is allowed on `line` — by a directive on the same
+    /// line (trailing comment) or on the line directly above.
+    pub fn allows(&self, line: usize, name: &str) -> bool {
+        let hit = |l: usize| self.directives.get(&l).is_some_and(|s| s.contains(name));
+        hit(line) || (line > 1 && hit(line - 1))
+    }
+}
+
+/// Multi-char operators merged into single tokens, longest first.
+const COMPOUND: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "->", "=>", "::",
+    "..", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+/// Tokenizes `src`. Unterminated literals end the token stream early —
+/// good enough for linting, and the compiler rejects such files anyway.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let n = bytes.len();
+
+    let push = |out: &mut Lexed, kind: TokKind, text: &str, line: usize| {
+        out.tokens.push(Token {
+            kind,
+            text: text.to_string(),
+            line,
+        });
+    };
+
+    while i < n {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && bytes[i + 1] == b'/' => {
+                let start = i;
+                while i < n && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                record_directives(&mut out, &src[start..i], line);
+                // Doc comments still matter to the doc lint, which works on
+                // raw lines; the token stream drops them all.
+            }
+            '/' if i + 1 < n && bytes[i + 1] == b'*' => {
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < n && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                i = skip_string(bytes, i, &mut line);
+            }
+            'r' | 'b' if starts_raw_or_byte_string(bytes, i) => {
+                i = skip_raw_or_byte_string(bytes, i, &mut line);
+            }
+            '\'' => {
+                // Lifetime or char literal.
+                if i + 1 < n
+                    && (bytes[i + 1].is_ascii_alphabetic() || bytes[i + 1] == b'_')
+                    && !(i + 2 < n && bytes[i + 2] == b'\'')
+                {
+                    let start = i;
+                    i += 1;
+                    while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                        i += 1;
+                    }
+                    push(&mut out, TokKind::Lifetime, &src[start..i], line);
+                } else {
+                    i += 1; // opening quote
+                    if i < n && bytes[i] == b'\\' {
+                        i += 2;
+                        while i < n && bytes[i] != b'\'' {
+                            i += 1;
+                        }
+                        i += 1;
+                    } else {
+                        // Possibly multi-byte char.
+                        while i < n && bytes[i] != b'\'' {
+                            i += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut is_float = false;
+                if c == '0' && i + 1 < n && matches!(bytes[i + 1], b'x' | b'o' | b'b') {
+                    i += 2;
+                    while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                        i += 1;
+                    }
+                } else {
+                    while i < n && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                        i += 1;
+                    }
+                    if i < n && bytes[i] == b'.' && i + 1 < n && bytes[i + 1].is_ascii_digit() {
+                        is_float = true;
+                        i += 1;
+                        while i < n && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                            i += 1;
+                        }
+                    } else if i < n
+                        && bytes[i] == b'.'
+                        && !(i + 1 < n
+                            && (bytes[i + 1] == b'.'
+                                || bytes[i + 1].is_ascii_alphabetic()
+                                || bytes[i + 1] == b'_'))
+                    {
+                        // `1.` — a float with empty fraction.
+                        is_float = true;
+                        i += 1;
+                    }
+                    if i < n && (bytes[i] == b'e' || bytes[i] == b'E') {
+                        let mut j = i + 1;
+                        if j < n && (bytes[j] == b'+' || bytes[j] == b'-') {
+                            j += 1;
+                        }
+                        if j < n && bytes[j].is_ascii_digit() {
+                            is_float = true;
+                            i = j;
+                            while i < n && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                                i += 1;
+                            }
+                        }
+                    }
+                    // Type suffix.
+                    let suffix_start = i;
+                    while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                        i += 1;
+                    }
+                    let suffix = &src[suffix_start..i];
+                    if suffix.starts_with('f') {
+                        is_float = true;
+                    }
+                }
+                let kind = if is_float {
+                    TokKind::Float
+                } else {
+                    TokKind::Int
+                };
+                push(&mut out, kind, &src[start..i], line);
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                push(&mut out, TokKind::Ident, &src[start..i], line);
+            }
+            _ => {
+                let rest = &src[i..];
+                let compound = COMPOUND.iter().find(|op| rest.starts_with(**op));
+                match compound {
+                    Some(op) => {
+                        push(&mut out, TokKind::Punct, op, line);
+                        i += op.len();
+                    }
+                    None => {
+                        let len = c.len_utf8();
+                        push(&mut out, TokKind::Punct, &src[i..i + len], line);
+                        i += len;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Parses `lint:allow(a, b)` out of one line comment, if present.
+fn record_directives(out: &mut Lexed, comment: &str, line: usize) {
+    let Some(pos) = comment.find("lint:allow(") else {
+        return;
+    };
+    let after = &comment[pos + "lint:allow(".len()..];
+    let Some(close) = after.find(')') else { return };
+    let names = out.directives.entry(line).or_default();
+    for name in after[..close].split(',') {
+        let name = name.trim();
+        if !name.is_empty() {
+            names.insert(name.to_string());
+        }
+    }
+}
+
+/// Whether position `i` starts a raw string (`r"`/`r#`) or byte string
+/// (`b"`/`br"`/`br#`) rather than an identifier beginning with r/b.
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    let n = bytes.len();
+    match bytes[i] {
+        b'r' => i + 1 < n && (bytes[i + 1] == b'"' || bytes[i + 1] == b'#'),
+        b'b' => {
+            (i + 1 < n && bytes[i + 1] == b'"')
+                || (i + 2 < n
+                    && bytes[i + 1] == b'r'
+                    && (bytes[i + 2] == b'"' || bytes[i + 2] == b'#'))
+                || (i + 1 < n && bytes[i + 1] == b'\'')
+        }
+        _ => false,
+    }
+}
+
+/// Skips a plain `"…"` string with escapes; returns the index after it.
+fn skip_string(bytes: &[u8], mut i: usize, line: &mut usize) -> usize {
+    let n = bytes.len();
+    i += 1;
+    while i < n {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, and `b'…'`; returns the
+/// index after the literal.
+fn skip_raw_or_byte_string(bytes: &[u8], mut i: usize, line: &mut usize) -> usize {
+    let n = bytes.len();
+    if bytes[i] == b'b' {
+        i += 1;
+        if i < n && bytes[i] == b'\'' {
+            // Byte literal b'x'.
+            i += 1;
+            if i < n && bytes[i] == b'\\' {
+                i += 2;
+            } else {
+                i += 1;
+            }
+            while i < n && bytes[i] != b'\'' {
+                i += 1;
+            }
+            return (i + 1).min(n);
+        }
+        if i < n && bytes[i] == b'"' {
+            return skip_string(bytes, i, line);
+        }
+    }
+    // r or br: count hashes.
+    if i < n && bytes[i] == b'r' {
+        i += 1;
+    }
+    let mut hashes = 0;
+    while i < n && bytes[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= n || bytes[i] != b'"' {
+        return i; // Not actually a raw string (e.g. `r#raw_ident`); resume.
+    }
+    i += 1;
+    let closer: Vec<u8> = std::iter::once(b'"')
+        .chain(std::iter::repeat_n(b'#', hashes))
+        .collect();
+    while i < n {
+        if bytes[i] == b'\n' {
+            *line += 1;
+        }
+        if bytes[i] == b'"' && bytes[i..].starts_with(&closer) {
+            return i + closer.len();
+        }
+        i += 1;
+    }
+    i
+}

@@ -1,0 +1,236 @@
+//! `bmb-xtask` — the workspace's zero-dependency static analyzer.
+//!
+//! `cargo run -p bmb-xtask -- lint` runs four token-aware passes over
+//! the workspace (see DESIGN.md §"Static analysis & contracts"):
+//!
+//! 1. **panic-freedom** — no `unwrap`/`expect`/`panic!`/`todo!`/
+//!    `unreachable!` in library crates outside `#[cfg(test)]`;
+//! 2. **float discipline** — no exact `==`/`!=` on floats and no lossy
+//!    `as` casts in the statistical hot paths;
+//! 3. **dependency allowlist** — every `Cargo.toml` may only name
+//!    vetted external crates;
+//! 4. **doc coverage** — `bmb-stats` and `bmb-core` must document their
+//!    module files and public items.
+//!
+//! Escape hatch: `// lint:allow(panic | float_eq | lossy_cast |
+//! missing_docs)` on the violating line or the line above. The crates
+//! whose numbers the paper's tables depend on (`bmb-stats`,
+//! `bmb-basket`) are *strict*: even the escape is rejected there.
+
+pub mod deps;
+pub mod docs;
+pub mod floats;
+pub mod lexer;
+pub mod panics;
+pub mod report;
+pub mod spans;
+pub mod walk;
+
+use std::path::Path;
+
+pub use report::{render, Finding, Lint};
+
+/// Crates whose `src/` must be panic-free (library crates).
+pub const LIBRARY_CRATES: &[&str] = &[
+    "basket", "stats", "lattice", "apriori", "quest", "sampling", "datasets", "core",
+];
+
+/// Crates where even `lint:allow(panic)` is rejected.
+pub const STRICT_CRATES: &[&str] = &["basket", "stats"];
+
+/// Crates whose statistical hot paths get the float-discipline pass.
+pub const FLOAT_CRATES: &[&str] = &["stats", "core", "sampling"];
+
+/// Crates that must document every public item.
+pub const DOC_CRATES: &[&str] = &["stats", "core"];
+
+/// Which passes to run; all on by default.
+#[derive(Clone, Copy, Debug)]
+pub struct LintConfig {
+    /// Panic-freedom pass.
+    pub panics: bool,
+    /// Float-discipline pass.
+    pub floats: bool,
+    /// Dependency-allowlist pass.
+    pub deps: bool,
+    /// Doc-coverage pass.
+    pub docs: bool,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            panics: true,
+            floats: true,
+            deps: true,
+            docs: true,
+        }
+    }
+}
+
+/// Runs the configured passes over the workspace at `root`.
+///
+/// Returns every finding; an empty vector means the tree is clean.
+pub fn run_lint(root: &Path, config: &LintConfig) -> std::io::Result<Vec<Finding>> {
+    let files = walk::collect(root)?;
+    let mut findings = Vec::new();
+
+    if config.deps {
+        for (rel, manifest) in &files.manifests {
+            deps::check(rel, manifest, &mut findings);
+        }
+    }
+
+    for source in &files.sources {
+        let src = std::fs::read_to_string(&source.path)?;
+        let lexed = lexer::lex(&src);
+        let excluded = spans::excluded_spans(&lexed);
+
+        if config.panics
+            && source.is_library
+            && LIBRARY_CRATES.contains(&source.crate_name.as_str())
+        {
+            let strict = STRICT_CRATES.contains(&source.crate_name.as_str());
+            panics::check(&source.rel, &lexed, &excluded, strict, &mut findings);
+        }
+        if config.floats && source.is_library && FLOAT_CRATES.contains(&source.crate_name.as_str())
+        {
+            floats::check(&source.rel, &lexed, &excluded, &mut findings);
+        }
+        if config.docs && source.is_library && DOC_CRATES.contains(&source.crate_name.as_str()) {
+            let excluded_lines = excluded.line_set(&lexed);
+            docs::check(&source.rel, &src, &lexed, &excluded_lines, &mut findings);
+        }
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::lexer::{lex, TokKind};
+    use super::spans::excluded_spans;
+
+    #[test]
+    fn lexer_skips_strings_and_comments() {
+        let src = concat!(
+            "// a panic! in a comment\n",
+            "/* block panic! comment /* nested */ still */\n",
+            "let s = \"panic!(\\\"no\\\")\";\n",
+            "let r = r#\"also panic! here\"#;\n",
+            "call(s);\n",
+        );
+        let lexed = lex(src);
+        assert!(!lexed.tokens.iter().any(|t| t.text == "panic"));
+        assert!(lexed.tokens.iter().any(|t| t.text == "call"));
+    }
+
+    #[test]
+    fn lexer_merges_compound_operators() {
+        let lexed = lex("if a == b && c != 1.0 {}");
+        let puncts: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["==", "&&", "!=", "{", "}"]);
+    }
+
+    #[test]
+    fn lexer_classifies_numbers() {
+        let lexed = lex("let a = 1.0; let b = 2e-3; let c = 42; let d = 5f64; let e = 0xff;");
+        let kinds: Vec<(TokKind, &str)> = lexed
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Int | TokKind::Float))
+            .map(|t| (t.kind, t.text.as_str()))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (TokKind::Float, "1.0"),
+                (TokKind::Float, "2e-3"),
+                (TokKind::Int, "42"),
+                (TokKind::Float, "5f64"),
+                (TokKind::Int, "0xff"),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexer_separates_int_from_range_and_method() {
+        let lexed = lex("for i in 0..10 { x.1.max(2) }");
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Int && t.text == "0"));
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Punct && t.text == ".."));
+        assert!(!lexed.tokens.iter().any(|t| t.kind == TokKind::Float));
+    }
+
+    #[test]
+    fn directives_parsed_with_multiple_names() {
+        let lexed = lex("let x = 1; // lint:allow(panic, float_eq)\n");
+        assert!(lexed.allows(1, "panic"));
+        assert!(lexed.allows(1, "float_eq"));
+        assert!(!lexed.allows(1, "lossy_cast"));
+        // The next line inherits from the line above.
+        assert!(lexed.allows(2, "panic"));
+        assert!(!lexed.allows(3, "panic"));
+    }
+
+    #[test]
+    fn cfg_test_spans_cover_test_modules() {
+        let src = r#"
+fn library_code() { value.unwrap(); }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { other.unwrap(); }
+}
+"#;
+        let lexed = lex(src);
+        let excluded = excluded_spans(&lexed);
+        let unwraps: Vec<usize> = lexed
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.text == "unwrap")
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(
+            !excluded.contains_token(unwraps[0]),
+            "library unwrap must be visible"
+        );
+        assert!(
+            excluded.contains_token(unwraps[1]),
+            "test unwrap must be excluded"
+        );
+    }
+
+    #[test]
+    fn macro_rules_bodies_are_excluded() {
+        let src = r#"
+macro_rules! gen {
+    () => { x.unwrap() };
+}
+fn real() { y.unwrap(); }
+"#;
+        let lexed = lex(src);
+        let excluded = excluded_spans(&lexed);
+        let unwraps: Vec<usize> = lexed
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.text == "unwrap")
+            .map(|(i, _)| i)
+            .collect();
+        assert!(excluded.contains_token(unwraps[0]));
+        assert!(!excluded.contains_token(unwraps[1]));
+    }
+}

@@ -1,0 +1,75 @@
+//! Panic-freedom lint.
+//!
+//! Library crates must not contain `.unwrap()`, `.expect(…)`, `panic!`,
+//! `todo!`, or `unreachable!` outside `#[cfg(test)]` items. A site that
+//! is genuinely a can't-happen logic error may carry an explicit
+//! `// lint:allow(panic)` on its own or the preceding line — except in
+//! crates configured as *strict*, where the escape itself is a finding.
+
+use std::path::Path;
+
+use crate::lexer::{Lexed, TokKind};
+use crate::report::{Finding, Lint};
+use crate::spans::ExcludedSpans;
+
+/// Method names that panic on the failure path.
+const PANICKY_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Macros that abort unconditionally when reached.
+const PANICKY_MACROS: &[&str] = &["panic", "todo", "unreachable"];
+
+/// Runs the lint over one lexed file.
+///
+/// `strict` bans even `lint:allow(panic)` escapes (used for the crates
+/// whose statistical output the paper's guarantees rest on).
+pub fn check(
+    file: &Path,
+    lexed: &Lexed,
+    excluded: &ExcludedSpans,
+    strict: bool,
+    findings: &mut Vec<Finding>,
+) {
+    let toks = &lexed.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind != TokKind::Ident || excluded.contains_token(i) {
+            continue;
+        }
+        let is_method_call = PANICKY_METHODS.contains(&tok.text.as_str())
+            && i > 0
+            && toks[i - 1].text == "."
+            && toks.get(i + 1).is_some_and(|t| t.text == "(");
+        let is_macro = PANICKY_MACROS.contains(&tok.text.as_str())
+            && toks.get(i + 1).is_some_and(|t| t.text == "!");
+        if !is_method_call && !is_macro {
+            continue;
+        }
+        let what = if is_macro {
+            format!("`{}!`", tok.text)
+        } else {
+            format!("`.{}()`", tok.text)
+        };
+        if lexed.allows(tok.line, Lint::Panic.allow_name()) {
+            if strict {
+                findings.push(Finding {
+                    lint: Lint::ForbiddenEscape,
+                    file: file.to_path_buf(),
+                    line: tok.line,
+                    message: format!(
+                        "{what} escaped with lint:allow(panic), but escapes are \
+                         banned in this crate — return a Result instead"
+                    ),
+                });
+            }
+            continue;
+        }
+        findings.push(Finding {
+            lint: Lint::Panic,
+            file: file.to_path_buf(),
+            line: tok.line,
+            message: format!(
+                "{what} in library code — propagate an error instead \
+                 (or annotate a proven-unreachable site with // lint:allow(panic))"
+            ),
+        });
+    }
+}

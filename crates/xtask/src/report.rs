@@ -1,0 +1,92 @@
+//! Finding model and human-readable rendering.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Which lint produced a finding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Lint {
+    /// `unwrap`/`expect`/`panic!`/`todo!`/`unreachable!` in library code.
+    Panic,
+    /// `==`/`!=` on float operands.
+    FloatEq,
+    /// A potentially lossy `as` cast on a float operand.
+    LossyCast,
+    /// External dependency outside the allowlist.
+    Dependency,
+    /// Missing `//!` module docs or `///` on a public item.
+    MissingDocs,
+    /// A `lint:allow` escape used in a crate where escapes are banned.
+    ForbiddenEscape,
+}
+
+impl Lint {
+    /// The directive name that suppresses this lint (when suppressible).
+    pub fn allow_name(self) -> &'static str {
+        match self {
+            Lint::Panic => "panic",
+            Lint::FloatEq => "float_eq",
+            Lint::LossyCast => "lossy_cast",
+            Lint::Dependency => "dependency",
+            Lint::MissingDocs => "missing_docs",
+            Lint::ForbiddenEscape => "forbidden_escape",
+        }
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Lint::Panic => "panic-freedom",
+            Lint::FloatEq => "float-eq",
+            Lint::LossyCast => "lossy-cast",
+            Lint::Dependency => "dependency-allowlist",
+            Lint::MissingDocs => "missing-docs",
+            Lint::ForbiddenEscape => "forbidden-escape",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One lint violation.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Which lint fired.
+    pub lint: Lint,
+    /// File the violation is in (workspace-relative when possible).
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.lint,
+            self.message
+        )
+    }
+}
+
+/// Renders all findings plus a summary line, sorted by file then line.
+pub fn render(findings: &[Finding]) -> String {
+    let mut sorted: Vec<&Finding> = findings.iter().collect();
+    sorted.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    let mut out = String::new();
+    for finding in &sorted {
+        out.push_str(&finding.to_string());
+        out.push('\n');
+    }
+    if findings.is_empty() {
+        out.push_str("xtask lint: clean\n");
+    } else {
+        out.push_str(&format!("xtask lint: {} finding(s)\n", findings.len()));
+    }
+    out
+}

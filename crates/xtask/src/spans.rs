@@ -1,0 +1,149 @@
+//! Structural span detection over the token stream.
+//!
+//! Two kinds of regions are carved out of every file before linting:
+//! `#[cfg(test)]` items (test code is allowed to panic and skip docs)
+//! and `macro_rules!` definitions (their bodies are templates, not
+//! expressions the lints can reason about).
+
+use crate::lexer::{Lexed, TokKind};
+
+/// Token-index and line ranges excluded from linting.
+#[derive(Debug, Default)]
+pub struct ExcludedSpans {
+    /// Half-open token-index ranges `[start, end)`.
+    ranges: Vec<(usize, usize)>,
+}
+
+impl ExcludedSpans {
+    /// Whether token index `idx` falls in an excluded region.
+    pub fn contains_token(&self, idx: usize) -> bool {
+        self.ranges.iter().any(|&(s, e)| s <= idx && idx < e)
+    }
+
+    /// The set of excluded source lines (for line-oriented lints).
+    pub fn line_set(&self, lexed: &Lexed) -> std::collections::HashSet<usize> {
+        let mut lines = std::collections::HashSet::new();
+        for &(s, e) in &self.ranges {
+            if s >= lexed.tokens.len() {
+                continue;
+            }
+            let start_line = lexed.tokens[s].line;
+            let end_line = lexed.tokens[(e - 1).min(lexed.tokens.len() - 1)].line;
+            lines.extend(start_line..=end_line);
+        }
+        lines
+    }
+}
+
+/// Finds `#[cfg(test)]`-guarded items and `macro_rules!` definitions.
+pub fn excluded_spans(lexed: &Lexed) -> ExcludedSpans {
+    let toks = &lexed.tokens;
+    let mut out = ExcludedSpans::default();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if is_cfg_test_attr_start(lexed, i) {
+            let attr_end = match matching_bracket(lexed, i + 1) {
+                Some(e) => e,
+                None => break,
+            };
+            if let Some((start, end)) = guarded_item_span(lexed, attr_end + 1) {
+                out.ranges.push((i, end));
+                i = start.max(i + 1);
+                continue;
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        if toks[i].kind == TokKind::Ident
+            && toks[i].text == "macro_rules"
+            && i + 1 < toks.len()
+            && toks[i + 1].text == "!"
+        {
+            if let Some((_, end)) = guarded_item_span(lexed, i + 2) {
+                out.ranges.push((i, end));
+                i = end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Whether tokens at `i` begin `#[cfg(test)]` / `#[cfg(all(test, …))]`.
+fn is_cfg_test_attr_start(lexed: &Lexed, i: usize) -> bool {
+    let toks = &lexed.tokens;
+    if toks[i].text != "#" || i + 2 >= toks.len() || toks[i + 1].text != "[" {
+        return false;
+    }
+    if toks[i + 2].text != "cfg" {
+        return false;
+    }
+    let Some(close) = matching_bracket(lexed, i + 1) else {
+        return false;
+    };
+    toks[i + 3..close]
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text == "test")
+}
+
+/// Given the index of an opening `[`/`{`/`(`, returns its matching
+/// closer's index.
+pub(crate) fn matching_bracket(lexed: &Lexed, open_idx: usize) -> Option<usize> {
+    let toks = &lexed.tokens;
+    let (open, close) = match toks.get(open_idx)?.text.as_str() {
+        "[" => ("[", "]"),
+        "{" => ("{", "}"),
+        "(" => ("(", ")"),
+        _ => return None,
+    };
+    let mut depth = 0i64;
+    for (j, t) in toks.iter().enumerate().skip(open_idx) {
+        if t.kind == TokKind::Punct {
+            if t.text == open {
+                depth += 1;
+            } else if t.text == close {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Starting after an attribute (or `macro_rules!`), finds the span of the
+/// guarded item: through the matching `}` of its first brace block, or
+/// through a terminating `;` for braceless items (`use`, `mod x;`).
+/// Returns `(start, end_exclusive)` token indexes.
+fn guarded_item_span(lexed: &Lexed, mut i: usize) -> Option<(usize, usize)> {
+    let toks = &lexed.tokens;
+    let start = i;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => {
+                    let end = matching_bracket(lexed, i)?;
+                    return Some((start, end + 1));
+                }
+                // `(…)`/`[…]` groups may contain `;` (array types) —
+                // skip them wholesale so they can't end the item early.
+                "(" | "[" => {
+                    i = matching_bracket(lexed, i)? + 1;
+                    continue;
+                }
+                ";" => return Some((start, i + 1)),
+                // A further attribute on the same item: skip it.
+                "#" if i + 1 < toks.len() && toks[i + 1].text == "[" => {
+                    i = matching_bracket(lexed, i + 1)? + 1;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    None
+}

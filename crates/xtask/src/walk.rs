@@ -1,0 +1,156 @@
+//! Workspace file discovery.
+//!
+//! The analyzer works from the filesystem, not `cargo metadata`: it
+//! walks `crates/*` (and the root `src`/`tests`/`examples`) collecting
+//! `.rs` sources and `Cargo.toml` manifests. The `shims/` directory is
+//! deliberately out of scope — those are vendored stand-ins for external
+//! crates, not workspace code.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One source file scheduled for analysis.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Absolute path on disk.
+    pub path: PathBuf,
+    /// Path relative to the analysis root (for reporting).
+    pub rel: PathBuf,
+    /// Name of the crate the file belongs to (`stats`, `core`, …), or
+    /// `"(root)"` for the umbrella crate's own files.
+    pub crate_name: String,
+    /// Whether the file is library code (under `src/`, not a test or
+    /// example target) — panic-freedom applies only here.
+    pub is_library: bool,
+}
+
+/// All analyzable inputs below a root.
+#[derive(Debug, Default)]
+pub struct WorkspaceFiles {
+    /// Rust sources.
+    pub sources: Vec<SourceFile>,
+    /// `(relative path, contents)` of every manifest.
+    pub manifests: Vec<(PathBuf, String)>,
+}
+
+/// Directories under a crate whose contents are never library code.
+const NON_LIBRARY_DIRS: &[&str] = &["tests", "examples", "benches", "fixtures", "bin"];
+
+/// Collects sources + manifests under `root` (a workspace checkout).
+pub fn collect(root: &Path) -> io::Result<WorkspaceFiles> {
+    // A missing or manifest-less root must be an error, not a silently
+    // "clean" empty workspace — a typo'd ROOT would otherwise pass CI.
+    if !root.join("Cargo.toml").is_file() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!(
+                "{} has no Cargo.toml — not a workspace root",
+                root.display()
+            ),
+        ));
+    }
+    let mut out = WorkspaceFiles::default();
+
+    let root_manifest = root.join("Cargo.toml");
+    if root_manifest.is_file() {
+        out.manifests.push((
+            PathBuf::from("Cargo.toml"),
+            fs::read_to_string(&root_manifest)?,
+        ));
+    }
+    // The umbrella crate's own tree.
+    for dir in ["src", "tests", "examples"] {
+        let path = root.join(dir);
+        if path.is_dir() {
+            walk_sources(&path, root, "(root)", dir == "src", &mut out)?;
+        }
+    }
+
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&crates)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for crate_dir in entries {
+            if !crate_dir.is_dir() {
+                continue;
+            }
+            let crate_name = crate_dir
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let manifest = crate_dir.join("Cargo.toml");
+            if manifest.is_file() {
+                let rel = manifest
+                    .strip_prefix(root)
+                    .unwrap_or(&manifest)
+                    .to_path_buf();
+                out.manifests.push((rel, fs::read_to_string(&manifest)?));
+            }
+            walk_crate(&crate_dir, root, &crate_name, &mut out)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Walks one crate directory, classifying library vs auxiliary targets.
+fn walk_crate(
+    crate_dir: &Path,
+    root: &Path,
+    crate_name: &str,
+    out: &mut WorkspaceFiles,
+) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(crate_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for entry in entries {
+        if !entry.is_dir() {
+            continue;
+        }
+        let dir_name = entry.file_name().map(|n| n.to_string_lossy().into_owned());
+        let Some(dir_name) = dir_name else { continue };
+        match dir_name.as_str() {
+            "src" => walk_sources(&entry, root, crate_name, true, out)?,
+            d if NON_LIBRARY_DIRS.contains(&d) => {
+                walk_sources(&entry, root, crate_name, false, out)?
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn walk_sources(
+    dir: &Path,
+    root: &Path,
+    crate_name: &str,
+    mut is_library: bool,
+    out: &mut WorkspaceFiles,
+) -> io::Result<()> {
+    // `src/bin/*` are binary targets, not library code.
+    if dir.file_name().is_some_and(|n| n == "bin") {
+        is_library = false;
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for entry in entries {
+        if entry.is_dir() {
+            walk_sources(&entry, root, crate_name, is_library, out)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            let rel = entry.strip_prefix(root).unwrap_or(&entry).to_path_buf();
+            out.sources.push(SourceFile {
+                path: entry,
+                rel,
+                crate_name: crate_name.to_string(),
+                is_library,
+            });
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,122 @@
+//! The analyzer tests the analyzer: lint the seeded-violation fixture
+//! workspace under `fixtures/ws` and assert the exact findings, then
+//! lint the real workspace and assert it is clean.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use bmb_xtask::{run_lint, Lint, LintConfig};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/ws")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+/// `(lint, relative path, line)` triples, sorted, for comparison.
+fn triples(findings: &[bmb_xtask::Finding]) -> Vec<(Lint, String, usize)> {
+    let mut v: Vec<(Lint, String, usize)> = findings
+        .iter()
+        .map(|f| (f.lint, f.file.to_string_lossy().replace('\\', "/"), f.line))
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn fixture_workspace_yields_exactly_the_seeded_findings() {
+    let findings = run_lint(&fixture_root(), &LintConfig::default()).expect("fixture lint runs");
+    let got = triples(&findings);
+    let want: Vec<(Lint, String, usize)> = vec![
+        (Lint::Panic, "crates/quest/src/lib.rs".into(), 5),
+        (Lint::Panic, "crates/stats/src/lib.rs".into(), 8),
+        (Lint::FloatEq, "crates/stats/src/lib.rs".into(), 19),
+        (Lint::LossyCast, "crates/stats/src/lib.rs".into(), 24),
+        (Lint::Dependency, "Cargo.toml".into(), 9),
+        (Lint::Dependency, "crates/stats/Cargo.toml".into(), 7),
+        (Lint::Dependency, "crates/stats/Cargo.toml".into(), 11),
+        (Lint::MissingDocs, "crates/stats/src/lib.rs".into(), 17),
+        (Lint::ForbiddenEscape, "crates/stats/src/lib.rs".into(), 14),
+    ];
+    let mut want = want;
+    want.sort();
+    assert_eq!(
+        got, want,
+        "seeded fixture findings diverged; analyzer precision or recall regressed"
+    );
+}
+
+#[test]
+fn single_pass_configs_isolate_their_lint() {
+    let root = fixture_root();
+    let only_deps = LintConfig {
+        panics: false,
+        floats: false,
+        docs: false,
+        deps: true,
+    };
+    let findings = run_lint(&root, &only_deps).expect("deps-only lint runs");
+    assert_eq!(findings.len(), 3);
+    assert!(findings.iter().all(|f| f.lint == Lint::Dependency));
+
+    let only_panics = LintConfig {
+        panics: true,
+        floats: false,
+        docs: false,
+        deps: false,
+    };
+    let findings = run_lint(&root, &only_panics).expect("panics-only lint runs");
+    assert!(findings
+        .iter()
+        .all(|f| matches!(f.lint, Lint::Panic | Lint::ForbiddenEscape)));
+    assert_eq!(findings.len(), 3);
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let findings =
+        run_lint(&workspace_root(), &LintConfig::default()).expect("workspace lint runs");
+    let rendered = bmb_xtask::render(&findings);
+    assert!(
+        findings.is_empty(),
+        "the real tree must lint clean:\n{rendered}"
+    );
+}
+
+#[test]
+fn binary_exits_nonzero_on_fixtures_and_zero_on_real_tree() {
+    let exe = env!("CARGO_BIN_EXE_bmb-xtask");
+
+    let on_fixtures = Command::new(exe)
+        .arg("lint")
+        .arg(fixture_root())
+        .output()
+        .expect("binary runs on fixtures");
+    assert_eq!(
+        on_fixtures.status.code(),
+        Some(1),
+        "seeded violations must exit 1; stdout:\n{}",
+        String::from_utf8_lossy(&on_fixtures.stdout)
+    );
+
+    let on_real = Command::new(exe)
+        .arg("lint")
+        .arg(workspace_root())
+        .output()
+        .expect("binary runs on workspace");
+    assert_eq!(
+        on_real.status.code(),
+        Some(0),
+        "the real tree must exit 0; stdout:\n{}",
+        String::from_utf8_lossy(&on_real.stdout)
+    );
+
+    let usage = Command::new(exe).arg("--help").output().expect("help runs");
+    assert_eq!(usage.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&usage.stdout).contains("USAGE"));
+}

@@ -48,14 +48,21 @@ fn main() {
 
     // Follow the paper's Example 4: military service vs age.
     let set = Itemset::from_ids([2, 7]);
-    let rule = result.rule_for(&set).expect("(i2,i7) is strongly correlated");
+    let rule = result
+        .rule_for(&set)
+        .expect("(i2,i7) is strongly correlated");
     println!(
         "\nExample 4 — {}: chi2 = {:.1}",
         db.describe(&set),
         rule.chi2.statistic
     );
     let interest = rule.interest();
-    let labels = ["veteran & >40", "never-served & >40", "veteran & <=40", "never-served & <=40"];
+    let labels = [
+        "veteran & >40",
+        "never-served & >40",
+        "veteran & <=40",
+        "never-served & <=40",
+    ];
     for (cell, label) in labels.iter().enumerate() {
         println!(
             "  I({label}) = {:.2}   (chi2 contribution {:.1})",
@@ -70,11 +77,8 @@ fn main() {
     );
 
     // Contrast with support-confidence on the same pair.
-    let report = beyond_market_baskets::apriori::PairReport::from_database(
-        &db,
-        ItemId(2),
-        ItemId(7),
-    );
+    let report =
+        beyond_market_baskets::apriori::PairReport::from_database(&db, ItemId(2), ItemId(7));
     println!("\nsupport-confidence on the same pair (s = 1%, c = 0.5):");
     for rule in report.passing_rules(0.01, 0.5) {
         println!(

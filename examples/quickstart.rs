@@ -48,7 +48,10 @@ fn main() {
         "interest values [ab, !ab, a!b, !a!b]: {:?}",
         row.interests.map(|i| (i * 1000.0).round() / 1000.0)
     );
-    println!("I(tea ∧ coffee) = {:.2} < 1 → negative correlation", row.interests[0]);
+    println!(
+        "I(tea ∧ coffee) = {:.2} < 1 → negative correlation",
+        row.interests[0]
+    );
 
     // --- Full mining run on data with hidden 3-way structure ---------------
     // Parity data: three items, pairwise independent, jointly determined.
@@ -57,7 +60,10 @@ fn main() {
     let parity = beyond_market_baskets::datasets::parity_triple(400, 6);
     let result = mine(
         &parity,
-        &MinerConfig { support: SupportSpec::Count(5), ..MinerConfig::default() },
+        &MinerConfig {
+            support: SupportSpec::Count(5),
+            ..MinerConfig::default()
+        },
     );
     println!("\nminimal correlated itemsets in the parity database:");
     for rule in &result.significant {

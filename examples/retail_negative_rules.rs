@@ -71,10 +71,22 @@ fn main() {
     );
     let interest = rule.interest();
     println!("interest values:");
-    println!("  I(batteries ∧ cat food)  = {:.3}  ← 0: the co-purchase never happens", interest.interest(0b11));
-    println!("  I(batteries ∧ no cat food) = {:.3}", interest.interest(0b01));
-    println!("  I(cat food ∧ no batteries) = {:.3}", interest.interest(0b10));
-    println!("  I(neither)                 = {:.3}", interest.interest(0b00));
+    println!(
+        "  I(batteries ∧ cat food)  = {:.3}  ← 0: the co-purchase never happens",
+        interest.interest(0b11)
+    );
+    println!(
+        "  I(batteries ∧ no cat food) = {:.3}",
+        interest.interest(0b01)
+    );
+    println!(
+        "  I(cat food ∧ no batteries) = {:.3}",
+        interest.interest(0b10)
+    );
+    println!(
+        "  I(neither)                 = {:.3}",
+        interest.interest(0b00)
+    );
 
     // Fisher's exact test corroborates on the raw 2x2 counts.
     let table = ContingencyTable::from_database(&db, &pair);

@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --release --example text_mining`
 
-use beyond_market_baskets::prelude::*;
 use beyond_market_baskets::datasets::text::{generate, TextParams};
+use beyond_market_baskets::prelude::*;
 
 fn main() {
     let db = generate(&TextParams::default());
@@ -25,8 +25,16 @@ fn main() {
         ..MinerConfig::default()
     };
     let result = mine(&db, &config);
-    let pairs = result.significant.iter().filter(|r| r.itemset.len() == 2).count();
-    let triples = result.significant.iter().filter(|r| r.itemset.len() == 3).count();
+    let pairs = result
+        .significant
+        .iter()
+        .filter(|r| r.itemset.len() == 2)
+        .count();
+    let triples = result
+        .significant
+        .iter()
+        .filter(|r| r.itemset.len() == 3)
+        .count();
     println!(
         "minimal correlated itemsets: {} pairs, {} triples  [{:.1?}]",
         pairs, triples, result.elapsed
@@ -68,7 +76,9 @@ fn main() {
     // A genuinely 3-way-only dependence: the planted parity triple.
     let catalog = db.catalog().unwrap();
     let triple = Itemset::from_items(
-        ["burundi", "commission", "plan"].iter().filter_map(|w| catalog.get(w)),
+        ["burundi", "commission", "plan"]
+            .iter()
+            .filter_map(|w| catalog.get(w)),
     );
     if triple.len() == 3 {
         match result.rule_for(&triple) {

@@ -21,8 +21,7 @@ fn main() {
     println!(
         "ordered corpus: {} documents, mean length {:.0} tokens",
         corpus.documents.len(),
-        corpus.documents.iter().map(Vec::len).sum::<usize>() as f64
-            / corpus.documents.len() as f64
+        corpus.documents.iter().map(Vec::len).sum::<usize>() as f64 / corpus.documents.len() as f64
     );
 
     let test = Chi2Test::default();
@@ -54,11 +53,10 @@ fn main() {
     // baskets view calls them correlated; the locality view does not.
     let db = corpus.to_baskets();
     let (a, b) = (pairs[0].0, pairs[1].0); // mandela and liberia triggers
-    let basket_table =
-        beyond_market_baskets::basket::ContingencyTable::from_database(
-            &db,
-            &Itemset::from_items([a, b]),
-        );
+    let basket_table = beyond_market_baskets::basket::ContingencyTable::from_database(
+        &db,
+        &Itemset::from_items([a, b]),
+    );
     let doc_level = test.test_dense(&basket_table);
     let position_level = locality_test(&corpus.documents, a, b, window, &test);
     println!(

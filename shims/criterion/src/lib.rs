@@ -1,0 +1,171 @@
+//! Hermetic stand-in for the `criterion` crate (API subset).
+//!
+//! The build environment has no crates.io access. This shim keeps the
+//! workspace's benches compiling and executable: every benchmark closure
+//! runs a few timed iterations and prints a one-line median. It performs
+//! no statistics, warmup calibration, or report generation — numbers are
+//! indicative only. Because cargo also builds bench targets under
+//! `cargo test`, iteration counts are kept tiny.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Iterations per measurement; deliberately small (see crate docs).
+const ITERS: u32 = 3;
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifies a parameterized benchmark, e.g. `bitmap/4`.
+pub struct BenchmarkId {
+    rendered: String,
+}
+
+impl BenchmarkId {
+    /// A new id combining a function name and a parameter.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            rendered: format!("{name}/{param}"),
+        }
+    }
+}
+
+/// Times closures; handed to every benchmark body.
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` a few times and records the fastest iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let mut best = Duration::MAX;
+        for _ in 0..ITERS {
+            let start = Instant::now();
+            hint::black_box(f());
+            best = best.min(start.elapsed());
+        }
+        self.elapsed = best;
+    }
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    println!("bench {label}: {:?}/iter (shim, {ITERS} iters)", b.elapsed);
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for API parity; the shim ignores sample sizes.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity; the shim ignores measurement time.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        run_one(&format!("{}/{}", self.name, id), &mut f);
+    }
+
+    /// Benchmarks `f` with an explicit input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        run_one(&format!("{}/{}", self.name, id.rendered), &mut |b| {
+            f(b, input)
+        });
+    }
+
+    /// Ends the group (no-op).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Applies CLI configuration (no-op in the shim).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _parent: self,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&name.to_string(), &mut f);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("grouped");
+        group.sample_size(10);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("times", 3), &3u64, |b, &t| {
+            b.iter(|| t * 2)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+}

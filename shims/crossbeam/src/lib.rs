@@ -1,0 +1,113 @@
+//! Hermetic stand-in for the `crossbeam` crate (0.8 API subset).
+//!
+//! The workspace only uses `crossbeam::thread::scope` with scoped
+//! `spawn`/`join`. Since Rust 1.63 the standard library provides scoped
+//! threads natively, so this shim delegates to [`std::thread::scope`]
+//! while keeping crossbeam's signatures: the scope closure receives a
+//! `&Scope` argument, `spawn` hands the closure a `&Scope` (ignored at
+//! every call site as `|_|`), and both `scope` and `join` return
+//! `Result` with the panic payload as the error.
+
+/// Scoped-thread API mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::thread as stdthread;
+
+    /// Panic payload carried out of a scope or a joined thread.
+    pub type Payload = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle; wraps the standard library's scope.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result, or the panic
+        /// payload if it panicked.
+        pub fn join(self) -> Result<T, Payload> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives this scope (so it
+        /// could spawn siblings, though the workspace never does).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || {
+                    let scope = Scope { inner };
+                    f(&scope)
+                }),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; returns `Err` with the panic payload if any unjoined
+    /// child (or `f` itself) panicked, like crossbeam does.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Payload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            stdthread::scope(|s| {
+                let wrapper = Scope { inner: s };
+                f(&wrapper)
+            })
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn unjoined_panicking_child_surfaces_as_err() {
+        let result = thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn mutable_disjoint_slices() {
+        let mut out = vec![0u32; 8];
+        thread::scope(|s| {
+            for (i, chunk) in out.chunks_mut(4).enumerate() {
+                s.spawn(move |_| {
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        *slot = (i * 4 + j) as u32;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+    }
+}

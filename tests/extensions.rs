@@ -49,7 +49,10 @@ fn effect_sizes_rank_census_associations() {
     let moderate = ContingencyTable::from_database(&db, &Itemset::from_ids([2, 7]));
     let phi_strong = stats::phi_coefficient(&strongest).abs();
     let phi_moderate = stats::phi_coefficient(&moderate).abs();
-    assert!(phi_strong > 0.7, "citizenship/birthplace is near-deterministic: {phi_strong}");
+    assert!(
+        phi_strong > 0.7,
+        "citizenship/birthplace is near-deterministic: {phi_strong}"
+    );
     assert!(
         phi_moderate > 0.2 && phi_moderate < 0.35,
         "military/age is moderate: {phi_moderate}"
@@ -67,7 +70,10 @@ fn non_collapsed_census_resolves_the_confounder() {
     let data = datasets::expanded_census(1997);
     let rows = categorical_pairs_report(&data, &Chi2Test::default());
     let v = |a: usize, b: usize| {
-        rows.iter().find(|r| (r.a, r.b) == (a.min(b), a.max(b))).unwrap().cramers_v
+        rows.iter()
+            .find(|r| (r.a, r.b) == (a.min(b), a.max(b)))
+            .unwrap()
+            .cramers_v
     };
     assert!(v(attr::COMMUTE, attr::AGE) > v(attr::COMMUTE, attr::MARITAL));
     assert!(v(attr::COMMUTE, attr::AGE) > v(attr::COMMUTE, attr::MILITARY));

@@ -8,7 +8,10 @@ use bmb_core::{CountingStrategy, Level1Prune};
 use bmb_lattice::WalkConfig;
 
 fn config(s: u64) -> MinerConfig {
-    MinerConfig { support: SupportSpec::Count(s), ..MinerConfig::default() }
+    MinerConfig {
+        support: SupportSpec::Count(s),
+        ..MinerConfig::default()
+    }
 }
 
 /// Mining the Quest workload end to end: generation → miner → border.
@@ -24,7 +27,13 @@ fn quest_pipeline() {
         ..quest::QuestParams::default()
     };
     let db = quest::generate(&params);
-    let result = mine(&db, &MinerConfig { support: SupportSpec::Fraction(0.01), ..config(1) });
+    let result = mine(
+        &db,
+        &MinerConfig {
+            support: SupportSpec::Fraction(0.01),
+            ..config(1)
+        },
+    );
     // Planted patterns guarantee plenty of significant pairs.
     assert!(
         result.levels[0].significant > 10,
@@ -61,8 +70,7 @@ fn miner_matches_exhaustive_border() {
         }
         let table = bmb_basket::ContingencyTable::from_database(&db, set);
         let cells_needed = ((0.26 * table.n_cells() as f64).ceil() as usize).max(1);
-        table.cells_with_count_at_least(1) >= cells_needed
-            && test.test_dense(&table).significant
+        table.cells_with_count_at_least(1) >= cells_needed && test.test_dense(&table).significant
     });
     // The miner's SIG must equal the border elements reachable through
     // all-NOTSIG ancestry; on this data (support never binds) that is the
@@ -81,9 +89,21 @@ fn walk_and_levelwise_agree() {
     let db = datasets::parity_triple(800, 6);
     let cfg = config(5);
     let levelwise = mine(&db, &cfg);
-    let walked = mine_walk(&db, &cfg, WalkConfig { walks: 400, max_level: 6, seed: 3 }, None);
-    let level_sets: Vec<Itemset> =
-        levelwise.significant.iter().map(|r| r.itemset.clone()).collect();
+    let walked = mine_walk(
+        &db,
+        &cfg,
+        WalkConfig {
+            walks: 400,
+            max_level: 6,
+            seed: 3,
+        },
+        None,
+    );
+    let level_sets: Vec<Itemset> = levelwise
+        .significant
+        .iter()
+        .map(|r| r.itemset.clone())
+        .collect();
     assert_eq!(walked.border, level_sets);
 }
 
@@ -94,11 +114,25 @@ fn strategies_and_threads_invariant() {
     let base = mine(&db, &config(8));
     for counting in [CountingStrategy::Bitmap, CountingStrategy::BasketScan] {
         for threads in [1usize, 3] {
-            let result = mine(&db, &MinerConfig { counting, threads, ..config(8) });
+            let result = mine(
+                &db,
+                &MinerConfig {
+                    counting,
+                    threads,
+                    ..config(8)
+                },
+            );
             assert_eq!(result.levels, base.levels, "{counting:?}/{threads}");
             assert_eq!(
-                result.significant.iter().map(|r| &r.itemset).collect::<Vec<_>>(),
-                base.significant.iter().map(|r| &r.itemset).collect::<Vec<_>>()
+                result
+                    .significant
+                    .iter()
+                    .map(|r| &r.itemset)
+                    .collect::<Vec<_>>(),
+                base.significant
+                    .iter()
+                    .map(|r| &r.itemset)
+                    .collect::<Vec<_>>()
             );
         }
     }
@@ -117,25 +151,31 @@ fn frameworks_disagree_as_documented() {
         beyond_market_baskets::apriori::MinSupport::Fraction(0.05),
         2,
     );
-    let rules =
-        beyond_market_baskets::apriori::generate_rules(&frequent, db.len() as u64, 0.5);
-    assert!(rules.iter().any(|r| r.confidence >= 0.8 && r.lift < 1.0),
-        "the misleading high-confidence negative-lift rule must exist");
+    let rules = beyond_market_baskets::apriori::generate_rules(&frequent, db.len() as u64, 0.5);
+    assert!(
+        rules.iter().any(|r| r.confidence >= 0.8 && r.lift < 1.0),
+        "the misleading high-confidence negative-lift rule must exist"
+    );
 
     // (b) exclusion: S-C has nothing, the miner reports the pair.
     let db = datasets::negative_pair(5000, 0.35, 17);
-    let result = mine(&db, &MinerConfig {
-        support: SupportSpec::Fraction(0.01),
-        ..MinerConfig::default()
-    });
+    let result = mine(
+        &db,
+        &MinerConfig {
+            support: SupportSpec::Fraction(0.01),
+            ..MinerConfig::default()
+        },
+    );
     assert!(result.rule_for(&Itemset::from_ids([0, 1])).is_some());
     let frequent = beyond_market_baskets::apriori::apriori(
         &db,
         beyond_market_baskets::apriori::MinSupport::Fraction(0.01),
         2,
     );
-    assert!(frequent.support_of(&Itemset::from_ids([0, 1])).is_none(),
-        "support-confidence must be blind to the exclusion");
+    assert!(
+        frequent.support_of(&Itemset::from_ids([0, 1])).is_none(),
+        "support-confidence must be blind to the exclusion"
+    );
 }
 
 /// The datacube serves the walk miner the same tables as direct scans.

@@ -30,8 +30,13 @@ fn example_2_confidence_non_closure() {
     let d = Itemset::singleton(catalog.get("doughnut").unwrap());
     let counter = bmb_basket::ScanCounter::new(&db);
     let small = sc::evaluate_rule(&counter, &c, &d).unwrap().confidence;
-    let large = sc::evaluate_rule(&counter, &c.union(&t), &d).unwrap().confidence;
-    assert!(small >= 0.5, "c => d should clear the 0.5 cutoff, got {small}");
+    let large = sc::evaluate_rule(&counter, &c.union(&t), &d)
+        .unwrap()
+        .confidence;
+    assert!(
+        small >= 0.5,
+        "c => d should clear the 0.5 cutoff, got {small}"
+    );
     assert!(large < 0.5, "c,t => d should fail the cutoff, got {large}");
 }
 
@@ -83,9 +88,15 @@ fn example_5_interest_agrees_with_chi2() {
     let report = InterestReport::analyze(&table);
     let major = report.major_dependence();
     let extreme = report.most_extreme();
-    assert_eq!(major.cell, extreme.cell, "paper: the most extreme interest contributes most");
+    assert_eq!(
+        major.cell, extreme.cell,
+        "paper: the most extreme interest contributes most"
+    );
     assert_eq!(major.cell, 0b00);
-    assert!(major.interest > 1.5, "positive dependence, paper prints 1.99");
+    assert!(
+        major.interest > 1.5,
+        "positive dependence, paper prints 1.99"
+    );
 }
 
 /// Theorem 1, empirically: chi-squared at a fixed significance level is
@@ -98,8 +109,9 @@ fn theorem_1_upward_closure_on_census() {
     for a in 0..10u32 {
         for b in a + 1..10 {
             let pair = Itemset::from_ids([a, b]);
-            let pair_stat =
-                test.test_dense(&ContingencyTable::from_database(&db, &pair)).statistic;
+            let pair_stat = test
+                .test_dense(&ContingencyTable::from_database(&db, &pair))
+                .statistic;
             for c in 0..10u32 {
                 if c == a || c == b {
                     continue;

@@ -10,11 +10,8 @@ use proptest::prelude::*;
 /// Strategy: a random small basket database over `k` items.
 fn db_strategy(max_items: usize, max_baskets: usize) -> impl Strategy<Value = BasketDatabase> {
     (2..=max_items, 4..=max_baskets).prop_flat_map(|(k, n)| {
-        proptest::collection::vec(
-            proptest::collection::vec(0..k as u32, 0..=k),
-            n..=n,
-        )
-        .prop_map(move |baskets| BasketDatabase::from_id_baskets(k, baskets))
+        proptest::collection::vec(proptest::collection::vec(0..k as u32, 0..=k), n..=n)
+            .prop_map(move |baskets| BasketDatabase::from_id_baskets(k, baskets))
     })
 }
 
@@ -177,5 +174,30 @@ proptest! {
             // half-basket errors; at n >= 1500 that is well under 2%.
             prop_assert!((got - want).abs() < 0.02, "item {i}: {got} vs {want}");
         }
+    }
+}
+
+proptest! {
+    /// Random contingency tables flow through the chi-squared test with
+    /// every numerical contract active (this suite runs in debug builds,
+    /// where `bmb_stats::contracts` is live): construction re-derives the
+    /// marginals, and the outcome's statistic, cutoff, and p-value all
+    /// satisfy their range invariants.
+    #[test]
+    fn random_tables_satisfy_chi2_contracts(
+        dims in 2usize..=4,
+        seed in proptest::collection::vec(0u64..500, 16..=16),
+    ) {
+        let counts: Vec<u64> = seed[..1 << dims].to_vec();
+        prop_assume!(counts.iter().sum::<u64>() > 0);
+        let set = Itemset::from_ids(0..dims as u32);
+        // `from_counts` runs the table-consistency contract internally.
+        let table = ContingencyTable::from_counts(set, counts);
+        let outcome = Chi2Test::default().test_dense(&table);
+        prop_assert!(outcome.statistic.is_finite() && outcome.statistic >= 0.0);
+        prop_assert!(outcome.cutoff > 0.0);
+        let p = outcome.p_value();
+        prop_assert!((0.0..=1.0).contains(&p), "p-value {p} out of range");
+        prop_assert!(outcome.ln_p_value <= 1e-9, "ln p {} above 0", outcome.ln_p_value);
     }
 }

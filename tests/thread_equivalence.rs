@@ -1,0 +1,116 @@
+//! Parallel/serial equivalence: sweeping the worker-thread count must
+//! never change a single count, verdict, or statistic. Both counting
+//! kernels and the full miner are exercised on a seeded 10k-basket Quest
+//! database, so the parallel chunking paths (>256 candidates) engage.
+
+use beyond_market_baskets::prelude::*;
+use beyond_market_baskets::quest;
+use bmb_basket::{BitmapIndex, ItemId, Itemset};
+use bmb_core::counting::{count_with_bitmaps, count_with_scan};
+use bmb_core::CountingStrategy;
+
+fn seeded_db() -> bmb_basket::BasketDatabase {
+    let params = quest::QuestParams {
+        n_transactions: 10_000,
+        n_items: 90,
+        avg_transaction_len: 10.0,
+        avg_pattern_len: 4.0,
+        n_patterns: 30,
+        seed: 20260807,
+        ..quest::QuestParams::default()
+    };
+    quest::generate(&params)
+}
+
+/// Every pair over the item universe: 90·89/2 = 4005 candidates, well
+/// past the sequential-fallback threshold of the counting kernels.
+fn all_pairs(n_items: u32) -> Vec<Itemset> {
+    let mut out = Vec::new();
+    for a in 0..n_items {
+        for b in a + 1..n_items {
+            out.push(Itemset::from_items([ItemId(a), ItemId(b)]));
+        }
+    }
+    out
+}
+
+#[test]
+fn counting_kernels_agree_across_thread_counts() {
+    let db = seeded_db();
+    let index = BitmapIndex::build(&db);
+    let candidates = all_pairs(db.n_items() as u32);
+    assert!(
+        candidates.len() > 256,
+        "need enough candidates to engage parallel chunking"
+    );
+
+    let scan_serial = count_with_scan(&db, &candidates, 1);
+    let bitmap_serial = count_with_bitmaps(&index, &candidates, 1);
+    assert_eq!(
+        scan_serial, bitmap_serial,
+        "scan and bitmap kernels disagree serially"
+    );
+
+    for threads in 2..=8 {
+        let scan = count_with_scan(&db, &candidates, threads);
+        assert_eq!(
+            scan, scan_serial,
+            "count_with_scan diverged at {threads} threads"
+        );
+        let bitmaps = count_with_bitmaps(&index, &candidates, threads);
+        assert_eq!(
+            bitmaps, bitmap_serial,
+            "count_with_bitmaps diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn miner_results_are_thread_count_invariant() {
+    let db = seeded_db();
+    let config = |threads: usize, counting: CountingStrategy| MinerConfig {
+        support: SupportSpec::Fraction(0.01),
+        threads,
+        counting,
+        ..MinerConfig::default()
+    };
+
+    for counting in [CountingStrategy::Bitmap, CountingStrategy::BasketScan] {
+        let baseline = mine(&db, &config(1, counting));
+        assert!(
+            !baseline.significant.is_empty(),
+            "seeded database must yield significant sets ({counting:?})"
+        );
+        for threads in 2..=8 {
+            let run = mine(&db, &config(threads, counting));
+            assert_eq!(
+                run.levels, baseline.levels,
+                "per-level accounting diverged at {threads} threads ({counting:?})"
+            );
+            let sets = |r: &MiningResult| {
+                r.significant
+                    .iter()
+                    .map(|s| s.itemset.clone())
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(
+                sets(&run),
+                sets(&baseline),
+                "significant itemsets diverged at {threads} threads ({counting:?})"
+            );
+            // Statistics must be bit-identical, not merely close: every
+            // candidate's χ² is computed from the same integer counts.
+            let stats = |r: &MiningResult| {
+                r.significant
+                    .iter()
+                    .map(|s| s.chi2.statistic.to_bits())
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(
+                stats(&run),
+                stats(&baseline),
+                "χ² statistics diverged at {threads} threads ({counting:?})"
+            );
+        }
+    }
+}
