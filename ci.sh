@@ -17,4 +17,7 @@ cargo run -q -p bmb-xtask -- lint
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> server smoke test"
+./scripts/serve_smoke.sh
+
 echo "CI: all gates passed"

@@ -172,7 +172,8 @@ fn count_candidates(
         // For small baskets enumerate basket subsets; for large baskets it
         // would be cheaper to test candidates directly, but market baskets
         // are short in all of the paper's workloads.
-        let basket_set = Itemset::from_items(basket.iter().copied());
+        // Baskets are stored sorted+deduplicated, so skip the re-sort.
+        let basket_set = Itemset::from_sorted_slice(basket);
         if binom(basket.len(), level) <= candidates.len() as u64 {
             for subset in basket_set.subsets_of_size(level) {
                 if lookup.contains(&subset) {

@@ -72,6 +72,29 @@ impl Itemset {
         }
     }
 
+    /// Borrowing variant of [`Itemset::from_sorted`]: copies a slice that
+    /// is already canonical (strictly sorted, deduplicated) without the
+    /// sort-and-dedup pass of [`Itemset::from_items`].
+    ///
+    /// This is the constructor for data whose sortedness is an invariant —
+    /// baskets of a [`crate::BasketDatabase`], another itemset's items —
+    /// so hash/equality behaviour (and with it every itemset-keyed cache)
+    /// rests on *one* canonical representation rather than per-call-site
+    /// re-sorting.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `items` is not strictly increasing.
+    pub fn from_sorted_slice(items: &[ItemId]) -> Self {
+        debug_assert!(
+            items.windows(2).all(|w| w[0] < w[1]),
+            "items must be strictly sorted"
+        );
+        Itemset {
+            items: items.into(),
+        }
+    }
+
     /// Number of items (the itemset's "level" in the lattice).
     pub fn len(&self) -> usize {
         self.items.len()
@@ -425,6 +448,34 @@ mod tests {
         assert_eq!(a.prefix(), &[ItemId(1), ItemId(2)]);
         assert_eq!(a.last(), Some(ItemId(9)));
         assert_eq!(Itemset::empty().last(), None);
+    }
+
+    #[test]
+    fn every_constructor_yields_one_canonical_representation() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+
+        let hash_of = |set: &Itemset| {
+            let mut h = DefaultHasher::new();
+            set.hash(&mut h);
+            h.finish()
+        };
+        // The same set built four ways — including from unsorted input —
+        // must be equal AND hash identically, or any itemset-keyed cache
+        // (snapshot tables, support stores) would silently miss.
+        let sorted = vec![ItemId(1), ItemId(4), ItemId(9)];
+        let variants = [
+            Itemset::from_ids([9, 1, 4, 9]),
+            Itemset::from_items(sorted.iter().copied()),
+            Itemset::from_sorted(sorted.clone()),
+            Itemset::from_sorted_slice(&sorted),
+        ];
+        for v in &variants {
+            assert_eq!(v, &variants[0]);
+            assert_eq!(hash_of(v), hash_of(&variants[0]));
+        }
+        // Slice lookups (Borrow<[ItemId]>) see the same canonical order.
+        assert_eq!(variants[0].items(), sorted.as_slice());
     }
 
     #[test]

@@ -20,7 +20,9 @@
 //! * [`ContingencyTable`] / [`SparseContingencyTable`] — dense and
 //!   occupied-cells-only presence/absence tables;
 //! * [`categorical`] — the multinomial (non-binary) extension;
-//! * [`io`] — a plain-text basket interchange format.
+//! * [`io`] — a plain-text basket interchange format;
+//! * [`segment`] — append-only ingest with sealed segments and epoch
+//!   snapshots, the substrate of the serving layer.
 
 #![warn(missing_docs)]
 
@@ -32,6 +34,7 @@ pub mod database;
 pub mod io;
 pub mod item;
 pub mod itemset;
+pub mod segment;
 
 pub use bitmap::{Bitmap, BitmapIndex};
 pub use contingency::{
@@ -41,3 +44,4 @@ pub use counts::{BitmapCounter, ScanCounter, SupportCounter};
 pub use database::BasketDatabase;
 pub use item::{ItemCatalog, ItemId};
 pub use itemset::Itemset;
+pub use segment::{IncrementalStore, ItemOutOfRange, Segment, Snapshot, StoreConfig};

@@ -1,0 +1,87 @@
+//! Serving-layer micro-benchmarks: cached vs uncached chi-squared point
+//! queries, ingest throughput, and a full TCP round trip (EXPERIMENTS.md
+//! "Serving layer").
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bmb_basket::{IncrementalStore, Itemset, StoreConfig};
+use bmb_core::{EngineConfig, QueryEngine};
+use bmb_serve::json::parse;
+use bmb_serve::{Client, Server, ServerConfig};
+
+fn census_engine() -> (Arc<IncrementalStore>, QueryEngine) {
+    let db = bmb_datasets::generate_census();
+    let store = Arc::new(IncrementalStore::from_database(&db, StoreConfig::default()));
+    let engine = QueryEngine::new(Arc::clone(&store), EngineConfig::default());
+    (store, engine)
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let (_store, engine) = census_engine();
+    let snap = engine.snapshot();
+    let pair = Itemset::from_ids([2, 7]);
+    let triple = Itemset::from_ids([1, 4, 8]);
+
+    // Uncached: assemble the table from segment bitmaps every time.
+    let mut group = c.benchmark_group("serve_chi2_census");
+    group.bench_function("uncached_pair", |b| {
+        b.iter(|| {
+            let table = snap.contingency_table(&pair);
+            engine.test().test_dense(&table)
+        });
+    });
+    group.bench_function("uncached_triple", |b| {
+        b.iter(|| {
+            let table = snap.contingency_table(&triple);
+            engine.test().test_dense(&table)
+        });
+    });
+    // Cached: the first call warms the (itemset, epoch) entry; the rest
+    // are the steady-state hit path a hot query sees.
+    group.bench_function("cached_pair", |b| {
+        b.iter(|| engine.chi2(&snap, &pair));
+    });
+    group.bench_function("cached_triple", |b| {
+        b.iter(|| engine.chi2(&snap, &triple));
+    });
+    group.finish();
+
+    // Ingest throughput: batches of synthetic baskets into a live store.
+    let mut group = c.benchmark_group("serve_ingest");
+    let batch: Vec<Vec<u32>> = (0..1000u32)
+        .map(|i| vec![i % 10, (i * 7 + 3) % 10])
+        .collect();
+    group.bench_function("append_batch_1000", |b| {
+        let store = Arc::new(IncrementalStore::new(10, StoreConfig::default()));
+        b.iter(|| {
+            store
+                .append_batch(
+                    batch
+                        .iter()
+                        .map(|ids| ids.iter().copied().map(bmb_basket::ItemId)),
+                )
+                .expect("in range")
+        });
+    });
+    group.finish();
+
+    // Full protocol round trip over loopback TCP.
+    let (_store2, engine2) = census_engine();
+    let server = Server::bind(Arc::new(engine2), ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let running = server.spawn();
+    let mut client = Client::connect(addr).expect("connect");
+    let chi2 = parse(r#"{"cmd":"chi2","items":[2,7]}"#).expect("literal");
+    let mut group = c.benchmark_group("serve_tcp_round_trip");
+    group.bench_function("chi2_hot", |b| {
+        b.iter(|| client.request(&chi2).expect("chi2"));
+    });
+    group.finish();
+    drop(client);
+    running.stop().expect("shutdown");
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -46,6 +46,18 @@ pub const GENERATE_SPEC: &[(&str, FlagKind)] = &[
 /// Flags accepted by `bmb stats`.
 pub const STATS_SPEC: &[(&str, FlagKind)] = &[("numeric", FlagKind::Boolean)];
 
+/// Flags accepted by `bmb serve`.
+pub const SERVE_SPEC: &[(&str, FlagKind)] = &[
+    ("addr", FlagKind::Value),
+    ("workers", FlagKind::Value),
+    ("items", FlagKind::Value),
+    ("segment-capacity", FlagKind::Value),
+    ("numeric", FlagKind::Boolean),
+];
+
+/// Flags accepted by `bmb query`.
+pub const QUERY_SPEC: &[(&str, FlagKind)] = &[("timeout-secs", FlagKind::Value)];
+
 /// Loads a basket file, named by default, numeric with `--numeric`.
 pub fn load(path: &str, numeric: bool) -> Result<BasketDatabase, String> {
     let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
@@ -256,6 +268,94 @@ pub fn cmd_stats(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     Ok(())
 }
 
+/// `bmb serve [FILE]` — run the correlation-query server.
+///
+/// With a FILE the store is seeded from it; with `--items N` (and no
+/// FILE) the store starts empty over an `N`-item space. Prints the bound
+/// address (`listening on HOST:PORT`) before blocking in the accept
+/// loop; a client's `shutdown` command drains in-flight queries and
+/// exits 0.
+pub fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let sink = |e: std::io::Error| e.to_string();
+    let store_config = bmb_basket::StoreConfig {
+        segment_capacity: args.get_or("segment-capacity", 4096usize)?,
+    };
+    let store = match args.positional(1) {
+        Some(path) => {
+            let db = load(path, args.has("numeric"))?;
+            bmb_basket::IncrementalStore::from_database(&db, store_config)
+        }
+        None => {
+            let n_items = args
+                .get::<usize>("items")?
+                .ok_or("usage: bmb serve FILE [flags], or bmb serve --items N")?;
+            bmb_basket::IncrementalStore::new(n_items, store_config)
+        }
+    };
+    let engine = std::sync::Arc::new(bmb_core::QueryEngine::new(
+        std::sync::Arc::new(store),
+        bmb_core::EngineConfig::default(),
+    ));
+    let server = bmb_serve::Server::bind(
+        engine,
+        bmb_serve::ServerConfig {
+            addr: args.get_or("addr", "127.0.0.1:7878".to_string())?,
+            workers: args.get_or("workers", 4usize)?,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| format!("cannot bind: {e}"))?;
+    let metrics = server.metrics();
+    writeln!(out, "listening on {}", server.local_addr()).map_err(sink)?;
+    out.flush().map_err(sink)?;
+    server.run().map_err(|e| format!("server failed: {e}"))?;
+    let snapshot = metrics.snapshot();
+    writeln!(
+        out,
+        "served {} requests ({} errors), p50 {}us, p99 {}us",
+        snapshot.requests, snapshot.errors, snapshot.p50_us, snapshot.p99_us
+    )
+    .map_err(sink)?;
+    Ok(())
+}
+
+/// `bmb query ADDR [LINE...]` — send protocol lines to a running server.
+///
+/// Each LINE positional is one JSON request; with none, lines are read
+/// from stdin. Response lines are printed verbatim.
+pub fn cmd_query(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let addr = args
+        .positional(1)
+        .ok_or("usage: bmb query ADDR [LINE...]")?;
+    let timeout = std::time::Duration::from_secs(args.get_or("timeout-secs", 30u64)?);
+    let mut client = bmb_serve::Client::connect_timeout(addr, timeout)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let sink = |e: std::io::Error| e.to_string();
+    let mut send = |line: &str, out: &mut dyn Write| -> Result<(), String> {
+        let response = client
+            .request_line(line)
+            .map_err(|e| format!("request failed: {e}"))?;
+        writeln!(out, "{response}").map_err(sink)
+    };
+    if args.n_positionals() > 2 {
+        for i in 2..args.n_positionals() {
+            if let Some(line) = args.positional(i) {
+                send(line, out)?;
+            }
+        }
+    } else {
+        let stdin = std::io::stdin();
+        for line in std::io::BufRead::lines(stdin.lock()) {
+            let line = line.map_err(|e| e.to_string())?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            send(&line, out)?;
+        }
+    }
+    Ok(())
+}
+
 /// Top-level usage text.
 pub const USAGE: &str = "\
 bmb — correlation mining for generalized basket data
@@ -269,9 +369,16 @@ USAGE:
   bmb generate KIND  [--n N] [--items N] [--seed N] [--out FILE]
                      (KIND: quest | census | text)
   bmb stats FILE     [--numeric]
+  bmb serve [FILE]   [--addr HOST:PORT] [--workers N] [--items N]
+                     [--segment-capacity N] [--numeric]
+  bmb query ADDR     [LINE...]  [--timeout-secs N]
 
 Basket files are one basket per line; tokens are item names (default) or
 numeric ids (--numeric). '#' starts a comment line.
+
+'bmb serve' answers line-delimited JSON over TCP (cmd: chi2, chi2_batch,
+interest, topk, border, ingest, stats, ping, shutdown); 'bmb query'
+sends request lines from the command line or stdin.
 ";
 
 #[cfg(test)]
@@ -383,5 +490,86 @@ mod tests {
         assert!(cmd_generate(&a, &mut out)
             .unwrap_err()
             .contains("unknown dataset"));
+    }
+
+    /// A `Write` sink the serve thread and the test can both observe.
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SharedBuf {
+        fn contents(&self) -> String {
+            String::from_utf8_lossy(&self.0.lock().unwrap()).into_owned()
+        }
+    }
+
+    #[test]
+    fn serve_and_query_commands_end_to_end() {
+        let path = temp_basket_file("0 1\n0 1 2\n2\n0 1\n");
+        let serve_args = args(
+            SERVE_SPEC,
+            &[
+                "serve",
+                path.to_str().unwrap(),
+                "--numeric",
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "2",
+            ],
+        );
+        let buf = SharedBuf::default();
+        let server_thread = {
+            let mut sink = buf.clone();
+            std::thread::spawn(move || cmd_serve(&serve_args, &mut sink))
+        };
+        // Wait for the ephemeral port to be announced.
+        let addr = loop {
+            let text = buf.contents();
+            if let Some(rest) = text.strip_prefix("listening on ") {
+                break rest.trim().to_string();
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+        let query_args = args(
+            QUERY_SPEC,
+            &["query", &addr, r#"{"id":1,"cmd":"chi2","items":[0,1]}"#],
+        );
+        let mut out = Vec::new();
+        cmd_query(&query_args, &mut out).unwrap();
+        let rendered = String::from_utf8(out).unwrap();
+        assert!(rendered.contains(r#""support":3"#), "{rendered}");
+        // `shutdown` must drain and let `cmd_serve` return Ok.
+        let stop_args = args(QUERY_SPEC, &["query", &addr, r#"{"cmd":"shutdown"}"#]);
+        let mut out = Vec::new();
+        cmd_query(&stop_args, &mut out).unwrap();
+        server_thread.join().unwrap().unwrap();
+        assert!(buf.contents().contains("served"), "{}", buf.contents());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn serve_without_file_or_items_is_a_user_error() {
+        let a = args(SERVE_SPEC, &["serve"]);
+        let mut out = Vec::new();
+        assert!(cmd_serve(&a, &mut out).unwrap_err().contains("usage"));
+    }
+
+    #[test]
+    fn query_against_no_server_is_a_user_error() {
+        let a = args(QUERY_SPEC, &["query", "127.0.0.1:1", r#"{"cmd":"ping"}"#]);
+        let mut out = Vec::new();
+        assert!(cmd_query(&a, &mut out)
+            .unwrap_err()
+            .contains("cannot connect"));
     }
 }

@@ -2,8 +2,8 @@
 
 use bmb_cli::args::Args;
 use bmb_cli::commands::{
-    cmd_generate, cmd_mine, cmd_pairs, cmd_rules, cmd_stats, GENERATE_SPEC, MINE_SPEC, PAIRS_SPEC,
-    RULES_SPEC, STATS_SPEC, USAGE,
+    cmd_generate, cmd_mine, cmd_pairs, cmd_query, cmd_rules, cmd_serve, cmd_stats, GENERATE_SPEC,
+    MINE_SPEC, PAIRS_SPEC, QUERY_SPEC, RULES_SPEC, SERVE_SPEC, STATS_SPEC, USAGE,
 };
 
 fn main() {
@@ -16,6 +16,8 @@ fn main() {
         "rules" => RULES_SPEC,
         "generate" => GENERATE_SPEC,
         "stats" => STATS_SPEC,
+        "serve" => SERVE_SPEC,
+        "query" => QUERY_SPEC,
         _ => {
             eprint!("{USAGE}");
             std::process::exit(2);
@@ -30,6 +32,8 @@ fn main() {
             "rules" => cmd_rules(&args, &mut out),
             "generate" => cmd_generate(&args, &mut out),
             "stats" => cmd_stats(&args, &mut out),
+            "serve" => cmd_serve(&args, &mut out),
+            "query" => cmd_query(&args, &mut out),
             _ => unreachable!(),
         }
     });

@@ -122,7 +122,8 @@ pub fn count_with_scan(db: &BasketDatabase, candidates: &[Itemset], threads: usi
             if basket.len() < level {
                 continue;
             }
-            let basket_set = Itemset::from_items(basket.iter().copied());
+            // Baskets are stored sorted+deduplicated, so skip the re-sort.
+            let basket_set = Itemset::from_sorted_slice(basket);
             if subsets_cheaper(basket.len(), level, candidates.len()) {
                 for subset in basket_set.subsets_of_size(level) {
                     if let Some(&idx) = lookup.get(&subset) {

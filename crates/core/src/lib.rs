@@ -29,6 +29,8 @@
 //! * [`locality`] — spatial-locality rules over ordered baskets (the
 //!   conclusion's first future-work item);
 //! * [`counting`] — batch support counting and Möbius table assembly;
+//! * [`engine`] / [`lru`] — the online query engine over incremental
+//!   snapshots, with its LRU contingency-table cache;
 //! * [`report`] — pairwise χ²-and-interest reports (Table 2);
 //! * [`stats`] — per-level accounting (Table 5);
 //! * [`sig`] — the significant-itemset output type.
@@ -41,8 +43,12 @@ pub mod categorical_report;
 pub mod config;
 /// Batch support counting and Möbius contingency-table assembly.
 pub mod counting;
+/// The online query engine over incremental-store snapshots.
+pub mod engine;
 /// Word-adjacency locality analysis (the paper's text experiments).
 pub mod locality;
+/// A fixed-capacity LRU cache backing the query engine.
+pub mod lru;
 /// The level-wise significant-itemset miner (Algorithm 2).
 pub mod miner;
 /// Pruning predicates: support, interest, and χ²-based cuts.
@@ -62,6 +68,9 @@ pub use categorical_report::{
     categorical_pair, categorical_pairs_report, CategoricalPairCorrelation,
 };
 pub use config::{CountingStrategy, Level1Prune, MinerConfig, SupportSpec};
+pub use engine::{
+    CacheStats, Chi2Answer, EngineConfig, EngineError, InterestAnswer, QueryEngine, MAX_QUERY_DIMS,
+};
 pub use locality::{locality_test, mine_locality, LocalityReport};
 pub use miner::{mine, MiningResult};
 pub use report::{pairs_report, PairCorrelation};

@@ -1,0 +1,156 @@
+//! A small blocking client for the line-delimited JSON protocol.
+//!
+//! Used by `bmb query`, the load generator, and the integration tests.
+//! One request at a time: send a line, read a line. The server's banner
+//! is consumed (and checked) at connect time.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::json::{parse, Value};
+
+/// A connected protocol client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    /// The banner line the server sent on connect.
+    banner: String,
+}
+
+/// A client-side failure: transport or protocol.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The server sent something that is not a JSON object line.
+    Protocol(String),
+    /// The server answered `"ok": false`; the payload is its message.
+    Server(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl Client {
+    /// Connects and consumes the server banner.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection refusal or a malformed banner.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        Self::from_stream(stream)
+    }
+
+    /// Like [`Client::connect`] with a socket-level timeout applied to
+    /// reads and writes.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection refusal or a malformed banner.
+    pub fn connect_timeout<A: ToSocketAddrs>(
+        addr: A,
+        timeout: Duration,
+    ) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Self::from_stream(stream)
+    }
+
+    fn from_stream(stream: TcpStream) -> Result<Client, ClientError> {
+        // Requests are single small writes; disable Nagle so they go out
+        // immediately instead of waiting on the previous response's ACK.
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        let mut client = Client {
+            reader: BufReader::new(stream),
+            writer,
+            banner: String::new(),
+        };
+        let banner = client.read_line()?;
+        let value =
+            parse(&banner).map_err(|e| ClientError::Protocol(format!("bad banner: {e}")))?;
+        if value.get("proto").and_then(Value::as_str).is_none() {
+            return Err(ClientError::Protocol(format!(
+                "banner missing 'proto': {banner}"
+            )));
+        }
+        client.banner = banner;
+        Ok(client)
+    }
+
+    /// The banner line the server greeted with.
+    pub fn banner(&self) -> &str {
+        &self.banner
+    }
+
+    /// Sends one raw line and returns the raw response line — the
+    /// byte-level interface the golden-file tests pin down.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors or a closed connection.
+    pub fn request_line(&mut self, line: &str) -> Result<String, ClientError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        self.read_line()
+    }
+
+    /// Sends a [`Value`] request and decodes the response, unwrapping the
+    /// protocol envelope: returns the `"result"` payload of an `"ok"`
+    /// response, [`ClientError::Server`] otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors, non-JSON responses, or server errors.
+    pub fn request(&mut self, request: &Value) -> Result<Value, ClientError> {
+        let line = self.request_line(&request.to_string())?;
+        let value =
+            parse(&line).map_err(|e| ClientError::Protocol(format!("bad response: {e}")))?;
+        match value.get("ok").and_then(Value::as_bool) {
+            Some(true) => Ok(value.get("result").cloned().unwrap_or(Value::Null)),
+            Some(false) => Err(ClientError::Server(
+                value
+                    .get("error")
+                    .and_then(Value::as_str)
+                    .unwrap_or("unspecified server error")
+                    .to_string(),
+            )),
+            None => Err(ClientError::Protocol(format!(
+                "response missing 'ok': {line}"
+            ))),
+        }
+    }
+
+    fn read_line(&mut self) -> Result<String, ClientError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Protocol(
+                "server closed connection".to_string(),
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+}

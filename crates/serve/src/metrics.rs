@@ -1,0 +1,210 @@
+//! Server counters and latency percentiles for `/stats`.
+//!
+//! Latencies are recorded in whole microseconds into a fixed-size ring
+//! (the most recent [`RING_CAPACITY`] requests); percentiles are computed
+//! by sorting a copy on demand, entirely in integer arithmetic. Counters
+//! are relaxed atomics — `/stats` is observability, not accounting, and
+//! slight cross-counter skew under load is acceptable.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// How many recent request latencies the percentile ring retains.
+pub const RING_CAPACITY: usize = 4096;
+
+/// A fixed-size ring of recent latency samples (microseconds).
+#[derive(Debug)]
+struct Ring {
+    samples: Vec<u64>,
+    next: usize,
+    filled: bool,
+}
+
+/// Cumulative server counters plus the latency ring.
+#[derive(Debug)]
+pub struct ServerMetrics {
+    /// Requests handled (including failed ones).
+    requests: AtomicU64,
+    /// Requests answered `"ok": false`.
+    errors: AtomicU64,
+    /// Connections accepted.
+    connections: AtomicU64,
+    /// Baskets ingested through the server.
+    ingested_baskets: AtomicU64,
+    /// Epoch of the most recent snapshot served to any query.
+    last_served_epoch: AtomicU64,
+    /// Recent request latencies.
+    ring: Mutex<Ring>,
+}
+
+/// A point-in-time copy of every counter, plus derived percentiles.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Requests handled.
+    pub requests: u64,
+    /// Requests answered with an error.
+    pub errors: u64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Baskets ingested through the server.
+    pub ingested_baskets: u64,
+    /// Epoch of the most recent snapshot served.
+    pub last_served_epoch: u64,
+    /// Median request latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: u64,
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        ServerMetrics::new()
+    }
+}
+
+impl ServerMetrics {
+    /// Fresh zeroed metrics.
+    pub fn new() -> Self {
+        ServerMetrics {
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            ingested_baskets: AtomicU64::new(0),
+            last_served_epoch: AtomicU64::new(0),
+            ring: Mutex::new(Ring {
+                samples: vec![0; RING_CAPACITY],
+                next: 0,
+                filled: false,
+            }),
+        }
+    }
+
+    /// Records one handled request: its latency and whether it failed.
+    pub fn record_request(&self, latency: Duration, failed: bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if failed {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let micros = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        let mut ring = lock(&self.ring);
+        let next = ring.next;
+        ring.samples[next] = micros;
+        ring.next = (next + 1) % RING_CAPACITY;
+        if ring.next == 0 {
+            ring.filled = true;
+        }
+    }
+
+    /// Records one accepted connection.
+    pub fn record_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` baskets ingested.
+    pub fn record_ingest(&self, n: u64) {
+        self.ingested_baskets.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records the epoch a query was served at (monotonic max).
+    pub fn record_served_epoch(&self, epoch: u64) {
+        self.last_served_epoch.fetch_max(epoch, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter plus p50/p99 latency.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let (p50_us, p99_us) = {
+            let ring = lock(&self.ring);
+            let len = if ring.filled {
+                RING_CAPACITY
+            } else {
+                ring.next
+            };
+            if len == 0 {
+                (0, 0)
+            } else {
+                let mut sorted = ring.samples[..len].to_vec();
+                sorted.sort_unstable();
+                (percentile(&sorted, 50), percentile(&sorted, 99))
+            }
+        };
+        MetricsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            ingested_baskets: self.ingested_baskets.load(Ordering::Relaxed),
+            last_served_epoch: self.last_served_epoch.load(Ordering::Relaxed),
+            p50_us,
+            p99_us,
+        }
+    }
+}
+
+/// The `q`-th percentile of a sorted non-empty slice, nearest-rank with
+/// integer arithmetic only.
+fn percentile(sorted: &[u64], q: usize) -> u64 {
+    let idx = ((sorted.len() - 1) * q) / 100;
+    sorted[idx]
+}
+
+/// Acquires a mutex, recovering from poisoning (the ring holds plain
+/// integers; any state is valid).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = ServerMetrics::new();
+        m.record_connection();
+        m.record_request(Duration::from_micros(100), false);
+        m.record_request(Duration::from_micros(300), true);
+        m.record_ingest(7);
+        m.record_served_epoch(5);
+        m.record_served_epoch(3); // must not regress
+        let snap = m.snapshot();
+        assert_eq!(snap.requests, 2);
+        assert_eq!(snap.errors, 1);
+        assert_eq!(snap.connections, 1);
+        assert_eq!(snap.ingested_baskets, 7);
+        assert_eq!(snap.last_served_epoch, 5);
+    }
+
+    #[test]
+    fn percentiles_on_known_distribution() {
+        let m = ServerMetrics::new();
+        // 1..=100 microseconds, one sample each.
+        for us in 1..=100u64 {
+            m.record_request(Duration::from_micros(us), false);
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.p50_us, 50);
+        assert_eq!(snap.p99_us, 99);
+    }
+
+    #[test]
+    fn ring_wraps_and_keeps_recent_samples() {
+        let m = ServerMetrics::new();
+        for _ in 0..RING_CAPACITY {
+            m.record_request(Duration::from_micros(1), false);
+        }
+        // Overwrite the whole ring with slower samples.
+        for _ in 0..RING_CAPACITY {
+            m.record_request(Duration::from_micros(1000), false);
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.p50_us, 1000);
+        assert_eq!(snap.requests, 2 * RING_CAPACITY as u64);
+    }
+
+    #[test]
+    fn empty_ring_reports_zero() {
+        let snap = ServerMetrics::new().snapshot();
+        assert_eq!(snap.p50_us, 0);
+        assert_eq!(snap.p99_us, 0);
+    }
+}

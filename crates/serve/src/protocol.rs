@@ -1,0 +1,325 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! Each request is one JSON object on one line; each response is one JSON
+//! object on one line. Requests carry a `"cmd"` discriminator and an
+//! optional client-chosen `"id"` that is echoed back verbatim, so clients
+//! may pipeline. Responses always carry `"ok"` — `true` with a payload or
+//! `false` with an `"error"` string. Itemsets travel as arrays of item
+//! ids; cells as presence bitmasks in sorted-itemset order.
+//!
+//! The protocol is versioned by the [`HELLO`] banner the server sends on
+//! connect; golden-file fixtures under `tests/fixtures/` pin the exact
+//! bytes of every response shape.
+
+use bmb_basket::Itemset;
+use bmb_core::{Chi2Answer, EngineError, InterestAnswer};
+use bmb_core::{MiningResult, PairCorrelation};
+
+use crate::json::{parse, Value};
+
+/// Protocol banner sent as the first line of every connection.
+pub const HELLO: &str = r#"{"proto":"bmb/1","ok":true}"#;
+
+/// One decoded request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Chi-squared verdict for one itemset.
+    Chi2 {
+        /// Item ids (any order; canonicalized server-side).
+        items: Vec<u32>,
+    },
+    /// Batched chi-squared over one snapshot: all answers share an epoch.
+    Chi2Batch {
+        /// The itemsets to test.
+        itemsets: Vec<Vec<u32>>,
+    },
+    /// Interest of one contingency-table cell.
+    Interest {
+        /// Item ids.
+        items: Vec<u32>,
+        /// Cell mask (bit `j` = `j`-th smallest item present).
+        cell: u32,
+    },
+    /// The `k` most correlated pairs.
+    TopK {
+        /// How many pairs.
+        k: usize,
+    },
+    /// The border of minimal correlated itemsets (runs the batch miner).
+    Border {
+        /// Cell support threshold as a fraction of baskets (default 1%).
+        support: Option<f64>,
+        /// Fraction of cells that must clear the threshold (default 0.3).
+        support_fraction: Option<f64>,
+        /// Itemset-size cap (default none).
+        max_level: Option<usize>,
+    },
+    /// Appends baskets; answers with the new epoch.
+    Ingest {
+        /// The baskets, as arrays of item ids.
+        baskets: Vec<Vec<u32>>,
+    },
+    /// Server and cache counters.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Graceful shutdown: drain in-flight queries, then exit.
+    Shutdown,
+}
+
+/// A request plus its optional client correlation id.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Envelope {
+    /// Echoed back in the response as `"id"`.
+    pub id: Option<i64>,
+    /// The decoded command.
+    pub request: Request,
+}
+
+/// Reads a `[[1,2],[3]]`-shaped array of itemsets.
+fn parse_id_lists(value: Option<&Value>, what: &str) -> Result<Vec<Vec<u32>>, String> {
+    let outer = value
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("'{what}' must be an array of item-id arrays"))?;
+    outer
+        .iter()
+        .map(|inner| parse_ids(Some(inner), what))
+        .collect()
+}
+
+/// Reads a `[1,2,3]`-shaped array of item ids.
+fn parse_ids(value: Option<&Value>, what: &str) -> Result<Vec<u32>, String> {
+    let items = value
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("'{what}' must be an array of item ids"))?;
+    items
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .and_then(|id| u32::try_from(id).ok())
+                .ok_or_else(|| format!("'{what}' entries must be item ids (u32)"))
+        })
+        .collect()
+}
+
+/// Decodes one request line.
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed JSON, a missing or
+/// unknown `"cmd"`, or ill-typed fields.
+pub fn parse_request(line: &str) -> Result<Envelope, String> {
+    let value = parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let id = value.get("id").and_then(Value::as_i64);
+    let cmd = value
+        .get("cmd")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing 'cmd'".to_string())?;
+    let request = match cmd {
+        "chi2" => Request::Chi2 {
+            items: parse_ids(value.get("items"), "items")?,
+        },
+        "chi2_batch" => Request::Chi2Batch {
+            itemsets: parse_id_lists(value.get("itemsets"), "itemsets")?,
+        },
+        "interest" => Request::Interest {
+            items: parse_ids(value.get("items"), "items")?,
+            cell: value
+                .get("cell")
+                .and_then(Value::as_u64)
+                .and_then(|c| u32::try_from(c).ok())
+                .ok_or_else(|| "'cell' must be a cell mask (u32)".to_string())?,
+        },
+        "topk" => Request::TopK {
+            k: value
+                .get("k")
+                .and_then(Value::as_u64)
+                .map(|k| k as usize)
+                .ok_or_else(|| "'k' must be a positive integer".to_string())?,
+        },
+        "border" => Request::Border {
+            support: value.get("support").and_then(Value::as_f64),
+            support_fraction: value.get("support_fraction").and_then(Value::as_f64),
+            max_level: value
+                .get("max_level")
+                .and_then(Value::as_u64)
+                .map(|m| m as usize),
+        },
+        "ingest" => Request::Ingest {
+            baskets: parse_id_lists(value.get("baskets"), "baskets")?,
+        },
+        "stats" => Request::Stats,
+        "ping" => Request::Ping,
+        "shutdown" => Request::Shutdown,
+        other => return Err(format!("unknown cmd '{other}'")),
+    };
+    Ok(Envelope { id, request })
+}
+
+/// Starts a success response, echoing `id` when present.
+pub fn ok_response(id: Option<i64>) -> Value {
+    let mut v = Value::object();
+    if let Some(id) = id {
+        v = v.with("id", Value::Int(id));
+    }
+    v.with("ok", Value::Bool(true))
+}
+
+/// A failure response with the echoed `id` and an error message.
+pub fn error_response(id: Option<i64>, message: &str) -> Value {
+    let mut v = Value::object();
+    if let Some(id) = id {
+        v = v.with("id", Value::Int(id));
+    }
+    v.with("ok", Value::Bool(false))
+        .with("error", Value::Str(message.to_string()))
+}
+
+/// An itemset as a JSON array of ids.
+pub fn itemset_value(set: &Itemset) -> Value {
+    Value::Array(set.items().iter().map(|i| Value::Int(i.0 as i64)).collect())
+}
+
+/// The payload fields of one chi-squared answer (shared by `chi2` and
+/// `chi2_batch` entries).
+pub fn chi2_value(answer: &Chi2Answer) -> Value {
+    Value::object()
+        .with("itemset", itemset_value(&answer.itemset))
+        .with("epoch", Value::Int(answer.epoch as i64))
+        .with("support", Value::Int(answer.support as i64))
+        .with("statistic", Value::float(answer.outcome.statistic))
+        .with("cutoff", Value::float(answer.outcome.cutoff))
+        .with("significant", Value::Bool(answer.outcome.significant))
+        .with("ln_p_value", Value::float(answer.outcome.ln_p_value))
+}
+
+/// The payload fields of one interest answer.
+pub fn interest_value(answer: &InterestAnswer) -> Value {
+    Value::object()
+        .with("itemset", itemset_value(&answer.itemset))
+        .with("cell", Value::Int(answer.cell as i64))
+        .with("epoch", Value::Int(answer.epoch as i64))
+        .with("observed", Value::Int(answer.observed as i64))
+        .with("expected", Value::float(answer.expected))
+        .with("interest", Value::float(answer.interest))
+}
+
+/// One ranked pair row of a `topk` response.
+pub fn pair_value(pair: &PairCorrelation) -> Value {
+    Value::object()
+        .with("a", Value::Int(pair.a.0 as i64))
+        .with("b", Value::Int(pair.b.0 as i64))
+        .with("statistic", Value::float(pair.chi2.statistic))
+        .with("significant", Value::Bool(pair.chi2.significant))
+        .with(
+            "interests",
+            Value::Array(pair.interests.iter().map(|&i| Value::float(i)).collect()),
+        )
+}
+
+/// The payload of a `border` response: the minimal correlated itemsets
+/// plus the thresholds the miner resolved.
+pub fn border_value(result: &MiningResult, epoch: u64) -> Value {
+    Value::object()
+        .with("epoch", Value::Int(epoch as i64))
+        .with("support_count", Value::Int(result.support_count as i64))
+        .with("chi2_cutoff", Value::float(result.chi2_cutoff))
+        .with(
+            "significant",
+            Value::Array(
+                result
+                    .significant
+                    .iter()
+                    .map(|rule| {
+                        Value::object()
+                            .with("itemset", itemset_value(&rule.itemset))
+                            .with("statistic", Value::float(rule.chi2.statistic))
+                            .with("support_cells", Value::Int(rule.support_cells as i64))
+                    })
+                    .collect(),
+            ),
+        )
+}
+
+/// Renders an engine error for the wire.
+pub fn engine_error_message(err: &EngineError) -> String {
+    err.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_command() {
+        let cases: Vec<(&str, Request)> = vec![
+            (
+                r#"{"id":1,"cmd":"chi2","items":[7,2]}"#,
+                Request::Chi2 { items: vec![7, 2] },
+            ),
+            (
+                r#"{"cmd":"chi2_batch","itemsets":[[0,1],[2]]}"#,
+                Request::Chi2Batch {
+                    itemsets: vec![vec![0, 1], vec![2]],
+                },
+            ),
+            (
+                r#"{"cmd":"interest","items":[2,7],"cell":3}"#,
+                Request::Interest {
+                    items: vec![2, 7],
+                    cell: 3,
+                },
+            ),
+            (r#"{"cmd":"topk","k":5}"#, Request::TopK { k: 5 }),
+            (
+                r#"{"cmd":"border","support":0.25,"max_level":3}"#,
+                Request::Border {
+                    support: Some(0.25),
+                    support_fraction: None,
+                    max_level: Some(3),
+                },
+            ),
+            (
+                r#"{"cmd":"ingest","baskets":[[0,1],[2]]}"#,
+                Request::Ingest {
+                    baskets: vec![vec![0, 1], vec![2]],
+                },
+            ),
+            (r#"{"cmd":"stats"}"#, Request::Stats),
+            (r#"{"cmd":"ping"}"#, Request::Ping),
+            (r#"{"cmd":"shutdown"}"#, Request::Shutdown),
+        ];
+        for (line, expect) in cases {
+            let envelope = parse_request(line).unwrap();
+            assert_eq!(envelope.request, expect, "for {line}");
+        }
+        assert_eq!(
+            parse_request(r#"{"id":1,"cmd":"ping"}"#).unwrap().id,
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            "not json",
+            r#"{"cmd":"warp"}"#,
+            r#"{"items":[1]}"#,
+            r#"{"cmd":"chi2","items":[-1]}"#,
+            r#"{"cmd":"chi2","items":"nope"}"#,
+            r#"{"cmd":"topk","k":-3}"#,
+            r#"{"cmd":"interest","items":[1],"cell":1.5}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn responses_echo_ids_and_are_single_line() {
+        let ok = ok_response(Some(42)).with("pong", Value::Bool(true));
+        assert_eq!(ok.to_string(), r#"{"id":42,"ok":true,"pong":true}"#);
+        let err = error_response(None, "bad");
+        assert_eq!(err.to_string(), r#"{"ok":false,"error":"bad"}"#);
+        assert!(!ok.to_string().contains('\n'));
+    }
+}

@@ -1,0 +1,444 @@
+//! The TCP front end: accept loop, bounded worker pool, graceful shutdown.
+//!
+//! Connections are accepted on one thread and handed to a fixed pool of
+//! worker threads over a bounded queue (thread-per-connection semantics
+//! with a hard concurrency cap — the paper-era simplicity of blocking
+//! `std::net`, no async runtime). Each connection speaks the
+//! line-delimited JSON protocol of [`crate::protocol`].
+//!
+//! Shutdown is cooperative: a [`ShutdownHandle`] (or the `shutdown`
+//! command) raises a flag and pokes the acceptor awake with a self-
+//! connect; workers notice via short read timeouts, finish the request
+//! they are executing — in-flight queries drain, nothing is aborted —
+//! send its response, and exit. `run` then joins every thread.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Receiver;
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use bmb_basket::{ItemId, Itemset};
+use bmb_core::{MinerConfig, QueryEngine, SupportSpec};
+
+use crate::json::Value;
+use crate::metrics::ServerMetrics;
+use crate::protocol::{
+    border_value, chi2_value, error_response, interest_value, ok_response, pair_value,
+    parse_request, Request, HELLO,
+};
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads (each owns one connection at a time).
+    pub workers: usize,
+    /// Accepted connections that may wait for a free worker.
+    pub backlog: usize,
+    /// How often blocked reads wake up to check the shutdown flag.
+    pub poll_interval: Duration,
+    /// A connection sending a longer line than this is dropped.
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            backlog: 64,
+            poll_interval: Duration::from_millis(50),
+            max_line_bytes: 16 << 20,
+        }
+    }
+}
+
+/// Remote control for a running server: raise the shutdown flag and wake
+/// the acceptor. Cloneable and sendable across threads.
+#[derive(Clone, Debug)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Requests shutdown; idempotent. Returns once the flag is raised
+    /// (not once the server has exited — join the server thread for that).
+    pub fn shutdown(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        // Wake the acceptor out of its blocking accept.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// A bound server, ready to [`Server::run`].
+pub struct Server {
+    engine: Arc<QueryEngine>,
+    metrics: Arc<ServerMetrics>,
+    config: ServerConfig,
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    flag: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the listening socket (resolving port 0 to a real port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn bind(engine: Arc<QueryEngine>, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Server {
+            engine,
+            metrics: Arc::new(ServerMetrics::new()),
+            config,
+            listener,
+            local_addr,
+            flag: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (with the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The server's metrics (shared; live while the server runs).
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// A handle that can stop this server from any thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            flag: Arc::clone(&self.flag),
+            addr: self.local_addr,
+        }
+    }
+
+    /// Serves until shutdown is requested, then drains and returns.
+    ///
+    /// Blocks the calling thread; spawn it on a `std::thread` (as
+    /// [`Server::spawn`] does) to serve in the background.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop I/O failures other than per-connection ones
+    /// (a failing connection is dropped, not fatal).
+    pub fn run(self) -> io::Result<()> {
+        let shutdown = self.shutdown_handle();
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(self.config.backlog.max(1));
+        let rx = Mutex::new(rx);
+        let workers = self.config.workers.max(1);
+        let result = crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                let ctx = ConnectionContext {
+                    engine: &self.engine,
+                    metrics: &self.metrics,
+                    shutdown: shutdown.clone(),
+                    config: &self.config,
+                };
+                let rx = &rx;
+                scope.spawn(move |_| worker_loop(rx, ctx));
+            }
+            // Acceptor: hand connections to the pool until shutdown.
+            loop {
+                if shutdown.is_shutdown() {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        if shutdown.is_shutdown() {
+                            break; // The wake-up self-connect lands here.
+                        }
+                        self.metrics.record_connection();
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        if shutdown.is_shutdown() {
+                            break;
+                        }
+                    }
+                }
+            }
+            drop(tx); // Workers drain queued connections, then exit.
+        });
+        if result.is_err() {
+            return Err(io::Error::other("a server worker panicked"));
+        }
+        Ok(())
+    }
+
+    /// Runs the server on a background thread; returns a handle carrying
+    /// the address, shutdown control, and the join handle.
+    pub fn spawn(self) -> RunningServer {
+        let addr = self.local_addr;
+        let shutdown = self.shutdown_handle();
+        let metrics = self.metrics();
+        let thread = std::thread::spawn(move || self.run());
+        RunningServer {
+            addr,
+            shutdown,
+            metrics,
+            thread,
+        }
+    }
+}
+
+/// A server running on a background thread.
+pub struct RunningServer {
+    /// The bound address.
+    pub addr: SocketAddr,
+    /// Shutdown control.
+    pub shutdown: ShutdownHandle,
+    /// Live metrics.
+    pub metrics: Arc<ServerMetrics>,
+    thread: std::thread::JoinHandle<io::Result<()>>,
+}
+
+impl RunningServer {
+    /// Requests shutdown and waits for the server to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the run loop's I/O error, or a generic error if the
+    /// server thread panicked.
+    pub fn stop(self) -> io::Result<()> {
+        self.shutdown.shutdown();
+        match self.thread.join() {
+            Ok(result) => result,
+            Err(_) => Err(io::Error::other("server thread panicked")),
+        }
+    }
+}
+
+/// Everything a worker needs to speak to one client.
+struct ConnectionContext<'a> {
+    engine: &'a Arc<QueryEngine>,
+    metrics: &'a Arc<ServerMetrics>,
+    shutdown: ShutdownHandle,
+    config: &'a ServerConfig,
+}
+
+/// Pulls connections off the queue until the acceptor hangs up.
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, ctx: ConnectionContext<'_>) {
+    loop {
+        // Hold the receiver lock across recv: idle workers queue on the
+        // mutex, which is equivalent to queueing on the channel.
+        let stream = match lock(rx).recv() {
+            Ok(stream) => stream,
+            Err(_) => return,
+        };
+        let _ = handle_connection(stream, &ctx);
+    }
+}
+
+/// Speaks the protocol over one connection until EOF, error, overlong
+/// line, or shutdown.
+fn handle_connection(mut stream: TcpStream, ctx: &ConnectionContext<'_>) -> io::Result<()> {
+    // Responses are single small writes; Nagle + delayed ACK would add
+    // ~40ms to every request on loopback.
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(ctx.config.poll_interval))?;
+    stream.write_all(HELLO.as_bytes())?;
+    stream.write_all(b"\n")?;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Drain every complete line already buffered.
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line_bytes: Vec<u8> = buf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line_bytes[..line_bytes.len() - 1]);
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let (response, stop) = handle_line(trimmed, ctx);
+            stream.write_all(response.to_string().as_bytes())?;
+            stream.write_all(b"\n")?;
+            if stop {
+                ctx.shutdown.shutdown();
+                return Ok(());
+            }
+        }
+        if ctx.shutdown.is_shutdown() {
+            // Graceful: everything already read got its response above.
+            return Ok(());
+        }
+        if buf.len() > ctx.config.max_line_bytes {
+            let err = error_response(None, "request line too long");
+            stream.write_all(err.to_string().as_bytes())?;
+            stream.write_all(b"\n")?;
+            return Ok(());
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(()), // client closed
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                continue; // timeout tick: loop re-checks the shutdown flag
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Handles one request line; returns the response and whether the server
+/// should shut down afterwards.
+fn handle_line(line: &str, ctx: &ConnectionContext<'_>) -> (Value, bool) {
+    let start = Instant::now();
+    let (id, outcome, stop) = match parse_request(line) {
+        Err(message) => (None, Err(message), false),
+        Ok(envelope) => {
+            let stop = envelope.request == Request::Shutdown;
+            let outcome = dispatch(envelope.request, ctx);
+            (envelope.id, outcome, stop)
+        }
+    };
+    let failed = outcome.is_err();
+    let response = match outcome {
+        Ok(payload) => ok_response(id).with("result", payload),
+        Err(message) => error_response(id, &message),
+    };
+    ctx.metrics.record_request(start.elapsed(), failed);
+    (response, stop)
+}
+
+/// Executes one decoded request against the engine.
+fn dispatch(request: Request, ctx: &ConnectionContext<'_>) -> Result<Value, String> {
+    let engine = ctx.engine;
+    match request {
+        Request::Ping => Ok(Value::object().with("pong", Value::Bool(true))),
+        Request::Shutdown => Ok(Value::object().with("stopping", Value::Bool(true))),
+        Request::Chi2 { items } => {
+            let snap = engine.snapshot();
+            ctx.metrics.record_served_epoch(snap.epoch());
+            let set = Itemset::from_ids(items);
+            let answer = engine.chi2(&snap, &set).map_err(|e| e.to_string())?;
+            Ok(chi2_value(&answer))
+        }
+        Request::Chi2Batch { itemsets } => {
+            // One snapshot for the whole batch: every answer shares an epoch.
+            let snap = engine.snapshot();
+            ctx.metrics.record_served_epoch(snap.epoch());
+            let sets: Vec<Itemset> = itemsets.into_iter().map(Itemset::from_ids).collect();
+            let results: Vec<Value> = engine
+                .chi2_batch(&snap, &sets)
+                .iter()
+                .map(|r| match r {
+                    Ok(answer) => chi2_value(answer),
+                    Err(e) => Value::object().with("error", Value::Str(e.to_string())),
+                })
+                .collect();
+            Ok(Value::object()
+                .with("epoch", Value::Int(snap.epoch() as i64))
+                .with("results", Value::Array(results)))
+        }
+        Request::Interest { items, cell } => {
+            let snap = engine.snapshot();
+            ctx.metrics.record_served_epoch(snap.epoch());
+            let set = Itemset::from_ids(items);
+            let answer = engine
+                .interest(&snap, &set, cell)
+                .map_err(|e| e.to_string())?;
+            Ok(interest_value(&answer))
+        }
+        Request::TopK { k } => {
+            let snap = engine.snapshot();
+            ctx.metrics.record_served_epoch(snap.epoch());
+            let pairs = engine.topk_pairs(&snap, k).map_err(|e| e.to_string())?;
+            Ok(Value::object()
+                .with("epoch", Value::Int(snap.epoch() as i64))
+                .with(
+                    "pairs",
+                    Value::Array(pairs.iter().map(pair_value).collect()),
+                ))
+        }
+        Request::Border {
+            support,
+            support_fraction,
+            max_level,
+        } => {
+            let support = support.unwrap_or(0.01);
+            if !(0.0..=1.0).contains(&support) {
+                return Err(format!("'support' must be in [0,1], got {support}"));
+            }
+            let fraction = support_fraction.unwrap_or(0.3);
+            if !(fraction > 0.25 && fraction <= 1.0) {
+                return Err(format!(
+                    "'support_fraction' must be in (0.25,1], got {fraction}"
+                ));
+            }
+            let config = MinerConfig {
+                support: SupportSpec::Fraction(support),
+                support_fraction: fraction,
+                max_level: max_level.unwrap_or(usize::MAX),
+                ..MinerConfig::default()
+            };
+            let snap = engine.snapshot();
+            ctx.metrics.record_served_epoch(snap.epoch());
+            let result = engine.border(&snap, &config).map_err(|e| e.to_string())?;
+            Ok(border_value(&result, snap.epoch()))
+        }
+        Request::Ingest { baskets } => {
+            let n = baskets.len() as u64;
+            let epoch = engine
+                .store()
+                .append_batch(
+                    baskets
+                        .into_iter()
+                        .map(|b| b.into_iter().map(ItemId).collect::<Vec<_>>()),
+                )
+                .map_err(|e| e.to_string())?;
+            ctx.metrics.record_ingest(n);
+            Ok(Value::object()
+                .with("ingested", Value::Int(n as i64))
+                .with("epoch", Value::Int(epoch as i64)))
+        }
+        Request::Stats => {
+            let metrics = ctx.metrics.snapshot();
+            let cache = engine.cache_stats();
+            let store_epoch = engine.store().epoch();
+            let lag = store_epoch.saturating_sub(metrics.last_served_epoch);
+            Ok(Value::object()
+                .with("requests", Value::Int(metrics.requests as i64))
+                .with("errors", Value::Int(metrics.errors as i64))
+                .with("connections", Value::Int(metrics.connections as i64))
+                .with(
+                    "ingested_baskets",
+                    Value::Int(metrics.ingested_baskets as i64),
+                )
+                .with("epoch", Value::Int(store_epoch as i64))
+                .with("ingest_lag", Value::Int(lag as i64))
+                .with("table_hits", Value::Int(cache.table_hits as i64))
+                .with("table_misses", Value::Int(cache.table_misses as i64))
+                .with("segment_hits", Value::Int(cache.segment_hits as i64))
+                .with("segment_misses", Value::Int(cache.segment_misses as i64))
+                .with("table_hit_rate", Value::float(cache.table_hit_rate()))
+                .with("p50_us", Value::Int(metrics.p50_us as i64))
+                .with("p99_us", Value::Int(metrics.p99_us as i64)))
+        }
+    }
+}
+
+/// Acquires a mutex, recovering from poisoning (worker state is a plain
+/// channel receiver; any state is valid).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}

@@ -1,0 +1,135 @@
+//! Golden-file regression for the wire protocol.
+//!
+//! A fixed request script (`tests/fixtures/golden_requests.jsonl`) is
+//! replayed through a real server on an ephemeral port over a fixed
+//! 10-basket store; every response line must match
+//! `tests/fixtures/golden_responses.jsonl` byte-for-byte. All arithmetic
+//! behind the responses is deterministic (integer counts, IEEE f64, our
+//! own chi-squared quantiles), so the fixture is stable across runs and
+//! platforms.
+//!
+//! To regenerate after an intentional protocol change:
+//! `BMB_UPDATE_GOLDEN=1 cargo test -p bmb-serve --test golden_protocol`
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use bmb_basket::{IncrementalStore, StoreConfig};
+use bmb_core::{EngineConfig, QueryEngine};
+use bmb_serve::{Client, Server, ServerConfig};
+
+/// The fixed store every golden run queries: 10 baskets over 4 items,
+/// split across segments (capacity 4) so the segmented path is exercised.
+fn golden_store() -> Arc<IncrementalStore> {
+    let store = Arc::new(IncrementalStore::new(
+        4,
+        StoreConfig {
+            segment_capacity: 4,
+        },
+    ));
+    let baskets: [&[u32]; 10] = [
+        &[0, 1],
+        &[0, 1, 2],
+        &[2],
+        &[0, 1],
+        &[1, 2, 3],
+        &[0],
+        &[0, 1, 2, 3],
+        &[3],
+        &[1],
+        &[0, 1],
+    ];
+    for basket in baskets {
+        store
+            .append_ids(basket.iter().copied())
+            .expect("ids in range");
+    }
+    store
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn responses_match_golden_fixture_byte_for_byte() {
+    let requests = std::fs::read_to_string(fixture_path("golden_requests.jsonl"))
+        .expect("request fixture present");
+    let engine = Arc::new(QueryEngine::new(golden_store(), EngineConfig::default()));
+    let server = Server::bind(engine, ServerConfig::default()).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let running = server.spawn();
+    let mut client = Client::connect(addr).expect("connect");
+
+    let mut responses = Vec::new();
+    for line in requests.lines() {
+        if line.trim().is_empty() || line.starts_with('#') {
+            continue;
+        }
+        responses.push(client.request_line(line).expect("response line"));
+    }
+    running.stop().expect("clean shutdown");
+    let actual = responses.join("\n") + "\n";
+
+    let path = fixture_path("golden_responses.jsonl");
+    if std::env::var_os("BMB_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .expect("response fixture present (regenerate with BMB_UPDATE_GOLDEN=1)");
+    for (i, (want, got)) in expected.lines().zip(actual.lines()).enumerate() {
+        assert_eq!(want, got, "response {i} diverged from the golden file");
+    }
+    assert_eq!(
+        expected.lines().count(),
+        actual.lines().count(),
+        "response count diverged from the golden file"
+    );
+}
+
+#[test]
+fn stats_shape_is_stable_even_if_values_are_not() {
+    use bmb_serve::json::{parse, Value};
+
+    let engine = Arc::new(QueryEngine::new(golden_store(), EngineConfig::default()));
+    let server = Server::bind(engine, ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let running = server.spawn();
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .request(&parse(r#"{"cmd":"chi2","items":[0,1]}"#).expect("literal"))
+        .expect("warm one query");
+    let stats = client
+        .request(&parse(r#"{"cmd":"stats"}"#).expect("literal"))
+        .expect("stats");
+    // Values vary with timing; the field set and basic sanity must not.
+    for key in [
+        "requests",
+        "errors",
+        "connections",
+        "ingested_baskets",
+        "epoch",
+        "ingest_lag",
+        "table_hits",
+        "table_misses",
+        "segment_hits",
+        "segment_misses",
+        "p50_us",
+        "p99_us",
+    ] {
+        assert!(
+            stats.get(key).and_then(Value::as_i64).is_some(),
+            "stats missing integer field {key}: {stats}"
+        );
+    }
+    assert!(stats
+        .get("table_hit_rate")
+        .and_then(Value::as_f64)
+        .is_some());
+    assert_eq!(stats.get("epoch").and_then(Value::as_u64), Some(10));
+    assert_eq!(stats.get("ingest_lag").and_then(Value::as_u64), Some(0));
+    running.stop().expect("clean shutdown");
+}

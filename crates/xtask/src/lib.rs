@@ -32,17 +32,17 @@ pub use report::{render, Finding, Lint};
 
 /// Crates whose `src/` must be panic-free (library crates).
 pub const LIBRARY_CRATES: &[&str] = &[
-    "basket", "stats", "lattice", "apriori", "quest", "sampling", "datasets", "core",
+    "basket", "stats", "lattice", "apriori", "quest", "sampling", "datasets", "core", "serve",
 ];
 
 /// Crates where even `lint:allow(panic)` is rejected.
 pub const STRICT_CRATES: &[&str] = &["basket", "stats"];
 
 /// Crates whose statistical hot paths get the float-discipline pass.
-pub const FLOAT_CRATES: &[&str] = &["stats", "core", "sampling"];
+pub const FLOAT_CRATES: &[&str] = &["stats", "core", "sampling", "serve"];
 
 /// Crates that must document every public item.
-pub const DOC_CRATES: &[&str] = &["stats", "core"];
+pub const DOC_CRATES: &[&str] = &["stats", "core", "serve"];
 
 /// Which passes to run; all on by default.
 #[derive(Clone, Copy, Debug)]

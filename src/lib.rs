@@ -11,7 +11,8 @@
 //! * [`corr`] — the `x²-support` correlation miner (the paper's core);
 //! * [`apriori`] — the support-confidence baseline;
 //! * [`quest`] — the IBM Quest synthetic data generator;
-//! * [`datasets`] — census/text/toy workload simulators.
+//! * [`datasets`] — census/text/toy workload simulators;
+//! * [`serve`] — the long-running correlation-query server.
 //!
 //! ## Quickstart
 //!
@@ -33,6 +34,7 @@ pub use bmb_datasets as datasets;
 pub use bmb_lattice as lattice;
 pub use bmb_quest as quest;
 pub use bmb_sampling as sampling;
+pub use bmb_serve as serve;
 pub use bmb_stats as stats;
 
 /// The most commonly used items, importable in one line.
