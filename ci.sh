@@ -17,6 +17,11 @@ cargo run -q -p bmb-xtask -- lint
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> WAL crash-recovery torture (bounded)"
+# Randomized fault-point sweep over the write-ahead log; must finish
+# well inside a minute or the gate fails.
+timeout 60 cargo test -q --release -p bmb-core --test wal_torture
+
 echo "==> server smoke test"
 ./scripts/serve_smoke.sh
 

@@ -22,19 +22,36 @@
 //! * [`categorical`] — the multinomial (non-binary) extension;
 //! * [`io`] — a plain-text basket interchange format;
 //! * [`segment`] — append-only ingest with sealed segments and epoch
-//!   snapshots, the substrate of the serving layer.
+//!   snapshots, the substrate of the serving layer;
+//! * [`storage`] — pluggable byte-log backends (real file, in-memory,
+//!   deterministic fault injection);
+//! * [`wal`] — a checksummed write-ahead log and [`DurableStore`], the
+//!   crash-safe wrapper around [`IncrementalStore`].
 
 #![warn(missing_docs)]
 
+/// Fixed-width bitmaps and the vertical (per-item) basket index.
 pub mod bitmap;
+/// Multinomial (non-binary) attributes generalized from presence/absence.
 pub mod categorical;
+/// Dense and sparse presence/absence contingency tables.
 pub mod contingency;
+/// Interchangeable support-counting strategies (scan vs bitmap).
 pub mod counts;
+/// The basket database `B` with online per-item counts.
 pub mod database;
+/// Plain-text basket interchange format (read/write).
 pub mod io;
+/// Dense item identifiers and optional name interning.
 pub mod item;
+/// Canonical sorted itemsets and subset enumeration.
 pub mod itemset;
+/// Append-only ingest with sealed segments and epoch snapshots.
 pub mod segment;
+/// Pluggable byte-log backends: real file, in-memory, fault injection.
+pub mod storage;
+/// Checksummed write-ahead log and the crash-safe [`DurableStore`].
+pub mod wal;
 
 pub use bitmap::{Bitmap, BitmapIndex};
 pub use contingency::{
@@ -45,3 +62,5 @@ pub use database::BasketDatabase;
 pub use item::{ItemCatalog, ItemId};
 pub use itemset::Itemset;
 pub use segment::{IncrementalStore, ItemOutOfRange, Segment, Snapshot, StoreConfig};
+pub use storage::{FaultPlan, FaultStorage, FileStorage, MemStorage, Storage};
+pub use wal::{DurableError, DurableStore, RecoveryReport, WalError};

@@ -1,0 +1,419 @@
+//! Pluggable byte-log storage for the write-ahead log.
+//!
+//! The WAL ([`crate::wal`]) is written against the [`Storage`] trait — an
+//! append-only byte log with an explicit durability barrier — so the same
+//! record format and recovery code runs over three backends:
+//!
+//! * [`FileStorage`] — a real file (`bmb serve --wal PATH`);
+//! * [`MemStorage`] — an in-memory buffer behind a shared handle, so a
+//!   test can "crash" a store (drop it) and re-open the surviving bytes;
+//! * [`FaultStorage`] — a [`MemStorage`] wrapped in a deterministic
+//!   [`FaultPlan`]: fail after N appended bytes (with the failing append
+//!   landing as a short, torn write), fail reads, and flip a byte at a
+//!   chosen offset. Every crash point a disk can produce is enumerable,
+//!   which is what the crash-recovery torture test iterates over.
+//!
+//! Fault semantics mirror real disks: a failed append may have persisted
+//! a *prefix* of the data (torn write), a failed sync leaves the tail in
+//! an unknown state, and corruption flips bits without changing length.
+//! Recovery must treat all of these as a damaged tail, never as damage to
+//! records whose sync was acknowledged.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// An append-only byte log with an explicit durability barrier.
+///
+/// Implementations must guarantee that once [`Storage::sync`] returns
+/// `Ok`, every previously appended byte survives a crash; bytes appended
+/// since the last successful sync may survive wholly, partially (a torn
+/// tail), or not at all.
+pub trait Storage: Send {
+    /// Appends `data` at the end of the log.
+    ///
+    /// # Errors
+    ///
+    /// On failure a *prefix* of `data` may have been persisted (a torn
+    /// write); callers must assume the tail is damaged.
+    fn append(&mut self, data: &[u8]) -> io::Result<()>;
+
+    /// Durability barrier: all previously appended bytes survive a crash
+    /// once this returns `Ok`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates media failures; the unsynced tail state is unknown.
+    fn sync(&mut self) -> io::Result<()>;
+
+    /// Current log length in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates media failures.
+    fn len(&mut self) -> io::Result<u64>;
+
+    /// Whether the log holds no bytes at all.
+    ///
+    /// # Errors
+    ///
+    /// Propagates media failures.
+    fn is_empty(&mut self) -> io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Reads the entire log (recovery replay).
+    ///
+    /// # Errors
+    ///
+    /// Propagates media failures.
+    fn read_all(&mut self) -> io::Result<Vec<u8>>;
+
+    /// Truncates the log to `len` bytes (recovery repair of a torn tail).
+    ///
+    /// # Errors
+    ///
+    /// Propagates media failures.
+    fn truncate(&mut self, len: u64) -> io::Result<()>;
+}
+
+/// A [`Storage`] over a real file.
+#[derive(Debug)]
+pub struct FileStorage {
+    file: File,
+}
+
+impl FileStorage {
+    /// Opens (creating if absent) the log file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates open failures.
+    pub fn open(path: &Path) -> io::Result<FileStorage> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        Ok(FileStorage { file })
+    }
+}
+
+impl Storage for FileStorage {
+    fn append(&mut self, data: &[u8]) -> io::Result<()> {
+        self.file.seek(SeekFrom::End(0))?;
+        self.file.write_all(data)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    fn len(&mut self) -> io::Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+
+    fn read_all(&mut self) -> io::Result<Vec<u8>> {
+        self.file.seek(SeekFrom::Start(0))?;
+        let mut buf = Vec::new();
+        self.file.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.file.set_len(len)
+    }
+}
+
+/// A shared in-memory byte buffer, so the bytes outlive the [`Storage`]
+/// handle that wrote them (simulating media that survives a crash).
+pub type SharedBytes = Arc<Mutex<Vec<u8>>>;
+
+/// An infallible in-memory [`Storage`] over a [`SharedBytes`] buffer.
+#[derive(Debug, Default)]
+pub struct MemStorage {
+    buf: SharedBytes,
+}
+
+impl MemStorage {
+    /// A fresh empty buffer.
+    pub fn new() -> MemStorage {
+        MemStorage::default()
+    }
+
+    /// A storage view over an existing buffer (e.g. bytes surviving a
+    /// simulated crash).
+    pub fn with_bytes(buf: SharedBytes) -> MemStorage {
+        MemStorage { buf }
+    }
+
+    /// The shared buffer handle; clone it before dropping the storage to
+    /// keep the "media" alive across a simulated crash.
+    pub fn bytes(&self) -> SharedBytes {
+        Arc::clone(&self.buf)
+    }
+}
+
+impl Storage for MemStorage {
+    fn append(&mut self, data: &[u8]) -> io::Result<()> {
+        lock(&self.buf).extend_from_slice(data);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn len(&mut self) -> io::Result<u64> {
+        Ok(lock(&self.buf).len() as u64)
+    }
+
+    fn read_all(&mut self) -> io::Result<Vec<u8>> {
+        Ok(lock(&self.buf).clone())
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        let mut buf = lock(&self.buf);
+        let len = usize::try_from(len).unwrap_or(usize::MAX);
+        if len < buf.len() {
+            buf.truncate(len);
+        }
+        Ok(())
+    }
+}
+
+/// A deterministic fault schedule for [`FaultStorage`].
+///
+/// All fields default to "no fault"; a torture test constructs one plan
+/// per enumerated crash point.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultPlan {
+    /// After this many appended bytes, appends fail. The failing append
+    /// persists only the bytes that fit under the budget (a torn write).
+    pub fail_after_bytes: Option<u64>,
+    /// When set, [`Storage::sync`] fails once the write budget is
+    /// exhausted (otherwise only appends fail).
+    pub fail_sync: bool,
+    /// Fail every [`Storage::read_all`] / [`Storage::len`] call.
+    pub fail_reads: bool,
+    /// After the write fault trips, XOR the byte at this offset with
+    /// 0xFF (a bit-flipped torn tail). Out-of-range offsets are ignored.
+    pub corrupt_at: Option<u64>,
+}
+
+/// A [`MemStorage`] that injects the faults of a [`FaultPlan`].
+///
+/// Faults are deterministic: the same plan over the same append sequence
+/// always damages the same byte of the same record.
+#[derive(Debug)]
+pub struct FaultStorage {
+    inner: MemStorage,
+    plan: FaultPlan,
+    written: u64,
+    /// Set once the write budget is exhausted; all later writes fail.
+    tripped: bool,
+}
+
+impl FaultStorage {
+    /// A faulty storage over a fresh buffer.
+    pub fn new(plan: FaultPlan) -> FaultStorage {
+        FaultStorage {
+            inner: MemStorage::new(),
+            plan,
+            written: 0,
+            tripped: false,
+        }
+    }
+
+    /// A faulty storage over existing bytes (fault injection on top of a
+    /// previous crash's survivors).
+    pub fn with_bytes(buf: SharedBytes, plan: FaultPlan) -> FaultStorage {
+        FaultStorage {
+            inner: MemStorage::with_bytes(buf),
+            plan,
+            written: 0,
+            tripped: false,
+        }
+    }
+
+    /// The shared buffer handle (the surviving "media").
+    pub fn bytes(&self) -> SharedBytes {
+        self.inner.bytes()
+    }
+
+    /// Whether the write fault has tripped.
+    pub fn is_tripped(&self) -> bool {
+        self.tripped
+    }
+
+    fn fault(&self, what: &str) -> io::Error {
+        io::Error::other(format!("injected fault: {what}"))
+    }
+
+    /// Applies the post-trip corruption, if planned.
+    fn corrupt(&mut self) {
+        if let Some(offset) = self.plan.corrupt_at {
+            let buf = self.inner.bytes();
+            let mut buf = lock(&buf);
+            if let Ok(idx) = usize::try_from(offset) {
+                if let Some(byte) = buf.get_mut(idx) {
+                    *byte ^= 0xFF;
+                }
+            }
+        }
+    }
+}
+
+impl Storage for FaultStorage {
+    fn append(&mut self, data: &[u8]) -> io::Result<()> {
+        if self.tripped {
+            return Err(self.fault("append after write fault"));
+        }
+        let budget = match self.plan.fail_after_bytes {
+            Some(limit) => limit.saturating_sub(self.written),
+            None => u64::MAX,
+        };
+        if (data.len() as u64) <= budget {
+            self.written += data.len() as u64;
+            return self.inner.append(data);
+        }
+        // Torn write: the prefix that fits under the budget lands, the
+        // rest is lost, and the fault trips.
+        let keep = usize::try_from(budget)
+            .unwrap_or(usize::MAX)
+            .min(data.len());
+        let _ = self.inner.append(&data[..keep]);
+        self.written += keep as u64;
+        self.tripped = true;
+        self.corrupt();
+        Err(self.fault("write budget exhausted"))
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        if self.tripped && self.plan.fail_sync {
+            return Err(self.fault("sync after write fault"));
+        }
+        self.inner.sync()
+    }
+
+    fn len(&mut self) -> io::Result<u64> {
+        if self.plan.fail_reads {
+            return Err(self.fault("len"));
+        }
+        self.inner.len()
+    }
+
+    fn read_all(&mut self) -> io::Result<Vec<u8>> {
+        if self.plan.fail_reads {
+            return Err(self.fault("read_all"));
+        }
+        self.inner.read_all()
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.inner.truncate(len)
+    }
+}
+
+/// Acquires a mutex, recovering from poisoning (the buffer is plain
+/// bytes; any state is valid).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_storage_round_trips() {
+        let mut s = MemStorage::new();
+        s.append(b"hello ").unwrap();
+        s.append(b"world").unwrap();
+        s.sync().unwrap();
+        assert_eq!(s.len().unwrap(), 11);
+        assert_eq!(s.read_all().unwrap(), b"hello world");
+        s.truncate(5).unwrap();
+        assert_eq!(s.read_all().unwrap(), b"hello");
+        // Truncating beyond the end is a no-op.
+        s.truncate(100).unwrap();
+        assert_eq!(s.len().unwrap(), 5);
+    }
+
+    #[test]
+    fn shared_bytes_survive_the_handle() {
+        let s = MemStorage::new();
+        let bytes = s.bytes();
+        {
+            let mut s = s;
+            s.append(b"durable").unwrap();
+        } // "crash": the storage handle is gone
+        let mut reopened = MemStorage::with_bytes(bytes);
+        assert_eq!(reopened.read_all().unwrap(), b"durable");
+    }
+
+    #[test]
+    fn file_storage_round_trips() {
+        let path = std::env::temp_dir().join(format!("bmb-storage-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut s = FileStorage::open(&path).unwrap();
+            s.append(b"abc").unwrap();
+            s.sync().unwrap();
+        }
+        {
+            let mut s = FileStorage::open(&path).unwrap();
+            assert_eq!(s.read_all().unwrap(), b"abc");
+            s.append(b"def").unwrap();
+            s.truncate(4).unwrap();
+            assert_eq!(s.read_all().unwrap(), b"abcd");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fault_storage_tears_the_failing_write() {
+        let mut s = FaultStorage::new(FaultPlan {
+            fail_after_bytes: Some(4),
+            ..FaultPlan::default()
+        });
+        s.append(b"ab").unwrap();
+        let err = s.append(b"cdef").unwrap_err();
+        assert!(err.to_string().contains("injected fault"), "{err}");
+        // Only the budgeted prefix landed.
+        assert_eq!(s.read_all().unwrap(), b"abcd");
+        assert!(s.is_tripped());
+        assert!(s.append(b"x").is_err());
+    }
+
+    #[test]
+    fn fault_storage_corrupts_after_trip() {
+        let mut s = FaultStorage::new(FaultPlan {
+            fail_after_bytes: Some(3),
+            corrupt_at: Some(1),
+            ..FaultPlan::default()
+        });
+        assert!(s.append(b"abcdef").is_err());
+        assert_eq!(s.read_all().unwrap(), [b'a', b'b' ^ 0xFF, b'c']);
+    }
+
+    #[test]
+    fn fault_storage_read_and_sync_faults() {
+        let mut s = FaultStorage::new(FaultPlan {
+            fail_reads: true,
+            ..FaultPlan::default()
+        });
+        assert!(s.read_all().is_err());
+        assert!(s.len().is_err());
+
+        let mut s = FaultStorage::new(FaultPlan {
+            fail_after_bytes: Some(0),
+            fail_sync: true,
+            ..FaultPlan::default()
+        });
+        assert!(s.append(b"a").is_err());
+        assert!(s.sync().is_err());
+    }
+}

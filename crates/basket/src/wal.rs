@@ -1,0 +1,737 @@
+//! Crash-safe durability: a checksummed write-ahead log for
+//! [`IncrementalStore`].
+//!
+//! # Format
+//!
+//! The log is a fixed 8-byte header (`b"BMBWAL1\n"`) followed by
+//! length-prefixed records:
+//!
+//! ```text
+//! record  := len:u32le  crc:u32le  payload[len]      (crc = CRC32 of payload)
+//! payload := 0x01  n:u32le  (m:u32le  id:u32le{m}){n}   — a basket batch
+//!          | 0x02  epoch:u64le                          — an epoch fence
+//! ```
+//!
+//! A basket-batch record is written (and synced) *before* the batch is
+//! applied to the in-memory store; an append is acknowledged only after
+//! the sync barrier, so every acknowledged basket is on durable media.
+//! An epoch fence is appended whenever ingest seals a segment: it pins
+//! the store epoch at a seal boundary, giving recovery a cross-check
+//! that replay reproduced the exact segment structure.
+//!
+//! # Recovery invariants
+//!
+//! [`DurableStore::open`] replays the log front to back and stops at the
+//! first record that is not provably intact: a truncated header, a
+//! length prefix pointing past the end of the file (torn write), a CRC
+//! mismatch (bit flip), or a fence naming an epoch the replayed store
+//! does not have (misordered damage). Everything before the damage is
+//! applied; the damaged tail is truncated away so the next append starts
+//! at a clean record boundary. Because acknowledged records were synced
+//! before damage could only accumulate *behind* them, stopping at the
+//! last valid record never loses an acknowledged append — the torture
+//! test in `tests/wal_torture.rs` enumerates several hundred randomized
+//! fault points to pin exactly that.
+
+use std::io;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use crate::item::ItemId;
+use crate::segment::{IncrementalStore, ItemOutOfRange, Snapshot, StoreConfig};
+use crate::storage::Storage;
+
+/// Magic bytes opening every WAL file (versioned).
+pub const WAL_MAGIC: &[u8; 8] = b"BMBWAL1\n";
+
+/// Record-kind byte for a basket batch.
+const KIND_BATCH: u8 = 0x01;
+/// Record-kind byte for an epoch fence.
+const KIND_FENCE: u8 = 0x02;
+
+/// Upper bound on a single record's payload; a length prefix beyond this
+/// is treated as tail damage rather than attempted as an allocation.
+const MAX_RECORD_BYTES: u32 = 1 << 28;
+
+/// The standard CRC-32 (IEEE 802.3, reflected) lookup table.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// A durability failure.
+#[derive(Debug)]
+pub enum WalError {
+    /// The storage backend failed.
+    Io(io::Error),
+    /// The file does not start with [`WAL_MAGIC`] — it is not a WAL (or
+    /// is a future version); refusing to replay protects foreign files.
+    NotAWal,
+    /// A *replayed* (intact, checksummed) record named an item outside
+    /// the store's item space: the log belongs to a different item
+    /// space, so replaying it would build the wrong store.
+    ItemSpaceMismatch(ItemOutOfRange),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal storage error: {e}"),
+            WalError::NotAWal => write!(f, "file is not a bmb WAL (bad magic)"),
+            WalError::ItemSpaceMismatch(e) => {
+                write!(f, "wal does not match the store's item space: {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<io::Error> for WalError {
+    fn from(e: io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// An error from a durable append.
+#[derive(Debug)]
+pub enum DurableError {
+    /// The WAL write or sync failed; nothing was acknowledged and the
+    /// in-memory store was not modified.
+    Wal(io::Error),
+    /// A basket named an item outside the item space; nothing was
+    /// logged or applied.
+    ItemOutOfRange(ItemOutOfRange),
+}
+
+impl std::fmt::Display for DurableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurableError::Wal(e) => write!(f, "append not durable: {e}"),
+            DurableError::ItemOutOfRange(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+/// What [`DurableStore::open`] found while replaying the log.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Intact records replayed (batches + fences).
+    pub records_replayed: u64,
+    /// Baskets reconstructed into the store.
+    pub baskets_recovered: u64,
+    /// Bytes of damaged tail truncated away.
+    pub truncated_bytes: u64,
+    /// The store epoch after replay.
+    pub epoch: u64,
+}
+
+/// Writer-side WAL state, guarded by one mutex so log order always
+/// matches store-apply order.
+struct WalInner {
+    storage: Box<dyn Storage>,
+    /// Set after a failed fence write: appends keep failing fast until
+    /// the storage recovers (it never does for a tripped fault backend).
+    degraded: bool,
+}
+
+impl WalInner {
+    /// Appends one framed record and runs the sync barrier.
+    fn append_record(&mut self, payload: &[u8]) -> io::Result<()> {
+        let mut framed = Vec::with_capacity(8 + payload.len());
+        framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&crc32(payload).to_le_bytes());
+        framed.extend_from_slice(payload);
+        self.storage.append(&framed)?;
+        self.storage.sync()
+    }
+}
+
+/// An [`IncrementalStore`] whose acknowledged appends survive a crash.
+///
+/// Reads go straight to the wrapped store (snapshots are untouched by
+/// durability); writes pass through the WAL first. See the module docs
+/// for the format and the recovery invariants.
+///
+/// # Examples
+///
+/// ```
+/// use bmb_basket::storage::MemStorage;
+/// use bmb_basket::wal::DurableStore;
+/// use bmb_basket::{Itemset, StoreConfig};
+///
+/// let media = MemStorage::new();
+/// let bytes = media.bytes();
+/// let (store, _) =
+///     DurableStore::open(Box::new(media), 3, StoreConfig::default()).unwrap();
+/// store.append_ids([0, 1]).unwrap();
+/// store.append_ids([1, 2]).unwrap();
+/// drop(store); // crash
+///
+/// let reopened = MemStorage::with_bytes(bytes);
+/// let (store, report) =
+///     DurableStore::open(Box::new(reopened), 3, StoreConfig::default()).unwrap();
+/// assert_eq!(report.epoch, 2);
+/// assert_eq!(store.snapshot().support(Itemset::from_ids([1]).items()), 2);
+/// ```
+pub struct DurableStore {
+    store: Arc<IncrementalStore>,
+    segment_capacity: usize,
+    wal: Mutex<WalInner>,
+}
+
+impl std::fmt::Debug for DurableStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableStore")
+            .field("store", &self.store)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DurableStore {
+    /// Opens a durable store over `storage`, replaying any existing log.
+    ///
+    /// An empty log gets the [`WAL_MAGIC`] header written; a non-empty
+    /// log is replayed up to the last intact record and its damaged tail
+    /// (if any) is truncated away.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] on storage failures, [`WalError::NotAWal`] when
+    /// the bytes are not a v1 WAL, and [`WalError::ItemSpaceMismatch`]
+    /// when an intact record names an out-of-range item.
+    pub fn open(
+        mut storage: Box<dyn Storage>,
+        n_items: usize,
+        config: StoreConfig,
+    ) -> Result<(DurableStore, RecoveryReport), WalError> {
+        config.validate();
+        let bytes = storage.read_all()?;
+        let store = IncrementalStore::new(n_items, config);
+        let mut report = RecoveryReport::default();
+
+        let valid_end = if bytes.is_empty() {
+            storage.append(WAL_MAGIC)?;
+            storage.sync()?;
+            WAL_MAGIC.len() as u64
+        } else {
+            if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+                return Err(WalError::NotAWal);
+            }
+            replay(&bytes, &store, &mut report)?
+        };
+
+        let total = storage.len()?;
+        if total > valid_end {
+            report.truncated_bytes = total - valid_end;
+            storage.truncate(valid_end)?;
+            storage.sync()?;
+        }
+        report.epoch = store.epoch();
+        Ok((
+            DurableStore {
+                store: Arc::new(store),
+                segment_capacity: config.segment_capacity,
+                wal: Mutex::new(WalInner {
+                    storage,
+                    degraded: false,
+                }),
+            },
+            report,
+        ))
+    }
+
+    /// The wrapped in-memory store; hand this to a `QueryEngine` so
+    /// reads bypass the WAL entirely.
+    pub fn store(&self) -> &Arc<IncrementalStore> {
+        &self.store
+    }
+
+    /// Total baskets ingested (acknowledged) so far.
+    pub fn epoch(&self) -> u64 {
+        self.store.epoch()
+    }
+
+    /// A consistent, immutable view of everything acknowledged so far.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.store.snapshot()
+    }
+
+    /// Appends one basket durably. Returns the epoch after the append;
+    /// once this returns `Ok`, the basket survives a crash.
+    ///
+    /// # Errors
+    ///
+    /// See [`DurableStore::append_batch`].
+    pub fn append<I: IntoIterator<Item = ItemId>>(&self, items: I) -> Result<u64, DurableError> {
+        self.append_batch(std::iter::once(items.into_iter().collect::<Vec<ItemId>>()))
+    }
+
+    /// Appends a basket of raw `u32` ids durably; convenient in tests.
+    ///
+    /// # Errors
+    ///
+    /// See [`DurableStore::append_batch`].
+    pub fn append_ids<I: IntoIterator<Item = u32>>(&self, ids: I) -> Result<u64, DurableError> {
+        self.append(ids.into_iter().map(ItemId))
+    }
+
+    /// Appends many baskets durably under a single WAL lock: the batch
+    /// is framed, checksummed, written, and synced *before* it is
+    /// applied to the in-memory store, so an `Ok` return means every
+    /// basket of the batch survives a crash. On `Err`, nothing is
+    /// visible in the store (the log may hold a torn, unacknowledged
+    /// tail, which recovery discards).
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError::ItemOutOfRange`] for an invalid basket (nothing
+    /// logged), [`DurableError::Wal`] when the WAL write or sync fails.
+    pub fn append_batch<B, I>(&self, baskets: B) -> Result<u64, DurableError>
+    where
+        B: IntoIterator<Item = I>,
+        I: IntoIterator<Item = ItemId>,
+    {
+        let baskets: Vec<Vec<ItemId>> = baskets
+            .into_iter()
+            .map(|b| b.into_iter().collect())
+            .collect();
+        for basket in &baskets {
+            for &item in basket {
+                if item.index() >= self.store.n_items() {
+                    return Err(DurableError::ItemOutOfRange(ItemOutOfRange {
+                        item,
+                        n_items: self.store.n_items(),
+                    }));
+                }
+            }
+        }
+        let payload = encode_batch(&baskets);
+        let mut wal = lock(&self.wal);
+        if wal.degraded {
+            return Err(DurableError::Wal(io::Error::other(
+                "wal is degraded after an earlier storage failure",
+            )));
+        }
+        wal.append_record(&payload).map_err(DurableError::Wal)?;
+        // Durable from here on: apply to the store and acknowledge.
+        let old_epoch = self.store.epoch();
+        let epoch = match self.store.append_batch(baskets) {
+            Ok(epoch) => epoch,
+            // Unreachable: items were validated above. Map it anyway so
+            // the library stays panic-free.
+            Err(e) => return Err(DurableError::ItemOutOfRange(e)),
+        };
+        // A fence whenever this batch crossed a seal boundary. The fence
+        // pins the post-batch epoch: replay re-derives seal boundaries
+        // from the same capacity, so matching epochs imply matching
+        // segment structure. Fence-write failures cannot un-acknowledge
+        // durable data; the WAL degrades and later appends fail fast.
+        let cap = self.segment_capacity as u64;
+        if epoch / cap > old_epoch / cap && wal.append_record(&encode_fence(epoch)).is_err() {
+            wal.degraded = true;
+        }
+        Ok(epoch)
+    }
+
+    /// Whether the WAL can still acknowledge appends (`false` after a
+    /// storage failure on a fence write).
+    pub fn is_healthy(&self) -> bool {
+        !lock(&self.wal).degraded
+    }
+}
+
+/// Encodes a basket batch payload.
+fn encode_batch(baskets: &[Vec<ItemId>]) -> Vec<u8> {
+    let items: usize = baskets.iter().map(Vec::len).sum();
+    let mut payload = Vec::with_capacity(5 + 4 * baskets.len() + 4 * items);
+    payload.push(KIND_BATCH);
+    payload.extend_from_slice(&(baskets.len() as u32).to_le_bytes());
+    for basket in baskets {
+        payload.extend_from_slice(&(basket.len() as u32).to_le_bytes());
+        for item in basket {
+            payload.extend_from_slice(&item.0.to_le_bytes());
+        }
+    }
+    payload
+}
+
+/// Encodes an epoch-fence payload.
+fn encode_fence(epoch: u64) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(9);
+    payload.push(KIND_FENCE);
+    payload.extend_from_slice(&epoch.to_le_bytes());
+    payload
+}
+
+/// A little-endian cursor over a payload slice.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Option<u8> {
+        let b = *self.bytes.get(self.pos)?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        let end = self.pos.checked_add(4)?;
+        let chunk = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let end = self.pos.checked_add(8)?;
+        let chunk = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(chunk);
+        Some(u64::from_le_bytes(raw))
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+/// One decoded record payload.
+enum Record {
+    Batch(Vec<Vec<ItemId>>),
+    Fence(u64),
+}
+
+/// Decodes a checksum-verified payload; `None` means structural damage
+/// (which, after a CRC pass, indicates a corrupt writer — treated the
+/// same as tail damage: replay stops).
+fn decode_payload(payload: &[u8]) -> Option<Record> {
+    let mut cur = Cursor {
+        bytes: payload,
+        pos: 0,
+    };
+    match cur.u8()? {
+        KIND_BATCH => {
+            // Capacity hints are clamped by the payload size so a
+            // corrupt count cannot drive a huge allocation.
+            let cap_bound = payload.len() / 4;
+            let n = cur.u32()?;
+            let mut baskets = Vec::with_capacity((n as usize).min(cap_bound));
+            for _ in 0..n {
+                let m = cur.u32()?;
+                let mut basket = Vec::with_capacity((m as usize).min(cap_bound));
+                for _ in 0..m {
+                    basket.push(ItemId(cur.u32()?));
+                }
+                baskets.push(basket);
+            }
+            cur.at_end().then_some(Record::Batch(baskets))
+        }
+        KIND_FENCE => {
+            let epoch = cur.u64()?;
+            cur.at_end().then_some(Record::Fence(epoch))
+        }
+        _ => None,
+    }
+}
+
+/// Replays `bytes` (which start with a verified header) into `store`,
+/// returning the offset just past the last intact record.
+fn replay(
+    bytes: &[u8],
+    store: &IncrementalStore,
+    report: &mut RecoveryReport,
+) -> Result<u64, WalError> {
+    let mut pos = WAL_MAGIC.len();
+    // Stops at the first torn frame header; other damage breaks below.
+    while let Some(frame) = bytes.get(pos..pos + 8) {
+        let len = u32::from_le_bytes([frame[0], frame[1], frame[2], frame[3]]);
+        let crc = u32::from_le_bytes([frame[4], frame[5], frame[6], frame[7]]);
+        if len > MAX_RECORD_BYTES {
+            break; // absurd length: damaged frame
+        }
+        let start = pos + 8;
+        let Some(payload) = bytes.get(start..start + len as usize) else {
+            break; // truncated payload
+        };
+        if crc32(payload) != crc {
+            break; // bit flip
+        }
+        let Some(record) = decode_payload(payload) else {
+            break; // structurally invalid despite CRC: stop here
+        };
+        match record {
+            Record::Batch(baskets) => {
+                let n = baskets.len() as u64;
+                store
+                    .append_batch(baskets)
+                    .map_err(WalError::ItemSpaceMismatch)?;
+                report.baskets_recovered += n;
+            }
+            Record::Fence(epoch) => {
+                if store.epoch() != epoch {
+                    break; // replay does not reach this fence: damage
+                }
+            }
+        }
+        report.records_replayed += 1;
+        pos = start + len as usize;
+    }
+    Ok(pos as u64)
+}
+
+/// Acquires a mutex, recovering from poisoning: WAL state is only
+/// mutated through panic-free code, so a poisoned lock still holds
+/// consistent data.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::{FaultPlan, FaultStorage, MemStorage};
+    use crate::Itemset;
+
+    fn config() -> StoreConfig {
+        StoreConfig {
+            segment_capacity: 4,
+        }
+    }
+
+    fn open_mem(bytes: Option<crate::storage::SharedBytes>) -> (DurableStore, RecoveryReport) {
+        let storage = match bytes {
+            Some(b) => MemStorage::with_bytes(b),
+            None => MemStorage::new(),
+        };
+        match DurableStore::open(Box::new(storage), 8, config()) {
+            Ok(pair) => pair,
+            Err(e) => panic!("open failed: {e}"),
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check values for CRC-32/IEEE.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn appends_survive_reopen() {
+        let (_, report) = open_mem(None);
+        assert_eq!(report, RecoveryReport::default());
+
+        let mem = MemStorage::new();
+        let bytes = mem.bytes();
+        let (store, _) = match DurableStore::open(Box::new(mem), 8, config()) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        };
+        for i in 0..10u32 {
+            store.append_ids([i % 8, (i + 1) % 8]).unwrap();
+        }
+        store
+            .append_batch([vec![ItemId(0)], vec![ItemId(1), ItemId(2)]])
+            .unwrap();
+        assert_eq!(store.epoch(), 12);
+        drop(store); // crash
+
+        let (recovered, report) = open_mem(Some(bytes));
+        assert_eq!(report.epoch, 12);
+        assert_eq!(report.baskets_recovered, 12);
+        assert_eq!(report.truncated_bytes, 0);
+        assert_eq!(recovered.epoch(), 12);
+        let snap = recovered.snapshot();
+        assert_eq!(snap.support(Itemset::from_ids([0]).items()), 4);
+        // Segment structure is reproduced exactly (capacity 4, 12 baskets).
+        assert_eq!(snap.sealed_segments().len(), 3);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_log_remains_usable() {
+        let mem = MemStorage::new();
+        let bytes = mem.bytes();
+        let (store, _) = match DurableStore::open(Box::new(mem), 8, config()) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        };
+        store.append_ids([0, 1]).unwrap();
+        store.append_ids([2, 3]).unwrap();
+        drop(store);
+
+        // Tear the last record: chop 3 bytes off the tail.
+        let torn_len = {
+            let mut buf = bytes.lock().unwrap();
+            let n = buf.len();
+            buf.truncate(n - 3);
+            buf.len()
+        };
+        let (recovered, report) = open_mem(Some(bytes.clone()));
+        assert_eq!(report.epoch, 1, "only the first (intact) record replays");
+        assert!(report.truncated_bytes > 0);
+        assert!(report.truncated_bytes < torn_len as u64);
+        // The repaired log accepts new appends and they survive.
+        recovered.append_ids([4]).unwrap();
+        drop(recovered);
+        let (again, report) = open_mem(Some(bytes));
+        assert_eq!(report.epoch, 2);
+        assert_eq!(again.snapshot().support(Itemset::from_ids([4]).items()), 1);
+    }
+
+    #[test]
+    fn bit_flip_stops_replay_at_last_valid_record() {
+        let mem = MemStorage::new();
+        let bytes = mem.bytes();
+        let (store, _) = match DurableStore::open(Box::new(mem), 8, config()) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        };
+        store.append_ids([0]).unwrap();
+        let clean_len = bytes.lock().unwrap().len();
+        store.append_ids([1]).unwrap();
+        drop(store);
+        {
+            // Flip a payload bit inside the second record.
+            let mut buf = bytes.lock().unwrap();
+            let idx = clean_len + 9; // past the second record's frame
+            buf[idx] ^= 0x01;
+        }
+        let (_, report) = open_mem(Some(bytes));
+        assert_eq!(report.epoch, 1);
+        assert!(report.truncated_bytes > 0);
+    }
+
+    #[test]
+    fn foreign_files_are_rejected() {
+        let mut mem = MemStorage::new();
+        mem.append(b"definitely not a wal").unwrap();
+        let err = match DurableStore::open(Box::new(mem), 8, config()) {
+            Ok(_) => panic!("foreign file must not open"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, WalError::NotAWal));
+    }
+
+    #[test]
+    fn wrong_item_space_is_a_hard_error() {
+        let mem = MemStorage::new();
+        let bytes = mem.bytes();
+        let (store, _) = match DurableStore::open(Box::new(mem), 8, config()) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        };
+        store.append_ids([7]).unwrap();
+        drop(store);
+        let err = match DurableStore::open(Box::new(MemStorage::with_bytes(bytes)), 4, config()) {
+            Ok(_) => panic!("item space mismatch must not open"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, WalError::ItemSpaceMismatch(_)));
+    }
+
+    #[test]
+    fn failed_append_is_not_applied_and_recovery_agrees() {
+        // Measure how many bytes the header plus one record occupy.
+        let header_and_one = {
+            let mem = MemStorage::new();
+            let bytes = mem.bytes();
+            let (store, _) = match DurableStore::open(Box::new(mem), 8, config()) {
+                Ok(p) => p,
+                Err(e) => panic!("{e}"),
+            };
+            store.append_ids([0, 1]).unwrap();
+            drop(store);
+            let len = bytes.lock().unwrap().len() as u64;
+            len
+        };
+
+        let faulty = FaultStorage::new(FaultPlan {
+            fail_after_bytes: Some(header_and_one + 5), // tears the 2nd record
+            ..FaultPlan::default()
+        });
+        let bytes = faulty.bytes();
+        let (store, _) = match DurableStore::open(Box::new(faulty), 8, config()) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        };
+        store.append_ids([0, 1]).unwrap();
+        let err = store.append_ids([2, 3]).unwrap_err();
+        assert!(matches!(err, DurableError::Wal(_)));
+        // The failed append is not visible in memory...
+        assert_eq!(store.epoch(), 1);
+        drop(store);
+        // ...and recovery reconstructs exactly the acknowledged state.
+        let (recovered, report) = open_mem(Some(bytes));
+        assert_eq!(report.epoch, 1);
+        assert!(report.truncated_bytes > 0);
+        assert_eq!(
+            recovered.snapshot().support(Itemset::from_ids([2]).items()),
+            0
+        );
+    }
+
+    #[test]
+    fn fences_are_written_at_seal_boundaries() {
+        let mem = MemStorage::new();
+        let bytes = mem.bytes();
+        let (store, _) = match DurableStore::open(Box::new(mem), 8, config()) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        };
+        // One batch crossing two seal boundaries (capacity 4, 9 baskets).
+        store
+            .append_batch((0..9).map(|i| vec![ItemId(i % 8)]))
+            .unwrap();
+        drop(store);
+        let buf = bytes.lock().unwrap().clone();
+        // Count fence records by walking frames.
+        let mut pos = WAL_MAGIC.len();
+        let mut fences = Vec::new();
+        while pos + 8 <= buf.len() {
+            let len = u32::from_le_bytes([buf[pos], buf[pos + 1], buf[pos + 2], buf[pos + 3]]);
+            let payload = &buf[pos + 8..pos + 8 + len as usize];
+            if payload[0] == KIND_FENCE {
+                let mut raw = [0u8; 8];
+                raw.copy_from_slice(&payload[1..9]);
+                fences.push(u64::from_le_bytes(raw));
+            }
+            pos += 8 + len as usize;
+        }
+        assert_eq!(fences, vec![9], "one fence pinning the post-batch epoch");
+        let (_, report) = open_mem(Some(bytes));
+        assert_eq!(report.epoch, 9);
+        assert_eq!(report.records_replayed, 2, "one batch + one fence");
+    }
+}

@@ -52,6 +52,8 @@ pub const SERVE_SPEC: &[(&str, FlagKind)] = &[
     ("workers", FlagKind::Value),
     ("items", FlagKind::Value),
     ("segment-capacity", FlagKind::Value),
+    ("wal", FlagKind::Value),
+    ("max-connections", FlagKind::Value),
     ("numeric", FlagKind::Boolean),
 ];
 
@@ -271,40 +273,78 @@ pub fn cmd_stats(args: &Args, out: &mut dyn Write) -> Result<(), String> {
 /// `bmb serve [FILE]` — run the correlation-query server.
 ///
 /// With a FILE the store is seeded from it; with `--items N` (and no
-/// FILE) the store starts empty over an `N`-item space. Prints the bound
-/// address (`listening on HOST:PORT`) before blocking in the accept
-/// loop; a client's `shutdown` command drains in-flight queries and
-/// exits 0.
+/// FILE) the store starts empty over an `N`-item space. With
+/// `--wal PATH` ingest is crash-safe: appends are written to a
+/// checksummed write-ahead log before acknowledgement, and a restart
+/// against the same PATH replays every acknowledged basket and resumes
+/// at the recovered epoch. Prints the bound address
+/// (`listening on HOST:PORT`) before blocking in the accept loop; a
+/// client's `shutdown` command drains in-flight queries and exits 0.
 pub fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let sink = |e: std::io::Error| e.to_string();
     let store_config = bmb_basket::StoreConfig {
         segment_capacity: args.get_or("segment-capacity", 4096usize)?,
     };
-    let store = match args.positional(1) {
-        Some(path) => {
-            let db = load(path, args.has("numeric"))?;
-            bmb_basket::IncrementalStore::from_database(&db, store_config)
-        }
-        None => {
+    let server_config = bmb_serve::ServerConfig {
+        addr: args.get_or("addr", "127.0.0.1:7878".to_string())?,
+        workers: args.get_or("workers", 4usize)?,
+        max_connections: args.get_or("max-connections", 256usize)?,
+        ..Default::default()
+    };
+    let durable = match args.get::<String>("wal")? {
+        Some(wal_path) => {
+            if args.positional(1).is_some() {
+                return Err(
+                    "--wal cannot be combined with a FILE seed: the log is the durable \
+                     source of truth; use --items N and ingest over the protocol"
+                        .to_string(),
+                );
+            }
             let n_items = args
                 .get::<usize>("items")?
-                .ok_or("usage: bmb serve FILE [flags], or bmb serve --items N")?;
-            bmb_basket::IncrementalStore::new(n_items, store_config)
+                .ok_or("--wal requires --items N (the store's item-space size)")?;
+            let storage = bmb_basket::FileStorage::open(std::path::Path::new(&wal_path))
+                .map_err(|e| format!("cannot open wal {wal_path}: {e}"))?;
+            let (durable, report) =
+                bmb_basket::DurableStore::open(Box::new(storage), n_items, store_config)
+                    .map_err(|e| format!("cannot recover wal {wal_path}: {e}"))?;
+            writeln!(
+                out,
+                "recovered {} baskets from {wal_path} (epoch {})",
+                report.baskets_recovered, report.epoch
+            )
+            .map_err(sink)?;
+            Some(std::sync::Arc::new(durable))
         }
+        None => None,
+    };
+    let store = match &durable {
+        Some(durable) => std::sync::Arc::clone(durable.store()),
+        None => match args.positional(1) {
+            Some(path) => {
+                let db = load(path, args.has("numeric"))?;
+                std::sync::Arc::new(bmb_basket::IncrementalStore::from_database(
+                    &db,
+                    store_config,
+                ))
+            }
+            None => {
+                let n_items = args
+                    .get::<usize>("items")?
+                    .ok_or("usage: bmb serve FILE [flags], or bmb serve --items N")?;
+                std::sync::Arc::new(bmb_basket::IncrementalStore::new(n_items, store_config))
+            }
+        },
     };
     let engine = std::sync::Arc::new(bmb_core::QueryEngine::new(
-        std::sync::Arc::new(store),
+        store,
         bmb_core::EngineConfig::default(),
     ));
-    let server = bmb_serve::Server::bind(
-        engine,
-        bmb_serve::ServerConfig {
-            addr: args.get_or("addr", "127.0.0.1:7878".to_string())?,
-            workers: args.get_or("workers", 4usize)?,
-            ..Default::default()
-        },
-    )
-    .map_err(|e| format!("cannot bind: {e}"))?;
+    let mut server =
+        bmb_serve::Server::bind(engine, server_config).map_err(|e| format!("cannot bind: {e}"))?;
+    if let Some(durable) = durable {
+        server = server.with_durable_store(durable);
+    }
     let metrics = server.metrics();
     writeln!(out, "listening on {}", server.local_addr()).map_err(sink)?;
     out.flush().map_err(sink)?;
@@ -370,7 +410,8 @@ USAGE:
                      (KIND: quest | census | text)
   bmb stats FILE     [--numeric]
   bmb serve [FILE]   [--addr HOST:PORT] [--workers N] [--items N]
-                     [--segment-capacity N] [--numeric]
+                     [--segment-capacity N] [--wal PATH]
+                     [--max-connections N] [--numeric]
   bmb query ADDR     [LINE...]  [--timeout-secs N]
 
 Basket files are one basket per line; tokens are item names (default) or
@@ -562,6 +603,101 @@ mod tests {
         let a = args(SERVE_SPEC, &["serve"]);
         let mut out = Vec::new();
         assert!(cmd_serve(&a, &mut out).unwrap_err().contains("usage"));
+    }
+
+    #[test]
+    fn serve_wal_without_items_is_a_user_error() {
+        let a = args(SERVE_SPEC, &["serve", "--wal", "/tmp/x.wal"]);
+        let mut out = Vec::new();
+        assert!(cmd_serve(&a, &mut out).unwrap_err().contains("--items"));
+    }
+
+    /// Boots `bmb serve --wal`, returns the bound address and handles.
+    fn spawn_wal_server(
+        wal: &std::path::Path,
+    ) -> (
+        String,
+        SharedBuf,
+        std::thread::JoinHandle<Result<(), String>>,
+    ) {
+        let serve_args = args(
+            SERVE_SPEC,
+            &[
+                "serve",
+                "--items",
+                "4",
+                "--wal",
+                wal.to_str().unwrap(),
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "2",
+            ],
+        );
+        let buf = SharedBuf::default();
+        let thread = {
+            let mut sink = buf.clone();
+            std::thread::spawn(move || cmd_serve(&serve_args, &mut sink))
+        };
+        let addr = loop {
+            let text = buf.contents();
+            if let Some(pos) = text.find("listening on ") {
+                break text[pos + "listening on ".len()..].trim().to_string();
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+        (addr, buf, thread)
+    }
+
+    #[test]
+    fn serve_with_wal_recovers_across_restart() {
+        let wal = std::env::temp_dir().join(format!("bmb-cli-wal-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&wal);
+
+        // First life: a fresh WAL, three baskets ingested durably.
+        let (addr, buf, thread) = spawn_wal_server(&wal);
+        assert!(
+            buf.contents().contains("recovered 0 baskets"),
+            "{}",
+            buf.contents()
+        );
+        let ingest = args(
+            QUERY_SPEC,
+            &[
+                "query",
+                &addr,
+                r#"{"cmd":"ingest","baskets":[[0,1],[1,2],[0,1]]}"#,
+                r#"{"cmd":"shutdown"}"#,
+            ],
+        );
+        let mut out = Vec::new();
+        cmd_query(&ingest, &mut out).unwrap();
+        assert!(String::from_utf8_lossy(&out).contains(r#""epoch":3"#));
+        thread.join().unwrap().unwrap();
+
+        // Second life: the same WAL replays, the epoch resumes at 3.
+        let (addr, buf, thread) = spawn_wal_server(&wal);
+        assert!(
+            buf.contents().contains("(epoch 3)"),
+            "restart must announce the recovered epoch: {}",
+            buf.contents()
+        );
+        let probe = args(
+            QUERY_SPEC,
+            &[
+                "query",
+                &addr,
+                r#"{"cmd":"chi2","items":[0,1]}"#,
+                r#"{"cmd":"shutdown"}"#,
+            ],
+        );
+        let mut out = Vec::new();
+        cmd_query(&probe, &mut out).unwrap();
+        let rendered = String::from_utf8_lossy(&out).into_owned();
+        assert!(rendered.contains(r#""support":2"#), "{rendered}");
+        assert!(rendered.contains(r#""epoch":3"#), "{rendered}");
+        thread.join().unwrap().unwrap();
+        let _ = std::fs::remove_file(&wal);
     }
 
     #[test]

@@ -3,6 +3,12 @@
 //! Used by `bmb query`, the load generator, and the integration tests.
 //! One request at a time: send a line, read a line. The server's banner
 //! is consumed (and checked) at connect time.
+//!
+//! [`RetryClient`] layers reconnection and bounded exponential-backoff
+//! retries on top: transient failures (the server's `"retryable":true`
+//! errors, broken connections) are retried — but only for idempotent
+//! commands. An `ingest` whose connection died mid-flight may or may not
+//! have been applied, so it is never retried automatically.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -27,6 +33,10 @@ pub enum ClientError {
     Protocol(String),
     /// The server answered `"ok": false`; the payload is its message.
     Server(String),
+    /// The server answered `"ok": false` with `"retryable": true` —
+    /// a transient condition (overload, deadline); trying again later
+    /// may succeed.
+    Retryable(String),
 }
 
 impl std::fmt::Display for ClientError {
@@ -35,6 +45,7 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "io error: {e}"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
             ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Retryable(m) => write!(f, "server busy (retryable): {m}"),
         }
     }
 }
@@ -88,6 +99,20 @@ impl Client {
         let value =
             parse(&banner).map_err(|e| ClientError::Protocol(format!("bad banner: {e}")))?;
         if value.get("proto").and_then(Value::as_str).is_none() {
+            // Admission control sheds load by sending one error line
+            // instead of the banner; surface it as retryable so callers
+            // can back off and reconnect.
+            if value.get("ok").and_then(Value::as_bool) == Some(false) {
+                let message = value
+                    .get("error")
+                    .and_then(Value::as_str)
+                    .unwrap_or("connection rejected")
+                    .to_string();
+                if value.get("retryable").and_then(Value::as_bool) == Some(true) {
+                    return Err(ClientError::Retryable(message));
+                }
+                return Err(ClientError::Server(message));
+            }
             return Err(ClientError::Protocol(format!(
                 "banner missing 'proto': {banner}"
             )));
@@ -127,13 +152,18 @@ impl Client {
             parse(&line).map_err(|e| ClientError::Protocol(format!("bad response: {e}")))?;
         match value.get("ok").and_then(Value::as_bool) {
             Some(true) => Ok(value.get("result").cloned().unwrap_or(Value::Null)),
-            Some(false) => Err(ClientError::Server(
-                value
+            Some(false) => {
+                let message = value
                     .get("error")
                     .and_then(Value::as_str)
                     .unwrap_or("unspecified server error")
-                    .to_string(),
-            )),
+                    .to_string();
+                if value.get("retryable").and_then(Value::as_bool) == Some(true) {
+                    Err(ClientError::Retryable(message))
+                } else {
+                    Err(ClientError::Server(message))
+                }
+            }
             None => Err(ClientError::Protocol(format!(
                 "response missing 'ok': {line}"
             ))),
@@ -152,5 +182,250 @@ impl Client {
             line.pop();
         }
         Ok(line)
+    }
+}
+
+/// How [`RetryClient`] paces its retries: capped exponential backoff
+/// with deterministic jitter (a seeded xorshift — no clock, no RNG
+/// dependency, reproducible in tests).
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total tries per request, including the first (minimum 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each retry after that.
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff sleep (applied before jitter).
+    pub max_backoff: Duration,
+    /// Seed for the jitter sequence; any value works (0 is remapped).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            jitter_seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `retry` (0-based), jittered: the
+    /// capped exponential backoff plus up to 50% extra, so stampeding
+    /// clients decorrelate.
+    fn backoff(&self, retry: u32, jitter_state: &mut u64) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32.checked_shl(retry).unwrap_or(u32::MAX));
+        let capped = exp.min(self.max_backoff);
+        let nanos = u64::try_from(capped.as_nanos()).unwrap_or(u64::MAX);
+        let jitter = xorshift64(jitter_state) % (nanos / 2 + 1);
+        capped + Duration::from_nanos(jitter)
+    }
+}
+
+/// One step of the xorshift64 PRNG — deterministic jitter with no
+/// dependencies. `state` must start non-zero ([`RetryClient::new`]
+/// remaps a zero seed).
+fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Commands that are safe to send twice. Queries are pure reads;
+/// `ingest` mutates and `shutdown` is one-way, so a client that cannot
+/// tell whether they landed must not repeat them.
+fn is_idempotent(request: &Value) -> bool {
+    matches!(
+        request.get("cmd").and_then(Value::as_str),
+        Some("ping" | "stats" | "chi2" | "chi2_batch" | "interest" | "topk" | "border")
+    )
+}
+
+/// A self-healing client: reconnects after transport failures and
+/// retries transient errors with [`RetryPolicy`] backoff.
+///
+/// Only idempotent commands are retried after the request may have
+/// reached the server; connection-establishment failures (nothing sent
+/// yet) are retried for every command.
+pub struct RetryClient {
+    addr: String,
+    policy: RetryPolicy,
+    timeout: Option<Duration>,
+    jitter_state: u64,
+    conn: Option<Client>,
+}
+
+impl RetryClient {
+    /// Creates a disconnected retry client; the first request connects.
+    pub fn new(addr: impl Into<String>, policy: RetryPolicy) -> RetryClient {
+        let seed = if policy.jitter_seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            policy.jitter_seed
+        };
+        RetryClient {
+            addr: addr.into(),
+            policy,
+            timeout: None,
+            jitter_state: seed,
+            conn: None,
+        }
+    }
+
+    /// Applies a socket read/write timeout to every future connection
+    /// (zero means no timeout).
+    pub fn with_timeout(mut self, timeout: Duration) -> RetryClient {
+        self.timeout = (!timeout.is_zero()).then_some(timeout);
+        self
+    }
+
+    /// Sends `request`, transparently reconnecting and retrying
+    /// transient failures per the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns the final error once attempts are exhausted, or
+    /// immediately for permanent failures ([`ClientError::Server`],
+    /// [`ClientError::Protocol`]) and for non-idempotent requests whose
+    /// outcome is unknown.
+    pub fn request(&mut self, request: &Value) -> Result<Value, ClientError> {
+        let attempts = self.policy.max_attempts.max(1);
+        let idempotent = is_idempotent(request);
+        let mut retries = 0u32;
+        loop {
+            // (Re)connect if needed. A failed connect never sent the
+            // request, so it is retryable for every command.
+            if self.conn.is_none() {
+                match self.connect() {
+                    Ok(client) => self.conn = Some(client),
+                    Err(e) if retryable_transport(&e) && retries + 1 < attempts => {
+                        self.sleep_before_retry(&mut retries);
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            let conn = match self.conn.as_mut() {
+                Some(conn) => conn,
+                None => continue,
+            };
+            match conn.request(request) {
+                Ok(value) => return Ok(value),
+                Err(ClientError::Retryable(m)) => {
+                    // The server explicitly said "try again" — it did
+                    // not execute the request, so retrying is safe even
+                    // for non-idempotent commands; keep the connection.
+                    if retries + 1 < attempts {
+                        self.sleep_before_retry(&mut retries);
+                        continue;
+                    }
+                    return Err(ClientError::Retryable(m));
+                }
+                Err(e) if connection_broken(&e) => {
+                    // The request may or may not have been executed:
+                    // only idempotent commands may be repeated.
+                    self.conn = None;
+                    if idempotent && retries + 1 < attempts {
+                        self.sleep_before_retry(&mut retries);
+                        continue;
+                    }
+                    return Err(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Drops the current connection (the next request reconnects).
+    pub fn disconnect(&mut self) {
+        self.conn = None;
+    }
+
+    fn connect(&self) -> Result<Client, ClientError> {
+        match self.timeout {
+            Some(t) => Client::connect_timeout(&*self.addr, t),
+            None => Client::connect(&*self.addr),
+        }
+    }
+
+    fn sleep_before_retry(&mut self, retries: &mut u32) {
+        let pause = self.policy.backoff(*retries, &mut self.jitter_state);
+        *retries += 1;
+        std::thread::sleep(pause);
+    }
+}
+
+/// Whether a connect-time failure is worth another attempt: transport
+/// errors and explicit server `retryable` rejections are; protocol
+/// violations and permanent server errors are not.
+fn retryable_transport(e: &ClientError) -> bool {
+    matches!(e, ClientError::Io(_) | ClientError::Retryable(_))
+}
+
+/// Whether an error means the connection itself is dead (socket error,
+/// or the server hung up mid-exchange).
+fn connection_broken(e: &ClientError) -> bool {
+    matches!(e, ClientError::Io(_))
+        || matches!(e, ClientError::Protocol(m) if m.contains("closed connection"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idempotency_classification() {
+        for cmd in [
+            "ping",
+            "stats",
+            "chi2",
+            "chi2_batch",
+            "interest",
+            "topk",
+            "border",
+        ] {
+            let req = Value::object().with("cmd", Value::Str(cmd.to_string()));
+            assert!(is_idempotent(&req), "{cmd} should be idempotent");
+        }
+        for cmd in ["ingest", "shutdown"] {
+            let req = Value::object().with("cmd", Value::Str(cmd.to_string()));
+            assert!(!is_idempotent(&req), "{cmd} must not be retried");
+        }
+        assert!(!is_idempotent(&Value::object()));
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(100),
+            jitter_seed: 7,
+        };
+        let mut state = 7u64;
+        let b0 = policy.backoff(0, &mut state);
+        let b3 = policy.backoff(3, &mut state);
+        let b7 = policy.backoff(7, &mut state);
+        // Base with up to 50% jitter.
+        assert!(b0 >= Duration::from_millis(10) && b0 <= Duration::from_millis(15));
+        assert!(b3 >= Duration::from_millis(80) && b3 <= Duration::from_millis(120));
+        // Capped at max + 50% jitter.
+        assert!(b7 >= Duration::from_millis(100) && b7 <= Duration::from_millis(150));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_for_a_seed() {
+        let policy = RetryPolicy::default();
+        let mut a = 42u64;
+        let mut b = 42u64;
+        assert_eq!(policy.backoff(2, &mut a), policy.backoff(2, &mut b));
+        assert_eq!(a, b);
     }
 }

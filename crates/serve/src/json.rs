@@ -428,9 +428,14 @@ impl<'a> Parser<'a> {
                 return Ok(Value::Int(i));
             }
         }
-        text.parse::<f64>()
-            .map(Value::Float)
-            .map_err(|_| self.error("invalid number"))
+        match text.parse::<f64>() {
+            // A magnitude beyond f64 (e.g. `1e999`) would round to
+            // infinity, which JSON cannot represent and [`Value::float`]
+            // would silently serialize back as `null`; reject it instead.
+            Ok(f) if f.is_finite() => Ok(Value::Float(f)),
+            Ok(_) => Err(self.error("number out of range")),
+            Err(_) => Err(self.error("invalid number")),
+        }
     }
 }
 

@@ -50,7 +50,7 @@ pub mod protocol;
 /// The TCP server: accept loop, worker pool, shutdown.
 pub mod server;
 
-pub use client::{Client, ClientError};
-pub use metrics::{MetricsSnapshot, ServerMetrics};
+pub use client::{Client, ClientError, RetryClient, RetryPolicy};
+pub use metrics::{ErrorCategory, MetricsSnapshot, ServerMetrics};
 pub use protocol::{parse_request, Envelope, Request, HELLO};
 pub use server::{RunningServer, Server, ServerConfig, ShutdownHandle};

@@ -13,6 +13,22 @@ use std::time::Duration;
 /// How many recent request latencies the percentile ring retains.
 pub const RING_CAPACITY: usize = 4096;
 
+/// Why a request (or connection) failed, for the per-category error
+/// counters surfaced in `/stats`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCategory {
+    /// The request line was not a well-formed protocol request.
+    Parse,
+    /// The server shed load: full pending queue or connection limit.
+    Overload,
+    /// The request exceeded its deadline.
+    Deadline,
+    /// A socket-level failure while speaking to the client.
+    Io,
+    /// Any other request failure (engine errors, bad parameters).
+    Other,
+}
+
 /// A fixed-size ring of recent latency samples (microseconds).
 #[derive(Debug)]
 struct Ring {
@@ -30,6 +46,21 @@ pub struct ServerMetrics {
     errors: AtomicU64,
     /// Connections accepted.
     connections: AtomicU64,
+    /// Connections rejected by admission control (queue full or over
+    /// the connection limit).
+    rejected_connections: AtomicU64,
+    /// Connections currently open (accepted, not yet closed).
+    active_connections: AtomicU64,
+    /// Malformed request lines.
+    parse_errors: AtomicU64,
+    /// Load-shedding rejections (queue full, connection limit).
+    overload_errors: AtomicU64,
+    /// Requests that blew their deadline.
+    deadline_errors: AtomicU64,
+    /// Socket-level connection failures.
+    io_errors: AtomicU64,
+    /// Other request failures (engine errors, bad parameters).
+    other_errors: AtomicU64,
     /// Baskets ingested through the server.
     ingested_baskets: AtomicU64,
     /// Epoch of the most recent snapshot served to any query.
@@ -47,6 +78,20 @@ pub struct MetricsSnapshot {
     pub errors: u64,
     /// Connections accepted.
     pub connections: u64,
+    /// Connections rejected by admission control.
+    pub rejected_connections: u64,
+    /// Connections currently open.
+    pub active_connections: u64,
+    /// Malformed request lines.
+    pub parse_errors: u64,
+    /// Load-shedding rejections.
+    pub overload_errors: u64,
+    /// Requests that blew their deadline.
+    pub deadline_errors: u64,
+    /// Socket-level connection failures.
+    pub io_errors: u64,
+    /// Other request failures.
+    pub other_errors: u64,
     /// Baskets ingested through the server.
     pub ingested_baskets: u64,
     /// Epoch of the most recent snapshot served.
@@ -70,6 +115,13 @@ impl ServerMetrics {
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             connections: AtomicU64::new(0),
+            rejected_connections: AtomicU64::new(0),
+            active_connections: AtomicU64::new(0),
+            parse_errors: AtomicU64::new(0),
+            overload_errors: AtomicU64::new(0),
+            deadline_errors: AtomicU64::new(0),
+            io_errors: AtomicU64::new(0),
+            other_errors: AtomicU64::new(0),
             ingested_baskets: AtomicU64::new(0),
             last_served_epoch: AtomicU64::new(0),
             ring: Mutex::new(Ring {
@@ -80,11 +132,13 @@ impl ServerMetrics {
         }
     }
 
-    /// Records one handled request: its latency and whether it failed.
-    pub fn record_request(&self, latency: Duration, failed: bool) {
+    /// Records one handled request: its latency and, when it failed,
+    /// the failure category.
+    pub fn record_request(&self, latency: Duration, failed: Option<ErrorCategory>) {
         self.requests.fetch_add(1, Ordering::Relaxed);
-        if failed {
+        if let Some(category) = failed {
             self.errors.fetch_add(1, Ordering::Relaxed);
+            self.record_error(category);
         }
         let micros = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
         let mut ring = lock(&self.ring);
@@ -96,9 +150,43 @@ impl ServerMetrics {
         }
     }
 
-    /// Records one accepted connection.
+    /// Bumps one category's error counter (without touching the request
+    /// counters — connection-level failures are not requests).
+    pub fn record_error(&self, category: ErrorCategory) {
+        let counter = match category {
+            ErrorCategory::Parse => &self.parse_errors,
+            ErrorCategory::Overload => &self.overload_errors,
+            ErrorCategory::Deadline => &self.deadline_errors,
+            ErrorCategory::Io => &self.io_errors,
+            ErrorCategory::Other => &self.other_errors,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one accepted connection; pair with
+    /// [`ServerMetrics::record_disconnection`] when it closes.
     pub fn record_connection(&self) {
         self.connections.fetch_add(1, Ordering::Relaxed);
+        self.active_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an accepted connection closing.
+    pub fn record_disconnection(&self) {
+        // Saturating: a stray double-close must not wrap the gauge.
+        let _ = self
+            .active_connections
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1));
+    }
+
+    /// Records a connection turned away by admission control.
+    pub fn record_rejected_connection(&self) {
+        self.rejected_connections.fetch_add(1, Ordering::Relaxed);
+        self.record_error(ErrorCategory::Overload);
+    }
+
+    /// Connections currently open.
+    pub fn active_connections(&self) -> u64 {
+        self.active_connections.load(Ordering::Relaxed)
     }
 
     /// Records `n` baskets ingested.
@@ -132,6 +220,13 @@ impl ServerMetrics {
             requests: self.requests.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
+            rejected_connections: self.rejected_connections.load(Ordering::Relaxed),
+            active_connections: self.active_connections.load(Ordering::Relaxed),
+            parse_errors: self.parse_errors.load(Ordering::Relaxed),
+            overload_errors: self.overload_errors.load(Ordering::Relaxed),
+            deadline_errors: self.deadline_errors.load(Ordering::Relaxed),
+            io_errors: self.io_errors.load(Ordering::Relaxed),
+            other_errors: self.other_errors.load(Ordering::Relaxed),
             ingested_baskets: self.ingested_baskets.load(Ordering::Relaxed),
             last_served_epoch: self.last_served_epoch.load(Ordering::Relaxed),
             p50_us,
@@ -161,17 +256,51 @@ mod tests {
     fn counters_accumulate() {
         let m = ServerMetrics::new();
         m.record_connection();
-        m.record_request(Duration::from_micros(100), false);
-        m.record_request(Duration::from_micros(300), true);
+        m.record_request(Duration::from_micros(100), None);
+        m.record_request(Duration::from_micros(300), Some(ErrorCategory::Other));
         m.record_ingest(7);
         m.record_served_epoch(5);
         m.record_served_epoch(3); // must not regress
         let snap = m.snapshot();
         assert_eq!(snap.requests, 2);
         assert_eq!(snap.errors, 1);
+        assert_eq!(snap.other_errors, 1);
         assert_eq!(snap.connections, 1);
+        assert_eq!(snap.active_connections, 1);
         assert_eq!(snap.ingested_baskets, 7);
         assert_eq!(snap.last_served_epoch, 5);
+    }
+
+    #[test]
+    fn error_categories_count_separately() {
+        let m = ServerMetrics::new();
+        m.record_request(Duration::from_micros(1), Some(ErrorCategory::Parse));
+        m.record_request(Duration::from_micros(1), Some(ErrorCategory::Deadline));
+        m.record_request(Duration::from_micros(1), Some(ErrorCategory::Deadline));
+        m.record_error(ErrorCategory::Io);
+        m.record_rejected_connection();
+        let snap = m.snapshot();
+        assert_eq!(snap.parse_errors, 1);
+        assert_eq!(snap.deadline_errors, 2);
+        assert_eq!(snap.io_errors, 1);
+        assert_eq!(snap.overload_errors, 1);
+        assert_eq!(snap.rejected_connections, 1);
+        // Only the three requests counted as requests/errors.
+        assert_eq!(snap.requests, 3);
+        assert_eq!(snap.errors, 3);
+    }
+
+    #[test]
+    fn active_connection_gauge_tracks_opens_and_closes() {
+        let m = ServerMetrics::new();
+        m.record_connection();
+        m.record_connection();
+        m.record_disconnection();
+        assert_eq!(m.active_connections(), 1);
+        m.record_disconnection();
+        m.record_disconnection(); // stray double close must not wrap
+        assert_eq!(m.active_connections(), 0);
+        assert_eq!(m.snapshot().connections, 2);
     }
 
     #[test]
@@ -179,7 +308,7 @@ mod tests {
         let m = ServerMetrics::new();
         // 1..=100 microseconds, one sample each.
         for us in 1..=100u64 {
-            m.record_request(Duration::from_micros(us), false);
+            m.record_request(Duration::from_micros(us), None);
         }
         let snap = m.snapshot();
         assert_eq!(snap.p50_us, 50);
@@ -190,11 +319,11 @@ mod tests {
     fn ring_wraps_and_keeps_recent_samples() {
         let m = ServerMetrics::new();
         for _ in 0..RING_CAPACITY {
-            m.record_request(Duration::from_micros(1), false);
+            m.record_request(Duration::from_micros(1), None);
         }
         // Overwrite the whole ring with slower samples.
         for _ in 0..RING_CAPACITY {
-            m.record_request(Duration::from_micros(1000), false);
+            m.record_request(Duration::from_micros(1000), None);
         }
         let snap = m.snapshot();
         assert_eq!(snap.p50_us, 1000);

@@ -175,6 +175,14 @@ pub fn error_response(id: Option<i64>, message: &str) -> Value {
         .with("error", Value::Str(message.to_string()))
 }
 
+/// A failure response additionally marked `"retryable":true` — the
+/// failure is transient (overload, deadline) and the client may safely
+/// try again. Permanent failures use [`error_response`] and carry no
+/// `retryable` field at all.
+pub fn retryable_error_response(id: Option<i64>, message: &str) -> Value {
+    error_response(id, message).with("retryable", Value::Bool(true))
+}
+
 /// An itemset as a JSON array of ids.
 pub fn itemset_value(set: &Itemset) -> Value {
     Value::Array(set.items().iter().map(|i| Value::Int(i.0 as i64)).collect())
@@ -321,5 +329,18 @@ mod tests {
         let err = error_response(None, "bad");
         assert_eq!(err.to_string(), r#"{"ok":false,"error":"bad"}"#);
         assert!(!ok.to_string().contains('\n'));
+    }
+
+    #[test]
+    fn retryable_errors_carry_the_marker() {
+        let err = retryable_error_response(Some(7), "overloaded");
+        assert_eq!(
+            err.to_string(),
+            r#"{"id":7,"ok":false,"error":"overloaded","retryable":true}"#
+        );
+        // Plain errors must NOT grow the field (golden fixtures pin them).
+        assert!(!error_response(None, "bad")
+            .to_string()
+            .contains("retryable"));
     }
 }

@@ -11,6 +11,22 @@
 //! connect; workers notice via short read timeouts, finish the request
 //! they are executing — in-flight queries drain, nothing is aborted —
 //! send its response, and exit. `run` then joins every thread.
+//!
+//! Under failure the server degrades instead of falling over:
+//!
+//! * **Admission control** — the pending-connection queue is bounded;
+//!   when it is full, or when [`ServerConfig::max_connections`] sockets
+//!   are already open, the new connection gets one explicit
+//!   `overloaded` / `connection limit` error line (marked
+//!   `"retryable":true`) and is closed, rather than queueing without
+//!   bound.
+//! * **Deadlines** — every request carries a server-side deadline
+//!   ([`ServerConfig::request_deadline`]); work that misses it answers
+//!   with a retryable `deadline exceeded` error, and batch queries stop
+//!   between items when the budget runs out.
+//! * **Durability** — with [`Server::with_durable_store`], `ingest`
+//!   requests are acknowledged only after the write-ahead log's sync
+//!   barrier (see `bmb_basket::wal`).
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -19,14 +35,15 @@ use std::sync::mpsc::Receiver;
 use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
+use bmb_basket::wal::DurableStore;
 use bmb_basket::{ItemId, Itemset};
 use bmb_core::{MinerConfig, QueryEngine, SupportSpec};
 
 use crate::json::Value;
-use crate::metrics::ServerMetrics;
+use crate::metrics::{ErrorCategory, ServerMetrics};
 use crate::protocol::{
     border_value, chi2_value, error_response, interest_value, ok_response, pair_value,
-    parse_request, Request, HELLO,
+    parse_request, retryable_error_response, Request, HELLO,
 };
 
 /// Server tuning knobs.
@@ -36,12 +53,19 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker threads (each owns one connection at a time).
     pub workers: usize,
-    /// Accepted connections that may wait for a free worker.
+    /// Accepted connections that may wait for a free worker; one more
+    /// is rejected with an `overloaded` error instead of queueing.
     pub backlog: usize,
+    /// Open connections allowed at once (queued + being served); over
+    /// the limit, connects get a clean `connection limit` error line.
+    pub max_connections: usize,
     /// How often blocked reads wake up to check the shutdown flag.
     pub poll_interval: Duration,
     /// A connection sending a longer line than this is dropped.
     pub max_line_bytes: usize,
+    /// Per-request processing deadline; work that misses it answers
+    /// with a retryable `deadline exceeded` error.
+    pub request_deadline: Duration,
 }
 
 impl Default for ServerConfig {
@@ -50,8 +74,10 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
             backlog: 64,
+            max_connections: 256,
             poll_interval: Duration::from_millis(50),
             max_line_bytes: 16 << 20,
+            request_deadline: Duration::from_secs(10),
         }
     }
 }
@@ -87,6 +113,7 @@ pub struct Server {
     listener: TcpListener,
     local_addr: SocketAddr,
     flag: Arc<AtomicBool>,
+    durable: Option<Arc<DurableStore>>,
 }
 
 impl Server {
@@ -105,7 +132,16 @@ impl Server {
             listener,
             local_addr,
             flag: Arc::new(AtomicBool::new(false)),
+            durable: None,
         })
+    }
+
+    /// Routes `ingest` requests through `durable` (the WAL-backed store
+    /// wrapping the engine's `IncrementalStore`): appends are
+    /// acknowledged only after the log's sync barrier.
+    pub fn with_durable_store(mut self, durable: Arc<DurableStore>) -> Server {
+        self.durable = Some(durable);
+        self
     }
 
     /// The bound address (with the real port).
@@ -140,6 +176,7 @@ impl Server {
         let (tx, rx) = mpsc::sync_channel::<TcpStream>(self.config.backlog.max(1));
         let rx = Mutex::new(rx);
         let workers = self.config.workers.max(1);
+        let max_connections = self.config.max_connections.max(1) as u64;
         let result = crossbeam::thread::scope(|scope| {
             for _ in 0..workers {
                 let ctx = ConnectionContext {
@@ -147,23 +184,42 @@ impl Server {
                     metrics: &self.metrics,
                     shutdown: shutdown.clone(),
                     config: &self.config,
+                    durable: self.durable.as_ref(),
                 };
                 let rx = &rx;
                 scope.spawn(move |_| worker_loop(rx, ctx));
             }
             // Acceptor: hand connections to the pool until shutdown.
+            // Admission control happens here — a connection the pool
+            // cannot take gets one explicit error line, never an
+            // unbounded queue slot.
             loop {
                 if shutdown.is_shutdown() {
                     break;
                 }
                 match self.listener.accept() {
-                    Ok((stream, _)) => {
+                    Ok(stream_pair) => {
+                        let stream = stream_pair.0;
                         if shutdown.is_shutdown() {
                             break; // The wake-up self-connect lands here.
                         }
+                        if self.metrics.active_connections() >= max_connections {
+                            self.metrics.record_rejected_connection();
+                            reject_connection(
+                                stream,
+                                &format!("server at connection limit ({max_connections} open)"),
+                            );
+                            continue;
+                        }
                         self.metrics.record_connection();
-                        if tx.send(stream).is_err() {
-                            break;
+                        match tx.try_send(stream) {
+                            Ok(()) => {}
+                            Err(mpsc::TrySendError::Full(stream)) => {
+                                self.metrics.record_disconnection();
+                                self.metrics.record_rejected_connection();
+                                reject_connection(stream, "server overloaded: pending queue full");
+                            }
+                            Err(mpsc::TrySendError::Disconnected(_)) => break,
                         }
                     }
                     Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -225,12 +281,22 @@ impl RunningServer {
     }
 }
 
+/// Writes one retryable error line to a connection being shed, then
+/// drops it. Best-effort: the client may already be gone.
+fn reject_connection(mut stream: TcpStream, message: &str) {
+    let line = retryable_error_response(None, message).to_string();
+    let _ = stream.set_nodelay(true);
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.write_all(b"\n");
+}
+
 /// Everything a worker needs to speak to one client.
 struct ConnectionContext<'a> {
     engine: &'a Arc<QueryEngine>,
     metrics: &'a Arc<ServerMetrics>,
     shutdown: ShutdownHandle,
     config: &'a ServerConfig,
+    durable: Option<&'a Arc<DurableStore>>,
 }
 
 /// Pulls connections off the queue until the acceptor hangs up.
@@ -242,7 +308,10 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, ctx: ConnectionContext<'_>) {
             Ok(stream) => stream,
             Err(_) => return,
         };
-        let _ = handle_connection(stream, &ctx);
+        if handle_connection(stream, &ctx).is_err() {
+            ctx.metrics.record_error(ErrorCategory::Io);
+        }
+        ctx.metrics.record_disconnection();
     }
 }
 
@@ -299,29 +368,85 @@ fn handle_connection(mut stream: TcpStream, ctx: &ConnectionContext<'_>) -> io::
     }
 }
 
+/// A request failure: the wire message plus its metrics category.
+struct Failure {
+    message: String,
+    category: ErrorCategory,
+}
+
+impl Failure {
+    fn other(message: String) -> Failure {
+        Failure {
+            message,
+            category: ErrorCategory::Other,
+        }
+    }
+
+    fn deadline(deadline: Duration) -> Failure {
+        Failure {
+            message: format!("deadline exceeded ({deadline:?})"),
+            category: ErrorCategory::Deadline,
+        }
+    }
+}
+
+/// Whether a late success for this request should be converted into a
+/// deadline error. Queries are safe to fail late (the client can retry
+/// them); `ingest` and `shutdown` already had effects, so their answers
+/// must report what actually happened.
+fn deadline_sensitive(request: &Request) -> bool {
+    !matches!(request, Request::Ingest { .. } | Request::Shutdown)
+}
+
 /// Handles one request line; returns the response and whether the server
 /// should shut down afterwards.
 fn handle_line(line: &str, ctx: &ConnectionContext<'_>) -> (Value, bool) {
     let start = Instant::now();
+    let deadline = ctx.config.request_deadline;
     let (id, outcome, stop) = match parse_request(line) {
-        Err(message) => (None, Err(message), false),
+        Err(message) => (
+            None,
+            Err(Failure {
+                message,
+                category: ErrorCategory::Parse,
+            }),
+            false,
+        ),
         Ok(envelope) => {
             let stop = envelope.request == Request::Shutdown;
-            let outcome = dispatch(envelope.request, ctx);
+            let convert_late = deadline_sensitive(&envelope.request);
+            let mut outcome = dispatch(envelope.request, ctx, start);
+            if convert_late && outcome.is_ok() && start.elapsed() > deadline {
+                outcome = Err(Failure::deadline(deadline));
+            }
             (envelope.id, outcome, stop)
         }
     };
-    let failed = outcome.is_err();
-    let response = match outcome {
-        Ok(payload) => ok_response(id).with("result", payload),
-        Err(message) => error_response(id, &message),
+    let (response, failed) = match outcome {
+        Ok(payload) => (ok_response(id).with("result", payload), None),
+        Err(failure) => {
+            let response = match failure.category {
+                // Overload and deadline failures are transient: tell
+                // the client it may retry.
+                ErrorCategory::Overload | ErrorCategory::Deadline => {
+                    retryable_error_response(id, &failure.message)
+                }
+                _ => error_response(id, &failure.message),
+            };
+            (response, Some(failure.category))
+        }
     };
     ctx.metrics.record_request(start.elapsed(), failed);
     (response, stop)
 }
 
-/// Executes one decoded request against the engine.
-fn dispatch(request: Request, ctx: &ConnectionContext<'_>) -> Result<Value, String> {
+/// Executes one decoded request against the engine. `start` anchors the
+/// request's deadline budget.
+fn dispatch(
+    request: Request,
+    ctx: &ConnectionContext<'_>,
+    start: Instant,
+) -> Result<Value, Failure> {
     let engine = ctx.engine;
     match request {
         Request::Ping => Ok(Value::object().with("pong", Value::Bool(true))),
@@ -330,22 +455,29 @@ fn dispatch(request: Request, ctx: &ConnectionContext<'_>) -> Result<Value, Stri
             let snap = engine.snapshot();
             ctx.metrics.record_served_epoch(snap.epoch());
             let set = Itemset::from_ids(items);
-            let answer = engine.chi2(&snap, &set).map_err(|e| e.to_string())?;
+            let answer = engine
+                .chi2(&snap, &set)
+                .map_err(|e| Failure::other(e.to_string()))?;
             Ok(chi2_value(&answer))
         }
         Request::Chi2Batch { itemsets } => {
             // One snapshot for the whole batch: every answer shares an epoch.
             let snap = engine.snapshot();
             ctx.metrics.record_served_epoch(snap.epoch());
-            let sets: Vec<Itemset> = itemsets.into_iter().map(Itemset::from_ids).collect();
-            let results: Vec<Value> = engine
-                .chi2_batch(&snap, &sets)
-                .iter()
-                .map(|r| match r {
-                    Ok(answer) => chi2_value(answer),
+            let deadline = ctx.config.request_deadline;
+            let mut results: Vec<Value> = Vec::with_capacity(itemsets.len());
+            for items in itemsets {
+                // The batch stops (whole-request deadline error) rather
+                // than overrunning its budget item by item.
+                if start.elapsed() > deadline {
+                    return Err(Failure::deadline(deadline));
+                }
+                let set = Itemset::from_ids(items);
+                results.push(match engine.chi2(&snap, &set) {
+                    Ok(answer) => chi2_value(&answer),
                     Err(e) => Value::object().with("error", Value::Str(e.to_string())),
-                })
-                .collect();
+                });
+            }
             Ok(Value::object()
                 .with("epoch", Value::Int(snap.epoch() as i64))
                 .with("results", Value::Array(results)))
@@ -356,13 +488,15 @@ fn dispatch(request: Request, ctx: &ConnectionContext<'_>) -> Result<Value, Stri
             let set = Itemset::from_ids(items);
             let answer = engine
                 .interest(&snap, &set, cell)
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| Failure::other(e.to_string()))?;
             Ok(interest_value(&answer))
         }
         Request::TopK { k } => {
             let snap = engine.snapshot();
             ctx.metrics.record_served_epoch(snap.epoch());
-            let pairs = engine.topk_pairs(&snap, k).map_err(|e| e.to_string())?;
+            let pairs = engine
+                .topk_pairs(&snap, k)
+                .map_err(|e| Failure::other(e.to_string()))?;
             Ok(Value::object()
                 .with("epoch", Value::Int(snap.epoch() as i64))
                 .with(
@@ -377,13 +511,15 @@ fn dispatch(request: Request, ctx: &ConnectionContext<'_>) -> Result<Value, Stri
         } => {
             let support = support.unwrap_or(0.01);
             if !(0.0..=1.0).contains(&support) {
-                return Err(format!("'support' must be in [0,1], got {support}"));
+                return Err(Failure::other(format!(
+                    "'support' must be in [0,1], got {support}"
+                )));
             }
             let fraction = support_fraction.unwrap_or(0.3);
             if !(fraction > 0.25 && fraction <= 1.0) {
-                return Err(format!(
+                return Err(Failure::other(format!(
                     "'support_fraction' must be in (0.25,1], got {fraction}"
-                ));
+                )));
             }
             let config = MinerConfig {
                 support: SupportSpec::Fraction(support),
@@ -393,19 +529,32 @@ fn dispatch(request: Request, ctx: &ConnectionContext<'_>) -> Result<Value, Stri
             };
             let snap = engine.snapshot();
             ctx.metrics.record_served_epoch(snap.epoch());
-            let result = engine.border(&snap, &config).map_err(|e| e.to_string())?;
+            let result = engine
+                .border(&snap, &config)
+                .map_err(|e| Failure::other(e.to_string()))?;
             Ok(border_value(&result, snap.epoch()))
         }
         Request::Ingest { baskets } => {
             let n = baskets.len() as u64;
-            let epoch = engine
-                .store()
-                .append_batch(
-                    baskets
-                        .into_iter()
-                        .map(|b| b.into_iter().map(ItemId).collect::<Vec<_>>()),
-                )
-                .map_err(|e| e.to_string())?;
+            let baskets = baskets
+                .into_iter()
+                .map(|b| b.into_iter().map(ItemId).collect::<Vec<_>>());
+            // With a WAL attached the append is acknowledged only after
+            // the log's sync barrier; a WAL failure is an Io-category
+            // error and nothing is applied.
+            let epoch = match ctx.durable {
+                Some(durable) => durable.append_batch(baskets).map_err(|e| match e {
+                    bmb_basket::wal::DurableError::Wal(io) => Failure {
+                        message: format!("append not durable: {io}"),
+                        category: ErrorCategory::Io,
+                    },
+                    other => Failure::other(other.to_string()),
+                })?,
+                None => engine
+                    .store()
+                    .append_batch(baskets)
+                    .map_err(|e| Failure::other(e.to_string()))?,
+            };
             ctx.metrics.record_ingest(n);
             Ok(Value::object()
                 .with("ingested", Value::Int(n as i64))
@@ -416,10 +565,33 @@ fn dispatch(request: Request, ctx: &ConnectionContext<'_>) -> Result<Value, Stri
             let cache = engine.cache_stats();
             let store_epoch = engine.store().epoch();
             let lag = store_epoch.saturating_sub(metrics.last_served_epoch);
+            let wal = match ctx.durable {
+                None => "none",
+                Some(durable) if durable.is_healthy() => "healthy",
+                Some(_) => "degraded",
+            };
             Ok(Value::object()
                 .with("requests", Value::Int(metrics.requests as i64))
                 .with("errors", Value::Int(metrics.errors as i64))
                 .with("connections", Value::Int(metrics.connections as i64))
+                .with(
+                    "active_connections",
+                    Value::Int(metrics.active_connections as i64),
+                )
+                .with(
+                    "rejected_connections",
+                    Value::Int(metrics.rejected_connections as i64),
+                )
+                .with(
+                    "max_connections",
+                    Value::Int(ctx.config.max_connections.max(1) as i64),
+                )
+                .with("err_parse", Value::Int(metrics.parse_errors as i64))
+                .with("err_overload", Value::Int(metrics.overload_errors as i64))
+                .with("err_deadline", Value::Int(metrics.deadline_errors as i64))
+                .with("err_io", Value::Int(metrics.io_errors as i64))
+                .with("err_other", Value::Int(metrics.other_errors as i64))
+                .with("wal", Value::Str(wal.to_string()))
                 .with(
                     "ingested_baskets",
                     Value::Int(metrics.ingested_baskets as i64),

@@ -1,0 +1,232 @@
+//! Property tests and a rejection corpus for the hand-rolled JSON codec.
+//!
+//! The codec is the wire layer of the serving protocol, so its contract
+//! is pinned from both sides:
+//!
+//! * **round-trip** — any [`Value`] the serializer can emit parses back
+//!   to an equal value, and the serialization is a fixed point
+//!   (serialize → parse → serialize is byte-stable);
+//! * **no panics** — mutated documents (byte flips over valid JSON) are
+//!   either parsed or rejected with an error, never a crash;
+//! * **rejection corpus** — truncated documents, nested junk, numbers
+//!   beyond `f64`, and invalid string escapes all fail loudly.
+
+use bmb_serve::json::{parse, Value};
+use proptest::prelude::*;
+use proptest::strategy::Strategy;
+use proptest::TestRng;
+use rand::Rng;
+
+/// Generates arbitrary JSON values with bounded depth and width.
+struct ArbValue {
+    max_depth: usize,
+}
+
+impl Strategy for ArbValue {
+    type Value = Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Value {
+        gen_value(&mut rng.0, self.max_depth)
+    }
+}
+
+fn gen_value(rng: &mut rand::rngs::StdRng, depth: usize) -> Value {
+    // Leaves only at the bottom; containers become rarer with depth.
+    let top = if depth == 0 { 5 } else { 7 };
+    match rng.gen_range(0..top) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.gen_range(0..2) == 0),
+        2 => Value::Int(gen_int(rng)),
+        3 => Value::Float(gen_finite_float(rng)),
+        4 => Value::Str(gen_string(rng)),
+        5 => Value::Array(
+            (0..rng.gen_range(0..4))
+                .map(|_| gen_value(rng, depth - 1))
+                .collect(),
+        ),
+        _ => Value::Object(
+            (0..rng.gen_range(0..4))
+                .map(|_| (gen_string(rng), gen_value(rng, depth - 1)))
+                .collect(),
+        ),
+    }
+}
+
+fn gen_int(rng: &mut rand::rngs::StdRng) -> i64 {
+    match rng.gen_range(0..4) {
+        0 => *[0i64, 1, -1, i64::MAX, i64::MIN]
+            .get(rng.gen_range(0..5usize))
+            .unwrap_or(&0),
+        1 => rng.gen_range(-1000..1000),
+        _ => {
+            use rand::RngCore;
+            rng.next_u64() as i64
+        }
+    }
+}
+
+fn gen_finite_float(rng: &mut rand::rngs::StdRng) -> f64 {
+    use rand::RngCore;
+    // Mix of small decimals and raw bit patterns (filtered to finite so
+    // the value is JSON-representable at all).
+    if rng.gen_range(0..2) == 0 {
+        (rng.gen_range(-4000i64..4000) as f64) / 16.0
+    } else {
+        loop {
+            let f = f64::from_bits(rng.next_u64());
+            if f.is_finite() {
+                return f;
+            }
+        }
+    }
+}
+
+fn gen_string(rng: &mut rand::rngs::StdRng) -> String {
+    // A palette that exercises every escape path: quotes, backslashes,
+    // control characters, multi-byte UTF-8, and the replacement char.
+    const PALETTE: &[char] = &[
+        'a', 'B', '7', ' ', '"', '\\', '\n', '\r', '\t', '\u{1}', '\u{1f}', '/', 'é', '∆', '🦀',
+        '\u{FFFD}', '{', '}', '[', ']', ':',
+    ];
+    let len = rng.gen_range(0..8);
+    (0..len)
+        .map(|_| PALETTE[rng.gen_range(0..PALETTE.len())])
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn serialization_round_trips(value in ArbValue { max_depth: 4 }) {
+        let text = value.to_string();
+        let back = match parse(&text) {
+            Ok(back) => back,
+            Err(e) => return Err(TestCaseError::fail(format!(
+                "serializer emitted unparseable JSON {text:?}: {e}"
+            ))),
+        };
+        prop_assert_eq!(&back, &value, "value changed across round-trip: {}", text);
+        // The serialization is a fixed point: no drift on re-encode.
+        prop_assert_eq!(back.to_string(), text);
+    }
+
+    #[test]
+    fn parser_survives_byte_flips(value in ArbValue { max_depth: 3 }, salt in 0u64..u64::MAX) {
+        let text = value.to_string();
+        if text.is_empty() {
+            return Ok(());
+        }
+        // Replace one whole character with a printable ASCII byte
+        // (keeping the buffer valid UTF-8 so it parses as a &str at all).
+        let pos = (salt as usize) % text.len();
+        if !text.is_char_boundary(pos) {
+            return Ok(());
+        }
+        let end = pos
+            + text[pos..]
+                .chars()
+                .next()
+                .map_or(1, char::len_utf8);
+        let replacement = (b' ' + ((salt >> 32) % 95) as u8) as char;
+        let mutated = format!("{}{}{}", &text[..pos], replacement, &text[end..]);
+        // Parsing must terminate with a clean verdict, and anything it
+        // accepts must itself round-trip.
+        if let Ok(reparsed) = parse(&mutated) {
+            let text2 = reparsed.to_string();
+            let again = match parse(&text2) {
+                Ok(again) => again,
+                Err(e) => return Err(TestCaseError::fail(format!(
+                    "accepted {mutated:?} but re-serialization {text2:?} fails: {e}"
+                ))),
+            };
+            prop_assert_eq!(again, reparsed);
+        }
+    }
+}
+
+/// Documents the parser rejects, grouped by failure family. Every entry
+/// must produce an error (never a panic, never silent acceptance).
+#[test]
+fn rejection_corpus() {
+    let corpus: &[(&str, &str)] = &[
+        // Truncated documents.
+        ("truncated", r#"{"a":"#),
+        ("truncated", r#"{"a""#),
+        ("truncated", r#"["#),
+        ("truncated", r#"[1,2"#),
+        ("truncated", r#"[1,"#),
+        ("truncated", r#""abc"#),
+        ("truncated", r#"{"#),
+        ("truncated", "tru"),
+        ("truncated", "-"),
+        ("truncated", ""),
+        // Structurally nested junk.
+        ("nested junk", r#"{"a":[}]"#),
+        ("nested junk", r#"[{]}"#),
+        ("nested junk", r#"{"a" 1}"#),
+        ("nested junk", r#"{1:2}"#),
+        ("nested junk", r#"[1 2]"#),
+        ("nested junk", r#"{"a":1,}"#),
+        ("nested junk", r#"[1,]"#),
+        ("nested junk", r#"{,}"#),
+        // Numbers f64 cannot hold (would round to infinity) or cannot read.
+        ("huge number", "1e999"),
+        ("huge number", "-1e999"),
+        ("huge number", "1e99999999999999999999"),
+        ("huge number", "1.8e308"),
+        ("bad number", "1e"),
+        ("bad number", "1.2.3"),
+        ("bad number", "--1"),
+        ("bad number", "1e+-2"),
+        // Invalid string escapes.
+        ("bad escape", r#""\x""#),
+        ("bad escape", r#""\u12""#),
+        ("bad escape", r#""\u12G4""#),
+        ("bad escape", r#""\"#),
+        ("bad escape", "\"\u{1}\""), // raw control char in a string
+        // Trailing garbage after a complete document.
+        ("trailing", "1 2"),
+        ("trailing", "{} {}"),
+        ("trailing", "null,"),
+    ];
+    for (family, doc) in corpus {
+        assert!(
+            parse(doc).is_err(),
+            "{family}: {doc:?} must be rejected, parsed as {:?}",
+            parse(doc)
+        );
+    }
+    // Depth bombs: past the recursion guard the parser errors instead of
+    // blowing the stack.
+    let deep = format!("{}1{}", "[".repeat(1000), "]".repeat(1000));
+    assert!(parse(&deep).is_err(), "1000-deep nesting must be rejected");
+}
+
+/// The documented accept-side edge cases stay accepted (so the corpus
+/// above can't silently over-tighten the parser).
+#[test]
+fn acceptance_edges() {
+    // Lone surrogates degrade to U+FFFD rather than erroring.
+    assert_eq!(
+        parse(r#""\ud800x""#).expect("lone surrogate accepted"),
+        Value::Str("\u{FFFD}x".to_string())
+    );
+    // Surrogate pairs combine into one scalar.
+    assert_eq!(
+        parse(r#""\ud83e\udd80""#).expect("surrogate pair accepted"),
+        Value::Str("🦀".to_string())
+    );
+    // The largest exactly representable magnitudes still parse.
+    assert_eq!(
+        parse("1.7976931348623157e308").expect("f64::MAX parses"),
+        Value::Float(f64::MAX)
+    );
+    assert_eq!(
+        parse("9223372036854775807").expect("i64::MAX parses"),
+        Value::Int(i64::MAX)
+    );
+    // Integer overflow beyond i64 falls back to float, not an error.
+    assert_eq!(
+        parse("9223372036854775808").expect("i64::MAX+1 parses as float"),
+        Value::Float(9.223372036854776e18)
+    );
+}

@@ -39,10 +39,10 @@ pub const LIBRARY_CRATES: &[&str] = &[
 pub const STRICT_CRATES: &[&str] = &["basket", "stats"];
 
 /// Crates whose statistical hot paths get the float-discipline pass.
-pub const FLOAT_CRATES: &[&str] = &["stats", "core", "sampling", "serve"];
+pub const FLOAT_CRATES: &[&str] = &["basket", "stats", "core", "sampling", "serve"];
 
 /// Crates that must document every public item.
-pub const DOC_CRATES: &[&str] = &["stats", "core", "serve"];
+pub const DOC_CRATES: &[&str] = &["basket", "stats", "core", "serve"];
 
 /// Which passes to run; all on by default.
 #[derive(Clone, Copy, Debug)]
