@@ -9,9 +9,11 @@
 //!   test can "crash" a store (drop it) and re-open the surviving bytes;
 //! * [`FaultStorage`] — a [`MemStorage`] wrapped in a deterministic
 //!   [`FaultPlan`]: fail after N appended bytes (with the failing append
-//!   landing as a short, torn write), fail reads, and flip a byte at a
-//!   chosen offset. Every crash point a disk can produce is enumerable,
-//!   which is what the crash-recovery torture test iterates over.
+//!   landing as a short, torn write, either permanent like dead media or
+//!   transient like an ENOSPC that clears), fail reads, and flip a byte
+//!   at a chosen offset. Every crash point a disk can produce is
+//!   enumerable, which is what the crash-recovery torture test iterates
+//!   over.
 //!
 //! Fault semantics mirror real disks: a failed append may have persisted
 //! a *prefix* of the data (torn write), a failed sync leaves the tail in
@@ -97,6 +99,18 @@ impl FileStorage {
             .create(true)
             .truncate(false)
             .open(path)?;
+        // A freshly created file's directory entry is not durable until
+        // the parent directory itself is synced; without this, a crash
+        // shortly after creation can lose the file — and every synced
+        // append in it — on some filesystems.
+        #[cfg(unix)]
+        {
+            let parent = match path.parent() {
+                Some(p) if !p.as_os_str().is_empty() => p,
+                _ => Path::new("."),
+            };
+            File::open(parent)?.sync_all()?;
+        }
         Ok(FileStorage { file })
     }
 }
@@ -201,6 +215,12 @@ pub struct FaultPlan {
     /// After the write fault trips, XOR the byte at this offset with
     /// 0xFF (a bit-flipped torn tail). Out-of-range offsets are ignored.
     pub corrupt_at: Option<u64>,
+    /// When true the write fault is transient (an ENOSPC/EIO that
+    /// clears): the failing append still lands as a torn write, but the
+    /// fault un-trips afterwards and later writes succeed. Otherwise
+    /// the fault is permanent — once tripped, every later write
+    /// (append, sync when planned, truncate) fails, like dead media.
+    pub transient: bool,
 }
 
 /// A [`MemStorage`] that injects the faults of a [`FaultPlan`].
@@ -280,13 +300,18 @@ impl Storage for FaultStorage {
             return self.inner.append(data);
         }
         // Torn write: the prefix that fits under the budget lands, the
-        // rest is lost, and the fault trips.
+        // rest is lost, and the fault trips (permanently, unless the
+        // plan marks it transient).
         let keep = usize::try_from(budget)
             .unwrap_or(usize::MAX)
             .min(data.len());
         let _ = self.inner.append(&data[..keep]);
         self.written += keep as u64;
-        self.tripped = true;
+        if self.plan.transient {
+            self.plan.fail_after_bytes = None;
+        } else {
+            self.tripped = true;
+        }
         self.corrupt();
         Err(self.fault("write budget exhausted"))
     }
@@ -313,6 +338,9 @@ impl Storage for FaultStorage {
     }
 
     fn truncate(&mut self, len: u64) -> io::Result<()> {
+        if self.tripped {
+            return Err(self.fault("truncate after write fault"));
+        }
         self.inner.truncate(len)
     }
 }
@@ -386,6 +414,24 @@ mod tests {
         assert_eq!(s.read_all().unwrap(), b"abcd");
         assert!(s.is_tripped());
         assert!(s.append(b"x").is_err());
+        assert!(s.truncate(0).is_err(), "dead media fails truncate too");
+    }
+
+    #[test]
+    fn transient_fault_tears_once_then_heals() {
+        let mut s = FaultStorage::new(FaultPlan {
+            fail_after_bytes: Some(4),
+            transient: true,
+            ..FaultPlan::default()
+        });
+        s.append(b"ab").unwrap();
+        assert!(s.append(b"cdef").is_err());
+        assert_eq!(s.read_all().unwrap(), b"abcd", "the failing write tears");
+        assert!(!s.is_tripped());
+        // The fault has cleared: repairs and later writes succeed.
+        s.truncate(2).unwrap();
+        s.append(b"xy").unwrap();
+        assert_eq!(s.read_all().unwrap(), b"abxy");
     }
 
     #[test]

@@ -27,11 +27,18 @@
 //! mismatch (bit flip), or a fence naming an epoch the replayed store
 //! does not have (misordered damage). Everything before the damage is
 //! applied; the damaged tail is truncated away so the next append starts
-//! at a clean record boundary. Because acknowledged records were synced
-//! before damage could only accumulate *behind* them, stopping at the
-//! last valid record never loses an acknowledged append — the torture
-//! test in `tests/wal_torture.rs` enumerates several hundred randomized
-//! fault points to pin exactly that.
+//! at a clean record boundary.
+//!
+//! That rule is only safe if acknowledged records are always a clean
+//! *prefix* of the log — damage must never sit in front of an acked
+//! record. Recovery guarantees it for crashes (acked records were synced
+//! before any later bytes), and the writer guarantees it for I/O faults:
+//! when an append fails mid-record, the torn tail is truncated back to
+//! the last committed offset before any further append is accepted, and
+//! if that repair fails the WAL degrades — every later append fails fast
+//! rather than landing behind torn bytes that recovery would stop at.
+//! The torture test in `crates/core/tests/wal_torture.rs` enumerates
+//! several hundred randomized fault points to pin exactly this.
 
 use std::io;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
@@ -48,9 +55,12 @@ const KIND_BATCH: u8 = 0x01;
 /// Record-kind byte for an epoch fence.
 const KIND_FENCE: u8 = 0x02;
 
-/// Upper bound on a single record's payload; a length prefix beyond this
-/// is treated as tail damage rather than attempted as an allocation.
-const MAX_RECORD_BYTES: u32 = 1 << 28;
+/// Upper bound on a single record's payload. Replay treats a length
+/// prefix beyond this as tail damage rather than attempting the
+/// allocation, and [`DurableStore::append_batch`] rejects a batch that
+/// would encode past it *before* writing — so an append that recovery
+/// would discard is never acknowledged.
+pub const MAX_RECORD_BYTES: u32 = 1 << 28;
 
 /// The standard CRC-32 (IEEE 802.3, reflected) lookup table.
 const CRC_TABLE: [u32; 256] = {
@@ -125,6 +135,14 @@ pub enum DurableError {
     /// A basket named an item outside the item space; nothing was
     /// logged or applied.
     ItemOutOfRange(ItemOutOfRange),
+    /// The batch would encode past [`MAX_RECORD_BYTES`]; nothing was
+    /// logged or applied. Recovery treats oversized length prefixes as
+    /// tail damage, so such a record must never be written (let alone
+    /// acknowledged) in the first place. Split the batch and retry.
+    BatchTooLarge {
+        /// The size the batch would occupy as one record payload.
+        encoded_bytes: u64,
+    },
 }
 
 impl std::fmt::Display for DurableError {
@@ -132,6 +150,11 @@ impl std::fmt::Display for DurableError {
         match self {
             DurableError::Wal(e) => write!(f, "append not durable: {e}"),
             DurableError::ItemOutOfRange(e) => write!(f, "{e}"),
+            DurableError::BatchTooLarge { encoded_bytes } => write!(
+                f,
+                "batch encodes to {encoded_bytes} bytes, over the \
+                 {MAX_RECORD_BYTES}-byte wal record limit; split the batch"
+            ),
         }
     }
 }
@@ -155,8 +178,13 @@ pub struct RecoveryReport {
 /// matches store-apply order.
 struct WalInner {
     storage: Box<dyn Storage>,
-    /// Set after a failed fence write: appends keep failing fast until
-    /// the storage recovers (it never does for a tripped fault backend).
+    /// Offset just past the last record whose sync barrier succeeded —
+    /// the repair target after a failed append leaves a torn tail.
+    committed_len: u64,
+    /// Set when a failed append's torn tail could not be repaired
+    /// (truncated away): a later successful append would land *behind*
+    /// the torn bytes and recovery would discard it, so instead every
+    /// later append fails fast until the store is reopened.
     degraded: bool,
 }
 
@@ -168,7 +196,25 @@ impl WalInner {
         framed.extend_from_slice(&crc32(payload).to_le_bytes());
         framed.extend_from_slice(payload);
         self.storage.append(&framed)?;
-        self.storage.sync()
+        self.storage.sync()?;
+        self.committed_len += framed.len() as u64;
+        Ok(())
+    }
+
+    /// After a failed [`WalInner::append_record`] the media may hold a
+    /// torn tail; cut the log back to the last committed offset so the
+    /// next append starts at a clean record boundary. If the repair
+    /// itself fails, the WAL degrades: acknowledging an append behind
+    /// torn bytes would hand recovery a record it must discard.
+    fn repair_or_degrade(&mut self) {
+        let repaired = self
+            .storage
+            .truncate(self.committed_len)
+            .and_then(|()| self.storage.sync())
+            .is_ok();
+        if !repaired {
+            self.degraded = true;
+        }
     }
 }
 
@@ -259,6 +305,7 @@ impl DurableStore {
                 segment_capacity: config.segment_capacity,
                 wal: Mutex::new(WalInner {
                     storage,
+                    committed_len: valid_end,
                     degraded: false,
                 }),
             },
@@ -310,8 +357,10 @@ impl DurableStore {
     ///
     /// # Errors
     ///
-    /// [`DurableError::ItemOutOfRange`] for an invalid basket (nothing
-    /// logged), [`DurableError::Wal`] when the WAL write or sync fails.
+    /// [`DurableError::ItemOutOfRange`] for an invalid basket and
+    /// [`DurableError::BatchTooLarge`] for a batch that would overflow
+    /// one WAL record (nothing logged in either case);
+    /// [`DurableError::Wal`] when the WAL write or sync fails.
     pub fn append_batch<B, I>(&self, baskets: B) -> Result<u64, DurableError>
     where
         B: IntoIterator<Item = I>,
@@ -331,6 +380,14 @@ impl DurableStore {
                 }
             }
         }
+        // Bound the record before anything hits the log: replay treats
+        // an oversized length prefix as tail damage, so a record it
+        // would discard must never be written, let alone acknowledged.
+        // (Size is arithmetic over the batch shape — no allocation.)
+        let encoded_bytes = 5u64 + baskets.iter().map(|b| 4 + 4 * b.len() as u64).sum::<u64>();
+        if encoded_bytes > u64::from(MAX_RECORD_BYTES) {
+            return Err(DurableError::BatchTooLarge { encoded_bytes });
+        }
         let payload = encode_batch(&baskets);
         let mut wal = lock(&self.wal);
         if wal.degraded {
@@ -338,7 +395,13 @@ impl DurableStore {
                 "wal is degraded after an earlier storage failure",
             )));
         }
-        wal.append_record(&payload).map_err(DurableError::Wal)?;
+        if let Err(e) = wal.append_record(&payload) {
+            // The media may hold a torn tail; repair it (or degrade) so
+            // a later successful append cannot land behind torn bytes —
+            // recovery stops at the tear and would discard it.
+            wal.repair_or_degrade();
+            return Err(DurableError::Wal(e));
+        }
         // Durable from here on: apply to the store and acknowledge.
         let old_epoch = self.store.epoch();
         let epoch = match self.store.append_batch(baskets) {
@@ -350,17 +413,18 @@ impl DurableStore {
         // A fence whenever this batch crossed a seal boundary. The fence
         // pins the post-batch epoch: replay re-derives seal boundaries
         // from the same capacity, so matching epochs imply matching
-        // segment structure. Fence-write failures cannot un-acknowledge
-        // durable data; the WAL degrades and later appends fail fast.
+        // segment structure. A fence-write failure cannot un-acknowledge
+        // durable data (replay is correct without the fence); the torn
+        // fence is repaired like any failed append — or the WAL degrades.
         let cap = self.segment_capacity as u64;
         if epoch / cap > old_epoch / cap && wal.append_record(&encode_fence(epoch)).is_err() {
-            wal.degraded = true;
+            wal.repair_or_degrade();
         }
         Ok(epoch)
     }
 
-    /// Whether the WAL can still acknowledge appends (`false` after a
-    /// storage failure on a fence write).
+    /// Whether the WAL can still acknowledge appends (`false` once a
+    /// failed append left a torn tail that could not be repaired).
     pub fn is_healthy(&self) -> bool {
         !lock(&self.wal).degraded
     }
@@ -663,22 +727,8 @@ mod tests {
 
     #[test]
     fn failed_append_is_not_applied_and_recovery_agrees() {
-        // Measure how many bytes the header plus one record occupy.
-        let header_and_one = {
-            let mem = MemStorage::new();
-            let bytes = mem.bytes();
-            let (store, _) = match DurableStore::open(Box::new(mem), 8, config()) {
-                Ok(p) => p,
-                Err(e) => panic!("{e}"),
-            };
-            store.append_ids([0, 1]).unwrap();
-            drop(store);
-            let len = bytes.lock().unwrap().len() as u64;
-            len
-        };
-
         let faulty = FaultStorage::new(FaultPlan {
-            fail_after_bytes: Some(header_and_one + 5), // tears the 2nd record
+            fail_after_bytes: Some(header_and_one_record() + 5), // tears the 2nd record
             ..FaultPlan::default()
         });
         let bytes = faulty.bytes();
@@ -700,6 +750,110 @@ mod tests {
             recovered.snapshot().support(Itemset::from_ids([2]).items()),
             0
         );
+    }
+
+    /// Bytes occupied by the magic header plus one `[a, b]` basket
+    /// record, measured so fault budgets can tear the second record.
+    fn header_and_one_record() -> u64 {
+        let mem = MemStorage::new();
+        let bytes = mem.bytes();
+        let (store, _) = match DurableStore::open(Box::new(mem), 8, config()) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        };
+        store.append_ids([0, 1]).unwrap();
+        drop(store);
+        let len = bytes.lock().unwrap().len() as u64;
+        len
+    }
+
+    #[test]
+    fn transient_fault_repairs_torn_tail_so_later_acks_survive() {
+        // The reviewer scenario for the lost-ack bug: append A lands,
+        // append B tears (transient ENOSPC/EIO), append C succeeds. If
+        // the torn tail of B were left in place, recovery would stop at
+        // it and discard the *acknowledged* C. The writer must repair
+        // the tail before accepting C.
+        let faulty = FaultStorage::new(FaultPlan {
+            fail_after_bytes: Some(header_and_one_record() + 5),
+            transient: true,
+            ..FaultPlan::default()
+        });
+        let bytes = faulty.bytes();
+        let (store, _) = match DurableStore::open(Box::new(faulty), 8, config()) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        };
+        store.append_ids([0, 1]).unwrap();
+        let err = store.append_ids([2, 3]).unwrap_err();
+        assert!(matches!(err, DurableError::Wal(_)));
+        assert!(store.is_healthy(), "a repaired tail is not a degraded wal");
+        store.append_ids([4, 5]).unwrap();
+        assert_eq!(store.epoch(), 2);
+        drop(store); // crash
+
+        let (recovered, report) = open_mem(Some(bytes));
+        assert_eq!(report.epoch, 2, "the acked append after the fault is kept");
+        assert_eq!(report.truncated_bytes, 0, "the writer already repaired");
+        let snap = recovered.snapshot();
+        assert_eq!(snap.support(Itemset::from_ids([0]).items()), 1);
+        assert_eq!(snap.support(Itemset::from_ids([2]).items()), 0);
+        assert_eq!(snap.support(Itemset::from_ids([4]).items()), 1);
+    }
+
+    #[test]
+    fn unrepairable_torn_tail_degrades_the_wal() {
+        // Permanent fault: the torn tail cannot be truncated away, so
+        // the wal must refuse every later append instead of letting one
+        // land behind the tear (where recovery would discard it).
+        let faulty = FaultStorage::new(FaultPlan {
+            fail_after_bytes: Some(header_and_one_record() + 5),
+            ..FaultPlan::default()
+        });
+        let bytes = faulty.bytes();
+        let (store, _) = match DurableStore::open(Box::new(faulty), 8, config()) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        };
+        store.append_ids([0, 1]).unwrap();
+        assert!(store.append_ids([2, 3]).is_err());
+        assert!(!store.is_healthy(), "unrepaired tear must degrade the wal");
+        let err = store.append_ids([4, 5]).unwrap_err();
+        assert!(
+            err.to_string().contains("degraded"),
+            "later appends fail fast, got: {err}"
+        );
+        assert_eq!(store.epoch(), 1, "rejected appends are not applied");
+        drop(store);
+
+        let (_, report) = open_mem(Some(bytes));
+        assert_eq!(report.epoch, 1, "exactly the acked prefix recovers");
+        assert!(report.truncated_bytes > 0);
+    }
+
+    #[test]
+    fn oversized_batch_is_rejected_before_logging() {
+        let mem = MemStorage::new();
+        let bytes = mem.bytes();
+        let (store, _) = match DurableStore::open(Box::new(mem), 8, config()) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        };
+        // Smallest basket whose record payload exceeds MAX_RECORD_BYTES.
+        let n = (MAX_RECORD_BYTES as usize - 9) / 4 + 1;
+        let err = store.append(vec![ItemId(0); n]).unwrap_err();
+        match err {
+            DurableError::BatchTooLarge { encoded_bytes } => {
+                assert!(encoded_bytes > u64::from(MAX_RECORD_BYTES));
+            }
+            other => panic!("expected BatchTooLarge, got {other}"),
+        }
+        // Nothing was logged or applied, and the wal is still healthy.
+        assert_eq!(store.epoch(), 0);
+        assert!(store.is_healthy());
+        assert_eq!(bytes.lock().unwrap().len(), WAL_MAGIC.len());
+        store.append_ids([1]).unwrap();
+        assert_eq!(store.epoch(), 1);
     }
 
     #[test]

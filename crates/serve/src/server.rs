@@ -211,11 +211,12 @@ impl Server {
                             );
                             continue;
                         }
-                        self.metrics.record_connection();
                         match tx.try_send(stream) {
-                            Ok(()) => {}
+                            // Counted only once the pool has the stream,
+                            // so `connections` is exactly the admitted
+                            // count (rejections are tallied separately).
+                            Ok(()) => self.metrics.record_connection(),
                             Err(mpsc::TrySendError::Full(stream)) => {
-                                self.metrics.record_disconnection();
                                 self.metrics.record_rejected_connection();
                                 reject_connection(stream, "server overloaded: pending queue full");
                             }
