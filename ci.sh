@@ -25,4 +25,7 @@ timeout 60 cargo test -q --release -p bmb-core --test wal_torture
 echo "==> server smoke test"
 ./scripts/serve_smoke.sh
 
+echo "==> metrics exposition smoke test"
+./scripts/metrics_smoke.sh
+
 echo "CI: all gates passed"

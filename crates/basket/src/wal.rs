@@ -42,6 +42,9 @@
 
 use std::io;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+use bmb_obs::{Counter, Gauge, Histogram, Registry, Severity};
 
 use crate::item::ItemId;
 use crate::segment::{IncrementalStore, ItemOutOfRange, Snapshot, StoreConfig};
@@ -186,6 +189,41 @@ struct WalInner {
     /// the torn bytes and recovery would discard it, so instead every
     /// later append fails fast until the store is reopened.
     degraded: bool,
+    /// Metric handles shared with the store's registry.
+    metrics: WalMetrics,
+}
+
+/// Handle bundle for the WAL-writer metrics (`bmb_basket_wal_*`); the
+/// cells live in the registry [`DurableStore`] owns.
+#[derive(Clone)]
+struct WalMetrics {
+    syncs: Counter,
+    sync_us: Histogram,
+    repaired_tails: Counter,
+    degraded: Gauge,
+}
+
+impl WalMetrics {
+    fn register(registry: &Registry) -> WalMetrics {
+        WalMetrics {
+            syncs: registry.counter(
+                "bmb_basket_wal_syncs_total",
+                "Successful WAL sync barriers.",
+            ),
+            sync_us: registry.histogram(
+                "bmb_basket_wal_sync_us",
+                "WAL sync-barrier latency in microseconds.",
+            ),
+            repaired_tails: registry.counter(
+                "bmb_basket_wal_repaired_tails_total",
+                "Torn WAL tails truncated back to the committed offset.",
+            ),
+            degraded: registry.gauge(
+                "bmb_basket_wal_degraded",
+                "1 when the WAL refuses appends after an unrepairable tear.",
+            ),
+        }
+    }
 }
 
 impl WalInner {
@@ -196,7 +234,11 @@ impl WalInner {
         framed.extend_from_slice(&crc32(payload).to_le_bytes());
         framed.extend_from_slice(payload);
         self.storage.append(&framed)?;
-        self.storage.sync()?;
+        let sync_start = Instant::now();
+        let synced = self.storage.sync();
+        self.metrics.sync_us.record_duration(sync_start.elapsed());
+        synced?;
+        self.metrics.syncs.inc();
         self.committed_len += framed.len() as u64;
         Ok(())
     }
@@ -212,8 +254,17 @@ impl WalInner {
             .truncate(self.committed_len)
             .and_then(|()| self.storage.sync())
             .is_ok();
-        if !repaired {
+        if repaired {
+            self.metrics.repaired_tails.inc();
+            bmb_obs::events().emit(Severity::Warn, "wal tail repaired after failed append", &[]);
+        } else {
             self.degraded = true;
+            self.metrics.degraded.set(1);
+            bmb_obs::events().emit(
+                Severity::Error,
+                "wal degraded: torn tail could not be repaired",
+                &[],
+            );
         }
     }
 }
@@ -249,6 +300,15 @@ pub struct DurableStore {
     store: Arc<IncrementalStore>,
     segment_capacity: usize,
     wal: Mutex<WalInner>,
+    /// Per-store metrics registry (`bmb_basket_wal_*`); see
+    /// [`DurableStore::observability`].
+    obs: Arc<Registry>,
+    /// Acknowledged WAL batch appends.
+    appends: Counter,
+    /// Baskets inside acknowledged appends.
+    appended_baskets: Counter,
+    /// Appends rejected by a WAL write/sync failure (or a degraded WAL).
+    append_errors: Counter,
 }
 
 impl std::fmt::Debug for DurableStore {
@@ -299,6 +359,34 @@ impl DurableStore {
             storage.sync()?;
         }
         report.epoch = store.epoch();
+        let obs = Arc::new(Registry::new());
+        let metrics = WalMetrics::register(&obs);
+        obs.gauge(
+            "bmb_basket_wal_recovered_records",
+            "Intact WAL records replayed at the last open.",
+        )
+        .set(i64::try_from(report.records_replayed).unwrap_or(i64::MAX));
+        obs.gauge(
+            "bmb_basket_wal_recovered_baskets",
+            "Baskets reconstructed from the WAL at the last open.",
+        )
+        .set(i64::try_from(report.baskets_recovered).unwrap_or(i64::MAX));
+        obs.gauge(
+            "bmb_basket_wal_recovery_truncated_bytes",
+            "Damaged tail bytes truncated away at the last open.",
+        )
+        .set(i64::try_from(report.truncated_bytes).unwrap_or(i64::MAX));
+        if report.records_replayed > 0 || report.truncated_bytes > 0 {
+            bmb_obs::events().emit(
+                Severity::Info,
+                "wal recovery replayed existing log",
+                &[
+                    ("records", &report.records_replayed.to_string()),
+                    ("baskets", &report.baskets_recovered.to_string()),
+                    ("truncated_bytes", &report.truncated_bytes.to_string()),
+                ],
+            );
+        }
         Ok((
             DurableStore {
                 store: Arc::new(store),
@@ -307,10 +395,32 @@ impl DurableStore {
                     storage,
                     committed_len: valid_end,
                     degraded: false,
+                    metrics,
                 }),
+                appends: obs.counter(
+                    "bmb_basket_wal_appends_total",
+                    "Acknowledged (durable) WAL batch appends.",
+                ),
+                appended_baskets: obs.counter(
+                    "bmb_basket_wal_appended_baskets_total",
+                    "Baskets inside acknowledged WAL appends.",
+                ),
+                append_errors: obs.counter(
+                    "bmb_basket_wal_append_errors_total",
+                    "Appends rejected by a WAL write/sync failure or a degraded WAL.",
+                ),
+                obs,
             },
             report,
         ))
+    }
+
+    /// The store's metrics registry (`bmb_basket_wal_*` families):
+    /// acknowledged appends, sync counts and latency, repaired tails,
+    /// the degraded gauge, and last-open recovery stats. Snapshot it or
+    /// merge it into a server-wide exposition.
+    pub fn observability(&self) -> &Arc<Registry> {
+        &self.obs
     }
 
     /// The wrapped in-memory store; hand this to a `QueryEngine` so
@@ -388,9 +498,11 @@ impl DurableStore {
         if encoded_bytes > u64::from(MAX_RECORD_BYTES) {
             return Err(DurableError::BatchTooLarge { encoded_bytes });
         }
+        let n_baskets = baskets.len() as u64;
         let payload = encode_batch(&baskets);
         let mut wal = lock(&self.wal);
         if wal.degraded {
+            self.append_errors.inc();
             return Err(DurableError::Wal(io::Error::other(
                 "wal is degraded after an earlier storage failure",
             )));
@@ -400,6 +512,7 @@ impl DurableStore {
             // a later successful append cannot land behind torn bytes —
             // recovery stops at the tear and would discard it.
             wal.repair_or_degrade();
+            self.append_errors.inc();
             return Err(DurableError::Wal(e));
         }
         // Durable from here on: apply to the store and acknowledge.
@@ -420,6 +533,8 @@ impl DurableStore {
         if epoch / cap > old_epoch / cap && wal.append_record(&encode_fence(epoch)).is_err() {
             wal.repair_or_degrade();
         }
+        self.appends.inc();
+        self.appended_baskets.add(n_baskets);
         Ok(epoch)
     }
 
@@ -854,6 +969,98 @@ mod tests {
         assert_eq!(bytes.lock().unwrap().len(), WAL_MAGIC.len());
         store.append_ids([1]).unwrap();
         assert_eq!(store.epoch(), 1);
+    }
+
+    #[test]
+    fn wal_metrics_track_appends_syncs_and_recovery() {
+        let mem = MemStorage::new();
+        let bytes = mem.bytes();
+        let (store, _) = match DurableStore::open(Box::new(mem), 8, config()) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        };
+        store.append_ids([0, 1]).unwrap();
+        store
+            .append_batch([vec![ItemId(2)], vec![ItemId(3)]])
+            .unwrap();
+        let snap = store.observability().snapshot();
+        assert_eq!(snap.counter_value("bmb_basket_wal_appends_total", &[]), 2);
+        assert_eq!(
+            snap.counter_value("bmb_basket_wal_appended_baskets_total", &[]),
+            3
+        );
+        assert!(snap.counter_value("bmb_basket_wal_syncs_total", &[]) >= 2);
+        let sync_us = snap.histogram_value("bmb_basket_wal_sync_us", &[]);
+        assert_eq!(
+            sync_us.count(),
+            snap.counter_value("bmb_basket_wal_syncs_total", &[])
+        );
+        assert_eq!(snap.gauge_value("bmb_basket_wal_degraded", &[]), 0);
+        assert_eq!(
+            snap.counter_value("bmb_basket_wal_append_errors_total", &[]),
+            0
+        );
+        drop(store);
+
+        // Reopen: recovery gauges reflect the replayed log.
+        let (recovered, report) = open_mem(Some(bytes));
+        let snap = recovered.observability().snapshot();
+        assert_eq!(
+            snap.gauge_value("bmb_basket_wal_recovered_records", &[]),
+            report.records_replayed as i64
+        );
+        assert_eq!(snap.gauge_value("bmb_basket_wal_recovered_baskets", &[]), 3);
+        assert_eq!(
+            snap.gauge_value("bmb_basket_wal_recovery_truncated_bytes", &[]),
+            0
+        );
+    }
+
+    #[test]
+    fn wal_metrics_track_repair_and_degradation() {
+        // Transient fault: repaired tail increments the repair counter.
+        let faulty = FaultStorage::new(FaultPlan {
+            fail_after_bytes: Some(header_and_one_record() + 5),
+            transient: true,
+            ..FaultPlan::default()
+        });
+        let (store, _) = match DurableStore::open(Box::new(faulty), 8, config()) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        };
+        store.append_ids([0, 1]).unwrap();
+        assert!(store.append_ids([2, 3]).is_err());
+        let snap = store.observability().snapshot();
+        assert_eq!(
+            snap.counter_value("bmb_basket_wal_repaired_tails_total", &[]),
+            1
+        );
+        assert_eq!(
+            snap.counter_value("bmb_basket_wal_append_errors_total", &[]),
+            1
+        );
+        assert_eq!(snap.gauge_value("bmb_basket_wal_degraded", &[]), 0);
+
+        // Permanent fault: the degraded gauge latches to 1 and later
+        // fast-failed appends count as errors.
+        let faulty = FaultStorage::new(FaultPlan {
+            fail_after_bytes: Some(header_and_one_record() + 5),
+            ..FaultPlan::default()
+        });
+        let (store, _) = match DurableStore::open(Box::new(faulty), 8, config()) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        };
+        store.append_ids([0, 1]).unwrap();
+        assert!(store.append_ids([2, 3]).is_err());
+        assert!(store.append_ids([4, 5]).is_err());
+        let snap = store.observability().snapshot();
+        assert_eq!(snap.gauge_value("bmb_basket_wal_degraded", &[]), 1);
+        assert_eq!(
+            snap.counter_value("bmb_basket_wal_append_errors_total", &[]),
+            2
+        );
+        assert_eq!(snap.counter_value("bmb_basket_wal_appends_total", &[]), 1);
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub const MINE_SPEC: &[(&str, FlagKind)] = &[
     ("walk", FlagKind::Boolean),
     ("walks", FlagKind::Value),
     ("scan", FlagKind::Boolean),
+    ("trace", FlagKind::Boolean),
 ];
 
 /// Flags accepted by `bmb pairs`.
@@ -54,6 +55,7 @@ pub const SERVE_SPEC: &[(&str, FlagKind)] = &[
     ("segment-capacity", FlagKind::Value),
     ("wal", FlagKind::Value),
     ("max-connections", FlagKind::Value),
+    ("metrics-addr", FlagKind::Value),
     ("numeric", FlagKind::Boolean),
 ];
 
@@ -128,6 +130,36 @@ pub fn cmd_mine(args: &Args, out: &mut dyn Write) -> Result<(), String> {
             level.level, level.candidates, level.discards, level.significant, level.not_significant
         )
         .map_err(sink)?;
+    }
+    if args.has("trace") {
+        let profile = &result.profile;
+        writeln!(
+            out,
+            "# trace: index build {}us, initial pairs {}us",
+            profile.index_build_us, profile.initial_pairs_us
+        )
+        .map_err(sink)?;
+        for stage in &profile.levels {
+            let stats = result.levels.iter().find(|s| s.level == stage.level);
+            let (candidates, discards) = stats.map_or((0, 0), |s| (s.candidates, s.discards));
+            let pruned_pct = if candidates == 0 {
+                0.0
+            } else {
+                100.0 * discards as f64 / candidates as f64
+            };
+            writeln!(
+                out,
+                "# trace level {}: count {}us, evaluate {}us, emit {}us, \
+                 candgen {}us, total {}us, pruned {discards}/{candidates} ({pruned_pct:.1}%)",
+                stage.level,
+                stage.count_us,
+                stage.evaluate_us,
+                stage.emit_us,
+                stage.candgen_us,
+                stage.total_us(),
+            )
+            .map_err(sink)?;
+        }
     }
     for rule in &result.significant {
         let (includes, omits) = rule.major_dependence_words(&db);
@@ -280,6 +312,9 @@ pub fn cmd_stats(args: &Args, out: &mut dyn Write) -> Result<(), String> {
 /// at the recovered epoch. Prints the bound address
 /// (`listening on HOST:PORT`) before blocking in the accept loop; a
 /// client's `shutdown` command drains in-flight queries and exits 0.
+/// With `--metrics-addr HOST:PORT` a second listener serves a
+/// Prometheus text snapshot at `/metrics` (announced as
+/// `metrics on http://HOST:PORT/metrics`).
 pub fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let sink = |e: std::io::Error| e.to_string();
     let store_config = bmb_basket::StoreConfig {
@@ -289,6 +324,7 @@ pub fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         addr: args.get_or("addr", "127.0.0.1:7878".to_string())?,
         workers: args.get_or("workers", 4usize)?,
         max_connections: args.get_or("max-connections", 256usize)?,
+        metrics_addr: args.get::<String>("metrics-addr")?,
         ..Default::default()
     };
     let durable = match args.get::<String>("wal")? {
@@ -347,6 +383,9 @@ pub fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     }
     let metrics = server.metrics();
     writeln!(out, "listening on {}", server.local_addr()).map_err(sink)?;
+    if let Some(addr) = server.metrics_local_addr() {
+        writeln!(out, "metrics on http://{addr}/metrics").map_err(sink)?;
+    }
     out.flush().map_err(sink)?;
     server.run().map_err(|e| format!("server failed: {e}"))?;
     let snapshot = metrics.snapshot();
@@ -404,6 +443,7 @@ bmb — correlation mining for generalized basket data
 USAGE:
   bmb mine FILE      [--support F] [--p F] [--alpha F] [--max-level N]
                      [--threads N] [--numeric] [--scan] [--walk] [--walks N]
+                     [--trace]
   bmb pairs FILE     [--alpha F] [--numeric]
   bmb rules FILE     [--support F] [--confidence F] [--numeric]
   bmb generate KIND  [--n N] [--items N] [--seed N] [--out FILE]
@@ -411,15 +451,18 @@ USAGE:
   bmb stats FILE     [--numeric]
   bmb serve [FILE]   [--addr HOST:PORT] [--workers N] [--items N]
                      [--segment-capacity N] [--wal PATH]
-                     [--max-connections N] [--numeric]
+                     [--max-connections N] [--metrics-addr HOST:PORT]
+                     [--numeric]
   bmb query ADDR     [LINE...]  [--timeout-secs N]
 
 Basket files are one basket per line; tokens are item names (default) or
 numeric ids (--numeric). '#' starts a comment line.
 
 'bmb serve' answers line-delimited JSON over TCP (cmd: chi2, chi2_batch,
-interest, topk, border, ingest, stats, ping, shutdown); 'bmb query'
-sends request lines from the command line or stdin.
+interest, topk, border, ingest, stats, metrics, ping, shutdown); 'bmb
+query' sends request lines from the command line or stdin. With
+--metrics-addr, 'bmb serve' also exposes a Prometheus text snapshot
+over HTTP at /metrics; 'bmb mine --trace' prints per-stage wall times.
 ";
 
 #[cfg(test)]
@@ -464,6 +507,32 @@ mod tests {
             rendered.contains("{0, 1, 2}") || rendered.contains("{i0,i1,i2}"),
             "{rendered}"
         );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn mine_trace_prints_stage_profile() {
+        let db = bmb_datasets::parity_triple(200, 3);
+        let mut text = Vec::new();
+        bmb_basket::io::write(&db, &mut text).unwrap();
+        let path = temp_basket_file(std::str::from_utf8(&text).unwrap());
+        let a = args(
+            MINE_SPEC,
+            &[
+                "mine",
+                path.to_str().unwrap(),
+                "--numeric",
+                "--support",
+                "0.02",
+                "--trace",
+            ],
+        );
+        let mut out = Vec::new();
+        cmd_mine(&a, &mut out).unwrap();
+        let rendered = String::from_utf8(out).unwrap();
+        assert!(rendered.contains("# trace: index build "), "{rendered}");
+        assert!(rendered.contains("# trace level 2: count "), "{rendered}");
+        assert!(rendered.contains("pruned "), "{rendered}");
         std::fs::remove_file(path).ok();
     }
 
@@ -553,6 +622,23 @@ mod tests {
         }
     }
 
+    /// Polls the serve output for the announced address — first line
+    /// only, since `--metrics-addr` may announce a second listener.
+    fn wait_for_addr(buf: &SharedBuf) -> String {
+        loop {
+            let text = buf.contents();
+            if let Some(pos) = text.find("listening on ") {
+                let rest = &text[pos + "listening on ".len()..];
+                if let Some(line) = rest.lines().next() {
+                    if !line.is_empty() {
+                        break line.trim().to_string();
+                    }
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+    }
+
     #[test]
     fn serve_and_query_commands_end_to_end() {
         let path = temp_basket_file("0 1\n0 1 2\n2\n0 1\n");
@@ -574,13 +660,7 @@ mod tests {
             std::thread::spawn(move || cmd_serve(&serve_args, &mut sink))
         };
         // Wait for the ephemeral port to be announced.
-        let addr = loop {
-            let text = buf.contents();
-            if let Some(rest) = text.strip_prefix("listening on ") {
-                break rest.trim().to_string();
-            }
-            std::thread::sleep(std::time::Duration::from_millis(10));
-        };
+        let addr = wait_for_addr(&buf);
         let query_args = args(
             QUERY_SPEC,
             &["query", &addr, r#"{"id":1,"cmd":"chi2","items":[0,1]}"#],
@@ -595,6 +675,55 @@ mod tests {
         cmd_query(&stop_args, &mut out).unwrap();
         server_thread.join().unwrap().unwrap();
         assert!(buf.contents().contains("served"), "{}", buf.contents());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn serve_announces_and_serves_http_metrics() {
+        use std::io::{Read, Write as _};
+        let path = temp_basket_file("0 1\n0 1 2\n2\n0 1\n");
+        let serve_args = args(
+            SERVE_SPEC,
+            &[
+                "serve",
+                path.to_str().unwrap(),
+                "--numeric",
+                "--addr",
+                "127.0.0.1:0",
+                "--metrics-addr",
+                "127.0.0.1:0",
+                "--workers",
+                "2",
+            ],
+        );
+        let buf = SharedBuf::default();
+        let server_thread = {
+            let mut sink = buf.clone();
+            std::thread::spawn(move || cmd_serve(&serve_args, &mut sink))
+        };
+        let addr = wait_for_addr(&buf);
+        // The metrics listener is announced on its own line.
+        let metrics_addr = loop {
+            let text = buf.contents();
+            if let Some(pos) = text.find("metrics on http://") {
+                let rest = &text[pos + "metrics on http://".len()..];
+                if let Some(end) = rest.find("/metrics") {
+                    break rest[..end].to_string();
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+        let mut stream = std::net::TcpStream::connect(&metrics_addr).unwrap();
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.contains("bmb_serve_requests_total"), "{response}");
+        let stop_args = args(QUERY_SPEC, &["query", &addr, r#"{"cmd":"shutdown"}"#]);
+        let mut out = Vec::new();
+        cmd_query(&stop_args, &mut out).unwrap();
+        server_thread.join().unwrap().unwrap();
         std::fs::remove_file(path).ok();
     }
 
@@ -639,13 +768,7 @@ mod tests {
             let mut sink = buf.clone();
             std::thread::spawn(move || cmd_serve(&serve_args, &mut sink))
         };
-        let addr = loop {
-            let text = buf.contents();
-            if let Some(pos) = text.find("listening on ") {
-                break text[pos + "listening on ".len()..].trim().to_string();
-            }
-            std::thread::sleep(std::time::Duration::from_millis(10));
-        };
+        let addr = wait_for_addr(&buf);
         (addr, buf, thread)
     }
 

@@ -17,10 +17,10 @@
 //! snapshot supports are exact sums over a partition of the baskets, and
 //! tables are assembled by the same Möbius inversion the miner uses.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
 use bmb_basket::{ContingencyTable, IncrementalStore, ItemId, Itemset, Segment, Snapshot};
+use bmb_obs::{Counter, Registry};
 use bmb_stats::{Chi2Outcome, Chi2Test, DfConvention, InterestReport, SignificanceLevel};
 
 use crate::config::MinerConfig;
@@ -120,10 +120,14 @@ pub struct CacheStats {
     pub table_hits: u64,
     /// Table-cache misses (tables assembled).
     pub table_misses: u64,
+    /// Table-cache LRU evictions.
+    pub table_evictions: u64,
     /// Sealed-segment support-cache hits.
     pub segment_hits: u64,
     /// Sealed-segment support-cache misses (bitmap sweeps run).
     pub segment_misses: u64,
+    /// Sealed-segment support-cache LRU evictions.
+    pub segment_evictions: u64,
 }
 
 impl CacheStats {
@@ -175,15 +179,26 @@ pub struct QueryEngine {
     test: Chi2Test,
     tables: Mutex<LruCache<(Itemset, u64), Arc<ContingencyTable>>>,
     segment_supports: Mutex<LruCache<(u64, Itemset), u64>>,
-    table_hits: AtomicU64,
-    table_misses: AtomicU64,
-    segment_hits: AtomicU64,
-    segment_misses: AtomicU64,
+    /// Per-engine metrics registry (`bmb_core_cache_*` families); each
+    /// engine owns its own so parallel engines never share counters.
+    obs: Arc<Registry>,
+    table_hits: Counter,
+    table_misses: Counter,
+    table_evictions: Counter,
+    segment_hits: Counter,
+    segment_misses: Counter,
+    segment_evictions: Counter,
 }
 
 impl QueryEngine {
     /// An engine over `store` with the given configuration.
     pub fn new(store: Arc<IncrementalStore>, config: EngineConfig) -> Self {
+        let obs = Arc::new(Registry::new());
+        let hits_help = "Engine cache hits by cache.";
+        let misses_help = "Engine cache misses by cache.";
+        let evict_help = "Engine cache LRU evictions by cache.";
+        let table = [("cache", "table")];
+        let segment = [("cache", "segment")];
         QueryEngine {
             store,
             test: Chi2Test {
@@ -193,11 +208,24 @@ impl QueryEngine {
             },
             tables: Mutex::new(LruCache::with_capacity(config.table_cache.max(1))),
             segment_supports: Mutex::new(LruCache::with_capacity(config.segment_cache.max(1))),
-            table_hits: AtomicU64::new(0),
-            table_misses: AtomicU64::new(0),
-            segment_hits: AtomicU64::new(0),
-            segment_misses: AtomicU64::new(0),
+            table_hits: obs.counter_with("bmb_core_cache_hits_total", hits_help, &table),
+            table_misses: obs.counter_with("bmb_core_cache_misses_total", misses_help, &table),
+            table_evictions: obs.counter_with("bmb_core_cache_evictions_total", evict_help, &table),
+            segment_hits: obs.counter_with("bmb_core_cache_hits_total", hits_help, &segment),
+            segment_misses: obs.counter_with("bmb_core_cache_misses_total", misses_help, &segment),
+            segment_evictions: obs.counter_with(
+                "bmb_core_cache_evictions_total",
+                evict_help,
+                &segment,
+            ),
+            obs,
         }
+    }
+
+    /// The engine's metrics registry, for merging into a server's
+    /// `/metrics` exposition.
+    pub fn observability(&self) -> &Arc<Registry> {
+        &self.obs
     }
 
     /// The underlying store (for ingest).
@@ -218,10 +246,12 @@ impl QueryEngine {
     /// Cumulative cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
-            table_hits: self.table_hits.load(Ordering::Relaxed),
-            table_misses: self.table_misses.load(Ordering::Relaxed),
-            segment_hits: self.segment_hits.load(Ordering::Relaxed),
-            segment_misses: self.segment_misses.load(Ordering::Relaxed),
+            table_hits: self.table_hits.get(),
+            table_misses: self.table_misses.get(),
+            table_evictions: self.table_evictions.get(),
+            segment_hits: self.segment_hits.get(),
+            segment_misses: self.segment_misses.get(),
+            segment_evictions: self.segment_evictions.get(),
         }
     }
 
@@ -240,12 +270,14 @@ impl QueryEngine {
         self.validate(snap, set)?;
         let key = (set.clone(), snap.epoch());
         if let Some(table) = lock(&self.tables).get(&key) {
-            self.table_hits.fetch_add(1, Ordering::Relaxed);
+            self.table_hits.inc();
             return Ok(Arc::clone(table));
         }
-        self.table_misses.fetch_add(1, Ordering::Relaxed);
+        self.table_misses.inc();
         let table = Arc::new(self.assemble_table(snap, set));
-        lock(&self.tables).insert(key, Arc::clone(&table));
+        if lock(&self.tables).insert(key, Arc::clone(&table)) {
+            self.table_evictions.inc();
+        }
         Ok(table)
     }
 
@@ -431,12 +463,14 @@ impl QueryEngine {
             _ => {
                 let key = (segment.id(), Itemset::from_sorted_slice(subset));
                 if let Some(&support) = lock(&self.segment_supports).get(&key) {
-                    self.segment_hits.fetch_add(1, Ordering::Relaxed);
+                    self.segment_hits.inc();
                     return support;
                 }
-                self.segment_misses.fetch_add(1, Ordering::Relaxed);
+                self.segment_misses.inc();
                 let support = segment.support(subset);
-                lock(&self.segment_supports).insert(key, support);
+                if lock(&self.segment_supports).insert(key, support) {
+                    self.segment_evictions.inc();
+                }
                 support
             }
         }

@@ -72,7 +72,7 @@ pub use engine::{
     CacheStats, Chi2Answer, EngineConfig, EngineError, InterestAnswer, QueryEngine, MAX_QUERY_DIMS,
 };
 pub use locality::{locality_test, mine_locality, LocalityReport};
-pub use miner::{mine, MiningResult};
+pub use miner::{mine, LevelProfile, MinerProfile, MiningResult};
 pub use report::{pairs_report, PairCorrelation};
 pub use sig::CorrelationRule;
 pub use stats::{lattice_level_size, LevelStats};

@@ -33,7 +33,7 @@ struct Node<K, V> {
 /// cache.insert("a", 1);
 /// cache.insert("b", 2);
 /// assert_eq!(cache.get(&"a"), Some(&1)); // "a" is now most recent
-/// cache.insert("c", 3); // evicts "b", the least recent
+/// assert!(cache.insert("c", 3)); // evicts "b", the least recent
 /// assert_eq!(cache.get(&"b"), None);
 /// assert_eq!(cache.len(), 2);
 /// ```
@@ -92,15 +92,19 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
 
     /// Inserts (or replaces) `key`, evicting the least recently used
     /// entry if the cache is full. The new entry is most recently used.
-    pub fn insert(&mut self, key: K, value: V) {
+    /// Returns `true` when an existing entry was evicted to make room —
+    /// the engine feeds this into its per-cache eviction counters.
+    pub fn insert(&mut self, key: K, value: V) -> bool {
         if let Some(&idx) = self.map.get(&key) {
             self.nodes[idx].value = value;
             self.move_to_front(idx);
-            return;
+            return false;
         }
-        if self.map.len() >= self.capacity {
-            self.evict_tail();
-        }
+        let evicted = if self.map.len() >= self.capacity {
+            self.evict_tail()
+        } else {
+            false
+        };
         let node = Node {
             key: key.clone(),
             value,
@@ -125,6 +129,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             self.tail = idx;
         }
         self.map.insert(key, idx);
+        evicted
     }
 
     /// Drops every entry, keeping the allocated capacity.
@@ -159,11 +164,11 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.head = idx;
     }
 
-    /// Removes the least recently used entry.
-    fn evict_tail(&mut self) {
+    /// Removes the least recently used entry; `true` if one existed.
+    fn evict_tail(&mut self) -> bool {
         let idx = self.tail;
         if idx == NIL {
-            return;
+            return false;
         }
         let prev = self.nodes[idx].prev;
         if prev != NIL {
@@ -174,6 +179,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.tail = prev;
         self.map.remove(&self.nodes[idx].key);
         self.free.push(idx);
+        true
     }
 }
 
@@ -226,6 +232,16 @@ mod tests {
         assert!(cache.nodes.len() <= 3, "slab must not grow unboundedly");
         assert_eq!(cache.get(&99), Some(&99));
         assert_eq!(cache.get(&98), Some(&98));
+    }
+
+    #[test]
+    fn insert_reports_evictions() {
+        let mut cache = LruCache::with_capacity(2);
+        assert!(!cache.insert(1, 1), "room left: no eviction");
+        assert!(!cache.insert(2, 2), "room left: no eviction");
+        assert!(!cache.insert(1, 10), "replacement is not an eviction");
+        assert!(cache.insert(3, 3), "full cache must evict");
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

@@ -41,6 +41,45 @@ pub struct MiningResult {
     pub chi2_cutoff: f64,
     /// Wall-clock time of the run.
     pub elapsed: Duration,
+    /// Per-stage wall-time profile (`bmb mine --trace`).
+    pub profile: MinerProfile,
+}
+
+/// Wall-time accounting for one mined level's stages.
+///
+/// Kept apart from [`LevelStats`]: level stats are `Eq`-compared across
+/// thread counts and counting strategies, and wall times would never
+/// agree — counts go there, durations go here.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LevelProfile {
+    /// The level these timings belong to (itemset size).
+    pub level: usize,
+    /// Support counting (bitmap intersection or basket scan), µs.
+    pub count_us: u64,
+    /// Candidate evaluation (table assembly, support test, χ²), µs.
+    pub evaluate_us: u64,
+    /// SIG/NOTSIG bookkeeping and border emission, µs.
+    pub emit_us: u64,
+    /// Next-level candidate generation from NOTSIG, µs.
+    pub candgen_us: u64,
+}
+
+impl LevelProfile {
+    /// Total wall time attributed to this level, µs.
+    pub fn total_us(&self) -> u64 {
+        self.count_us + self.evaluate_us + self.emit_us + self.candgen_us
+    }
+}
+
+/// Whole-run stage profile, populated by every [`mine`] call.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MinerProfile {
+    /// Bitmap-index construction, µs (0 under the scan strategy).
+    pub index_build_us: u64,
+    /// Level-1 pruning / initial pair generation, µs.
+    pub initial_pairs_us: u64,
+    /// Per-level stage timings, parallel to `MiningResult::levels`.
+    pub levels: Vec<LevelProfile>,
 }
 
 impl MiningResult {
@@ -70,6 +109,8 @@ impl MiningResult {
 /// Panics if the configuration is invalid (see [`MinerConfig::validate`]).
 pub fn mine(db: &BasketDatabase, config: &MinerConfig) -> MiningResult {
     config.validate();
+    let obs = MinerObs::attach();
+    let _mine_span = bmb_obs::trace::span("mine");
     let start = Instant::now();
     let n = db.len() as u64;
     let k = db.n_items();
@@ -80,9 +121,16 @@ pub fn mine(db: &BasketDatabase, config: &MinerConfig) -> MiningResult {
         low_expectation_cutoff: config.low_expectation_cutoff,
     };
 
-    let index = match config.counting {
-        CountingStrategy::Bitmap => Some(BitmapIndex::build(db)),
-        CountingStrategy::BasketScan => None,
+    let mut profile = MinerProfile::default();
+    let index = {
+        let _span = bmb_obs::trace::span_timed("index_build", &obs.index_build);
+        let stage = Instant::now();
+        let index = match config.counting {
+            CountingStrategy::Bitmap => Some(BitmapIndex::build(db)),
+            CountingStrategy::BasketScan => None,
+        };
+        profile.index_build_us = micros(stage.elapsed());
+        index
     };
 
     let mut store = SupportStore::new();
@@ -91,13 +139,29 @@ pub fn mine(db: &BasketDatabase, config: &MinerConfig) -> MiningResult {
     let mut chi2_cutoff = f64::NAN;
 
     // Step 3: level-1 pruning builds the initial candidate pairs.
-    let mut candidates = initial_pairs(db, s, config.level1);
+    let mut candidates = {
+        let _span = bmb_obs::trace::span_timed("initial_pairs", &obs.initial_pairs);
+        let stage = Instant::now();
+        let candidates = initial_pairs(db, s, config.level1);
+        profile.initial_pairs_us = micros(stage.elapsed());
+        candidates
+    };
 
     let mut level = 2usize;
     while !candidates.is_empty() && level <= config.max_level {
-        let supports = match (&index, config.counting) {
-            (Some(index), _) => count_with_bitmaps(index, &candidates, config.threads),
-            (None, _) => count_with_scan(db, &candidates, config.threads),
+        let mut level_profile = LevelProfile {
+            level,
+            ..Default::default()
+        };
+        let supports = {
+            let _span = bmb_obs::trace::span_timed("count", &obs.stage_count);
+            let stage = Instant::now();
+            let supports = match (&index, config.counting) {
+                (Some(index), _) => count_with_bitmaps(index, &candidates, config.threads),
+                (None, _) => count_with_scan(db, &candidates, config.threads),
+            };
+            level_profile.count_us = micros(stage.elapsed());
+            supports
         };
         let mut stats = LevelStats {
             level,
@@ -112,16 +176,24 @@ pub fn mine(db: &BasketDatabase, config: &MinerConfig) -> MiningResult {
         // and the candidate's own support is passed explicitly — so the
         // per-candidate work parallelizes; SIG/NOTSIG bookkeeping happens
         // afterwards, in order.
-        let verdicts = evaluate_candidates(
-            db,
-            &store,
-            &candidates,
-            &supports,
-            s,
-            cells_required,
-            &chi2_test,
-            config.threads,
-        );
+        let verdicts = {
+            let _span = bmb_obs::trace::span_timed("evaluate", &obs.stage_evaluate);
+            let stage = Instant::now();
+            let verdicts = evaluate_candidates(
+                db,
+                &store,
+                &candidates,
+                &supports,
+                s,
+                cells_required,
+                &chi2_test,
+                config.threads,
+            );
+            level_profile.evaluate_us = micros(stage.elapsed());
+            verdicts
+        };
+        let emit_start = Instant::now();
+        let _emit_span = bmb_obs::trace::span_timed("emit", &obs.stage_emit);
         let mut notsig = ItemsetTable::with_capacity(candidates.len());
         for ((candidate, supp), verdict) in candidates.iter().zip(&supports).zip(verdicts) {
             match verdict {
@@ -145,18 +217,26 @@ pub fn mine(db: &BasketDatabase, config: &MinerConfig) -> MiningResult {
             }
         }
         debug_assert!(stats.is_consistent());
+        obs.record_level(&stats);
         levels.push(stats);
+        level_profile.emit_us = micros(emit_start.elapsed());
+        drop(_emit_span);
         // Don't generate candidates the level cap would discard unseen.
+        let candgen_start = Instant::now();
         candidates = if is_last_level {
             Vec::new()
         } else {
+            let _span = bmb_obs::trace::span_timed("candgen", &obs.stage_candgen);
             generate_candidates(&notsig)
         };
+        level_profile.candgen_us = micros(candgen_start.elapsed());
+        profile.levels.push(level_profile);
         level += 1;
     }
     if chi2_cutoff.is_nan() {
         chi2_cutoff = chi2_test.test_dense(&trivial_table()).cutoff;
     }
+    obs.runs.inc();
 
     MiningResult {
         significant,
@@ -164,6 +244,77 @@ pub fn mine(db: &BasketDatabase, config: &MinerConfig) -> MiningResult {
         support_count: s,
         chi2_cutoff,
         elapsed: start.elapsed(),
+        profile,
+    }
+}
+
+/// Saturating `Duration` → whole microseconds.
+fn micros(duration: Duration) -> u64 {
+    duration.as_micros().min(u128::from(u64::MAX)) as u64
+}
+
+/// Handles into the global registry for the miner's stage metrics
+/// (`bmb_core_miner_*`). Registration is idempotent, so attaching on
+/// every run just re-fetches the shared cells.
+struct MinerObs {
+    runs: bmb_obs::Counter,
+    candidates: bmb_obs::Counter,
+    lattice: bmb_obs::Counter,
+    discards: bmb_obs::Counter,
+    significant: bmb_obs::Counter,
+    not_significant: bmb_obs::Counter,
+    index_build: bmb_obs::Histogram,
+    initial_pairs: bmb_obs::Histogram,
+    stage_count: bmb_obs::Histogram,
+    stage_evaluate: bmb_obs::Histogram,
+    stage_emit: bmb_obs::Histogram,
+    stage_candgen: bmb_obs::Histogram,
+}
+
+impl MinerObs {
+    fn attach() -> MinerObs {
+        let registry = bmb_obs::global();
+        let stage_help = "Miner stage wall time in microseconds.";
+        let stage = |name: &str| {
+            registry.histogram_with("bmb_core_miner_stage_us", stage_help, &[("stage", name)])
+        };
+        MinerObs {
+            runs: registry.counter("bmb_core_miner_runs_total", "Completed mining runs."),
+            candidates: registry.counter(
+                "bmb_core_miner_candidates_total",
+                "Candidates examined across all levels.",
+            ),
+            lattice: registry.counter(
+                "bmb_core_miner_lattice_itemsets_total",
+                "Lattice itemsets at visited levels (prune-ratio denominator).",
+            ),
+            discards: registry.counter(
+                "bmb_core_miner_discards_total",
+                "Candidates discarded by the cell-support test.",
+            ),
+            significant: registry.counter(
+                "bmb_core_miner_significant_total",
+                "Candidates emitted to the border (SIG).",
+            ),
+            not_significant: registry.counter(
+                "bmb_core_miner_notsig_total",
+                "Supported but uncorrelated candidates (NOTSIG).",
+            ),
+            index_build: stage("index_build"),
+            initial_pairs: stage("initial_pairs"),
+            stage_count: stage("count"),
+            stage_evaluate: stage("evaluate"),
+            stage_emit: stage("emit"),
+            stage_candgen: stage("candgen"),
+        }
+    }
+
+    fn record_level(&self, stats: &LevelStats) {
+        self.candidates.add(stats.candidates as u64);
+        self.lattice.add(stats.lattice_itemsets);
+        self.discards.add(stats.discards as u64);
+        self.significant.add(stats.significant as u64);
+        self.not_significant.add(stats.not_significant as u64);
     }
 }
 

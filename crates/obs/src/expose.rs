@@ -1,0 +1,202 @@
+//! Prometheus text exposition (format version 0.0.4).
+//!
+//! Renders one or more [`RegistrySnapshot`]s into the plain-text
+//! format Prometheus scrapes: `# HELP` / `# TYPE` headers, one sample
+//! line per series, histogram series expanded into cumulative
+//! `_bucket{le="…"}` lines plus `_sum` and `_count`. Multiple
+//! snapshots (server + engine + WAL + global) merge by family name;
+//! families and series are sorted so the output is byte-deterministic
+//! for the golden test.
+
+use std::fmt::Write as _;
+
+use crate::histogram::{bucket_upper_bound, FINITE_BUCKETS};
+use crate::registry::{FamilySnapshot, MetricKind, MetricValue, RegistrySnapshot};
+
+/// Escapes a `# HELP` text: backslash and newline.
+fn escape_help(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Escapes a label value: backslash, double quote, newline.
+fn escape_label(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Renders a label set (plus an optional extra label, used for `le`)
+/// as `{k="v",…}`, or the empty string when there are no labels.
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn kind_name(kind: MetricKind) -> &'static str {
+    match kind {
+        MetricKind::Counter => "counter",
+        MetricKind::Gauge => "gauge",
+        MetricKind::Histogram => "histogram",
+    }
+}
+
+fn render_family(out: &mut String, family: &FamilySnapshot) {
+    let name = &family.name;
+    let _ = writeln!(out, "# HELP {name} {}", escape_help(&family.help));
+    let _ = writeln!(out, "# TYPE {name} {}", kind_name(family.kind));
+    for series in &family.series {
+        match &series.value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "{name}{} {v}", label_block(&series.labels, None));
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "{name}{} {v}", label_block(&series.labels, None));
+            }
+            MetricValue::Histogram(hist) => {
+                let mut cumulative = 0u64;
+                for (index, &count) in hist.buckets.iter().enumerate() {
+                    cumulative = cumulative.saturating_add(count);
+                    // Suppress interior all-zero buckets to keep the
+                    // output small, but always emit a bucket whose
+                    // cumulative count changed, the first bucket, and
+                    // the +Inf bucket.
+                    let is_inf = index >= FINITE_BUCKETS;
+                    if count == 0 && !is_inf && index != 0 {
+                        continue;
+                    }
+                    let le = if is_inf {
+                        "+Inf".to_string()
+                    } else {
+                        bucket_upper_bound(index).to_string()
+                    };
+                    let _ = writeln!(
+                        out,
+                        "{name}_bucket{} {cumulative}",
+                        label_block(&series.labels, Some(("le", &le)))
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{name}_sum{} {}",
+                    label_block(&series.labels, None),
+                    hist.sum
+                );
+                let _ = writeln!(
+                    out,
+                    "{name}_count{} {cumulative}",
+                    label_block(&series.labels, None)
+                );
+            }
+        }
+    }
+}
+
+/// Renders snapshots to Prometheus text exposition. Families from all
+/// snapshots are merged by name (first occurrence wins the help/type
+/// header; series concatenate) and sorted; the result ends with a
+/// trailing newline as the format requires.
+pub fn render(snapshots: &[&RegistrySnapshot]) -> String {
+    let mut merged: Vec<FamilySnapshot> = Vec::new();
+    for snapshot in snapshots {
+        for family in &snapshot.families {
+            if let Some(existing) = merged.iter_mut().find(|f| f.name == family.name) {
+                existing.series.extend(family.series.iter().cloned());
+            } else {
+                merged.push(family.clone());
+            }
+        }
+    }
+    merged.sort_by(|a, b| a.name.cmp(&b.name));
+    for family in &mut merged {
+        family.series.sort_by(|a, b| a.labels.cmp(&b.labels));
+    }
+    let mut out = String::new();
+    for family in &merged {
+        render_family(&mut out, family);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn counters_and_gauges_render_plain_lines() {
+        let registry = Registry::new();
+        registry.counter("bmb_x_total", "things").add(3);
+        registry.gauge("bmb_y", "level").set(-2);
+        let text = render(&[&registry.snapshot()]);
+        assert!(text.contains("# TYPE bmb_x_total counter\nbmb_x_total 3\n"));
+        assert!(text.contains("# TYPE bmb_y gauge\nbmb_y -2\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let registry = Registry::new();
+        registry
+            .counter_with("bmb_esc_total", "escape\ncheck", &[("cmd", "a\"b\\c\nd")])
+            .inc();
+        let text = render(&[&registry.snapshot()]);
+        assert!(text.contains("# HELP bmb_esc_total escape\\ncheck\n"));
+        assert!(text.contains(r#"bmb_esc_total{cmd="a\"b\\c\nd"} 1"#));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_consistent() {
+        let registry = Registry::new();
+        let hist = registry.histogram("bmb_lat_us", "latency");
+        hist.record(3); // bucket le=4
+        hist.record(3);
+        hist.record(100); // bucket le=128
+        let text = render(&[&registry.snapshot()]);
+        assert!(text.contains(r#"bmb_lat_us_bucket{le="4"} 2"#));
+        assert!(text.contains(r#"bmb_lat_us_bucket{le="128"} 3"#));
+        assert!(text.contains(r#"bmb_lat_us_bucket{le="+Inf"} 3"#));
+        assert!(text.contains("bmb_lat_us_sum 106"));
+        assert!(text.contains("bmb_lat_us_count 3"));
+    }
+
+    #[test]
+    fn merge_combines_families_across_registries() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter_with("bmb_shared_total", "shared", &[("src", "a")])
+            .inc();
+        b.counter_with("bmb_shared_total", "shared", &[("src", "b")])
+            .add(2);
+        b.counter("bmb_only_b_total", "solo").inc();
+        let text = render(&[&a.snapshot(), &b.snapshot()]);
+        // One header for the merged family, both series present.
+        assert_eq!(text.matches("# TYPE bmb_shared_total counter").count(), 1);
+        assert!(text.contains(r#"bmb_shared_total{src="a"} 1"#));
+        assert!(text.contains(r#"bmb_shared_total{src="b"} 2"#));
+        assert!(text.contains("bmb_only_b_total 1"));
+    }
+}

@@ -1,0 +1,236 @@
+//! Fixed-bucket log-scale histogram core.
+//!
+//! Buckets are powers of two over `u64` values (microseconds in every
+//! current use): bucket `i < FINITE_BUCKETS` holds observations with
+//! `value <= 2^i`, and one overflow bucket catches the rest. Recording
+//! is two relaxed atomic adds; there is no lock anywhere. Quantiles are
+//! nearest-rank over the bucket counts and return the containing
+//! bucket's upper bound, so a reported quantile is always within one
+//! bucket boundary of the true order statistic — the property the
+//! exposition proptest pins.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of finite buckets: upper bounds `2^0 ..= 2^(FINITE_BUCKETS-1)`.
+///
+/// 40 buckets cover 1 µs to ~2^39 µs (≈ 6.4 days) — wider than any
+/// latency this workspace can observe.
+pub const FINITE_BUCKETS: usize = 40;
+
+/// Total buckets including the overflow (`+Inf`) bucket.
+pub const BUCKETS: usize = FINITE_BUCKETS + 1;
+
+/// Index of the bucket that holds `value`.
+///
+/// Bucket `i` has inclusive upper bound `2^i`; values above the last
+/// finite bound land in the overflow bucket (`FINITE_BUCKETS`).
+pub fn bucket_index(value: u64) -> usize {
+    if value <= 1 {
+        return 0;
+    }
+    // ceil(log2(value)) for value >= 2.
+    let ceil_log2 = 64 - ((value - 1).leading_zeros() as usize);
+    ceil_log2.min(FINITE_BUCKETS)
+}
+
+/// Inclusive upper bound of bucket `index`.
+///
+/// The overflow bucket reports `u64::MAX` (rendered `+Inf` in the
+/// Prometheus exposition).
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    if index < FINITE_BUCKETS {
+        1u64 << index
+    } else {
+        u64::MAX
+    }
+}
+
+/// Lock-free histogram storage shared by cloned [`crate::Histogram`]
+/// handles.
+#[derive(Debug)]
+pub struct HistogramCore {
+    /// Per-bucket observation counts (not cumulative).
+    buckets: [AtomicU64; BUCKETS],
+    /// Sum of all observed values.
+    sum: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl HistogramCore {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation. Two relaxed atomic adds; the sum is
+    /// bumped *before* the bucket so a snapshot that reads buckets
+    /// first always observes `sum >= count * min_recorded_value`.
+    pub fn record(&self, value: u64) {
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts and sum. Buckets are
+    /// read before the sum (see [`HistogramCore::record`]) so derived
+    /// invariants hold even mid-hammer.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (slot, bucket) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        let sum = self.sum.load(Ordering::Relaxed);
+        HistogramSnapshot { buckets, sum }
+    }
+}
+
+/// Immutable copy of a histogram's state; all derived statistics
+/// (count, quantiles) are computed from the bucket counts so they are
+/// internally consistent by construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (not cumulative).
+    pub buckets: [u64; BUCKETS],
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total number of observations (sum of bucket counts).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Nearest-rank quantile, `q` in `[0, 1]`; returns the upper bound
+    /// of the bucket containing the rank, so the result is within one
+    /// bucket boundary of the exact order statistic. An empty
+    /// histogram reports `0` (never NaN), pinning the `/stats`
+    /// empty-ring contract.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cumulative = 0u64;
+        for (index, &count) in self.buckets.iter().enumerate() {
+            cumulative = cumulative.saturating_add(count);
+            if cumulative >= rank {
+                return bucket_upper_bound(index);
+            }
+        }
+        // Unreachable: cumulative reaches `total >= rank` on the last
+        // bucket. Report the overflow bound rather than panicking.
+        bucket_upper_bound(BUCKETS - 1)
+    }
+
+    /// Median (p50) upper bound.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile upper bound.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile upper bound.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile upper bound.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1 << 39), 39);
+        assert_eq!(bucket_index((1 << 39) + 1), FINITE_BUCKETS);
+        assert_eq!(bucket_index(u64::MAX), FINITE_BUCKETS);
+    }
+
+    #[test]
+    fn every_value_is_within_its_bucket_bounds() {
+        for value in [0u64, 1, 2, 3, 7, 8, 9, 1000, 123_456, 1 << 20, 1 << 39] {
+            let idx = bucket_index(value);
+            assert!(value <= bucket_upper_bound(idx));
+            if idx > 0 {
+                assert!(value > bucket_upper_bound(idx - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let snap = HistogramCore::new().snapshot();
+        assert_eq!(snap.count(), 0);
+        assert_eq!(snap.p50(), 0);
+        assert_eq!(snap.p99(), 0);
+        assert_eq!(snap.p999(), 0);
+        assert_eq!(snap.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn known_distribution_quantiles() {
+        let core = HistogramCore::new();
+        // 100 observations at 10 µs, 10 at 1000 µs.
+        for _ in 0..100 {
+            core.record(10);
+        }
+        for _ in 0..10 {
+            core.record(1000);
+        }
+        let snap = core.snapshot();
+        assert_eq!(snap.count(), 110);
+        assert_eq!(snap.sum, 100 * 10 + 10 * 1000);
+        // 10 lands in bucket ub=16; 1000 in bucket ub=1024.
+        assert_eq!(snap.p50(), 16);
+        assert_eq!(snap.p99(), 1024);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        let core = HistogramCore::new();
+        for v in [1u64, 5, 9, 40, 90, 300, 5000, 100_000] {
+            core.record(v);
+        }
+        let snap = core.snapshot();
+        let mut last = 0;
+        for step in 0..=100 {
+            let q = f64::from(step) / 100.0;
+            let value = snap.quantile(q);
+            assert!(value >= last, "quantile must be monotone");
+            last = value;
+        }
+    }
+}

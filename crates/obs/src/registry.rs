@@ -1,0 +1,459 @@
+//! Metric registry: named families of counters, gauges, histograms.
+//!
+//! Registration takes the registry mutex once and hands back an
+//! `Arc`-backed handle; every subsequent hot-path operation is a single
+//! relaxed atomic RMW with no lock. Re-registering the same
+//! `(name, labels)` returns a handle to the *same* cell, so independent
+//! subsystems can share a series without coordination. Registering an
+//! existing name with a different metric kind is a programming error;
+//! rather than panic (this crate is panic-free) the call returns a
+//! *detached* cell that is never exported — the bug shows up as a
+//! missing series in `/metrics`, not a crash.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+use crate::histogram::{HistogramCore, HistogramSnapshot};
+
+/// Monotone event counter. Cloning shares the underlying cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A detached counter not bound to any registry (useful in tests).
+    pub fn detached() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous signed value (active connections, degraded flag, …).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    cell: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// A detached gauge not bound to any registry (useful in tests).
+    pub fn detached() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, value: i64) {
+        self.cell.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may go negative).
+    pub fn add(&self, n: i64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`, saturating at zero: a release that races a
+    /// concurrent reset can never drive the gauge negative.
+    pub fn sub_saturating(&self, n: i64) {
+        let _ = self
+            .cell
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some((v - n).max(0))
+            });
+    }
+
+    /// Raises the gauge to `value` if it is below it (monotonic max —
+    /// high-water marks like the last served epoch).
+    pub fn set_max(&self, value: i64) {
+        self.cell.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Log-scale latency/size histogram. Cloning shares the cell.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+impl Histogram {
+    /// A detached histogram not bound to any registry (useful in tests).
+    pub fn detached() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.core.record(value);
+    }
+
+    /// Records a duration in microseconds (saturating).
+    pub fn record_duration(&self, duration: Duration) {
+        let micros = duration.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.core.record(micros);
+    }
+
+    /// Point-in-time copy of the histogram state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.core.snapshot()
+    }
+}
+
+/// What kind of metric a family holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone counter (`_total` naming convention).
+    Counter,
+    /// Instantaneous gauge.
+    Gauge,
+    /// Log-scale histogram (`_us` naming convention for latencies).
+    Histogram,
+}
+
+/// One registered series: a label set and its live cell.
+#[derive(Debug)]
+struct Series {
+    labels: Vec<(String, String)>,
+    cell: Cell,
+}
+
+#[derive(Debug)]
+enum Cell {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// All series sharing a metric name.
+#[derive(Debug)]
+struct Family {
+    name: String,
+    help: String,
+    kind: MetricKind,
+    series: Vec<Series>,
+}
+
+/// A set of metric families; the unit of snapshotting and exposition.
+///
+/// Servers and durable stores own one registry each (so parallel tests
+/// never share counters); the batch miner uses [`crate::global`].
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers (or re-fetches) an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Registers (or re-fetches) a counter with labels.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.register(name, help, MetricKind::Counter, labels) {
+            Cell::Counter(c) => c,
+            _ => Counter::detached(),
+        }
+    }
+
+    /// Registers (or re-fetches) an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Registers (or re-fetches) a gauge with labels.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.register(name, help, MetricKind::Gauge, labels) {
+            Cell::Gauge(g) => g,
+            _ => Gauge::detached(),
+        }
+    }
+
+    /// Registers (or re-fetches) an unlabelled histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Registers (or re-fetches) a histogram with labels.
+    pub fn histogram_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.register(name, help, MetricKind::Histogram, labels) {
+            Cell::Histogram(h) => h,
+            _ => Histogram::detached(),
+        }
+    }
+
+    fn register(&self, name: &str, help: &str, kind: MetricKind, labels: &[(&str, &str)]) -> Cell {
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+            .collect();
+        let mut families = self.families.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(family) = families.iter_mut().find(|f| f.name == name) {
+            if family.kind != kind {
+                // Kind clash: degrade to a detached cell (documented).
+                return fresh_cell(kind);
+            }
+            if let Some(series) = family.series.iter().find(|s| s.labels == labels) {
+                return clone_cell(&series.cell);
+            }
+            let cell = fresh_cell(kind);
+            family.series.push(Series {
+                labels,
+                cell: clone_cell(&cell),
+            });
+            return cell;
+        }
+        let cell = fresh_cell(kind);
+        families.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind,
+            series: vec![Series {
+                labels,
+                cell: clone_cell(&cell),
+            }],
+        });
+        cell
+    }
+
+    /// Point-in-time copy of every registered series. Families and
+    /// series are sorted (by name, then label set) so output is
+    /// deterministic.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let families = self.families.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut out: Vec<FamilySnapshot> = families
+            .iter()
+            .map(|family| {
+                let mut series: Vec<SeriesSnapshot> = family
+                    .series
+                    .iter()
+                    .map(|s| SeriesSnapshot {
+                        labels: s.labels.clone(),
+                        value: match &s.cell {
+                            Cell::Counter(c) => MetricValue::Counter(c.get()),
+                            Cell::Gauge(g) => MetricValue::Gauge(g.get()),
+                            Cell::Histogram(h) => MetricValue::Histogram(Box::new(h.snapshot())),
+                        },
+                    })
+                    .collect();
+                series.sort_by(|a, b| a.labels.cmp(&b.labels));
+                FamilySnapshot {
+                    name: family.name.clone(),
+                    help: family.help.clone(),
+                    kind: family.kind,
+                    series,
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        RegistrySnapshot { families: out }
+    }
+}
+
+fn fresh_cell(kind: MetricKind) -> Cell {
+    match kind {
+        MetricKind::Counter => Cell::Counter(Counter::detached()),
+        MetricKind::Gauge => Cell::Gauge(Gauge::detached()),
+        MetricKind::Histogram => Cell::Histogram(Histogram::detached()),
+    }
+}
+
+fn clone_cell(cell: &Cell) -> Cell {
+    match cell {
+        Cell::Counter(c) => Cell::Counter(c.clone()),
+        Cell::Gauge(g) => Cell::Gauge(g.clone()),
+        Cell::Histogram(h) => Cell::Histogram(h.clone()),
+    }
+}
+
+/// Snapshot of a whole registry (the programmatic API tests consume).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// Families sorted by name.
+    pub families: Vec<FamilySnapshot>,
+}
+
+/// Snapshot of one metric family.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FamilySnapshot {
+    /// Metric name (`bmb_<crate>_<subsystem>_<unit>`).
+    pub name: String,
+    /// Help text for the exposition `# HELP` line.
+    pub help: String,
+    /// Metric kind for the exposition `# TYPE` line.
+    pub kind: MetricKind,
+    /// Series sorted by label set.
+    pub series: Vec<SeriesSnapshot>,
+}
+
+/// Snapshot of one series within a family.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeriesSnapshot {
+    /// Label key/value pairs in registration order.
+    pub labels: Vec<(String, String)>,
+    /// The observed value.
+    pub value: MetricValue,
+}
+
+/// A snapshotted metric value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram state (boxed: a snapshot is ~40 bucket counts, far
+    /// larger than the scalar variants).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+impl RegistrySnapshot {
+    /// Looks up a series by family name and exact label set.
+    pub fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricValue> {
+        let family = self.families.iter().find(|f| f.name == name)?;
+        family
+            .series
+            .iter()
+            .find(|s| {
+                s.labels.len() == labels.len()
+                    && s.labels
+                        .iter()
+                        .zip(labels.iter())
+                        .all(|((k, v), (lk, lv))| k == lk && v == lv)
+            })
+            .map(|s| &s.value)
+    }
+
+    /// Counter value for `(name, labels)`, or 0 when absent.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        match self.find(name, labels) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Gauge value for `(name, labels)`, or 0 when absent.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> i64 {
+        match self.find(name, labels) {
+            Some(MetricValue::Gauge(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Histogram snapshot for `(name, labels)`, or empty when absent.
+    pub fn histogram_value(&self, name: &str, labels: &[(&str, &str)]) -> HistogramSnapshot {
+        match self.find(name, labels) {
+            Some(MetricValue::Histogram(h)) => **h,
+            _ => HistogramSnapshot::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reregistration_shares_the_cell() {
+        let registry = Registry::new();
+        let a = registry.counter("bmb_test_events_total", "events");
+        let b = registry.counter("bmb_test_events_total", "events");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(
+            registry
+                .snapshot()
+                .counter_value("bmb_test_events_total", &[]),
+            3
+        );
+    }
+
+    #[test]
+    fn labelled_series_are_distinct() {
+        let registry = Registry::new();
+        let hits = registry.counter_with("bmb_test_cache_total", "cache ops", &[("op", "hit")]);
+        let misses = registry.counter_with("bmb_test_cache_total", "cache ops", &[("op", "miss")]);
+        hits.add(5);
+        misses.inc();
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter_value("bmb_test_cache_total", &[("op", "hit")]),
+            5
+        );
+        assert_eq!(
+            snap.counter_value("bmb_test_cache_total", &[("op", "miss")]),
+            1
+        );
+    }
+
+    #[test]
+    fn kind_clash_degrades_to_detached() {
+        let registry = Registry::new();
+        let counter = registry.counter("bmb_test_thing", "thing");
+        counter.add(7);
+        // Same name, wrong kind: a detached gauge, not a panic.
+        let gauge = registry.gauge("bmb_test_thing", "thing");
+        gauge.set(99);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("bmb_test_thing", &[]), 7);
+        assert_eq!(snap.families.len(), 1);
+    }
+
+    #[test]
+    fn gauge_sub_saturates_at_zero() {
+        let gauge = Gauge::detached();
+        gauge.add(1);
+        gauge.sub_saturating(1);
+        gauge.sub_saturating(1);
+        assert_eq!(gauge.get(), 0);
+    }
+
+    #[test]
+    fn gauge_set_max_is_monotonic() {
+        let gauge = Gauge::detached();
+        gauge.set_max(5);
+        gauge.set_max(3);
+        assert_eq!(gauge.get(), 5, "a lower value must not lower the mark");
+        gauge.set_max(9);
+        assert_eq!(gauge.get(), 9);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_deterministic() {
+        let registry = Registry::new();
+        registry.counter("bmb_z_total", "z");
+        registry.counter("bmb_a_total", "a");
+        registry.counter_with("bmb_m_total", "m", &[("k", "b")]);
+        registry.counter_with("bmb_m_total", "m", &[("k", "a")]);
+        let snap = registry.snapshot();
+        let names: Vec<&str> = snap.families.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["bmb_a_total", "bmb_m_total", "bmb_z_total"]);
+        let m = &snap.families[1];
+        assert_eq!(m.series[0].labels[0].1, "a");
+        assert_eq!(m.series[1].labels[0].1, "b");
+    }
+}

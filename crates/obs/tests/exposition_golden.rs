@@ -1,0 +1,168 @@
+//! Golden-file test for the Prometheus text exposition.
+//!
+//! A controlled registry (every metric kind, escaped label values and
+//! help text, a multi-series histogram) renders to a byte-pinned
+//! fixture. Structural properties — bucket cumulativity, `_sum` /
+//! `_count` consistency, name/label escaping — are additionally
+//! checked by parsing the rendered text, so a regenerated fixture
+//! cannot silently pin a malformed exposition.
+//!
+//! `BMB_UPDATE_GOLDEN=1 cargo test -p bmb-obs --test exposition_golden`
+//! regenerates the fixture.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use bmb_obs::{expose, Registry};
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join("exposition.golden")
+}
+
+/// Builds the registry the fixture pins: deterministic values only.
+fn build_registry() -> Registry {
+    let registry = Registry::new();
+    registry
+        .counter("bmb_test_requests_total", "Requests handled.")
+        .add(42);
+    registry
+        .counter_with(
+            "bmb_test_cache_ops_total",
+            "Cache operations by outcome.",
+            &[("cache", "table"), ("op", "hit")],
+        )
+        .add(7);
+    registry
+        .counter_with(
+            "bmb_test_cache_ops_total",
+            "Cache operations by outcome.",
+            &[("cache", "table"), ("op", "miss")],
+        )
+        .add(3);
+    registry
+        .gauge("bmb_test_active_connections", "Open connections.")
+        .set(5);
+    registry
+        .counter_with(
+            "bmb_test_escapes_total",
+            "Help with a \\ backslash\nand a newline.",
+            &[("label", "quote \" slash \\ nl \n end")],
+        )
+        .inc();
+    let latency = registry.histogram_with(
+        "bmb_test_latency_us",
+        "Request latency in microseconds.",
+        &[("cmd", "chi2")],
+    );
+    // 3 observations <= 4us, 2 <= 64us, 1 overflow-scale value.
+    latency.record(2);
+    latency.record(3);
+    latency.record(4);
+    latency.record(50);
+    latency.record(64);
+    latency.record(u64::MAX);
+    registry
+}
+
+#[test]
+fn exposition_matches_golden_fixture() {
+    let text = expose::render(&[&build_registry().snapshot()]);
+    let path = fixture_path();
+    if std::env::var_os("BMB_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir fixtures");
+        std::fs::write(&path, &text).expect("write fixture");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("exposition fixture present (regenerate with BMB_UPDATE_GOLDEN=1)");
+    assert_eq!(
+        text, golden,
+        "Prometheus exposition drifted from the golden fixture"
+    );
+}
+
+/// Minimal exposition parser: returns (metric line name, label string,
+/// value) triples, skipping comments.
+fn parse_samples(text: &str) -> Vec<(String, String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let (head, value) = line.rsplit_once(' ').expect("sample line has a value");
+        let (name, labels) = match head.find('{') {
+            Some(idx) => (&head[..idx], &head[idx..]),
+            None => (head, ""),
+        };
+        let value: f64 = value.parse().expect("numeric sample value");
+        out.push((name.to_string(), labels.to_string(), value));
+    }
+    out
+}
+
+#[test]
+fn buckets_are_cumulative_and_sum_count_consistent() {
+    let text = expose::render(&[&build_registry().snapshot()]);
+    let samples = parse_samples(&text);
+
+    // Group histogram bucket lines by their series (labels minus `le`).
+    let mut buckets: HashMap<String, Vec<(String, f64)>> = HashMap::new();
+    let mut counts: HashMap<String, f64> = HashMap::new();
+    for (name, labels, value) in &samples {
+        if let Some(base) = name.strip_suffix("_bucket") {
+            let le = labels
+                .split("le=\"")
+                .nth(1)
+                .and_then(|rest| rest.split('"').next())
+                .expect("bucket line has le")
+                .to_string();
+            buckets
+                .entry(base.to_string())
+                .or_default()
+                .push((le, *value));
+        } else if let Some(base) = name.strip_suffix("_count") {
+            counts.insert(base.to_string(), *value);
+        }
+    }
+    assert!(!buckets.is_empty(), "fixture registry has a histogram");
+    for (base, series) in &buckets {
+        let mut last = f64::MIN;
+        for (le, cumulative) in series {
+            assert!(
+                *cumulative >= last,
+                "{base} bucket le={le} not cumulative: {cumulative} < {last}"
+            );
+            last = *cumulative;
+        }
+        let (last_le, last_value) = series.last().expect("at least one bucket");
+        assert_eq!(last_le, "+Inf", "{base} must end with the +Inf bucket");
+        let count = counts.get(base).expect("histogram has _count");
+        assert!(
+            (count - last_value).abs() < 0.5,
+            "{base}: _count {count} != +Inf bucket {last_value}"
+        );
+    }
+}
+
+#[test]
+fn escaped_labels_render_one_parseable_line() {
+    let text = expose::render(&[&build_registry().snapshot()]);
+    let line = text
+        .lines()
+        .find(|l| l.starts_with("bmb_test_escapes_total"))
+        .expect("escape series present");
+    assert_eq!(
+        line,
+        r#"bmb_test_escapes_total{label="quote \" slash \\ nl \n end"} 1"#
+    );
+    let help = text
+        .lines()
+        .find(|l| l.starts_with("# HELP bmb_test_escapes_total"))
+        .expect("escape help present");
+    assert_eq!(
+        help,
+        r"# HELP bmb_test_escapes_total Help with a \\ backslash\nand a newline."
+    );
+}

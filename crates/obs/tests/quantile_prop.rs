@@ -1,0 +1,68 @@
+//! Property test: histogram quantiles are within one bucket boundary.
+//!
+//! For any recorded multiset of values and any quantile `q`, the
+//! reported quantile must equal the upper bound of the log-scale
+//! bucket containing the exact nearest-rank order statistic — i.e.
+//! `exact <= reported` and `reported` is never more than one bucket
+//! boundary above `exact`. This is the accuracy contract `/stats`
+//! p50/p99 rely on after the ring-buffer migration.
+
+use bmb_obs::{bucket_index, bucket_upper_bound, Histogram};
+use proptest::collection;
+use proptest::prelude::*;
+
+/// Exact nearest-rank order statistic for quantile `q`.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let total = sorted.len() as f64;
+    let rank = ((q * total).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #[test]
+    fn reported_quantile_is_within_one_bucket(
+        values in collection::vec(0u64..(1u64 << 39), 1..200),
+        q_mille in 1u32..=1000,
+    ) {
+        let hist = Histogram::detached();
+        for &v in &values {
+            hist.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let q = f64::from(q_mille) / 1000.0;
+        let exact = exact_quantile(&sorted, q);
+        let reported = hist.snapshot().quantile(q);
+        // The reported value is the upper bound of the exact order
+        // statistic's bucket: never below the true value, never more
+        // than one bucket boundary above it.
+        prop_assert!(reported >= exact, "reported {reported} < exact {exact}");
+        prop_assert_eq!(
+            reported,
+            bucket_upper_bound(bucket_index(exact)),
+            "reported quantile must be the exact statistic's bucket bound"
+        );
+    }
+
+    #[test]
+    fn fixed_quantiles_bound_recorded_range(
+        values in collection::vec(1u64..1_000_000, 1..100),
+    ) {
+        let hist = Histogram::detached();
+        for &v in &values {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        let max = *values.iter().max().expect("non-empty");
+        let min = *values.iter().min().expect("non-empty");
+        for reported in [snap.p50(), snap.p90(), snap.p99(), snap.p999()] {
+            prop_assert!(reported >= min, "quantile below the recorded minimum");
+            prop_assert!(
+                reported <= bucket_upper_bound(bucket_index(max)),
+                "quantile above the maximum's bucket bound"
+            );
+        }
+        prop_assert_eq!(snap.count(), values.len() as u64);
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+    }
+}

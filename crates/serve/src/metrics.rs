@@ -1,17 +1,35 @@
-//! Server counters and latency percentiles for `/stats`.
+//! Server metrics on the shared `bmb-obs` registry.
 //!
-//! Latencies are recorded in whole microseconds into a fixed-size ring
-//! (the most recent [`RING_CAPACITY`] requests); percentiles are computed
-//! by sorting a copy on demand, entirely in integer arithmetic. Counters
-//! are relaxed atomics — `/stats` is observability, not accounting, and
-//! slight cross-counter skew under load is acceptable.
+//! One metrics implementation serves every consumer: the `/stats` wire
+//! command reads the same cells Prometheus exposition renders, so the
+//! two can never disagree. Counters and gauges are relaxed atomics;
+//! request latencies go into per-command log-scale histograms
+//! (`bmb_serve_request_us{cmd=...}`), and `/stats` percentiles are
+//! nearest-rank quantiles over the merged per-command histograms —
+//! reported as bucket upper bounds, so they are within one power-of-two
+//! bucket of the true latency.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::Arc;
 use std::time::Duration;
 
-/// How many recent request latencies the percentile ring retains.
-pub const RING_CAPACITY: usize = 4096;
+use bmb_obs::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, BUCKETS};
+
+/// Command labels pre-registered at construction so the request hot
+/// path never takes the registry lock. `"invalid"` is the bucket for
+/// lines that failed to parse into any command.
+pub const KNOWN_COMMANDS: &[&str] = &[
+    "ping",
+    "chi2",
+    "chi2_batch",
+    "interest",
+    "topk",
+    "border",
+    "ingest",
+    "stats",
+    "metrics",
+    "shutdown",
+    "invalid",
+];
 
 /// Why a request (or connection) failed, for the per-category error
 /// counters surfaced in `/stats`.
@@ -29,44 +47,35 @@ pub enum ErrorCategory {
     Other,
 }
 
-/// A fixed-size ring of recent latency samples (microseconds).
-#[derive(Debug)]
-struct Ring {
-    samples: Vec<u64>,
-    next: usize,
-    filled: bool,
-}
-
-/// Cumulative server counters plus the latency ring.
+/// Cumulative server counters, gauges, and latency histograms, all
+/// living in one [`Registry`] (`bmb_serve_*` families).
 #[derive(Debug)]
 pub struct ServerMetrics {
+    registry: Arc<Registry>,
     /// Requests handled (including failed ones).
-    requests: AtomicU64,
+    requests: Counter,
     /// Requests answered `"ok": false`.
-    errors: AtomicU64,
+    request_errors: Counter,
     /// Connections accepted.
-    connections: AtomicU64,
-    /// Connections rejected by admission control (queue full or over
-    /// the connection limit).
-    rejected_connections: AtomicU64,
-    /// Connections currently open (accepted, not yet closed).
-    active_connections: AtomicU64,
-    /// Malformed request lines.
-    parse_errors: AtomicU64,
-    /// Load-shedding rejections (queue full, connection limit).
-    overload_errors: AtomicU64,
-    /// Requests that blew their deadline.
-    deadline_errors: AtomicU64,
-    /// Socket-level connection failures.
-    io_errors: AtomicU64,
-    /// Other request failures (engine errors, bad parameters).
-    other_errors: AtomicU64,
+    connections: Counter,
+    /// Connections rejected by admission control.
+    rejected_connections: Counter,
+    /// Connections currently open.
+    active_connections: Gauge,
+    /// Per-category error counters (`category=` label).
+    parse_errors: Counter,
+    overload_errors: Counter,
+    deadline_errors: Counter,
+    io_errors: Counter,
+    other_errors: Counter,
     /// Baskets ingested through the server.
-    ingested_baskets: AtomicU64,
-    /// Epoch of the most recent snapshot served to any query.
-    last_served_epoch: AtomicU64,
-    /// Recent request latencies.
-    ring: Mutex<Ring>,
+    ingested_baskets: Counter,
+    /// Epoch of the most recent snapshot served (monotonic max).
+    last_served_epoch: Gauge,
+    /// Requests slower than the configured slow-query threshold.
+    slow_requests: Counter,
+    /// Per-command request latency histograms.
+    per_command: Vec<(&'static str, Histogram)>,
 }
 
 /// A point-in-time copy of every counter, plus derived percentiles.
@@ -96,10 +105,24 @@ pub struct MetricsSnapshot {
     pub ingested_baskets: u64,
     /// Epoch of the most recent snapshot served.
     pub last_served_epoch: u64,
-    /// Median request latency, microseconds.
+    /// Requests over the slow-query threshold.
+    pub slow_requests: u64,
+    /// Median request latency, microseconds (log-bucket upper bound).
     pub p50_us: u64,
-    /// 99th-percentile request latency, microseconds.
+    /// 99th-percentile request latency, microseconds (bucket bound).
     pub p99_us: u64,
+}
+
+impl MetricsSnapshot {
+    /// Fraction of handled requests that failed, in `[0, 1]`; exactly
+    /// `0.0` before the first request (never NaN).
+    pub fn error_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.requests as f64
+        }
+    }
 }
 
 impl Default for ServerMetrics {
@@ -109,44 +132,92 @@ impl Default for ServerMetrics {
 }
 
 impl ServerMetrics {
-    /// Fresh zeroed metrics.
+    /// Fresh zeroed metrics in a fresh registry.
     pub fn new() -> Self {
+        let registry = Arc::new(Registry::new());
+        let category = |cat: &str| {
+            registry.counter_with(
+                "bmb_serve_errors_total",
+                "Failures by category (requests and connection-level).",
+                &[("category", cat)],
+            )
+        };
+        let per_command = KNOWN_COMMANDS
+            .iter()
+            .map(|&cmd| {
+                (
+                    cmd,
+                    registry.histogram_with(
+                        "bmb_serve_request_us",
+                        "Request handling latency in microseconds.",
+                        &[("cmd", cmd)],
+                    ),
+                )
+            })
+            .collect();
         ServerMetrics {
-            requests: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-            connections: AtomicU64::new(0),
-            rejected_connections: AtomicU64::new(0),
-            active_connections: AtomicU64::new(0),
-            parse_errors: AtomicU64::new(0),
-            overload_errors: AtomicU64::new(0),
-            deadline_errors: AtomicU64::new(0),
-            io_errors: AtomicU64::new(0),
-            other_errors: AtomicU64::new(0),
-            ingested_baskets: AtomicU64::new(0),
-            last_served_epoch: AtomicU64::new(0),
-            ring: Mutex::new(Ring {
-                samples: vec![0; RING_CAPACITY],
-                next: 0,
-                filled: false,
-            }),
+            requests: registry.counter("bmb_serve_requests_total", "Requests handled."),
+            request_errors: registry.counter(
+                "bmb_serve_request_errors_total",
+                "Requests answered with an error.",
+            ),
+            connections: registry.counter("bmb_serve_connections_total", "Connections accepted."),
+            rejected_connections: registry.counter(
+                "bmb_serve_rejected_connections_total",
+                "Connections rejected by admission control.",
+            ),
+            active_connections: registry.gauge(
+                "bmb_serve_active_connections",
+                "Connections currently open.",
+            ),
+            parse_errors: category("parse"),
+            overload_errors: category("overload"),
+            deadline_errors: category("deadline"),
+            io_errors: category("io"),
+            other_errors: category("other"),
+            ingested_baskets: registry.counter(
+                "bmb_serve_ingested_baskets_total",
+                "Baskets ingested through the server.",
+            ),
+            last_served_epoch: registry.gauge(
+                "bmb_serve_last_served_epoch",
+                "Epoch of the most recent snapshot served to any query.",
+            ),
+            slow_requests: registry.counter(
+                "bmb_serve_slow_requests_total",
+                "Requests slower than the slow-query threshold.",
+            ),
+            per_command,
+            registry,
         }
     }
 
-    /// Records one handled request: its latency and, when it failed,
-    /// the failure category.
-    pub fn record_request(&self, latency: Duration, failed: Option<ErrorCategory>) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
+    /// The registry backing these metrics, for exposition merging and
+    /// programmatic snapshots.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Records one handled request: its command, latency, and (when it
+    /// failed) the failure category. Unknown command labels fall back
+    /// to a registry registration (slow path, never hit by the server
+    /// itself — it only passes [`KNOWN_COMMANDS`] labels).
+    pub fn record_request(&self, cmd: &str, latency: Duration, failed: Option<ErrorCategory>) {
+        self.requests.inc();
         if let Some(category) = failed {
-            self.errors.fetch_add(1, Ordering::Relaxed);
+            self.request_errors.inc();
             self.record_error(category);
         }
-        let micros = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
-        let mut ring = lock(&self.ring);
-        let next = ring.next;
-        ring.samples[next] = micros;
-        ring.next = (next + 1) % RING_CAPACITY;
-        if ring.next == 0 {
-            ring.filled = true;
+        match self.per_command.iter().find(|(name, _)| *name == cmd) {
+            Some((_, histogram)) => histogram.record_duration(latency),
+            None => self
+                .registry
+                .histogram_with(
+                    "bmb_serve_request_us",
+                    "Request handling latency in microseconds.",
+                    &[("cmd", cmd)],
+                )
+                .record_duration(latency),
         }
     }
 
@@ -160,92 +231,85 @@ impl ServerMetrics {
             ErrorCategory::Io => &self.io_errors,
             ErrorCategory::Other => &self.other_errors,
         };
-        counter.fetch_add(1, Ordering::Relaxed);
+        counter.inc();
     }
 
     /// Records one accepted connection; pair with
     /// [`ServerMetrics::record_disconnection`] when it closes.
     pub fn record_connection(&self) {
-        self.connections.fetch_add(1, Ordering::Relaxed);
-        self.active_connections.fetch_add(1, Ordering::Relaxed);
+        self.connections.inc();
+        self.active_connections.add(1);
     }
 
     /// Records an accepted connection closing.
     pub fn record_disconnection(&self) {
         // Saturating: a stray double-close must not wrap the gauge.
-        let _ = self
-            .active_connections
-            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1));
+        self.active_connections.sub_saturating(1);
     }
 
     /// Records a connection turned away by admission control.
     pub fn record_rejected_connection(&self) {
-        self.rejected_connections.fetch_add(1, Ordering::Relaxed);
+        self.rejected_connections.inc();
         self.record_error(ErrorCategory::Overload);
     }
 
     /// Connections currently open.
     pub fn active_connections(&self) -> u64 {
-        self.active_connections.load(Ordering::Relaxed)
+        u64::try_from(self.active_connections.get()).unwrap_or(0)
     }
 
     /// Records `n` baskets ingested.
     pub fn record_ingest(&self, n: u64) {
-        self.ingested_baskets.fetch_add(n, Ordering::Relaxed);
+        self.ingested_baskets.add(n);
     }
 
     /// Records the epoch a query was served at (monotonic max).
     pub fn record_served_epoch(&self, epoch: u64) {
-        self.last_served_epoch.fetch_max(epoch, Ordering::Relaxed);
+        self.last_served_epoch
+            .set_max(i64::try_from(epoch).unwrap_or(i64::MAX));
     }
 
-    /// A point-in-time copy of every counter plus p50/p99 latency.
-    pub fn snapshot(&self) -> MetricsSnapshot {
-        let (p50_us, p99_us) = {
-            let ring = lock(&self.ring);
-            let len = if ring.filled {
-                RING_CAPACITY
-            } else {
-                ring.next
-            };
-            if len == 0 {
-                (0, 0)
-            } else {
-                let mut sorted = ring.samples[..len].to_vec();
-                sorted.sort_unstable();
-                (percentile(&sorted, 50), percentile(&sorted, 99))
+    /// Records one request over the slow-query threshold.
+    pub fn record_slow_request(&self) {
+        self.slow_requests.inc();
+    }
+
+    /// All request latencies merged across commands.
+    fn merged_latency(&self) -> HistogramSnapshot {
+        let mut merged = HistogramSnapshot::default();
+        for (_, histogram) in &self.per_command {
+            let snap = histogram.snapshot();
+            for i in 0..BUCKETS {
+                merged.buckets[i] += snap.buckets[i];
             }
-        };
+            merged.sum = merged.sum.saturating_add(snap.sum);
+        }
+        merged
+    }
+
+    /// A point-in-time copy of every counter plus p50/p99 latency
+    /// (nearest-rank over the merged histograms; `0` when no request
+    /// has been recorded yet).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let latency = self.merged_latency();
         MetricsSnapshot {
-            requests: self.requests.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            connections: self.connections.load(Ordering::Relaxed),
-            rejected_connections: self.rejected_connections.load(Ordering::Relaxed),
-            active_connections: self.active_connections.load(Ordering::Relaxed),
-            parse_errors: self.parse_errors.load(Ordering::Relaxed),
-            overload_errors: self.overload_errors.load(Ordering::Relaxed),
-            deadline_errors: self.deadline_errors.load(Ordering::Relaxed),
-            io_errors: self.io_errors.load(Ordering::Relaxed),
-            other_errors: self.other_errors.load(Ordering::Relaxed),
-            ingested_baskets: self.ingested_baskets.load(Ordering::Relaxed),
-            last_served_epoch: self.last_served_epoch.load(Ordering::Relaxed),
-            p50_us,
-            p99_us,
+            requests: self.requests.get(),
+            errors: self.request_errors.get(),
+            connections: self.connections.get(),
+            rejected_connections: self.rejected_connections.get(),
+            active_connections: self.active_connections(),
+            parse_errors: self.parse_errors.get(),
+            overload_errors: self.overload_errors.get(),
+            deadline_errors: self.deadline_errors.get(),
+            io_errors: self.io_errors.get(),
+            other_errors: self.other_errors.get(),
+            ingested_baskets: self.ingested_baskets.get(),
+            last_served_epoch: u64::try_from(self.last_served_epoch.get()).unwrap_or(0),
+            slow_requests: self.slow_requests.get(),
+            p50_us: latency.p50(),
+            p99_us: latency.p99(),
         }
     }
-}
-
-/// The `q`-th percentile of a sorted non-empty slice, nearest-rank with
-/// integer arithmetic only.
-fn percentile(sorted: &[u64], q: usize) -> u64 {
-    let idx = ((sorted.len() - 1) * q) / 100;
-    sorted[idx]
-}
-
-/// Acquires a mutex, recovering from poisoning (the ring holds plain
-/// integers; any state is valid).
-fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 #[cfg(test)]
@@ -256,8 +320,12 @@ mod tests {
     fn counters_accumulate() {
         let m = ServerMetrics::new();
         m.record_connection();
-        m.record_request(Duration::from_micros(100), None);
-        m.record_request(Duration::from_micros(300), Some(ErrorCategory::Other));
+        m.record_request("chi2", Duration::from_micros(100), None);
+        m.record_request(
+            "chi2",
+            Duration::from_micros(300),
+            Some(ErrorCategory::Other),
+        );
         m.record_ingest(7);
         m.record_served_epoch(5);
         m.record_served_epoch(3); // must not regress
@@ -274,9 +342,17 @@ mod tests {
     #[test]
     fn error_categories_count_separately() {
         let m = ServerMetrics::new();
-        m.record_request(Duration::from_micros(1), Some(ErrorCategory::Parse));
-        m.record_request(Duration::from_micros(1), Some(ErrorCategory::Deadline));
-        m.record_request(Duration::from_micros(1), Some(ErrorCategory::Deadline));
+        m.record_request("chi2", Duration::from_micros(1), Some(ErrorCategory::Parse));
+        m.record_request(
+            "topk",
+            Duration::from_micros(1),
+            Some(ErrorCategory::Deadline),
+        );
+        m.record_request(
+            "topk",
+            Duration::from_micros(1),
+            Some(ErrorCategory::Deadline),
+        );
         m.record_error(ErrorCategory::Io);
         m.record_rejected_connection();
         let snap = m.snapshot();
@@ -304,36 +380,51 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_on_known_distribution() {
+    fn percentiles_merge_across_commands_within_one_bucket() {
         let m = ServerMetrics::new();
-        // 1..=100 microseconds, one sample each.
+        // 1..=100 microseconds, spread across two command labels.
         for us in 1..=100u64 {
-            m.record_request(Duration::from_micros(us), None);
+            let cmd = if us % 2 == 0 { "chi2" } else { "topk" };
+            m.record_request(cmd, Duration::from_micros(us), None);
         }
         let snap = m.snapshot();
-        assert_eq!(snap.p50_us, 50);
-        assert_eq!(snap.p99_us, 99);
+        // Log-bucket quantiles report the bucket upper bound: the true
+        // p50 is 50 (bucket (32, 64]), the true p99 is 99 ((64, 128]).
+        assert_eq!(snap.p50_us, 64);
+        assert_eq!(snap.p99_us, 128);
+        assert_eq!(snap.requests, 100);
     }
 
     #[test]
-    fn ring_wraps_and_keeps_recent_samples() {
-        let m = ServerMetrics::new();
-        for _ in 0..RING_CAPACITY {
-            m.record_request(Duration::from_micros(1), None);
-        }
-        // Overwrite the whole ring with slower samples.
-        for _ in 0..RING_CAPACITY {
-            m.record_request(Duration::from_micros(1000), None);
-        }
-        let snap = m.snapshot();
-        assert_eq!(snap.p50_us, 1000);
-        assert_eq!(snap.requests, 2 * RING_CAPACITY as u64);
-    }
-
-    #[test]
-    fn empty_ring_reports_zero() {
+    fn empty_histograms_report_zero_percentiles_and_rates() {
         let snap = ServerMetrics::new().snapshot();
         assert_eq!(snap.p50_us, 0);
         assert_eq!(snap.p99_us, 0);
+        // Bit-exact +0.0 — not NaN, not -0.0, not null on the wire.
+        assert_eq!(snap.error_rate().to_bits(), 0u64);
+    }
+
+    #[test]
+    fn error_rate_is_a_plain_fraction() {
+        let m = ServerMetrics::new();
+        m.record_request("chi2", Duration::from_micros(1), None);
+        m.record_request("chi2", Duration::from_micros(1), Some(ErrorCategory::Other));
+        let rate = m.snapshot().error_rate();
+        assert!((rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn registry_exposes_the_same_cells_stats_reads() {
+        let m = ServerMetrics::new();
+        m.record_request("chi2", Duration::from_micros(9), None);
+        m.record_slow_request();
+        let snap = m.registry().snapshot();
+        assert_eq!(snap.counter_value("bmb_serve_requests_total", &[]), 1);
+        assert_eq!(snap.counter_value("bmb_serve_slow_requests_total", &[]), 1);
+        assert_eq!(
+            snap.histogram_value("bmb_serve_request_us", &[("cmd", "chi2")])
+                .count(),
+            1
+        );
     }
 }

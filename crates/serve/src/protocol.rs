@@ -61,10 +61,31 @@ pub enum Request {
     },
     /// Server and cache counters.
     Stats,
+    /// The full Prometheus text exposition, as a string payload.
+    Metrics,
     /// Liveness probe.
     Ping,
     /// Graceful shutdown: drain in-flight queries, then exit.
     Shutdown,
+}
+
+impl Request {
+    /// The wire command name, used as the `cmd=` label on the server's
+    /// per-command latency histograms.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Request::Chi2 { .. } => "chi2",
+            Request::Chi2Batch { .. } => "chi2_batch",
+            Request::Interest { .. } => "interest",
+            Request::TopK { .. } => "topk",
+            Request::Border { .. } => "border",
+            Request::Ingest { .. } => "ingest",
+            Request::Stats => "stats",
+            Request::Metrics => "metrics",
+            Request::Ping => "ping",
+            Request::Shutdown => "shutdown",
+        }
+    }
 }
 
 /// A request plus its optional client correlation id.
@@ -149,6 +170,7 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
             baskets: parse_id_lists(value.get("baskets"), "baskets")?,
         },
         "stats" => Request::Stats,
+        "metrics" => Request::Metrics,
         "ping" => Request::Ping,
         "shutdown" => Request::Shutdown,
         other => return Err(format!("unknown cmd '{other}'")),

@@ -30,7 +30,7 @@
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::Receiver;
 use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
@@ -38,6 +38,7 @@ use std::time::{Duration, Instant};
 use bmb_basket::wal::DurableStore;
 use bmb_basket::{ItemId, Itemset};
 use bmb_core::{MinerConfig, QueryEngine, SupportSpec};
+use bmb_obs::{RegistrySnapshot, Severity, TraceId};
 
 use crate::json::Value;
 use crate::metrics::{ErrorCategory, ServerMetrics};
@@ -66,6 +67,13 @@ pub struct ServerConfig {
     /// Per-request processing deadline; work that misses it answers
     /// with a retryable `deadline exceeded` error.
     pub request_deadline: Duration,
+    /// Requests slower than this are counted and logged to the event
+    /// log at `Warn` with their command and trace id.
+    pub slow_request_threshold: Duration,
+    /// Optional bind address for a plain-HTTP `/metrics` listener
+    /// serving the Prometheus text exposition (`None` disables it; use
+    /// port 0 for an ephemeral port).
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -78,6 +86,8 @@ impl Default for ServerConfig {
             poll_interval: Duration::from_millis(50),
             max_line_bytes: 16 << 20,
             request_deadline: Duration::from_secs(10),
+            slow_request_threshold: Duration::from_secs(1),
+            metrics_addr: None,
         }
     }
 }
@@ -88,6 +98,7 @@ impl Default for ServerConfig {
 pub struct ShutdownHandle {
     flag: Arc<AtomicBool>,
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
 }
 
 impl ShutdownHandle {
@@ -95,8 +106,11 @@ impl ShutdownHandle {
     /// (not once the server has exited — join the server thread for that).
     pub fn shutdown(&self) {
         self.flag.store(true, Ordering::SeqCst);
-        // Wake the acceptor out of its blocking accept.
+        // Wake the acceptors out of their blocking accepts.
         let _ = TcpStream::connect(self.addr);
+        if let Some(addr) = self.metrics_addr {
+            let _ = TcpStream::connect(addr);
+        }
     }
 
     /// Whether shutdown has been requested.
@@ -112,12 +126,19 @@ pub struct Server {
     config: ServerConfig,
     listener: TcpListener,
     local_addr: SocketAddr,
+    metrics_listener: Option<TcpListener>,
+    metrics_local_addr: Option<SocketAddr>,
     flag: Arc<AtomicBool>,
     durable: Option<Arc<DurableStore>>,
+    /// Per-server trace-id sequence: deterministic for a given request
+    /// order, so golden fixtures (and the durability byte-identity
+    /// test) stay reproducible across runs and restarts.
+    trace_seq: Arc<AtomicU64>,
 }
 
 impl Server {
-    /// Binds the listening socket (resolving port 0 to a real port).
+    /// Binds the listening socket (resolving port 0 to a real port),
+    /// and the `/metrics` HTTP socket when configured.
     ///
     /// # Errors
     ///
@@ -125,14 +146,25 @@ impl Server {
     pub fn bind(engine: Arc<QueryEngine>, config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
+        let metrics_listener = match &config.metrics_addr {
+            Some(addr) => Some(TcpListener::bind(addr)?),
+            None => None,
+        };
+        let metrics_local_addr = match &metrics_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
         Ok(Server {
             engine,
             metrics: Arc::new(ServerMetrics::new()),
             config,
             listener,
             local_addr,
+            metrics_listener,
+            metrics_local_addr,
             flag: Arc::new(AtomicBool::new(false)),
             durable: None,
+            trace_seq: Arc::new(AtomicU64::new(1)),
         })
     }
 
@@ -149,6 +181,11 @@ impl Server {
         self.local_addr
     }
 
+    /// The bound `/metrics` HTTP address, when configured.
+    pub fn metrics_local_addr(&self) -> Option<SocketAddr> {
+        self.metrics_local_addr
+    }
+
     /// The server's metrics (shared; live while the server runs).
     pub fn metrics(&self) -> Arc<ServerMetrics> {
         Arc::clone(&self.metrics)
@@ -159,6 +196,7 @@ impl Server {
         ShutdownHandle {
             flag: Arc::clone(&self.flag),
             addr: self.local_addr,
+            metrics_addr: self.metrics_local_addr,
         }
     }
 
@@ -185,9 +223,19 @@ impl Server {
                     shutdown: shutdown.clone(),
                     config: &self.config,
                     durable: self.durable.as_ref(),
+                    trace_seq: &self.trace_seq,
                 };
                 let rx = &rx;
                 scope.spawn(move |_| worker_loop(rx, ctx));
+            }
+            if let Some(listener) = &self.metrics_listener {
+                let shutdown = shutdown.clone();
+                let engine = &self.engine;
+                let metrics = &self.metrics;
+                let durable = self.durable.as_ref();
+                scope.spawn(move |_| {
+                    metrics_http_loop(listener, shutdown, || exposition(metrics, engine, durable))
+                });
             }
             // Acceptor: hand connections to the pool until shutdown.
             // Admission control happens here — a connection the pool
@@ -243,11 +291,13 @@ impl Server {
     /// the address, shutdown control, and the join handle.
     pub fn spawn(self) -> RunningServer {
         let addr = self.local_addr;
+        let metrics_addr = self.metrics_local_addr;
         let shutdown = self.shutdown_handle();
         let metrics = self.metrics();
         let thread = std::thread::spawn(move || self.run());
         RunningServer {
             addr,
+            metrics_addr,
             shutdown,
             metrics,
             thread,
@@ -259,6 +309,8 @@ impl Server {
 pub struct RunningServer {
     /// The bound address.
     pub addr: SocketAddr,
+    /// The bound `/metrics` HTTP address, when configured.
+    pub metrics_addr: Option<SocketAddr>,
     /// Shutdown control.
     pub shutdown: ShutdownHandle,
     /// Live metrics.
@@ -298,6 +350,62 @@ struct ConnectionContext<'a> {
     shutdown: ShutdownHandle,
     config: &'a ServerConfig,
     durable: Option<&'a Arc<DurableStore>>,
+    trace_seq: &'a Arc<AtomicU64>,
+}
+
+/// The Prometheus text exposition over every registry this server can
+/// see: its own request metrics, the engine's caches, the WAL (when
+/// durable), and the process-global registry (miner stages).
+fn exposition(
+    metrics: &ServerMetrics,
+    engine: &QueryEngine,
+    durable: Option<&Arc<DurableStore>>,
+) -> String {
+    let mut snaps: Vec<RegistrySnapshot> = vec![
+        metrics.registry().snapshot(),
+        engine.observability().snapshot(),
+    ];
+    if let Some(durable) = durable {
+        snaps.push(durable.observability().snapshot());
+    }
+    snaps.push(bmb_obs::global().snapshot());
+    let refs: Vec<&RegistrySnapshot> = snaps.iter().collect();
+    bmb_obs::expose::render(&refs)
+}
+
+/// Serves `/metrics` over bare HTTP/1.1 until shutdown: read (and
+/// discard) the request head, answer one text exposition, close. The
+/// shutdown self-connect wakes the blocking accept.
+fn metrics_http_loop(
+    listener: &TcpListener,
+    shutdown: ShutdownHandle,
+    render: impl Fn() -> String,
+) {
+    loop {
+        if shutdown.is_shutdown() {
+            return;
+        }
+        let mut stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => continue,
+        };
+        if shutdown.is_shutdown() {
+            return; // The wake-up self-connect lands here.
+        }
+        // Drain the request head (best effort; scrapers send tiny GETs).
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+        let mut head = [0u8; 4096];
+        let _ = stream.read(&mut head);
+        let body = render();
+        let response = format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; \
+             charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let _ = stream.write_all(response.as_bytes());
+    }
 }
 
 /// Pulls connections off the queue until the acceptor hangs up.
@@ -404,9 +512,15 @@ fn deadline_sensitive(request: &Request) -> bool {
 fn handle_line(line: &str, ctx: &ConnectionContext<'_>) -> (Value, bool) {
     let start = Instant::now();
     let deadline = ctx.config.request_deadline;
-    let (id, outcome, stop) = match parse_request(line) {
+    // Per-server sequence, not the process-global one: a fresh server
+    // always numbers its requests 1, 2, … so fixture bytes (and the
+    // durability restart test) stay deterministic.
+    let trace = TraceId::from_u64(ctx.trace_seq.fetch_add(1, Ordering::Relaxed));
+    bmb_obs::trace::set_current_trace(trace);
+    let (id, cmd, outcome, stop) = match parse_request(line) {
         Err(message) => (
             None,
+            "invalid",
             Err(Failure {
                 message,
                 category: ErrorCategory::Parse,
@@ -414,13 +528,14 @@ fn handle_line(line: &str, ctx: &ConnectionContext<'_>) -> (Value, bool) {
             false,
         ),
         Ok(envelope) => {
+            let cmd = envelope.request.name();
             let stop = envelope.request == Request::Shutdown;
             let convert_late = deadline_sensitive(&envelope.request);
             let mut outcome = dispatch(envelope.request, ctx, start);
             if convert_late && outcome.is_ok() && start.elapsed() > deadline {
                 outcome = Err(Failure::deadline(deadline));
             }
-            (envelope.id, outcome, stop)
+            (envelope.id, cmd, outcome, stop)
         }
     };
     let (response, failed) = match outcome {
@@ -437,8 +552,22 @@ fn handle_line(line: &str, ctx: &ConnectionContext<'_>) -> (Value, bool) {
             (response, Some(failure.category))
         }
     };
-    ctx.metrics.record_request(start.elapsed(), failed);
-    (response, stop)
+    let elapsed = start.elapsed();
+    if elapsed > ctx.config.slow_request_threshold {
+        ctx.metrics.record_slow_request();
+        let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        bmb_obs::events().emit(
+            Severity::Warn,
+            "slow request",
+            &[
+                ("cmd", cmd),
+                ("elapsed_us", &micros.to_string()),
+                ("trace", &trace.to_string()),
+            ],
+        );
+    }
+    ctx.metrics.record_request(cmd, elapsed, failed);
+    (response.with("trace", Value::Str(trace.to_string())), stop)
 }
 
 /// Executes one decoded request against the engine. `start` anchors the
@@ -605,8 +734,14 @@ fn dispatch(
                 .with("segment_misses", Value::Int(cache.segment_misses as i64))
                 .with("table_hit_rate", Value::float(cache.table_hit_rate()))
                 .with("p50_us", Value::Int(metrics.p50_us as i64))
-                .with("p99_us", Value::Int(metrics.p99_us as i64)))
+                .with("p99_us", Value::Int(metrics.p99_us as i64))
+                .with("slow_requests", Value::Int(metrics.slow_requests as i64))
+                .with("error_rate", Value::float(metrics.error_rate())))
         }
+        Request::Metrics => Ok(Value::object().with(
+            "text",
+            Value::Str(exposition(ctx.metrics, ctx.engine, ctx.durable)),
+        )),
     }
 }
 

@@ -3,7 +3,9 @@
 //! * A server restarted against the same WAL file resumes at the
 //!   recovered epoch and answers queries **byte-identically** to the
 //!   pre-crash server (raw response lines compared, so every f64 bit
-//!   pattern is pinned).
+//!   pattern is pinned). The per-request `"trace"` field is stripped
+//!   before comparing: a trace id names a request, not an answer, and
+//!   the query occupies a different request slot after the restart.
 //! * Admission control: over-limit connections get one clean retryable
 //!   error line instead of hanging.
 //! * Deadlines: a server whose deadline budget is zero answers queries
@@ -51,6 +53,15 @@ fn wal_server(path: &Path, config: ServerConfig) -> (bmb_serve::server::RunningS
     (server.spawn(), report.epoch)
 }
 
+/// Drops the positional `"trace":"…"` field (always appended last) so
+/// byte comparison covers exactly the query answer.
+fn strip_trace(line: &str) -> &str {
+    match line.find(r#","trace":""#) {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
 #[test]
 fn server_restart_resumes_at_recovered_epoch() {
     let path = scratch_wal_path("restart");
@@ -89,7 +100,8 @@ fn server_restart_resumes_at_recovered_epoch() {
         .request_line(r#"{"cmd":"chi2","items":[0,1]}"#)
         .expect("chi2 after restart");
     assert_eq!(
-        chi2_before, chi2_after,
+        strip_trace(&chi2_before),
+        strip_trace(&chi2_after),
         "restarted server must answer byte-identically at the recovered epoch"
     );
     // And ingest keeps going from where it left off.

@@ -1,0 +1,189 @@
+//! Observability integration tests: the `metrics` wire command, the
+//! HTTP `/metrics` exposition listener, per-request trace ids, and the
+//! `/stats` derived-ratio edge cases (0.0, never NaN/null, before any
+//! traffic).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bmb_basket::{IncrementalStore, StoreConfig};
+use bmb_core::{EngineConfig, QueryEngine};
+use bmb_serve::json::{parse, Value};
+use bmb_serve::{Client, Server, ServerConfig};
+
+fn test_store() -> Arc<IncrementalStore> {
+    let store = Arc::new(IncrementalStore::new(
+        4,
+        StoreConfig {
+            segment_capacity: 4,
+        },
+    ));
+    let baskets: [&[u32]; 6] = [&[0, 1], &[0, 1, 2], &[2], &[0, 1], &[1, 2, 3], &[0]];
+    for basket in baskets {
+        store.append_ids(basket.iter().copied()).expect("in range");
+    }
+    store
+}
+
+fn spawn_server(config: ServerConfig) -> bmb_serve::server::RunningServer {
+    let engine = Arc::new(QueryEngine::new(test_store(), EngineConfig::default()));
+    Server::bind(engine, config).expect("bind").spawn()
+}
+
+#[test]
+fn stats_ratios_are_zero_before_any_traffic() {
+    let running = spawn_server(ServerConfig::default());
+    let mut client = Client::connect(running.addr).expect("connect");
+    // The very first request is `stats` itself: its snapshot is taken
+    // before the request is recorded, so every ratio sees zero traffic.
+    let stats = client
+        .request(&parse(r#"{"cmd":"stats"}"#).expect("req"))
+        .expect("stats");
+    assert_eq!(stats.get("requests").and_then(Value::as_u64), Some(0));
+    // Derived ratios are exactly 0.0 — a float, not null (NaN serializes
+    // to null in our JSON) and not a missing field.
+    let error_rate = stats.get("error_rate").and_then(Value::as_f64);
+    assert_eq!(error_rate.map(f64::to_bits), Some(0u64));
+    let hit_rate = stats.get("table_hit_rate").and_then(Value::as_f64);
+    assert_eq!(hit_rate.map(f64::to_bits), Some(0u64));
+    // Empty latency histograms quantile to 0, not garbage.
+    assert_eq!(stats.get("p50_us").and_then(Value::as_u64), Some(0));
+    assert_eq!(stats.get("p99_us").and_then(Value::as_u64), Some(0));
+    assert_eq!(stats.get("slow_requests").and_then(Value::as_u64), Some(0));
+    running.stop().expect("clean stop");
+}
+
+#[test]
+fn responses_carry_distinct_trace_ids() {
+    let running = spawn_server(ServerConfig::default());
+    let mut client = Client::connect(running.addr).expect("connect");
+    let a = client
+        .request_line(r#"{"cmd":"ping"}"#)
+        .expect("first ping");
+    let b = client
+        .request_line(r#"{"cmd":"ping"}"#)
+        .expect("second ping");
+    let trace_of = |line: &str| -> String {
+        let value = parse(line).expect("response json");
+        value
+            .get("trace")
+            .and_then(Value::as_str)
+            .expect("trace field present")
+            .to_string()
+    };
+    let (ta, tb) = (trace_of(&a), trace_of(&b));
+    assert_eq!(ta.len(), 16, "trace ids are 16 hex chars: {ta}");
+    assert_ne!(ta, tb, "each request gets its own trace id");
+    running.stop().expect("clean stop");
+}
+
+#[test]
+fn metrics_command_returns_exposition_text() {
+    let running = spawn_server(ServerConfig::default());
+    let mut client = Client::connect(running.addr).expect("connect");
+    client
+        .request(&parse(r#"{"cmd":"chi2","items":[0,1]}"#).expect("req"))
+        .expect("warm a query");
+    let metrics = client
+        .request(&parse(r#"{"cmd":"metrics"}"#).expect("req"))
+        .expect("metrics");
+    let text = metrics
+        .get("text")
+        .and_then(Value::as_str)
+        .expect("text payload");
+    for family in [
+        "bmb_serve_requests_total",
+        "bmb_serve_request_us",
+        "bmb_core_cache_hits_total",
+        "bmb_core_cache_misses_total",
+    ] {
+        assert!(
+            text.contains(family),
+            "exposition missing {family}:\n{text}"
+        );
+    }
+    // The chi2 request this server already served is visible.
+    assert!(
+        text.contains(r#"bmb_serve_request_us_count{cmd="chi2"} 1"#),
+        "per-command histogram count missing:\n{text}"
+    );
+    running.stop().expect("clean stop");
+}
+
+/// One plain-HTTP GET against the metrics listener.
+fn http_get_metrics(addr: std::net::SocketAddr) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect /metrics");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n")
+        .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+}
+
+#[test]
+fn http_metrics_listener_serves_prometheus_text() {
+    let running = spawn_server(ServerConfig {
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+        ..ServerConfig::default()
+    });
+    let metrics_addr = running.metrics_addr.expect("metrics listener bound");
+    let mut client = Client::connect(running.addr).expect("connect");
+    client
+        .request(&parse(r#"{"cmd":"topk","k":2}"#).expect("req"))
+        .expect("warm a query");
+
+    let response = http_get_metrics(metrics_addr);
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("http head/body split");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "head: {head}");
+    assert!(
+        head.contains("text/plain; version=0.0.4"),
+        "content type: {head}"
+    );
+    for family in [
+        "bmb_serve_requests_total",
+        "bmb_serve_request_us",
+        "bmb_core_cache_hits_total",
+    ] {
+        assert!(body.contains(family), "body missing {family}:\n{body}");
+    }
+    // Histogram buckets are cumulative and end at +Inf == _count.
+    let mut last: Option<u64> = None;
+    let mut inf: Option<u64> = None;
+    for line in body.lines() {
+        if line.starts_with(r#"bmb_serve_request_us_bucket{cmd="topk""#) {
+            let value: u64 = line
+                .rsplit(' ')
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("bucket value");
+            if let Some(prev) = last {
+                assert!(value >= prev, "buckets must be cumulative: {line}");
+            }
+            last = Some(value);
+            if line.contains(r#"le="+Inf""#) {
+                inf = Some(value);
+            }
+        }
+        if line.starts_with(r#"bmb_serve_request_us_count{cmd="topk"}"#) {
+            let count: u64 = line
+                .rsplit(' ')
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("count value");
+            assert_eq!(Some(count), inf, "+Inf bucket must equal _count");
+        }
+    }
+    assert!(inf.is_some(), "topk histogram must appear in:\n{body}");
+
+    // A second scrape still answers (the listener loops).
+    assert!(http_get_metrics(metrics_addr).contains("bmb_serve_requests_total"));
+    running.stop().expect("clean stop");
+}

@@ -32,17 +32,18 @@ pub use report::{render, Finding, Lint};
 
 /// Crates whose `src/` must be panic-free (library crates).
 pub const LIBRARY_CRATES: &[&str] = &[
-    "basket", "stats", "lattice", "apriori", "quest", "sampling", "datasets", "core", "serve",
+    "obs", "basket", "stats", "lattice", "apriori", "quest", "sampling", "datasets", "core",
+    "serve",
 ];
 
 /// Crates where even `lint:allow(panic)` is rejected.
 pub const STRICT_CRATES: &[&str] = &["basket", "stats"];
 
 /// Crates whose statistical hot paths get the float-discipline pass.
-pub const FLOAT_CRATES: &[&str] = &["basket", "stats", "core", "sampling", "serve"];
+pub const FLOAT_CRATES: &[&str] = &["obs", "basket", "stats", "core", "sampling", "serve"];
 
 /// Crates that must document every public item.
-pub const DOC_CRATES: &[&str] = &["basket", "stats", "core", "serve"];
+pub const DOC_CRATES: &[&str] = &["obs", "basket", "stats", "core", "serve"];
 
 /// Which passes to run; all on by default.
 #[derive(Clone, Copy, Debug)]
