@@ -22,6 +22,16 @@ echo "==> WAL crash-recovery torture (bounded)"
 # well inside a minute or the gate fails.
 timeout 60 cargo test -q --release -p bmb-core --test wal_torture
 
+echo "==> checkpoint crash-recovery torture (bounded)"
+# Same contract with checkpoints, segment rotation, and retention in
+# the loop: 300+ planned directory-fault points, bit-identical answers.
+timeout 60 cargo test -q --release -p bmb-core --test checkpoint_torture
+
+echo "==> kill -9 crash harness"
+# Ten real SIGKILLs of a child server mid-ingest; every acked append
+# must survive and recovery must replay only the post-checkpoint tail.
+timeout 120 cargo test -q --release -p bmb-serve --test crash_kill
+
 echo "==> server smoke test"
 ./scripts/serve_smoke.sh
 

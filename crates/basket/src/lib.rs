@@ -34,6 +34,8 @@
 pub mod bitmap;
 /// Multinomial (non-binary) attributes generalized from presence/absence.
 pub mod categorical;
+/// Checkpoint snapshots and the checkpoint manifest (bounded recovery).
+pub mod checkpoint;
 /// Dense and sparse presence/absence contingency tables.
 pub mod contingency;
 /// Interchangeable support-counting strategies (scan vs bitmap).
@@ -62,5 +64,11 @@ pub use database::BasketDatabase;
 pub use item::{ItemCatalog, ItemId};
 pub use itemset::Itemset;
 pub use segment::{IncrementalStore, ItemOutOfRange, Segment, Snapshot, StoreConfig};
-pub use storage::{FaultPlan, FaultStorage, FileStorage, MemStorage, Storage};
-pub use wal::{DurableError, DurableStore, RecoveryReport, WalError};
+pub use storage::{
+    Dir, DirFaultPlan, FaultDir, FaultPlan, FaultStorage, FileStorage, FsDir, MemDir, MemStorage,
+    Storage,
+};
+pub use wal::{
+    inspect_wal_bytes, CheckpointError, CheckpointStats, DurabilityConfig, DurableError,
+    DurableStore, InspectedRecord, RecoveryReport, WalError, WalInspection,
+};

@@ -20,6 +20,16 @@
 //! an unknown state, and corruption flips bits without changing length.
 //! Recovery must treat all of these as a damaged tail, never as damage to
 //! records whose sync was acknowledged.
+//!
+//! Checkpointed durability needs more than one log: WAL segments, snapshot
+//! files, and a manifest live in one *directory* and are created, renamed,
+//! and deleted as a group. The [`Dir`] trait models that directory with
+//! the same three-backend scheme — [`FsDir`] over a real directory,
+//! [`MemDir`] with a live-vs-durable entry model (names mutated since the
+//! last [`Dir::sync`] revert at a simulated crash, which is what catches a
+//! missing fsync-parent-dir), and [`FaultDir`] injecting a [`DirFaultPlan`]
+//! (a shared torn-write byte budget plus planned create/rename/delete/
+//! dir-sync failures).
 
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
@@ -221,6 +231,11 @@ pub struct FaultPlan {
     /// the fault is permanent — once tripped, every later write
     /// (append, sync when planned, truncate) fails, like dead media.
     pub transient: bool,
+    /// Fail every [`Storage::truncate`] call (independently of the
+    /// write-budget trip). Exercises the WAL's repair-failure path: a
+    /// torn tail that cannot be cut away must degrade the log rather
+    /// than let a later append land behind the damage.
+    pub fail_truncate: bool,
 }
 
 /// A [`MemStorage`] that injects the faults of a [`FaultPlan`].
@@ -338,10 +353,502 @@ impl Storage for FaultStorage {
     }
 
     fn truncate(&mut self, len: u64) -> io::Result<()> {
+        if self.plan.fail_truncate {
+            return Err(self.fault("truncate"));
+        }
         if self.tripped {
             return Err(self.fault("truncate after write fault"));
         }
         self.inner.truncate(len)
+    }
+}
+
+/// A flat directory of byte logs: the substrate for checkpointed
+/// durability (WAL segments + snapshot files + a manifest live side by
+/// side and are created, atomically renamed, and deleted as a group).
+///
+/// The durability contract mirrors POSIX directories: a created or
+/// renamed *name* survives a crash only after [`Dir::sync`] returns
+/// `Ok`; file *contents* survive per the file's own [`Storage::sync`].
+/// A deleted name may likewise resurrect after a crash until the
+/// directory is synced.
+pub trait Dir: Send {
+    /// The names currently present, in unspecified order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates media failures.
+    fn list(&mut self) -> io::Result<Vec<String>>;
+
+    /// Opens an existing file for append/read.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` when absent; otherwise propagates media failures.
+    fn open(&mut self, name: &str) -> io::Result<Box<dyn Storage>>;
+
+    /// Creates `name` empty (truncating any existing file of that name).
+    /// The name is not durable until [`Dir::sync`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates media failures.
+    fn create(&mut self, name: &str) -> io::Result<Box<dyn Storage>>;
+
+    /// Atomically renames `from` to `to` (replacing `to` if present).
+    /// The new name is not durable until [`Dir::sync`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates media failures; on failure neither name has changed.
+    fn rename(&mut self, from: &str, to: &str) -> io::Result<()>;
+
+    /// Deletes `name`. The deletion is not durable until [`Dir::sync`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates media failures.
+    fn delete(&mut self, name: &str) -> io::Result<()>;
+
+    /// Current length of `name` in bytes (without opening it for write).
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` when absent; otherwise propagates media failures.
+    fn file_len(&mut self, name: &str) -> io::Result<u64>;
+
+    /// Durability barrier for the directory *entries* (names): every
+    /// earlier create/rename/delete survives a crash once this returns
+    /// `Ok`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates media failures; entry durability is then unknown.
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+/// A [`Dir`] over a real filesystem directory.
+#[derive(Debug)]
+pub struct FsDir {
+    path: std::path::PathBuf,
+}
+
+impl FsDir {
+    /// Opens (creating if absent) the directory at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates creation/open failures.
+    pub fn open(path: &Path) -> io::Result<FsDir> {
+        std::fs::create_dir_all(path)?;
+        Ok(FsDir {
+            path: path.to_path_buf(),
+        })
+    }
+
+    fn file_path(&self, name: &str) -> std::path::PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Dir for FsDir {
+    fn list(&mut self) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&self.path)? {
+            let entry = entry?;
+            if let Ok(name) = entry.file_name().into_string() {
+                names.push(name);
+            }
+        }
+        Ok(names)
+    }
+
+    fn open(&mut self, name: &str) -> io::Result<Box<dyn Storage>> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(self.file_path(name))?;
+        Ok(Box::new(FileStorage { file }))
+    }
+
+    fn create(&mut self, name: &str) -> io::Result<Box<dyn Storage>> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(self.file_path(name))?;
+        Ok(Box::new(FileStorage { file }))
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> io::Result<()> {
+        std::fs::rename(self.file_path(from), self.file_path(to))
+    }
+
+    fn delete(&mut self, name: &str) -> io::Result<()> {
+        std::fs::remove_file(self.file_path(name))
+    }
+
+    fn file_len(&mut self, name: &str) -> io::Result<u64> {
+        Ok(std::fs::metadata(self.file_path(name))?.len())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        #[cfg(unix)]
+        {
+            File::open(&self.path)?.sync_all()?;
+        }
+        Ok(())
+    }
+}
+
+/// The shared state behind a [`MemDir`]: the live view of names plus the
+/// *durable* view — what a crash would leave behind. Entry mutations
+/// (create/rename/delete) touch only the live view; [`Dir::sync`]
+/// promotes it wholesale. File contents are [`SharedBytes`] handles
+/// shared between both views, so content durability is governed by each
+/// file's own [`Storage`] semantics, exactly like a real filesystem.
+#[derive(Debug, Default)]
+pub struct MemDirState {
+    live: std::collections::BTreeMap<String, SharedBytes>,
+    durable: std::collections::BTreeMap<String, SharedBytes>,
+}
+
+/// A shared handle to a [`MemDirState`]; clone it before dropping the
+/// [`MemDir`] to keep the simulated media alive across a crash.
+pub type SharedDirState = Arc<Mutex<MemDirState>>;
+
+/// An in-memory [`Dir`] with a crash model for directory entries: names
+/// created, renamed, or deleted since the last [`Dir::sync`] revert to
+/// their pre-mutation state at a simulated crash ([`MemDir::crashed`]).
+/// This is what catches a missing fsync-parent-dir after a rotation or
+/// an atomic checkpoint rename.
+#[derive(Debug, Default)]
+pub struct MemDir {
+    state: SharedDirState,
+}
+
+impl MemDir {
+    /// A fresh empty directory.
+    pub fn new() -> MemDir {
+        MemDir::default()
+    }
+
+    /// The shared state handle (the surviving "media").
+    pub fn state(&self) -> SharedDirState {
+        Arc::clone(&self.state)
+    }
+
+    /// A directory view over existing state, *without* simulating a
+    /// crash (reopen after clean shutdown).
+    pub fn with_state(state: SharedDirState) -> MemDir {
+        MemDir { state }
+    }
+
+    /// Simulates a crash over `state`: the returned directory holds only
+    /// the entries that were durable (dir-synced); unsynced creates are
+    /// gone, unsynced renames show the old name, unsynced deletes have
+    /// resurrected.
+    pub fn crashed(state: &SharedDirState) -> MemDir {
+        let durable = lock_state(state).durable.clone();
+        MemDir {
+            state: Arc::new(Mutex::new(MemDirState {
+                live: durable.clone(),
+                durable,
+            })),
+        }
+    }
+}
+
+/// Acquires the dir-state mutex, recovering from poisoning (entry maps
+/// are only mutated through panic-free code).
+fn lock_state(state: &SharedDirState) -> MutexGuard<'_, MemDirState> {
+    state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Dir for MemDir {
+    fn list(&mut self) -> io::Result<Vec<String>> {
+        Ok(lock_state(&self.state).live.keys().cloned().collect())
+    }
+
+    fn open(&mut self, name: &str) -> io::Result<Box<dyn Storage>> {
+        match lock_state(&self.state).live.get(name) {
+            Some(bytes) => Ok(Box::new(MemStorage::with_bytes(Arc::clone(bytes)))),
+            None => Err(io::Error::new(io::ErrorKind::NotFound, name.to_string())),
+        }
+    }
+
+    fn create(&mut self, name: &str) -> io::Result<Box<dyn Storage>> {
+        let bytes: SharedBytes = Arc::new(Mutex::new(Vec::new()));
+        lock_state(&self.state)
+            .live
+            .insert(name.to_string(), Arc::clone(&bytes));
+        Ok(Box::new(MemStorage::with_bytes(bytes)))
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> io::Result<()> {
+        let mut state = lock_state(&self.state);
+        match state.live.remove(from) {
+            Some(bytes) => {
+                state.live.insert(to.to_string(), bytes);
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, from.to_string())),
+        }
+    }
+
+    fn delete(&mut self, name: &str) -> io::Result<()> {
+        match lock_state(&self.state).live.remove(name) {
+            Some(_) => Ok(()),
+            None => Err(io::Error::new(io::ErrorKind::NotFound, name.to_string())),
+        }
+    }
+
+    fn file_len(&mut self, name: &str) -> io::Result<u64> {
+        match lock_state(&self.state).live.get(name) {
+            Some(bytes) => {
+                let len = bytes.lock().unwrap_or_else(PoisonError::into_inner).len();
+                Ok(len as u64)
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, name.to_string())),
+        }
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        let mut state = lock_state(&self.state);
+        state.durable = state.live.clone();
+        Ok(())
+    }
+}
+
+/// A deterministic fault schedule for [`FaultDir`].
+///
+/// Byte faults share one budget across every file written through the
+/// directory (the failing write tears, like [`FaultPlan`]); entry
+/// faults fire on the Nth call of their kind, 0-based, leaving the
+/// directory unchanged (an atomic rename either happens or doesn't).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DirFaultPlan {
+    /// After this many bytes appended across all files, appends fail;
+    /// the failing append lands as a torn write.
+    pub fail_after_bytes: Option<u64>,
+    /// When true the byte fault clears after tearing (ENOSPC that
+    /// resolves); otherwise it trips permanently like dead media.
+    pub transient: bool,
+    /// Fail the Nth [`Dir::create`] call.
+    pub fail_create_at: Option<u64>,
+    /// Fail the Nth [`Dir::rename`] call.
+    pub fail_rename_at: Option<u64>,
+    /// Fail the Nth [`Dir::delete`] call.
+    pub fail_delete_at: Option<u64>,
+    /// Fail the Nth [`Dir::sync`] call (entry durability then unknown —
+    /// the live view keeps the change but a crash reverts it).
+    pub fail_dir_sync_at: Option<u64>,
+}
+
+/// Shared fault bookkeeping between a [`FaultDir`] and the files it
+/// hands out.
+#[derive(Debug)]
+struct DirFaultState {
+    plan: DirFaultPlan,
+    written: u64,
+    tripped: bool,
+    creates: u64,
+    renames: u64,
+    deletes: u64,
+    dir_syncs: u64,
+}
+
+impl DirFaultState {
+    fn fault(what: &str) -> io::Error {
+        io::Error::other(format!("injected dir fault: {what}"))
+    }
+}
+
+/// A [`MemDir`] that injects the faults of a [`DirFaultPlan`].
+///
+/// Deterministic like [`FaultStorage`]: the same plan over the same
+/// operation sequence always fails the same call and tears the same
+/// byte. Combine with [`MemDir::crashed`] on the underlying state to
+/// enumerate crash points through rotation, checkpoint, and retention.
+#[derive(Debug)]
+pub struct FaultDir {
+    inner: MemDir,
+    state: Arc<Mutex<DirFaultState>>,
+}
+
+impl FaultDir {
+    /// A faulty directory over fresh state.
+    pub fn new(plan: DirFaultPlan) -> FaultDir {
+        FaultDir::with_dir(MemDir::new(), plan)
+    }
+
+    /// Fault injection on top of existing directory state (e.g. the
+    /// survivors of a previous crash).
+    pub fn with_dir(inner: MemDir, plan: DirFaultPlan) -> FaultDir {
+        FaultDir {
+            inner,
+            state: Arc::new(Mutex::new(DirFaultState {
+                plan,
+                written: 0,
+                tripped: false,
+                creates: 0,
+                renames: 0,
+                deletes: 0,
+                dir_syncs: 0,
+            })),
+        }
+    }
+
+    /// The underlying directory state (the surviving "media").
+    pub fn dir_state(&self) -> SharedDirState {
+        self.inner.state()
+    }
+
+    /// Whether the shared write-byte fault has tripped.
+    pub fn is_tripped(&self) -> bool {
+        lock_fault(&self.state).tripped
+    }
+}
+
+/// Acquires the fault-state mutex, recovering from poisoning.
+fn lock_fault(state: &Arc<Mutex<DirFaultState>>) -> MutexGuard<'_, DirFaultState> {
+    state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A file handle charged against its [`FaultDir`]'s shared byte budget.
+struct FaultFile {
+    inner: Box<dyn Storage>,
+    state: Arc<Mutex<DirFaultState>>,
+}
+
+impl Storage for FaultFile {
+    fn append(&mut self, data: &[u8]) -> io::Result<()> {
+        let keep = {
+            let mut st = lock_fault(&self.state);
+            if st.tripped {
+                return Err(DirFaultState::fault("append after write fault"));
+            }
+            let budget = match st.plan.fail_after_bytes {
+                Some(limit) => limit.saturating_sub(st.written),
+                None => u64::MAX,
+            };
+            if (data.len() as u64) <= budget {
+                st.written += data.len() as u64;
+                None
+            } else {
+                let keep = usize::try_from(budget)
+                    .unwrap_or(usize::MAX)
+                    .min(data.len());
+                st.written += keep as u64;
+                if st.plan.transient {
+                    st.plan.fail_after_bytes = None;
+                } else {
+                    st.tripped = true;
+                }
+                Some(keep)
+            }
+        };
+        match keep {
+            None => self.inner.append(data),
+            Some(keep) => {
+                // Torn write: the prefix under the budget lands.
+                let _ = self.inner.append(&data[..keep]);
+                Err(DirFaultState::fault("write budget exhausted"))
+            }
+        }
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        if lock_fault(&self.state).tripped {
+            return Err(DirFaultState::fault("sync after write fault"));
+        }
+        self.inner.sync()
+    }
+
+    fn len(&mut self) -> io::Result<u64> {
+        self.inner.len()
+    }
+
+    fn read_all(&mut self) -> io::Result<Vec<u8>> {
+        self.inner.read_all()
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        if lock_fault(&self.state).tripped {
+            return Err(DirFaultState::fault("truncate after write fault"));
+        }
+        self.inner.truncate(len)
+    }
+}
+
+impl Dir for FaultDir {
+    fn list(&mut self) -> io::Result<Vec<String>> {
+        self.inner.list()
+    }
+
+    fn open(&mut self, name: &str) -> io::Result<Box<dyn Storage>> {
+        let inner = self.inner.open(name)?;
+        Ok(Box::new(FaultFile {
+            inner,
+            state: Arc::clone(&self.state),
+        }))
+    }
+
+    fn create(&mut self, name: &str) -> io::Result<Box<dyn Storage>> {
+        {
+            let mut st = lock_fault(&self.state);
+            let n = st.creates;
+            st.creates += 1;
+            if st.plan.fail_create_at == Some(n) {
+                return Err(DirFaultState::fault("create"));
+            }
+        }
+        let inner = self.inner.create(name)?;
+        Ok(Box::new(FaultFile {
+            inner,
+            state: Arc::clone(&self.state),
+        }))
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> io::Result<()> {
+        {
+            let mut st = lock_fault(&self.state);
+            let n = st.renames;
+            st.renames += 1;
+            if st.plan.fail_rename_at == Some(n) {
+                return Err(DirFaultState::fault("rename"));
+            }
+        }
+        self.inner.rename(from, to)
+    }
+
+    fn delete(&mut self, name: &str) -> io::Result<()> {
+        {
+            let mut st = lock_fault(&self.state);
+            let n = st.deletes;
+            st.deletes += 1;
+            if st.plan.fail_delete_at == Some(n) {
+                return Err(DirFaultState::fault("delete"));
+            }
+        }
+        self.inner.delete(name)
+    }
+
+    fn file_len(&mut self, name: &str) -> io::Result<u64> {
+        self.inner.file_len(name)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        {
+            let mut st = lock_fault(&self.state);
+            let n = st.dir_syncs;
+            st.dir_syncs += 1;
+            if st.plan.fail_dir_sync_at == Some(n) {
+                return Err(DirFaultState::fault("dir sync"));
+            }
+        }
+        self.inner.sync()
     }
 }
 
@@ -461,5 +968,177 @@ mod tests {
         });
         assert!(s.append(b"a").is_err());
         assert!(s.sync().is_err());
+    }
+
+    #[test]
+    fn planned_truncate_fault_fails_only_truncate() {
+        let mut s = FaultStorage::new(FaultPlan {
+            fail_truncate: true,
+            ..FaultPlan::default()
+        });
+        s.append(b"abc").unwrap();
+        assert!(s.truncate(1).is_err(), "planned truncate fault");
+        // Appends and reads are unaffected.
+        s.append(b"d").unwrap();
+        assert_eq!(s.read_all().unwrap(), b"abcd");
+    }
+
+    #[test]
+    fn mem_dir_round_trips_entries() {
+        let mut d = MemDir::new();
+        let mut f = d.create("a").unwrap();
+        f.append(b"hello").unwrap();
+        f.sync().unwrap();
+        d.sync().unwrap();
+        assert_eq!(d.list().unwrap(), vec!["a".to_string()]);
+        assert_eq!(d.file_len("a").unwrap(), 5);
+        d.rename("a", "b").unwrap();
+        assert_eq!(d.list().unwrap(), vec!["b".to_string()]);
+        assert_eq!(d.open("b").unwrap().read_all().unwrap(), b"hello");
+        assert!(d.open("a").is_err(), "old name is gone after rename");
+        d.delete("b").unwrap();
+        assert!(d.list().unwrap().is_empty());
+        assert!(d.delete("b").is_err(), "double delete is NotFound");
+    }
+
+    #[test]
+    fn mem_dir_crash_reverts_unsynced_entry_mutations() {
+        let mut d = MemDir::new();
+        let state = d.state();
+        d.create("kept").unwrap().append(b"k").unwrap();
+        d.sync().unwrap();
+        // Mutations after the last dir sync: all must revert at a crash.
+        d.create("unsynced").unwrap().append(b"u").unwrap();
+        d.rename("kept", "renamed").unwrap();
+
+        let mut crashed = MemDir::crashed(&state);
+        let mut names = crashed.list().unwrap();
+        names.sort();
+        assert_eq!(names, vec!["kept".to_string()], "create + rename reverted");
+        assert_eq!(crashed.open("kept").unwrap().read_all().unwrap(), b"k");
+
+        // An unsynced delete resurrects.
+        let mut d = MemDir::crashed(&state);
+        let state = d.state();
+        d.delete("kept").unwrap();
+        let mut crashed = MemDir::crashed(&state);
+        assert_eq!(crashed.list().unwrap(), vec!["kept".to_string()]);
+        // ...and a synced delete sticks.
+        let mut d = MemDir::crashed(&state);
+        let state = d.state();
+        d.delete("kept").unwrap();
+        d.sync().unwrap();
+        assert!(MemDir::crashed(&state).list().unwrap().is_empty());
+    }
+
+    #[test]
+    fn fs_dir_round_trips_entries() {
+        let root = std::env::temp_dir().join(format!("bmb-fsdir-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        {
+            let mut d = FsDir::open(&root).unwrap();
+            assert!(d.list().unwrap().is_empty());
+            let mut f = d.create("x.tmp").unwrap();
+            f.append(b"data").unwrap();
+            f.sync().unwrap();
+            d.rename("x.tmp", "x").unwrap();
+            d.sync().unwrap();
+            assert_eq!(d.list().unwrap(), vec!["x".to_string()]);
+            assert_eq!(d.file_len("x").unwrap(), 4);
+            assert_eq!(d.open("x").unwrap().read_all().unwrap(), b"data");
+            assert!(d.open("absent").is_err());
+            d.delete("x").unwrap();
+            assert!(d.list().unwrap().is_empty());
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn fault_dir_fails_planned_entry_ops_without_effect() {
+        // Rename fault: the Nth rename fails and neither name changes.
+        let mut d = FaultDir::new(DirFaultPlan {
+            fail_rename_at: Some(1),
+            ..DirFaultPlan::default()
+        });
+        d.create("a").unwrap();
+        d.create("b").unwrap();
+        d.rename("a", "a2").unwrap(); // rename #0 succeeds
+        assert!(d.rename("b", "b2").is_err(), "rename #1 planned to fail");
+        let mut names = d.list().unwrap();
+        names.sort();
+        assert_eq!(names, vec!["a2".to_string(), "b".to_string()]);
+        d.rename("b", "b2").unwrap(); // later renames succeed again
+
+        // Delete fault: the file survives the failed call.
+        let mut d = FaultDir::new(DirFaultPlan {
+            fail_delete_at: Some(0),
+            ..DirFaultPlan::default()
+        });
+        d.create("keep").unwrap();
+        assert!(d.delete("keep").is_err());
+        assert_eq!(d.list().unwrap(), vec!["keep".to_string()]);
+        d.delete("keep").unwrap();
+
+        // Create fault.
+        let mut d = FaultDir::new(DirFaultPlan {
+            fail_create_at: Some(0),
+            ..DirFaultPlan::default()
+        });
+        assert!(d.create("nope").is_err());
+        assert!(d.list().unwrap().is_empty());
+    }
+
+    #[test]
+    fn fault_dir_sync_fault_leaves_entries_volatile() {
+        let mut d = FaultDir::new(DirFaultPlan {
+            fail_dir_sync_at: Some(0),
+            ..DirFaultPlan::default()
+        });
+        let state = d.dir_state();
+        d.create("f").unwrap();
+        assert!(d.sync().is_err(), "dir sync planned to fail");
+        // The entry was never made durable: a crash loses it.
+        assert!(MemDir::crashed(&state).list().unwrap().is_empty());
+        // A later sync succeeds and makes it durable.
+        d.sync().unwrap();
+        assert_eq!(
+            MemDir::crashed(&state).list().unwrap(),
+            vec!["f".to_string()]
+        );
+    }
+
+    #[test]
+    fn fault_dir_byte_budget_spans_files_and_tears() {
+        let mut d = FaultDir::new(DirFaultPlan {
+            fail_after_bytes: Some(6),
+            ..DirFaultPlan::default()
+        });
+        let mut a = d.create("a").unwrap();
+        let mut b = d.create("b").unwrap();
+        a.append(b"1234").unwrap(); // 4 of 6 bytes used
+        let err = b.append(b"5678").unwrap_err(); // tears at 2 bytes
+        assert!(err.to_string().contains("injected dir fault"), "{err}");
+        assert_eq!(b.read_all().unwrap(), b"56", "torn prefix landed");
+        assert!(d.is_tripped());
+        assert!(
+            a.append(b"x").is_err(),
+            "budget is shared: both handles trip"
+        );
+        assert!(b.sync().is_err());
+        assert!(b.truncate(0).is_err());
+
+        // Transient variant: the tear happens once, then writes heal.
+        let mut d = FaultDir::new(DirFaultPlan {
+            fail_after_bytes: Some(3),
+            transient: true,
+            ..DirFaultPlan::default()
+        });
+        let mut f = d.create("f").unwrap();
+        assert!(f.append(b"abcde").is_err());
+        assert_eq!(f.read_all().unwrap(), b"abc");
+        assert!(!d.is_tripped());
+        f.truncate(1).unwrap();
+        f.append(b"z").unwrap();
+        assert_eq!(f.read_all().unwrap(), b"az");
     }
 }

@@ -54,6 +54,9 @@ pub const SERVE_SPEC: &[(&str, FlagKind)] = &[
     ("items", FlagKind::Value),
     ("segment-capacity", FlagKind::Value),
     ("wal", FlagKind::Value),
+    ("checkpoint-dir", FlagKind::Value),
+    ("checkpoint-every", FlagKind::Value),
+    ("checkpoint-interval-secs", FlagKind::Value),
     ("max-connections", FlagKind::Value),
     ("metrics-addr", FlagKind::Value),
     ("numeric", FlagKind::Boolean),
@@ -61,6 +64,9 @@ pub const SERVE_SPEC: &[(&str, FlagKind)] = &[
 
 /// Flags accepted by `bmb query`.
 pub const QUERY_SPEC: &[(&str, FlagKind)] = &[("timeout-secs", FlagKind::Value)];
+
+/// Flags accepted by `bmb wal` (the `inspect` subcommand).
+pub const WAL_SPEC: &[(&str, FlagKind)] = &[("limit", FlagKind::Value)];
 
 /// Loads a basket file, named by default, numeric with `--numeric`.
 pub fn load(path: &str, numeric: bool) -> Result<BasketDatabase, String> {
@@ -327,8 +333,16 @@ pub fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         metrics_addr: args.get::<String>("metrics-addr")?,
         ..Default::default()
     };
-    let durable = match args.get::<String>("wal")? {
-        Some(wal_path) => {
+    let ckpt_dir = args.get::<String>("checkpoint-dir")?;
+    let durable = match (args.get::<String>("wal")?, &ckpt_dir) {
+        (Some(_), Some(_)) => {
+            return Err(
+                "--wal and --checkpoint-dir are mutually exclusive: the checkpoint \
+                 directory holds its own rotating WAL segments"
+                    .to_string(),
+            );
+        }
+        (Some(wal_path), None) => {
             if args.positional(1).is_some() {
                 return Err(
                     "--wal cannot be combined with a FILE seed: the log is the durable \
@@ -352,7 +366,40 @@ pub fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), String> {
             .map_err(sink)?;
             Some(std::sync::Arc::new(durable))
         }
-        None => None,
+        (None, Some(dir_path)) => {
+            if args.positional(1).is_some() {
+                return Err(
+                    "--checkpoint-dir cannot be combined with a FILE seed: the directory \
+                     is the durable source of truth; use --items N and ingest over the \
+                     protocol"
+                        .to_string(),
+                );
+            }
+            let n_items = args
+                .get::<usize>("items")?
+                .ok_or("--checkpoint-dir requires --items N (the store's item-space size)")?;
+            let dir = bmb_basket::FsDir::open(std::path::Path::new(dir_path))
+                .map_err(|e| format!("cannot open checkpoint dir {dir_path}: {e}"))?;
+            let (durable, report) = bmb_basket::DurableStore::open_dir(
+                Box::new(dir),
+                n_items,
+                store_config,
+                bmb_basket::DurabilityConfig::default(),
+            )
+            .map_err(|e| format!("cannot recover {dir_path}: {e}"))?;
+            writeln!(
+                out,
+                "recovered {} baskets from {dir_path} (epoch {}, checkpoint epoch {}, \
+                 {} records skipped)",
+                report.baskets_recovered,
+                report.epoch,
+                report.checkpoint_epoch,
+                report.records_skipped
+            )
+            .map_err(sink)?;
+            Some(std::sync::Arc::new(durable))
+        }
+        (None, None) => None,
     };
     let store = match &durable {
         Some(durable) => std::sync::Arc::clone(durable.store()),
@@ -378,7 +425,21 @@ pub fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     ));
     let mut server =
         bmb_serve::Server::bind(engine, server_config).map_err(|e| format!("cannot bind: {e}"))?;
+    let mut checkpointer = None;
     if let Some(durable) = durable {
+        if ckpt_dir.is_some() {
+            let config = bmb_serve::CheckpointerConfig {
+                interval: Some(std::time::Duration::from_secs(
+                    args.get_or("checkpoint-interval-secs", 60u64)?,
+                )),
+                every_records: Some(args.get_or("checkpoint-every", 100_000u64)?),
+                ..Default::default()
+            };
+            checkpointer = Some(bmb_serve::Checkpointer::spawn(
+                std::sync::Arc::clone(&durable),
+                config,
+            ));
+        }
         server = server.with_durable_store(durable);
     }
     let metrics = server.metrics();
@@ -387,7 +448,11 @@ pub fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         writeln!(out, "metrics on http://{addr}/metrics").map_err(sink)?;
     }
     out.flush().map_err(sink)?;
-    server.run().map_err(|e| format!("server failed: {e}"))?;
+    let run_result = server.run();
+    if let Some(checkpointer) = checkpointer {
+        checkpointer.stop();
+    }
+    run_result.map_err(|e| format!("server failed: {e}"))?;
     let snapshot = metrics.snapshot();
     writeln!(
         out,
@@ -435,6 +500,69 @@ pub fn cmd_query(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     Ok(())
 }
 
+/// `bmb wal inspect PATH` — dump a WAL file's records and tail state.
+///
+/// Works on both formats: a single-file WAL (`--wal PATH`) and a
+/// rotating segment out of a checkpoint directory (`wal.000017`).
+/// Prints one line per record (offset, kind, payload size, CRC status,
+/// running epoch) and ends with a diagnosis line — `clean`, or what is
+/// torn and why recovery will truncate there. `--limit N` caps the
+/// per-record lines (the summary always prints).
+pub fn cmd_wal(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let action = args.positional(1).ok_or("usage: bmb wal inspect PATH")?;
+    if action != "inspect" {
+        return Err(format!("unknown wal action {action:?} (try 'inspect')"));
+    }
+    let path = args.positional(2).ok_or("usage: bmb wal inspect PATH")?;
+    let limit = args.get_or("limit", usize::MAX)?;
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let inspection =
+        bmb_basket::inspect_wal_bytes(&bytes).map_err(|e| format!("{path} is not a WAL: {e}"))?;
+    let sink = |e: std::io::Error| e.to_string();
+    match inspection.base_epoch {
+        Some(base) => {
+            writeln!(
+                out,
+                "{path}: format {} (segment), base epoch {base}",
+                inspection.format
+            )
+            .map_err(sink)?;
+        }
+        None => writeln!(out, "{path}: format {}", inspection.format).map_err(sink)?,
+    }
+    for record in inspection.records.iter().take(limit) {
+        writeln!(
+            out,
+            "  @{:<10} {:<7} len={:<8} crc={} {}",
+            record.offset,
+            record.kind,
+            record.len,
+            if record.crc_ok { "ok " } else { "BAD" },
+            record.detail
+        )
+        .map_err(sink)?;
+    }
+    if inspection.records.len() > limit {
+        writeln!(
+            out,
+            "  ... {} more records",
+            inspection.records.len() - limit
+        )
+        .map_err(sink)?;
+    }
+    writeln!(
+        out,
+        "records: {}, end epoch: {}, valid bytes: {}/{}",
+        inspection.records.len(),
+        inspection.end_epoch,
+        inspection.valid_bytes,
+        inspection.total_bytes
+    )
+    .map_err(sink)?;
+    writeln!(out, "diagnosis: {}", inspection.diagnosis).map_err(sink)?;
+    Ok(())
+}
+
 /// Top-level usage text.
 pub const USAGE: &str = "\
 bmb — correlation mining for generalized basket data
@@ -451,18 +579,25 @@ USAGE:
   bmb stats FILE     [--numeric]
   bmb serve [FILE]   [--addr HOST:PORT] [--workers N] [--items N]
                      [--segment-capacity N] [--wal PATH]
+                     [--checkpoint-dir DIR] [--checkpoint-every N]
+                     [--checkpoint-interval-secs N]
                      [--max-connections N] [--metrics-addr HOST:PORT]
                      [--numeric]
   bmb query ADDR     [LINE...]  [--timeout-secs N]
+  bmb wal inspect PATH  [--limit N]
 
 Basket files are one basket per line; tokens are item names (default) or
 numeric ids (--numeric). '#' starts a comment line.
 
 'bmb serve' answers line-delimited JSON over TCP (cmd: chi2, chi2_batch,
-interest, topk, border, ingest, stats, metrics, ping, shutdown); 'bmb
-query' sends request lines from the command line or stdin. With
---metrics-addr, 'bmb serve' also exposes a Prometheus text snapshot
-over HTTP at /metrics; 'bmb mine --trace' prints per-stage wall times.
+interest, topk, border, ingest, checkpoint, stats, metrics, ping,
+shutdown); 'bmb query' sends request lines from the command line or
+stdin. With --metrics-addr, 'bmb serve' also exposes a Prometheus text
+snapshot over HTTP at /metrics; 'bmb mine --trace' prints per-stage
+wall times. With --checkpoint-dir, 'bmb serve' keeps a rotating WAL
+plus periodic checkpoints in DIR — restarts replay only the records
+after the newest valid checkpoint; 'bmb wal inspect' dumps any WAL
+file's records and torn-tail diagnosis.
 ";
 
 #[cfg(test)]
@@ -821,6 +956,169 @@ mod tests {
         assert!(rendered.contains(r#""epoch":3"#), "{rendered}");
         thread.join().unwrap().unwrap();
         let _ = std::fs::remove_file(&wal);
+    }
+
+    /// Boots `bmb serve --checkpoint-dir`, returns address and handles.
+    fn spawn_ckpt_server(
+        dir: &std::path::Path,
+        every: &str,
+    ) -> (
+        String,
+        SharedBuf,
+        std::thread::JoinHandle<Result<(), String>>,
+    ) {
+        let serve_args = args(
+            SERVE_SPEC,
+            &[
+                "serve",
+                "--items",
+                "4",
+                "--checkpoint-dir",
+                dir.to_str().unwrap(),
+                "--checkpoint-every",
+                every,
+                "--checkpoint-interval-secs",
+                "3600",
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "2",
+            ],
+        );
+        let buf = SharedBuf::default();
+        let thread = {
+            let mut sink = buf.clone();
+            std::thread::spawn(move || cmd_serve(&serve_args, &mut sink))
+        };
+        let addr = wait_for_addr(&buf);
+        (addr, buf, thread)
+    }
+
+    #[test]
+    fn serve_with_checkpoint_dir_recovers_and_answers_admin_checkpoint() {
+        let dir = std::env::temp_dir().join(format!("bmb-cli-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // First life: ingest, force an admin checkpoint, ingest more.
+        let (addr, _buf, thread) = spawn_ckpt_server(&dir, "1000000");
+        let ingest = args(
+            QUERY_SPEC,
+            &[
+                "query",
+                &addr,
+                r#"{"cmd":"ingest","baskets":[[0,1],[1,2],[0,1]]}"#,
+                r#"{"id":9,"cmd":"checkpoint"}"#,
+                r#"{"cmd":"ingest","baskets":[[2,3]]}"#,
+                r#"{"cmd":"shutdown"}"#,
+            ],
+        );
+        let mut out = Vec::new();
+        cmd_query(&ingest, &mut out).unwrap();
+        let rendered = String::from_utf8_lossy(&out).into_owned();
+        assert!(rendered.contains(r#""id":9,"ok":true"#), "{rendered}");
+        assert!(rendered.contains(r#""epoch":4"#), "{rendered}");
+        thread.join().unwrap().unwrap();
+        assert!(
+            std::fs::read_dir(&dir)
+                .unwrap()
+                .filter_map(Result::ok)
+                .any(|e| e.file_name().to_string_lossy().starts_with("ckpt.")),
+            "checkpoint file on disk"
+        );
+
+        // Second life: bounded recovery announces the checkpoint epoch.
+        let (addr, buf, thread) = spawn_ckpt_server(&dir, "1000000");
+        assert!(
+            buf.contents().contains("checkpoint epoch 3"),
+            "{}",
+            buf.contents()
+        );
+        let probe = args(
+            QUERY_SPEC,
+            &[
+                "query",
+                &addr,
+                r#"{"cmd":"chi2","items":[0,1]}"#,
+                r#"{"cmd":"shutdown"}"#,
+            ],
+        );
+        let mut out = Vec::new();
+        cmd_query(&probe, &mut out).unwrap();
+        let rendered = String::from_utf8_lossy(&out).into_owned();
+        assert!(rendered.contains(r#""epoch":4"#), "{rendered}");
+        assert!(rendered.contains(r#""support":2"#), "{rendered}");
+        thread.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_rejects_wal_plus_checkpoint_dir() {
+        let a = args(
+            SERVE_SPEC,
+            &[
+                "serve",
+                "--items",
+                "4",
+                "--wal",
+                "/tmp/x.wal",
+                "--checkpoint-dir",
+                "/tmp/x.d",
+            ],
+        );
+        let mut out = Vec::new();
+        assert!(cmd_serve(&a, &mut out)
+            .unwrap_err()
+            .contains("mutually exclusive"));
+    }
+
+    #[test]
+    fn wal_inspect_dumps_records_and_diagnosis() {
+        // Build a real single-file WAL, then inspect it.
+        let wal = std::env::temp_dir().join(format!("bmb-cli-inspect-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&wal);
+        {
+            let storage = bmb_basket::FileStorage::open(&wal).unwrap();
+            let (durable, _) = bmb_basket::DurableStore::open(
+                Box::new(storage),
+                4,
+                bmb_basket::StoreConfig::default(),
+            )
+            .unwrap();
+            durable.append_ids([0, 1]).unwrap();
+            durable.append_ids([1, 2]).unwrap();
+        }
+        let a = args(WAL_SPEC, &["wal", "inspect", wal.to_str().unwrap()]);
+        let mut out = Vec::new();
+        cmd_wal(&a, &mut out).unwrap();
+        let rendered = String::from_utf8(out).unwrap();
+        assert!(rendered.contains("format v1"), "{rendered}");
+        assert!(rendered.contains("batch"), "{rendered}");
+        assert!(rendered.contains("diagnosis: clean"), "{rendered}");
+        assert!(rendered.contains("end epoch: 2"), "{rendered}");
+
+        // Tear the tail: the diagnosis must say so.
+        let bytes = std::fs::read(&wal).unwrap();
+        std::fs::write(&wal, &bytes[..bytes.len() - 3]).unwrap();
+        let mut out = Vec::new();
+        cmd_wal(&a, &mut out).unwrap();
+        let rendered = String::from_utf8(out).unwrap();
+        assert!(!rendered.contains("diagnosis: clean"), "{rendered}");
+        assert!(rendered.contains("end epoch: 1"), "{rendered}");
+        std::fs::remove_file(&wal).ok();
+    }
+
+    #[test]
+    fn wal_inspect_rejects_non_wal_files() {
+        let path = temp_basket_file("definitely not a wal\n");
+        let a = args(WAL_SPEC, &["wal", "inspect", path.to_str().unwrap()]);
+        let mut out = Vec::new();
+        assert!(cmd_wal(&a, &mut out).unwrap_err().contains("not a WAL"));
+        let bad_action = args(WAL_SPEC, &["wal", "frobnicate", "x"]);
+        let mut out = Vec::new();
+        assert!(cmd_wal(&bad_action, &mut out)
+            .unwrap_err()
+            .contains("unknown wal action"));
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

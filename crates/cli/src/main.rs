@@ -2,8 +2,9 @@
 
 use bmb_cli::args::Args;
 use bmb_cli::commands::{
-    cmd_generate, cmd_mine, cmd_pairs, cmd_query, cmd_rules, cmd_serve, cmd_stats, GENERATE_SPEC,
-    MINE_SPEC, PAIRS_SPEC, QUERY_SPEC, RULES_SPEC, SERVE_SPEC, STATS_SPEC, USAGE,
+    cmd_generate, cmd_mine, cmd_pairs, cmd_query, cmd_rules, cmd_serve, cmd_stats, cmd_wal,
+    GENERATE_SPEC, MINE_SPEC, PAIRS_SPEC, QUERY_SPEC, RULES_SPEC, SERVE_SPEC, STATS_SPEC, USAGE,
+    WAL_SPEC,
 };
 
 fn main() {
@@ -18,6 +19,7 @@ fn main() {
         "stats" => STATS_SPEC,
         "serve" => SERVE_SPEC,
         "query" => QUERY_SPEC,
+        "wal" => WAL_SPEC,
         _ => {
             eprint!("{USAGE}");
             std::process::exit(2);
@@ -34,6 +36,7 @@ fn main() {
             "stats" => cmd_stats(&args, &mut out),
             "serve" => cmd_serve(&args, &mut out),
             "query" => cmd_query(&args, &mut out),
+            "wal" => cmd_wal(&args, &mut out),
             _ => unreachable!(),
         }
     });

@@ -1,0 +1,489 @@
+//! Crash-recovery torture with checkpoints enabled: randomized fault
+//! injection against the directory-mode [`DurableStore`] (rotating WAL
+//! segments + atomic snapshots + manifest).
+//!
+//! Each trial builds a small random workload, interleaves ingest with
+//! checkpoints over fault-injecting directory storage (torn writes,
+//! failed entry operations, unsynced directory mutations), "crashes"
+//! (reverting every entry mutation not covered by a directory sync),
+//! recovers from the survivors, and checks the durability contract:
+//!
+//! * every **acknowledged** append is present after recovery;
+//! * the recovered store equals a never-crashed store fed the same
+//!   prefix of batches — chi-squared / border answers **bit-identical**
+//!   (`f64::to_bits`), not merely approximately equal;
+//! * recovery after a checkpoint replays only post-checkpoint records
+//!   (`baskets_recovered == epoch - checkpoint_epoch`, pinned by the
+//!   recovery gauges);
+//! * a corrupted newest checkpoint falls back to an older one (or full
+//!   replay) instead of failing recovery.
+//!
+//! Over 300 distinct planned fault points run across the tests; the
+//! real-process SIGKILL counterpart lives in `bmb-serve`'s
+//! `crash_kill` test.
+
+use std::sync::Arc;
+
+use bmb_basket::storage::SharedDirState;
+use bmb_basket::wal::{DurabilityConfig, DurableStore, RecoveryReport};
+use bmb_basket::{
+    Dir, DirFaultPlan, FaultDir, IncrementalStore, ItemId, Itemset, MemDir, StoreConfig,
+};
+use bmb_core::{EngineConfig, MinerConfig, QueryEngine, SupportSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One randomized ingest script: an item space, a seal capacity, a
+/// sequence of batches, and the batch indexes after which a checkpoint
+/// is attempted.
+struct Workload {
+    n_items: usize,
+    capacity: usize,
+    batches: Vec<Vec<Vec<u32>>>,
+    checkpoint_after: Vec<bool>,
+    segment_bytes: u64,
+}
+
+impl Workload {
+    fn random(rng: &mut StdRng) -> Workload {
+        let n_items = rng.gen_range(6..=14);
+        let capacity = rng.gen_range(1..=6);
+        let n_batches = rng.gen_range(3..=8);
+        let batches: Vec<Vec<Vec<u32>>> = (0..n_batches)
+            .map(|_| {
+                let n_baskets = rng.gen_range(1..=5);
+                (0..n_baskets)
+                    .map(|_| {
+                        let m = rng.gen_range(1..=4);
+                        (0..m).map(|_| rng.gen_range(0..n_items as u32)).collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let checkpoint_after = (0..n_batches).map(|_| rng.gen_range(0..3) == 0).collect();
+        // Tiny segments so rotation happens constantly under torture.
+        let segment_bytes = rng.gen_range(48..=256);
+        Workload {
+            n_items,
+            capacity,
+            batches,
+            checkpoint_after,
+            segment_bytes,
+        }
+    }
+
+    fn config(&self) -> StoreConfig {
+        StoreConfig {
+            segment_capacity: self.capacity,
+        }
+    }
+
+    fn durability(&self) -> DurabilityConfig {
+        DurabilityConfig {
+            segment_bytes: self.segment_bytes,
+            retain_checkpoints: 2,
+        }
+    }
+
+    /// Cumulative basket count after each batch prefix (index 0 = empty).
+    fn cumulative_baskets(&self) -> Vec<u64> {
+        let mut cum = vec![0u64];
+        for batch in &self.batches {
+            cum.push(cum[cum.len() - 1] + batch.len() as u64);
+        }
+        cum
+    }
+
+    /// A never-crashed in-memory store fed the first `prefix` batches.
+    fn reference_store(&self, prefix: usize) -> Arc<IncrementalStore> {
+        let store = Arc::new(IncrementalStore::new(self.n_items, self.config()));
+        for batch in &self.batches[..prefix] {
+            store
+                .append_batch(
+                    batch
+                        .iter()
+                        .map(|b| b.iter().map(|&id| ItemId(id)).collect::<Vec<_>>()),
+                )
+                .expect("reference ingest is valid");
+        }
+        store
+    }
+
+    /// Runs the whole workload (appends + checkpoints) against clean
+    /// in-memory directory storage; returns total bytes ever written,
+    /// an upper bound for torn-write budgets.
+    fn clean_run_bytes(&self) -> u64 {
+        let dir = MemDir::new();
+        let state = dir.state();
+        let (durable, _) = DurableStore::open_dir(
+            Box::new(dir),
+            self.n_items,
+            self.config(),
+            self.durability(),
+        )
+        .expect("clean open");
+        for (i, batch) in self.batches.iter().enumerate() {
+            durable
+                .append_batch(
+                    batch
+                        .iter()
+                        .map(|b| b.iter().map(|&id| ItemId(id)).collect::<Vec<_>>()),
+                )
+                .expect("clean append");
+            if self.checkpoint_after[i] {
+                durable.checkpoint().expect("clean checkpoint");
+            }
+        }
+        let mut d = MemDir::with_state(state);
+        let names = d.list().expect("list");
+        names
+            .iter()
+            .map(|n| d.file_len(n).unwrap_or(0))
+            .sum::<u64>()
+            .max(64)
+    }
+}
+
+/// Asserts that `recovered` and `reference` answer queries identically:
+/// equal epochs, bit-identical chi-squared statistics over every
+/// singleton and a sample of pairs, and bit-identical border output.
+fn assert_bit_identical(
+    recovered: &Arc<IncrementalStore>,
+    reference: &Arc<IncrementalStore>,
+    n_items: usize,
+) {
+    assert_eq!(recovered.epoch(), reference.epoch(), "epochs diverge");
+    if recovered.epoch() == 0 {
+        return; // Both empty: queries reject empty snapshots.
+    }
+    let got = QueryEngine::new(Arc::clone(recovered), EngineConfig::default());
+    let want = QueryEngine::new(Arc::clone(reference), EngineConfig::default());
+    let got_snap = got.snapshot();
+    let want_snap = want.snapshot();
+
+    let mut probes: Vec<Itemset> = (0..n_items as u32)
+        .map(|i| Itemset::from_ids([i]))
+        .collect();
+    for i in 0..n_items as u32 {
+        probes.push(Itemset::from_ids([i, (i + 1) % n_items as u32]));
+    }
+    for set in &probes {
+        let a = got.chi2(&got_snap, set).expect("recovered chi2");
+        let b = want.chi2(&want_snap, set).expect("reference chi2");
+        assert_eq!(a.support, b.support, "support diverges for {set:?}");
+        assert_eq!(
+            a.outcome.statistic.to_bits(),
+            b.outcome.statistic.to_bits(),
+            "chi2 statistic bits diverge for {set:?}"
+        );
+        assert_eq!(
+            a.outcome.ln_p_value.to_bits(),
+            b.outcome.ln_p_value.to_bits(),
+            "ln p-value bits diverge for {set:?}"
+        );
+    }
+
+    let miner = MinerConfig {
+        support: SupportSpec::Fraction(0.05),
+        support_fraction: 0.3,
+        max_level: 3,
+        ..MinerConfig::default()
+    };
+    let a = got.border(&got_snap, &miner).expect("recovered border");
+    let b = want.border(&want_snap, &miner).expect("reference border");
+    assert_eq!(a.support_count, b.support_count);
+    assert_eq!(a.chi2_cutoff.to_bits(), b.chi2_cutoff.to_bits());
+    assert_eq!(a.significant.len(), b.significant.len(), "border size");
+    for (ra, rb) in a.significant.iter().zip(&b.significant) {
+        assert_eq!(ra.itemset, rb.itemset);
+        assert_eq!(ra.chi2.statistic.to_bits(), rb.chi2.statistic.to_bits());
+        assert_eq!(ra.support_cells, rb.support_cells);
+    }
+}
+
+/// Recovers from a crashed directory view and checks the contract. The
+/// recovered state must be some batch-prefix containing at least the
+/// `acked` first batches, bit-identical to a never-crashed reference at
+/// that prefix, and replay must be bounded by the loaded checkpoint.
+fn recover_and_verify(
+    workload: &Workload,
+    crashed: &SharedDirState,
+    acked: usize,
+) -> RecoveryReport {
+    let dir = MemDir::crashed(crashed);
+    let (recovered, report) = DurableStore::open_dir(
+        Box::new(dir),
+        workload.n_items,
+        workload.config(),
+        workload.durability(),
+    )
+    .expect("recovery must succeed on crash survivors");
+    let cum = workload.cumulative_baskets();
+    let prefix = cum
+        .iter()
+        .position(|&c| c == recovered.epoch())
+        .unwrap_or_else(|| {
+            panic!(
+                "recovered epoch {} is not a batch-prefix boundary {cum:?}",
+                recovered.epoch()
+            )
+        });
+    assert!(
+        prefix >= acked,
+        "lost acknowledged data: recovered {prefix} batches, acked {acked}"
+    );
+    assert_eq!(report.epoch, recovered.epoch(), "report epoch mismatch");
+    // Bounded replay: everything at or below the loaded checkpoint is
+    // restored from the snapshot, only the remainder replays.
+    assert!(
+        report.checkpoint_epoch <= recovered.epoch(),
+        "checkpoint past the recovered epoch"
+    );
+    assert_eq!(
+        report.baskets_recovered,
+        recovered.epoch() - report.checkpoint_epoch,
+        "replay was not bounded by the checkpoint: {report:?}"
+    );
+    // The recovery gauges agree with the report (the serve layer's
+    // /metrics reads these).
+    let obs = recovered.observability().snapshot();
+    assert_eq!(
+        obs.gauge_value("bmb_basket_ckpt_recovery_epoch", &[]) as u64,
+        report.checkpoint_epoch
+    );
+    assert_eq!(
+        obs.gauge_value("bmb_basket_wal_recovered_baskets", &[]) as u64,
+        report.baskets_recovered
+    );
+    assert_eq!(
+        obs.gauge_value("bmb_basket_wal_recovery_skipped_records", &[]) as u64,
+        report.records_skipped
+    );
+    assert_eq!(
+        obs.gauge_value("bmb_basket_ckpt_recovery_fallbacks", &[]) as u64,
+        report.checkpoint_fallbacks
+    );
+    let reference = workload.reference_store(prefix);
+    assert_bit_identical(recovered.store(), &reference, workload.n_items);
+    report
+}
+
+/// Drives one workload into a fault plan's wall, crashes, recovers,
+/// verifies. Returns how many batches were acknowledged.
+fn run_one(workload: &Workload, plan: DirFaultPlan) {
+    let dir = FaultDir::new(plan);
+    let state = dir.dir_state();
+    let opened = DurableStore::open_dir(
+        Box::new(dir),
+        workload.n_items,
+        workload.config(),
+        workload.durability(),
+    );
+    let mut acked = 0usize;
+    if let Ok((durable, _)) = opened {
+        for (i, batch) in workload.batches.iter().enumerate() {
+            let result = durable.append_batch(
+                batch
+                    .iter()
+                    .map(|b| b.iter().map(|&id| ItemId(id)).collect::<Vec<_>>()),
+            );
+            match result {
+                Ok(_) => acked += 1,
+                Err(_) => break, // the crash point
+            }
+            if workload.checkpoint_after[i] {
+                // A failing checkpoint must never affect ingest
+                // correctness; keep going either way.
+                let _ = durable.checkpoint();
+            }
+        }
+    }
+    // else: the fault tripped while creating the first segment — nothing
+    // was ever acknowledged.
+    recover_and_verify(workload, &state, acked);
+}
+
+/// Torn writes against the directory store: the shared byte budget
+/// spans WAL segments, checkpoint temps, and the manifest alike, so the
+/// wall lands mid-rotation, mid-snapshot, or mid-append at random. 160
+/// fault points; half also lose every entry mutation after the last
+/// directory sync (fail_dir_sync_at).
+#[test]
+fn torn_write_checkpoint_torture() {
+    let mut rng = StdRng::seed_from_u64(0xC4EC_C4EC);
+    let mut fault_points = 0usize;
+    while fault_points < 160 {
+        let workload = Workload::random(&mut rng);
+        let clean_bytes = workload.clean_run_bytes();
+        for _ in 0..4 {
+            let budget = rng.gen_range(0..=clean_bytes);
+            let plan = DirFaultPlan {
+                fail_after_bytes: Some(budget),
+                fail_dir_sync_at: if rng.gen_range(0..2) == 0 {
+                    Some(rng.gen_range(0..8u64))
+                } else {
+                    None
+                },
+                ..DirFaultPlan::default()
+            };
+            run_one(&workload, plan);
+            fault_points += 1;
+        }
+    }
+}
+
+/// Entry-operation faults: a planned failure on the Nth create, rename,
+/// or delete — the atomic-rename checkpoint protocol and rotation must
+/// degrade cleanly (old state intact, next attempt succeeds), never
+/// acknowledge over a hole. 90 fault points.
+#[test]
+fn entry_op_fault_torture() {
+    let mut rng = StdRng::seed_from_u64(0x0DD0_0505);
+    let mut fault_points = 0usize;
+    while fault_points < 90 {
+        let workload = Workload::random(&mut rng);
+        for _ in 0..3 {
+            let n = rng.gen_range(0..6u64);
+            let mut plan = DirFaultPlan::default();
+            match rng.gen_range(0..3) {
+                0 => plan.fail_create_at = Some(n),
+                1 => plan.fail_rename_at = Some(n),
+                _ => plan.fail_delete_at = Some(n),
+            }
+            run_one(&workload, plan);
+            fault_points += 1;
+        }
+    }
+}
+
+/// Checkpoint corruption: run clean (checkpoints included), then flip a
+/// random bit inside the newest checkpoint file, reopen, and require
+/// the ladder to fall back — to an older checkpoint or full replay —
+/// with zero data loss (the WAL still holds everything). 80 fault
+/// points.
+#[test]
+fn corrupted_checkpoint_fallback_torture() {
+    let mut rng = StdRng::seed_from_u64(0xFA11_BACC);
+    let mut fault_points = 0usize;
+    while fault_points < 80 {
+        let workload = Workload::random(&mut rng);
+        if !workload.checkpoint_after.iter().any(|&c| c) {
+            continue; // need at least one checkpoint to corrupt
+        }
+        // Clean run on plain MemDir.
+        let dir = MemDir::new();
+        let state = dir.state();
+        let (durable, _) = DurableStore::open_dir(
+            Box::new(dir),
+            workload.n_items,
+            workload.config(),
+            workload.durability(),
+        )
+        .expect("clean open");
+        for (i, batch) in workload.batches.iter().enumerate() {
+            durable
+                .append_batch(
+                    batch
+                        .iter()
+                        .map(|b| b.iter().map(|&id| ItemId(id)).collect::<Vec<_>>()),
+                )
+                .expect("clean append");
+            if workload.checkpoint_after[i] {
+                durable.checkpoint().expect("clean checkpoint");
+            }
+        }
+        let acked = workload.batches.len();
+        drop(durable);
+
+        for _ in 0..4 {
+            // Corrupt a fresh copy of the directory each round.
+            let crashed = MemDir::crashed(&state);
+            let cstate = crashed.state();
+            let newest = {
+                let mut d = MemDir::with_state(Arc::clone(&cstate));
+                let names = d.list().expect("list");
+                let Some(newest) = names
+                    .iter()
+                    .filter(|n| n.starts_with("ckpt."))
+                    .max()
+                    .cloned()
+                else {
+                    break; // retention may have replaced files; rare
+                };
+                let mut f = d.open(&newest).expect("open ckpt");
+                let bytes = f.read_all().expect("read ckpt");
+                let k = rng.gen_range(0..bytes.len());
+                let bit = rng.gen_range(0..8u32);
+                let mut damaged = bytes.clone();
+                damaged[k] ^= 1u8 << bit;
+                f.truncate(0).expect("truncate");
+                f.append(&damaged).expect("rewrite");
+                newest
+            };
+            let report = recover_and_verify(&workload, &cstate, acked);
+            // The damaged newest snapshot must have been rejected (one
+            // fallback), unless the flip landed in a basket id that
+            // still decodes — impossible: the CRC covers every byte.
+            assert!(
+                report.checkpoint_fallbacks >= 1,
+                "corrupting {newest} did not register as a fallback: {report:?}"
+            );
+            fault_points += 1;
+        }
+    }
+}
+
+/// Deterministic bounded-recovery check (the gauges the acceptance
+/// criteria name): ingest, checkpoint, ingest a little more, reopen —
+/// only the post-checkpoint records replay, and whole covered segments
+/// are skipped without decoding.
+#[test]
+fn recovery_replays_only_post_checkpoint_records() {
+    let dir = MemDir::new();
+    let state = dir.state();
+    let config = StoreConfig {
+        segment_capacity: 4,
+    };
+    let durability = DurabilityConfig {
+        segment_bytes: 64,
+        retain_checkpoints: 2,
+    };
+    let (durable, _) = DurableStore::open_dir(Box::new(dir), 8, config, durability).expect("open");
+    for i in 0..30u32 {
+        durable.append_ids([i % 8, (i + 3) % 8]).expect("append");
+    }
+    durable.checkpoint().expect("first checkpoint");
+    for i in 0..20u32 {
+        durable.append_ids([i % 8, (i + 3) % 8]).expect("append");
+    }
+    // Second checkpoint: retention keeps both (retain_checkpoints = 2),
+    // so coverage = 30 — the segments between epoch 30 and 50 survive
+    // on disk, wholly covered by the newest snapshot. Recovery must
+    // skip them without decoding.
+    durable.checkpoint().expect("second checkpoint");
+    for i in 0..5u32 {
+        durable.append_ids([i % 8]).expect("append");
+    }
+    drop(durable);
+
+    let (recovered, report) =
+        DurableStore::open_dir(Box::new(MemDir::crashed(&state)), 8, config, durability)
+            .expect("reopen");
+    assert_eq!(report.epoch, 55);
+    assert_eq!(report.checkpoint_epoch, 50);
+    assert_eq!(
+        report.baskets_recovered, 5,
+        "only the 5 post-checkpoint appends replay: {report:?}"
+    );
+    assert!(
+        report.segments_skipped > 0,
+        "tiny segments under a checkpoint must be skipped whole: {report:?}"
+    );
+    let obs = recovered.observability().snapshot();
+    assert_eq!(obs.gauge_value("bmb_basket_ckpt_recovery_epoch", &[]), 50);
+    assert_eq!(obs.gauge_value("bmb_basket_wal_recovered_baskets", &[]), 5);
+    assert_eq!(
+        obs.gauge_value("bmb_basket_wal_recovery_skipped_segments", &[]) as u64,
+        report.segments_skipped
+    );
+}

@@ -1,0 +1,87 @@
+//! Child process for the real-SIGKILL crash test (`tests/crash_kill.rs`).
+//!
+//! Opens a checkpointed directory-mode [`DurableStore`] under the given
+//! path, serves the wire protocol on an ephemeral port with a fast
+//! background checkpointer, prints `ADDR <ip:port>` and
+//! `RECOVERED <epoch> <checkpoint_epoch> <baskets_recovered>` on
+//! stdout, and then blocks in the accept loop until it is killed.
+//! It never shuts down cleanly — the whole point is that the parent
+//! test SIGKILLs it mid-ingest and checks that every acknowledged
+//! append survives.
+//!
+//! Usage: `crash_harness DIR N_ITEMS SEGMENT_BYTES CHECKPOINT_EVERY`
+
+use std::io::Write;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bmb_basket::wal::{DurabilityConfig, DurableStore};
+use bmb_basket::{FsDir, StoreConfig};
+use bmb_core::{EngineConfig, QueryEngine};
+use bmb_serve::{Checkpointer, CheckpointerConfig, Server, ServerConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [dir, n_items, segment_bytes, checkpoint_every] = args.as_slice() else {
+        eprintln!("usage: crash_harness DIR N_ITEMS SEGMENT_BYTES CHECKPOINT_EVERY");
+        std::process::exit(2);
+    };
+    let n_items: usize = n_items.parse().expect("N_ITEMS must be an integer");
+    let segment_bytes: u64 = segment_bytes
+        .parse()
+        .expect("SEGMENT_BYTES must be an integer");
+    let checkpoint_every: u64 = checkpoint_every
+        .parse()
+        .expect("CHECKPOINT_EVERY must be an integer");
+
+    let fs = FsDir::open(Path::new(dir)).expect("open checkpoint dir");
+    let (durable, report) = DurableStore::open_dir(
+        Box::new(fs),
+        n_items,
+        StoreConfig {
+            segment_capacity: 3,
+        },
+        DurabilityConfig {
+            segment_bytes,
+            retain_checkpoints: 2,
+        },
+    )
+    .expect("recover durable store");
+    let durable = Arc::new(durable);
+
+    let engine = Arc::new(QueryEngine::new(
+        Arc::clone(durable.store()),
+        EngineConfig::default(),
+    ));
+    let server = Server::bind(engine, ServerConfig::default())
+        .expect("bind")
+        .with_durable_store(Arc::clone(&durable));
+    let addr = server.local_addr();
+
+    // An aggressive checkpointer so real snapshots + retention happen
+    // within the few hundred milliseconds each round lives.
+    let _checkpointer = Checkpointer::spawn(
+        Arc::clone(&durable),
+        CheckpointerConfig {
+            interval: None,
+            every_records: Some(checkpoint_every),
+            poll_interval: Duration::from_millis(2),
+        },
+    );
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    writeln!(out, "ADDR {addr}").expect("stdout");
+    writeln!(
+        out,
+        "RECOVERED {} {} {}",
+        report.epoch, report.checkpoint_epoch, report.baskets_recovered
+    )
+    .expect("stdout");
+    out.flush().expect("stdout flush");
+    drop(out);
+
+    // Blocks forever; the parent kills the process.
+    server.run().expect("accept loop");
+}

@@ -428,4 +428,77 @@ mod tests {
         assert_eq!(policy.backoff(2, &mut a), policy.backoff(2, &mut b));
         assert_eq!(a, b);
     }
+
+    /// The whole backoff schedule — not just one step — is a pure
+    /// function of the seed, and every jittered sleep stays within
+    /// `[capped, 1.5 * capped]`.
+    #[test]
+    fn full_backoff_schedule_is_exactly_reproducible() {
+        let policy = RetryPolicy {
+            max_attempts: 12,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(400),
+            jitter_seed: 0xDEAD_BEEF,
+        };
+        let schedule = |seed: u64| -> Vec<Duration> {
+            let mut state = seed;
+            (0..12).map(|r| policy.backoff(r, &mut state)).collect()
+        };
+        let first = schedule(policy.jitter_seed);
+        let second = schedule(policy.jitter_seed);
+        assert_eq!(first, second, "same seed, same schedule, to the nanosecond");
+        let other = schedule(policy.jitter_seed + 1);
+        assert_ne!(first, other, "a different seed decorrelates the jitter");
+        for (r, &pause) in first.iter().enumerate() {
+            let capped = policy
+                .base_backoff
+                .saturating_mul(1u32.checked_shl(r as u32).unwrap_or(u32::MAX))
+                .min(policy.max_backoff);
+            assert!(
+                pause >= capped,
+                "retry {r}: jitter only adds, never subtracts"
+            );
+            assert!(
+                pause <= capped + capped.div_f64(2.0) + Duration::from_nanos(1),
+                "retry {r}: jitter bounded by 50% of the capped backoff"
+            );
+        }
+    }
+
+    /// Past the point where the exponential overflows the shift, the
+    /// sleep saturates at the cap instead of wrapping back down.
+    #[test]
+    fn huge_retry_index_saturates_at_cap() {
+        let policy = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(250),
+            jitter_seed: 3,
+        };
+        let mut state = 3u64;
+        for retry in [31u32, 32, 40, 200, u32::MAX] {
+            let pause = policy.backoff(retry, &mut state);
+            assert!(pause >= Duration::from_millis(250), "retry {retry} at cap");
+            assert!(
+                pause <= Duration::from_millis(375),
+                "retry {retry} jitter cap"
+            );
+        }
+    }
+
+    /// A zero jitter seed would freeze the xorshift at zero forever;
+    /// the constructor remaps it to a fixed non-zero state.
+    #[test]
+    fn zero_seed_is_remapped_to_a_live_state() {
+        let client = RetryClient::new(
+            "127.0.0.1:1",
+            RetryPolicy {
+                jitter_seed: 0,
+                ..RetryPolicy::default()
+            },
+        );
+        assert_ne!(client.jitter_state, 0);
+        let mut state = client.jitter_state;
+        assert_ne!(xorshift64(&mut state), 0, "the jitter stream advances");
+    }
 }

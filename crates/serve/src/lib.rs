@@ -31,6 +31,7 @@
 //!
 //! Modules:
 //!
+//! * [`checkpointer`] — the background checkpointer thread;
 //! * [`json`] — the hand-rolled JSON value/parser/serializer;
 //! * [`protocol`] — request/response shapes of the wire protocol;
 //! * [`server`] — accept loop, worker pool, graceful shutdown;
@@ -39,6 +40,8 @@
 
 #![warn(missing_docs)]
 
+/// The background checkpointer thread (directory-mode stores).
+pub mod checkpointer;
 /// A small blocking protocol client.
 pub mod client;
 /// Hand-rolled JSON value, parser, and serializer.
@@ -50,6 +53,7 @@ pub mod protocol;
 /// The TCP server: accept loop, worker pool, shutdown.
 pub mod server;
 
+pub use checkpointer::{Checkpointer, CheckpointerConfig};
 pub use client::{Client, ClientError, RetryClient, RetryPolicy};
 pub use metrics::{ErrorCategory, MetricsSnapshot, ServerMetrics};
 pub use protocol::{parse_request, Envelope, Request, HELLO};

@@ -25,6 +25,7 @@ pub const KNOWN_COMMANDS: &[&str] = &[
     "topk",
     "border",
     "ingest",
+    "checkpoint",
     "stats",
     "metrics",
     "shutdown",

@@ -59,6 +59,8 @@ pub enum Request {
         /// The baskets, as arrays of item ids.
         baskets: Vec<Vec<u32>>,
     },
+    /// Admin: write a durable checkpoint now (checkpointed servers only).
+    Checkpoint,
     /// Server and cache counters.
     Stats,
     /// The full Prometheus text exposition, as a string payload.
@@ -80,6 +82,7 @@ impl Request {
             Request::TopK { .. } => "topk",
             Request::Border { .. } => "border",
             Request::Ingest { .. } => "ingest",
+            Request::Checkpoint => "checkpoint",
             Request::Stats => "stats",
             Request::Metrics => "metrics",
             Request::Ping => "ping",
@@ -169,6 +172,7 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
         "ingest" => Request::Ingest {
             baskets: parse_id_lists(value.get("baskets"), "baskets")?,
         },
+        "checkpoint" => Request::Checkpoint,
         "stats" => Request::Stats,
         "metrics" => Request::Metrics,
         "ping" => Request::Ping,
@@ -315,6 +319,7 @@ mod tests {
                     baskets: vec![vec![0, 1], vec![2]],
                 },
             ),
+            (r#"{"cmd":"checkpoint"}"#, Request::Checkpoint),
             (r#"{"cmd":"stats"}"#, Request::Stats),
             (r#"{"cmd":"ping"}"#, Request::Ping),
             (r#"{"cmd":"shutdown"}"#, Request::Shutdown),

@@ -690,6 +690,30 @@ fn dispatch(
                 .with("ingested", Value::Int(n as i64))
                 .with("epoch", Value::Int(epoch as i64)))
         }
+        Request::Checkpoint => {
+            let Some(durable) = ctx.durable else {
+                return Err(Failure::other(
+                    "server has no durable store (started without --wal)".to_string(),
+                ));
+            };
+            let stats = durable.checkpoint().map_err(|e| match e {
+                bmb_basket::wal::CheckpointError::Io(io) => Failure {
+                    message: format!("checkpoint failed: {io}"),
+                    category: ErrorCategory::Io,
+                },
+                other => Failure::other(other.to_string()),
+            })?;
+            let micros = u64::try_from(stats.duration.as_micros()).unwrap_or(u64::MAX);
+            Ok(Value::object()
+                .with("epoch", Value::Int(stats.epoch as i64))
+                .with("duration_us", Value::Int(micros as i64))
+                .with("snapshot_bytes", Value::Int(stats.snapshot_bytes as i64))
+                .with(
+                    "wal_segments_deleted",
+                    Value::Int(stats.wal_segments_deleted as i64),
+                )
+                .with("reclaimed_bytes", Value::Int(stats.reclaimed_bytes as i64)))
+        }
         Request::Stats => {
             let metrics = ctx.metrics.snapshot();
             let cache = engine.cache_stats();
@@ -700,6 +724,8 @@ fn dispatch(
                 Some(durable) if durable.is_healthy() => "healthy",
                 Some(_) => "degraded",
             };
+            let checkpointed = ctx.durable.is_some_and(|d| d.is_checkpointed());
+            let last_ckpt = ctx.durable.map(|d| d.last_checkpoint_epoch()).unwrap_or(0);
             Ok(Value::object()
                 .with("requests", Value::Int(metrics.requests as i64))
                 .with("errors", Value::Int(metrics.errors as i64))
@@ -722,6 +748,8 @@ fn dispatch(
                 .with("err_io", Value::Int(metrics.io_errors as i64))
                 .with("err_other", Value::Int(metrics.other_errors as i64))
                 .with("wal", Value::Str(wal.to_string()))
+                .with("checkpointed", Value::Bool(checkpointed))
+                .with("last_checkpoint_epoch", Value::Int(last_ckpt as i64))
                 .with(
                     "ingested_baskets",
                     Value::Int(metrics.ingested_baskets as i64),

@@ -1,0 +1,126 @@
+//! Recovery-time benchmark: replay-all vs checkpointed restart.
+//!
+//! Builds a directory-mode durable store whose WAL holds one record per
+//! ingested basket — the shape a `bmb serve` instance produces under
+//! per-request ingest — then measures two restarts over the same
+//! history:
+//!
+//! * **replay-all** — no checkpoint on media; recovery decodes and
+//!   replays every WAL record from epoch zero;
+//! * **checkpointed** — a snapshot covers the full history; recovery
+//!   loads the checkpoint and replays only the (empty) WAL suffix.
+//!
+//! The store runs over the in-memory directory backend ([`MemDir`]) so
+//! the numbers isolate the decode/replay cost of recovery itself —
+//! building a million-record log with a real fsync barrier per append
+//! would measure the disk, not the recovery path. Both restarts end
+//! bit-identical; the table's point is the wall-clock and the
+//! `records replayed` column, not the answers. Run with:
+//!
+//! ```text
+//! cargo run --release --example recovery_bench [N ...]
+//! ```
+//!
+//! (defaults: 10000 100000 1000000)
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use beyond_market_baskets::basket::storage::SharedDirState;
+use beyond_market_baskets::basket::wal::{DurabilityConfig, DurableStore, RecoveryReport};
+use beyond_market_baskets::basket::{ItemId, MemDir, StoreConfig};
+
+const N_ITEMS: usize = 64;
+
+fn basket(i: u64) -> Vec<ItemId> {
+    let n = N_ITEMS as u64;
+    let mut ids = vec![i % n, (i * 7 + 3) % n, (i * 13 + 5) % n];
+    ids.dedup();
+    ids.into_iter().map(|id| ItemId(id as u32)).collect()
+}
+
+fn open(state: &SharedDirState) -> (DurableStore, RecoveryReport) {
+    DurableStore::open_dir(
+        Box::new(MemDir::with_state(Arc::clone(state))),
+        N_ITEMS,
+        StoreConfig {
+            segment_capacity: 1_000,
+        },
+        DurabilityConfig::default(),
+    )
+    .expect("open durable store")
+}
+
+/// Ingests `n` baskets, one WAL record each — the per-request shape.
+fn fill(state: &SharedDirState, n: u64) {
+    let (store, _) = open(state);
+    for i in 0..n {
+        store.append_batch([basket(i)]).expect("ingest");
+    }
+    assert_eq!(store.epoch(), n);
+}
+
+fn timed_open(state: &SharedDirState) -> (f64, RecoveryReport) {
+    let start = Instant::now();
+    let (store, report) = open(state);
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(store.epoch(), report.epoch);
+    (secs, report)
+}
+
+fn human(n: u64) -> String {
+    match n {
+        n if n % 1_000_000 == 0 => format!("{}M", n / 1_000_000),
+        n if n % 1_000 == 0 => format!("{}k", n / 1_000),
+        n => n.to_string(),
+    }
+}
+
+fn main() {
+    let sizes: Vec<u64> = {
+        let args: Vec<u64> = std::env::args()
+            .skip(1)
+            .map(|a| a.parse().expect("basket count"))
+            .collect();
+        if args.is_empty() {
+            vec![10_000, 100_000, 1_000_000]
+        } else {
+            args
+        }
+    };
+
+    println!(
+        "| baskets | replay-all | records replayed | checkpointed | records replayed | speedup |"
+    );
+    println!("|---|---|---|---|---|---|");
+    for &n in &sizes {
+        let state = MemDir::new().state();
+        fill(&state, n);
+
+        // Replay-all: recover the cold directory with no checkpoint.
+        let (replay_secs, replay_report) = timed_open(&state);
+        assert_eq!(replay_report.epoch, n);
+        assert_eq!(replay_report.checkpoint_epoch, 0);
+
+        // Write a covering checkpoint, then recover again: the snapshot
+        // absorbs the history and the WAL suffix is empty.
+        {
+            let (store, _) = open(&state);
+            store.checkpoint().expect("checkpoint");
+        }
+        let (ckpt_secs, ckpt_report) = timed_open(&state);
+        assert_eq!(ckpt_report.epoch, n);
+        assert_eq!(ckpt_report.checkpoint_epoch, n);
+        assert_eq!(ckpt_report.baskets_recovered, 0);
+
+        println!(
+            "| {} | {:.3} s | {} | {:.3} s | {} | {:.1}× |",
+            human(n),
+            replay_secs,
+            replay_report.records_replayed,
+            ckpt_secs,
+            ckpt_report.records_replayed,
+            replay_secs / ckpt_secs.max(1e-9),
+        );
+    }
+}
