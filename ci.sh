@@ -12,7 +12,14 @@ echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace -- -D warnings
 
 echo "==> bmb-xtask lint"
+# The per-pass counts line prints even on a clean run, so a pass that
+# silently stopped analyzing anything is visible in the CI log.
 cargo run -q -p bmb-xtask -- lint
+
+echo "==> bmb-xtask self-test (seeded-violation fixtures)"
+# The analyzer's own suite lints the fixture workspace and asserts the
+# exact findings — including that every pass reports at least one.
+cargo test -q -p bmb-xtask
 
 echo "==> cargo test"
 cargo test -q --workspace

@@ -14,9 +14,13 @@
 
 #![warn(missing_docs)]
 
+/// The Apriori frequent-itemset miner (Agrawal & Srikant, VLDB '94).
 pub mod apriori;
+/// The full support–confidence report for item pairs (Table 3).
 pub mod pair_report;
+/// The PCY hash-bucket refinement for pair counting.
 pub mod pcy;
+/// Association-rule generation: the confidence half of the framework.
 pub mod rules;
 
 pub use apriori::{apriori, AprioriLevelStats, AprioriResult, FrequentItemset, MinSupport};

@@ -156,9 +156,13 @@ impl Storage for FileStorage {
 pub type SharedBytes = Arc<Mutex<Vec<u8>>>;
 
 /// An infallible in-memory [`Storage`] over a [`SharedBytes`] buffer.
+///
+/// The lock-discipline pass identifies locks by their declared name,
+/// crate-wide — this one is `bytes`, distinct from the directory-level
+/// `entries`/`faults` locks and the WAL's `state`/`wal`/`dir`.
 #[derive(Debug, Default)]
 pub struct MemStorage {
-    buf: SharedBytes,
+    bytes: SharedBytes,
 }
 
 impl MemStorage {
@@ -169,20 +173,20 @@ impl MemStorage {
 
     /// A storage view over an existing buffer (e.g. bytes surviving a
     /// simulated crash).
-    pub fn with_bytes(buf: SharedBytes) -> MemStorage {
-        MemStorage { buf }
+    pub fn with_bytes(bytes: SharedBytes) -> MemStorage {
+        MemStorage { bytes }
     }
 
     /// The shared buffer handle; clone it before dropping the storage to
     /// keep the "media" alive across a simulated crash.
     pub fn bytes(&self) -> SharedBytes {
-        Arc::clone(&self.buf)
+        Arc::clone(&self.bytes)
     }
 }
 
 impl Storage for MemStorage {
     fn append(&mut self, data: &[u8]) -> io::Result<()> {
-        lock(&self.buf).extend_from_slice(data);
+        lock(&self.bytes).extend_from_slice(data);
         Ok(())
     }
 
@@ -191,18 +195,19 @@ impl Storage for MemStorage {
     }
 
     fn len(&mut self) -> io::Result<u64> {
-        Ok(lock(&self.buf).len() as u64)
+        Ok(lock(&self.bytes).len() as u64)
     }
 
     fn read_all(&mut self) -> io::Result<Vec<u8>> {
-        Ok(lock(&self.buf).clone())
+        Ok(lock(&self.bytes).clone())
     }
 
     fn truncate(&mut self, len: u64) -> io::Result<()> {
-        let mut buf = lock(&self.buf);
+        // In-memory Vec ops, not real I/O. // lock:allow(io)
+        let mut bytes = lock(&self.bytes);
         let len = usize::try_from(len).unwrap_or(usize::MAX);
-        if len < buf.len() {
-            buf.truncate(len);
+        if len < bytes.len() {
+            bytes.truncate(len);
         }
         Ok(())
     }
@@ -264,9 +269,9 @@ impl FaultStorage {
 
     /// A faulty storage over existing bytes (fault injection on top of a
     /// previous crash's survivors).
-    pub fn with_bytes(buf: SharedBytes, plan: FaultPlan) -> FaultStorage {
+    pub fn with_bytes(bytes: SharedBytes, plan: FaultPlan) -> FaultStorage {
         FaultStorage {
-            inner: MemStorage::with_bytes(buf),
+            inner: MemStorage::with_bytes(bytes),
             plan,
             written: 0,
             tripped: false,
@@ -290,10 +295,10 @@ impl FaultStorage {
     /// Applies the post-trip corruption, if planned.
     fn corrupt(&mut self) {
         if let Some(offset) = self.plan.corrupt_at {
-            let buf = self.inner.bytes();
-            let mut buf = lock(&buf);
+            let bytes = self.inner.bytes();
+            let mut bytes = lock(&bytes);
             if let Ok(idx) = usize::try_from(offset) {
-                if let Some(byte) = buf.get_mut(idx) {
+                if let Some(byte) = bytes.get_mut(idx) {
                     *byte ^= 0xFF;
                 }
             }
@@ -525,7 +530,7 @@ pub type SharedDirState = Arc<Mutex<MemDirState>>;
 /// an atomic checkpoint rename.
 #[derive(Debug, Default)]
 pub struct MemDir {
-    state: SharedDirState,
+    entries: SharedDirState,
 }
 
 impl MemDir {
@@ -536,23 +541,23 @@ impl MemDir {
 
     /// The shared state handle (the surviving "media").
     pub fn state(&self) -> SharedDirState {
-        Arc::clone(&self.state)
+        Arc::clone(&self.entries)
     }
 
     /// A directory view over existing state, *without* simulating a
     /// crash (reopen after clean shutdown).
-    pub fn with_state(state: SharedDirState) -> MemDir {
-        MemDir { state }
+    pub fn with_state(entries: SharedDirState) -> MemDir {
+        MemDir { entries }
     }
 
     /// Simulates a crash over `state`: the returned directory holds only
     /// the entries that were durable (dir-synced); unsynced creates are
     /// gone, unsynced renames show the old name, unsynced deletes have
     /// resurrected.
-    pub fn crashed(state: &SharedDirState) -> MemDir {
-        let durable = lock_state(state).durable.clone();
+    pub fn crashed(entries: &SharedDirState) -> MemDir {
+        let durable = lock_state(entries).durable.clone();
         MemDir {
-            state: Arc::new(Mutex::new(MemDirState {
+            entries: Arc::new(Mutex::new(MemDirState {
                 live: durable.clone(),
                 durable,
             })),
@@ -562,17 +567,17 @@ impl MemDir {
 
 /// Acquires the dir-state mutex, recovering from poisoning (entry maps
 /// are only mutated through panic-free code).
-fn lock_state(state: &SharedDirState) -> MutexGuard<'_, MemDirState> {
-    state.lock().unwrap_or_else(PoisonError::into_inner)
+fn lock_state(entries: &SharedDirState) -> MutexGuard<'_, MemDirState> {
+    entries.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 impl Dir for MemDir {
     fn list(&mut self) -> io::Result<Vec<String>> {
-        Ok(lock_state(&self.state).live.keys().cloned().collect())
+        Ok(lock_state(&self.entries).live.keys().cloned().collect())
     }
 
     fn open(&mut self, name: &str) -> io::Result<Box<dyn Storage>> {
-        match lock_state(&self.state).live.get(name) {
+        match lock_state(&self.entries).live.get(name) {
             Some(bytes) => Ok(Box::new(MemStorage::with_bytes(Arc::clone(bytes)))),
             None => Err(io::Error::new(io::ErrorKind::NotFound, name.to_string())),
         }
@@ -580,17 +585,17 @@ impl Dir for MemDir {
 
     fn create(&mut self, name: &str) -> io::Result<Box<dyn Storage>> {
         let bytes: SharedBytes = Arc::new(Mutex::new(Vec::new()));
-        lock_state(&self.state)
+        lock_state(&self.entries)
             .live
             .insert(name.to_string(), Arc::clone(&bytes));
         Ok(Box::new(MemStorage::with_bytes(bytes)))
     }
 
     fn rename(&mut self, from: &str, to: &str) -> io::Result<()> {
-        let mut state = lock_state(&self.state);
-        match state.live.remove(from) {
+        let mut entries = lock_state(&self.entries);
+        match entries.live.remove(from) {
             Some(bytes) => {
-                state.live.insert(to.to_string(), bytes);
+                entries.live.insert(to.to_string(), bytes);
                 Ok(())
             }
             None => Err(io::Error::new(io::ErrorKind::NotFound, from.to_string())),
@@ -598,14 +603,16 @@ impl Dir for MemDir {
     }
 
     fn delete(&mut self, name: &str) -> io::Result<()> {
-        match lock_state(&self.state).live.remove(name) {
+        match lock_state(&self.entries).live.remove(name) {
             Some(_) => Ok(()),
             None => Err(io::Error::new(io::ErrorKind::NotFound, name.to_string())),
         }
     }
 
+    // Reading a file's length peeks at its bytes while the directory
+    // map is held. // lock:order(entries < bytes)
     fn file_len(&mut self, name: &str) -> io::Result<u64> {
-        match lock_state(&self.state).live.get(name) {
+        match lock_state(&self.entries).live.get(name) {
             Some(bytes) => {
                 let len = bytes.lock().unwrap_or_else(PoisonError::into_inner).len();
                 Ok(len as u64)
@@ -615,8 +622,8 @@ impl Dir for MemDir {
     }
 
     fn sync(&mut self) -> io::Result<()> {
-        let mut state = lock_state(&self.state);
-        state.durable = state.live.clone();
+        let mut entries = lock_state(&self.entries);
+        entries.durable = entries.live.clone();
         Ok(())
     }
 }
@@ -674,7 +681,7 @@ impl DirFaultState {
 #[derive(Debug)]
 pub struct FaultDir {
     inner: MemDir,
-    state: Arc<Mutex<DirFaultState>>,
+    faults: Arc<Mutex<DirFaultState>>,
 }
 
 impl FaultDir {
@@ -688,7 +695,7 @@ impl FaultDir {
     pub fn with_dir(inner: MemDir, plan: DirFaultPlan) -> FaultDir {
         FaultDir {
             inner,
-            state: Arc::new(Mutex::new(DirFaultState {
+            faults: Arc::new(Mutex::new(DirFaultState {
                 plan,
                 written: 0,
                 tripped: false,
@@ -707,25 +714,25 @@ impl FaultDir {
 
     /// Whether the shared write-byte fault has tripped.
     pub fn is_tripped(&self) -> bool {
-        lock_fault(&self.state).tripped
+        lock_fault(&self.faults).tripped
     }
 }
 
 /// Acquires the fault-state mutex, recovering from poisoning.
-fn lock_fault(state: &Arc<Mutex<DirFaultState>>) -> MutexGuard<'_, DirFaultState> {
-    state.lock().unwrap_or_else(PoisonError::into_inner)
+fn lock_fault(faults: &Arc<Mutex<DirFaultState>>) -> MutexGuard<'_, DirFaultState> {
+    faults.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// A file handle charged against its [`FaultDir`]'s shared byte budget.
 struct FaultFile {
     inner: Box<dyn Storage>,
-    state: Arc<Mutex<DirFaultState>>,
+    faults: Arc<Mutex<DirFaultState>>,
 }
 
 impl Storage for FaultFile {
     fn append(&mut self, data: &[u8]) -> io::Result<()> {
         let keep = {
-            let mut st = lock_fault(&self.state);
+            let mut st = lock_fault(&self.faults);
             if st.tripped {
                 return Err(DirFaultState::fault("append after write fault"));
             }
@@ -760,7 +767,7 @@ impl Storage for FaultFile {
     }
 
     fn sync(&mut self) -> io::Result<()> {
-        if lock_fault(&self.state).tripped {
+        if lock_fault(&self.faults).tripped {
             return Err(DirFaultState::fault("sync after write fault"));
         }
         self.inner.sync()
@@ -775,7 +782,7 @@ impl Storage for FaultFile {
     }
 
     fn truncate(&mut self, len: u64) -> io::Result<()> {
-        if lock_fault(&self.state).tripped {
+        if lock_fault(&self.faults).tripped {
             return Err(DirFaultState::fault("truncate after write fault"));
         }
         self.inner.truncate(len)
@@ -791,13 +798,13 @@ impl Dir for FaultDir {
         let inner = self.inner.open(name)?;
         Ok(Box::new(FaultFile {
             inner,
-            state: Arc::clone(&self.state),
+            faults: Arc::clone(&self.faults),
         }))
     }
 
     fn create(&mut self, name: &str) -> io::Result<Box<dyn Storage>> {
         {
-            let mut st = lock_fault(&self.state);
+            let mut st = lock_fault(&self.faults);
             let n = st.creates;
             st.creates += 1;
             if st.plan.fail_create_at == Some(n) {
@@ -807,13 +814,13 @@ impl Dir for FaultDir {
         let inner = self.inner.create(name)?;
         Ok(Box::new(FaultFile {
             inner,
-            state: Arc::clone(&self.state),
+            faults: Arc::clone(&self.faults),
         }))
     }
 
     fn rename(&mut self, from: &str, to: &str) -> io::Result<()> {
         {
-            let mut st = lock_fault(&self.state);
+            let mut st = lock_fault(&self.faults);
             let n = st.renames;
             st.renames += 1;
             if st.plan.fail_rename_at == Some(n) {
@@ -825,7 +832,7 @@ impl Dir for FaultDir {
 
     fn delete(&mut self, name: &str) -> io::Result<()> {
         {
-            let mut st = lock_fault(&self.state);
+            let mut st = lock_fault(&self.faults);
             let n = st.deletes;
             st.deletes += 1;
             if st.plan.fail_delete_at == Some(n) {
@@ -841,7 +848,7 @@ impl Dir for FaultDir {
 
     fn sync(&mut self) -> io::Result<()> {
         {
-            let mut st = lock_fault(&self.state);
+            let mut st = lock_fault(&self.faults);
             let n = st.dir_syncs;
             st.dir_syncs += 1;
             if st.plan.fail_dir_sync_at == Some(n) {

@@ -485,6 +485,8 @@ impl WalInner {
             None => 0,
         };
         let name = segment_name(next_index);
+        // Rotation must create+sync the segment under the dir mutex so
+        // concurrent rotations cannot interleave. // lock:allow(io)
         let mut dir = lock(&dm.dir);
         let created = (|| -> io::Result<Box<dyn Storage>> {
             let mut file = dir.create(&name)?;
@@ -994,6 +996,9 @@ impl DurableStore {
                 (None, None) => 0,
             };
             let name = segment_name(next_index);
+            // Open-time bootstrap: no other thread can hold our locks
+            // yet, so creating the first segment under the dir mutex
+            // is safe. // lock:allow(io)
             let mut d = lock(&dir);
             let mut file = d.create(&name)?;
             let mut header = Vec::with_capacity(WAL2_HEADER_LEN);
@@ -1084,8 +1089,9 @@ impl DurableStore {
         let Some(ckpt) = &self.ckpt else {
             return Err(CheckpointError::NotCheckpointed);
         };
-        // One checkpoint at a time; also the lock order anchor (ckpt
-        // state → wal → dir, never the reverse).
+        // One checkpoint at a time; also the lock order anchor, and the
+        // checkpoint state intentionally spans the snapshot + rename
+        // I/O below. // lock:order(state < wal < dir) // lock:allow(io)
         let mut state = lock(&ckpt.state);
         let start = Instant::now();
 
@@ -1108,6 +1114,8 @@ impl DurableStore {
         drop(snap);
 
         let result = (|| -> io::Result<(u64, u64)> {
+            // The whole publish + retention sequence is one critical
+            // section over the checkpoint dir. // lock:allow(io)
             let mut dir = lock(&ckpt.dir);
             write_atomic(dir.as_mut(), &checkpoint_name(epoch), &bytes)?;
             if !state.files.contains(&epoch) {
@@ -1318,6 +1326,9 @@ impl DurableStore {
         }
         let n_baskets = baskets.len() as u64;
         let payload = encode_batch(&baskets);
+        // Sync-before-ack: the record write *and* its fsync happen
+        // under the writer mutex so acknowledged appends are totally
+        // ordered on the media. // lock:allow(io)
         let mut wal = lock(&self.wal);
         if wal.degraded {
             self.append_errors.inc();

@@ -7,9 +7,13 @@
 //! pairwise contingency tables of the result match the paper's within
 //! rounding, so Tables 2 and 3 and Examples 4–5 reproduce faithfully.
 
+/// The *non-collapsed* census: multi-valued attributes.
 pub mod expanded;
+/// Iterative proportional fitting over a `2^k` joint distribution.
 pub mod ipf;
+/// The census schema of the paper's Table 1.
 pub mod schema;
+/// Calibration targets: the paper's published pairwise supports.
 pub mod targets;
 
 use bmb_basket::{BasketDatabase, ItemCatalog};

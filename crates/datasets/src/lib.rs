@@ -18,8 +18,11 @@
 
 #![warn(missing_docs)]
 
+/// The census microdata simulator (the paper's Section 5.1 dataset).
 pub mod census;
+/// Small synthetic datasets: worked examples and generic generators.
 pub mod synth;
+/// Synthetic newsgroup corpus (the paper's Section 5.2 dataset).
 pub mod text;
 
 pub use census::expanded::expanded_census;

@@ -16,7 +16,9 @@
 //!   triple" phenomenon Table 4 reports (commission and plan alone are
 //!   not correlated).
 
+/// Corpus generation: topics, Zipfian filler, planted structure.
 pub mod corpus;
+/// Ordered token streams — the corpus with word order preserved.
 pub mod sequences;
 
 pub use corpus::{generate, planted_pairs, TextParams, PARITY_TRIPLE, PLANTED_PAIRS};

@@ -17,12 +17,19 @@
 
 #![warn(missing_docs)]
 
+/// The border of an upward-closed property (Section 2.2).
 pub mod border;
+/// Closure properties over the itemset lattice (Section 2.1).
 pub mod closure;
+/// A count datacube over a small item sub-universe.
 pub mod datacube;
+/// A minimal FNV-1a `Hasher` for itemset-keyed maps.
 pub mod fnv;
+/// A fast membership table for itemsets.
 pub mod itemset_table;
+/// Level-wise candidate generation (the paper's Step 8).
 pub mod levelwise;
+/// Random walks on the itemset lattice.
 pub mod walk;
 
 pub use border::{is_antichain, Border};

@@ -289,23 +289,27 @@ impl EventLog {
             Sink::Memory => 0,
             Sink::Stderr => 1,
         };
+        // ordering: stale reads just route a few events to the old sink.
         self.sink.store(raw, Ordering::Relaxed);
     }
 
     /// Sets the minimum severity retained (below it, `emit` is a
     /// single atomic load and return).
     pub fn set_min_severity(&self, severity: Severity) {
+        // ordering: the floor is advisory; racing emits may use the old one.
         self.min_severity.store(severity.as_u8(), Ordering::Relaxed);
     }
 
     /// Current severity floor.
     pub fn min_severity(&self) -> Severity {
+        // ordering: see set_min_severity — the floor is advisory.
         Severity::from_u8(self.min_severity.load(Ordering::Relaxed))
     }
 
     /// Emits an event carrying the thread's current trace id and span
     /// path. Events below the severity floor are discarded cheaply.
     pub fn emit(&self, severity: Severity, message: &str, fields: &[(&str, &str)]) {
+        // ordering: a stale floor only affects events racing the change.
         if severity.as_u8() < self.min_severity.load(Ordering::Relaxed) {
             return;
         }
@@ -321,6 +325,7 @@ impl EventLog {
                 .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
                 .collect(),
         };
+        // ordering: a stale sink misdirects only events racing set_sink.
         if self.sink.load(Ordering::Relaxed) == 1 {
             let mut line = event.to_json_line();
             line.push('\n');

@@ -22,8 +22,11 @@
 
 #![warn(missing_docs)]
 
+/// Transaction assembly: the generator's main loop.
 pub mod generator;
+/// Parameters of the Quest synthetic generator.
 pub mod params;
+/// The "potentially large" itemsets seeding transactions.
 pub mod patterns;
 
 pub use generator::generate;

@@ -10,8 +10,11 @@
 
 #![warn(missing_docs)]
 
+/// Walker's alias method for O(1) weighted sampling.
 pub mod alias;
+/// Scalar random variates: exponential, normal, Poisson.
 pub mod dists;
+/// Zipfian rank-frequency distributions.
 pub mod zipf;
 
 pub use alias::AliasTable;

@@ -413,6 +413,7 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, ctx: ConnectionContext<'_>) {
     loop {
         // Hold the receiver lock across recv: idle workers queue on the
         // mutex, which is equivalent to queueing on the channel.
+        // lock:allow(io)
         let stream = match lock(rx).recv() {
             Ok(stream) => stream,
             Err(_) => return,

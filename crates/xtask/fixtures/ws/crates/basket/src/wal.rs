@@ -1,0 +1,64 @@
+//! Fixture: seeded durability violations on the WAL ack surface.
+
+use std::io;
+
+/// A minimal storage handle the fixture syncs through.
+pub struct Media {
+    synced: bool,
+}
+
+impl Media {
+    /// Flushes written bytes to stable storage.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.synced = true;
+        Ok(())
+    }
+
+    /// Whether a sync has been observed.
+    pub fn is_synced(&self) -> bool {
+        self.synced
+    }
+}
+
+/// A directory abstraction with rename-based publish.
+pub trait Dir {
+    /// Atomically renames `from` to `to`.
+    fn rename(&mut self, from: &str, to: &str) -> io::Result<()>;
+}
+
+/// A write-ahead log over the media.
+pub struct Wal {
+    media: Media,
+}
+
+impl Wal {
+    /// Flagged [ack-no-sync]: acknowledges without ever syncing.
+    pub fn append_unsynced(&mut self, payload: &[u8]) -> io::Result<()> {
+        self.stage(payload)
+    }
+
+    /// Not flagged: reaches a sync through the commit helper.
+    pub fn append_synced(&mut self, payload: &[u8]) -> io::Result<()> {
+        self.stage(payload)?;
+        self.commit()
+    }
+
+    fn stage(&mut self, _payload: &[u8]) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn commit(&mut self) -> io::Result<()> {
+        self.media.sync()
+    }
+}
+
+/// Flagged [rename-no-sync]: publishes without fsyncing the temp file.
+pub fn publish_unsynced(dir: &mut dyn Dir) -> io::Result<()> {
+    dir.rename("tmp", "final") // RenameNoSync
+}
+
+/// Not flagged: the temp bytes are synced before the rename.
+pub fn publish_synced(dir: &mut dyn Dir, media: &mut Media) -> io::Result<()> {
+    media.sync()?;
+    dir.rename("tmp", "final")
+}

@@ -1,0 +1,116 @@
+//! Fixture: seeded lock- and atomics-discipline violations.
+//!
+//! Every marker comment names the finding the analyzer must emit (or
+//! must not). The integration tests assert the exact set.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Shared state guarded by several independently-ordered mutexes.
+pub struct Hub {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+    gamma: Mutex<u32>,
+    delta: Mutex<u32>,
+    first: Mutex<u32>,
+    second: Mutex<u32>,
+    running: AtomicBool,
+    hits: AtomicU64,
+}
+
+/// Acquires a mutex, recovering from poisoning.
+fn lock(m: &Mutex<u32>) -> MutexGuard<'_, u32> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Hub {
+    /// Flagged [lock-order]: `alpha` then `beta`, no declared order.
+    pub fn undeclared_nesting(&self) -> u32 {
+        let a = lock(&self.alpha);
+        let b = lock(&self.beta); // LockOrder (undeclared)
+        *a + *b
+    }
+
+    /// Flagged [lock-order] conflict: `gamma` then `delta` here…
+    pub fn conflict_one_way(&self) -> u32 {
+        let g = lock(&self.gamma);
+        let d = lock(&self.delta); // LockOrder (cycle witness)
+        *g + *d
+    }
+
+    /// …but `delta` then `gamma` here — a deadlock cycle.
+    pub fn conflict_other_way(&self) -> u32 {
+        let d = lock(&self.delta);
+        let g = lock(&self.gamma); // LockOrder (cycle witness)
+        *g + *d
+    }
+
+    // lock:order(first < second)
+    /// Flagged [lock-order]: violates the declared order above.
+    pub fn violates_declared(&self) -> u32 {
+        let s = lock(&self.second);
+        let f = lock(&self.first); // LockOrder (declared-order violation)
+        *s + *f
+    }
+
+    /// Not flagged: respects the declared `first < second` order.
+    pub fn respects_declared(&self) -> u32 {
+        let f = lock(&self.first);
+        let s = lock(&self.second);
+        *f + *s
+    }
+
+    /// Flagged [lock-reentrant]: re-acquires `alpha` while held.
+    pub fn reentrant(&self) -> u32 {
+        let a = lock(&self.alpha);
+        let again = lock(&self.alpha); // LockReentrant
+        *a + *again
+    }
+
+    /// Flagged [lock-across-io]: guard held across a blocking flush.
+    pub fn io_under_guard(&self, out: &mut dyn Write) -> u32 {
+        let a = lock(&self.alpha);
+        let _ = out.flush(); // LockAcrossIo
+        *a
+    }
+
+    /// Not flagged: holding the guard across the flush is the design.
+    pub fn io_allowed(&self, out: &mut dyn Write) -> u32 {
+        // lock:allow(io)
+        let a = lock(&self.alpha);
+        let _ = out.flush();
+        *a
+    }
+
+    /// Flagged [atomic-relaxed-handoff]: `running` gates control flow,
+    /// and this relaxed load has no intent note.
+    pub fn should_run(&self) -> bool {
+        self.running.load(Ordering::Relaxed) // AtomicRelaxedHandoff
+    }
+
+    /// Flagged [atomic-relaxed-handoff]: relaxed store, same flag.
+    pub fn stop(&self) {
+        self.running.store(false, Ordering::Relaxed); // AtomicRelaxedHandoff
+    }
+
+    /// Not flagged: the note explains why relaxed is sound here.
+    pub fn start(&self) {
+        // ordering: the flag is advisory; a stale read only delays work.
+        self.running.store(true, Ordering::Relaxed);
+    }
+
+    /// Not flagged: `hits` is a plain counter, never load-bearing.
+    pub fn record(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The load that makes `running` load-bearing (and is itself noted).
+    pub fn drain(&self) -> u64 {
+        // ordering: shutdown check; staleness only delays the drain.
+        while self.running.load(Ordering::Relaxed) {
+            return self.hits.load(Ordering::Acquire);
+        }
+        0
+    }
+}

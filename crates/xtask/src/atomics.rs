@@ -1,0 +1,191 @@
+//! Atomics-intent pass.
+//!
+//! Catalogs every named `Atomic*` in a crate (identity is the declared
+//! field/binding name, like the lock pass). An atomic becomes
+//! *load-bearing* when any site in the crate loads it inside an `if`/
+//! `while` condition or `match` scrutinee — a flag, epoch, or shutdown
+//! signal rather than a counter. Every `Ordering::Relaxed` operation on
+//! a load-bearing atomic must then carry an `// ordering:` intent note
+//! (same line or the line above) explaining why relaxed is sound for
+//! that handoff. Plain counters — atomics never loaded for control
+//! flow — may stay bare.
+//!
+//! Escape: `// lint:allow(atomic_ordering)` besides the note itself.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::lexer::TokKind;
+use crate::report::{Finding, Lint};
+use crate::SourceUnit;
+
+/// Atomic operation method names whose `Ordering` argument matters.
+const ATOMIC_OPS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_or",
+    "fetch_and",
+    "fetch_xor",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// One atomic operation site.
+struct Site {
+    /// Index into the crate's file list.
+    file: usize,
+    /// Token index of the op ident.
+    tok: usize,
+    /// 1-based line.
+    line: usize,
+    /// The op name (`load`, `store`, …).
+    op: String,
+    /// Whether the arguments mention `Relaxed`.
+    relaxed: bool,
+}
+
+/// Runs the atomics-intent pass over one crate's library sources.
+pub fn check_crate(files: &[&SourceUnit], findings: &mut Vec<Finding>) {
+    let catalog = atomic_catalog(files);
+    if catalog.is_empty() {
+        return;
+    }
+
+    // All op sites on cataloged atomics, keyed by atomic name.
+    let mut sites: HashMap<&str, Vec<Site>> = HashMap::new();
+    for (fi, unit) in files.iter().enumerate() {
+        let toks = &unit.lexed.tokens;
+        for i in 0..toks.len() {
+            if unit.excluded.contains_token(i) || toks[i].kind != TokKind::Ident {
+                continue;
+            }
+            if !ATOMIC_OPS.contains(&toks[i].text.as_str()) {
+                continue;
+            }
+            if i < 2 || toks[i - 1].text != "." || toks.get(i + 1).is_none_or(|t| t.text != "(") {
+                continue;
+            }
+            let recv = &toks[i - 2];
+            if recv.kind != TokKind::Ident {
+                continue;
+            }
+            let Some(name) = catalog.get(recv.text.as_str()) else {
+                continue;
+            };
+            let close = crate::spans::matching_bracket(&unit.lexed, i + 1).unwrap_or(i + 1);
+            let relaxed = toks[i + 2..close]
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && t.text == "Relaxed");
+            sites.entry(name.as_str()).or_default().push(Site {
+                file: fi,
+                tok: i,
+                line: toks[i].line,
+                op: toks[i].text.clone(),
+                relaxed,
+            });
+        }
+    }
+
+    // Which atomics are loaded for control flow anywhere in the crate.
+    let mut load_bearing: HashSet<&str> = HashSet::new();
+    for (fi, unit) in files.iter().enumerate() {
+        let toks = &unit.lexed.tokens;
+        for (i, tok) in toks.iter().enumerate() {
+            if unit.excluded.contains_token(i)
+                || tok.kind != TokKind::Ident
+                || !matches!(tok.text.as_str(), "if" | "while" | "match")
+            {
+                continue;
+            }
+            let cond_end = condition_end(unit, i);
+            for (name, list) in &sites {
+                if list
+                    .iter()
+                    .any(|s| s.file == fi && s.op == "load" && i < s.tok && s.tok < cond_end)
+                {
+                    load_bearing.insert(*name);
+                }
+            }
+        }
+    }
+
+    for name in &load_bearing {
+        let Some(list) = sites.get(*name) else {
+            continue;
+        };
+        for site in list.iter().filter(|s| s.relaxed) {
+            let unit = files[site.file];
+            if unit.lexed.has_ordering_note(site.line)
+                || unit
+                    .lexed
+                    .allows(site.line, Lint::AtomicRelaxedHandoff.allow_name())
+            {
+                continue;
+            }
+            findings.push(Finding {
+                lint: Lint::AtomicRelaxedHandoff,
+                file: unit.rel.clone(),
+                line: site.line,
+                message: format!(
+                    "relaxed `{}` on `{name}`, which other sites load for control \
+                     flow — add an `// ordering:` note explaining why Relaxed is \
+                     sound here, or strengthen the ordering",
+                    site.op
+                ),
+            });
+        }
+    }
+}
+
+/// Token index where the `if`/`while` condition or `match` scrutinee
+/// starting at keyword `kw` ends (its body's `{`).
+fn condition_end(unit: &SourceUnit, kw: usize) -> usize {
+    let toks = &unit.lexed.tokens;
+    let mut depth = 0i64;
+    for (j, t) in toks.iter().enumerate().skip(kw + 1) {
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth == 0 => return j,
+            ";" if depth == 0 => return j, // malformed; stop scanning
+            _ => {}
+        }
+    }
+    toks.len()
+}
+
+/// `declared name -> canonical name` for every `Atomic*`-typed field,
+/// static, or binding in the crate (skipping `&`-typed borrows, whose
+/// owner declares the canonical name).
+fn atomic_catalog(files: &[&SourceUnit]) -> HashMap<String, String> {
+    let mut catalog = HashMap::new();
+    for unit in files {
+        let toks = &unit.lexed.tokens;
+        for i in 0..toks.len() {
+            if unit.excluded.contains_token(i) || toks[i].kind != TokKind::Ident {
+                continue;
+            }
+            if toks.get(i + 1).is_none_or(|t| t.text != ":")
+                || toks
+                    .get(i + 2)
+                    .is_some_and(|t| t.text == ":" || t.text == "&")
+            {
+                continue;
+            }
+            let end = (i + 2 + 24).min(toks.len());
+            let is_atomic = toks[i + 2..end]
+                .iter()
+                .take_while(|t| t.text != ",")
+                .any(|t| {
+                    t.kind == TokKind::Ident && t.text.starts_with("Atomic") && t.text.len() > 6
+                });
+            if is_atomic {
+                catalog.insert(toks[i].text.clone(), toks[i].text.clone());
+            }
+        }
+    }
+    catalog
+}

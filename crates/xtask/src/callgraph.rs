@@ -1,0 +1,131 @@
+//! A per-crate, name-resolved call graph over extracted functions.
+//!
+//! Token-level analysis has no type information, so callee resolution
+//! is deliberately conservative: a call site `foo(…)` or `x.foo(…)`
+//! resolves to a definition only when exactly one function named `foo`
+//! exists in the scope being indexed (a crate, or a single file).
+//! Ambiguous names are treated as opaque — the passes then neither
+//! follow them nor report through them. This under-approximates
+//! reachability but never fabricates an edge, which is the right
+//! trade-off for lints that must not cry wolf.
+
+use std::collections::HashMap;
+
+use crate::funcs::FuncDef;
+use crate::lexer::{Lexed, TokKind};
+
+/// One call site inside a function body.
+#[derive(Clone, Debug)]
+pub struct Call {
+    /// The called name (method or free function; path tail for paths).
+    pub callee: String,
+    /// Token index of the callee ident.
+    pub tok: usize,
+    /// 1-based source line of the call.
+    pub line: usize,
+}
+
+/// Keywords and intrinsically-known idents that look like calls but
+/// are not function calls we should resolve.
+const NON_CALLEES: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "move", "fn", "let", "else", "in", "as",
+    "unsafe", "ref", "mut", "await", "where", "impl", "dyn", "use", "pub", "crate", "super",
+    "struct", "enum", "trait", "mod", "type", "static", "const", "break", "continue",
+];
+
+/// Extracts call sites from the token range `(lo, hi)` (exclusive on
+/// both ends — pass a function's body braces). Macro invocations
+/// (`name!(…)`) and nested `fn` definitions are not calls.
+pub fn calls_in(lexed: &Lexed, lo: usize, hi: usize) -> Vec<Call> {
+    let toks = &lexed.tokens;
+    let mut out = Vec::new();
+    for i in (lo + 1)..hi.min(toks.len()) {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || NON_CALLEES.contains(&t.text.as_str()) {
+            continue;
+        }
+        if toks.get(i + 1).is_none_or(|n| n.text != "(") {
+            continue;
+        }
+        if i > 0 && toks[i - 1].kind == TokKind::Ident && toks[i - 1].text == "fn" {
+            continue; // nested definition, not a call
+        }
+        out.push(Call {
+            callee: t.text.clone(),
+            tok: i,
+            line: t.line,
+        });
+    }
+    out
+}
+
+/// An index of function definitions across one scope (crate or file),
+/// supporting unique-name resolution.
+#[derive(Debug, Default)]
+pub struct DefIndex {
+    /// `name -> (scope-local file id, func index)` for every definition.
+    defs: HashMap<String, Vec<(usize, usize)>>,
+}
+
+impl DefIndex {
+    /// Builds an index over `(file_id, funcs)` pairs.
+    pub fn build<'a>(files: impl IntoIterator<Item = (usize, &'a [FuncDef])>) -> Self {
+        let mut defs: HashMap<String, Vec<(usize, usize)>> = HashMap::new();
+        for (file_id, funcs) in files {
+            for (fi, f) in funcs.iter().enumerate() {
+                defs.entry(f.name.clone()).or_default().push((file_id, fi));
+            }
+        }
+        DefIndex { defs }
+    }
+
+    /// Resolves `name` iff exactly one definition carries it.
+    pub fn unique(&self, name: &str) -> Option<(usize, usize)> {
+        match self.defs.get(name) {
+            Some(v) if v.len() == 1 => v.first().copied(),
+            _ => None,
+        }
+    }
+
+    /// Whether any definition carries `name`.
+    pub fn defines(&self, name: &str) -> bool {
+        self.defs.contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::funcs::functions;
+    use crate::lexer::lex;
+    use crate::spans::excluded_spans;
+
+    #[test]
+    fn calls_exclude_macros_keywords_and_nested_defs() {
+        let src = "fn f() { helper(1); vec![2]; if cond(3) { } panic!(\"x\"); fn g() {} g(); }";
+        let lexed = lex(src);
+        let excluded = excluded_spans(&lexed);
+        let funcs = functions(&lexed, &excluded);
+        assert_eq!(funcs.len(), 1);
+        let calls = calls_in(&lexed, funcs[0].body_open, funcs[0].body_close);
+        let names: Vec<&str> = calls.iter().map(|c| c.callee.as_str()).collect();
+        assert_eq!(names, vec!["helper", "cond", "g"]);
+    }
+
+    #[test]
+    fn unique_resolution_rejects_ambiguity() {
+        let src_a = "fn only_here() {} fn twice() {}";
+        let src_b = "fn twice() {}";
+        let la = lex(src_a);
+        let lb = lex(src_b);
+        let ea = excluded_spans(&la);
+        let eb = excluded_spans(&lb);
+        let fa = functions(&la, &ea);
+        let fb = functions(&lb, &eb);
+        let idx = DefIndex::build([(0, fa.as_slice()), (1, fb.as_slice())]);
+        assert_eq!(idx.unique("only_here"), Some((0, 0)));
+        assert_eq!(idx.unique("twice"), None);
+        assert!(idx.defines("twice"));
+        assert!(!idx.defines("absent"));
+    }
+}

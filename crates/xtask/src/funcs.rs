@@ -1,0 +1,174 @@
+//! Function extraction over the token stream.
+//!
+//! The concurrency and durability passes reason per function: which
+//! guards a body holds, which callees it reaches, whether a publish is
+//! preceded by a sync. This module finds every `fn` item in a lexed
+//! file and records its name, visibility, and body token span. Nested
+//! `fn` items are absorbed into their enclosing function — the passes
+//! treat a function body as one lexical region.
+
+use crate::lexer::{Lexed, TokKind};
+use crate::spans::{matching_bracket, ExcludedSpans};
+
+/// One `fn` item: its name and the token span of its body.
+#[derive(Clone, Debug)]
+pub struct FuncDef {
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Whether the item is `pub` (plain `pub`, not `pub(crate)`).
+    pub is_pub: bool,
+    /// Token index of the body's opening `{`.
+    pub body_open: usize,
+    /// Token index of the body's closing `}` (inclusive).
+    pub body_close: usize,
+}
+
+impl FuncDef {
+    /// Whether token index `idx` falls inside the body braces.
+    pub fn contains(&self, idx: usize) -> bool {
+        self.body_open < idx && idx < self.body_close
+    }
+}
+
+/// Qualifier keywords that may sit between `pub` and `fn`.
+const FN_QUALIFIERS: &[&str] = &["const", "unsafe", "async", "extern"];
+
+/// Extracts every `fn` item with a body from `lexed`, skipping items
+/// inside excluded spans (`#[cfg(test)]`, `macro_rules!`). Bodyless
+/// declarations (trait methods without defaults) are skipped too.
+pub fn functions(lexed: &Lexed, excluded: &ExcludedSpans) -> Vec<FuncDef> {
+    let toks = &lexed.tokens;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || t.text != "fn" || excluded.contains_token(i) {
+            i += 1;
+            continue;
+        }
+        // `fn` in type position (`fn(u32) -> u32`) has no name ident.
+        let Some(name_tok) = toks.get(i + 1) else {
+            break;
+        };
+        if name_tok.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let Some((open, close)) = body_span(lexed, i + 2) else {
+            i += 2;
+            continue;
+        };
+        out.push(FuncDef {
+            name: name_tok.text.clone(),
+            line: t.line,
+            is_pub: is_plain_pub(lexed, i),
+            body_open: open,
+            body_close: close,
+        });
+        // Absorb nested fns: resume after the body.
+        i = close + 1;
+    }
+    out
+}
+
+/// Whether the `fn` at token `fn_idx` is declared plain `pub`
+/// (`pub(crate)` and friends count as private, matching the doc pass).
+fn is_plain_pub(lexed: &Lexed, fn_idx: usize) -> bool {
+    let toks = &lexed.tokens;
+    let mut j = fn_idx;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        if t.kind == TokKind::Ident && FN_QUALIFIERS.contains(&t.text.as_str()) {
+            continue;
+        }
+        return t.kind == TokKind::Ident && t.text == "pub";
+    }
+    false
+}
+
+/// From just after the function name, finds the body braces: the first
+/// `{` at bracket depth 0 (skipping parameter lists, where-clauses and
+/// attribute groups), matched to its closer. A `;` first means no body.
+fn body_span(lexed: &Lexed, mut i: usize) -> Option<(usize, usize)> {
+    let toks = &lexed.tokens;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "(" | "[" => {
+                i = matching_bracket(lexed, i)? + 1;
+            }
+            "{" => {
+                let close = matching_bracket(lexed, i)?;
+                return Some((i, close));
+            }
+            ";" => return None,
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::spans::excluded_spans;
+
+    fn extract(src: &str) -> Vec<FuncDef> {
+        let lexed = lex(src);
+        let excluded = excluded_spans(&lexed);
+        functions(&lexed, &excluded)
+    }
+
+    #[test]
+    fn finds_named_functions_and_visibility() {
+        let fns = extract(
+            "pub fn alpha(x: u32) -> u32 { x }\n\
+             fn beta() {}\n\
+             pub(crate) fn gamma() {}\n\
+             pub const fn delta() -> usize { 0 }\n",
+        );
+        let names: Vec<(&str, bool)> = fns.iter().map(|f| (f.name.as_str(), f.is_pub)).collect();
+        assert_eq!(
+            names,
+            vec![
+                ("alpha", true),
+                ("beta", false),
+                ("gamma", false),
+                ("delta", true)
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_bodyless_and_type_position_fn() {
+        let fns = extract(
+            "trait T { fn decl(&self); fn with_default(&self) { } }\n\
+             fn takes(f: fn(u32) -> u32) { f(1); }\n",
+        );
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["with_default", "takes"]);
+    }
+
+    #[test]
+    fn absorbs_nested_fns_and_skips_test_mods() {
+        let fns = extract(
+            "fn outer() { fn inner() {} inner(); }\n\
+             #[cfg(test)]\nmod tests { fn helper() {} }\n",
+        );
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer"]);
+    }
+
+    #[test]
+    fn where_clause_does_not_confuse_body() {
+        let fns = extract("fn generic<T: Ord>(x: T) -> Vec<T> where T: Clone { vec![x] }\n");
+        assert_eq!(fns.len(), 1);
+        let f = &fns[0];
+        assert_eq!(f.name, "generic");
+        // Body must contain the vec! call, i.e. open brace after `where`.
+        assert!(f.body_close > f.body_open + 2);
+    }
+}

@@ -40,7 +40,14 @@ pub struct Lexed {
     /// All code tokens, in order. Comments and literals' contents are gone.
     pub tokens: Vec<Token>,
     /// `line -> directive names` from `// lint:allow(a, b)` comments.
+    /// `// lock:allow(io)` records as the prefixed name `lock_io`.
     pub directives: HashMap<usize, HashSet<String>>,
+    /// `(line, chain)` from `// lock:order(a < b < c)` declarations:
+    /// each chain asserts a strict acquisition order, left before right.
+    pub lock_orders: Vec<(usize, Vec<String>)>,
+    /// Lines whose comment carries an `ordering:` intent note
+    /// (documenting why a relaxed atomic handoff is sound).
+    pub ordering_notes: HashSet<usize>,
 }
 
 impl Lexed {
@@ -49,6 +56,13 @@ impl Lexed {
     pub fn allows(&self, line: usize, name: &str) -> bool {
         let hit = |l: usize| self.directives.get(&l).is_some_and(|s| s.contains(name));
         hit(line) || (line > 1 && hit(line - 1))
+    }
+
+    /// Whether `line` (or the line directly above) carries an
+    /// `// ordering:` intent note.
+    pub fn has_ordering_note(&self, line: usize) -> bool {
+        self.ordering_notes.contains(&line)
+            || (line > 1 && self.ordering_notes.contains(&(line - 1)))
     }
 }
 
@@ -205,11 +219,24 @@ pub fn lex(src: &str) -> Lexed {
                 push(&mut out, kind, &src[start..i], line);
             }
             c if c.is_alphabetic() || c == '_' => {
+                // `c` is only the lead byte; decode full chars so that
+                // multi-byte identifiers never split mid-character.
                 let start = i;
-                while i < n && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_') {
-                    i += 1;
+                while i < n {
+                    match src.get(i..).and_then(|s| s.chars().next()) {
+                        Some(ch) if ch.is_alphanumeric() || ch == '_' => i += ch.len_utf8(),
+                        _ => break,
+                    }
                 }
-                push(&mut out, TokKind::Ident, &src[start..i], line);
+                if i == start {
+                    // A multi-byte char whose lead byte looked alphabetic
+                    // but which is not an identifier char (e.g. `—`).
+                    let len = char_len_at(src, i);
+                    push(&mut out, TokKind::Punct, &src[i..i + len], line);
+                    i += len;
+                } else {
+                    push(&mut out, TokKind::Ident, &src[start..i], line);
+                }
             }
             _ => {
                 let rest = &src[i..];
@@ -220,7 +247,7 @@ pub fn lex(src: &str) -> Lexed {
                         i += op.len();
                     }
                     None => {
-                        let len = c.len_utf8();
+                        let len = char_len_at(src, i);
                         push(&mut out, TokKind::Punct, &src[i..i + len], line);
                         i += len;
                     }
@@ -231,20 +258,58 @@ pub fn lex(src: &str) -> Lexed {
     out
 }
 
-/// Parses `lint:allow(a, b)` out of one line comment, if present.
+/// Parses the directive vocabulary out of one line comment, if present:
+/// `lint:allow(a, b)`, `lock:allow(io)` (recorded as `lock_io`),
+/// `lock:order(a < b < c)`, and `ordering:` intent notes.
 fn record_directives(out: &mut Lexed, comment: &str, line: usize) {
-    let Some(pos) = comment.find("lint:allow(") else {
-        return;
-    };
-    let after = &comment[pos + "lint:allow(".len()..];
-    let Some(close) = after.find(')') else { return };
-    let names = out.directives.entry(line).or_default();
-    for name in after[..close].split(',') {
-        let name = name.trim();
-        if !name.is_empty() {
-            names.insert(name.to_string());
+    if let Some(names) = directive_args(comment, "lint:allow(") {
+        let set = out.directives.entry(line).or_default();
+        for name in names.split(',') {
+            let name = name.trim();
+            if !name.is_empty() {
+                set.insert(name.to_string());
+            }
         }
     }
+    if let Some(names) = directive_args(comment, "lock:allow(") {
+        let set = out.directives.entry(line).or_default();
+        for name in names.split(',') {
+            let name = name.trim();
+            if !name.is_empty() {
+                set.insert(format!("lock_{name}"));
+            }
+        }
+    }
+    if let Some(chain) = directive_args(comment, "lock:order(") {
+        let names: Vec<String> = chain
+            .split('<')
+            .map(|n| n.trim().to_string())
+            .filter(|n| !n.is_empty())
+            .collect();
+        if names.len() >= 2 {
+            out.lock_orders.push((line, names));
+        }
+    }
+    if comment.contains("ordering:") {
+        out.ordering_notes.insert(line);
+    }
+}
+
+/// The text between `prefix(` and its closing `)` in `comment`, if any.
+fn directive_args<'a>(comment: &'a str, prefix: &str) -> Option<&'a str> {
+    let pos = comment.find(prefix)?;
+    let after = &comment[pos + prefix.len()..];
+    let close = after.find(')')?;
+    Some(&after[..close])
+}
+
+/// Byte length of the UTF-8 char starting at `i` (1 if `i` is somehow
+/// not a char boundary, which keeps the lexer advancing instead of
+/// panicking on malformed input).
+fn char_len_at(src: &str, i: usize) -> usize {
+    src.get(i..)
+        .and_then(|s| s.chars().next())
+        .map_or(1, char::len_utf8)
 }
 
 /// Whether position `i` starts a raw string (`r"`/`r#`) or byte string

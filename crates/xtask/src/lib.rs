@@ -1,6 +1,6 @@
 //! `bmb-xtask` — the workspace's zero-dependency static analyzer.
 //!
-//! `cargo run -p bmb-xtask -- lint` runs four token-aware passes over
+//! `cargo run -p bmb-xtask -- lint` runs seven token-aware passes over
 //! the workspace (see DESIGN.md §"Static analysis & contracts"):
 //!
 //! 1. **panic-freedom** — no `unwrap`/`expect`/`panic!`/`todo!`/
@@ -9,31 +9,59 @@
 //!    `as` casts in the statistical hot paths;
 //! 3. **dependency allowlist** — every `Cargo.toml` may only name
 //!    vetted external crates;
-//! 4. **doc coverage** — `bmb-stats` and `bmb-core` must document their
-//!    module files and public items.
+//! 4. **doc coverage** — library crates must document their module
+//!    files and public items;
+//! 5. **lock discipline** — consistent `Mutex`/`RwLock` acquisition
+//!    order (declared via `// lock:order(a < b)`), no re-entrant
+//!    acquisition, no guard held across blocking I/O;
+//! 6. **atomics intent** — `Ordering::Relaxed` on control-flow atomics
+//!    must carry an `// ordering:` intent note;
+//! 7. **sync-before-publish** — renames must be preceded by an fsync
+//!    and WAL ack paths must reach a sync (`bmb-basket`).
 //!
 //! Escape hatch: `// lint:allow(panic | float_eq | lossy_cast |
-//! missing_docs)` on the violating line or the line above. The crates
-//! whose numbers the paper's tables depend on (`bmb-stats`,
-//! `bmb-basket`) are *strict*: even the escape is rejected there.
+//! missing_docs | lock_order | lock_reentrant | lock_io |
+//! atomic_ordering | durability)` on the violating line or the line
+//! above (`// lock:allow(io)` is shorthand for the lock names). The
+//! crates whose numbers the paper's tables depend on (`bmb-stats`,
+//! `bmb-basket`) are *strict*: even the panic escape is rejected there.
 
+/// Atomics-intent pass: `Relaxed` on control-flow atomics needs notes.
+pub mod atomics;
+/// Call extraction and conservative unique-name callee resolution.
+pub mod callgraph;
+/// Dependency-allowlist pass over `Cargo.toml` manifests.
 pub mod deps;
+/// Doc-coverage pass: module docs and `///` on public items.
 pub mod docs;
+/// Sync-before-publish pass: fsync before rename / before WAL ack.
+pub mod durability;
+/// Float-discipline pass: no exact compares or lossy casts.
 pub mod floats;
+/// `fn` item extraction (name, visibility, body span).
+pub mod funcs;
+/// The token-aware lexer and comment-directive parser.
 pub mod lexer;
+/// Lock-discipline pass: order, re-entrancy, I/O under guard.
+pub mod locks;
+/// Panic-freedom pass for library crates.
 pub mod panics;
+/// Finding model and text/JSON rendering.
 pub mod report;
+/// `#[cfg(test)]` / `macro_rules!` span exclusion.
 pub mod spans;
+/// Workspace traversal: crates, manifests, library sources.
 pub mod walk;
 
-use std::path::Path;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 
-pub use report::{render, Finding, Lint};
+pub use report::{render, render_json, Finding, Lint};
 
 /// Crates whose `src/` must be panic-free (library crates).
 pub const LIBRARY_CRATES: &[&str] = &[
     "obs", "basket", "stats", "lattice", "apriori", "quest", "sampling", "datasets", "core",
-    "serve",
+    "serve", "xtask",
 ];
 
 /// Crates where even `lint:allow(panic)` is rejected.
@@ -43,7 +71,30 @@ pub const STRICT_CRATES: &[&str] = &["basket", "stats"];
 pub const FLOAT_CRATES: &[&str] = &["obs", "basket", "stats", "core", "sampling", "serve"];
 
 /// Crates that must document every public item.
-pub const DOC_CRATES: &[&str] = &["obs", "basket", "stats", "core", "serve"];
+pub const DOC_CRATES: &[&str] = &[
+    "obs", "basket", "stats", "core", "serve", "lattice", "apriori", "quest", "sampling",
+    "datasets", "xtask",
+];
+
+/// Crates under the sync-before-publish durability pass.
+pub const DURABILITY_CRATES: &[&str] = &["basket"];
+
+/// A lexed-and-analyzed source file, shared by the per-crate passes.
+#[derive(Debug)]
+pub struct SourceUnit {
+    /// Path relative to the analysis root (for reporting).
+    pub rel: PathBuf,
+    /// Name of the crate the file belongs to.
+    pub crate_name: String,
+    /// Whether the file is library code (`src/`, not tests/bins).
+    pub is_library: bool,
+    /// The token stream and comment directives.
+    pub lexed: lexer::Lexed,
+    /// `#[cfg(test)]` / `macro_rules!` regions excluded from linting.
+    pub excluded: spans::ExcludedSpans,
+    /// Extracted `fn` items.
+    pub funcs: Vec<funcs::FuncDef>,
+}
 
 /// Which passes to run; all on by default.
 #[derive(Clone, Copy, Debug)]
@@ -56,6 +107,27 @@ pub struct LintConfig {
     pub deps: bool,
     /// Doc-coverage pass.
     pub docs: bool,
+    /// Lock-discipline pass.
+    pub locks: bool,
+    /// Atomics-intent pass.
+    pub atomics: bool,
+    /// Sync-before-publish pass.
+    pub durability: bool,
+}
+
+impl LintConfig {
+    /// A config with every pass disabled (enable selected ones).
+    pub fn none() -> Self {
+        LintConfig {
+            panics: false,
+            floats: false,
+            deps: false,
+            docs: false,
+            locks: false,
+            atomics: false,
+            durability: false,
+        }
+    }
 }
 
 impl Default for LintConfig {
@@ -65,6 +137,9 @@ impl Default for LintConfig {
             floats: true,
             deps: true,
             docs: true,
+            locks: true,
+            atomics: true,
+            durability: true,
         }
     }
 }
@@ -82,6 +157,9 @@ pub fn run_lint(root: &Path, config: &LintConfig) -> std::io::Result<Vec<Finding
         }
     }
 
+    // Lex every source once; the per-file passes run inline, the
+    // per-crate passes run over the collected units afterwards.
+    let mut units: Vec<SourceUnit> = Vec::new();
     for source in &files.sources {
         let src = std::fs::read_to_string(&source.path)?;
         let lexed = lexer::lex(&src);
@@ -101,6 +179,37 @@ pub fn run_lint(root: &Path, config: &LintConfig) -> std::io::Result<Vec<Finding
         if config.docs && source.is_library && DOC_CRATES.contains(&source.crate_name.as_str()) {
             let excluded_lines = excluded.line_set(&lexed);
             docs::check(&source.rel, &src, &lexed, &excluded_lines, &mut findings);
+        }
+
+        if config.locks || config.atomics || config.durability {
+            let funcs = funcs::functions(&lexed, &excluded);
+            units.push(SourceUnit {
+                rel: source.rel.clone(),
+                crate_name: source.crate_name.clone(),
+                is_library: source.is_library,
+                lexed,
+                excluded,
+                funcs,
+            });
+        }
+    }
+
+    let mut by_crate: BTreeMap<&str, Vec<&SourceUnit>> = BTreeMap::new();
+    for unit in units.iter().filter(|u| u.is_library) {
+        by_crate
+            .entry(unit.crate_name.as_str())
+            .or_default()
+            .push(unit);
+    }
+    for (crate_name, crate_units) in &by_crate {
+        if config.locks {
+            locks::check_crate(crate_units, &mut findings);
+        }
+        if config.atomics {
+            atomics::check_crate(crate_units, &mut findings);
+        }
+        if config.durability && DURABILITY_CRATES.contains(crate_name) {
+            durability::check_crate(crate_units, &mut findings);
         }
     }
     Ok(findings)

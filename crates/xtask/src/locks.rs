@@ -1,0 +1,757 @@
+//! Lock-discipline pass.
+//!
+//! Catalogs every named `Mutex`/`RwLock` in a crate (lock identity is
+//! the *declared field/binding name*, per crate — two locks must not
+//! share a name), computes which guards are held at each point of every
+//! function, and reports:
+//!
+//! - **inconsistent acquisition order** between two locks (both `a→b`
+//!   and `b→a` observed — a potential deadlock cycle), and nested
+//!   acquisitions not covered by a `// lock:order(a < b)` declaration;
+//! - **re-entrant acquisition** of a lock already held (self-deadlock);
+//! - **guards held across blocking I/O** (`sync`, `rename`, `recv`, …),
+//!   directly or one call-graph hop away.
+//!
+//! Guard extents follow the language's temporary-scope rules closely
+//! enough for linting: `let`-bound guards live to end of block (or an
+//! explicit `drop(guard)`); `match`/`for` scrutinee temporaries live
+//! through the construct's body (so does `if let`/`while let`, per the
+//! 2021 edition); plain `if`/`while` condition temporaries drop at the
+//! body's `{`; other temporaries drop at the statement's `;`.
+//!
+//! Escapes: `// lock:allow(order | reentrant | io)` on the flagged line
+//! or the line above; for `io`, an annotation on the guard's own
+//! acquisition line covers every blocking call under that guard.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+use crate::callgraph::{calls_in, Call, DefIndex};
+use crate::lexer::{Lexed, TokKind};
+use crate::report::{Finding, Lint};
+use crate::SourceUnit;
+
+/// Method/function names treated as blocking I/O when called under a
+/// guard. Tuned to this workspace's storage traits plus std I/O.
+const IO_PRIMITIVES: &[&str] = &[
+    "sync",
+    "sync_all",
+    "sync_data",
+    "flush",
+    "rename",
+    "create",
+    "delete",
+    "truncate",
+    "read_all",
+    "write_all",
+    "read_to_end",
+    "read_exact",
+    "recv",
+    "recv_timeout",
+    "send",
+    "append",
+    "file_len",
+    "list",
+    "open",
+    "remove_file",
+    "create_dir_all",
+    "set_len",
+    "accept",
+    "connect",
+];
+
+/// What kind of primitive a cataloged lock is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum LockKind {
+    Mutex,
+    RwLock,
+}
+
+/// One guard acquisition with its computed lexical extent.
+#[derive(Clone, Debug)]
+struct Acq {
+    /// Name of the acquired lock.
+    lock: String,
+    /// Token index of the acquiring ident (`lock`/`read`/`write`).
+    tok: usize,
+    /// 1-based line of the acquisition.
+    line: usize,
+    /// Last token index (inclusive) at which the guard may be held.
+    scope_end: usize,
+}
+
+/// A two-lock nesting observation: `held` was held when `inner` was
+/// acquired (directly or transitively) at a witness site.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Witness {
+    /// Index into the crate's file list.
+    file: usize,
+    /// 1-based line of the nested acquisition.
+    line: usize,
+}
+
+/// Runs the lock-discipline pass over one crate's library sources.
+pub fn check_crate(files: &[&SourceUnit], findings: &mut Vec<Finding>) {
+    let catalog = lock_catalog(files);
+    if catalog.is_empty() {
+        return;
+    }
+    let index = DefIndex::build(
+        files
+            .iter()
+            .enumerate()
+            .map(|(i, u)| (i, u.funcs.as_slice())),
+    );
+
+    // Per (file, func): direct acquisitions and direct-I/O presence.
+    let mut acqs: HashMap<(usize, usize), Vec<Acq>> = HashMap::new();
+    let mut direct_io: HashSet<(usize, usize)> = HashSet::new();
+    for (fi, unit) in files.iter().enumerate() {
+        for (xi, f) in unit.funcs.iter().enumerate() {
+            let found = find_acquisitions(unit, f.body_open, f.body_close, &catalog);
+            let body_calls = body_calls(unit, f.body_open, f.body_close, &found);
+            if body_calls
+                .iter()
+                .any(|c| IO_PRIMITIVES.contains(&c.callee.as_str()))
+            {
+                direct_io.insert((fi, xi));
+            }
+            acqs.insert((fi, xi), found);
+        }
+    }
+
+    // Transitive lock sets through uniquely-resolvable callees.
+    let mut trans: HashMap<(usize, usize), BTreeSet<String>> = HashMap::new();
+    for (fi, unit) in files.iter().enumerate() {
+        for xi in 0..unit.funcs.len() {
+            let mut seen = HashSet::new();
+            let set = transitive_acquires(files, &index, &acqs, (fi, xi), &mut seen);
+            trans.insert((fi, xi), set);
+        }
+    }
+
+    // Event scan: collect nesting pairs, re-entrancy, and I/O-under-guard.
+    let mut pairs: BTreeMap<(String, String), BTreeSet<Witness>> = BTreeMap::new();
+    for (fi, unit) in files.iter().enumerate() {
+        for (xi, f) in unit.funcs.iter().enumerate() {
+            let here = &acqs[&(fi, xi)];
+            // Direct nested acquisitions.
+            for b in here {
+                for a in held_at(here, b.tok) {
+                    record_nesting(unit, fi, a, &b.lock, b.line, &mut pairs, findings);
+                }
+            }
+            // Calls under a guard: I/O and transitive acquisitions.
+            for c in body_calls(unit, f.body_open, f.body_close, here) {
+                let held: Vec<&Acq> = held_at(here, c.tok);
+                if held.is_empty() {
+                    continue;
+                }
+                if IO_PRIMITIVES.contains(&c.callee.as_str()) {
+                    for a in &held {
+                        report_io(unit, a, &c, None, findings);
+                    }
+                    continue;
+                }
+                let Some(target) = index.unique(&c.callee) else {
+                    continue;
+                };
+                // `x.clear()` resolving to the very function it sits in
+                // is a container method sharing the fn's name, not
+                // recursion — skip self-edges.
+                if target == (fi, xi) {
+                    continue;
+                }
+                for inner in &trans[&target] {
+                    for a in &held {
+                        record_nesting(unit, fi, a, inner, c.line, &mut pairs, findings);
+                    }
+                }
+                if direct_io.contains(&target) {
+                    for a in &held {
+                        report_io(unit, a, &c, Some(&c.callee), findings);
+                    }
+                }
+            }
+        }
+    }
+
+    // Declared order: edges from every `// lock:order(a < b < c)`.
+    let declared = declared_order(files, findings);
+
+    // Verdicts per distinct ordered pair.
+    for ((a, b), witnesses) in &pairs {
+        let fwd = declared.contains(&(a.clone(), b.clone()));
+        let rev = declared.contains(&(b.clone(), a.clone()));
+        let flipped = pairs.get(&(b.clone(), a.clone()));
+        for w in witnesses {
+            let unit = files[w.file];
+            if unit.lexed.allows(w.line, Lint::LockOrder.allow_name()) {
+                continue;
+            }
+            let message = if rev {
+                format!(
+                    "acquires `{b}` while holding `{a}`, but the declared order is \
+                     `lock:order({b} < {a})` — restructure to respect it"
+                )
+            } else if fwd {
+                continue;
+            } else if let Some(other) = flipped.and_then(|s| s.iter().next()) {
+                format!(
+                    "lock order conflict: `{a}` then `{b}` here, but `{b}` then `{a}` \
+                     at {}:{} — potential deadlock cycle",
+                    files[other.file].rel.display(),
+                    other.line
+                )
+            } else {
+                format!(
+                    "acquires `{b}` while holding `{a}` with no declared order — \
+                     declare `// lock:order({a} < {b})` to write the contract down"
+                )
+            };
+            findings.push(Finding {
+                lint: Lint::LockOrder,
+                file: unit.rel.clone(),
+                line: w.line,
+                message,
+            });
+        }
+    }
+}
+
+/// Guards from `here` whose extent covers token index `at` (excluding
+/// an acquisition happening exactly at `at`).
+fn held_at(here: &[Acq], at: usize) -> Vec<&Acq> {
+    here.iter()
+        .filter(|a| a.tok < at && at <= a.scope_end)
+        .collect()
+}
+
+/// Records one nesting observation; re-entrant same-lock nesting is
+/// reported immediately, distinct-lock pairs are accumulated.
+fn record_nesting(
+    unit: &SourceUnit,
+    file: usize,
+    held: &Acq,
+    inner: &str,
+    line: usize,
+    pairs: &mut BTreeMap<(String, String), BTreeSet<Witness>>,
+    findings: &mut Vec<Finding>,
+) {
+    if held.lock == inner {
+        if !unit.lexed.allows(line, Lint::LockReentrant.allow_name()) {
+            findings.push(Finding {
+                lint: Lint::LockReentrant,
+                file: unit.rel.clone(),
+                line,
+                message: format!(
+                    "re-acquires `{inner}` while a guard for `{inner}` is already \
+                     held (from line {}) — self-deadlock",
+                    held.line
+                ),
+            });
+        }
+        return;
+    }
+    pairs
+        .entry((held.lock.clone(), inner.to_string()))
+        .or_default()
+        .insert(Witness { file, line });
+}
+
+/// Reports a guard held across blocking I/O, honoring `lock:allow(io)`
+/// on the call line or on the guard's acquisition line.
+fn report_io(
+    unit: &SourceUnit,
+    held: &Acq,
+    call: &Call,
+    via: Option<&str>,
+    findings: &mut Vec<Finding>,
+) {
+    let name = Lint::LockAcrossIo.allow_name();
+    if unit.lexed.allows(call.line, name) || unit.lexed.allows(held.line, name) {
+        return;
+    }
+    let how = match via {
+        Some(helper) => format!("via `{helper}(…)`"),
+        None => format!("`{}(…)`", call.callee),
+    };
+    findings.push(Finding {
+        lint: Lint::LockAcrossIo,
+        file: unit.rel.clone(),
+        line: call.line,
+        message: format!(
+            "holds guard `{}` (acquired line {}) across blocking call {how} — \
+             shrink the critical section, or annotate the acquisition with \
+             // lock:allow(io) if holding it is the design",
+            held.lock, held.line
+        ),
+    });
+}
+
+/// Calls inside a body, excluding excluded spans, acquisition sites
+/// themselves, and `drop(…)`.
+fn body_calls(unit: &SourceUnit, open: usize, close: usize, acqs: &[Acq]) -> Vec<Call> {
+    let acq_toks: HashSet<usize> = acqs.iter().map(|a| a.tok).collect();
+    calls_in(&unit.lexed, open, close)
+        .into_iter()
+        .filter(|c| !unit.excluded.contains_token(c.tok))
+        .filter(|c| !acq_toks.contains(&c.tok))
+        .filter(|c| c.callee != "drop")
+        .collect()
+}
+
+/// Locks a function acquires, directly or through uniquely-resolved
+/// callees (cycle-safe fixpoint).
+fn transitive_acquires(
+    files: &[&SourceUnit],
+    index: &DefIndex,
+    acqs: &HashMap<(usize, usize), Vec<Acq>>,
+    at: (usize, usize),
+    seen: &mut HashSet<(usize, usize)>,
+) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    if !seen.insert(at) {
+        return out;
+    }
+    let Some(direct) = acqs.get(&at) else {
+        return out;
+    };
+    out.extend(direct.iter().map(|a| a.lock.clone()));
+    let unit = files[at.0];
+    let f = &unit.funcs[at.1];
+    for c in body_calls(unit, f.body_open, f.body_close, direct) {
+        if let Some(target) = index.unique(&c.callee) {
+            out.extend(transitive_acquires(files, index, acqs, target, seen));
+        }
+    }
+    out
+}
+
+/// Builds the crate's lock catalog: `name -> kind` from field/binding
+/// declarations whose type mentions `Mutex`/`RwLock` (directly or via a
+/// crate-local type alias), plus `let name = Mutex::new(…)` bindings.
+/// `&`-typed declarations (borrowed params) are skipped — the lock is
+/// owned elsewhere under its real name.
+fn lock_catalog(files: &[&SourceUnit]) -> HashMap<String, LockKind> {
+    // Pass 1: type aliases that wrap a lock.
+    let mut aliases: HashMap<String, LockKind> = HashMap::new();
+    for unit in files {
+        let toks = &unit.lexed.tokens;
+        for i in 0..toks.len() {
+            if toks[i].text != "type" || toks[i].kind != TokKind::Ident {
+                continue;
+            }
+            let Some(name) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+                continue;
+            };
+            if toks.get(i + 2).is_none_or(|t| t.text != "=") {
+                continue;
+            }
+            let end = toks[i + 3..]
+                .iter()
+                .position(|t| t.text == ";")
+                .map_or(toks.len(), |p| i + 3 + p);
+            if let Some(kind) = lockish_kind(&unit.lexed, i + 3, end, &HashMap::new()) {
+                aliases.insert(name.text.clone(), kind);
+            }
+        }
+    }
+
+    // Pass 2: declarations.
+    let mut catalog: HashMap<String, LockKind> = HashMap::new();
+    for unit in files {
+        let toks = &unit.lexed.tokens;
+        for i in 0..toks.len() {
+            if unit.excluded.contains_token(i) {
+                continue;
+            }
+            // `name : Type-with-lock`
+            if toks[i].kind == TokKind::Ident
+                && toks.get(i + 1).is_some_and(|t| t.text == ":")
+                && toks
+                    .get(i + 2)
+                    .is_some_and(|t| t.text != ":" && t.text != "&")
+            {
+                let end = type_end(&unit.lexed, i + 2);
+                if let Some(kind) = lockish_kind(&unit.lexed, i + 2, end, &aliases) {
+                    catalog.insert(toks[i].text.clone(), kind);
+                }
+            }
+            // `let [mut] name = Mutex::new(…)` / `RwLock::new(…)`
+            if toks[i].text == "let" && toks[i].kind == TokKind::Ident {
+                let mut j = i + 1;
+                if toks.get(j).is_some_and(|t| t.text == "mut") {
+                    j += 1;
+                }
+                let Some(name) = toks.get(j).filter(|t| t.kind == TokKind::Ident) else {
+                    continue;
+                };
+                if toks.get(j + 1).is_none_or(|t| t.text != "=") {
+                    continue;
+                }
+                let is_ctor = toks
+                    .get(j + 2)
+                    .is_some_and(|t| t.text == "Mutex" || t.text == "RwLock")
+                    && toks.get(j + 3).is_some_and(|t| t.text == "::")
+                    && toks.get(j + 4).is_some_and(|t| t.text == "new");
+                if is_ctor {
+                    let kind = if toks[j + 2].text == "RwLock" {
+                        LockKind::RwLock
+                    } else {
+                        LockKind::Mutex
+                    };
+                    catalog.insert(name.text.clone(), kind);
+                }
+            }
+        }
+    }
+    catalog
+}
+
+/// Whether tokens `[lo, hi)` mention a lock type; returns its kind.
+fn lockish_kind(
+    lexed: &Lexed,
+    lo: usize,
+    hi: usize,
+    aliases: &HashMap<String, LockKind>,
+) -> Option<LockKind> {
+    let toks = &lexed.tokens;
+    for t in toks.get(lo..hi.min(toks.len()))? {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "RwLock" => return Some(LockKind::RwLock),
+            "Mutex" => return Some(LockKind::Mutex),
+            other => {
+                if let Some(kind) = aliases.get(other) {
+                    return Some(*kind);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// End (exclusive) of a type starting at token `lo`: the first `,`,
+/// `;`, `=`, `)`, `{`, or `}` outside angle brackets and groups.
+/// Bounded to keep pathological input cheap.
+fn type_end(lexed: &Lexed, lo: usize) -> usize {
+    let toks = &lexed.tokens;
+    let mut angle = 0i64;
+    let mut group = 0i64;
+    for (off, t) in toks.iter().skip(lo).take(48).enumerate() {
+        match t.text.as_str() {
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            "<<" => angle += 2,
+            ">>" => angle -= 2,
+            "(" | "[" => group += 1,
+            ")" | "]" => {
+                if group == 0 {
+                    return lo + off;
+                }
+                group -= 1;
+            }
+            "," | ";" | "=" | "{" | "}" if angle <= 0 && group == 0 => {
+                return lo + off;
+            }
+            _ => {}
+        }
+    }
+    (lo + 48).min(toks.len())
+}
+
+/// Finds guard acquisitions in `(open, close)` and computes each one's
+/// lexical extent.
+fn find_acquisitions(
+    unit: &SourceUnit,
+    open: usize,
+    close: usize,
+    catalog: &HashMap<String, LockKind>,
+) -> Vec<Acq> {
+    let toks = &unit.lexed.tokens;
+    let mut out = Vec::new();
+    for i in (open + 1)..close.min(toks.len()) {
+        if unit.excluded.contains_token(i) || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        // Method style: `receiver.lock()` / `.read()` / `.write()`.
+        let method = matches!(toks[i].text.as_str(), "lock" | "read" | "write")
+            && i >= 2
+            && toks[i - 1].text == "."
+            && toks.get(i + 1).is_some_and(|t| t.text == "(")
+            && toks[i - 2].kind == TokKind::Ident;
+        if method {
+            let recv = &toks[i - 2].text;
+            let kind_ok = match catalog.get(recv) {
+                Some(LockKind::Mutex) => toks[i].text == "lock",
+                Some(LockKind::RwLock) => toks[i].text == "read" || toks[i].text == "write",
+                None => false,
+            };
+            if kind_ok {
+                let start = chain_start(&unit.lexed, i - 2);
+                out.push(make_acq(unit, open, close, recv.clone(), i, start));
+            }
+            continue;
+        }
+        // Helper style: `lock(&self.wal)`, `lock_state(&self.entries)`.
+        let helper = toks[i].text.starts_with("lock")
+            && toks.get(i + 1).is_some_and(|t| t.text == "(")
+            && (i == 0 || (toks[i - 1].text != "." && toks[i - 1].text != "fn"));
+        if helper {
+            let Some(close_paren) = crate::spans::matching_bracket(&unit.lexed, i + 1) else {
+                continue;
+            };
+            let arg = toks[i + 2..close_paren]
+                .iter()
+                .rev()
+                .find(|t| t.kind == TokKind::Ident && catalog.contains_key(&t.text));
+            if let Some(arg) = arg {
+                out.push(make_acq(unit, open, close, arg.text.clone(), i, i));
+            }
+        }
+    }
+    out
+}
+
+/// Walks a field-access chain (`self.a.b`) back to its first ident.
+fn chain_start(lexed: &Lexed, mut j: usize) -> usize {
+    let toks = &lexed.tokens;
+    while j >= 2 && toks[j - 1].text == "." && toks[j - 2].kind == TokKind::Ident {
+        j -= 2;
+    }
+    // A leading `&` or `*` belongs to the expression, not the chain.
+    j
+}
+
+/// Builds an [`Acq`] with its scope computed from the binding shape.
+fn make_acq(
+    unit: &SourceUnit,
+    open: usize,
+    close: usize,
+    lock: String,
+    tok: usize,
+    expr_start: usize,
+) -> Acq {
+    let (scope_end, guard_var) = guard_scope(&unit.lexed, open, close, tok, expr_start);
+    let scope_end = match guard_var {
+        Some(name) => drop_site(&unit.lexed, &name, tok, scope_end).unwrap_or(scope_end),
+        None => scope_end,
+    };
+    Acq {
+        lock,
+        tok,
+        line: unit.lexed.tokens[tok].line,
+        scope_end,
+    }
+}
+
+/// Computes a guard's lexical extent; returns `(end, bound_var)`.
+fn guard_scope(
+    lexed: &Lexed,
+    open: usize,
+    close: usize,
+    tok: usize,
+    expr_start: usize,
+) -> (usize, Option<String>) {
+    let toks = &lexed.tokens;
+    let s = expr_start;
+    // Simple binding: `let [mut] name = <acquisition>…`?
+    if s >= 3 && toks[s - 1].text == "=" && toks[s - 2].kind == TokKind::Ident {
+        let name = &toks[s - 2];
+        let mut k = s - 3;
+        if toks[k].text == "mut" && k >= 1 {
+            k -= 1;
+        }
+        if toks[k].text == "let" && toks[k].kind == TokKind::Ident {
+            let in_cond = k >= 1 && matches!(toks[k - 1].text.as_str(), "if" | "while");
+            let end = if in_cond {
+                construct_body_close(lexed, tok, close)
+            } else {
+                enclosing_block_close(lexed, tok, close)
+            };
+            return (end, Some(name.text.clone()));
+        }
+    }
+    // Temporary: classify the enclosing statement.
+    let (has_match_or_for, has_if_while, has_let) = statement_shape(lexed, open, s);
+    let end = if has_match_or_for || (has_if_while && has_let) {
+        construct_body_close(lexed, tok, close)
+    } else if has_if_while {
+        body_open_after(lexed, tok, close)
+    } else {
+        statement_end(lexed, tok, close)
+    };
+    (end, None)
+}
+
+/// Looks backward from `s` to the statement boundary, noting `match`/
+/// `for`, `if`/`while`, and `let` keywords at the statement's own depth.
+fn statement_shape(lexed: &Lexed, open: usize, s: usize) -> (bool, bool, bool) {
+    let toks = &lexed.tokens;
+    let (mut m, mut iw, mut l) = (false, false, false);
+    let mut depth = 0i64;
+    let mut j = s;
+    while j > open + 1 {
+        j -= 1;
+        let t = &toks[j];
+        match t.text.as_str() {
+            ")" | "]" => depth += 1,
+            "}" => {
+                if depth == 0 {
+                    break;
+                }
+                depth += 1;
+            }
+            "(" | "[" | "{" => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            ";" if depth == 0 => break,
+            "match" | "for" if depth == 0 && t.kind == TokKind::Ident => m = true,
+            "if" | "while" if depth == 0 && t.kind == TokKind::Ident => iw = true,
+            "let" if depth == 0 && t.kind == TokKind::Ident => l = true,
+            _ => {}
+        }
+    }
+    (m, iw, l)
+}
+
+/// The matching `}` of the first `{` at relative depth 0 after `from`
+/// (the body of an `if`/`while`/`match`/`for` the guard lives through).
+fn construct_body_close(lexed: &Lexed, from: usize, close: usize) -> usize {
+    let open = body_open_after(lexed, from, close);
+    crate::spans::matching_bracket(lexed, open)
+        .unwrap_or(close)
+        .min(close)
+}
+
+/// The first `{` at relative depth 0 after `from`.
+fn body_open_after(lexed: &Lexed, from: usize, close: usize) -> usize {
+    let toks = &lexed.tokens;
+    let mut depth = 0i64;
+    for (j, t) in toks.iter().enumerate().take(close).skip(from + 1) {
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth == 0 => return j,
+            _ => {}
+        }
+    }
+    close
+}
+
+/// The end of the statement containing `from`: its `;` at relative
+/// depth ≤ 0, or the closer that exits the current block/group.
+fn statement_end(lexed: &Lexed, from: usize, close: usize) -> usize {
+    let toks = &lexed.tokens;
+    let mut depth = 0i64;
+    for (j, t) in toks.iter().enumerate().take(close).skip(from + 1) {
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    return j;
+                }
+            }
+            ";" if depth <= 0 => return j,
+            _ => {}
+        }
+    }
+    close
+}
+
+/// The enclosing block's `}` after `from` (for `let`-bound guards).
+fn enclosing_block_close(lexed: &Lexed, from: usize, close: usize) -> usize {
+    let toks = &lexed.tokens;
+    let mut depth = 0i64;
+    for (j, t) in toks.iter().enumerate().take(close).skip(from + 1) {
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+    }
+    close
+}
+
+/// An explicit `drop(name)` between `from` and `until`, if any.
+fn drop_site(lexed: &Lexed, name: &str, from: usize, until: usize) -> Option<usize> {
+    let toks = &lexed.tokens;
+    ((from + 1)..until.min(toks.len())).find(|&j| {
+        toks[j].text == "drop"
+            && toks[j].kind == TokKind::Ident
+            && toks.get(j + 1).is_some_and(|t| t.text == "(")
+            && toks.get(j + 2).is_some_and(|t| t.text == *name)
+            && toks.get(j + 3).is_some_and(|t| t.text == ")")
+    })
+}
+
+/// Collects the crate's declared partial order as its transitive
+/// closure; reports a finding if the declarations are cyclic.
+fn declared_order(
+    files: &[&SourceUnit],
+    findings: &mut Vec<Finding>,
+) -> BTreeSet<(String, String)> {
+    let mut edges: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut first_decl: Option<(usize, usize)> = None;
+    for (fi, unit) in files.iter().enumerate() {
+        for (line, chain) in &unit.lexed.lock_orders {
+            first_decl.get_or_insert((fi, *line));
+            for pair in chain.windows(2) {
+                edges.insert((pair[0].clone(), pair[1].clone()));
+            }
+        }
+    }
+    // Transitive closure (the name universe is tiny).
+    let names: BTreeSet<String> = edges
+        .iter()
+        .flat_map(|(a, b)| [a.clone(), b.clone()])
+        .collect();
+    let mut closure = edges;
+    loop {
+        let mut grew = false;
+        for k in &names {
+            let mut add = Vec::new();
+            for (a, b) in &closure {
+                if b == k {
+                    for (c, d) in &closure {
+                        if c == k && !closure.contains(&(a.clone(), d.clone())) {
+                            add.push((a.clone(), d.clone()));
+                        }
+                    }
+                }
+            }
+            for e in add {
+                grew |= closure.insert(e);
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    if let Some(cycle) = closure.iter().find(|(a, b)| a == b) {
+        if let Some((fi, line)) = first_decl {
+            findings.push(Finding {
+                lint: Lint::LockOrder,
+                file: files[fi].rel.clone(),
+                line,
+                message: format!(
+                    "declared lock order is cyclic through `{}` — fix the \
+                     lock:order(…) declarations",
+                    cycle.0
+                ),
+            });
+        }
+    }
+    closure
+}

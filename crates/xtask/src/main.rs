@@ -8,19 +8,25 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use bmb_xtask::{render, run_lint, LintConfig};
+use bmb_xtask::{render, render_json, run_lint, LintConfig};
 
 const USAGE: &str = "\
 bmb-xtask — workspace static analysis
 
 USAGE:
-    cargo run -p bmb-xtask -- lint [ROOT] [--only PASS]...
+    cargo run -p bmb-xtask -- lint [ROOT] [--only PASS]... [--json]
 
 PASSES (default: all):
-    panics   panic-freedom in library crates
-    floats   float comparison / lossy-cast discipline
-    deps     Cargo.toml dependency allowlist
-    docs     doc coverage in bmb-stats and bmb-core
+    panics      panic-freedom in library crates
+    floats      float comparison / lossy-cast discipline
+    deps        Cargo.toml dependency allowlist
+    docs        doc coverage in library crates
+    locks       Mutex/RwLock acquisition order, re-entrancy, I/O under guard
+    atomics     Ordering::Relaxed intent notes on control-flow atomics
+    durability  sync-before-publish / sync-before-ack (bmb-basket)
+
+FLAGS:
+    --json   machine-readable findings (file/line/lint/message)
 
 Exit codes: 0 clean, 1 findings, 2 usage/IO error.
 ";
@@ -43,9 +49,11 @@ fn main() -> ExitCode {
 fn lint(args: &[String]) -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut only: Vec<String> = Vec::new();
+    let mut json = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--json" => json = true,
             "--only" => match iter.next() {
                 Some(pass) => only.push(pass.clone()),
                 None => {
@@ -74,7 +82,11 @@ fn lint(args: &[String]) -> ExitCode {
 
     match run_lint(&root, &config) {
         Ok(findings) => {
-            print!("{}", render(&findings));
+            if json {
+                print!("{}", render_json(&findings));
+            } else {
+                print!("{}", render(&findings));
+            }
             ExitCode::from(u8::from(!findings.is_empty()))
         }
         Err(err) => {
@@ -88,20 +100,21 @@ fn build_config(only: &[String]) -> Option<LintConfig> {
     if only.is_empty() {
         return Some(LintConfig::default());
     }
-    let mut config = LintConfig {
-        panics: false,
-        floats: false,
-        deps: false,
-        docs: false,
-    };
+    let mut config = LintConfig::none();
     for pass in only {
         match pass.as_str() {
             "panics" => config.panics = true,
             "floats" => config.floats = true,
             "deps" => config.deps = true,
             "docs" => config.docs = true,
+            "locks" => config.locks = true,
+            "atomics" => config.atomics = true,
+            "durability" => config.durability = true,
             other => {
-                eprintln!("unknown pass `{other}` (panics, floats, deps, docs)\n\n{USAGE}");
+                eprintln!(
+                    "unknown pass `{other}` (panics, floats, deps, docs, locks, \
+                     atomics, durability)\n\n{USAGE}"
+                );
                 return None;
             }
         }

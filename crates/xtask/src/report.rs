@@ -18,6 +18,18 @@ pub enum Lint {
     MissingDocs,
     /// A `lint:allow` escape used in a crate where escapes are banned.
     ForbiddenEscape,
+    /// Inconsistent or undeclared lock acquisition order.
+    LockOrder,
+    /// Re-entrant acquisition of a lock already held.
+    LockReentrant,
+    /// A guard held across a blocking I/O or sync call.
+    LockAcrossIo,
+    /// `Ordering::Relaxed` on a control-flow atomic without intent note.
+    AtomicRelaxedHandoff,
+    /// A rename/publish without a preceding fsync of the written bytes.
+    RenameNoSync,
+    /// A WAL ack path that never reaches a sync call.
+    AckNoSync,
 }
 
 impl Lint {
@@ -30,6 +42,25 @@ impl Lint {
             Lint::Dependency => "dependency",
             Lint::MissingDocs => "missing_docs",
             Lint::ForbiddenEscape => "forbidden_escape",
+            Lint::LockOrder => "lock_order",
+            Lint::LockReentrant => "lock_reentrant",
+            Lint::LockAcrossIo => "lock_io",
+            Lint::AtomicRelaxedHandoff => "atomic_ordering",
+            Lint::RenameNoSync => "durability",
+            Lint::AckNoSync => "durability",
+        }
+    }
+
+    /// The pass this lint belongs to (summary / `--only` name).
+    pub fn pass(self) -> &'static str {
+        match self {
+            Lint::Panic | Lint::ForbiddenEscape => "panics",
+            Lint::FloatEq | Lint::LossyCast => "floats",
+            Lint::Dependency => "deps",
+            Lint::MissingDocs => "docs",
+            Lint::LockOrder | Lint::LockReentrant | Lint::LockAcrossIo => "locks",
+            Lint::AtomicRelaxedHandoff => "atomics",
+            Lint::RenameNoSync | Lint::AckNoSync => "durability",
         }
     }
 }
@@ -43,6 +74,12 @@ impl fmt::Display for Lint {
             Lint::Dependency => "dependency-allowlist",
             Lint::MissingDocs => "missing-docs",
             Lint::ForbiddenEscape => "forbidden-escape",
+            Lint::LockOrder => "lock-order",
+            Lint::LockReentrant => "lock-reentrant",
+            Lint::LockAcrossIo => "lock-across-io",
+            Lint::AtomicRelaxedHandoff => "atomic-relaxed-handoff",
+            Lint::RenameNoSync => "rename-no-sync",
+            Lint::AckNoSync => "ack-no-sync",
         };
         f.write_str(name)
     }
@@ -74,7 +111,19 @@ impl fmt::Display for Finding {
     }
 }
 
-/// Renders all findings plus a summary line, sorted by file then line.
+/// The passes, in display order for the summary line.
+const PASSES: &[&str] = &[
+    "panics",
+    "floats",
+    "deps",
+    "docs",
+    "locks",
+    "atomics",
+    "durability",
+];
+
+/// Renders all findings plus per-pass counts and a summary line,
+/// sorted by file then line.
 pub fn render(findings: &[Finding]) -> String {
     let mut sorted: Vec<&Finding> = findings.iter().collect();
     sorted.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
@@ -83,10 +132,58 @@ pub fn render(findings: &[Finding]) -> String {
         out.push_str(&finding.to_string());
         out.push('\n');
     }
+    out.push_str("passes:");
+    for pass in PASSES {
+        let count = findings.iter().filter(|f| f.lint.pass() == *pass).count();
+        out.push_str(&format!(" {pass}={count}"));
+    }
+    out.push('\n');
     if findings.is_empty() {
         out.push_str("xtask lint: clean\n");
     } else {
         out.push_str(&format!("xtask lint: {} finding(s)\n", findings.len()));
+    }
+    out
+}
+
+/// Renders findings as a JSON array with stable field order
+/// (`file`, `line`, `lint`, `message`), sorted by file then line.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut sorted: Vec<&Finding> = findings.iter().collect();
+    sorted.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    let mut out = String::from("[");
+    for (i, f) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"file\":\"{}\",\"line\":{},\"lint\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&f.file.display().to_string()),
+            f.line,
+            f.lint,
+            json_escape(&f.message)
+        ));
+    }
+    if !sorted.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
     }
     out
 }

@@ -42,6 +42,24 @@ fn fixture_workspace_yields_exactly_the_seeded_findings() {
         (Lint::Dependency, "crates/stats/Cargo.toml".into(), 11),
         (Lint::MissingDocs, "crates/stats/src/lib.rs".into(), 17),
         (Lint::ForbiddenEscape, "crates/stats/src/lib.rs".into(), 14),
+        (Lint::LockOrder, "crates/core/src/lib.rs".into(), 31),
+        (Lint::LockOrder, "crates/core/src/lib.rs".into(), 38),
+        (Lint::LockOrder, "crates/core/src/lib.rs".into(), 45),
+        (Lint::LockOrder, "crates/core/src/lib.rs".into(), 53),
+        (Lint::LockReentrant, "crates/core/src/lib.rs".into(), 67),
+        (Lint::LockAcrossIo, "crates/core/src/lib.rs".into(), 74),
+        (
+            Lint::AtomicRelaxedHandoff,
+            "crates/core/src/lib.rs".into(),
+            89,
+        ),
+        (
+            Lint::AtomicRelaxedHandoff,
+            "crates/core/src/lib.rs".into(),
+            94,
+        ),
+        (Lint::RenameNoSync, "crates/basket/src/wal.rs".into(), 57),
+        (Lint::AckNoSync, "crates/basket/src/wal.rs".into(), 36),
     ];
     let mut want = want;
     want.sort();
@@ -55,10 +73,8 @@ fn fixture_workspace_yields_exactly_the_seeded_findings() {
 fn single_pass_configs_isolate_their_lint() {
     let root = fixture_root();
     let only_deps = LintConfig {
-        panics: false,
-        floats: false,
-        docs: false,
         deps: true,
+        ..LintConfig::none()
     };
     let findings = run_lint(&root, &only_deps).expect("deps-only lint runs");
     assert_eq!(findings.len(), 3);
@@ -66,15 +82,80 @@ fn single_pass_configs_isolate_their_lint() {
 
     let only_panics = LintConfig {
         panics: true,
-        floats: false,
-        docs: false,
-        deps: false,
+        ..LintConfig::none()
     };
     let findings = run_lint(&root, &only_panics).expect("panics-only lint runs");
     assert!(findings
         .iter()
         .all(|f| matches!(f.lint, Lint::Panic | Lint::ForbiddenEscape)));
     assert_eq!(findings.len(), 3);
+
+    let only_locks = LintConfig {
+        locks: true,
+        ..LintConfig::none()
+    };
+    let findings = run_lint(&root, &only_locks).expect("locks-only lint runs");
+    assert!(findings.iter().all(|f| f.lint.pass() == "locks"));
+    assert_eq!(findings.len(), 6);
+
+    let only_durability = LintConfig {
+        durability: true,
+        ..LintConfig::none()
+    };
+    let findings = run_lint(&root, &only_durability).expect("durability-only lint runs");
+    assert!(findings.iter().all(|f| f.lint.pass() == "durability"));
+    assert_eq!(findings.len(), 2);
+}
+
+/// CI gate: every pass must catch *something* on the seeded fixtures —
+/// a pass that reports zero findings there has silently stopped seeing.
+#[test]
+fn every_pass_reports_findings_on_fixtures() {
+    let findings = run_lint(&fixture_root(), &LintConfig::default()).expect("fixture lint runs");
+    for pass in [
+        "panics",
+        "floats",
+        "deps",
+        "docs",
+        "locks",
+        "atomics",
+        "durability",
+    ] {
+        assert!(
+            findings.iter().any(|f| f.lint.pass() == pass),
+            "pass `{pass}` reported zero findings on the seeded fixtures"
+        );
+    }
+}
+
+/// The machine-readable renderer emits one object per finding with the
+/// stable field order `file`, `line`, `lint`, `message`.
+#[test]
+fn json_rendering_is_stable_and_parseable() {
+    let findings = run_lint(&fixture_root(), &LintConfig::default()).expect("fixture lint runs");
+    let json = bmb_xtask::render_json(&findings);
+    assert!(json.starts_with('[') && json.ends_with("]\n"));
+    assert_eq!(json.matches("{\"file\":").count(), findings.len());
+    assert_eq!(
+        json.matches("\"line\":").count(),
+        findings.len(),
+        "every object carries a line field"
+    );
+    // Field order is part of the interface: file, line, lint, message.
+    for obj in json.split("{\"file\":").skip(1) {
+        let line_at = obj.find("\"line\":").expect("line present");
+        let lint_at = obj.find("\"lint\":").expect("lint present");
+        let msg_at = obj.find("\"message\":").expect("message present");
+        assert!(
+            line_at < lint_at && lint_at < msg_at,
+            "field order is stable"
+        );
+    }
+    assert!(json.contains("\"lint\":\"lock-order\""));
+    assert!(json.contains("\"lint\":\"ack-no-sync\""));
+
+    let empty = bmb_xtask::render_json(&[]);
+    assert_eq!(empty, "[]\n");
 }
 
 #[test]

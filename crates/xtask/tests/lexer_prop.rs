@@ -1,0 +1,206 @@
+//! Property tests for the lexer: no panics on arbitrary (multibyte)
+//! input, and no token leakage out of string/char/byte-string literals.
+//!
+//! The lexer underpins every pass, so its two load-bearing contracts
+//! are pinned from both sides:
+//!
+//! * **total** — `lex` never panics, whatever bytes arrive (multibyte
+//!   identifiers, stray continuation bytes, unterminated literals);
+//! * **opaque literals** — nothing inside a string, raw string, byte
+//!   string, or char literal ever becomes a token, and code outside
+//!   them always does.
+
+use bmb_xtask::lexer::{lex, TokKind};
+use proptest::prelude::*;
+use proptest::strategy::Strategy;
+use proptest::TestRng;
+use rand::Rng;
+
+/// Characters chosen to stress every lexer branch: ASCII idents and
+/// punctuation, quote/escape machinery, raw-string guards, and
+/// multibyte code points (2-, 3-, and 4-byte UTF-8).
+const POOL: &[char] = &[
+    'a', 'Z', '_', '0', '9', ' ', '\n', '\t', '"', '\'', '\\', '/', '*', 'b', 'r', '#', '(', ')',
+    '{', '}', '.', ':', ';', '<', '>', '=', '!', '&', '|', ',', '-', '+', 'é', 'ß', 'Ω', '—', '中',
+    '🦀', '\u{80}', '\u{7ff}', '\u{fffd}',
+];
+
+/// Arbitrary soup over [`POOL`], heavy on the troublesome characters.
+struct CharSoup {
+    max_len: usize,
+}
+
+impl Strategy for CharSoup {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let len = rng.0.gen_range(0..self.max_len);
+        (0..len)
+            .map(|_| POOL[rng.0.gen_range(0..POOL.len())])
+            .collect()
+    }
+}
+
+proptest! {
+    /// The lexer is total: arbitrary multibyte soup never panics, every
+    /// produced token is non-empty, and line numbers never go backward.
+    #[test]
+    fn lex_never_panics_and_tokens_are_sane(src in CharSoup { max_len: 160 }) {
+        let lexed = lex(&src);
+        let mut last_line = 1;
+        for tok in &lexed.tokens {
+            prop_assert!(!tok.text.is_empty(), "empty token from {src:?}");
+            prop_assert!(tok.line >= last_line, "line went backward in {src:?}");
+            last_line = tok.line;
+        }
+    }
+
+    /// Anything placed inside a plain string literal stays there: the
+    /// canary ident must never leak into the token stream, while the
+    /// ident outside the literal must always be found.
+    #[test]
+    fn string_contents_never_become_tokens(noise in CharSoup { max_len: 40 }) {
+        // Escape the noise so the literal stays well-formed; the canary
+        // rides along inside it.
+        let escaped: String = noise
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                '\n' => vec!['\\', 'n'],
+                c => vec![c],
+            })
+            .collect();
+        let src = format!("let s = \"{escaped} leakcheck\"; outside(s);");
+        let lexed = lex(&src);
+        prop_assert!(
+            !lexed.tokens.iter().any(|t| t.text == "leakcheck"),
+            "literal contents leaked from {src:?}"
+        );
+        prop_assert!(
+            lexed.tokens.iter().any(|t| t.text == "outside"),
+            "code after the literal vanished in {src:?}"
+        );
+    }
+}
+
+/// Deterministic corpus of the literal forms that historically trip
+/// token-level lexers: escaped quotes in char/byte-char literals, raw
+/// and byte-raw strings with `#` guards, and unicode escapes. The
+/// canary `leakcheck` sits inside every literal; `ok` sits outside.
+#[test]
+fn tricky_literals_are_opaque() {
+    let corpus = [
+        "let a = b'\\''; ok(leak_in_comment); // leakcheck",
+        "let b = b\"leakcheck \\xff\"; ok(a);",
+        "let c = br#\"leakcheck \" still\"#; ok(b);",
+        "let d = r##\"leakcheck \"# nested\"##; ok(c);",
+        "let e = '\\u{1F980}'; ok(d); /* leakcheck */",
+        "let f = '\\\\'; let g = '\"'; ok(e);",
+        "let h = \"\\\"leakcheck\\\"\"; ok(f);",
+        "let i = b'\\\\'; ok(g);",
+    ];
+    for src in corpus {
+        let lexed = lex(src);
+        assert!(
+            !lexed.tokens.iter().any(|t| t.text.contains("leakcheck")),
+            "literal/comment contents leaked from {src:?}"
+        );
+        assert!(
+            lexed.tokens.iter().any(|t| t.text == "ok"),
+            "real code lost in {src:?}"
+        );
+    }
+}
+
+/// Multibyte identifiers and punctuation survive byte-accurate slicing
+/// (the exact inputs that once sliced mid-character).
+#[test]
+fn multibyte_input_lexes_cleanly() {
+    for src in [
+        "let café = 1; — Ω中🦀",
+        "π\u{80}\u{7ff}\u{fffd}",
+        "fn naïve() { résumé.touché(); }",
+    ] {
+        let lexed = lex(src);
+        for tok in &lexed.tokens {
+            assert!(!tok.text.is_empty());
+        }
+    }
+    assert!(lex("fn naïve() {}")
+        .tokens
+        .iter()
+        .any(|t| t.text == "naïve"));
+}
+
+/// The comment-directive vocabulary parses: `lint:allow` names,
+/// `lock:allow` shorthand, `lock:order` chains, and `ordering:` notes.
+#[test]
+fn directives_parse_and_scope_to_their_lines() {
+    let src = "\
+let a = 1; // lint:allow(panic)
+// lock:allow(io, reentrant)
+let b = 2;
+// lock:order(state < wal < dir)
+// ordering: relaxed is fine, the flag is advisory
+let c = 3;
+let d = 4;
+";
+    let lexed = lex(src);
+    // lint:allow on its own line and inherited by the next.
+    assert!(lexed.allows(1, "panic"));
+    assert!(lexed.allows(2, "panic"));
+    assert!(!lexed.allows(3, "panic"));
+    // lock:allow stores prefixed names; both names of the list parse.
+    assert!(lexed.allows(2, "lock_io"));
+    assert!(lexed.allows(3, "lock_io"));
+    assert!(lexed.allows(2, "lock_reentrant"));
+    assert!(!lexed.allows(2, "lock_order"));
+    // lock:order chains land with their declaration line.
+    assert_eq!(lexed.lock_orders.len(), 1);
+    let (line, chain) = &lexed.lock_orders[0];
+    assert_eq!(*line, 4);
+    assert_eq!(chain, &["state", "wal", "dir"]);
+    // ordering: notes cover their line and the line below.
+    assert!(lexed.has_ordering_note(5));
+    assert!(lexed.has_ordering_note(6));
+    assert!(!lexed.has_ordering_note(7));
+}
+
+/// Malformed directives neither panic nor register anything.
+#[test]
+fn malformed_directives_are_ignored() {
+    for src in [
+        "// lock:order(a)", // needs at least two names
+        "// lock:order()",
+        "// lock:order(a <",
+        "// lint:allow(",
+        "// lock:allow",
+        "// lint:allow()",
+    ] {
+        let lexed = lex(src);
+        assert!(lexed.lock_orders.is_empty(), "registered from {src:?}");
+        assert!(!lexed.allows(1, "panic"), "allowed from {src:?}");
+    }
+    // An unclosed paren with names still yields nothing.
+    assert!(lex("// lock:order(a < b").tokens.is_empty());
+}
+
+/// `TokKind` classification is stable for the token shapes the passes
+/// key on (idents vs puncts around multibyte neighborhood).
+#[test]
+fn classification_survives_multibyte_neighbors() {
+    let lexed = lex("x—y");
+    let kinds: Vec<(TokKind, &str)> = lexed
+        .tokens
+        .iter()
+        .map(|t| (t.kind, t.text.as_str()))
+        .collect();
+    assert_eq!(
+        kinds,
+        vec![
+            (TokKind::Ident, "x"),
+            (TokKind::Punct, "—"),
+            (TokKind::Ident, "y"),
+        ]
+    );
+}
