@@ -39,10 +39,19 @@ echo "==> kill -9 crash harness"
 # must survive and recovery must replay only the post-checkpoint tail.
 timeout 120 cargo test -q --release -p bmb-serve --test crash_kill
 
+echo "==> cluster kill -9 / differential harness"
+# SIGKILL one shard mid-query-storm (coordinator must degrade
+# gracefully, never answer wrongly, and re-admit the revived shard) plus
+# the 1-shard vs 4-shard bit-identity differential.
+timeout 120 cargo test -q --release -p bmb-cluster
+
 echo "==> server smoke test"
 ./scripts/serve_smoke.sh
 
 echo "==> metrics exposition smoke test"
 ./scripts/metrics_smoke.sh
+
+echo "==> cluster smoke test (3 shards + coordinator + follower)"
+./scripts/cluster_smoke.sh
 
 echo "CI: all gates passed"

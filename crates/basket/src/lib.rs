@@ -70,5 +70,5 @@ pub use storage::{
 };
 pub use wal::{
     inspect_wal_bytes, CheckpointError, CheckpointStats, DurabilityConfig, DurableError,
-    DurableStore, InspectedRecord, RecoveryReport, WalError, WalInspection,
+    DurableStore, InspectedRecord, RecoveryReport, ShipBatch, ShipSource, WalError, WalInspection,
 };

@@ -449,6 +449,41 @@ impl Snapshot {
         crate::contingency::ContingencyTable::from_counts(set.clone(), counts)
     }
 
+    /// Exports the baskets appended at epochs `after..=upto` (i.e. with
+    /// zero-based ingest indices `after..upto`), in ingest order.
+    ///
+    /// Basket `i` (zero-based) was acknowledged at epoch `i + 1`, so
+    /// `baskets_range(e, f)` returns exactly the baskets a replica at
+    /// epoch `e` needs to catch up to epoch `f`. Bounds are clamped to
+    /// the snapshot, and an inverted range yields an empty vector. This
+    /// is the replication fallback when the WAL segments covering the
+    /// range have already been reclaimed by checkpoint retention.
+    pub fn baskets_range(&self, after: u64, upto: u64) -> Vec<Vec<ItemId>> {
+        let lo = after.min(self.n_baskets as u64) as usize;
+        let hi = upto.min(self.n_baskets as u64) as usize;
+        if lo >= hi {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(hi - lo);
+        let mut base = 0usize;
+        for segment in self.segments() {
+            let len = segment.len();
+            if base + len > lo && base < hi {
+                let db = segment.database();
+                let start = lo.saturating_sub(base);
+                let end = len.min(hi - base);
+                for index in start..end {
+                    out.push(db.basket(index).to_vec());
+                }
+            }
+            base += len;
+            if base >= hi {
+                break;
+            }
+        }
+        out
+    }
+
     /// Materializes the snapshot as one flat [`BasketDatabase`] (segment
     /// order, which is ingest order). This is the bridge to the batch
     /// pipeline: running the miner over the returned database gives the
@@ -489,6 +524,33 @@ mod tests {
         assert_eq!(snap.tail_segment().map(|t| t.len()), Some(2));
         assert_eq!(snap.sealed_segments()[0].id(), 0);
         assert_eq!(snap.sealed_segments()[1].id(), 1);
+    }
+
+    #[test]
+    fn baskets_range_slices_across_segment_boundaries() {
+        let store = IncrementalStore::new(16, small_config());
+        for i in 0..11u32 {
+            store.append_ids([i, (i + 1) % 16]).unwrap();
+        }
+        let snap = store.snapshot();
+        // Full range reproduces the flat database.
+        let all = snap.baskets_range(0, snap.epoch());
+        let flat = snap.to_database();
+        assert_eq!(all.len(), flat.len());
+        for (i, basket) in all.iter().enumerate() {
+            assert_eq!(basket.as_slice(), flat.basket(i));
+        }
+        // A window straddling two sealed segments and the tail.
+        let window = snap.baskets_range(3, 10);
+        assert_eq!(window.len(), 7);
+        for (offset, basket) in window.iter().enumerate() {
+            assert_eq!(basket.as_slice(), flat.basket(3 + offset));
+        }
+        // Clamped and inverted ranges are safe.
+        assert_eq!(snap.baskets_range(9, 100).len(), 2);
+        assert!(snap.baskets_range(7, 7).is_empty());
+        assert!(snap.baskets_range(8, 2).is_empty());
+        assert!(snap.baskets_range(50, 60).is_empty());
     }
 
     #[test]

@@ -1373,6 +1373,166 @@ impl DurableStore {
     pub fn is_healthy(&self) -> bool {
         !lock(&self.wal).degraded
     }
+
+    /// Ships the baskets a replica at `after_epoch` is missing, reading
+    /// at most `max_baskets` from the WAL segment that covers the range
+    /// (directory mode). Rotation makes sealed segments natural
+    /// shipping units; one call reads at most one segment, so a lagging
+    /// follower catches up segment by segment.
+    ///
+    /// Falls back to an in-memory [`Snapshot::baskets_range`] export
+    /// when no retained segment covers `after_epoch` — checkpoint
+    /// retention deletes covered segments, and single-file WALs have no
+    /// rotation — so the call always makes progress while the store is
+    /// ahead of the replica. The returned batch's `source` says which
+    /// path served it.
+    pub fn ship_after(&self, after_epoch: u64, max_baskets: usize) -> ShipBatch {
+        let shard_epoch = self.store.epoch();
+        if after_epoch >= shard_epoch || max_baskets == 0 {
+            return ShipBatch {
+                from_epoch: after_epoch,
+                end_epoch: after_epoch,
+                shard_epoch,
+                baskets: Vec::new(),
+                source: ShipSource::Wal,
+            };
+        }
+        if let Some(batch) = self.ship_from_segments(after_epoch, shard_epoch, max_baskets) {
+            return batch;
+        }
+        let snap = self.store.snapshot();
+        let upto = snap
+            .epoch()
+            .min(after_epoch.saturating_add(max_baskets as u64));
+        let baskets = snap.baskets_range(after_epoch, upto);
+        ShipBatch {
+            from_epoch: after_epoch,
+            end_epoch: after_epoch + baskets.len() as u64,
+            shard_epoch,
+            baskets,
+            source: ShipSource::Snapshot,
+        }
+    }
+
+    /// The WAL path of [`DurableStore::ship_after`]: picks the segment
+    /// whose base epoch covers `after_epoch`, reads it, and decodes the
+    /// records past `after_epoch`. `None` means the caller should fall
+    /// back to the snapshot export (no directory mode, the covering
+    /// segment was reclaimed, or a racing rotation/retention made the
+    /// read unusable).
+    fn ship_from_segments(
+        &self,
+        after_epoch: u64,
+        shard_epoch: u64,
+        max_baskets: usize,
+    ) -> Option<ShipBatch> {
+        // Snapshot the segment list under the WAL lock (no I/O here);
+        // the read itself runs under only the dir lock, preserving the
+        // wal < dir order.
+        let (dir, index, base_epoch) = {
+            let wal = lock(&self.wal);
+            let dm = wal.dir_mode.as_ref()?;
+            let seg = dm
+                .segments
+                .iter()
+                .rev()
+                .find(|s| s.base_epoch <= after_epoch)?;
+            (Arc::clone(&dm.dir), seg.index, seg.base_epoch)
+        };
+        let name = segment_name(index);
+        // Read under the dir lock so rotation and retention cannot race
+        // the open; the segment may be the active one, in which case a
+        // torn in-flight tail simply stops the decode.
+        let bytes = {
+            let mut dir = lock(&dir); // lock:allow(io)
+            let mut file = dir.open(&name).ok()?;
+            file.read_all().ok()?
+        };
+        if parse_segment_header(&bytes)? != base_epoch {
+            return None;
+        }
+        let mut baskets: Vec<Vec<ItemId>> = Vec::new();
+        let mut cum = base_epoch;
+        let mut pos = WAL2_HEADER_LEN;
+        'records: while let Some(frame) = bytes.get(pos..pos + 8) {
+            let len = u32::from_le_bytes([frame[0], frame[1], frame[2], frame[3]]);
+            let crc = u32::from_le_bytes([frame[4], frame[5], frame[6], frame[7]]);
+            if len > MAX_RECORD_BYTES {
+                break;
+            }
+            let start = pos + 8;
+            let Some(payload) = bytes.get(start..start + len as usize) else {
+                break;
+            };
+            if crc32(payload) != crc {
+                break;
+            }
+            match decode_payload(payload) {
+                Some(Record::Batch(batch)) => {
+                    for basket in batch {
+                        // Cap at the epoch acknowledged when the call
+                        // began: a record can hit the media moments
+                        // before its store apply, and shipping must not
+                        // outrun the epoch it reports.
+                        if baskets.len() >= max_baskets || cum >= shard_epoch {
+                            break 'records;
+                        }
+                        cum += 1;
+                        if cum > after_epoch {
+                            baskets.push(basket);
+                        }
+                    }
+                }
+                Some(Record::Fence(_)) => {}
+                None => break,
+            }
+            pos = start + len as usize;
+        }
+        Some(ShipBatch {
+            from_epoch: after_epoch,
+            end_epoch: after_epoch + baskets.len() as u64,
+            shard_epoch,
+            baskets,
+            source: ShipSource::Wal,
+        })
+    }
+}
+
+/// Where a [`ShipBatch`] was served from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShipSource {
+    /// Decoded from a retained WAL segment (the normal path).
+    Wal,
+    /// Exported from the in-memory snapshot (segment reclaimed by
+    /// checkpoint retention, or a single-file WAL).
+    Snapshot,
+}
+
+impl std::fmt::Display for ShipSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShipSource::Wal => write!(f, "wal"),
+            ShipSource::Snapshot => write!(f, "snapshot"),
+        }
+    }
+}
+
+/// One replication shipping unit returned by [`DurableStore::ship_after`].
+#[derive(Debug)]
+pub struct ShipBatch {
+    /// Epoch before the first shipped basket (always the requested
+    /// `after_epoch`).
+    pub from_epoch: u64,
+    /// Epoch after the last shipped basket; equals `from_epoch` when
+    /// the replica is already caught up.
+    pub end_epoch: u64,
+    /// The shard's acknowledged epoch when the call began — the
+    /// follower's replication lag is `shard_epoch - end_epoch`.
+    pub shard_epoch: u64,
+    /// The shipped baskets, in ingest (epoch) order.
+    pub baskets: Vec<Vec<ItemId>>,
+    /// Which path served the batch.
+    pub source: ShipSource,
 }
 
 /// Encodes a basket batch payload.
@@ -2312,6 +2472,96 @@ mod tests {
         assert!(report.wal_segments >= 3);
         let snap = recovered.snapshot();
         assert_eq!(snap.n_baskets(), 20);
+    }
+
+    #[test]
+    fn ship_after_walks_wal_segments_until_caught_up() {
+        let state = MemDir::new().state();
+        // Tiny budget: many segments, so shipping takes several pulls.
+        let (store, _) = open_dir_mem(&state, durability(64));
+        for i in 0..20u32 {
+            store.append_ids([i % 8]).unwrap();
+        }
+        let mut replica: Vec<Vec<ItemId>> = Vec::new();
+        let mut epoch = 0u64;
+        let mut pulls = 0;
+        while epoch < store.epoch() {
+            let batch = store.ship_after(epoch, 1000);
+            assert_eq!(batch.from_epoch, epoch);
+            assert_eq!(batch.shard_epoch, 20);
+            assert_eq!(batch.source, ShipSource::Wal);
+            assert_eq!(
+                batch.end_epoch,
+                batch.from_epoch + batch.baskets.len() as u64
+            );
+            assert!(!batch.baskets.is_empty(), "must make progress");
+            replica.extend(batch.baskets);
+            epoch = batch.end_epoch;
+            pulls += 1;
+        }
+        assert!(pulls > 1, "tiny segments must need several pulls");
+        assert_eq!(replica.len(), 20);
+        for (i, basket) in replica.iter().enumerate() {
+            assert_eq!(basket.as_slice(), &[ItemId(i as u32 % 8)]);
+        }
+        // Caught up: an empty batch, not an error.
+        let done = store.ship_after(epoch, 1000);
+        assert_eq!(done.end_epoch, done.from_epoch);
+        assert!(done.baskets.is_empty());
+    }
+
+    #[test]
+    fn ship_after_respects_max_baskets() {
+        let state = MemDir::new().state();
+        let (store, _) = open_dir_mem(&state, durability(1 << 20));
+        for i in 0..10u32 {
+            store.append_ids([i % 8]).unwrap();
+        }
+        let batch = store.ship_after(2, 3);
+        assert_eq!(batch.from_epoch, 2);
+        assert_eq!(batch.end_epoch, 5);
+        assert_eq!(batch.baskets.len(), 3);
+        assert_eq!(batch.baskets[0].as_slice(), &[ItemId(2)]);
+        assert_eq!(batch.shard_epoch, 10);
+    }
+
+    #[test]
+    fn ship_after_falls_back_to_snapshot_when_segments_reclaimed() {
+        let state = MemDir::new().state();
+        let (store, _) = open_dir_mem(&state, durability(64));
+        for i in 0..12u32 {
+            store.append_ids([i % 8]).unwrap();
+        }
+        store.checkpoint().unwrap();
+        for i in 12..20u32 {
+            store.append_ids([i % 8]).unwrap();
+        }
+        store.checkpoint().unwrap();
+        assert!(
+            !dir_names(&state).contains(&"wal.000000".to_string()),
+            "retention must have reclaimed the first segment: {:?}",
+            dir_names(&state)
+        );
+        // The covering segment is gone; the snapshot serves the range.
+        let batch = store.ship_after(0, 1000);
+        assert_eq!(batch.source, ShipSource::Snapshot);
+        assert_eq!(batch.from_epoch, 0);
+        assert_eq!(batch.end_epoch, 20);
+        for (i, basket) in batch.baskets.iter().enumerate() {
+            assert_eq!(basket.as_slice(), &[ItemId(i as u32 % 8)]);
+        }
+    }
+
+    #[test]
+    fn ship_after_single_file_mode_uses_snapshot() {
+        let (store, _) = open_mem(None);
+        store.append_ids([0, 1]).unwrap();
+        store.append_ids([1, 2]).unwrap();
+        let batch = store.ship_after(1, 10);
+        assert_eq!(batch.source, ShipSource::Snapshot);
+        assert_eq!(batch.end_epoch, 2);
+        assert_eq!(batch.baskets.len(), 1);
+        assert_eq!(batch.baskets[0].as_slice(), &[ItemId(1), ItemId(2)]);
     }
 
     #[test]

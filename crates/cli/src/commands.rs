@@ -66,7 +66,31 @@ pub const SERVE_SPEC: &[(&str, FlagKind)] = &[
 pub const QUERY_SPEC: &[(&str, FlagKind)] = &[("timeout-secs", FlagKind::Value)];
 
 /// Flags accepted by `bmb wal` (the `inspect` subcommand).
-pub const WAL_SPEC: &[(&str, FlagKind)] = &[("limit", FlagKind::Value)];
+pub const WAL_SPEC: &[(&str, FlagKind)] = &[("limit", FlagKind::Value), ("dir", FlagKind::Value)];
+
+/// Flags accepted by `bmb cluster {serve|shard|follow}`.
+pub const CLUSTER_SPEC: &[(&str, FlagKind)] = &[
+    ("addr", FlagKind::Value),
+    ("items", FlagKind::Value),
+    ("workers", FlagKind::Value),
+    ("max-connections", FlagKind::Value),
+    ("metrics-addr", FlagKind::Value),
+    // coordinator (`cluster serve`)
+    ("shards", FlagKind::Value),
+    ("followers", FlagKind::Value),
+    ("seed", FlagKind::Value),
+    ("round-robin", FlagKind::Boolean),
+    // durable roles (`cluster shard`, `cluster follow`)
+    ("dir", FlagKind::Value),
+    ("segment-capacity", FlagKind::Value),
+    ("segment-bytes", FlagKind::Value),
+    ("retain-checkpoints", FlagKind::Value),
+    ("checkpoint-every", FlagKind::Value),
+    ("checkpoint-interval-secs", FlagKind::Value),
+    // follower (`cluster follow`)
+    ("primary", FlagKind::Value),
+    ("poll-ms", FlagKind::Value),
+];
 
 /// Loads a basket file, named by default, numeric with `--numeric`.
 pub fn load(path: &str, numeric: bool) -> Result<BasketDatabase, String> {
@@ -507,14 +531,27 @@ pub fn cmd_query(args: &Args, out: &mut dyn Write) -> Result<(), String> {
 /// Prints one line per record (offset, kind, payload size, CRC status,
 /// running epoch) and ends with a diagnosis line — `clean`, or what is
 /// torn and why recovery will truncate there. `--limit N` caps the
-/// per-record lines (the summary always prints).
+/// per-record lines (the summary always prints). With `--dir DIR`
+/// instead of a PATH, walks the rotated segments (`wal.000000`…) of a
+/// checkpoint directory and prints one line per segment — its base
+/// epoch, record count, end epoch, and diagnosis.
 pub fn cmd_wal(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let action = args.positional(1).ok_or("usage: bmb wal inspect PATH")?;
     if action != "inspect" {
         return Err(format!("unknown wal action {action:?} (try 'inspect')"));
     }
-    let path = args.positional(2).ok_or("usage: bmb wal inspect PATH")?;
     let limit = args.get_or("limit", usize::MAX)?;
+    if let Some(dir) = args.get::<String>("dir")? {
+        if args.positional(2).is_some() {
+            return Err(
+                "--dir replaces the PATH positional: bmb wal inspect --dir DIR".to_string(),
+            );
+        }
+        return wal_inspect_dir(&dir, limit, out);
+    }
+    let path = args
+        .positional(2)
+        .ok_or("usage: bmb wal inspect PATH, or bmb wal inspect --dir DIR")?;
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let inspection =
         bmb_basket::inspect_wal_bytes(&bytes).map_err(|e| format!("{path} is not a WAL: {e}"))?;
@@ -563,6 +600,284 @@ pub fn cmd_wal(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     Ok(())
 }
 
+/// Walks a rotated WAL segment directory, one summary line per
+/// `wal.NNNNNN` file in rotation order: base epoch, record count, end
+/// epoch, and diagnosis. `limit` caps the per-segment lines (the
+/// trailing summary always prints).
+fn wal_inspect_dir(dir: &str, limit: usize, out: &mut dyn Write) -> Result<(), String> {
+    let sink = |e: std::io::Error| e.to_string();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("cannot read {dir}: {e}"))?;
+    let mut segments: Vec<(u64, String)> = entries
+        .filter_map(Result::ok)
+        .filter_map(|entry| {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            bmb_basket::wal::parse_segment_name(&name).map(|index| (index, name))
+        })
+        .collect();
+    if segments.is_empty() {
+        return Err(format!("{dir} holds no wal.NNNNNN segments"));
+    }
+    segments.sort_unstable();
+    let n_segments = segments.len();
+    let mut total_records = 0usize;
+    let mut end_epoch = 0u64;
+    let mut torn = 0usize;
+    for (shown, (_, name)) in segments.into_iter().enumerate() {
+        let path = std::path::Path::new(dir).join(&name);
+        let bytes =
+            std::fs::read(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let inspection = bmb_basket::inspect_wal_bytes(&bytes)
+            .map_err(|e| format!("{} is not a WAL segment: {e}", path.display()))?;
+        total_records += inspection.records.len();
+        end_epoch = end_epoch.max(inspection.end_epoch);
+        if inspection.diagnosis != "clean" {
+            torn += 1;
+        }
+        if shown < limit {
+            let base = match inspection.base_epoch {
+                Some(base) => format!("base epoch {base}"),
+                None => format!("no segment header (format {})", inspection.format),
+            };
+            writeln!(
+                out,
+                "{name}: {base}, {} records, end epoch {}, {}",
+                inspection.records.len(),
+                inspection.end_epoch,
+                inspection.diagnosis
+            )
+            .map_err(sink)?;
+        }
+    }
+    if n_segments > limit {
+        writeln!(out, "... {} more segments", n_segments - limit).map_err(sink)?;
+    }
+    writeln!(
+        out,
+        "segments: {n_segments}, records: {total_records}, end epoch: {end_epoch}, \
+         torn segments: {torn}"
+    )
+    .map_err(sink)?;
+    Ok(())
+}
+
+/// `bmb cluster {serve|shard|follow}` — the sharded-cluster roles.
+///
+/// `shard` runs one durable shard: a checkpointed store answering the
+/// full wire protocol (including `support_vec` and `replicate_pull`).
+/// `serve` runs the coordinator: it speaks the same protocol but holds
+/// no baskets, scattering every query to `--shards` and gathering the
+/// per-shard support vectors into bit-identical central answers.
+/// `follow` runs a warm standby that tails a shard primary's WAL via
+/// `replicate_pull` and serves reads after a `promote`.
+pub fn cmd_cluster(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    const CLUSTER_USAGE: &str = "usage: bmb cluster {serve|shard|follow} [flags]";
+    match args.positional(1) {
+        Some("serve") => cluster_serve(args, out),
+        Some("shard") => cluster_shard(args, out),
+        Some("follow") => cluster_follow(args, out),
+        Some(other) => Err(format!("unknown cluster role {other:?} ({CLUSTER_USAGE})")),
+        None => Err(CLUSTER_USAGE.to_string()),
+    }
+}
+
+/// The listener config shared by all three cluster roles.
+fn cluster_server_config(
+    args: &Args,
+    default_addr: &str,
+) -> Result<bmb_serve::ServerConfig, String> {
+    Ok(bmb_serve::ServerConfig {
+        addr: args.get_or("addr", default_addr.to_string())?,
+        workers: args.get_or("workers", 4usize)?,
+        max_connections: args.get_or("max-connections", 256usize)?,
+        metrics_addr: args.get::<String>("metrics-addr")?,
+        ..Default::default()
+    })
+}
+
+/// Opens (recovering if needed) the durable store a shard or follower
+/// role keeps under `--dir`, announcing the recovery on `out`.
+fn cluster_open_durable(
+    args: &Args,
+    role: &str,
+    out: &mut dyn Write,
+) -> Result<std::sync::Arc<bmb_basket::DurableStore>, String> {
+    let dir_path = args.get::<String>("dir")?.ok_or_else(|| {
+        format!("bmb cluster {role} requires --dir DIR (its WAL/checkpoint directory)")
+    })?;
+    let n_items = args.get::<usize>("items")?.ok_or_else(|| {
+        format!("bmb cluster {role} requires --items N (the cluster-wide item-space size)")
+    })?;
+    let dir = bmb_basket::FsDir::open(std::path::Path::new(&dir_path))
+        .map_err(|e| format!("cannot open {dir_path}: {e}"))?;
+    let (durable, report) = bmb_basket::DurableStore::open_dir(
+        Box::new(dir),
+        n_items,
+        bmb_basket::StoreConfig {
+            segment_capacity: args.get_or("segment-capacity", 4096usize)?,
+        },
+        bmb_basket::DurabilityConfig {
+            segment_bytes: args.get_or("segment-bytes", 8u64 << 20)?,
+            retain_checkpoints: args.get_or("retain-checkpoints", 2usize)?,
+        },
+    )
+    .map_err(|e| format!("cannot recover {dir_path}: {e}"))?;
+    writeln!(
+        out,
+        "recovered {} baskets from {dir_path} (epoch {}, checkpoint epoch {})",
+        report.baskets_recovered, report.epoch, report.checkpoint_epoch
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(std::sync::Arc::new(durable))
+}
+
+/// The background checkpointer for a durable cluster role.
+fn cluster_checkpointer(
+    args: &Args,
+    durable: &std::sync::Arc<bmb_basket::DurableStore>,
+) -> Result<bmb_serve::Checkpointer, String> {
+    Ok(bmb_serve::Checkpointer::spawn(
+        std::sync::Arc::clone(durable),
+        bmb_serve::CheckpointerConfig {
+            interval: Some(std::time::Duration::from_secs(
+                args.get_or("checkpoint-interval-secs", 60u64)?,
+            )),
+            every_records: Some(args.get_or("checkpoint-every", 4096u64)?),
+            ..Default::default()
+        },
+    ))
+}
+
+/// `bmb cluster shard --dir DIR --items N` — one durable shard.
+fn cluster_shard(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let sink = |e: std::io::Error| e.to_string();
+    let durable = cluster_open_durable(args, "shard", out)?;
+    let engine = std::sync::Arc::new(bmb_core::QueryEngine::new(
+        std::sync::Arc::clone(durable.store()),
+        bmb_core::EngineConfig::default(),
+    ));
+    let server = bmb_serve::Server::bind(engine, cluster_server_config(args, "127.0.0.1:0")?)
+        .map_err(|e| format!("cannot bind: {e}"))?
+        .with_durable_store(std::sync::Arc::clone(&durable));
+    let checkpointer = cluster_checkpointer(args, &durable)?;
+    writeln!(out, "shard listening on {}", server.local_addr()).map_err(sink)?;
+    if let Some(addr) = server.metrics_local_addr() {
+        writeln!(out, "metrics on http://{addr}/metrics").map_err(sink)?;
+    }
+    out.flush().map_err(sink)?;
+    let run_result = server.run();
+    checkpointer.stop();
+    run_result.map_err(|e| format!("shard failed: {e}"))
+}
+
+/// `bmb cluster serve --items N --shards A,B,...` — the coordinator.
+fn cluster_serve(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let sink = |e: std::io::Error| e.to_string();
+    let n_items = args
+        .get::<usize>("items")?
+        .ok_or("bmb cluster serve requires --items N (the cluster-wide item-space size)")?;
+    let shards_flag = args.get::<String>("shards")?.ok_or(
+        "bmb cluster serve requires --shards ADDR,ADDR,... (shard primaries, in partition order)",
+    )?;
+    let shard_addrs: Vec<String> = shards_flag
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if shard_addrs.is_empty() {
+        return Err("--shards names no addresses".to_string());
+    }
+    let mut config = bmb_cluster::CoordinatorConfig::new(n_items, shard_addrs.iter().cloned());
+    if let Some(followers_flag) = args.get::<String>("followers")? {
+        let followers: Vec<&str> = followers_flag.split(',').map(str::trim).collect();
+        if followers.len() != config.shards.len() {
+            return Err(format!(
+                "--followers names {} slots for {} shards; leave a slot empty \
+                 (e.g. 'a,,c') for a shard with no follower",
+                followers.len(),
+                config.shards.len()
+            ));
+        }
+        for (spec, follower) in config.shards.iter_mut().zip(followers) {
+            if !follower.is_empty() {
+                spec.follower = Some(follower.to_string());
+            }
+        }
+    }
+    config.seed = args.get_or("seed", bmb_cluster::DEFAULT_SEED)?;
+    if args.has("round-robin") {
+        config.strategy = bmb_cluster::PartitionStrategy::RoundRobin;
+    }
+    let service = std::sync::Arc::new(bmb_cluster::CoordinatorService::new(config))
+        as std::sync::Arc<dyn bmb_serve::Service>;
+    let server =
+        bmb_serve::Server::bind_service(service, cluster_server_config(args, "127.0.0.1:7878")?)
+            .map_err(|e| format!("cannot bind: {e}"))?;
+    let metrics = server.metrics();
+    writeln!(out, "scattering over {} shards", shard_addrs.len()).map_err(sink)?;
+    writeln!(out, "coordinator listening on {}", server.local_addr()).map_err(sink)?;
+    if let Some(addr) = server.metrics_local_addr() {
+        writeln!(out, "metrics on http://{addr}/metrics").map_err(sink)?;
+    }
+    out.flush().map_err(sink)?;
+    server
+        .run()
+        .map_err(|e| format!("coordinator failed: {e}"))?;
+    let snapshot = metrics.snapshot();
+    writeln!(
+        out,
+        "served {} requests ({} errors), p50 {}us, p99 {}us",
+        snapshot.requests, snapshot.errors, snapshot.p50_us, snapshot.p99_us
+    )
+    .map_err(sink)?;
+    Ok(())
+}
+
+/// `bmb cluster follow --dir DIR --items N --primary ADDR` — a warm
+/// standby tailing a shard's WAL.
+fn cluster_follow(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let sink = |e: std::io::Error| e.to_string();
+    let primary = args
+        .get::<String>("primary")?
+        .ok_or("bmb cluster follow requires --primary HOST:PORT (the shard to tail)")?;
+    let standby = cluster_open_durable(args, "follow", out)?;
+    let engine = std::sync::Arc::new(bmb_core::QueryEngine::new(
+        std::sync::Arc::clone(standby.store()),
+        bmb_core::EngineConfig::default(),
+    ));
+    let promoted = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let metrics = std::sync::Arc::new(bmb_cluster::ClusterMetrics::new());
+    let service = std::sync::Arc::new(bmb_cluster::FollowerService::new(
+        bmb_serve::EngineService::new(engine).with_durable(std::sync::Arc::clone(&standby)),
+        std::sync::Arc::clone(&promoted),
+        std::sync::Arc::clone(&metrics),
+    )) as std::sync::Arc<dyn bmb_serve::Service>;
+    let server =
+        bmb_serve::Server::bind_service(service, cluster_server_config(args, "127.0.0.1:0")?)
+            .map_err(|e| format!("cannot bind: {e}"))?;
+    let checkpointer = cluster_checkpointer(args, &standby)?;
+    let mut follower_config = bmb_cluster::FollowerConfig::new(primary.clone());
+    follower_config.poll_interval =
+        std::time::Duration::from_millis(args.get_or("poll-ms", 50u64)?);
+    let replicator = bmb_cluster::Replicator::new(
+        std::sync::Arc::clone(&standby),
+        follower_config,
+        std::sync::Arc::clone(&promoted),
+        std::sync::Arc::clone(&stop),
+        metrics,
+    );
+    let replicator_thread = std::thread::spawn(move || replicator.run());
+    writeln!(out, "tailing primary {primary}").map_err(sink)?;
+    writeln!(out, "follower listening on {}", server.local_addr()).map_err(sink)?;
+    out.flush().map_err(sink)?;
+    let run_result = server.run();
+    stop.store(true, std::sync::atomic::Ordering::Release);
+    let join_result = replicator_thread.join();
+    checkpointer.stop();
+    join_result.map_err(|_| "replicator thread panicked".to_string())?;
+    run_result.map_err(|e| format!("follower failed: {e}"))
+}
+
 /// Top-level usage text.
 pub const USAGE: &str = "\
 bmb — correlation mining for generalized basket data
@@ -585,6 +900,18 @@ USAGE:
                      [--numeric]
   bmb query ADDR     [LINE...]  [--timeout-secs N]
   bmb wal inspect PATH  [--limit N]
+  bmb wal inspect --dir DIR  [--limit N]
+  bmb cluster shard  --dir DIR --items N [--addr HOST:PORT]
+                     [--segment-capacity N] [--segment-bytes N]
+                     [--retain-checkpoints N] [--checkpoint-every N]
+                     [--checkpoint-interval-secs N] [--workers N]
+                     [--max-connections N] [--metrics-addr HOST:PORT]
+  bmb cluster serve  --items N --shards A,B,... [--followers A,,...]
+                     [--addr HOST:PORT] [--seed N] [--round-robin]
+                     [--workers N] [--max-connections N]
+                     [--metrics-addr HOST:PORT]
+  bmb cluster follow --dir DIR --items N --primary HOST:PORT
+                     [--addr HOST:PORT] [--poll-ms N] [--workers N]
 
 Basket files are one basket per line; tokens are item names (default) or
 numeric ids (--numeric). '#' starts a comment line.
@@ -597,7 +924,15 @@ snapshot over HTTP at /metrics; 'bmb mine --trace' prints per-stage
 wall times. With --checkpoint-dir, 'bmb serve' keeps a rotating WAL
 plus periodic checkpoints in DIR — restarts replay only the records
 after the newest valid checkpoint; 'bmb wal inspect' dumps any WAL
-file's records and torn-tail diagnosis.
+file's records and torn-tail diagnosis (with --dir, one summary line
+per rotated segment with its base epoch).
+
+'bmb cluster' runs the sharded roles: 'shard' is one durable store,
+'serve' is the coordinator that scatters queries over --shards and
+gathers per-shard support vectors into answers bit-identical to a
+single store (every response carries the per-shard epoch vector), and
+'follow' is a warm standby that tails a shard's WAL over
+'replicate_pull' and serves reads once promoted.
 ";
 
 #[cfg(test)]
@@ -1119,6 +1454,259 @@ mod tests {
             .unwrap_err()
             .contains("unknown wal action"));
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn wal_inspect_dir_prints_per_segment_base_epochs() {
+        // A directory-mode store with a tiny segment cap so rotation
+        // actually happens, then the --dir walk.
+        let dir = std::env::temp_dir().join(format!("bmb-cli-waldir-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let fs = bmb_basket::FsDir::open(&dir).unwrap();
+            let (durable, _) = bmb_basket::DurableStore::open_dir(
+                Box::new(fs),
+                4,
+                bmb_basket::StoreConfig::default(),
+                bmb_basket::DurabilityConfig {
+                    segment_bytes: 64,
+                    retain_checkpoints: 2,
+                },
+            )
+            .unwrap();
+            for _ in 0..20 {
+                durable.append_ids([0, 1]).unwrap();
+            }
+        }
+        let a = args(
+            WAL_SPEC,
+            &["wal", "inspect", "--dir", dir.to_str().unwrap()],
+        );
+        let mut out = Vec::new();
+        cmd_wal(&a, &mut out).unwrap();
+        let rendered = String::from_utf8(out).unwrap();
+        assert!(rendered.contains("wal.000000: base epoch 0"), "{rendered}");
+        assert!(rendered.contains("wal.000001: base epoch "), "{rendered}");
+        assert!(rendered.contains("end epoch: 20"), "{rendered}");
+        assert!(rendered.contains("segments: "), "{rendered}");
+
+        // --limit caps the per-segment lines, the summary survives.
+        let limited = args(
+            WAL_SPEC,
+            &[
+                "wal",
+                "inspect",
+                "--dir",
+                dir.to_str().unwrap(),
+                "--limit",
+                "1",
+            ],
+        );
+        let mut out = Vec::new();
+        cmd_wal(&limited, &mut out).unwrap();
+        let rendered = String::from_utf8(out).unwrap();
+        assert!(rendered.contains("more segments"), "{rendered}");
+        assert!(rendered.contains("end epoch: 20"), "{rendered}");
+
+        // An empty directory is a user error, not a silent success.
+        let empty = std::env::temp_dir().join(format!("bmb-cli-waldir-e-{}", std::process::id()));
+        std::fs::create_dir_all(&empty).unwrap();
+        let a = args(
+            WAL_SPEC,
+            &["wal", "inspect", "--dir", empty.to_str().unwrap()],
+        );
+        let mut out = Vec::new();
+        assert!(cmd_wal(&a, &mut out).unwrap_err().contains("no wal."));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&empty);
+    }
+
+    /// Boots one `bmb cluster shard` on an ephemeral port.
+    fn spawn_cluster_shard(
+        dir: &std::path::Path,
+    ) -> (String, std::thread::JoinHandle<Result<(), String>>) {
+        let shard_args = args(
+            CLUSTER_SPEC,
+            &[
+                "cluster",
+                "shard",
+                "--dir",
+                dir.to_str().unwrap(),
+                "--items",
+                "8",
+            ],
+        );
+        let buf = SharedBuf::default();
+        let thread = {
+            let mut sink = buf.clone();
+            std::thread::spawn(move || cmd_cluster(&shard_args, &mut sink))
+        };
+        let addr = wait_for_addr(&buf);
+        (addr, thread)
+    }
+
+    fn shutdown_at(addr: &str) {
+        let stop = args(QUERY_SPEC, &["query", addr, r#"{"cmd":"shutdown"}"#]);
+        let mut out = Vec::new();
+        cmd_query(&stop, &mut out).unwrap();
+    }
+
+    #[test]
+    fn cluster_commands_end_to_end() {
+        // Two shards, one coordinator, one follower tailing shard 0 —
+        // all through the public CLI entry points.
+        let base = std::env::temp_dir().join(format!("bmb-cli-cluster-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let (shard0_addr, shard0_thread) = spawn_cluster_shard(&base.join("s0"));
+        let (shard1_addr, shard1_thread) = spawn_cluster_shard(&base.join("s1"));
+
+        let serve_args = args(
+            CLUSTER_SPEC,
+            &[
+                "cluster",
+                "serve",
+                "--items",
+                "8",
+                "--shards",
+                &format!("{shard0_addr},{shard1_addr}"),
+                "--round-robin",
+                "--addr",
+                "127.0.0.1:0",
+            ],
+        );
+        let coord_buf = SharedBuf::default();
+        let coord_thread = {
+            let mut sink = coord_buf.clone();
+            std::thread::spawn(move || cmd_cluster(&serve_args, &mut sink))
+        };
+        let coord_addr = wait_for_addr(&coord_buf);
+
+        let follow_args = args(
+            CLUSTER_SPEC,
+            &[
+                "cluster",
+                "follow",
+                "--dir",
+                base.join("f0").to_str().unwrap(),
+                "--items",
+                "8",
+                "--primary",
+                &shard0_addr,
+                "--poll-ms",
+                "5",
+            ],
+        );
+        let follow_buf = SharedBuf::default();
+        let follow_thread = {
+            let mut sink = follow_buf.clone();
+            std::thread::spawn(move || cmd_cluster(&follow_args, &mut sink))
+        };
+        let follow_addr = wait_for_addr(&follow_buf);
+
+        // Ingest through the coordinator; the answer names both epochs.
+        let ingest = args(
+            QUERY_SPEC,
+            &[
+                "query",
+                &coord_addr,
+                r#"{"cmd":"ingest","baskets":[[0,1],[1,2],[0,1],[2,3],[0,1,2]]}"#,
+            ],
+        );
+        let mut out = Vec::new();
+        cmd_query(&ingest, &mut out).unwrap();
+        let rendered = String::from_utf8_lossy(&out).into_owned();
+        assert!(rendered.contains(r#""ingested":5"#), "{rendered}");
+        assert!(rendered.contains(r#""epoch":5"#), "{rendered}");
+        assert!(rendered.contains(r#""epochs":["#), "{rendered}");
+
+        // A chi2 through the coordinator carries the epoch vector.
+        let probe = args(
+            QUERY_SPEC,
+            &["query", &coord_addr, r#"{"cmd":"chi2","items":[0,1]}"#],
+        );
+        let mut out = Vec::new();
+        cmd_query(&probe, &mut out).unwrap();
+        let rendered = String::from_utf8_lossy(&out).into_owned();
+        assert!(rendered.contains(r#""statistic":"#), "{rendered}");
+        assert!(rendered.contains(r#""epochs":["#), "{rendered}");
+
+        // Round-robin routed baskets 0, 2, 4 to shard 0; the follower
+        // tails that shard until its standby reaches the same epoch.
+        let stat_of = |addr: &str, key: &str| -> i64 {
+            let q = args(QUERY_SPEC, &["query", addr, r#"{"cmd":"stats"}"#]);
+            let mut out = Vec::new();
+            cmd_query(&q, &mut out).unwrap();
+            let line = String::from_utf8(out).unwrap();
+            let value = bmb_serve::json::parse(line.trim()).unwrap();
+            value
+                .get("result")
+                .and_then(|r| r.get(key))
+                .and_then(bmb_serve::json::Value::as_i64)
+                .unwrap_or_else(|| panic!("no {key} in {line}"))
+        };
+        assert_eq!(stat_of(&shard0_addr, "epoch"), 3);
+        let stats = args(QUERY_SPEC, &["query", &follow_addr, r#"{"cmd":"stats"}"#]);
+        let mut out = Vec::new();
+        cmd_query(&stats, &mut out).unwrap();
+        let rendered = String::from_utf8_lossy(&out).into_owned();
+        assert!(rendered.contains(r#""role":"follower""#), "{rendered}");
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while stat_of(&follow_addr, "epoch") < 3 || stat_of(&follow_addr, "replication_lag") != 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "follower never caught up to shard 0"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+
+        shutdown_at(&coord_addr);
+        coord_thread.join().unwrap().unwrap();
+        assert!(
+            coord_buf.contents().contains("served "),
+            "{}",
+            coord_buf.contents()
+        );
+        shutdown_at(&follow_addr);
+        follow_thread.join().unwrap().unwrap();
+        shutdown_at(&shard0_addr);
+        shard0_thread.join().unwrap().unwrap();
+        shutdown_at(&shard1_addr);
+        shard1_thread.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn cluster_role_errors_are_user_errors() {
+        let mut out = Vec::new();
+        let a = args(CLUSTER_SPEC, &["cluster"]);
+        assert!(cmd_cluster(&a, &mut out).unwrap_err().contains("usage"));
+        let a = args(CLUSTER_SPEC, &["cluster", "frobnicate"]);
+        assert!(cmd_cluster(&a, &mut out)
+            .unwrap_err()
+            .contains("unknown cluster role"));
+        let a = args(CLUSTER_SPEC, &["cluster", "serve", "--items", "4"]);
+        assert!(cmd_cluster(&a, &mut out).unwrap_err().contains("--shards"));
+        let a = args(CLUSTER_SPEC, &["cluster", "shard", "--items", "4"]);
+        assert!(cmd_cluster(&a, &mut out).unwrap_err().contains("--dir"));
+        let a = args(
+            CLUSTER_SPEC,
+            &["cluster", "follow", "--dir", "/tmp/x", "--items", "4"],
+        );
+        assert!(cmd_cluster(&a, &mut out).unwrap_err().contains("--primary"));
+        let a = args(
+            CLUSTER_SPEC,
+            &[
+                "cluster",
+                "serve",
+                "--items",
+                "4",
+                "--shards",
+                "a:1,b:2",
+                "--followers",
+                "c:3",
+            ],
+        );
+        assert!(cmd_cluster(&a, &mut out).unwrap_err().contains("2 shards"));
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! Child process for the cluster SIGKILL test (`tests/cluster_kill.rs`).
+//!
+//! One shard of a cluster: a checkpointed directory-mode durable store
+//! serving the wire protocol (including `support_vec` and
+//! `replicate_pull`) on an ephemeral port. Prints `ADDR <ip:port>` and
+//! `RECOVERED <epoch> <checkpoint_epoch> <baskets_recovered>` on
+//! stdout, then blocks in the accept loop until killed. The parent test
+//! SIGKILLs it mid-query-storm and checks the coordinator degrades
+//! gracefully and the revived shard rejoins at its recovered epoch.
+//!
+//! Usage: `shard_harness DIR N_ITEMS SEGMENT_BYTES CHECKPOINT_EVERY [ADDR]`
+//!
+//! `ADDR` pins the bind address — the kill test revives a shard on the
+//! port the coordinator already routes to (default `127.0.0.1:0`).
+
+use std::io::Write;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bmb_basket::wal::{DurabilityConfig, DurableStore};
+use bmb_basket::{FsDir, StoreConfig};
+use bmb_core::{EngineConfig, QueryEngine};
+use bmb_serve::{Checkpointer, CheckpointerConfig, Server, ServerConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (fixed, bind_addr) = match args.as_slice() {
+        [a, b, c, d] => ([a, b, c, d], "127.0.0.1:0".to_string()),
+        [a, b, c, d, addr] => ([a, b, c, d], addr.clone()),
+        _ => {
+            eprintln!("usage: shard_harness DIR N_ITEMS SEGMENT_BYTES CHECKPOINT_EVERY [ADDR]");
+            std::process::exit(2);
+        }
+    };
+    let [dir, n_items, segment_bytes, checkpoint_every] = fixed;
+    let n_items: usize = n_items.parse().expect("N_ITEMS must be an integer");
+    let segment_bytes: u64 = segment_bytes
+        .parse()
+        .expect("SEGMENT_BYTES must be an integer");
+    let checkpoint_every: u64 = checkpoint_every
+        .parse()
+        .expect("CHECKPOINT_EVERY must be an integer");
+
+    let fs = FsDir::open(Path::new(dir)).expect("open shard dir");
+    let (durable, report) = DurableStore::open_dir(
+        Box::new(fs),
+        n_items,
+        StoreConfig {
+            segment_capacity: 3,
+        },
+        DurabilityConfig {
+            segment_bytes,
+            retain_checkpoints: 2,
+        },
+    )
+    .expect("recover shard store");
+    let durable = Arc::new(durable);
+
+    let engine = Arc::new(QueryEngine::new(
+        Arc::clone(durable.store()),
+        EngineConfig::default(),
+    ));
+    let config = ServerConfig {
+        addr: bind_addr,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(engine, config)
+        .expect("bind")
+        .with_durable_store(Arc::clone(&durable));
+    let addr = server.local_addr();
+
+    let _checkpointer = Checkpointer::spawn(
+        Arc::clone(&durable),
+        CheckpointerConfig {
+            interval: None,
+            every_records: Some(checkpoint_every),
+            poll_interval: Duration::from_millis(2),
+        },
+    );
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    writeln!(out, "ADDR {addr}").expect("stdout");
+    writeln!(
+        out,
+        "RECOVERED {} {} {}",
+        report.epoch, report.checkpoint_epoch, report.baskets_recovered
+    )
+    .expect("stdout");
+    out.flush().expect("stdout flush");
+    drop(out);
+
+    server.run().expect("accept loop");
+}

@@ -1,0 +1,903 @@
+//! The coordinator: scatter support requests, gather integer vectors,
+//! evaluate statistics centrally.
+//!
+//! The coordinator speaks the same line-delimited JSON protocol as a
+//! standalone server — clients cannot tell the difference — but owns no
+//! baskets. Every query becomes one `support_vec` scatter: each shard
+//! pins a single snapshot and answers raw integer supports for the
+//! query's subset lattice (in [`bmb_core::subset_itemsets`] mask
+//! order). Supports are *additive* over any partition of the baskets,
+//! so the gathered vectors merge by plain `u64` addition, and the
+//! merged vector feeds the exact Möbius inversion and `Chi2Test` code
+//! path a single store uses ([`bmb_core::table_from_subset_supports`]).
+//! That is the whole bit-identity argument: integers merge exactly, and
+//! all floating-point work happens once, centrally, in the same order.
+//!
+//! Every response carries an **epoch vector** `[e0, …, eN-1]` — the
+//! per-shard epochs the answer was computed at — alongside the scalar
+//! `epoch`, which is their sum (so a 1-shard cluster's scalar epoch
+//! matches a plain server's byte for byte).
+//!
+//! Failure handling: a shard whose transport dies (after the retry
+//! client's backoff) is **marked down**; if a follower is configured it
+//! is **promoted** (one-way) and reads route to it; otherwise queries
+//! answer a retryable error. A marked-down primary is re-probed after a
+//! cooldown and **rejoins** when it answers again.
+//!
+//! Lock discipline: `health` (per-shard state), `addr` (endpoint
+//! address) and `client` (per-endpoint retry client) are never held
+//! together; requests hold only the one `client` lock of the endpoint
+//! they speak to. The declared order is a contract for future code
+//! that ever needs to nest them.
+//! // lock:order(health < addr < client)
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use bmb_basket::{ContingencyTable, ItemId, Itemset};
+use bmb_core::{
+    merge_support_vectors, mine_with_counter, subset_itemsets, table_from_subset_supports,
+    Chi2Answer, EngineConfig, EngineError, InterestAnswer, Marginals, MinerConfig, PairCorrelation,
+    SupportSpec, MAX_QUERY_DIMS,
+};
+use bmb_obs::Registry;
+use bmb_serve::json::Value;
+use bmb_serve::protocol::{border_value, chi2_value, interest_value, pair_value};
+use bmb_serve::{
+    ClientError, Request, RetryClient, RetryPolicy, Service, ServiceCtx, ServiceFailure,
+};
+use bmb_stats::{Chi2Test, InterestReport, SignificanceLevel};
+
+use crate::metrics::ClusterMetrics;
+use crate::partition::{PartitionStrategy, Partitioner, DEFAULT_SEED};
+
+/// One shard's endpoints: the primary, and an optional warm standby.
+#[derive(Clone, Debug)]
+pub struct ShardSpec {
+    /// The primary's `host:port`.
+    pub addr: String,
+    /// A follower replicating this shard's WAL, if provisioned.
+    pub follower: Option<String>,
+}
+
+impl ShardSpec {
+    /// A shard with no follower.
+    pub fn primary(addr: impl Into<String>) -> ShardSpec {
+        ShardSpec {
+            addr: addr.into(),
+            follower: None,
+        }
+    }
+
+    /// Attaches a follower address.
+    pub fn with_follower(mut self, addr: impl Into<String>) -> ShardSpec {
+        self.follower = Some(addr.into());
+        self
+    }
+}
+
+/// Coordinator configuration.
+#[derive(Clone, Debug)]
+pub struct CoordinatorConfig {
+    /// The cluster's fixed item-space size (every shard is provisioned
+    /// with the same one).
+    pub n_items: usize,
+    /// The shards, in partition order (index = shard id).
+    pub shards: Vec<ShardSpec>,
+    /// Hash seed for the partitioner (pin it so restarts route alike).
+    pub seed: u64,
+    /// Basket-to-shard routing strategy.
+    pub strategy: PartitionStrategy,
+    /// Statistical parameters — must mirror the shards' engines so the
+    /// central `Chi2Test` is the one a single store would run.
+    pub engine: EngineConfig,
+    /// Retry pacing for shard requests.
+    pub retry: RetryPolicy,
+    /// Socket timeout on shard connections (zero disables).
+    pub request_timeout: Duration,
+    /// How long a marked-down primary rests before the next re-probe.
+    pub probe_cooldown: Duration,
+}
+
+impl CoordinatorConfig {
+    /// A default-tuned config over primaries only.
+    pub fn new(n_items: usize, shard_addrs: impl IntoIterator<Item = String>) -> Self {
+        CoordinatorConfig {
+            n_items,
+            shards: shard_addrs.into_iter().map(ShardSpec::primary).collect(),
+            seed: DEFAULT_SEED,
+            strategy: PartitionStrategy::Hash,
+            engine: EngineConfig::default(),
+            retry: RetryPolicy::default(),
+            request_timeout: Duration::from_secs(5),
+            probe_cooldown: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Mutable health state of one shard (guarded by the `health` lock).
+#[derive(Debug, Default)]
+struct Health {
+    /// When the primary was marked down; `None` while healthy.
+    down_since: Option<Instant>,
+    /// Whether the follower has been promoted (one-way).
+    promoted: bool,
+}
+
+/// One endpoint (primary or follower) with its own retry client. The
+/// address is mutable so an operator can re-point a revived shard that
+/// came back on a different port ([`CoordinatorService::reconnect_shard`]);
+/// the `addr` and `client` locks are never held together.
+struct Endpoint {
+    addr: Mutex<String>,
+    client: Mutex<RetryClient>,
+}
+
+impl Endpoint {
+    fn new(addr: &str, retry: &RetryPolicy, timeout: Duration) -> Endpoint {
+        Endpoint {
+            addr: Mutex::new(addr.to_string()),
+            client: Mutex::new(RetryClient::new(addr, retry.clone()).with_timeout(timeout)),
+        }
+    }
+
+    fn addr(&self) -> String {
+        lock(&self.addr).clone()
+    }
+}
+
+/// One shard: endpoints plus health.
+struct ShardState {
+    primary: Endpoint,
+    follower: Option<Endpoint>,
+    health: Mutex<Health>,
+}
+
+/// The gathered result of one scatter round.
+struct Gather {
+    /// Merged (summed) supports, in the request's itemset order.
+    supports: Vec<u64>,
+    /// Total baskets across shards.
+    n: u64,
+    /// Per-shard epochs, in shard order.
+    epochs: Vec<u64>,
+}
+
+impl Gather {
+    fn epoch_sum(&self) -> u64 {
+        self.epochs.iter().sum()
+    }
+}
+
+/// The scatter-gather [`Service`]: serves the single-store wire
+/// protocol over N shards.
+pub struct CoordinatorService {
+    config: CoordinatorConfig,
+    partitioner: Partitioner,
+    test: Chi2Test,
+    shards: Vec<ShardState>,
+    /// Monotonic basket-id source for the partitioner.
+    next_basket: AtomicU64,
+    metrics: ClusterMetrics,
+}
+
+impl CoordinatorService {
+    /// A coordinator over `config`'s shards. No connections are opened
+    /// until the first request.
+    pub fn new(config: CoordinatorConfig) -> CoordinatorService {
+        let shards = config
+            .shards
+            .iter()
+            .map(|spec| ShardState {
+                primary: Endpoint::new(&spec.addr, &config.retry, config.request_timeout),
+                follower: spec
+                    .follower
+                    .as_deref()
+                    .map(|addr| Endpoint::new(addr, &config.retry, config.request_timeout)),
+                health: Mutex::new(Health::default()),
+            })
+            .collect();
+        let partitioner = match config.strategy {
+            PartitionStrategy::Hash => Partitioner::with_seed(config.shards.len(), config.seed),
+            PartitionStrategy::RoundRobin => Partitioner::round_robin(config.shards.len()),
+        };
+        let test = Chi2Test {
+            level: SignificanceLevel::new(config.engine.alpha),
+            df: config.engine.df,
+            low_expectation_cutoff: config.engine.low_expectation_cutoff,
+        };
+        CoordinatorService {
+            partitioner,
+            test,
+            shards,
+            next_basket: AtomicU64::new(0),
+            metrics: ClusterMetrics::new(),
+            config,
+        }
+    }
+
+    /// The coordinator's metrics (scatters, mark-downs, promotions).
+    pub fn metrics(&self) -> &ClusterMetrics {
+        &self.metrics
+    }
+
+    /// The partitioner in force.
+    pub fn partitioner(&self) -> &Partitioner {
+        &self.partitioner
+    }
+
+    /// Re-points shard `index`'s primary at `addr` — the rejoin hook
+    /// for a revived shard that came back on a different port. The
+    /// mark-down state is deliberately left alone: the next probe (once
+    /// the cooldown lapses) verifies the new address actually answers
+    /// and counts the rejoin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn reconnect_shard(&self, index: usize, addr: &str) {
+        let endpoint = &self.shards[index].primary;
+        *lock(&endpoint.addr) = addr.to_string();
+        *lock(&endpoint.client) = RetryClient::new(addr, self.config.retry.clone())
+            .with_timeout(self.config.request_timeout);
+    }
+
+    // ---- shard transport -------------------------------------------------
+
+    /// Sends one request to an endpoint. I/O happens under the
+    /// endpoint's own `client` lock (one lock, never nested).
+    fn request_on(&self, endpoint: &Endpoint, request: &Value) -> Result<Value, ClientError> {
+        self.metrics.fanout.inc();
+        let mut client = lock(&endpoint.client);
+        client.request(request) // lock:allow(io)
+    }
+
+    /// Sends one request to a shard, handling mark-down, follower
+    /// promotion, and re-probe rejoin.
+    fn shard_request(&self, index: usize, request: &Value) -> Result<Value, ServiceFailure> {
+        let shard = &self.shards[index];
+        let (promoted, resting) = {
+            let health = lock(&shard.health);
+            let resting = health
+                .down_since
+                .is_some_and(|since| since.elapsed() < self.config.probe_cooldown);
+            (health.promoted, resting)
+        };
+        if !promoted && !resting {
+            match self.request_on(&shard.primary, request) {
+                Ok(value) => {
+                    let rejoined = lock(&shard.health).down_since.take().is_some();
+                    if rejoined {
+                        self.metrics.rejoins.inc();
+                        self.event("shard rejoined", &shard.primary.addr());
+                    }
+                    return Ok(value);
+                }
+                // The shard answered — it is alive; surface its verdict.
+                Err(ClientError::Server(message)) => return Err(ServiceFailure::other(message)),
+                Err(ClientError::Retryable(message)) => {
+                    return Err(ServiceFailure::unavailable(message))
+                }
+                Err(_) => {
+                    self.metrics.shard_errors.inc();
+                    let fresh_markdown = {
+                        let mut health = lock(&shard.health);
+                        if health.down_since.is_none() {
+                            health.down_since = Some(Instant::now());
+                            true
+                        } else {
+                            false
+                        }
+                    };
+                    if fresh_markdown {
+                        self.metrics.markdowns.inc();
+                        self.event("shard marked down", &shard.primary.addr());
+                    }
+                }
+            }
+        }
+        // Primary is unusable: promote (once) and read from the follower.
+        let Some(follower) = &shard.follower else {
+            return Err(ServiceFailure::unavailable(format!(
+                "shard {} unreachable and no follower configured",
+                shard.primary.addr()
+            )));
+        };
+        if !lock(&shard.health).promoted {
+            let promote = Value::object().with("cmd", Value::Str("promote".to_string()));
+            match self.request_on(follower, &promote) {
+                Ok(_) => {
+                    let first = {
+                        let mut health = lock(&shard.health);
+                        let first = !health.promoted;
+                        health.promoted = true;
+                        first
+                    };
+                    if first {
+                        self.metrics.promotions.inc();
+                        self.event("follower promoted", &follower.addr());
+                    }
+                }
+                Err(e) => {
+                    return Err(ServiceFailure::unavailable(format!(
+                        "shard {} down and follower {} not promotable: {e}",
+                        shard.primary.addr(),
+                        follower.addr()
+                    )))
+                }
+            }
+        }
+        match self.request_on(follower, request) {
+            Ok(value) => Ok(value),
+            Err(ClientError::Server(message)) => Err(ServiceFailure::other(message)),
+            Err(e) => Err(ServiceFailure::unavailable(format!(
+                "promoted follower {} failed: {e}",
+                follower.addr()
+            ))),
+        }
+    }
+
+    fn event(&self, message: &'static str, addr: &str) {
+        bmb_obs::events().emit(bmb_obs::Severity::Warn, message, &[("addr", addr)]);
+    }
+
+    // ---- scatter-gather --------------------------------------------------
+
+    /// One scatter round: every shard answers supports for `subsets`
+    /// (in order) off a single pinned snapshot; the vectors are summed.
+    fn scatter_supports(&self, subsets: &[Vec<ItemId>]) -> Result<Gather, ServiceFailure> {
+        self.metrics.scatters.inc();
+        let itemsets: Vec<Value> = subsets
+            .iter()
+            .map(|set| Value::Array(set.iter().map(|item| Value::Int(item.0 as i64)).collect()))
+            .collect();
+        let request = Value::object()
+            .with("cmd", Value::Str("support_vec".to_string()))
+            .with("itemsets", Value::Array(itemsets));
+        let answers: Vec<Result<Value, ServiceFailure>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.shards.len())
+                .map(|index| {
+                    let request = &request;
+                    scope.spawn(move || self.shard_request(index, request))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| {
+                    handle
+                        .join()
+                        .unwrap_or_else(|_| Err(ServiceFailure::other("scatter worker panicked")))
+                })
+                .collect()
+        });
+        let mut supports = vec![0u64; subsets.len()];
+        let mut n = 0u64;
+        let mut epochs = Vec::with_capacity(self.shards.len());
+        for answer in answers {
+            let value = answer?;
+            let shard = parse_support_answer(&value, subsets.len())?;
+            merge_support_vectors(&mut supports, &shard.supports);
+            n += shard.n;
+            epochs.push(shard.epoch);
+        }
+        Ok(Gather {
+            supports,
+            n,
+            epochs,
+        })
+    }
+
+    // ---- central evaluation ----------------------------------------------
+
+    /// Validates an itemset the way a shard engine would, up to the
+    /// checks that need no snapshot (empty, oversized).
+    fn local_validate(&self, set: &Itemset) -> Result<(), EngineError> {
+        if set.is_empty() {
+            return Err(EngineError::EmptyItemset);
+        }
+        if set.len() > MAX_QUERY_DIMS {
+            return Err(EngineError::TooManyItems { len: set.len() });
+        }
+        Ok(())
+    }
+
+    /// The first out-of-range item of `set`, mirroring the engine's
+    /// iteration order, or `None` when all are in range.
+    fn out_of_range(&self, set: &Itemset) -> Option<ItemId> {
+        set.items()
+            .iter()
+            .copied()
+            .find(|item| item.index() >= self.config.n_items)
+    }
+
+    /// Post-scatter validation: the engine reports `EmptySnapshot`
+    /// before `ItemOutOfRange`, so both wait until `n` is known.
+    fn snapshot_validate(&self, set: &Itemset, n: u64) -> Result<(), EngineError> {
+        if n == 0 {
+            return Err(EngineError::EmptySnapshot);
+        }
+        if let Some(item) = self.out_of_range(set) {
+            return Err(EngineError::ItemOutOfRange {
+                item,
+                n_items: self.config.n_items,
+            });
+        }
+        Ok(())
+    }
+
+    /// Scatter + merge + Möbius for one itemset; the shared core of
+    /// `chi2` and `interest`.
+    fn gathered_table(&self, set: &Itemset) -> Result<(ContingencyTable, Gather), ServiceFailure> {
+        self.local_validate(set).map_err(engine_failure)?;
+        // Out-of-range items never reach the shards (their stores would
+        // reject them); scatter an empty vector just to learn n/epochs.
+        let subsets = if self.out_of_range(set).is_none() {
+            subset_itemsets(set)
+        } else {
+            Vec::new()
+        };
+        let gather = self.scatter_supports(&subsets)?;
+        self.snapshot_validate(set, gather.n)
+            .map_err(engine_failure)?;
+        let table = table_from_subset_supports(set, &gather.supports);
+        Ok((table, gather))
+    }
+
+    /// Central chi-squared: identical statistic bits to a single store
+    /// holding all baskets at the same epoch-vector cut.
+    fn central_chi2(&self, items: Vec<u32>) -> Result<(Chi2Answer, Vec<u64>), ServiceFailure> {
+        let set = Itemset::from_ids(items);
+        let (table, gather) = self.gathered_table(&set)?;
+        let full_cell = (1u32 << set.len()) - 1;
+        let answer = Chi2Answer {
+            epoch: gather.epoch_sum(),
+            support: table.observed(full_cell),
+            outcome: self.test.test_dense(&table),
+            itemset: set,
+        };
+        Ok((answer, gather.epochs))
+    }
+
+    fn dispatch_chi2(
+        &self,
+        items: Vec<u32>,
+        ctx: &ServiceCtx<'_>,
+    ) -> Result<Value, ServiceFailure> {
+        let (answer, epochs) = self.central_chi2(items)?;
+        ctx.metrics.record_served_epoch(answer.epoch);
+        Ok(chi2_value(&answer).with("epochs", epochs_value(&epochs)))
+    }
+
+    fn dispatch_chi2_batch(
+        &self,
+        itemsets: Vec<Vec<u32>>,
+        ctx: &ServiceCtx<'_>,
+    ) -> Result<Value, ServiceFailure> {
+        // One scatter for the whole batch: concatenate every valid
+        // itemset's subset lattice, then slice the merged vector back
+        // apart. All answers share one epoch vector by construction.
+        let sets: Vec<Result<Itemset, EngineError>> = itemsets
+            .into_iter()
+            .map(|items| {
+                let set = Itemset::from_ids(items);
+                self.local_validate(&set).map(|()| set)
+            })
+            .collect();
+        let mut subsets: Vec<Vec<ItemId>> = Vec::new();
+        let mut spans: Vec<Option<(usize, usize)>> = Vec::with_capacity(sets.len());
+        for set in &sets {
+            match set {
+                Ok(set) if self.out_of_range(set).is_none() => {
+                    let lattice = subset_itemsets(set);
+                    let start = subsets.len();
+                    subsets.extend(lattice);
+                    spans.push(Some((start, subsets.len())));
+                }
+                _ => spans.push(None),
+            }
+        }
+        let gather = self.scatter_supports(&subsets)?;
+        if ctx.over_deadline() {
+            return Err(ServiceFailure::deadline(ctx.config.request_deadline));
+        }
+        let epoch = gather.epoch_sum();
+        ctx.metrics.record_served_epoch(epoch);
+        let mut results: Vec<Value> = Vec::with_capacity(sets.len());
+        for (set, span) in sets.into_iter().zip(spans) {
+            results.push(match self.batch_entry(set, span, &gather) {
+                Ok(answer) => chi2_value(&answer),
+                Err(e) => Value::object().with("error", Value::Str(e.to_string())),
+            });
+        }
+        Ok(Value::object()
+            .with("epoch", Value::Int(epoch as i64))
+            .with("results", Value::Array(results))
+            .with("epochs", epochs_value(&gather.epochs)))
+    }
+
+    /// One `chi2_batch` entry, with the engine's error precedence.
+    fn batch_entry(
+        &self,
+        set: Result<Itemset, EngineError>,
+        span: Option<(usize, usize)>,
+        gather: &Gather,
+    ) -> Result<Chi2Answer, EngineError> {
+        let set = set?;
+        self.snapshot_validate(&set, gather.n)?;
+        // In-range and validated, so a span exists; an empty slice only
+        // arises for out-of-range sets, rejected just above.
+        let supports = match span {
+            Some((start, end)) => &gather.supports[start..end],
+            None => &[],
+        };
+        let table = table_from_subset_supports(&set, supports);
+        let full_cell = (1u32 << set.len()) - 1;
+        Ok(Chi2Answer {
+            epoch: gather.epoch_sum(),
+            support: table.observed(full_cell),
+            outcome: self.test.test_dense(&table),
+            itemset: set,
+        })
+    }
+
+    fn dispatch_interest(
+        &self,
+        items: Vec<u32>,
+        cell: u32,
+        ctx: &ServiceCtx<'_>,
+    ) -> Result<Value, ServiceFailure> {
+        let set = Itemset::from_ids(items);
+        let (table, gather) = self.gathered_table(&set)?;
+        if cell as usize >= table.n_cells() {
+            return Err(engine_failure(EngineError::CellOutOfRange {
+                cell,
+                dims: table.dims(),
+            }));
+        }
+        let epoch = gather.epoch_sum();
+        ctx.metrics.record_served_epoch(epoch);
+        let report = InterestReport::analyze(&table);
+        let info = report.cells()[cell as usize];
+        let answer = InterestAnswer {
+            itemset: set,
+            cell,
+            epoch,
+            observed: info.observed,
+            expected: info.expected,
+            interest: info.interest,
+        };
+        Ok(interest_value(&answer).with("epochs", epochs_value(&gather.epochs)))
+    }
+
+    fn dispatch_topk(&self, k: usize, ctx: &ServiceCtx<'_>) -> Result<Value, ServiceFailure> {
+        // One scatter: all singletons, then all pairs in (a, b) order —
+        // the same enumeration the engine's pair sweep uses.
+        let n_items = self.config.n_items;
+        let mut subsets: Vec<Vec<ItemId>> =
+            (0..n_items).map(|item| vec![ItemId(item as u32)]).collect();
+        for a in 0..n_items {
+            for b in a + 1..n_items {
+                subsets.push(vec![ItemId(a as u32), ItemId(b as u32)]);
+            }
+        }
+        let gather = self.scatter_supports(&subsets)?;
+        if gather.n == 0 {
+            return Err(engine_failure(EngineError::EmptySnapshot));
+        }
+        let n = gather.n;
+        let item_counts = &gather.supports[..n_items];
+        let mut rows: Vec<PairCorrelation> = Vec::new();
+        let mut next_pair = n_items;
+        for a in 0..n_items {
+            for b in a + 1..n_items {
+                let set = Itemset::from_ids([a as u32, b as u32]);
+                let s_ab = gather.supports[next_pair];
+                next_pair += 1;
+                let (o_a, o_b) = (item_counts[a], item_counts[b]);
+                // Cell masks: bit0 = a present, bit1 = b present — the
+                // engine's exact construction, on merged integers.
+                let counts = vec![(n + s_ab) - o_a - o_b, o_a - s_ab, o_b - s_ab, s_ab];
+                let table = ContingencyTable::from_counts(set, counts);
+                rows.push(PairCorrelation::from_table(&table, &self.test));
+            }
+        }
+        rows.sort_unstable_by(|x, y| {
+            y.chi2
+                .statistic
+                .total_cmp(&x.chi2.statistic)
+                .then_with(|| (x.a, x.b).cmp(&(y.a, y.b)))
+        });
+        rows.truncate(k);
+        let epoch = gather.epoch_sum();
+        ctx.metrics.record_served_epoch(epoch);
+        Ok(Value::object()
+            .with("epoch", Value::Int(epoch as i64))
+            .with("pairs", Value::Array(rows.iter().map(pair_value).collect()))
+            .with("epochs", epochs_value(&gather.epochs)))
+    }
+
+    fn dispatch_border(
+        &self,
+        support: Option<f64>,
+        support_fraction: Option<f64>,
+        max_level: Option<usize>,
+        ctx: &ServiceCtx<'_>,
+    ) -> Result<Value, ServiceFailure> {
+        // Argument validation mirrors the standalone server verbatim.
+        let support = support.unwrap_or(0.01);
+        if !(0.0..=1.0).contains(&support) {
+            return Err(ServiceFailure::other(format!(
+                "'support' must be in [0,1], got {support}"
+            )));
+        }
+        let fraction = support_fraction.unwrap_or(0.3);
+        if !(fraction > 0.25 && fraction <= 1.0) {
+            return Err(ServiceFailure::other(format!(
+                "'support_fraction' must be in (0.25,1], got {fraction}"
+            )));
+        }
+        let config = MinerConfig {
+            support: SupportSpec::Fraction(support),
+            support_fraction: fraction,
+            max_level: max_level.unwrap_or(usize::MAX),
+            ..MinerConfig::default()
+        };
+        // Marginals from a singleton scatter; the level-wise miner then
+        // counts each candidate level with one scatter per level. The
+        // epoch vector must hold still across every scatter, or the
+        // levels would mix inconsistent snapshots — gather-then-Möbius
+        // is only exact at one cut.
+        let singletons: Vec<Vec<ItemId>> = (0..self.config.n_items)
+            .map(|item| vec![ItemId(item as u32)])
+            .collect();
+        let first = self.scatter_supports(&singletons)?;
+        if first.n == 0 {
+            return Err(engine_failure(EngineError::EmptySnapshot));
+        }
+        let epochs = first.epochs.clone();
+        let marginals = Marginals {
+            n_baskets: first.n,
+            item_counts: first.supports,
+        };
+        let count = |candidates: &[Itemset]| -> Result<Vec<u64>, ServiceFailure> {
+            let subsets: Vec<Vec<ItemId>> =
+                candidates.iter().map(|set| set.items().to_vec()).collect();
+            let level = self.scatter_supports(&subsets)?;
+            if level.epochs != epochs {
+                return Err(ServiceFailure::unavailable(
+                    "snapshot moved during border evaluation (concurrent ingest); retry",
+                ));
+            }
+            if ctx.over_deadline() {
+                return Err(ServiceFailure::deadline(ctx.config.request_deadline));
+            }
+            Ok(level.supports)
+        };
+        let result = mine_with_counter(&marginals, count, &config)?;
+        let epoch: u64 = epochs.iter().sum();
+        ctx.metrics.record_served_epoch(epoch);
+        Ok(border_value(&result, epoch).with("epochs", epochs_value(&epochs)))
+    }
+
+    fn dispatch_ingest(&self, baskets: Vec<Vec<u32>>) -> Result<Value, ServiceFailure> {
+        let total = baskets.len();
+        // Reject early if any shard's primary is gone: a promoted
+        // follower serves reads, not writes.
+        for (index, shard) in self.shards.iter().enumerate() {
+            if lock(&shard.health).promoted {
+                return Err(ServiceFailure::unavailable(format!(
+                    "shard {index} lost its primary; ingest is unavailable until it is restored"
+                )));
+            }
+        }
+        let first_id = self.next_basket.fetch_add(total as u64, Ordering::Relaxed);
+        let mut per_shard: Vec<Vec<Value>> = vec![Vec::new(); self.shards.len()];
+        for (offset, basket) in baskets.into_iter().enumerate() {
+            let shard = self.partitioner.shard_of(first_id + offset as u64);
+            per_shard[shard].push(Value::Array(
+                basket.into_iter().map(|id| Value::Int(id as i64)).collect(),
+            ));
+        }
+        for (index, routed) in per_shard.into_iter().enumerate() {
+            if routed.is_empty() {
+                continue;
+            }
+            let request = Value::object()
+                .with("cmd", Value::Str("ingest".to_string()))
+                .with("baskets", Value::Array(routed));
+            // Sequential, and NOT retried past the client's own policy:
+            // ingest is not idempotent, and a mid-batch failure must
+            // surface as a hard error naming the partial application.
+            self.shard_request(index, &request).map_err(|e| {
+                ServiceFailure::io(format!(
+                    "ingest partially applied: shard {index} failed ({})",
+                    e.message
+                ))
+            })?;
+        }
+        // Fresh epoch vector after the writes landed.
+        let gather = self.scatter_supports(&[])?;
+        Ok(Value::object()
+            .with("ingested", Value::Int(total as i64))
+            .with("epoch", Value::Int(gather.epoch_sum() as i64))
+            .with("epochs", epochs_value(&gather.epochs)))
+    }
+
+    fn dispatch_stats(&self, ctx: &ServiceCtx<'_>) -> Result<Value, ServiceFailure> {
+        let metrics = ctx.metrics.snapshot();
+        let ping = Value::object().with("cmd", Value::Str("stats".to_string()));
+        let mut shard_rows: Vec<Value> = Vec::with_capacity(self.shards.len());
+        let mut epoch_sum = 0u64;
+        let mut epochs: Vec<Value> = Vec::with_capacity(self.shards.len());
+        for (index, shard) in self.shards.iter().enumerate() {
+            let promoted = {
+                let health = lock(&shard.health);
+                health.promoted
+            };
+            let answer = self.shard_request(index, &ping);
+            let (up, epoch) = match &answer {
+                Ok(value) => (true, value.get("epoch").and_then(Value::as_u64)),
+                Err(_) => (false, None),
+            };
+            if let Some(epoch) = epoch {
+                epoch_sum += epoch;
+                epochs.push(Value::Int(epoch as i64));
+            } else {
+                epochs.push(Value::Null);
+            }
+            shard_rows.push(
+                Value::object()
+                    .with("addr", Value::Str(shard.primary.addr()))
+                    .with("up", Value::Bool(up))
+                    .with("promoted", Value::Bool(promoted)),
+            );
+        }
+        Ok(Value::object()
+            .with("role", Value::Str("coordinator".to_string()))
+            .with("requests", Value::Int(metrics.requests as i64))
+            .with("errors", Value::Int(metrics.errors as i64))
+            .with("p50_us", Value::Int(metrics.p50_us as i64))
+            .with("p99_us", Value::Int(metrics.p99_us as i64))
+            .with("scatters", Value::Int(self.metrics.scatters.get() as i64))
+            .with("fanout", Value::Int(self.metrics.fanout.get() as i64))
+            .with("markdowns", Value::Int(self.metrics.markdowns.get() as i64))
+            .with("rejoins", Value::Int(self.metrics.rejoins.get() as i64))
+            .with(
+                "promotions",
+                Value::Int(self.metrics.promotions.get() as i64),
+            )
+            .with("shards", Value::Array(shard_rows))
+            .with("epoch", Value::Int(epoch_sum as i64))
+            .with("epochs", Value::Array(epochs)))
+    }
+
+    fn dispatch_support_vec(
+        &self,
+        itemsets: Vec<Vec<u32>>,
+        ctx: &ServiceCtx<'_>,
+    ) -> Result<Value, ServiceFailure> {
+        let n_items = self.config.n_items;
+        let mut subsets: Vec<Vec<ItemId>> = Vec::with_capacity(itemsets.len());
+        for items in &itemsets {
+            if let Some(&bad) = items.iter().find(|&&id| id as usize >= n_items) {
+                return Err(ServiceFailure::other(format!(
+                    "item id {bad} out of range (store has {n_items} items)"
+                )));
+            }
+            let set = Itemset::from_ids(items.iter().copied());
+            subsets.push(set.items().to_vec());
+        }
+        let gather = self.scatter_supports(&subsets)?;
+        let epoch = gather.epoch_sum();
+        ctx.metrics.record_served_epoch(epoch);
+        Ok(Value::object()
+            .with("epoch", Value::Int(epoch as i64))
+            .with("n", Value::Int(gather.n as i64))
+            .with(
+                "supports",
+                Value::Array(
+                    gather
+                        .supports
+                        .iter()
+                        .map(|&s| Value::Int(s as i64))
+                        .collect(),
+                ),
+            )
+            .with("epochs", epochs_value(&gather.epochs)))
+    }
+}
+
+impl Service for CoordinatorService {
+    fn registries(&self) -> Vec<Arc<Registry>> {
+        vec![Arc::clone(self.metrics.registry())]
+    }
+
+    fn dispatch(&self, request: Request, ctx: &ServiceCtx<'_>) -> Result<Value, ServiceFailure> {
+        match request {
+            Request::Ping => Ok(Value::object().with("pong", Value::Bool(true))),
+            Request::Shutdown => Ok(Value::object().with("stopping", Value::Bool(true))),
+            Request::Chi2 { items } => self.dispatch_chi2(items, ctx),
+            Request::Chi2Batch { itemsets } => self.dispatch_chi2_batch(itemsets, ctx),
+            Request::Interest { items, cell } => self.dispatch_interest(items, cell, ctx),
+            Request::TopK { k } => self.dispatch_topk(k, ctx),
+            Request::Border {
+                support,
+                support_fraction,
+                max_level,
+            } => self.dispatch_border(support, support_fraction, max_level, ctx),
+            Request::Ingest { baskets } => {
+                let n = baskets.len() as u64;
+                let response = self.dispatch_ingest(baskets)?;
+                ctx.metrics.record_ingest(n);
+                Ok(response)
+            }
+            Request::SupportVec { itemsets } => self.dispatch_support_vec(itemsets, ctx),
+            Request::Stats => self.dispatch_stats(ctx),
+            Request::Metrics => Ok(Value::object().with(
+                "text",
+                Value::Str(bmb_serve::exposition(ctx.metrics, &self.registries())),
+            )),
+            Request::Checkpoint => Err(ServiceFailure::other(
+                "issue 'checkpoint' to each shard directly; the coordinator holds no baskets"
+                    .to_string(),
+            )),
+            Request::ReplicatePull { .. } => Err(ServiceFailure::other(
+                "not a shard: 'replicate_pull' reads a shard's WAL".to_string(),
+            )),
+            Request::Promote => Err(ServiceFailure::other(
+                "not a follower: 'promote' is only valid on follower processes".to_string(),
+            )),
+        }
+    }
+}
+
+/// One shard's decoded `support_vec` answer.
+struct ShardAnswer {
+    epoch: u64,
+    n: u64,
+    supports: Vec<u64>,
+}
+
+fn parse_support_answer(value: &Value, expected: usize) -> Result<ShardAnswer, ServiceFailure> {
+    let epoch = value
+        .get("epoch")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| malformed("missing 'epoch'"))?;
+    let n = value
+        .get("n")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| malformed("missing 'n'"))?;
+    let raw = value
+        .get("supports")
+        .and_then(Value::as_array)
+        .ok_or_else(|| malformed("missing 'supports'"))?;
+    if raw.len() != expected {
+        return Err(malformed("wrong support vector length"));
+    }
+    let supports = raw
+        .iter()
+        .map(|v| v.as_u64().ok_or_else(|| malformed("non-integer support")))
+        .collect::<Result<Vec<u64>, ServiceFailure>>()?;
+    Ok(ShardAnswer { epoch, n, supports })
+}
+
+fn malformed(what: &str) -> ServiceFailure {
+    ServiceFailure::io(format!("malformed shard support_vec response: {what}"))
+}
+
+/// An engine-shaped error, with the standalone server's exact message.
+fn engine_failure(error: EngineError) -> ServiceFailure {
+    ServiceFailure::other(error.to_string())
+}
+
+/// The epoch vector as a JSON array, in shard order.
+fn epochs_value(epochs: &[u64]) -> Value {
+    Value::Array(epochs.iter().map(|&e| Value::Int(e as i64)).collect())
+}
+
+/// Acquires a mutex, recovering from poisoning (health flags and retry
+/// clients are valid in any state).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}

@@ -1,0 +1,262 @@
+//! WAL-shipping follower: a warm standby that tails a shard primary's
+//! write-ahead log and can be promoted to serve its reads.
+//!
+//! The follower is a full durable store of its own — its *replica* WAL
+//! and checkpoints make promotion durable too. A background
+//! [`Replicator`] loop pulls `replicate_pull` batches from the primary
+//! (the primary ships sealed WAL entries strictly after the follower's
+//! current epoch), replays them through the follower's normal
+//! `append_batch` path, and publishes the remaining lag in baskets on
+//! the `bmb_cluster_replication_lag_baskets` gauge.
+//!
+//! The serving side is an [`EngineService`] wrapper: queries answer off
+//! the standby's engine exactly as a primary would; `promote` flips a
+//! one-way latch that stops the replication loop (the primary is gone —
+//! further pulls would only burn the backoff timer); `ingest` is always
+//! refused (writes belong to the primary; a promoted follower is a
+//! read-only survivor until an operator rebuilds the pair).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bmb_basket::{DurableStore, ItemId};
+use bmb_obs::Registry;
+use bmb_serve::json::Value;
+use bmb_serve::{
+    EngineService, Request, RetryClient, RetryPolicy, Service, ServiceCtx, ServiceFailure,
+};
+
+use crate::metrics::ClusterMetrics;
+
+/// Follower tuning.
+#[derive(Clone, Debug)]
+pub struct FollowerConfig {
+    /// The shard primary to tail (`host:port`).
+    pub primary_addr: String,
+    /// Sleep between pulls once caught up.
+    pub poll_interval: Duration,
+    /// Sleep after a failed pull (primary down or malformed batch).
+    pub error_backoff: Duration,
+    /// Basket cap per `replicate_pull` (the shard clamps it too).
+    pub max_baskets_per_pull: usize,
+    /// Retry pacing for the pull connection.
+    pub retry: RetryPolicy,
+    /// Socket timeout on the pull connection (zero disables).
+    pub request_timeout: Duration,
+}
+
+impl FollowerConfig {
+    /// Default-tuned config tailing `primary_addr`.
+    pub fn new(primary_addr: impl Into<String>) -> FollowerConfig {
+        FollowerConfig {
+            primary_addr: primary_addr.into(),
+            poll_interval: Duration::from_millis(50),
+            error_backoff: Duration::from_millis(200),
+            max_baskets_per_pull: 8192,
+            retry: RetryPolicy::default(),
+            request_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The follower's serving face: an [`EngineService`] over the standby
+/// store, plus the `promote` latch and replication telemetry.
+pub struct FollowerService {
+    inner: EngineService,
+    promoted: Arc<AtomicBool>,
+    metrics: Arc<ClusterMetrics>,
+}
+
+impl FollowerService {
+    /// Wraps the standby's engine service. The `promoted` flag and
+    /// `metrics` are shared with the [`Replicator`] loop.
+    pub fn new(
+        inner: EngineService,
+        promoted: Arc<AtomicBool>,
+        metrics: Arc<ClusterMetrics>,
+    ) -> FollowerService {
+        FollowerService {
+            inner,
+            promoted,
+            metrics,
+        }
+    }
+
+    /// Whether `promote` has latched.
+    pub fn is_promoted(&self) -> bool {
+        self.promoted.load(Ordering::Acquire)
+    }
+}
+
+impl Service for FollowerService {
+    fn registries(&self) -> Vec<Arc<Registry>> {
+        let mut registries = self.inner.registries();
+        registries.push(Arc::clone(self.metrics.registry()));
+        registries
+    }
+
+    fn dispatch(&self, request: Request, ctx: &ServiceCtx<'_>) -> Result<Value, ServiceFailure> {
+        match request {
+            Request::Promote => {
+                let already = self.promoted.swap(true, Ordering::AcqRel);
+                if !already {
+                    self.metrics.promotions.inc();
+                    bmb_obs::events().emit(
+                        bmb_obs::Severity::Warn,
+                        "follower promoted",
+                        &[("epoch", &self.inner.engine().snapshot().epoch().to_string())],
+                    );
+                }
+                Ok(Value::object()
+                    .with("promoted", Value::Bool(true))
+                    .with(
+                        "epoch",
+                        Value::Int(self.inner.engine().snapshot().epoch() as i64),
+                    )
+                    .with("already", Value::Bool(already)))
+            }
+            Request::Ingest { .. } => Err(ServiceFailure::other(
+                "follower does not accept ingest; write to the shard primary",
+            )),
+            Request::Stats => Ok(self
+                .inner
+                .dispatch(Request::Stats, ctx)?
+                .with("role", Value::Str("follower".to_string()))
+                .with("promoted", Value::Bool(self.is_promoted()))
+                .with(
+                    "replication_lag",
+                    Value::Int(self.metrics.replication_lag.get()),
+                )),
+            other => self.inner.dispatch(other, ctx),
+        }
+    }
+}
+
+/// The pull loop: tails the primary's WAL into the standby store.
+pub struct Replicator {
+    durable: Arc<DurableStore>,
+    client: RetryClient,
+    promoted: Arc<AtomicBool>,
+    stop: Arc<AtomicBool>,
+    config: FollowerConfig,
+    metrics: Arc<ClusterMetrics>,
+}
+
+impl Replicator {
+    /// A replicator feeding `durable` from `config.primary_addr`.
+    /// Shares `promoted` with the [`FollowerService`] (promotion stops
+    /// the loop) and `stop` with the host process (shutdown).
+    pub fn new(
+        durable: Arc<DurableStore>,
+        config: FollowerConfig,
+        promoted: Arc<AtomicBool>,
+        stop: Arc<AtomicBool>,
+        metrics: Arc<ClusterMetrics>,
+    ) -> Replicator {
+        let client = RetryClient::new(config.primary_addr.clone(), config.retry.clone())
+            .with_timeout(config.request_timeout);
+        Replicator {
+            durable,
+            client,
+            promoted,
+            stop,
+            config,
+            metrics,
+        }
+    }
+
+    /// Runs until stopped or promoted. Each iteration pulls one batch
+    /// after the follower's current epoch, replays it, and re-meters
+    /// the lag gauge; a caught-up follower sleeps `poll_interval`.
+    pub fn run(mut self) {
+        while !self.stop.load(Ordering::Acquire) && !self.promoted.load(Ordering::Acquire) {
+            match self.pull_once() {
+                Ok(caught_up) => {
+                    if caught_up {
+                        std::thread::sleep(self.config.poll_interval);
+                    }
+                }
+                Err(message) => {
+                    bmb_obs::events().emit(
+                        bmb_obs::Severity::Warn,
+                        "replication pull failed",
+                        &[("error", &message)],
+                    );
+                    std::thread::sleep(self.config.error_backoff);
+                }
+            }
+        }
+    }
+
+    /// One pull + replay. `Ok(true)` means the follower has caught up
+    /// to the primary epoch observed in this batch.
+    fn pull_once(&mut self) -> Result<bool, String> {
+        let after = self.durable.epoch();
+        let request = Value::object()
+            .with("cmd", Value::Str("replicate_pull".to_string()))
+            .with("after_epoch", Value::Int(after as i64))
+            .with(
+                "max_baskets",
+                Value::Int(self.config.max_baskets_per_pull as i64),
+            );
+        let response = self.client.request(&request).map_err(|e| e.to_string())?;
+        self.metrics.replication_pulls.inc();
+        let batch = parse_ship_batch(&response)?;
+        if batch.from_epoch != after {
+            return Err(format!(
+                "primary shipped from epoch {} but follower asked after {after}",
+                batch.from_epoch
+            ));
+        }
+        if !batch.baskets.is_empty() {
+            let replayed = batch.baskets.len() as u64;
+            self.durable
+                .append_batch(batch.baskets)
+                .map_err(|e| format!("replay failed: {e}"))?;
+            self.metrics.replicated_baskets.add(replayed);
+        }
+        let local = self.durable.epoch();
+        let lag = batch.shard_epoch.saturating_sub(local);
+        self.metrics.replication_lag.set(lag as i64);
+        Ok(lag == 0)
+    }
+}
+
+/// A decoded `replicate_pull` response body.
+struct PulledBatch {
+    from_epoch: u64,
+    shard_epoch: u64,
+    baskets: Vec<Vec<ItemId>>,
+}
+
+fn parse_ship_batch(value: &Value) -> Result<PulledBatch, String> {
+    let from_epoch = value
+        .get("from_epoch")
+        .and_then(Value::as_u64)
+        .ok_or("missing 'from_epoch'")?;
+    let shard_epoch = value
+        .get("shard_epoch")
+        .and_then(Value::as_u64)
+        .ok_or("missing 'shard_epoch'")?;
+    let rows = value
+        .get("baskets")
+        .and_then(Value::as_array)
+        .ok_or("missing 'baskets'")?;
+    let mut baskets = Vec::with_capacity(rows.len());
+    for row in rows {
+        let items = row.as_array().ok_or("basket is not an array")?;
+        let mut basket = Vec::with_capacity(items.len());
+        for item in items {
+            let id = item.as_u64().ok_or("non-integer item id")?;
+            let id = u32::try_from(id).map_err(|_| "item id exceeds u32".to_string())?;
+            basket.push(ItemId(id));
+        }
+        baskets.push(basket);
+    }
+    Ok(PulledBatch {
+        from_epoch,
+        shard_epoch,
+        baskets,
+    })
+}

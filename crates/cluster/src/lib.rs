@@ -1,0 +1,38 @@
+//! Sharded scatter-gather correlation serving.
+//!
+//! `bmb-cluster` turns N independent durable stores into one logical
+//! correlation server:
+//!
+//! * [`Partitioner`] routes ingested baskets to shards with a pure,
+//!   seeded hash of the basket id (round-robin as a fallback);
+//! * [`CoordinatorService`] speaks the standalone server's protocol
+//!   unchanged, scattering every query as a `support_vec` request,
+//!   summing the shards' integer support vectors, and running the exact
+//!   Möbius-inversion + χ² code path a single store uses — so answers
+//!   are **bit-identical** (f64 bit patterns) to an unsharded store at
+//!   the same epoch-vector cut;
+//! * [`FollowerService`] + [`Replicator`] implement WAL-shipping
+//!   replication: a warm standby tails a primary's write-ahead log,
+//!   meters its lag, and serves reads after a one-way `promote` when
+//!   the coordinator marks the primary down.
+//!
+//! Consistency model in one sentence: every response names the exact
+//! per-shard epochs `[e0, …, eN-1]` it was computed at, and any two
+//! responses with equal epoch vectors are answers over the same
+//! logical database.
+
+#![warn(missing_docs)]
+
+/// Scatter-gather coordinator: central evaluation over shard supports.
+pub mod coordinator;
+/// WAL-shipping follower: warm standby, lag metering, promotion.
+pub mod follower;
+/// Cluster-wide counters and gauges (`bmb_cluster_*`).
+pub mod metrics;
+/// Deterministic basket-id → shard routing.
+pub mod partition;
+
+pub use coordinator::{CoordinatorConfig, CoordinatorService, ShardSpec};
+pub use follower::{FollowerConfig, FollowerService, Replicator};
+pub use metrics::ClusterMetrics;
+pub use partition::{PartitionStrategy, Partitioner, DEFAULT_SEED};

@@ -1,0 +1,111 @@
+//! Cluster observability: scatter fan-out, shard health transitions,
+//! and follower replication lag, as `bmb_cluster_*` metric families on
+//! a per-role `bmb_obs` registry (merged into the serving process's
+//! `/metrics` exposition).
+
+use std::sync::Arc;
+
+use bmb_obs::{Counter, Gauge, Registry};
+
+/// Metrics for one coordinator or follower role instance.
+pub struct ClusterMetrics {
+    registry: Arc<Registry>,
+    /// Scatter rounds issued by the coordinator (one per gathered query).
+    pub scatters: Counter,
+    /// Per-shard requests fanned out (scatters × live shards).
+    pub fanout: Counter,
+    /// Shard requests that failed at the transport level.
+    pub shard_errors: Counter,
+    /// Primaries marked down after exhausted retries.
+    pub markdowns: Counter,
+    /// Primaries that answered again after a mark-down (re-probe).
+    pub rejoins: Counter,
+    /// Followers promoted to serve a dead primary's reads.
+    pub promotions: Counter,
+    /// Replication pulls a follower has issued.
+    pub replication_pulls: Counter,
+    /// Baskets a follower has replayed from shipped WAL batches.
+    pub replicated_baskets: Counter,
+    /// The follower's current lag behind its primary, in baskets.
+    pub replication_lag: Gauge,
+}
+
+impl ClusterMetrics {
+    /// A fresh registry with every cluster family registered.
+    pub fn new() -> ClusterMetrics {
+        let registry = Arc::new(Registry::new());
+        ClusterMetrics {
+            scatters: registry.counter(
+                "bmb_cluster_scatters_total",
+                "Scatter-gather rounds issued by the coordinator.",
+            ),
+            fanout: registry.counter(
+                "bmb_cluster_fanout_requests_total",
+                "Per-shard requests fanned out across all scatters.",
+            ),
+            shard_errors: registry.counter(
+                "bmb_cluster_shard_errors_total",
+                "Shard requests that failed at the transport level.",
+            ),
+            markdowns: registry.counter(
+                "bmb_cluster_shard_markdowns_total",
+                "Primaries marked down after exhausted retries.",
+            ),
+            rejoins: registry.counter(
+                "bmb_cluster_shard_rejoins_total",
+                "Marked-down primaries that answered a re-probe.",
+            ),
+            promotions: registry.counter(
+                "bmb_cluster_promotions_total",
+                "Followers promoted to serve a dead primary's reads.",
+            ),
+            replication_pulls: registry.counter(
+                "bmb_cluster_replication_pulls_total",
+                "WAL-shipping pulls issued by the follower.",
+            ),
+            replicated_baskets: registry.counter(
+                "bmb_cluster_replicated_baskets_total",
+                "Baskets replayed into the follower's warm standby.",
+            ),
+            replication_lag: registry.gauge(
+                "bmb_cluster_replication_lag_baskets",
+                "Follower lag behind its primary, in baskets.",
+            ),
+            registry,
+        }
+    }
+
+    /// The registry backing these metrics, for `/metrics` exposition.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+}
+
+impl Default for ClusterMetrics {
+    fn default() -> Self {
+        ClusterMetrics::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_register_and_count() {
+        let metrics = ClusterMetrics::new();
+        metrics.scatters.inc();
+        metrics.fanout.add(4);
+        metrics.replication_lag.set(17);
+        let snap = metrics.registry().snapshot();
+        assert_eq!(snap.counter_value("bmb_cluster_scatters_total", &[]), 1);
+        assert_eq!(
+            snap.counter_value("bmb_cluster_fanout_requests_total", &[]),
+            4
+        );
+        assert_eq!(
+            snap.gauge_value("bmb_cluster_replication_lag_baskets", &[]),
+            17
+        );
+    }
+}

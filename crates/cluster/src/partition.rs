@@ -1,0 +1,146 @@
+//! Deterministic basket-to-shard routing.
+//!
+//! The coordinator assigns every ingested basket a monotonically
+//! increasing id and routes it to a shard with a pure function of that
+//! id — no routing table, no rebalancing state. Two strategies:
+//!
+//! * [`PartitionStrategy::Hash`] (the default) mixes the basket id with
+//!   a pinned seed through a splitmix64 finalizer, so consecutive
+//!   baskets scatter across shards and the assignment is stable across
+//!   coordinator restarts for the same seed;
+//! * [`PartitionStrategy::RoundRobin`] is the degenerate fallback —
+//!   `id mod n_shards` — useful when reproducing a placement by hand.
+//!
+//! Because supports are additive across any partition of the baskets,
+//! correctness never depends on the strategy; only balance does.
+
+/// The pinned default hash seed. Changing it re-shuffles placement on
+/// the next fresh cluster but never corrupts an existing one (placement
+/// is only consulted at ingest time).
+pub const DEFAULT_SEED: u64 = 0x5EED_BA5C_E7B1_D0C5;
+
+/// How basket ids map to shards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// splitmix64(seed ^ id) mod n — scatters consecutive ids.
+    Hash,
+    /// id mod n — predictable by inspection.
+    RoundRobin,
+}
+
+/// A deterministic basket-id → shard-index router.
+#[derive(Clone, Copy, Debug)]
+pub struct Partitioner {
+    n_shards: usize,
+    seed: u64,
+    strategy: PartitionStrategy,
+}
+
+impl Partitioner {
+    /// A hash partitioner over `n_shards` with the pinned default seed.
+    pub fn hash(n_shards: usize) -> Partitioner {
+        Partitioner::with_seed(n_shards, DEFAULT_SEED)
+    }
+
+    /// A hash partitioner with an explicit seed (pin it in configs so a
+    /// restarted coordinator routes identically).
+    pub fn with_seed(n_shards: usize, seed: u64) -> Partitioner {
+        Partitioner {
+            n_shards: n_shards.max(1),
+            seed,
+            strategy: PartitionStrategy::Hash,
+        }
+    }
+
+    /// The round-robin fallback.
+    pub fn round_robin(n_shards: usize) -> Partitioner {
+        Partitioner {
+            n_shards: n_shards.max(1),
+            seed: 0,
+            strategy: PartitionStrategy::RoundRobin,
+        }
+    }
+
+    /// How many shards this partitioner routes across.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// The strategy in force.
+    pub fn strategy(&self) -> PartitionStrategy {
+        self.strategy
+    }
+
+    /// The shard index for one basket id; always `< n_shards`.
+    pub fn shard_of(&self, basket_id: u64) -> usize {
+        match self.strategy {
+            PartitionStrategy::Hash => {
+                (splitmix64(self.seed ^ basket_id) % self.n_shards as u64) as usize
+            }
+            PartitionStrategy::RoundRobin => (basket_id % self.n_shards as u64) as usize,
+        }
+    }
+}
+
+/// The splitmix64 finalizer: a full-avalanche 64-bit mix, so adjacent
+/// basket ids land on decorrelated shards.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_routing_is_deterministic_and_in_range() {
+        let p = Partitioner::hash(4);
+        let q = Partitioner::hash(4);
+        for id in 0..10_000u64 {
+            let shard = p.shard_of(id);
+            assert!(shard < 4);
+            assert_eq!(shard, q.shard_of(id), "same seed, same placement");
+        }
+    }
+
+    #[test]
+    fn hash_routing_balances_reasonably() {
+        let p = Partitioner::hash(4);
+        let mut counts = [0usize; 4];
+        for id in 0..40_000u64 {
+            counts[p.shard_of(id)] += 1;
+        }
+        for (shard, &count) in counts.iter().enumerate() {
+            assert!(
+                (8_000..=12_000).contains(&count),
+                "shard {shard} got {count} of 40000 — hash is badly skewed"
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_shuffle_placement() {
+        let a = Partitioner::with_seed(8, 1);
+        let b = Partitioner::with_seed(8, 2);
+        let moved = (0..1000u64)
+            .filter(|&id| a.shard_of(id) != b.shard_of(id))
+            .count();
+        assert!(moved > 500, "only {moved}/1000 ids moved between seeds");
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let p = Partitioner::round_robin(3);
+        let shards: Vec<usize> = (0..7u64).map(|id| p.shard_of(id)).collect();
+        assert_eq!(shards, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn zero_shards_is_clamped_to_one() {
+        assert_eq!(Partitioner::hash(0).n_shards(), 1);
+        assert_eq!(Partitioner::round_robin(0).shard_of(99), 0);
+    }
+}

@@ -1,0 +1,333 @@
+//! Cluster crash harness: SIGKILL one shard mid-query-storm and prove
+//! the coordinator's degradation contract.
+//!
+//! Three real `shard_harness` processes (durable, checkpointed stores)
+//! sit behind an in-process coordinator serving real TCP. A storm
+//! thread fires chi-squared queries continuously while one shard is
+//! `kill(9)`ed. The contract:
+//!
+//! * every **successful** response during and after the outage is
+//!   byte-identical to the pre-kill baseline (stripped of its trace
+//!   id) — a degraded coordinator may refuse, but it must never be
+//!   *wrong*, and with no concurrent ingest the epoch vector never
+//!   moves;
+//! * every failure is a **retryable** error — no permanent errors, no
+//!   torn answers;
+//! * the revived shard (same directory, fresh port) recovers to
+//!   exactly the epoch it acked before the kill, and after
+//!   [`CoordinatorService::reconnect_shard`] plus one probe cooldown
+//!   the coordinator **rejoins** it and answers successfully again.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bmb_cluster::{CoordinatorConfig, CoordinatorService};
+use bmb_serve::json::{parse, Value};
+use bmb_serve::{Client, RetryPolicy, Server, ServerConfig, Service};
+
+const N_ITEMS: usize = 12;
+const SEGMENT_BYTES: u64 = 512;
+const CHECKPOINT_EVERY: u64 = 16;
+const N_SHARDS: usize = 3;
+const N_BASKETS: u64 = 150;
+const KILL_INDEX: usize = 1;
+
+fn scratch_dir(shard: usize) -> PathBuf {
+    let pid = std::process::id();
+    let dir = std::env::temp_dir().join(format!("bmb-cluster-kill-{pid}-{shard}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Deterministic basket for global append index `i` (same shape the
+/// serve crash test uses).
+fn basket(i: u64) -> Vec<i64> {
+    let a = i % N_ITEMS as u64;
+    let b = (i * 7 + 3) % N_ITEMS as u64;
+    if a == b {
+        vec![a as i64]
+    } else {
+        vec![a as i64, b as i64]
+    }
+}
+
+struct KillOnDrop(Child);
+
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+struct Shard {
+    child: KillOnDrop,
+    addr: SocketAddr,
+    recovered_epoch: u64,
+}
+
+fn spawn_shard(dir: &Path) -> Shard {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_shard_harness"))
+        .arg(dir)
+        .arg(N_ITEMS.to_string())
+        .arg(SEGMENT_BYTES.to_string())
+        .arg(CHECKPOINT_EVERY.to_string())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn shard_harness");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let child = KillOnDrop(child);
+    let mut lines = BufReader::new(stdout).lines();
+    let addr: SocketAddr = lines
+        .next()
+        .expect("ADDR line")
+        .expect("read shard stdout")
+        .strip_prefix("ADDR ")
+        .expect("ADDR prefix")
+        .parse()
+        .expect("shard address");
+    let recovered_epoch: u64 = lines
+        .next()
+        .expect("RECOVERED line")
+        .expect("read shard stdout")
+        .strip_prefix("RECOVERED ")
+        .expect("RECOVERED prefix")
+        .split(' ')
+        .next()
+        .expect("epoch field")
+        .parse()
+        .expect("epoch number");
+    Shard {
+        child,
+        addr,
+        recovered_epoch,
+    }
+}
+
+/// The storm's probe queries — fixed ids so response lines are stable.
+fn probes() -> Vec<String> {
+    (0..6)
+        .map(|i| {
+            let a = i * 2;
+            let b = (i * 2 + 3) % N_ITEMS;
+            format!(r#"{{"id":{i},"cmd":"chi2","items":[{a},{b}]}}"#)
+        })
+        .collect()
+}
+
+/// Strips the per-request trace id; everything else must be stable.
+fn stripped(line: &str) -> String {
+    let Value::Object(pairs) = parse(line).expect("response JSON") else {
+        panic!("response is not an object: {line}");
+    };
+    Value::Object(pairs.into_iter().filter(|(k, _)| k != "trace").collect()).to_string()
+}
+
+#[test]
+fn sigkill_one_shard_degrades_gracefully_and_rejoins() {
+    // --- cluster up: three durable shard processes + coordinator ---
+    let dirs: Vec<PathBuf> = (0..N_SHARDS).map(scratch_dir).collect();
+    let mut shards: Vec<Shard> = dirs.iter().map(|d| spawn_shard(d)).collect();
+    for shard in &shards {
+        assert_eq!(shard.recovered_epoch, 0, "fresh dirs start at epoch 0");
+    }
+
+    let mut config = CoordinatorConfig::new(N_ITEMS, shards.iter().map(|s| s.addr.to_string()));
+    // Fast failure detection so the storm cycles through markdown,
+    // degraded service, and rejoin within a second or two.
+    config.retry = RetryPolicy {
+        max_attempts: 2,
+        base_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(20),
+        ..RetryPolicy::default()
+    };
+    config.probe_cooldown = Duration::from_millis(150);
+    let coordinator = Arc::new(CoordinatorService::new(config));
+    let coord_server = Server::bind_service(
+        Arc::clone(&coordinator) as Arc<dyn Service>,
+        ServerConfig::default(),
+    )
+    .expect("bind coordinator");
+    let coord_addr = coord_server.local_addr();
+    let coord_running = coord_server.spawn();
+
+    // --- ingest a fixed workload through the coordinator ---
+    let mut client = Client::connect(coord_addr).expect("connect coordinator");
+    for chunk in (0..N_BASKETS).collect::<Vec<u64>>().chunks(25) {
+        let rows: Vec<Value> = chunk
+            .iter()
+            .map(|&i| Value::Array(basket(i).into_iter().map(Value::Int).collect()))
+            .collect();
+        let request = Value::object()
+            .with("cmd", Value::Str("ingest".to_string()))
+            .with("baskets", Value::Array(rows));
+        client.request(&request).expect("cluster ingest");
+    }
+
+    // Per-shard epochs at the stable cut, for the recovery check.
+    let support_req = r#"{"id":99,"cmd":"support_vec","itemsets":[]}"#.to_string();
+    let cut = parse(&client.request_line(&support_req).expect("support_vec")).expect("JSON");
+    let epochs: Vec<u64> = cut
+        .get("result")
+        .and_then(|r| r.get("epochs"))
+        .and_then(Value::as_array)
+        .expect("epochs vector")
+        .iter()
+        .map(|e| e.as_u64().expect("epoch"))
+        .collect();
+    assert_eq!(epochs.iter().sum::<u64>(), N_BASKETS);
+    let killed_epoch = epochs[KILL_INDEX];
+    assert!(killed_epoch > 0, "the killed shard must own some baskets");
+
+    // --- pre-kill baseline: the only correct answers ---
+    let baseline: Vec<String> = probes()
+        .iter()
+        .map(|line| stripped(&client.request_line(line).expect("baseline")))
+        .collect();
+
+    // --- the storm ---
+    let stop = Arc::new(AtomicBool::new(false));
+    let successes = Arc::new(AtomicU64::new(0));
+    let retryable_failures = Arc::new(AtomicU64::new(0));
+    let storm = {
+        let stop = Arc::clone(&stop);
+        let successes = Arc::clone(&successes);
+        let retryable_failures = Arc::clone(&retryable_failures);
+        let baseline = baseline.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(coord_addr).expect("storm connect");
+            let probes = probes();
+            while !stop.load(Ordering::Acquire) {
+                for (probe, expected) in probes.iter().zip(&baseline) {
+                    match client.request_line(probe) {
+                        Ok(line) => {
+                            let value = parse(&line).expect("response JSON");
+                            if value.get("ok").and_then(Value::as_bool) == Some(true) {
+                                assert_eq!(
+                                    &stripped(&line),
+                                    expected,
+                                    "a successful answer diverged from the pre-kill baseline"
+                                );
+                                successes.fetch_add(1, Ordering::AcqRel);
+                            } else {
+                                // The coordinator must never emit a permanent
+                                // error for a valid query, outage or not.
+                                assert_eq!(
+                                    value.get("retryable").and_then(Value::as_bool),
+                                    Some(true),
+                                    "permanent error during outage: {line}"
+                                );
+                                retryable_failures.fetch_add(1, Ordering::AcqRel);
+                            }
+                        }
+                        Err(_) => {
+                            // Transport failure: the storm's own connection
+                            // died with the in-flight request — reconnect.
+                            retryable_failures.fetch_add(1, Ordering::AcqRel);
+                            client = loop {
+                                match Client::connect(coord_addr) {
+                                    Ok(c) => break c,
+                                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                                }
+                            };
+                        }
+                    }
+                }
+            }
+        })
+    };
+
+    // Let the storm establish a healthy rhythm.
+    let healthy_start = Instant::now();
+    while successes.load(Ordering::Acquire) < 20 {
+        assert!(
+            healthy_start.elapsed() < Duration::from_secs(20),
+            "storm made no progress against the healthy cluster"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // --- SIGKILL mid-storm ---
+    shards[KILL_INDEX].child.0.kill().expect("SIGKILL shard");
+    shards[KILL_INDEX].child.0.wait().expect("reap shard");
+
+    // Degradation must surface as retryable failures, storm still alive.
+    let outage_start = Instant::now();
+    while retryable_failures.load(Ordering::Acquire) < 3 {
+        assert!(
+            outage_start.elapsed() < Duration::from_secs(20),
+            "coordinator never surfaced the outage as retryable errors"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // --- revive on a fresh port, re-point the coordinator ---
+    let revived = spawn_shard(&dirs[KILL_INDEX]);
+    assert_eq!(
+        revived.recovered_epoch, killed_epoch,
+        "revived shard must recover every basket it acked before the kill"
+    );
+    coordinator.reconnect_shard(KILL_INDEX, &revived.addr.to_string());
+    shards[KILL_INDEX] = revived;
+
+    // The storm must return to fully successful service: wait for a
+    // stretch of successes with no new failures (rejoin completed).
+    let rejoin_start = Instant::now();
+    loop {
+        assert!(
+            rejoin_start.elapsed() < Duration::from_secs(30),
+            "coordinator never rejoined the revived shard"
+        );
+        let f0 = retryable_failures.load(Ordering::Acquire);
+        let s0 = successes.load(Ordering::Acquire);
+        std::thread::sleep(Duration::from_millis(200));
+        let f1 = retryable_failures.load(Ordering::Acquire);
+        let s1 = successes.load(Ordering::Acquire);
+        if f1 == f0 && s1 >= s0 + 6 {
+            break;
+        }
+    }
+
+    stop.store(true, Ordering::Release);
+    storm.join().expect("storm thread (no wrong answers)");
+
+    // Health transitions were metered.
+    let snap = coordinator.metrics().registry().snapshot();
+    assert!(snap.counter_value("bmb_cluster_shard_markdowns_total", &[]) >= 1);
+    assert!(snap.counter_value("bmb_cluster_shard_rejoins_total", &[]) >= 1);
+    assert_eq!(snap.counter_value("bmb_cluster_promotions_total", &[]), 0);
+
+    // One last full pass on a fresh connection: every answer is the
+    // baseline again, at the same epoch vector.
+    let mut client = Client::connect(coord_addr).expect("reconnect");
+    for (probe, expected) in probes().iter().zip(&baseline) {
+        assert_eq!(
+            &stripped(&client.request_line(probe).expect("post-rejoin answer")),
+            expected
+        );
+    }
+    let after = parse(&client.request_line(&support_req).expect("support_vec")).expect("JSON");
+    let after_epochs: Vec<u64> = after
+        .get("result")
+        .and_then(|r| r.get("epochs"))
+        .and_then(Value::as_array)
+        .expect("epochs vector")
+        .iter()
+        .map(|e| e.as_u64().expect("epoch"))
+        .collect();
+    assert_eq!(
+        after_epochs, epochs,
+        "the epoch vector moved without ingest"
+    );
+
+    coord_running.stop().expect("stop coordinator");
+    for dir in &dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

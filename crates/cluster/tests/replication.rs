@@ -1,0 +1,246 @@
+//! WAL-shipping replication and follower promotion, over real TCP.
+//!
+//! A durable primary ingests a workload; a follower tails its WAL via
+//! `replicate_pull` until the lag gauge reads zero; then the primary is
+//! stopped and a coordinator (configured with the follower) must mark
+//! the primary down, promote the follower, and keep answering reads —
+//! with the same bits a local engine over the same baskets produces.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bmb_basket::wal::{DurabilityConfig, DurableStore};
+use bmb_basket::{FsDir, ItemId, Itemset, StoreConfig};
+use bmb_cluster::{
+    ClusterMetrics, CoordinatorConfig, CoordinatorService, FollowerConfig, FollowerService,
+    Replicator, ShardSpec,
+};
+use bmb_core::{EngineConfig, QueryEngine};
+use bmb_serve::json::Value;
+use bmb_serve::server::RunningServer;
+use bmb_serve::{Client, ClientError, EngineService, Server, ServerConfig, Service};
+
+const N_ITEMS: usize = 16;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let pid = std::process::id();
+    let dir = std::env::temp_dir().join(format!("bmb-cluster-repl-{pid}-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open_durable(dir: &PathBuf) -> Arc<DurableStore> {
+    let fs = FsDir::open(dir).expect("open dir");
+    let (durable, _report) = DurableStore::open_dir(
+        Box::new(fs),
+        N_ITEMS,
+        StoreConfig {
+            segment_capacity: 8,
+        },
+        DurabilityConfig {
+            segment_bytes: 512,
+            retain_checkpoints: 2,
+        },
+    )
+    .expect("open durable store");
+    Arc::new(durable)
+}
+
+fn serve_durable(durable: &Arc<DurableStore>) -> (RunningServer, SocketAddr) {
+    let engine = Arc::new(QueryEngine::new(
+        Arc::clone(durable.store()),
+        EngineConfig::default(),
+    ));
+    let server = Server::bind(engine, ServerConfig::default())
+        .expect("bind")
+        .with_durable_store(Arc::clone(durable));
+    let addr = server.local_addr();
+    (server.spawn(), addr)
+}
+
+/// A deterministic little workload with real pair structure.
+fn workload() -> Vec<Vec<ItemId>> {
+    (0..200u32)
+        .map(|i| {
+            let mut basket = vec![ItemId(i % 7)];
+            if i % 3 == 0 {
+                basket.push(ItemId(7 + (i % 5)));
+            }
+            if i % 4 == 0 {
+                basket.push(ItemId(12));
+                basket.push(ItemId(13));
+            }
+            basket.sort_unstable();
+            basket.dedup();
+            basket
+        })
+        .collect()
+}
+
+#[test]
+fn follower_replicates_promotes_and_serves_reads() {
+    let primary_dir = temp_dir("primary");
+    let follower_dir = temp_dir("follower");
+
+    // Primary with the workload already durable.
+    let primary = open_durable(&primary_dir);
+    let baskets = workload();
+    primary.append_batch(baskets.clone()).expect("ingest");
+    let primary_epoch = primary.epoch();
+    assert_eq!(primary_epoch, baskets.len() as u64);
+    let (primary_running, primary_addr) = serve_durable(&primary);
+
+    // Follower: warm standby + replication loop.
+    let standby = open_durable(&follower_dir);
+    let promoted = Arc::new(AtomicBool::new(false));
+    let stop = Arc::new(AtomicBool::new(false));
+    let metrics = Arc::new(ClusterMetrics::new());
+    let follower_engine = Arc::new(QueryEngine::new(
+        Arc::clone(standby.store()),
+        EngineConfig::default(),
+    ));
+    let follower_service = Arc::new(FollowerService::new(
+        EngineService::new(Arc::clone(&follower_engine)).with_durable(Arc::clone(&standby)),
+        Arc::clone(&promoted),
+        Arc::clone(&metrics),
+    ));
+    let follower_server = Server::bind_service(
+        Arc::clone(&follower_service) as Arc<dyn Service>,
+        ServerConfig::default(),
+    )
+    .expect("bind follower");
+    let follower_addr = follower_server.local_addr();
+    let follower_running = follower_server.spawn();
+
+    let replicator = Replicator::new(
+        Arc::clone(&standby),
+        FollowerConfig::new(primary_addr.to_string()),
+        Arc::clone(&promoted),
+        Arc::clone(&stop),
+        Arc::clone(&metrics),
+    );
+    let replicator_thread = std::thread::spawn(move || replicator.run());
+
+    // Replication catches up: standby reaches the primary epoch and the
+    // lag gauge settles at zero.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while standby.epoch() < primary_epoch {
+        assert!(
+            Instant::now() < deadline,
+            "standby stuck at epoch {} of {primary_epoch}",
+            standby.epoch()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(standby.epoch(), primary_epoch);
+    let snap = metrics.registry().snapshot();
+    assert!(snap.counter_value("bmb_cluster_replication_pulls_total", &[]) > 0);
+    assert_eq!(
+        snap.counter_value("bmb_cluster_replicated_baskets_total", &[]),
+        primary_epoch
+    );
+    // The gauge needs one caught-up pull to read zero.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while metrics.replication_lag.get() != 0 {
+        assert!(Instant::now() < deadline, "lag gauge never reached zero");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // What a local engine over the same baskets says — the promoted
+    // follower must reproduce these bits.
+    let reference = QueryEngine::new(Arc::clone(standby.store()), EngineConfig::default());
+    let ref_snap = reference.snapshot();
+    let probe = Itemset::from_ids([12u32, 13]);
+    let expected = reference.chi2(&ref_snap, &probe).expect("reference chi2");
+
+    // Kill the primary, then query through a coordinator that knows the
+    // follower: mark-down + promotion must be transparent to the read.
+    primary_running.stop().expect("stop primary");
+    let mut config = CoordinatorConfig::new(N_ITEMS, std::iter::empty());
+    config.shards =
+        vec![ShardSpec::primary(primary_addr.to_string()).with_follower(follower_addr.to_string())];
+    let coordinator = Arc::new(CoordinatorService::new(config));
+    let coord_server = Server::bind_service(
+        Arc::clone(&coordinator) as Arc<dyn Service>,
+        ServerConfig::default(),
+    )
+    .expect("bind coordinator");
+    let coord_addr = coord_server.local_addr();
+    let coord_running = coord_server.spawn();
+
+    let mut client = Client::connect(coord_addr).expect("connect coordinator");
+    let request = Value::object()
+        .with("cmd", Value::Str("chi2".to_string()))
+        .with("items", Value::Array(vec![Value::Int(12), Value::Int(13)]));
+    let answer = client
+        .request(&request)
+        .expect("chi2 via promoted follower");
+    assert_eq!(
+        answer
+            .get("statistic")
+            .and_then(Value::as_f64)
+            .map(f64::to_bits),
+        Some(expected.outcome.statistic.to_bits()),
+        "promoted follower diverged from the reference engine"
+    );
+    assert_eq!(
+        answer.get("epoch").and_then(Value::as_u64),
+        Some(primary_epoch)
+    );
+    assert_eq!(
+        answer
+            .get("epochs")
+            .and_then(Value::as_array)
+            .map(<[Value]>::len),
+        Some(1)
+    );
+
+    // Promotion latched: the follower reports it, the replication loop
+    // exits, and the coordinator's promotion counter ticked once.
+    assert!(follower_service.is_promoted());
+    replicator_thread.join().expect("replicator thread");
+    let coord_snap = coordinator.metrics().registry().snapshot();
+    assert_eq!(
+        coord_snap.counter_value("bmb_cluster_promotions_total", &[]),
+        1
+    );
+    assert_eq!(
+        coord_snap.counter_value("bmb_cluster_shard_markdowns_total", &[]),
+        1
+    );
+
+    // Reads survive; writes do not (the follower is read-only).
+    let ingest = Value::object()
+        .with("cmd", Value::Str("ingest".to_string()))
+        .with(
+            "baskets",
+            Value::Array(vec![Value::Array(vec![Value::Int(1)])]),
+        );
+    match client.request(&ingest) {
+        Err(ClientError::Retryable(message)) => {
+            assert!(
+                message.contains("lost its primary"),
+                "unexpected ingest refusal: {message}"
+            );
+        }
+        other => panic!("ingest should be refused as retryable, got {other:?}"),
+    }
+
+    // Follower stats advertise the role and the latched promotion.
+    let stats = client
+        .request(&Value::object().with("cmd", Value::Str("stats".to_string())))
+        .expect("coordinator stats");
+    assert_eq!(
+        stats.get("role").and_then(Value::as_str),
+        Some("coordinator")
+    );
+
+    stop.store(true, Ordering::Release);
+    coord_running.stop().expect("stop coordinator");
+    follower_running.stop().expect("stop follower");
+    let _ = std::fs::remove_dir_all(&primary_dir);
+    let _ = std::fs::remove_dir_all(&follower_dir);
+}

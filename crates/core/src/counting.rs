@@ -11,8 +11,62 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use bmb_basket::{BasketDatabase, BitmapIndex, ContingencyTable, Itemset};
+use bmb_basket::{BasketDatabase, BitmapIndex, ContingencyTable, ItemId, Itemset};
 use bmb_lattice::FnvHashMap;
+
+/// The per-item marginals table assembly needs: basket count, item-space
+/// size, and singleton supports. A [`BasketDatabase`] provides them
+/// directly; a cluster coordinator provides a [`Marginals`] summed from
+/// per-shard answers — either way the downstream arithmetic is the same
+/// integer arithmetic, which is what keeps distributed evaluation
+/// bit-identical to local evaluation.
+pub trait MarginalSource {
+    /// `n`: baskets visible to this source.
+    fn n_baskets(&self) -> u64;
+    /// `k`: the item-space size.
+    fn n_items(&self) -> usize;
+    /// `O(i)`: baskets containing item `i`.
+    fn item_count(&self, item: ItemId) -> u64;
+}
+
+impl MarginalSource for BasketDatabase {
+    fn n_baskets(&self) -> u64 {
+        self.len() as u64
+    }
+
+    fn n_items(&self) -> usize {
+        self.n_items()
+    }
+
+    fn item_count(&self, item: ItemId) -> u64 {
+        self.item_count(item)
+    }
+}
+
+/// Owned marginals, e.g. gathered from cluster shards (each shard's
+/// basket count and singleton supports sum exactly).
+#[derive(Clone, Debug, Default)]
+pub struct Marginals {
+    /// Total baskets across the source.
+    pub n_baskets: u64,
+    /// `item_counts[i]` = baskets containing item `i`; its length is the
+    /// item-space size.
+    pub item_counts: Vec<u64>,
+}
+
+impl MarginalSource for Marginals {
+    fn n_baskets(&self) -> u64 {
+        self.n_baskets
+    }
+
+    fn n_items(&self) -> usize {
+        self.item_counts.len()
+    }
+
+    fn item_count(&self, item: ItemId) -> u64 {
+        self.item_counts.get(item.index()).copied().unwrap_or(0)
+    }
+}
 
 /// Rejoins a scoped-thread result, re-raising a worker's panic payload
 /// in the calling thread. Unlike `.expect(...)`, the original panic
@@ -57,22 +111,22 @@ impl SupportStore {
     }
 
     /// Looks up `O(S)` for a set of size >= 2; singletons and the empty set
-    /// are answered from `db`.
-    pub fn support_of(&self, db: &BasketDatabase, set: &Itemset) -> Option<u64> {
-        self.support_of_sorted(db, set.items())
+    /// are answered from the marginal source.
+    pub fn support_of<M: MarginalSource>(&self, marginals: &M, set: &Itemset) -> Option<u64> {
+        self.support_of_sorted(marginals, set.items())
     }
 
     /// Slice-keyed variant of [`SupportStore::support_of`]: `items` must be
     /// strictly sorted. Allocation-free — the miner's hot path.
-    pub fn support_of_sorted(
+    pub fn support_of_sorted<M: MarginalSource>(
         &self,
-        db: &BasketDatabase,
+        marginals: &M,
         items: &[bmb_basket::ItemId],
     ) -> Option<u64> {
         debug_assert!(items.windows(2).all(|w| w[0] < w[1]));
         match items {
-            [] => Some(db.len() as u64),
-            [single] => Some(db.item_count(*single)),
+            [] => Some(marginals.n_baskets()),
+            [single] => Some(marginals.item_count(*single)),
             _ => self.map.get(items).copied(),
         }
     }
@@ -206,13 +260,13 @@ impl std::error::Error for MissingSupport {}
 /// Panics if any proper subset's support is missing — candidate generation
 /// guarantees presence, so a miss is a logic error. Use
 /// [`try_table_from_supports`] to observe the failure as a value instead.
-pub fn table_from_supports(
-    db: &BasketDatabase,
+pub fn table_from_supports<M: MarginalSource>(
+    marginals: &M,
     store: &SupportStore,
     set: &Itemset,
     own_support: u64,
 ) -> ContingencyTable {
-    match try_table_from_supports(db, store, set, own_support) {
+    match try_table_from_supports(marginals, store, set, own_support) {
         Ok(table) => table,
         // Documented contract: a missing subset support is a candidate-
         // generation bug that must not silently corrupt mining results.
@@ -223,8 +277,8 @@ pub fn table_from_supports(
 
 /// Fallible variant of [`table_from_supports`], reporting a missing
 /// subset support as a [`MissingSupport`] error instead of panicking.
-pub fn try_table_from_supports(
-    db: &BasketDatabase,
+pub fn try_table_from_supports<M: MarginalSource>(
+    marginals: &M,
     store: &SupportStore,
     set: &Itemset,
     own_support: u64,
@@ -236,23 +290,91 @@ pub fn try_table_from_supports(
     );
     let items = set.items();
     let full: u32 = if m == 32 { u32::MAX } else { (1u32 << m) - 1 };
-    let mut supp: Vec<i64> = vec![0; 1 << m];
+    let mut supp: Vec<u64> = vec![0; 1 << m];
     // Scratch buffer for subset keys — no per-mask allocation.
     let mut subset: Vec<bmb_basket::ItemId> = Vec::with_capacity(m);
     for mask in 0u32..(1 << m) {
         if mask == full {
-            supp[mask as usize] = own_support as i64;
+            supp[mask as usize] = own_support;
             continue;
         }
         subset.clear();
         subset.extend((0..m).filter(|&j| mask & (1 << j) != 0).map(|j| items[j]));
-        let Some(value) = store.support_of_sorted(db, &subset) else {
+        let Some(value) = store.support_of_sorted(marginals, &subset) else {
             return Err(MissingSupport {
                 subset: subset.clone(),
             });
         };
-        supp[mask as usize] = value as i64;
+        supp[mask as usize] = value;
     }
+    Ok(table_from_subset_supports(set, &supp))
+}
+
+/// Enumerates the `2^m` subsets of `set` in mask order: bit `j` of mask
+/// `i` selects the `j`-th (ascending) item. This is the canonical order
+/// of a *support vector* — [`table_from_subset_supports`] consumes
+/// supports in exactly this order, and a cluster coordinator uses the
+/// same enumeration to build its scatter requests so gathered vectors
+/// line up without any per-entry keying.
+pub fn subset_itemsets(set: &Itemset) -> Vec<Vec<ItemId>> {
+    let m = set.len();
+    assert!(m <= 24, "subset enumeration supports up to 24 items");
+    let items = set.items();
+    let mut out = Vec::with_capacity(1 << m);
+    for mask in 0u32..(1 << m) {
+        out.push(
+            (0..m)
+                .filter(|&j| mask & (1 << j) != 0)
+                .map(|j| items[j])
+                .collect(),
+        );
+    }
+    out
+}
+
+/// Element-wise sum of per-shard support vectors. Integer supports are
+/// additive across disjoint shards, so the accumulated vector equals the
+/// vector a single store holding every basket would produce — exactly,
+/// not approximately.
+///
+/// # Panics
+///
+/// Panics if the vectors' lengths differ (shards answered different
+/// subset enumerations — a protocol bug, not a data condition).
+pub fn merge_support_vectors(acc: &mut [u64], shard: &[u64]) {
+    assert_eq!(
+        acc.len(),
+        shard.len(),
+        "support vectors must cover the same subset enumeration"
+    );
+    for (a, &s) in acc.iter_mut().zip(shard) {
+        *a += s;
+    }
+}
+
+/// Möbius inversion of a complete support vector (in
+/// [`subset_itemsets`] order) into the `2^m` contingency table of
+/// `set`. This is the same inversion [`try_table_from_supports`] and
+/// `Snapshot::contingency_table` run — one shared code path, so a
+/// coordinator that gathers and sums per-shard vectors, then calls
+/// this, reproduces the single-store table bit for bit.
+///
+/// # Panics
+///
+/// Panics if `subset_supports.len() != 2^set.len()` or the set is empty
+/// or larger than 24 items.
+pub fn table_from_subset_supports(set: &Itemset, subset_supports: &[u64]) -> ContingencyTable {
+    let m = set.len();
+    assert!(
+        (1..=24).contains(&m),
+        "table assembly supports 1..=24 items"
+    );
+    assert_eq!(
+        subset_supports.len(),
+        1 << m,
+        "support vector must hold all 2^m subset supports"
+    );
+    let mut supp: Vec<i64> = subset_supports.iter().map(|&v| v as i64).collect();
     for bit in 0..m {
         for mask in 0..(1u32 << m) {
             if mask & (1 << bit) == 0 {
@@ -261,7 +383,7 @@ pub fn try_table_from_supports(
         }
     }
     let counts: Vec<u64> = supp.into_iter().map(|c| c.max(0) as u64).collect();
-    Ok(ContingencyTable::from_counts(set.clone(), counts))
+    ContingencyTable::from_counts(set.clone(), counts)
 }
 
 #[cfg(test)]
@@ -361,5 +483,71 @@ mod tests {
     fn empty_candidate_list() {
         let db = db();
         assert!(count_with_scan(&db, &[], 4).is_empty());
+    }
+
+    #[test]
+    fn marginals_answer_like_the_database() {
+        let db = db();
+        let marginals = Marginals {
+            n_baskets: db.len() as u64,
+            item_counts: db.item_counts().to_vec(),
+        };
+        assert_eq!(marginals.n_baskets(), 8);
+        assert_eq!(marginals.n_items(), 4);
+        for i in 0..4u32 {
+            assert_eq!(
+                MarginalSource::item_count(&marginals, ItemId(i)),
+                db.item_count(ItemId(i))
+            );
+        }
+        let store = SupportStore::new();
+        assert_eq!(store.support_of(&marginals, &Itemset::empty()), Some(8));
+        assert_eq!(
+            store.support_of(&marginals, &Itemset::from_ids([2])),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn sharded_vectors_merge_into_the_single_store_table() {
+        // Split the database into two "shards"; per-shard support
+        // vectors must sum into the whole-database table, bit for bit.
+        let whole = db();
+        let baskets: Vec<Vec<u32>> = (0..whole.len())
+            .map(|i| whole.basket(i).iter().map(|id| id.0).collect())
+            .collect();
+        let (left, right): (Vec<_>, Vec<_>) = baskets
+            .iter()
+            .cloned()
+            .enumerate()
+            .partition(|(i, _)| i % 2 == 0);
+        let shard_a =
+            BasketDatabase::from_id_baskets(4, left.into_iter().map(|(_, b)| b).collect());
+        let shard_b =
+            BasketDatabase::from_id_baskets(4, right.into_iter().map(|(_, b)| b).collect());
+        for set in [Itemset::from_ids([0, 2]), Itemset::from_ids([0, 1, 3])] {
+            let subsets = subset_itemsets(&set);
+            let index_a = BitmapIndex::build(&shard_a);
+            let index_b = BitmapIndex::build(&shard_b);
+            let vec_of = |index: &BitmapIndex| -> Vec<u64> {
+                subsets.iter().map(|s| index.support_count(s)).collect()
+            };
+            let mut acc = vec_of(&index_a);
+            merge_support_vectors(&mut acc, &vec_of(&index_b));
+            let gathered = table_from_subset_supports(&set, &acc);
+            let direct = ContingencyTable::from_database(&whole, &set);
+            assert_eq!(gathered, direct, "mismatch for {set}");
+        }
+    }
+
+    #[test]
+    fn subset_enumeration_is_in_mask_order() {
+        let set = Itemset::from_ids([3, 7]);
+        let subsets = subset_itemsets(&set);
+        assert_eq!(subsets.len(), 4);
+        assert!(subsets[0].is_empty());
+        assert_eq!(subsets[1], vec![ItemId(3)]);
+        assert_eq!(subsets[2], vec![ItemId(7)]);
+        assert_eq!(subsets[3], vec![ItemId(3), ItemId(7)]);
     }
 }

@@ -68,11 +68,14 @@ pub use categorical_report::{
     categorical_pair, categorical_pairs_report, CategoricalPairCorrelation,
 };
 pub use config::{CountingStrategy, Level1Prune, MinerConfig, SupportSpec};
+pub use counting::{
+    merge_support_vectors, subset_itemsets, table_from_subset_supports, MarginalSource, Marginals,
+};
 pub use engine::{
     CacheStats, Chi2Answer, EngineConfig, EngineError, InterestAnswer, QueryEngine, MAX_QUERY_DIMS,
 };
 pub use locality::{locality_test, mine_locality, LocalityReport};
-pub use miner::{mine, LevelProfile, MinerProfile, MiningResult};
+pub use miner::{mine, mine_with_counter, LevelProfile, MinerProfile, MiningResult};
 pub use report::{pairs_report, PairCorrelation};
 pub use sig::CorrelationRule;
 pub use stats::{lattice_level_size, LevelStats};

@@ -23,7 +23,9 @@ use bmb_lattice::{generate_candidates, Border, ItemsetTable};
 use bmb_stats::{Chi2Test, SignificanceLevel};
 
 use crate::config::{CountingStrategy, Level1Prune, MinerConfig};
-use crate::counting::{count_with_bitmaps, count_with_scan, table_from_supports, SupportStore};
+use crate::counting::{
+    count_with_bitmaps, count_with_scan, table_from_supports, MarginalSource, SupportStore,
+};
 use crate::sig::CorrelationRule;
 use crate::stats::{lattice_level_size, LevelStats};
 use crate::support::cell_support;
@@ -112,14 +114,6 @@ pub fn mine(db: &BasketDatabase, config: &MinerConfig) -> MiningResult {
     let obs = MinerObs::attach();
     let _mine_span = bmb_obs::trace::span("mine");
     let start = Instant::now();
-    let n = db.len() as u64;
-    let k = db.n_items();
-    let s = config.support.to_count(n).max(1);
-    let chi2_test = Chi2Test {
-        level: SignificanceLevel::new(config.alpha),
-        df: config.df,
-        low_expectation_cutoff: config.low_expectation_cutoff,
-    };
 
     let mut profile = MinerProfile::default();
     let index = {
@@ -132,6 +126,77 @@ pub fn mine(db: &BasketDatabase, config: &MinerConfig) -> MiningResult {
         profile.index_build_us = micros(stage.elapsed());
         index
     };
+    let count = |candidates: &[Itemset]| -> Result<Vec<u64>, std::convert::Infallible> {
+        Ok(match &index {
+            Some(index) => count_with_bitmaps(index, candidates, config.threads),
+            None => count_with_scan(db, candidates, config.threads),
+        })
+    };
+    match mine_levels(db, count, config, &obs, start, profile) {
+        Ok(result) => result,
+        Err(never) => match never {},
+    }
+}
+
+/// Runs the level-wise search with an external support counter — the
+/// distributed entry point. `marginals` answers the level-1 prune and
+/// singleton/empty-set lookups; `count` answers each level's candidate
+/// supports (e.g. by scattering to shards and summing their integer
+/// answers). Everything downstream of counting — table assembly, the
+/// cell-support test, χ², SIG/NOTSIG bookkeeping, candidate generation —
+/// is the *same code* [`mine`] runs, so a counter that returns the same
+/// integers produces a bit-identical [`MiningResult`].
+///
+/// The first `Err` from `count` aborts the run and is returned verbatim
+/// (a coordinator maps transport failures here).
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (see [`MinerConfig::validate`]).
+pub fn mine_with_counter<M, F, E>(
+    marginals: &M,
+    count: F,
+    config: &MinerConfig,
+) -> Result<MiningResult, E>
+where
+    M: MarginalSource + Sync,
+    F: FnMut(&[Itemset]) -> Result<Vec<u64>, E>,
+{
+    config.validate();
+    let obs = MinerObs::attach();
+    let _mine_span = bmb_obs::trace::span("mine");
+    let start = Instant::now();
+    mine_levels(
+        marginals,
+        count,
+        config,
+        &obs,
+        start,
+        MinerProfile::default(),
+    )
+}
+
+/// The shared level loop of [`mine`] and [`mine_with_counter`].
+fn mine_levels<M, F, E>(
+    marginals: &M,
+    mut count: F,
+    config: &MinerConfig,
+    obs: &MinerObs,
+    start: Instant,
+    mut profile: MinerProfile,
+) -> Result<MiningResult, E>
+where
+    M: MarginalSource + Sync,
+    F: FnMut(&[Itemset]) -> Result<Vec<u64>, E>,
+{
+    let n = marginals.n_baskets();
+    let k = marginals.n_items();
+    let s = config.support.to_count(n).max(1);
+    let chi2_test = Chi2Test {
+        level: SignificanceLevel::new(config.alpha),
+        df: config.df,
+        low_expectation_cutoff: config.low_expectation_cutoff,
+    };
 
     let mut store = SupportStore::new();
     let mut significant: Vec<CorrelationRule> = Vec::new();
@@ -142,7 +207,7 @@ pub fn mine(db: &BasketDatabase, config: &MinerConfig) -> MiningResult {
     let mut candidates = {
         let _span = bmb_obs::trace::span_timed("initial_pairs", &obs.initial_pairs);
         let stage = Instant::now();
-        let candidates = initial_pairs(db, s, config.level1);
+        let candidates = initial_pairs(marginals, s, config.level1);
         profile.initial_pairs_us = micros(stage.elapsed());
         candidates
     };
@@ -156,10 +221,7 @@ pub fn mine(db: &BasketDatabase, config: &MinerConfig) -> MiningResult {
         let supports = {
             let _span = bmb_obs::trace::span_timed("count", &obs.stage_count);
             let stage = Instant::now();
-            let supports = match (&index, config.counting) {
-                (Some(index), _) => count_with_bitmaps(index, &candidates, config.threads),
-                (None, _) => count_with_scan(db, &candidates, config.threads),
-            };
+            let supports = count(&candidates)?;
             level_profile.count_us = micros(stage.elapsed());
             supports
         };
@@ -180,7 +242,7 @@ pub fn mine(db: &BasketDatabase, config: &MinerConfig) -> MiningResult {
             let _span = bmb_obs::trace::span_timed("evaluate", &obs.stage_evaluate);
             let stage = Instant::now();
             let verdicts = evaluate_candidates(
-                db,
+                marginals,
                 &store,
                 &candidates,
                 &supports,
@@ -238,14 +300,14 @@ pub fn mine(db: &BasketDatabase, config: &MinerConfig) -> MiningResult {
     }
     obs.runs.inc();
 
-    MiningResult {
+    Ok(MiningResult {
         significant,
         levels,
         support_count: s,
         chi2_cutoff,
         elapsed: start.elapsed(),
         profile,
-    }
+    })
 }
 
 /// Saturating `Duration` → whole microseconds.
@@ -335,8 +397,8 @@ enum Verdict {
 /// Evaluates all candidates of one level, in parallel chunks when
 /// `threads > 1`.
 #[allow(clippy::too_many_arguments)]
-fn evaluate_candidates(
-    db: &BasketDatabase,
+fn evaluate_candidates<M: MarginalSource + Sync>(
+    marginals: &M,
     store: &SupportStore,
     candidates: &[Itemset],
     supports: &[u64],
@@ -346,7 +408,7 @@ fn evaluate_candidates(
     threads: usize,
 ) -> Vec<Verdict> {
     let evaluate = |candidate: &Itemset, supp: u64| -> Verdict {
-        let table = table_from_supports(db, store, candidate, supp);
+        let table = table_from_supports(marginals, store, candidate, supp);
         let support = cell_support(&table, s, cells_required);
         if !support.supported() {
             return Verdict::Discarded;
@@ -401,11 +463,11 @@ fn evaluate_candidates(
 }
 
 /// Step 3: the initial pair candidates under the chosen level-1 policy.
-fn initial_pairs(db: &BasketDatabase, s: u64, policy: Level1Prune) -> Vec<Itemset> {
-    let k = db.n_items() as u32;
+fn initial_pairs<M: MarginalSource>(marginals: &M, s: u64, policy: Level1Prune) -> Vec<Itemset> {
+    let k = marginals.n_items() as u32;
     let keep = |a: u32, b: u32| -> bool {
-        let ca = db.item_count(ItemId(a));
-        let cb = db.item_count(ItemId(b));
+        let ca = marginals.item_count(ItemId(a));
+        let cb = marginals.item_count(ItemId(b));
         match policy {
             Level1Prune::PaperBothFrequent => ca >= s && cb >= s,
             Level1Prune::BothRare => ca >= s || cb >= s,
@@ -601,6 +663,72 @@ mod tests {
         }
         assert!((result.chi2_cutoff - 3.841).abs() < 1e-2);
         assert_eq!(result.support_count, 5);
+    }
+
+    #[test]
+    fn counter_backed_mine_is_bit_identical_to_local_mine() {
+        // Scatter-gather in miniature: four "shards" each count their
+        // slice, the counter sums the integer vectors, and the result
+        // must match a whole-database run bit for bit — statistics,
+        // cutoffs, level accounting, everything.
+        let db = bmb_datasets::planted_pair(2000, 8, 0.25, 0.6, 21);
+        let shards: Vec<bmb_basket::BasketDatabase> = (0..4)
+            .map(|s| {
+                bmb_basket::BasketDatabase::from_id_baskets(
+                    db.n_items(),
+                    (0..db.len())
+                        .filter(|i| i % 4 == s)
+                        .map(|i| db.basket(i).iter().map(|id| id.0).collect())
+                        .collect(),
+                )
+            })
+            .collect();
+        let indexes: Vec<BitmapIndex> = shards.iter().map(BitmapIndex::build).collect();
+        let marginals = crate::counting::Marginals {
+            n_baskets: shards.iter().map(|s| s.len() as u64).sum(),
+            item_counts: (0..db.n_items())
+                .map(|i| {
+                    shards
+                        .iter()
+                        .map(|s| s.item_count(ItemId(i as u32)))
+                        .sum::<u64>()
+                })
+                .collect(),
+        };
+        let count = |candidates: &[Itemset]| -> Result<Vec<u64>, String> {
+            let mut acc = vec![0u64; candidates.len()];
+            for index in &indexes {
+                for (slot, c) in acc.iter_mut().zip(candidates) {
+                    *slot += index.support_count(c.items());
+                }
+            }
+            Ok(acc)
+        };
+        let config = base_config();
+        let gathered = mine_with_counter(&marginals, count, &config).unwrap();
+        let local = mine(&db, &config);
+        assert_eq!(gathered.levels, local.levels);
+        assert_eq!(gathered.support_count, local.support_count);
+        assert_eq!(gathered.chi2_cutoff.to_bits(), local.chi2_cutoff.to_bits());
+        assert_eq!(gathered.significant.len(), local.significant.len());
+        for (a, b) in gathered.significant.iter().zip(&local.significant) {
+            assert_eq!(a.itemset, b.itemset);
+            assert_eq!(a.chi2.statistic.to_bits(), b.chi2.statistic.to_bits());
+            assert_eq!(a.support_cells, b.support_cells);
+            assert_eq!(a.table, b.table);
+        }
+    }
+
+    #[test]
+    fn counter_errors_abort_the_run() {
+        let db = bmb_datasets::parity_triple(200, 3);
+        let marginals = crate::counting::Marginals {
+            n_baskets: db.len() as u64,
+            item_counts: db.item_counts().to_vec(),
+        };
+        let count = |_: &[Itemset]| -> Result<Vec<u64>, String> { Err("shard down".to_string()) };
+        let err = mine_with_counter(&marginals, count, &base_config()).unwrap_err();
+        assert_eq!(err, "shard down");
     }
 
     #[test]

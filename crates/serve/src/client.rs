@@ -238,13 +238,26 @@ fn xorshift64(state: &mut u64) -> u64 {
     x
 }
 
-/// Commands that are safe to send twice. Queries are pure reads;
-/// `ingest` mutates and `shutdown` is one-way, so a client that cannot
-/// tell whether they landed must not repeat them.
+/// Commands that are safe to send twice. Queries are pure reads, as are
+/// the cluster-internal `support_vec` and `replicate_pull`; `promote`
+/// is a one-way latch, so repeating it is harmless. `ingest` mutates
+/// and `shutdown` is one-way-destructive, so a client that cannot tell
+/// whether they landed must not repeat them.
 fn is_idempotent(request: &Value) -> bool {
     matches!(
         request.get("cmd").and_then(Value::as_str),
-        Some("ping" | "stats" | "chi2" | "chi2_batch" | "interest" | "topk" | "border")
+        Some(
+            "ping"
+                | "stats"
+                | "chi2"
+                | "chi2_batch"
+                | "interest"
+                | "topk"
+                | "border"
+                | "support_vec"
+                | "replicate_pull"
+                | "promote"
+        )
     )
 }
 
@@ -390,6 +403,9 @@ mod tests {
             "interest",
             "topk",
             "border",
+            "support_vec",
+            "replicate_pull",
+            "promote",
         ] {
             let req = Value::object().with("cmd", Value::Str(cmd.to_string()));
             assert!(is_idempotent(&req), "{cmd} should be idempotent");

@@ -57,4 +57,7 @@ pub use checkpointer::{Checkpointer, CheckpointerConfig};
 pub use client::{Client, ClientError, RetryClient, RetryPolicy};
 pub use metrics::{ErrorCategory, MetricsSnapshot, ServerMetrics};
 pub use protocol::{parse_request, Envelope, Request, HELLO};
-pub use server::{RunningServer, Server, ServerConfig, ShutdownHandle};
+pub use server::{
+    exposition, EngineService, RunningServer, Server, ServerConfig, Service, ServiceCtx,
+    ServiceFailure, ShutdownHandle,
+};

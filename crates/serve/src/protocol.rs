@@ -61,6 +61,23 @@ pub enum Request {
     },
     /// Admin: write a durable checkpoint now (checkpointed servers only).
     Checkpoint,
+    /// Shard-internal: raw supports for a list of itemsets, all pinned
+    /// to one snapshot. The coordinator's scatter primitive; the empty
+    /// itemset answers the basket count.
+    SupportVec {
+        /// The itemsets (typically a query's full subset lattice).
+        itemsets: Vec<Vec<u32>>,
+    },
+    /// Replication: baskets after an epoch, read from the shard's
+    /// sealed WAL segments (or a snapshot once the WAL is reclaimed).
+    ReplicatePull {
+        /// Ship baskets with epochs strictly greater than this.
+        after_epoch: u64,
+        /// At most this many baskets per pull.
+        max_baskets: usize,
+    },
+    /// Promote a follower to serve reads (follower processes only).
+    Promote,
     /// Server and cache counters.
     Stats,
     /// The full Prometheus text exposition, as a string payload.
@@ -83,6 +100,9 @@ impl Request {
             Request::Border { .. } => "border",
             Request::Ingest { .. } => "ingest",
             Request::Checkpoint => "checkpoint",
+            Request::SupportVec { .. } => "support_vec",
+            Request::ReplicatePull { .. } => "replicate_pull",
+            Request::Promote => "promote",
             Request::Stats => "stats",
             Request::Metrics => "metrics",
             Request::Ping => "ping",
@@ -173,6 +193,21 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
             baskets: parse_id_lists(value.get("baskets"), "baskets")?,
         },
         "checkpoint" => Request::Checkpoint,
+        "support_vec" => Request::SupportVec {
+            itemsets: parse_id_lists(value.get("itemsets"), "itemsets")?,
+        },
+        "replicate_pull" => Request::ReplicatePull {
+            after_epoch: value
+                .get("after_epoch")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| "'after_epoch' must be a non-negative integer".to_string())?,
+            max_baskets: value
+                .get("max_baskets")
+                .and_then(Value::as_u64)
+                .map(|m| m as usize)
+                .unwrap_or(8192),
+        },
+        "promote" => Request::Promote,
         "stats" => Request::Stats,
         "metrics" => Request::Metrics,
         "ping" => Request::Ping,
@@ -320,6 +355,27 @@ mod tests {
                 },
             ),
             (r#"{"cmd":"checkpoint"}"#, Request::Checkpoint),
+            (
+                r#"{"cmd":"support_vec","itemsets":[[],[2],[2,7]]}"#,
+                Request::SupportVec {
+                    itemsets: vec![vec![], vec![2], vec![2, 7]],
+                },
+            ),
+            (
+                r#"{"cmd":"replicate_pull","after_epoch":17,"max_baskets":100}"#,
+                Request::ReplicatePull {
+                    after_epoch: 17,
+                    max_baskets: 100,
+                },
+            ),
+            (
+                r#"{"cmd":"replicate_pull","after_epoch":0}"#,
+                Request::ReplicatePull {
+                    after_epoch: 0,
+                    max_baskets: 8192,
+                },
+            ),
+            (r#"{"cmd":"promote"}"#, Request::Promote),
             (r#"{"cmd":"stats"}"#, Request::Stats),
             (r#"{"cmd":"ping"}"#, Request::Ping),
             (r#"{"cmd":"shutdown"}"#, Request::Shutdown),
@@ -344,6 +400,9 @@ mod tests {
             r#"{"cmd":"chi2","items":"nope"}"#,
             r#"{"cmd":"topk","k":-3}"#,
             r#"{"cmd":"interest","items":[1],"cell":1.5}"#,
+            r#"{"cmd":"support_vec","itemsets":[[1],"x"]}"#,
+            r#"{"cmd":"replicate_pull"}"#,
+            r#"{"cmd":"replicate_pull","after_epoch":-4}"#,
         ] {
             assert!(parse_request(bad).is_err(), "{bad:?} should fail");
         }

@@ -38,7 +38,7 @@ use std::time::{Duration, Instant};
 use bmb_basket::wal::DurableStore;
 use bmb_basket::{ItemId, Itemset};
 use bmb_core::{MinerConfig, QueryEngine, SupportSpec};
-use bmb_obs::{RegistrySnapshot, Severity, TraceId};
+use bmb_obs::{Registry, RegistrySnapshot, Severity, TraceId};
 
 use crate::json::Value;
 use crate::metrics::{ErrorCategory, ServerMetrics};
@@ -121,7 +121,10 @@ impl ShutdownHandle {
 
 /// A bound server, ready to [`Server::run`].
 pub struct Server {
-    engine: Arc<QueryEngine>,
+    service: Arc<dyn Service>,
+    /// Present only for engine-backed servers bound via [`Server::bind`];
+    /// lets [`Server::with_durable_store`] rebuild the service.
+    engine: Option<Arc<QueryEngine>>,
     metrics: Arc<ServerMetrics>,
     config: ServerConfig,
     listener: TcpListener,
@@ -129,7 +132,6 @@ pub struct Server {
     metrics_listener: Option<TcpListener>,
     metrics_local_addr: Option<SocketAddr>,
     flag: Arc<AtomicBool>,
-    durable: Option<Arc<DurableStore>>,
     /// Per-server trace-id sequence: deterministic for a given request
     /// order, so golden fixtures (and the durability byte-identity
     /// test) stay reproducible across runs and restarts.
@@ -138,12 +140,28 @@ pub struct Server {
 
 impl Server {
     /// Binds the listening socket (resolving port 0 to a real port),
-    /// and the `/metrics` HTTP socket when configured.
+    /// and the `/metrics` HTTP socket when configured. Requests are
+    /// served by an [`EngineService`] over `engine`.
     ///
     /// # Errors
     ///
     /// Propagates socket bind failures.
     pub fn bind(engine: Arc<QueryEngine>, config: ServerConfig) -> io::Result<Server> {
+        let service: Arc<dyn Service> = Arc::new(EngineService::new(Arc::clone(&engine)));
+        let mut server = Server::bind_service(service, config)?;
+        server.engine = Some(engine);
+        Ok(server)
+    }
+
+    /// Like [`Server::bind`] but serving an arbitrary [`Service`] —
+    /// the hook the cluster roles (coordinator, follower) plug into.
+    /// The wire protocol, worker pool, deadlines, and admission control
+    /// are identical; only request dispatch differs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn bind_service(service: Arc<dyn Service>, config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let metrics_listener = match &config.metrics_addr {
@@ -155,7 +173,8 @@ impl Server {
             None => None,
         };
         Ok(Server {
-            engine,
+            service,
+            engine: None,
             metrics: Arc::new(ServerMetrics::new()),
             config,
             listener,
@@ -163,16 +182,19 @@ impl Server {
             metrics_listener,
             metrics_local_addr,
             flag: Arc::new(AtomicBool::new(false)),
-            durable: None,
             trace_seq: Arc::new(AtomicU64::new(1)),
         })
     }
 
     /// Routes `ingest` requests through `durable` (the WAL-backed store
     /// wrapping the engine's `IncrementalStore`): appends are
-    /// acknowledged only after the log's sync barrier.
+    /// acknowledged only after the log's sync barrier. Only meaningful
+    /// for engine-backed servers bound via [`Server::bind`]; a custom
+    /// [`Service`] owns its own durability wiring.
     pub fn with_durable_store(mut self, durable: Arc<DurableStore>) -> Server {
-        self.durable = Some(durable);
+        if let Some(engine) = &self.engine {
+            self.service = Arc::new(EngineService::new(Arc::clone(engine)).with_durable(durable));
+        }
         self
     }
 
@@ -218,11 +240,10 @@ impl Server {
         let result = crossbeam::thread::scope(|scope| {
             for _ in 0..workers {
                 let ctx = ConnectionContext {
-                    engine: &self.engine,
+                    service: self.service.as_ref(),
                     metrics: &self.metrics,
                     shutdown: shutdown.clone(),
                     config: &self.config,
-                    durable: self.durable.as_ref(),
                     trace_seq: &self.trace_seq,
                 };
                 let rx = &rx;
@@ -230,11 +251,12 @@ impl Server {
             }
             if let Some(listener) = &self.metrics_listener {
                 let shutdown = shutdown.clone();
-                let engine = &self.engine;
+                let service = self.service.as_ref();
                 let metrics = &self.metrics;
-                let durable = self.durable.as_ref();
                 scope.spawn(move |_| {
-                    metrics_http_loop(listener, shutdown, || exposition(metrics, engine, durable))
+                    metrics_http_loop(listener, shutdown, || {
+                        exposition(metrics, &service.registries())
+                    })
                 });
             }
             // Acceptor: hand connections to the pool until shutdown.
@@ -345,29 +367,19 @@ fn reject_connection(mut stream: TcpStream, message: &str) {
 
 /// Everything a worker needs to speak to one client.
 struct ConnectionContext<'a> {
-    engine: &'a Arc<QueryEngine>,
+    service: &'a dyn Service,
     metrics: &'a Arc<ServerMetrics>,
     shutdown: ShutdownHandle,
     config: &'a ServerConfig,
-    durable: Option<&'a Arc<DurableStore>>,
     trace_seq: &'a Arc<AtomicU64>,
 }
 
-/// The Prometheus text exposition over every registry this server can
-/// see: its own request metrics, the engine's caches, the WAL (when
-/// durable), and the process-global registry (miner stages).
-fn exposition(
-    metrics: &ServerMetrics,
-    engine: &QueryEngine,
-    durable: Option<&Arc<DurableStore>>,
-) -> String {
-    let mut snaps: Vec<RegistrySnapshot> = vec![
-        metrics.registry().snapshot(),
-        engine.observability().snapshot(),
-    ];
-    if let Some(durable) = durable {
-        snaps.push(durable.observability().snapshot());
-    }
+/// The Prometheus text exposition over every registry a server can see:
+/// its own request metrics, the service's registries (engine caches,
+/// WAL, replication), and the process-global registry (miner stages).
+pub fn exposition(metrics: &ServerMetrics, registries: &[Arc<Registry>]) -> String {
+    let mut snaps: Vec<RegistrySnapshot> = vec![metrics.registry().snapshot()];
+    snaps.extend(registries.iter().map(|r| r.snapshot()));
     snaps.push(bmb_obs::global().snapshot());
     let refs: Vec<&RegistrySnapshot> = snaps.iter().collect();
     bmb_obs::expose::render(&refs)
@@ -479,33 +491,99 @@ fn handle_connection(mut stream: TcpStream, ctx: &ConnectionContext<'_>) -> io::
 }
 
 /// A request failure: the wire message plus its metrics category.
-struct Failure {
-    message: String,
-    category: ErrorCategory,
+///
+/// `Overload` and `Deadline` categories are answered with
+/// `"retryable":true`; everything else is a permanent error.
+#[derive(Clone, Debug)]
+pub struct ServiceFailure {
+    /// The human-readable message sent on the wire.
+    pub message: String,
+    /// The metrics bucket this failure is tallied under.
+    pub category: ErrorCategory,
 }
 
-impl Failure {
-    fn other(message: String) -> Failure {
-        Failure {
-            message,
+impl ServiceFailure {
+    /// A permanent failure in the catch-all `Other` category.
+    pub fn other(message: impl Into<String>) -> ServiceFailure {
+        ServiceFailure {
+            message: message.into(),
             category: ErrorCategory::Other,
         }
     }
 
-    fn deadline(deadline: Duration) -> Failure {
-        Failure {
+    /// An I/O failure (WAL, checkpoint, shard transport).
+    pub fn io(message: impl Into<String>) -> ServiceFailure {
+        ServiceFailure {
+            message: message.into(),
+            category: ErrorCategory::Io,
+        }
+    }
+
+    /// A transient failure the client should retry (answered with
+    /// `"retryable":true`): overload, or a temporarily missing backend.
+    pub fn unavailable(message: impl Into<String>) -> ServiceFailure {
+        ServiceFailure {
+            message: message.into(),
+            category: ErrorCategory::Overload,
+        }
+    }
+
+    /// A deadline miss (answered with `"retryable":true`).
+    pub fn deadline(deadline: Duration) -> ServiceFailure {
+        ServiceFailure {
             message: format!("deadline exceeded ({deadline:?})"),
             category: ErrorCategory::Deadline,
         }
     }
 }
 
+/// Per-request context a [`Service`] dispatches under: the deadline
+/// anchor and the server's tuning/metrics.
+pub struct ServiceCtx<'a> {
+    /// When the server started processing this request; anchors the
+    /// request's deadline budget.
+    pub start: Instant,
+    /// The server's configuration (deadline, connection limits).
+    pub config: &'a ServerConfig,
+    /// The server's request metrics (served-epoch and ingest counters).
+    pub metrics: &'a ServerMetrics,
+}
+
+impl ServiceCtx<'_> {
+    /// Whether this request has exceeded its deadline budget.
+    pub fn over_deadline(&self) -> bool {
+        self.start.elapsed() > self.config.request_deadline
+    }
+}
+
+/// Request dispatch behind the TCP front end. The server owns sockets,
+/// workers, deadlines, and admission control; the service decides what
+/// each decoded [`Request`] means. [`EngineService`] is the standalone
+/// single-store implementation; the cluster crate provides coordinator
+/// and follower services over the same wire protocol.
+pub trait Service: Send + Sync {
+    /// Executes one decoded request.
+    ///
+    /// # Errors
+    ///
+    /// Returns the wire error message plus its metrics category;
+    /// `Overload`/`Deadline` categories are marked retryable.
+    fn dispatch(&self, request: Request, ctx: &ServiceCtx<'_>) -> Result<Value, ServiceFailure>;
+
+    /// The observability registries this service exposes over
+    /// `/metrics`, in exposition order.
+    fn registries(&self) -> Vec<Arc<Registry>>;
+}
+
 /// Whether a late success for this request should be converted into a
 /// deadline error. Queries are safe to fail late (the client can retry
-/// them); `ingest` and `shutdown` already had effects, so their answers
-/// must report what actually happened.
+/// them); `ingest`, `promote`, and `shutdown` already had effects, so
+/// their answers must report what actually happened.
 fn deadline_sensitive(request: &Request) -> bool {
-    !matches!(request, Request::Ingest { .. } | Request::Shutdown)
+    !matches!(
+        request,
+        Request::Ingest { .. } | Request::Shutdown | Request::Promote
+    )
 }
 
 /// Handles one request line; returns the response and whether the server
@@ -522,7 +600,7 @@ fn handle_line(line: &str, ctx: &ConnectionContext<'_>) -> (Value, bool) {
         Err(message) => (
             None,
             "invalid",
-            Err(Failure {
+            Err(ServiceFailure {
                 message,
                 category: ErrorCategory::Parse,
             }),
@@ -532,9 +610,14 @@ fn handle_line(line: &str, ctx: &ConnectionContext<'_>) -> (Value, bool) {
             let cmd = envelope.request.name();
             let stop = envelope.request == Request::Shutdown;
             let convert_late = deadline_sensitive(&envelope.request);
-            let mut outcome = dispatch(envelope.request, ctx, start);
+            let service_ctx = ServiceCtx {
+                start,
+                config: ctx.config,
+                metrics: ctx.metrics.as_ref(),
+            };
+            let mut outcome = ctx.service.dispatch(envelope.request, &service_ctx);
             if convert_late && outcome.is_ok() && start.elapsed() > deadline {
-                outcome = Err(Failure::deadline(deadline));
+                outcome = Err(ServiceFailure::deadline(deadline));
             }
             (envelope.id, cmd, outcome, stop)
         }
@@ -571,14 +654,63 @@ fn handle_line(line: &str, ctx: &ConnectionContext<'_>) -> (Value, bool) {
     (response.with("trace", Value::Str(trace.to_string())), stop)
 }
 
-/// Executes one decoded request against the engine. `start` anchors the
-/// request's deadline budget.
-fn dispatch(
+/// The standalone single-store [`Service`]: every request runs against
+/// one [`QueryEngine`] (optionally WAL-backed for durable ingest).
+pub struct EngineService {
+    engine: Arc<QueryEngine>,
+    durable: Option<Arc<DurableStore>>,
+}
+
+impl EngineService {
+    /// A service over `engine` with no durability (in-memory ingest).
+    pub fn new(engine: Arc<QueryEngine>) -> EngineService {
+        EngineService {
+            engine,
+            durable: None,
+        }
+    }
+
+    /// Routes `ingest` through the WAL-backed store: appends are
+    /// acknowledged only after the log's sync barrier.
+    pub fn with_durable(mut self, durable: Arc<DurableStore>) -> EngineService {
+        self.durable = Some(durable);
+        self
+    }
+
+    /// The engine this service answers from.
+    pub fn engine(&self) -> &Arc<QueryEngine> {
+        &self.engine
+    }
+
+    /// The WAL-backed store, when durability is wired.
+    pub fn durable(&self) -> Option<&Arc<DurableStore>> {
+        self.durable.as_ref()
+    }
+}
+
+impl Service for EngineService {
+    fn registries(&self) -> Vec<Arc<Registry>> {
+        let mut registries = vec![Arc::clone(self.engine.observability())];
+        if let Some(durable) = &self.durable {
+            registries.push(Arc::clone(durable.observability()));
+        }
+        registries
+    }
+
+    fn dispatch(&self, request: Request, ctx: &ServiceCtx<'_>) -> Result<Value, ServiceFailure> {
+        dispatch_engine(&self.engine, self.durable.as_ref(), request, ctx)
+    }
+}
+
+/// Executes one decoded request against the engine. `ctx.start` anchors
+/// the request's deadline budget.
+fn dispatch_engine(
+    engine: &Arc<QueryEngine>,
+    durable: Option<&Arc<DurableStore>>,
     request: Request,
-    ctx: &ConnectionContext<'_>,
-    start: Instant,
-) -> Result<Value, Failure> {
-    let engine = ctx.engine;
+    ctx: &ServiceCtx<'_>,
+) -> Result<Value, ServiceFailure> {
+    let start = ctx.start;
     match request {
         Request::Ping => Ok(Value::object().with("pong", Value::Bool(true))),
         Request::Shutdown => Ok(Value::object().with("stopping", Value::Bool(true))),
@@ -588,7 +720,7 @@ fn dispatch(
             let set = Itemset::from_ids(items);
             let answer = engine
                 .chi2(&snap, &set)
-                .map_err(|e| Failure::other(e.to_string()))?;
+                .map_err(|e| ServiceFailure::other(e.to_string()))?;
             Ok(chi2_value(&answer))
         }
         Request::Chi2Batch { itemsets } => {
@@ -601,7 +733,7 @@ fn dispatch(
                 // The batch stops (whole-request deadline error) rather
                 // than overrunning its budget item by item.
                 if start.elapsed() > deadline {
-                    return Err(Failure::deadline(deadline));
+                    return Err(ServiceFailure::deadline(deadline));
                 }
                 let set = Itemset::from_ids(items);
                 results.push(match engine.chi2(&snap, &set) {
@@ -619,7 +751,7 @@ fn dispatch(
             let set = Itemset::from_ids(items);
             let answer = engine
                 .interest(&snap, &set, cell)
-                .map_err(|e| Failure::other(e.to_string()))?;
+                .map_err(|e| ServiceFailure::other(e.to_string()))?;
             Ok(interest_value(&answer))
         }
         Request::TopK { k } => {
@@ -627,7 +759,7 @@ fn dispatch(
             ctx.metrics.record_served_epoch(snap.epoch());
             let pairs = engine
                 .topk_pairs(&snap, k)
-                .map_err(|e| Failure::other(e.to_string()))?;
+                .map_err(|e| ServiceFailure::other(e.to_string()))?;
             Ok(Value::object()
                 .with("epoch", Value::Int(snap.epoch() as i64))
                 .with(
@@ -642,13 +774,13 @@ fn dispatch(
         } => {
             let support = support.unwrap_or(0.01);
             if !(0.0..=1.0).contains(&support) {
-                return Err(Failure::other(format!(
+                return Err(ServiceFailure::other(format!(
                     "'support' must be in [0,1], got {support}"
                 )));
             }
             let fraction = support_fraction.unwrap_or(0.3);
             if !(fraction > 0.25 && fraction <= 1.0) {
-                return Err(Failure::other(format!(
+                return Err(ServiceFailure::other(format!(
                     "'support_fraction' must be in (0.25,1], got {fraction}"
                 )));
             }
@@ -662,7 +794,7 @@ fn dispatch(
             ctx.metrics.record_served_epoch(snap.epoch());
             let result = engine
                 .border(&snap, &config)
-                .map_err(|e| Failure::other(e.to_string()))?;
+                .map_err(|e| ServiceFailure::other(e.to_string()))?;
             Ok(border_value(&result, snap.epoch()))
         }
         Request::Ingest { baskets } => {
@@ -673,18 +805,17 @@ fn dispatch(
             // With a WAL attached the append is acknowledged only after
             // the log's sync barrier; a WAL failure is an Io-category
             // error and nothing is applied.
-            let epoch = match ctx.durable {
+            let epoch = match durable {
                 Some(durable) => durable.append_batch(baskets).map_err(|e| match e {
-                    bmb_basket::wal::DurableError::Wal(io) => Failure {
-                        message: format!("append not durable: {io}"),
-                        category: ErrorCategory::Io,
-                    },
-                    other => Failure::other(other.to_string()),
+                    bmb_basket::wal::DurableError::Wal(io) => {
+                        ServiceFailure::io(format!("append not durable: {io}"))
+                    }
+                    other => ServiceFailure::other(other.to_string()),
                 })?,
                 None => engine
                     .store()
                     .append_batch(baskets)
-                    .map_err(|e| Failure::other(e.to_string()))?,
+                    .map_err(|e| ServiceFailure::other(e.to_string()))?,
             };
             ctx.metrics.record_ingest(n);
             Ok(Value::object()
@@ -692,17 +823,16 @@ fn dispatch(
                 .with("epoch", Value::Int(epoch as i64)))
         }
         Request::Checkpoint => {
-            let Some(durable) = ctx.durable else {
-                return Err(Failure::other(
+            let Some(durable) = durable else {
+                return Err(ServiceFailure::other(
                     "server has no durable store (started without --wal)".to_string(),
                 ));
             };
             let stats = durable.checkpoint().map_err(|e| match e {
-                bmb_basket::wal::CheckpointError::Io(io) => Failure {
-                    message: format!("checkpoint failed: {io}"),
-                    category: ErrorCategory::Io,
-                },
-                other => Failure::other(other.to_string()),
+                bmb_basket::wal::CheckpointError::Io(io) => {
+                    ServiceFailure::io(format!("checkpoint failed: {io}"))
+                }
+                other => ServiceFailure::other(other.to_string()),
             })?;
             let micros = u64::try_from(stats.duration.as_micros()).unwrap_or(u64::MAX);
             Ok(Value::object()
@@ -720,13 +850,13 @@ fn dispatch(
             let cache = engine.cache_stats();
             let store_epoch = engine.store().epoch();
             let lag = store_epoch.saturating_sub(metrics.last_served_epoch);
-            let wal = match ctx.durable {
+            let wal = match durable {
                 None => "none",
                 Some(durable) if durable.is_healthy() => "healthy",
                 Some(_) => "degraded",
             };
-            let checkpointed = ctx.durable.is_some_and(|d| d.is_checkpointed());
-            let last_ckpt = ctx.durable.map(|d| d.last_checkpoint_epoch()).unwrap_or(0);
+            let checkpointed = durable.is_some_and(|d| d.is_checkpointed());
+            let last_ckpt = durable.map(|d| d.last_checkpoint_epoch()).unwrap_or(0);
             Ok(Value::object()
                 .with("requests", Value::Int(metrics.requests as i64))
                 .with("errors", Value::Int(metrics.errors as i64))
@@ -767,9 +897,79 @@ fn dispatch(
                 .with("slow_requests", Value::Int(metrics.slow_requests as i64))
                 .with("error_rate", Value::float(metrics.error_rate())))
         }
-        Request::Metrics => Ok(Value::object().with(
-            "text",
-            Value::Str(exposition(ctx.metrics, ctx.engine, ctx.durable)),
+        Request::Metrics => {
+            let mut registries = vec![Arc::clone(engine.observability())];
+            if let Some(durable) = durable {
+                registries.push(Arc::clone(durable.observability()));
+            }
+            Ok(Value::object().with("text", Value::Str(exposition(ctx.metrics, &registries))))
+        }
+        Request::SupportVec { itemsets } => {
+            // One snapshot for the whole vector: every support shares an
+            // epoch — the invariant the coordinator's Möbius inversion
+            // and epoch-vector consistency depend on.
+            let snap = engine.snapshot();
+            ctx.metrics.record_served_epoch(snap.epoch());
+            let n_items = snap.n_items();
+            let deadline = ctx.config.request_deadline;
+            let mut supports: Vec<Value> = Vec::with_capacity(itemsets.len());
+            for items in &itemsets {
+                if start.elapsed() > deadline {
+                    return Err(ServiceFailure::deadline(deadline));
+                }
+                if let Some(&bad) = items.iter().find(|&&id| id as usize >= n_items) {
+                    return Err(ServiceFailure::other(format!(
+                        "item id {bad} out of range (store has {n_items} items)"
+                    )));
+                }
+                let set = Itemset::from_ids(items.iter().copied());
+                // The empty itemset's "support" is the basket count: the
+                // full-lattice vector a contingency table needs.
+                let support = if set.items().is_empty() {
+                    snap.n_baskets() as u64
+                } else {
+                    snap.support(set.items())
+                };
+                supports.push(Value::Int(support as i64));
+            }
+            Ok(Value::object()
+                .with("epoch", Value::Int(snap.epoch() as i64))
+                .with("n", Value::Int(snap.n_baskets() as i64))
+                .with("supports", Value::Array(supports)))
+        }
+        Request::ReplicatePull {
+            after_epoch,
+            max_baskets,
+        } => {
+            let Some(durable) = durable else {
+                return Err(ServiceFailure::other(
+                    "server has no durable store (started without --wal)".to_string(),
+                ));
+            };
+            // Bound the response size regardless of what the follower
+            // asks for; it pulls again to keep catching up.
+            let batch = durable.ship_after(after_epoch, max_baskets.min(65_536));
+            let baskets: Vec<Value> = batch
+                .baskets
+                .iter()
+                .map(|basket| {
+                    Value::Array(
+                        basket
+                            .iter()
+                            .map(|item| Value::Int(item.0 as i64))
+                            .collect(),
+                    )
+                })
+                .collect();
+            Ok(Value::object()
+                .with("from_epoch", Value::Int(batch.from_epoch as i64))
+                .with("end_epoch", Value::Int(batch.end_epoch as i64))
+                .with("shard_epoch", Value::Int(batch.shard_epoch as i64))
+                .with("source", Value::Str(batch.source.to_string()))
+                .with("baskets", Value::Array(baskets)))
+        }
+        Request::Promote => Err(ServiceFailure::other(
+            "not a follower: 'promote' is only valid on follower processes".to_string(),
         )),
     }
 }

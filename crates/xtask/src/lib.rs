@@ -61,19 +61,21 @@ pub use report::{render, render_json, Finding, Lint};
 /// Crates whose `src/` must be panic-free (library crates).
 pub const LIBRARY_CRATES: &[&str] = &[
     "obs", "basket", "stats", "lattice", "apriori", "quest", "sampling", "datasets", "core",
-    "serve", "xtask",
+    "serve", "cluster", "xtask",
 ];
 
 /// Crates where even `lint:allow(panic)` is rejected.
 pub const STRICT_CRATES: &[&str] = &["basket", "stats"];
 
 /// Crates whose statistical hot paths get the float-discipline pass.
-pub const FLOAT_CRATES: &[&str] = &["obs", "basket", "stats", "core", "sampling", "serve"];
+pub const FLOAT_CRATES: &[&str] = &[
+    "obs", "basket", "stats", "core", "sampling", "serve", "cluster",
+];
 
 /// Crates that must document every public item.
 pub const DOC_CRATES: &[&str] = &[
-    "obs", "basket", "stats", "core", "serve", "lattice", "apriori", "quest", "sampling",
-    "datasets", "xtask",
+    "obs", "basket", "stats", "core", "serve", "cluster", "lattice", "apriori", "quest",
+    "sampling", "datasets", "xtask",
 ];
 
 /// Crates under the sync-before-publish durability pass.
