@@ -39,11 +39,13 @@ echo "==> kill -9 crash harness"
 # must survive and recovery must replay only the post-checkpoint tail.
 timeout 120 cargo test -q --release -p bmb-serve --test crash_kill
 
-echo "==> cluster kill -9 / differential harness"
+echo "==> cluster kill -9 / chaos torture / differential harness"
 # SIGKILL one shard mid-query-storm (coordinator must degrade
-# gracefully, never answer wrongly, and re-admit the revived shard) plus
-# the 1-shard vs 4-shard bit-identity differential.
-timeout 120 cargo test -q --release -p bmb-cluster
+# gracefully, never answer wrongly, and re-admit the revived shard),
+# the 1-shard vs 4-shard bit-identity differential, and 20 seeded
+# network-chaos schedules (fault proxy + generation-fenced failover):
+# never a wrong answer, no acked ingest lost, no dual primaries.
+timeout 240 cargo test -q --release -p bmb-cluster
 
 echo "==> server smoke test"
 ./scripts/serve_smoke.sh
@@ -53,5 +55,8 @@ echo "==> metrics exposition smoke test"
 
 echo "==> cluster smoke test (3 shards + coordinator + follower)"
 ./scripts/cluster_smoke.sh
+
+echo "==> chaos smoke test (partition, fenced failover, heal, rejoin)"
+./scripts/chaos_smoke.sh
 
 echo "CI: all gates passed"

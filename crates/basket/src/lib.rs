@@ -71,4 +71,5 @@ pub use storage::{
 pub use wal::{
     inspect_wal_bytes, CheckpointError, CheckpointStats, DurabilityConfig, DurableError,
     DurableStore, InspectedRecord, RecoveryReport, ShipBatch, ShipSource, WalError, WalInspection,
+    GEN_NAME,
 };

@@ -73,6 +73,7 @@
 //! truncated, and any later segments are discarded.
 
 use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -94,6 +95,40 @@ pub const WAL2_MAGIC: &[u8; 8] = b"BMBWAL2\n";
 
 /// Byte length of a v2 segment header (magic + `base_epoch:u64le`).
 pub const WAL2_HEADER_LEN: usize = 16;
+
+/// File name of the persisted node-generation record (fencing token)
+/// in a directory-mode store.
+pub const GEN_NAME: &str = "GEN";
+
+/// Magic bytes opening the generation record (versioned).
+pub const GEN_MAGIC: &[u8; 8] = b"BMBGEN1\n";
+
+/// Encodes a generation record: magic + `generation:u64le` + CRC32 of
+/// the payload bytes.
+fn encode_generation(generation: u64) -> Vec<u8> {
+    let payload = generation.to_le_bytes();
+    let mut out = Vec::with_capacity(20);
+    out.extend_from_slice(GEN_MAGIC);
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out
+}
+
+/// Decodes a generation record; `None` on any damage (wrong length,
+/// magic, or CRC) — the caller falls back to the generation floor.
+fn decode_generation(bytes: &[u8]) -> Option<u64> {
+    if bytes.len() != 20 || &bytes[..8] != GEN_MAGIC {
+        return None;
+    }
+    let mut payload = [0u8; 8];
+    payload.copy_from_slice(&bytes[8..16]);
+    let mut crc = [0u8; 4];
+    crc.copy_from_slice(&bytes[16..20]);
+    if crc32(&payload) != u32::from_le_bytes(crc) {
+        return None;
+    }
+    Some(u64::from_le_bytes(payload))
+}
 
 /// The file name of WAL segment `index` (zero-padded so lexicographic
 /// order is rotation order for the first million segments).
@@ -575,6 +610,9 @@ pub struct DurableStore {
     append_errors: Counter,
     /// Checkpoint machinery; `None` in single-file mode.
     ckpt: Option<CkptShared>,
+    /// Monotonic fencing generation; persisted as the `GEN` record in
+    /// directory mode, memory-only in single-file mode.
+    generation: AtomicU64,
 }
 
 /// Checkpoint-side state of a directory-mode [`DurableStore`].
@@ -745,6 +783,7 @@ impl DurableStore {
                 },
                 obs,
                 None,
+                1,
             ),
             report,
         ))
@@ -758,6 +797,7 @@ impl DurableStore {
         wal: WalInner,
         obs: Arc<Registry>,
         ckpt: Option<CkptShared>,
+        generation: u64,
     ) -> DurableStore {
         DurableStore {
             store: Arc::new(store),
@@ -777,6 +817,7 @@ impl DurableStore {
             ),
             obs,
             ckpt,
+            generation: AtomicU64::new(generation.max(1)),
         }
     }
 
@@ -818,6 +859,19 @@ impl DurableStore {
                 let _ = dir.delete(name);
             }
         }
+        // The fencing generation lives beside the log. A missing or
+        // damaged record resets to the floor (1): fencing only needs
+        // monotonicity from here on, and `set_generation` re-establishes
+        // it by persisting before acknowledging any bump.
+        let generation = if names.iter().any(|n| n == GEN_NAME) {
+            dir.open(GEN_NAME)
+                .and_then(|mut f| f.read_all())
+                .ok()
+                .and_then(|bytes| decode_generation(&bytes))
+                .unwrap_or(1)
+        } else {
+            1
+        };
         let mut ckpt_files: Vec<u64> = names
             .iter()
             .filter_map(|n| parse_checkpoint_name(n))
@@ -1056,7 +1110,7 @@ impl DurableStore {
             metrics: ckpt_metrics,
         };
         Ok((
-            DurableStore::assemble(store, config, wal, obs, Some(ckpt)),
+            DurableStore::assemble(store, config, wal, obs, Some(ckpt), generation),
             report,
         ))
     }
@@ -1258,6 +1312,55 @@ impl DurableStore {
     /// Total baskets ingested (acknowledged) so far.
     pub fn epoch(&self) -> u64 {
         self.store.epoch()
+    }
+
+    /// The node's fencing generation: a monotonic token (floor 1) that
+    /// cluster failover bumps on promotion so a partitioned-then-healed
+    /// old primary can be told apart from the node that replaced it.
+    pub fn generation(&self) -> u64 {
+        // ordering: Relaxed — monotone counter read for stamping and
+        // reporting; bumps publish via the protocol reply, not this cell.
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Raises the fencing generation to `generation` (monotone — a
+    /// lower or equal value is a no-op) and returns the resulting
+    /// value. In directory mode the record is durably persisted
+    /// (write-temp → fsync → atomic rename → dir fsync) *before* the
+    /// in-memory value changes, so an acknowledged bump survives a
+    /// crash; a caller must not acknowledge a promotion when this
+    /// errors. Single-file stores keep the generation in memory only.
+    ///
+    /// # Errors
+    ///
+    /// `io::Error` when persisting the record fails (directory mode);
+    /// the in-memory generation is unchanged.
+    pub fn set_generation(&self, generation: u64) -> io::Result<u64> {
+        match &self.ckpt {
+            Some(ckpt) => {
+                // Serializes racing bumps so a lower generation can
+                // never be persisted over a higher one; the record
+                // write happens under the guard by design.
+                // lock:allow(io)
+                let mut dir = lock(&ckpt.dir);
+                // ordering: Relaxed — mutations serialized by the dir
+                // lock held above.
+                let current = self.generation.load(Ordering::Relaxed);
+                if generation <= current {
+                    return Ok(current);
+                }
+                write_atomic(dir.as_mut(), GEN_NAME, &encode_generation(generation))?;
+                // ordering: Relaxed — durably persisted above; readers
+                // synchronize on the protocol reply, not this cell.
+                self.generation.store(generation, Ordering::Relaxed);
+                Ok(generation)
+            }
+            // ordering: Relaxed — memory-only monotone max.
+            None => Ok(self
+                .generation
+                .fetch_max(generation, Ordering::Relaxed)
+                .max(generation)),
+        }
     }
 
     /// A consistent, immutable view of everything acknowledged so far.
@@ -2453,6 +2556,46 @@ mod tests {
         assert_eq!(report.baskets_recovered, 10);
         assert_eq!(report.checkpoint_epoch, 0);
         assert_eq!(recovered.epoch(), 10);
+    }
+
+    #[test]
+    fn generation_persists_and_stays_monotone() {
+        let state = MemDir::new().state();
+        let (store, _) = open_dir_mem(&state, durability(1 << 20));
+        assert_eq!(store.generation(), 1);
+        assert_eq!(store.set_generation(5).unwrap(), 5);
+        // A lower or equal target is a no-op, not a regression.
+        assert_eq!(store.set_generation(3).unwrap(), 5);
+        assert_eq!(store.generation(), 5);
+        drop(store);
+        let (recovered, _) = open_dir_mem(&state, durability(1 << 20));
+        assert_eq!(recovered.generation(), 5);
+        assert!(dir_names(&state).contains(&GEN_NAME.to_string()));
+    }
+
+    #[test]
+    fn damaged_generation_record_resets_to_floor() {
+        let state = MemDir::new().state();
+        let (store, _) = open_dir_mem(&state, durability(1 << 20));
+        store.set_generation(7).unwrap();
+        drop(store);
+        {
+            let mut d = MemDir::with_state(Arc::clone(&state));
+            d.delete(GEN_NAME).unwrap();
+            let mut f = d.create(GEN_NAME).unwrap();
+            f.append(b"garbage").unwrap();
+        }
+        let (recovered, _) = open_dir_mem(&state, durability(1 << 20));
+        assert_eq!(recovered.generation(), 1);
+    }
+
+    #[test]
+    fn single_file_generation_is_memory_only() {
+        let media = MemStorage::new();
+        let (store, _) = DurableStore::open(Box::new(media), 8, StoreConfig::default()).unwrap();
+        assert_eq!(store.generation(), 1);
+        assert_eq!(store.set_generation(4).unwrap(), 4);
+        assert_eq!(store.generation(), 4);
     }
 
     #[test]

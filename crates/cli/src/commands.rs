@@ -68,7 +68,7 @@ pub const QUERY_SPEC: &[(&str, FlagKind)] = &[("timeout-secs", FlagKind::Value)]
 /// Flags accepted by `bmb wal` (the `inspect` subcommand).
 pub const WAL_SPEC: &[(&str, FlagKind)] = &[("limit", FlagKind::Value), ("dir", FlagKind::Value)];
 
-/// Flags accepted by `bmb cluster {serve|shard|follow}`.
+/// Flags accepted by `bmb cluster {serve|shard|follow|chaos}`.
 pub const CLUSTER_SPEC: &[(&str, FlagKind)] = &[
     ("addr", FlagKind::Value),
     ("items", FlagKind::Value),
@@ -80,6 +80,8 @@ pub const CLUSTER_SPEC: &[(&str, FlagKind)] = &[
     ("followers", FlagKind::Value),
     ("seed", FlagKind::Value),
     ("round-robin", FlagKind::Boolean),
+    ("request-timeout-ms", FlagKind::Value),
+    ("probe-cooldown-ms", FlagKind::Value),
     // durable roles (`cluster shard`, `cluster follow`)
     ("dir", FlagKind::Value),
     ("segment-capacity", FlagKind::Value),
@@ -90,6 +92,18 @@ pub const CLUSTER_SPEC: &[(&str, FlagKind)] = &[
     // follower (`cluster follow`)
     ("primary", FlagKind::Value),
     ("poll-ms", FlagKind::Value),
+    // fault proxy (`cluster chaos`)
+    ("listen", FlagKind::Value),
+    ("upstream", FlagKind::Value),
+    ("control", FlagKind::Value),
+    ("refuse-per-mille", FlagKind::Value),
+    ("drop-per-mille", FlagKind::Value),
+    ("stall-per-mille", FlagKind::Value),
+    ("corrupt-per-mille", FlagKind::Value),
+    ("delay-per-mille", FlagKind::Value),
+    ("max-delay-us", FlagKind::Value),
+    ("throttle-per-mille", FlagKind::Value),
+    ("throttle-bytes-per-sec", FlagKind::Value),
 ];
 
 /// Loads a basket file, named by default, numeric with `--numeric`.
@@ -535,6 +549,11 @@ pub fn cmd_query(args: &Args, out: &mut dyn Write) -> Result<(), String> {
 /// instead of a PATH, walks the rotated segments (`wal.000000`…) of a
 /// checkpoint directory and prints one line per segment — its base
 /// epoch, record count, end epoch, and diagnosis.
+///
+/// Exit status is the verdict: anything other than a fully clean log —
+/// a torn tail, a CRC mismatch, a truncated record — exits non-zero
+/// (after printing the full report), so scripts and CI can assert WAL
+/// health without parsing the output.
 pub fn cmd_wal(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let action = args.positional(1).ok_or("usage: bmb wal inspect PATH")?;
     if action != "inspect" {
@@ -597,6 +616,12 @@ pub fn cmd_wal(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     )
     .map_err(sink)?;
     writeln!(out, "diagnosis: {}", inspection.diagnosis).map_err(sink)?;
+    if inspection.diagnosis != "clean" {
+        return Err(format!(
+            "{path}: WAL is not clean: {}",
+            inspection.diagnosis
+        ));
+    }
     Ok(())
 }
 
@@ -657,24 +682,30 @@ fn wal_inspect_dir(dir: &str, limit: usize, out: &mut dyn Write) -> Result<(), S
          torn segments: {torn}"
     )
     .map_err(sink)?;
+    if torn > 0 {
+        return Err(format!("{dir}: {torn} torn segment(s)"));
+    }
     Ok(())
 }
 
-/// `bmb cluster {serve|shard|follow}` — the sharded-cluster roles.
+/// `bmb cluster {serve|shard|follow|chaos}` — the sharded-cluster roles.
 ///
-/// `shard` runs one durable shard: a checkpointed store answering the
-/// full wire protocol (including `support_vec` and `replicate_pull`).
-/// `serve` runs the coordinator: it speaks the same protocol but holds
-/// no baskets, scattering every query to `--shards` and gathering the
-/// per-shard support vectors into bit-identical central answers.
-/// `follow` runs a warm standby that tails a shard primary's WAL via
-/// `replicate_pull` and serves reads after a `promote`.
+/// `shard` runs one durable shard: a generation-fenced node starting as
+/// primary, answering the full wire protocol (including `support_vec`,
+/// `replicate_pull`, and `demote`). `serve` runs the coordinator: it
+/// speaks the same protocol but holds no baskets, scattering every
+/// query to `--shards` and gathering the per-shard support vectors into
+/// bit-identical central answers. `follow` runs a warm standby that
+/// tails a shard primary's WAL via `replicate_pull` and takes over at a
+/// bumped generation on `promote`. `chaos` runs the deterministic
+/// fault-injection proxy in front of one upstream.
 pub fn cmd_cluster(args: &Args, out: &mut dyn Write) -> Result<(), String> {
-    const CLUSTER_USAGE: &str = "usage: bmb cluster {serve|shard|follow} [flags]";
+    const CLUSTER_USAGE: &str = "usage: bmb cluster {serve|shard|follow|chaos} [flags]";
     match args.positional(1) {
         Some("serve") => cluster_serve(args, out),
         Some("shard") => cluster_shard(args, out),
         Some("follow") => cluster_follow(args, out),
+        Some("chaos") => cluster_chaos(args, out),
         Some(other) => Err(format!("unknown cluster role {other:?} ({CLUSTER_USAGE})")),
         None => Err(CLUSTER_USAGE.to_string()),
     }
@@ -747,7 +778,8 @@ fn cluster_checkpointer(
     ))
 }
 
-/// `bmb cluster shard --dir DIR --items N` — one durable shard.
+/// `bmb cluster shard --dir DIR --items N` — one durable shard: a
+/// generation-fenced node starting as primary, demotable at runtime.
 fn cluster_shard(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let sink = |e: std::io::Error| e.to_string();
     let durable = cluster_open_durable(args, "shard", out)?;
@@ -755,16 +787,34 @@ fn cluster_shard(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         std::sync::Arc::clone(durable.store()),
         bmb_core::EngineConfig::default(),
     ));
-    let server = bmb_serve::Server::bind(engine, cluster_server_config(args, "127.0.0.1:0")?)
-        .map_err(|e| format!("cannot bind: {e}"))?
-        .with_durable_store(std::sync::Arc::clone(&durable));
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut repl = bmb_cluster::FollowerConfig::new(String::new());
+    repl.poll_interval = std::time::Duration::from_millis(args.get_or("poll-ms", 50u64)?);
+    let node = bmb_cluster::NodeService::primary(
+        bmb_serve::EngineService::new(engine).with_durable(std::sync::Arc::clone(&durable)),
+        std::sync::Arc::clone(&durable),
+        repl,
+        std::sync::Arc::clone(&stop),
+        std::sync::Arc::new(bmb_cluster::ClusterMetrics::new()),
+    );
+    let service = std::sync::Arc::new(node) as std::sync::Arc<dyn bmb_serve::Service>;
+    let server =
+        bmb_serve::Server::bind_service(service, cluster_server_config(args, "127.0.0.1:0")?)
+            .map_err(|e| format!("cannot bind: {e}"))?;
     let checkpointer = cluster_checkpointer(args, &durable)?;
-    writeln!(out, "shard listening on {}", server.local_addr()).map_err(sink)?;
+    writeln!(
+        out,
+        "shard listening on {} (generation {})",
+        server.local_addr(),
+        durable.generation()
+    )
+    .map_err(sink)?;
     if let Some(addr) = server.metrics_local_addr() {
         writeln!(out, "metrics on http://{addr}/metrics").map_err(sink)?;
     }
     out.flush().map_err(sink)?;
     let run_result = server.run();
+    stop.store(true, std::sync::atomic::Ordering::Release);
     checkpointer.stop();
     run_result.map_err(|e| format!("shard failed: {e}"))
 }
@@ -807,13 +857,23 @@ fn cluster_serve(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     if args.has("round-robin") {
         config.strategy = bmb_cluster::PartitionStrategy::RoundRobin;
     }
+    let request_timeout_ms = args.get_or("request-timeout-ms", 5000u64)?;
+    let probe_cooldown_ms = args.get_or("probe-cooldown-ms", 1000u64)?;
+    config.request_timeout = std::time::Duration::from_millis(request_timeout_ms);
+    config.probe_cooldown = std::time::Duration::from_millis(probe_cooldown_ms);
     let service = std::sync::Arc::new(bmb_cluster::CoordinatorService::new(config))
         as std::sync::Arc<dyn bmb_serve::Service>;
     let server =
         bmb_serve::Server::bind_service(service, cluster_server_config(args, "127.0.0.1:7878")?)
             .map_err(|e| format!("cannot bind: {e}"))?;
     let metrics = server.metrics();
-    writeln!(out, "scattering over {} shards", shard_addrs.len()).map_err(sink)?;
+    writeln!(
+        out,
+        "scattering over {} shards (request timeout {request_timeout_ms}ms, \
+         probe cooldown {probe_cooldown_ms}ms)",
+        shard_addrs.len()
+    )
+    .map_err(sink)?;
     writeln!(out, "coordinator listening on {}", server.local_addr()).map_err(sink)?;
     if let Some(addr) = server.metrics_local_addr() {
         writeln!(out, "metrics on http://{addr}/metrics").map_err(sink)?;
@@ -833,7 +893,7 @@ fn cluster_serve(args: &Args, out: &mut dyn Write) -> Result<(), String> {
 }
 
 /// `bmb cluster follow --dir DIR --items N --primary ADDR` — a warm
-/// standby tailing a shard's WAL.
+/// standby tailing a shard's WAL, promotable at a bumped generation.
 fn cluster_follow(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let sink = |e: std::io::Error| e.to_string();
     let primary = args
@@ -844,38 +904,78 @@ fn cluster_follow(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         std::sync::Arc::clone(standby.store()),
         bmb_core::EngineConfig::default(),
     ));
-    let promoted = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
     let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
-    let metrics = std::sync::Arc::new(bmb_cluster::ClusterMetrics::new());
-    let service = std::sync::Arc::new(bmb_cluster::FollowerService::new(
+    let mut follower_config = bmb_cluster::FollowerConfig::new(primary.clone());
+    follower_config.poll_interval =
+        std::time::Duration::from_millis(args.get_or("poll-ms", 50u64)?);
+    let node = bmb_cluster::NodeService::follower(
         bmb_serve::EngineService::new(engine).with_durable(std::sync::Arc::clone(&standby)),
-        std::sync::Arc::clone(&promoted),
-        std::sync::Arc::clone(&metrics),
-    )) as std::sync::Arc<dyn bmb_serve::Service>;
+        std::sync::Arc::clone(&standby),
+        follower_config,
+        std::sync::Arc::clone(&stop),
+        std::sync::Arc::new(bmb_cluster::ClusterMetrics::new()),
+    )
+    .map_err(|e| format!("cannot start replication: {e}"))?;
+    let service = std::sync::Arc::new(node) as std::sync::Arc<dyn bmb_serve::Service>;
     let server =
         bmb_serve::Server::bind_service(service, cluster_server_config(args, "127.0.0.1:0")?)
             .map_err(|e| format!("cannot bind: {e}"))?;
     let checkpointer = cluster_checkpointer(args, &standby)?;
-    let mut follower_config = bmb_cluster::FollowerConfig::new(primary.clone());
-    follower_config.poll_interval =
-        std::time::Duration::from_millis(args.get_or("poll-ms", 50u64)?);
-    let replicator = bmb_cluster::Replicator::new(
-        std::sync::Arc::clone(&standby),
-        follower_config,
-        std::sync::Arc::clone(&promoted),
-        std::sync::Arc::clone(&stop),
-        metrics,
-    );
-    let replicator_thread = std::thread::spawn(move || replicator.run());
     writeln!(out, "tailing primary {primary}").map_err(sink)?;
-    writeln!(out, "follower listening on {}", server.local_addr()).map_err(sink)?;
+    writeln!(
+        out,
+        "follower listening on {} (generation {})",
+        server.local_addr(),
+        standby.generation()
+    )
+    .map_err(sink)?;
     out.flush().map_err(sink)?;
     let run_result = server.run();
     stop.store(true, std::sync::atomic::Ordering::Release);
-    let join_result = replicator_thread.join();
     checkpointer.stop();
-    join_result.map_err(|_| "replicator thread panicked".to_string())?;
     run_result.map_err(|e| format!("follower failed: {e}"))
+}
+
+/// `bmb cluster chaos --listen A --upstream B` — the deterministic
+/// fault-injection proxy. Fault rates are per-mille per connection;
+/// the partition is toggled over the control socket (`partition`,
+/// `heal`, `status`, `stop` — same line-JSON envelope as the data
+/// protocol).
+fn cluster_chaos(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let sink = |e: std::io::Error| e.to_string();
+    let listen = args
+        .get::<String>("listen")?
+        .ok_or("bmb cluster chaos requires --listen HOST:PORT (where clients connect)")?;
+    let upstream = args
+        .get::<String>("upstream")?
+        .ok_or("bmb cluster chaos requires --upstream HOST:PORT (the real endpoint)")?;
+    let control = args.get::<String>("control")?;
+    let mut config = bmb_cluster::ChaosConfig::new(args.get_or("seed", 0u64)?);
+    config.refuse_per_mille = args.get_or("refuse-per-mille", 0u16)?;
+    config.drop_per_mille = args.get_or("drop-per-mille", 0u16)?;
+    config.stall_per_mille = args.get_or("stall-per-mille", 0u16)?;
+    config.corrupt_per_mille = args.get_or("corrupt-per-mille", 0u16)?;
+    config.delay_per_mille = args.get_or("delay-per-mille", 0u16)?;
+    config.max_delay_us = args.get_or("max-delay-us", 20_000u64)?;
+    config.throttle_per_mille = args.get_or("throttle-per-mille", 0u16)?;
+    config.throttle_bytes_per_sec = args.get_or("throttle-bytes-per-sec", 65_536u64)?;
+    let seed = config.seed;
+    let mut handle = bmb_cluster::ChaosProxy::spawn(&listen, &upstream, control.as_deref(), config)
+        .map_err(|e| format!("cannot bind chaos proxy: {e}"))?;
+    writeln!(
+        out,
+        "chaos proxy on {} -> {upstream} (seed {seed})",
+        handle.local_addr()
+    )
+    .map_err(sink)?;
+    writeln!(out, "control on {}", handle.control_addr()).map_err(sink)?;
+    out.flush().map_err(sink)?;
+    while !handle.is_stopped() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    handle.stop();
+    writeln!(out, "chaos proxy stopped").map_err(sink)?;
+    Ok(())
 }
 
 /// Top-level usage text.
@@ -908,10 +1008,17 @@ USAGE:
                      [--max-connections N] [--metrics-addr HOST:PORT]
   bmb cluster serve  --items N --shards A,B,... [--followers A,,...]
                      [--addr HOST:PORT] [--seed N] [--round-robin]
+                     [--request-timeout-ms N] [--probe-cooldown-ms N]
                      [--workers N] [--max-connections N]
                      [--metrics-addr HOST:PORT]
   bmb cluster follow --dir DIR --items N --primary HOST:PORT
                      [--addr HOST:PORT] [--poll-ms N] [--workers N]
+  bmb cluster chaos  --listen HOST:PORT --upstream HOST:PORT
+                     [--control HOST:PORT] [--seed N]
+                     [--refuse-per-mille N] [--drop-per-mille N]
+                     [--stall-per-mille N] [--corrupt-per-mille N]
+                     [--delay-per-mille N] [--max-delay-us N]
+                     [--throttle-per-mille N] [--throttle-bytes-per-sec N]
 
 Basket files are one basket per line; tokens are item names (default) or
 numeric ids (--numeric). '#' starts a comment line.
@@ -1099,9 +1206,11 @@ mod tests {
             let text = buf.contents();
             if let Some(pos) = text.find("listening on ") {
                 let rest = &text[pos + "listening on ".len()..];
+                // The announcement may trail the address with extras
+                // like "(generation 1)" — the address is the first word.
                 if let Some(line) = rest.lines().next() {
-                    if !line.is_empty() {
-                        break line.trim().to_string();
+                    if let Some(addr) = line.split_whitespace().next() {
+                        break addr.to_string();
                     }
                 }
             }
@@ -1431,11 +1540,13 @@ mod tests {
         assert!(rendered.contains("diagnosis: clean"), "{rendered}");
         assert!(rendered.contains("end epoch: 2"), "{rendered}");
 
-        // Tear the tail: the diagnosis must say so.
+        // Tear the tail: the diagnosis must say so, and the command
+        // must fail (non-zero exit) so scripts can assert WAL health.
         let bytes = std::fs::read(&wal).unwrap();
         std::fs::write(&wal, &bytes[..bytes.len() - 3]).unwrap();
         let mut out = Vec::new();
-        cmd_wal(&a, &mut out).unwrap();
+        let verdict = cmd_wal(&a, &mut out).unwrap_err();
+        assert!(verdict.contains("WAL is not clean"), "{verdict}");
         let rendered = String::from_utf8(out).unwrap();
         assert!(!rendered.contains("diagnosis: clean"), "{rendered}");
         assert!(rendered.contains("end epoch: 1"), "{rendered}");

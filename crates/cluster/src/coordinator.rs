@@ -20,9 +20,20 @@
 //!
 //! Failure handling: a shard whose transport dies (after the retry
 //! client's backoff) is **marked down**; if a follower is configured it
-//! is **promoted** (one-way) and reads route to it; otherwise queries
-//! answer a retryable error. A marked-down primary is re-probed after a
+//! is **promoted** and reads route to it; otherwise queries answer a
+//! retryable error. A marked-down primary is re-probed after a
 //! cooldown and **rejoins** when it answers again.
+//!
+//! Generation fencing (on by default): the coordinator tracks the
+//! highest generation it has observed per shard slot and stamps it as
+//! `"gen"` on every request. A shard at a newer generation fences the
+//! request (the coordinator adopts the newer generation and retries);
+//! a *response* carrying an older generation than the slot's is
+//! rejected as stale — a partitioned-away old primary can never get an
+//! answer accepted. After a promotion, the coordinator periodically
+//! sends the old primary a `demote` naming the promoted follower; a
+//! healed old primary adopts the newer generation, tails the new
+//! primary's WAL, and only serves again once caught up.
 //!
 //! Lock discipline: `health` (per-shard state), `addr` (endpoint
 //! address) and `client` (per-endpoint retry client) are never held
@@ -49,6 +60,7 @@ use bmb_serve::{
 };
 use bmb_stats::{Chi2Test, InterestReport, SignificanceLevel};
 
+use crate::clock::{Clock, SystemClock};
 use crate::metrics::ClusterMetrics;
 use crate::partition::{PartitionStrategy, Partitioner, DEFAULT_SEED};
 
@@ -98,6 +110,11 @@ pub struct CoordinatorConfig {
     pub request_timeout: Duration,
     /// How long a marked-down primary rests before the next re-probe.
     pub probe_cooldown: Duration,
+    /// Generation fencing: stamp requests with the slot's highest
+    /// observed generation, reject stale responses, and demote healed
+    /// old primaries. On by default; disable only to reproduce the
+    /// split-brain failure mode in tests.
+    pub fencing: bool,
 }
 
 impl CoordinatorConfig {
@@ -112,6 +129,7 @@ impl CoordinatorConfig {
             retry: RetryPolicy::default(),
             request_timeout: Duration::from_secs(5),
             probe_cooldown: Duration::from_secs(1),
+            fencing: true,
         }
     }
 }
@@ -119,10 +137,22 @@ impl CoordinatorConfig {
 /// Mutable health state of one shard (guarded by the `health` lock).
 #[derive(Debug, Default)]
 struct Health {
-    /// When the primary was marked down; `None` while healthy.
+    /// When the primary was marked down; `None` while healthy. After a
+    /// promotion this doubles as the demote-probe pacing timer.
     down_since: Option<Instant>,
-    /// Whether the follower has been promoted (one-way).
+    /// Whether reads are routed to the promoted follower.
     promoted: bool,
+    /// The highest generation observed for this slot (0 = unknown;
+    /// requests are only stamped once a generation is known).
+    generation: u64,
+    /// Whether the one-time startup reconciliation probe has run.
+    probed: bool,
+    /// Whether the old primary has acked a `demote` since promotion.
+    demoted: bool,
+    /// The last transport/fence error from this shard, for stats.
+    last_error: Option<String>,
+    /// Primary failures since the last success, for stats.
+    consecutive_failures: u32,
 }
 
 /// One endpoint (primary or follower) with its own retry client. The
@@ -180,6 +210,9 @@ pub struct CoordinatorService {
     /// Monotonic basket-id source for the partitioner.
     next_basket: AtomicU64,
     metrics: ClusterMetrics,
+    /// Time source for mark-down/cooldown arithmetic (tests inject a
+    /// [`crate::clock::TestClock`]).
+    clock: Arc<dyn Clock>,
 }
 
 impl CoordinatorService {
@@ -213,8 +246,15 @@ impl CoordinatorService {
             shards,
             next_basket: AtomicU64::new(0),
             metrics: ClusterMetrics::new(),
+            clock: Arc::new(SystemClock),
             config,
         }
+    }
+
+    /// Replaces the time source (tests drive cooldowns explicitly).
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> CoordinatorService {
+        self.clock = clock;
+        self
     }
 
     /// The coordinator's metrics (scatters, mark-downs, promotions).
@@ -253,38 +293,206 @@ impl CoordinatorService {
         client.request(request) // lock:allow(io)
     }
 
-    /// Sends one request to a shard, handling mark-down, follower
-    /// promotion, and re-probe rejoin.
+    /// [`Self::request_on`] with generation fencing: the request is
+    /// stamped with the slot's highest observed generation, and a
+    /// response carrying an *older* generation is rejected as stale (a
+    /// partitioned-away old primary can never get an answer accepted).
+    /// Newer response generations are adopted into the slot.
+    fn fenced_request_on(
+        &self,
+        endpoint: &Endpoint,
+        shard: &ShardState,
+        request: &Value,
+    ) -> Result<Value, ClientError> {
+        if !self.config.fencing {
+            return self.request_on(endpoint, request);
+        }
+        let slot_gen = {
+            let health = lock(&shard.health);
+            health.generation
+        };
+        let value = if slot_gen > 0 {
+            let stamped = request.clone().with("gen", Value::Int(slot_gen as i64));
+            self.request_on(endpoint, &stamped)?
+        } else {
+            self.request_on(endpoint, request)?
+        };
+        if let Some(response_gen) = value.get("gen").and_then(Value::as_u64) {
+            let stale = {
+                let mut health = lock(&shard.health);
+                if response_gen < health.generation {
+                    true
+                } else {
+                    health.generation = response_gen;
+                    false
+                }
+            };
+            if stale {
+                self.metrics.stale_responses.inc();
+                self.event("stale shard response rejected", &endpoint.addr());
+                return Err(ClientError::Protocol(format!(
+                    "stale generation: response gen {response_gen} is below slot gen {slot_gen}"
+                )));
+            }
+        }
+        Ok(value)
+    }
+
+    /// One-time startup reconciliation for a slot with a follower: the
+    /// coordinator restarts with amnesia, so before the first request
+    /// it probes both endpoints, adopts the highest generation it sees,
+    /// and routes reads to the follower if the follower answers as the
+    /// slot's primary at the highest generation (a failover this
+    /// coordinator never witnessed).
+    fn reconcile_slot(&self, index: usize) {
+        let shard = &self.shards[index];
+        let Some(follower) = &shard.follower else {
+            return;
+        };
+        {
+            let mut health = lock(&shard.health);
+            if health.probed {
+                return;
+            }
+            health.probed = true;
+        }
+        let ping = Value::object().with("cmd", Value::Str("stats".to_string()));
+        let view = |answer: Option<Value>| -> (u64, Option<String>) {
+            match answer {
+                Some(value) => (
+                    value.get("gen").and_then(Value::as_u64).unwrap_or(0),
+                    value
+                        .get("role")
+                        .and_then(Value::as_str)
+                        .map(str::to_string),
+                ),
+                None => (0, None),
+            }
+        };
+        let (primary_gen, primary_role) = view(self.request_on(&shard.primary, &ping).ok());
+        let (follower_gen, follower_role) = view(self.request_on(follower, &ping).ok());
+        let adopted_promotion = {
+            let mut health = lock(&shard.health);
+            health.generation = health.generation.max(primary_gen).max(follower_gen);
+            let follower_leads =
+                follower_role.as_deref() == Some("primary") && follower_gen >= primary_gen;
+            if follower_leads && !health.promoted {
+                health.promoted = true;
+                health.down_since = Some(self.clock.now());
+                if primary_role.as_deref() == Some("follower") {
+                    health.demoted = true;
+                }
+                true
+            } else {
+                false
+            }
+        };
+        if adopted_promotion {
+            self.event("adopted prior failover at startup", &follower.addr());
+        }
+    }
+
+    /// After a promotion: periodically (paced by `probe_cooldown`) ask
+    /// the old primary to demote itself to a follower of the promoted
+    /// replacement. A healed old primary acks, adopts the newer
+    /// generation, and catches up over `replicate_pull` before serving;
+    /// a still-dead one is retried after the next cooldown.
+    fn maybe_demote_stale_primary(&self, index: usize) {
+        let shard = &self.shards[index];
+        let Some(follower) = &shard.follower else {
+            return;
+        };
+        let now = self.clock.now();
+        let due = {
+            let mut health = lock(&shard.health);
+            if !health.promoted || health.demoted {
+                false
+            } else {
+                let due = health.down_since.is_none_or(|since| {
+                    now.saturating_duration_since(since) >= self.config.probe_cooldown
+                });
+                if due {
+                    health.down_since = Some(now);
+                }
+                due
+            }
+        };
+        if !due {
+            return;
+        }
+        let request = Value::object()
+            .with("cmd", Value::Str("demote".to_string()))
+            .with("primary", Value::Str(follower.addr()));
+        if self
+            .fenced_request_on(&shard.primary, shard, &request)
+            .is_ok()
+        {
+            lock(&shard.health).demoted = true;
+            self.metrics.demotions.inc();
+            self.event("stale primary demoted", &shard.primary.addr());
+        }
+    }
+
+    /// Sends one request to a shard, handling generation fencing,
+    /// mark-down, follower promotion, demotion of healed old primaries,
+    /// and re-probe rejoin.
     fn shard_request(&self, index: usize, request: &Value) -> Result<Value, ServiceFailure> {
         let shard = &self.shards[index];
+        if self.config.fencing {
+            self.reconcile_slot(index);
+        }
         let (promoted, resting) = {
             let health = lock(&shard.health);
-            let resting = health
-                .down_since
-                .is_some_and(|since| since.elapsed() < self.config.probe_cooldown);
+            let resting = health.down_since.is_some_and(|since| {
+                self.clock.now().saturating_duration_since(since) < self.config.probe_cooldown
+            });
             (health.promoted, resting)
         };
         if !promoted && !resting {
-            match self.request_on(&shard.primary, request) {
+            match self.fenced_request_on(&shard.primary, shard, request) {
                 Ok(value) => {
-                    let rejoined = lock(&shard.health).down_since.take().is_some();
+                    let rejoined = {
+                        let mut health = lock(&shard.health);
+                        health.consecutive_failures = 0;
+                        health.last_error = None;
+                        health.down_since.take().is_some()
+                    };
                     if rejoined {
                         self.metrics.rejoins.inc();
                         self.event("shard rejoined", &shard.primary.addr());
                     }
                     return Ok(value);
                 }
+                // The shard is alive but ahead of this coordinator:
+                // adopt its generation and let the caller retry at it.
+                Err(ClientError::Fenced {
+                    generation,
+                    message,
+                }) => {
+                    self.metrics.fenced_requests.inc();
+                    {
+                        let mut health = lock(&shard.health);
+                        health.generation = health.generation.max(generation);
+                        health.last_error = Some(message.clone());
+                    }
+                    return Err(ServiceFailure::unavailable(format!(
+                        "shard {} fenced the request at generation {generation}: {message}",
+                        shard.primary.addr()
+                    )));
+                }
                 // The shard answered — it is alive; surface its verdict.
                 Err(ClientError::Server(message)) => return Err(ServiceFailure::other(message)),
                 Err(ClientError::Retryable(message)) => {
                     return Err(ServiceFailure::unavailable(message))
                 }
-                Err(_) => {
+                Err(e) => {
                     self.metrics.shard_errors.inc();
                     let fresh_markdown = {
                         let mut health = lock(&shard.health);
+                        health.consecutive_failures = health.consecutive_failures.saturating_add(1);
+                        health.last_error = Some(e.to_string());
                         if health.down_since.is_none() {
-                            health.down_since = Some(Instant::now());
+                            health.down_since = Some(self.clock.now());
                             true
                         } else {
                             false
@@ -305,8 +513,12 @@ impl CoordinatorService {
             )));
         };
         if !lock(&shard.health).promoted {
+            // The fenced path stamps the slot's generation as the floor
+            // the follower must bump past, and adopts the bumped
+            // generation from the ack — from here on the old primary's
+            // responses are stale by construction.
             let promote = Value::object().with("cmd", Value::Str("promote".to_string()));
-            match self.request_on(follower, &promote) {
+            match self.fenced_request_on(follower, shard, &promote) {
                 Ok(_) => {
                     let first = {
                         let mut health = lock(&shard.health);
@@ -328,7 +540,10 @@ impl CoordinatorService {
                 }
             }
         }
-        match self.request_on(follower, request) {
+        if self.config.fencing {
+            self.maybe_demote_stale_primary(index);
+        }
+        match self.fenced_request_on(follower, shard, request) {
             Ok(value) => Ok(value),
             Err(ClientError::Server(message)) => Err(ServiceFailure::other(message)),
             Err(e) => Err(ServiceFailure::unavailable(format!(
@@ -682,13 +897,17 @@ impl CoordinatorService {
 
     fn dispatch_ingest(&self, baskets: Vec<Vec<u32>>) -> Result<Value, ServiceFailure> {
         let total = baskets.len();
-        // Reject early if any shard's primary is gone: a promoted
-        // follower serves reads, not writes.
-        for (index, shard) in self.shards.iter().enumerate() {
-            if lock(&shard.health).promoted {
-                return Err(ServiceFailure::unavailable(format!(
-                    "shard {index} lost its primary; ingest is unavailable until it is restored"
-                )));
+        // With fencing, a promoted follower *is* the slot's primary at
+        // a newer generation and accepts writes. Without fencing
+        // (legacy one-way promote), it is a read-only survivor: reject
+        // early rather than fork history.
+        if !self.config.fencing {
+            for (index, shard) in self.shards.iter().enumerate() {
+                if lock(&shard.health).promoted {
+                    return Err(ServiceFailure::unavailable(format!(
+                        "shard {index} lost its primary; ingest is unavailable until it is restored"
+                    )));
+                }
             }
         }
         let first_id = self.next_basket.fetch_add(total as u64, Ordering::Relaxed);
@@ -731,10 +950,6 @@ impl CoordinatorService {
         let mut epoch_sum = 0u64;
         let mut epochs: Vec<Value> = Vec::with_capacity(self.shards.len());
         for (index, shard) in self.shards.iter().enumerate() {
-            let promoted = {
-                let health = lock(&shard.health);
-                health.promoted
-            };
             let answer = self.shard_request(index, &ping);
             let (up, epoch) = match &answer {
                 Ok(value) => (true, value.get("epoch").and_then(Value::as_u64)),
@@ -746,11 +961,32 @@ impl CoordinatorService {
             } else {
                 epochs.push(Value::Null);
             }
+            let (promoted, generation, last_error, consecutive_failures) = {
+                let health = lock(&shard.health);
+                (
+                    health.promoted,
+                    health.generation,
+                    health.last_error.clone(),
+                    health.consecutive_failures,
+                )
+            };
             shard_rows.push(
                 Value::object()
                     .with("addr", Value::Str(shard.primary.addr()))
                     .with("up", Value::Bool(up))
-                    .with("promoted", Value::Bool(promoted)),
+                    .with("promoted", Value::Bool(promoted))
+                    .with("generation", Value::Int(generation as i64))
+                    .with(
+                        "last_error",
+                        match last_error {
+                            Some(message) => Value::Str(message),
+                            None => Value::Null,
+                        },
+                    )
+                    .with(
+                        "consecutive_failures",
+                        Value::Int(consecutive_failures as i64),
+                    ),
             );
         }
         Ok(Value::object()
@@ -767,6 +1003,7 @@ impl CoordinatorService {
                 "promotions",
                 Value::Int(self.metrics.promotions.get() as i64),
             )
+            .with("demotions", Value::Int(self.metrics.demotions.get() as i64))
             .with("shards", Value::Array(shard_rows))
             .with("epoch", Value::Int(epoch_sum as i64))
             .with("epochs", Value::Array(epochs)))
@@ -847,6 +1084,9 @@ impl Service for CoordinatorService {
             )),
             Request::Promote => Err(ServiceFailure::other(
                 "not a follower: 'promote' is only valid on follower processes".to_string(),
+            )),
+            Request::Demote { .. } => Err(ServiceFailure::other(
+                "not a shard node: 'demote' targets generation-fenced shard processes".to_string(),
             )),
         }
     }

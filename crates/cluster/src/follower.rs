@@ -1,31 +1,26 @@
-//! WAL-shipping follower: a warm standby that tails a shard primary's
-//! write-ahead log and can be promoted to serve its reads.
+//! WAL-shipping replication: the pull loop that keeps a warm standby's
+//! durable store tailing a shard primary's write-ahead log.
 //!
-//! The follower is a full durable store of its own — its *replica* WAL
-//! and checkpoints make promotion durable too. A background
-//! [`Replicator`] loop pulls `replicate_pull` batches from the primary
-//! (the primary ships sealed WAL entries strictly after the follower's
-//! current epoch), replays them through the follower's normal
-//! `append_batch` path, and publishes the remaining lag in baskets on
-//! the `bmb_cluster_replication_lag_baskets` gauge.
+//! The standby is a full durable store of its own — its *replica* WAL
+//! and checkpoints make promotion durable too. The [`Replicator`] loop
+//! pulls `replicate_pull` batches from the primary (the primary ships
+//! sealed WAL entries strictly after the follower's current epoch),
+//! replays them through the follower's normal `append_batch` path, and
+//! publishes the remaining lag in baskets on the
+//! `bmb_cluster_replication_lag_baskets` gauge.
 //!
-//! The serving side is an [`EngineService`] wrapper: queries answer off
-//! the standby's engine exactly as a primary would; `promote` flips a
-//! one-way latch that stops the replication loop (the primary is gone —
-//! further pulls would only burn the backoff timer); `ingest` is always
-//! refused (writes belong to the primary; a promoted follower is a
-//! read-only survivor until an operator rebuilds the pair).
+//! The serving side lives in [`crate::node::NodeService`]: a
+//! role-switching wrapper that serves queries off the standby engine,
+//! bumps the persisted fencing generation on `promote`, and restarts
+//! this pull loop against a new primary on `demote`.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use bmb_basket::{DurableStore, ItemId};
-use bmb_obs::Registry;
 use bmb_serve::json::Value;
-use bmb_serve::{
-    EngineService, Request, RetryClient, RetryPolicy, Service, ServiceCtx, ServiceFailure,
-};
+use bmb_serve::{RetryClient, RetryPolicy};
 
 use crate::metrics::ClusterMetrics;
 
@@ -60,92 +55,20 @@ impl FollowerConfig {
     }
 }
 
-/// The follower's serving face: an [`EngineService`] over the standby
-/// store, plus the `promote` latch and replication telemetry.
-pub struct FollowerService {
-    inner: EngineService,
-    promoted: Arc<AtomicBool>,
-    metrics: Arc<ClusterMetrics>,
-}
-
-impl FollowerService {
-    /// Wraps the standby's engine service. The `promoted` flag and
-    /// `metrics` are shared with the [`Replicator`] loop.
-    pub fn new(
-        inner: EngineService,
-        promoted: Arc<AtomicBool>,
-        metrics: Arc<ClusterMetrics>,
-    ) -> FollowerService {
-        FollowerService {
-            inner,
-            promoted,
-            metrics,
-        }
-    }
-
-    /// Whether `promote` has latched.
-    pub fn is_promoted(&self) -> bool {
-        self.promoted.load(Ordering::Acquire)
-    }
-}
-
-impl Service for FollowerService {
-    fn registries(&self) -> Vec<Arc<Registry>> {
-        let mut registries = self.inner.registries();
-        registries.push(Arc::clone(self.metrics.registry()));
-        registries
-    }
-
-    fn dispatch(&self, request: Request, ctx: &ServiceCtx<'_>) -> Result<Value, ServiceFailure> {
-        match request {
-            Request::Promote => {
-                let already = self.promoted.swap(true, Ordering::AcqRel);
-                if !already {
-                    self.metrics.promotions.inc();
-                    bmb_obs::events().emit(
-                        bmb_obs::Severity::Warn,
-                        "follower promoted",
-                        &[("epoch", &self.inner.engine().snapshot().epoch().to_string())],
-                    );
-                }
-                Ok(Value::object()
-                    .with("promoted", Value::Bool(true))
-                    .with(
-                        "epoch",
-                        Value::Int(self.inner.engine().snapshot().epoch() as i64),
-                    )
-                    .with("already", Value::Bool(already)))
-            }
-            Request::Ingest { .. } => Err(ServiceFailure::other(
-                "follower does not accept ingest; write to the shard primary",
-            )),
-            Request::Stats => Ok(self
-                .inner
-                .dispatch(Request::Stats, ctx)?
-                .with("role", Value::Str("follower".to_string()))
-                .with("promoted", Value::Bool(self.is_promoted()))
-                .with(
-                    "replication_lag",
-                    Value::Int(self.metrics.replication_lag.get()),
-                )),
-            other => self.inner.dispatch(other, ctx),
-        }
-    }
-}
-
 /// The pull loop: tails the primary's WAL into the standby store.
 pub struct Replicator {
     durable: Arc<DurableStore>,
     client: RetryClient,
     promoted: Arc<AtomicBool>,
     stop: Arc<AtomicBool>,
+    caught_up: Option<Arc<AtomicBool>>,
     config: FollowerConfig,
     metrics: Arc<ClusterMetrics>,
 }
 
 impl Replicator {
     /// A replicator feeding `durable` from `config.primary_addr`.
-    /// Shares `promoted` with the [`FollowerService`] (promotion stops
+    /// Shares `promoted` with the node's serving face (promotion stops
     /// the loop) and `stop` with the host process (shutdown).
     pub fn new(
         durable: Arc<DurableStore>,
@@ -161,9 +84,19 @@ impl Replicator {
             client,
             promoted,
             stop,
+            caught_up: None,
             config,
             metrics,
         }
+    }
+
+    /// Shares a caught-up latch: set to `true` the first time a pull
+    /// observes zero lag against the primary. A demoted node uses this
+    /// to gate queries until its store has caught up with the new
+    /// primary.
+    pub fn with_caught_up(mut self, caught_up: Arc<AtomicBool>) -> Replicator {
+        self.caught_up = Some(caught_up);
+        self
     }
 
     /// Runs until stopped or promoted. Each iteration pulls one batch
@@ -219,6 +152,14 @@ impl Replicator {
         let local = self.durable.epoch();
         let lag = batch.shard_epoch.saturating_sub(local);
         self.metrics.replication_lag.set(lag as i64);
+        if lag == 0 {
+            if let Some(flag) = &self.caught_up {
+                // ordering: Release — publishes the replayed store state
+                // to the serving thread that Acquires this latch before
+                // answering queries.
+                flag.store(true, Ordering::Release);
+            }
+        }
         Ok(lag == 0)
     }
 }

@@ -22,6 +22,13 @@ pub struct ClusterMetrics {
     pub rejoins: Counter,
     /// Followers promoted to serve a dead primary's reads.
     pub promotions: Counter,
+    /// Stale primaries demoted back to catching-up followers.
+    pub demotions: Counter,
+    /// Shard responses rejected for carrying a stale generation.
+    pub stale_responses: Counter,
+    /// Coordinator requests a shard fenced for carrying a stale
+    /// generation (the coordinator then adopts the newer one).
+    pub fenced_requests: Counter,
     /// Replication pulls a follower has issued.
     pub replication_pulls: Counter,
     /// Baskets a follower has replayed from shipped WAL batches.
@@ -58,6 +65,18 @@ impl ClusterMetrics {
             promotions: registry.counter(
                 "bmb_cluster_promotions_total",
                 "Followers promoted to serve a dead primary's reads.",
+            ),
+            demotions: registry.counter(
+                "bmb_cluster_demotions_total",
+                "Stale primaries demoted back to catching-up followers.",
+            ),
+            stale_responses: registry.counter(
+                "bmb_cluster_stale_responses_total",
+                "Shard responses rejected for carrying a stale generation.",
+            ),
+            fenced_requests: registry.counter(
+                "bmb_cluster_fenced_requests_total",
+                "Coordinator requests fenced by a shard at a newer generation.",
             ),
             replication_pulls: registry.counter(
                 "bmb_cluster_replication_pulls_total",

@@ -1,0 +1,381 @@
+//! A generation-fenced cluster node: one process that can serve as a
+//! shard primary or as a WAL-tailing follower, and can switch roles at
+//! runtime without ever letting two nodes answer as primary for the
+//! same shard.
+//!
+//! The fencing protocol is a single monotonic `u64` generation,
+//! persisted in the node's durable directory (see
+//! [`bmb_basket::DurableStore::set_generation`]):
+//!
+//! - Every request the coordinator sends carries `"gen"`, the highest
+//!   generation it has observed for the slot. The serving layer
+//!   rejects any request stamped *below* the node's own generation
+//!   with a `"fenced":true` error carrying the node's generation.
+//! - `promote` bumps the node's generation to
+//!   `max(own, request floor) + 1` and persists it *before* acking, so
+//!   a promoted follower is always strictly ahead of the primary it
+//!   replaces — even one that never saw the partition.
+//! - A rejoining old primary is fenced by its own stale generation the
+//!   moment the coordinator stamps requests at the new one. The
+//!   coordinator then sends `demote`, and the node adopts the newer
+//!   generation, restarts the [`Replicator`] pull loop against the
+//!   promoted replacement, and refuses queries with a retryable error
+//!   until it has caught up — split-brain reads are impossible on both
+//!   sides of the partition.
+
+// The role guard is the outermost lock in this crate: nothing that
+// holds any other cluster lock ever calls into a role change.
+// lock:order(state < upstream)
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+use bmb_basket::DurableStore;
+use bmb_obs::Registry;
+use bmb_serve::json::Value;
+use bmb_serve::{EngineService, Request, Service, ServiceCtx, ServiceFailure};
+
+use crate::follower::{FollowerConfig, Replicator};
+use crate::metrics::ClusterMetrics;
+
+/// Which side of the replication pair this node currently is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// Serving reads and writes; not tailing anyone.
+    Primary,
+    /// Tailing a primary's WAL; reads only once caught up, no writes.
+    Follower,
+}
+
+/// A running replication pull loop and its control latches.
+struct ReplHandle {
+    /// Tells the loop to exit (checked via the `promoted` slot of
+    /// [`Replicator`]; promotion and demotion both halt the old loop).
+    halt: Arc<AtomicBool>,
+    /// Set by the loop the first time it observes zero lag.
+    caught_up: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ReplHandle {
+    /// Halts the loop and joins the thread.
+    fn halt_and_join(mut self) {
+        // ordering: Release — pairs with the loop's Acquire poll; the
+        // join below is the real synchronization point.
+        self.halt.store(true, Ordering::Release);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Mutable role state, guarded by one mutex.
+struct RoleState {
+    role: Role,
+    /// True after a demotion until the new pull loop reports zero lag;
+    /// queries are refused (retryable) while set.
+    catching_up: bool,
+    repl: Option<ReplHandle>,
+}
+
+/// The node's serving face: an [`EngineService`] over the local durable
+/// store, wrapped with role switching and generation fencing.
+pub struct NodeService {
+    inner: EngineService,
+    durable: Arc<DurableStore>,
+    metrics: Arc<ClusterMetrics>,
+    /// Template for pull loops spawned on demotion (the primary address
+    /// is replaced per demote).
+    repl_template: FollowerConfig,
+    /// Host-process shutdown flag, shared with every pull loop.
+    stop: Arc<AtomicBool>,
+    state: Mutex<RoleState>,
+    /// Test hook: when set, [`NodeService::generation`] reports `None`
+    /// so the serving layer never fences — used to demonstrate that an
+    /// unfenced cluster *does* split-brain under the torture harness.
+    unfenced: bool,
+}
+
+impl NodeService {
+    /// A node starting as a shard primary (no pull loop).
+    ///
+    /// `repl` supplies the tuning (poll interval, backoff, retry) used
+    /// if this node is later demoted; its `primary_addr` is a
+    /// placeholder replaced by the demote request.
+    pub fn primary(
+        inner: EngineService,
+        durable: Arc<DurableStore>,
+        repl: FollowerConfig,
+        stop: Arc<AtomicBool>,
+        metrics: Arc<ClusterMetrics>,
+    ) -> NodeService {
+        NodeService {
+            inner,
+            durable,
+            metrics,
+            repl_template: repl,
+            stop,
+            state: Mutex::new(RoleState {
+                role: Role::Primary,
+                catching_up: false,
+                repl: None,
+            }),
+            unfenced: false,
+        }
+    }
+
+    /// A node starting as a follower tailing `repl.primary_addr`; the
+    /// pull loop is spawned immediately. A fresh follower serves reads
+    /// without waiting for catch-up (it answers at its own epoch
+    /// vector, which the coordinator accounts for) — only *demoted*
+    /// nodes gate reads, because their store may be behind acked
+    /// ingest.
+    pub fn follower(
+        inner: EngineService,
+        durable: Arc<DurableStore>,
+        repl: FollowerConfig,
+        stop: Arc<AtomicBool>,
+        metrics: Arc<ClusterMetrics>,
+    ) -> std::io::Result<NodeService> {
+        let node = NodeService {
+            inner,
+            durable,
+            metrics,
+            repl_template: repl.clone(),
+            stop,
+            state: Mutex::new(RoleState {
+                role: Role::Follower,
+                catching_up: false,
+                repl: None,
+            }),
+            unfenced: false,
+        };
+        let handle = node.spawn_replicator(repl)?;
+        lock(&node.state).repl = Some(handle);
+        Ok(node)
+    }
+
+    /// Disables fencing: the node stops reporting a generation, so the
+    /// serving layer never rejects stale-stamped requests. Test hook
+    /// for demonstrating the split-brain failure mode fencing closes.
+    pub fn with_fencing_disabled(mut self) -> NodeService {
+        self.unfenced = true;
+        self
+    }
+
+    /// The node's current role.
+    pub fn role(&self) -> Role {
+        lock(&self.state).role
+    }
+
+    /// The node's persisted fencing generation.
+    pub fn current_generation(&self) -> u64 {
+        self.durable.generation()
+    }
+
+    /// Spawns a pull loop tailing `config.primary_addr`.
+    fn spawn_replicator(&self, config: FollowerConfig) -> std::io::Result<ReplHandle> {
+        let halt = Arc::new(AtomicBool::new(false));
+        let caught_up = Arc::new(AtomicBool::new(false));
+        let replicator = Replicator::new(
+            Arc::clone(&self.durable),
+            config,
+            Arc::clone(&halt),
+            Arc::clone(&self.stop),
+            Arc::clone(&self.metrics),
+        )
+        .with_caught_up(Arc::clone(&caught_up));
+        let thread = std::thread::Builder::new()
+            .name("bmb-replicator".to_string())
+            .spawn(move || replicator.run())?;
+        Ok(ReplHandle {
+            halt,
+            caught_up,
+            thread: Some(thread),
+        })
+    }
+
+    /// `promote`: bump the generation past the request floor, persist
+    /// it, stop tailing, and start serving as primary.
+    fn handle_promote(&self, ctx: &ServiceCtx<'_>) -> Result<Value, ServiceFailure> {
+        // Serializes role changes; the generation write and thread join
+        // below block under the guard on purpose. // lock:allow(io)
+        let mut state = lock(&self.state);
+        let already = state.role == Role::Primary;
+        if !already {
+            let floor = ctx.generation.unwrap_or(0);
+            let target = self.durable.generation().max(floor) + 1;
+            self.durable.set_generation(target).map_err(|e| {
+                ServiceFailure::io(format!(
+                    "promotion not durable: generation write failed: {e}"
+                ))
+            })?;
+            if let Some(handle) = state.repl.take() {
+                handle.halt_and_join();
+            }
+            state.role = Role::Primary;
+            state.catching_up = false;
+            self.metrics.promotions.inc();
+            bmb_obs::events().emit(
+                bmb_obs::Severity::Warn,
+                "follower promoted",
+                &[
+                    ("generation", &target.to_string()),
+                    ("epoch", &self.inner.engine().snapshot().epoch().to_string()),
+                ],
+            );
+        }
+        Ok(Value::object()
+            .with("promoted", Value::Bool(true))
+            .with(
+                "epoch",
+                Value::Int(self.inner.engine().snapshot().epoch() as i64),
+            )
+            .with("already", Value::Bool(already)))
+    }
+
+    /// `demote`: adopt the request's generation floor, restart the pull
+    /// loop against the promoted replacement, and gate queries until
+    /// caught up.
+    fn handle_demote(&self, primary: &str, ctx: &ServiceCtx<'_>) -> Result<Value, ServiceFailure> {
+        // Serializes role changes; the generation write and replicator
+        // restart below block under the guard. // lock:allow(io)
+        let mut state = lock(&self.state);
+        if let Some(floor) = ctx.generation {
+            self.durable.set_generation(floor).map_err(|e| {
+                ServiceFailure::io(format!(
+                    "demotion not durable: generation write failed: {e}"
+                ))
+            })?;
+        }
+        if let Some(handle) = state.repl.take() {
+            handle.halt_and_join();
+        }
+        let mut config = self.repl_template.clone();
+        config.primary_addr = primary.to_string();
+        let handle = self.spawn_replicator(config).map_err(|e| {
+            ServiceFailure::io(format!("demotion failed: cannot spawn pull loop: {e}"))
+        })?;
+        state.repl = Some(handle);
+        let was_primary = state.role == Role::Primary;
+        state.role = Role::Follower;
+        state.catching_up = true;
+        if was_primary {
+            self.metrics.demotions.inc();
+        }
+        bmb_obs::events().emit(
+            bmb_obs::Severity::Warn,
+            "node demoted to follower",
+            &[
+                ("primary", primary),
+                ("generation", &self.durable.generation().to_string()),
+            ],
+        );
+        Ok(Value::object()
+            .with("demoted", Value::Bool(true))
+            .with("primary", Value::Str(primary.to_string()))
+            .with(
+                "epoch",
+                Value::Int(self.inner.engine().snapshot().epoch() as i64),
+            ))
+    }
+
+    /// Whether queries are still gated behind post-demotion catch-up;
+    /// clears the gate once the pull loop has reported zero lag.
+    fn still_catching_up(&self) -> bool {
+        let mut state = lock(&self.state);
+        if !state.catching_up {
+            return false;
+        }
+        let caught_up = state
+            .repl
+            .as_ref()
+            // ordering: Acquire — pairs with the pull loop's Release
+            // store; observing the latch publishes the replayed store.
+            .map(|h| h.caught_up.load(Ordering::Acquire))
+            .unwrap_or(true);
+        if caught_up {
+            state.catching_up = false;
+        }
+        !caught_up
+    }
+}
+
+impl Drop for NodeService {
+    fn drop(&mut self) {
+        let handle = lock(&self.state).repl.take();
+        if let Some(handle) = handle {
+            handle.halt_and_join();
+        }
+    }
+}
+
+impl Service for NodeService {
+    fn registries(&self) -> Vec<Arc<Registry>> {
+        let mut registries = self.inner.registries();
+        registries.push(Arc::clone(self.metrics.registry()));
+        registries
+    }
+
+    fn generation(&self) -> Option<u64> {
+        if self.unfenced {
+            None
+        } else {
+            Some(self.durable.generation())
+        }
+    }
+
+    fn dispatch(&self, request: Request, ctx: &ServiceCtx<'_>) -> Result<Value, ServiceFailure> {
+        match request {
+            Request::Promote => self.handle_promote(ctx),
+            Request::Demote { primary } => self.handle_demote(&primary, ctx),
+            Request::Ingest { .. } => {
+                if self.role() == Role::Follower {
+                    return Err(ServiceFailure::other(
+                        "follower does not accept ingest; write to the shard primary",
+                    ));
+                }
+                self.inner.dispatch(request, ctx)
+            }
+            Request::ReplicatePull { .. } => self.inner.dispatch(request, ctx),
+            Request::Stats => {
+                let catching_up = self.still_catching_up();
+                let role = self.role();
+                Ok(self
+                    .inner
+                    .dispatch(Request::Stats, ctx)?
+                    .with(
+                        "role",
+                        Value::Str(
+                            match role {
+                                Role::Primary => "primary",
+                                Role::Follower => "follower",
+                            }
+                            .to_string(),
+                        ),
+                    )
+                    .with("promoted", Value::Bool(role == Role::Primary))
+                    .with("catching_up", Value::Bool(catching_up))
+                    .with(
+                        "replication_lag",
+                        Value::Int(self.metrics.replication_lag.get()),
+                    ))
+            }
+            other => {
+                if self.still_catching_up() {
+                    return Err(ServiceFailure::unavailable(
+                        "demoted; catching up with the new primary before serving reads",
+                    ));
+                }
+                self.inner.dispatch(other, ctx)
+            }
+        }
+    }
+}
+
+/// Acquires a mutex, recovering from poisoning (role state stays
+/// consistent: every transition completes before the guard drops).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}

@@ -1,0 +1,800 @@
+//! Seeded network-chaos torture: a 3-shard + follower cluster under a
+//! deterministic fault-injecting proxy, partitions, and kills, with
+//! four invariants checked continuously:
+//!
+//! 1. **Never a wrong answer** — every accepted query response names an
+//!    epoch vector, and its statistic/support bits must equal a
+//!    single-node oracle built from exactly the baskets applied at that
+//!    cut. Errors are tolerated under chaos; wrong answers never.
+//! 2. **No acked ingest lost** — every basket the coordinator acked is
+//!    provably applied (store epoch deltas reconcile each attempt), and
+//!    survives the failover into the final answers.
+//! 3. **Generations strictly monotone** — no node's persisted fencing
+//!    generation ever decreases, and every promotion strictly bumps it.
+//! 4. **No dual primary** — at every sample point, at most one node of
+//!    a replication pair holds the primary role at the slot's highest
+//!    protocol-visible generation. (A deliberately unfenced build fails
+//!    exactly this invariant — see `unfenced_build_split_brains`.)
+//!
+//! Every assertion names the schedule's seed; replay one schedule with
+//! `CHAOS_SEED=<seed> cargo test -p bmb-cluster --test chaos_torture`.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bmb_basket::wal::{DurabilityConfig, DurableStore};
+use bmb_basket::{FsDir, IncrementalStore, Itemset, StoreConfig};
+use bmb_cluster::{
+    ChaosConfig, ChaosProxy, ClusterMetrics, CoordinatorConfig, CoordinatorService, FollowerConfig,
+    NodeService, Role, ShardSpec,
+};
+use bmb_core::{EngineConfig, QueryEngine};
+use bmb_serve::json::Value;
+use bmb_serve::server::RunningServer;
+use bmb_serve::{
+    EngineService, Request, RetryPolicy, Server, ServerConfig, ServerMetrics, Service, ServiceCtx,
+    ServiceFailure,
+};
+
+const N_ITEMS: usize = 12;
+const DEFAULT_BASE_SEED: u64 = 0xB0B0_CAFE_D00D_F00D;
+
+// ---- deterministic schedule randomness ----------------------------------
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    /// Uniform in `lo..=hi`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo + 1)
+    }
+}
+
+/// The schedule seeds to run: one exact seed from `CHAOS_SEED`, or a
+/// fixed batch derived from the default base (20 in release; fewer in
+/// debug so tier-1 `cargo test` stays fast).
+fn schedule_seeds() -> Vec<u64> {
+    if let Ok(text) = std::env::var("CHAOS_SEED") {
+        let text = text.trim();
+        let seed = text
+            .strip_prefix("0x")
+            .map(|hex| u64::from_str_radix(hex, 16))
+            .unwrap_or_else(|| text.parse())
+            .expect("CHAOS_SEED must be a u64 (decimal or 0x-hex)");
+        return vec![seed];
+    }
+    let count = if cfg!(debug_assertions) { 4 } else { 20 };
+    let mut rng = Rng(DEFAULT_BASE_SEED);
+    (0..count).map(|_| rng.next()).collect()
+}
+
+// ---- cluster scaffolding ------------------------------------------------
+
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 2,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(5),
+        ..RetryPolicy::default()
+    }
+}
+
+fn temp_dir(seed: u64, tag: &str) -> PathBuf {
+    let pid = std::process::id();
+    let dir = std::env::temp_dir().join(format!("bmb-chaos-{pid}-{seed:016x}-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open_durable(dir: &PathBuf) -> Arc<DurableStore> {
+    let fs = FsDir::open(dir).expect("open dir");
+    let (durable, _report) = DurableStore::open_dir(
+        Box::new(fs),
+        N_ITEMS,
+        StoreConfig {
+            segment_capacity: 16,
+        },
+        DurabilityConfig {
+            segment_bytes: 1024,
+            retain_checkpoints: 2,
+        },
+    )
+    .expect("open durable store");
+    Arc::new(durable)
+}
+
+fn engine_over(durable: &Arc<DurableStore>) -> EngineService {
+    let engine = Arc::new(QueryEngine::new(
+        Arc::clone(durable.store()),
+        EngineConfig::default(),
+    ));
+    EngineService::new(engine).with_durable(Arc::clone(durable))
+}
+
+fn repl_tuning(primary_addr: String) -> FollowerConfig {
+    let mut config = FollowerConfig::new(primary_addr);
+    config.poll_interval = Duration::from_millis(2);
+    config.error_backoff = Duration::from_millis(10);
+    config.retry = fast_retry();
+    config.request_timeout = Duration::from_millis(500);
+    config
+}
+
+fn bind_node(node: &Arc<NodeService>) -> (RunningServer, SocketAddr) {
+    let server = Server::bind_service(
+        Arc::clone(node) as Arc<dyn Service>,
+        ServerConfig::default(),
+    )
+    .expect("bind node");
+    let addr = server.local_addr();
+    (server.spawn(), addr)
+}
+
+fn drive(coordinator: &CoordinatorService, request: Request) -> Result<Value, ServiceFailure> {
+    let config = ServerConfig::default();
+    let metrics = ServerMetrics::new();
+    let ctx = ServiceCtx {
+        start: Instant::now(),
+        config: &config,
+        metrics: &metrics,
+        generation: None,
+    };
+    coordinator.dispatch(request, &ctx)
+}
+
+/// The generation a node exposes on the wire (`None` when fencing is
+/// disabled — treated as 0, i.e. "no fence at all").
+fn visible_gen(node: &NodeService) -> u64 {
+    Service::generation(node).unwrap_or(0)
+}
+
+/// How many nodes of a replication pair claim the primary role at the
+/// pair's highest protocol-visible generation — the split-brain meter.
+fn primaries_at_top_gen(pair: &[&NodeService]) -> usize {
+    let top = pair.iter().map(|n| visible_gen(n)).max().unwrap_or(0);
+    pair.iter()
+        .filter(|n| n.role() == Role::Primary && visible_gen(n) >= top)
+        .count()
+}
+
+// ---- the torture driver -------------------------------------------------
+
+/// Everything one schedule builds and checks. The driver is
+/// single-threaded on purpose: every state change is observed at a
+/// known point, so the applied-basket record is exact and every answer
+/// can be compared against an oracle at its own epoch-vector cut.
+struct Torture {
+    seed: u64,
+    rng: Rng,
+    coordinator: CoordinatorService,
+    node0: Arc<NodeService>,
+    follower0: Arc<NodeService>,
+    store0: Arc<DurableStore>,
+    fstore0: Arc<DurableStore>,
+    store1: Arc<DurableStore>,
+    store2: Arc<DurableStore>,
+    node0_addr: SocketAddr,
+    proxy_addr: SocketAddr,
+    /// Exact per-shard applied basket sequences (slot 0 is the logical
+    /// sequence served by whichever node is slot 0's primary).
+    recorded: [Vec<Vec<u32>>; 3],
+    /// Mirror of the coordinator's basket-id counter (it advances per
+    /// *attempt*, acked or not, so routing stays reproducible).
+    attempted: u64,
+    /// Last sampled persisted generation per node, for monotonicity.
+    last_gens: [u64; 4],
+    oracle_cache: HashMap<([u64; 3], Vec<u32>), (f64, f64, u64)>,
+}
+
+impl Torture {
+    fn check(&self, ok: bool, what: &str) {
+        assert!(
+            ok,
+            "invariant violated: {what} — replay with CHAOS_SEED={:#x}",
+            self.seed
+        );
+    }
+
+    /// Invariants 3 and 4, sampled between operations.
+    fn sample_invariants(&mut self) {
+        let gens = [
+            self.store0.generation(),
+            self.fstore0.generation(),
+            self.store1.generation(),
+            self.store2.generation(),
+        ];
+        for (node, (&now, last)) in gens.iter().zip(self.last_gens).enumerate() {
+            assert!(
+                now >= last,
+                "invariant violated: node {node} generation moved backwards \
+                 ({last} -> {now}) — replay with CHAOS_SEED={:#x}",
+                self.seed
+            );
+        }
+        self.last_gens = gens;
+        let dual = primaries_at_top_gen(&[&self.node0, &self.follower0]);
+        self.check(
+            dual <= 1,
+            "two nodes answer as primary for shard 0 at the top generation",
+        );
+    }
+
+    /// A fresh seeded basket, sorted and deduped so the cluster and the
+    /// oracle ingest byte-identical rows.
+    fn random_basket(&mut self) -> Vec<u32> {
+        let len = self.rng.range(1, 3);
+        let mut basket: Vec<u32> = (0..len)
+            .map(|_| self.rng.below(N_ITEMS as u64) as u32)
+            .collect();
+        basket.sort_unstable();
+        basket.dedup();
+        basket
+    }
+
+    /// The durable store currently serving slot 0 writes.
+    fn slot0_store(&self) -> &Arc<DurableStore> {
+        if self.follower0.role() == Role::Primary {
+            &self.fstore0
+        } else {
+            &self.store0
+        }
+    }
+
+    /// One ingest attempt through the coordinator, reconciled exactly:
+    /// store-epoch deltas prove which routed sub-batches were applied,
+    /// and an ack with a missing application is invariant 2's failure.
+    fn do_ingest(&mut self) {
+        let count = self.rng.range(4, 12);
+        let baskets: Vec<Vec<u32>> = (0..count).map(|_| self.random_basket()).collect();
+        let first_id = self.attempted;
+        self.attempted += count;
+        // The proxy torments the read path; acked writes go direct so
+        // an applied-but-ack-corrupted write cannot masquerade as loss.
+        let promoted = self.follower0.role() == Role::Primary;
+        if !promoted {
+            self.coordinator
+                .reconnect_shard(0, &self.node0_addr.to_string());
+        }
+        let mut routed: [Vec<Vec<u32>>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for (offset, basket) in baskets.iter().enumerate() {
+            let shard = self
+                .coordinator
+                .partitioner()
+                .shard_of(first_id + offset as u64);
+            routed[shard].push(basket.clone());
+        }
+        let slot_stores = [
+            Arc::clone(self.slot0_store()),
+            Arc::clone(&self.store1),
+            Arc::clone(&self.store2),
+        ];
+        let before: Vec<u64> = slot_stores.iter().map(|s| s.epoch()).collect();
+        let answer = drive(
+            &self.coordinator,
+            Request::Ingest {
+                baskets: baskets.clone(),
+            },
+        );
+        let acked = answer.is_ok();
+        for (slot, routed) in routed.into_iter().enumerate() {
+            let applied = slot_stores[slot].epoch() - before[slot];
+            self.check(
+                applied == 0 || applied == routed.len() as u64,
+                "a shard applied a partial ingest batch",
+            );
+            if acked {
+                self.check(
+                    applied == routed.len() as u64,
+                    "acked ingest was not applied on a shard",
+                );
+            }
+            if applied > 0 {
+                self.recorded[slot].extend(routed);
+            }
+        }
+        if !promoted {
+            self.coordinator
+                .reconnect_shard(0, &self.proxy_addr.to_string());
+            // Drain replication before the next chaotic read: a single
+            // transport fault can legitimately promote the follower,
+            // and promotion must never strand an acked basket behind
+            // replication lag.
+            self.await_slot0_sync();
+        }
+        self.sample_invariants();
+    }
+
+    /// One chi² query through the coordinator. Errors are tolerated
+    /// (chaos is chaos); an accepted answer is validated bit-for-bit
+    /// against the oracle at its own epoch-vector cut. Returns whether
+    /// the query was answered.
+    fn do_query(&mut self) -> bool {
+        let a = self.rng.below(N_ITEMS as u64) as u32;
+        let b = (a + 1 + self.rng.below(N_ITEMS as u64 - 1) as u32) % N_ITEMS as u32;
+        let items = vec![a.min(b), a.max(b)];
+        match drive(
+            &self.coordinator,
+            Request::Chi2 {
+                items: items.clone(),
+            },
+        ) {
+            Ok(answer) => {
+                self.validate_answer(&items, &answer);
+                self.sample_invariants();
+                true
+            }
+            Err(_) => {
+                self.sample_invariants();
+                false
+            }
+        }
+    }
+
+    /// Invariant 1: rebuild a single-node store holding exactly the
+    /// baskets at the answer's epoch-vector cut and compare f64 bits.
+    fn validate_answer(&mut self, items: &[u32], answer: &Value) {
+        let epochs: Vec<u64> = answer
+            .get("epochs")
+            .and_then(Value::as_array)
+            .map(|rows| rows.iter().filter_map(Value::as_u64).collect())
+            .unwrap_or_default();
+        self.check(epochs.len() == 3, "answer is missing its epoch vector");
+        for (slot, (&epoch, recorded)) in epochs.iter().zip(&self.recorded).enumerate() {
+            assert!(
+                epoch <= recorded.len() as u64,
+                "invariant violated: shard {slot} answered at epoch {epoch} but only \
+                 {} baskets were ever applied — replay with CHAOS_SEED={:#x}",
+                recorded.len(),
+                self.seed
+            );
+        }
+        let cut = [epochs[0], epochs[1], epochs[2]];
+        let key = (cut, items.to_vec());
+        let (statistic, ln_p, support) = match self.oracle_cache.get(&key) {
+            Some(&cached) => cached,
+            None => {
+                let oracle = self.oracle_at(cut, items);
+                self.oracle_cache.insert(key, oracle);
+                oracle
+            }
+        };
+        let got_stat = answer.get("statistic").and_then(Value::as_f64);
+        let got_ln_p = answer.get("ln_p_value").and_then(Value::as_f64);
+        self.check(
+            got_stat.map(f64::to_bits) == Some(statistic.to_bits()),
+            "χ² statistic bits diverged from the single-node oracle",
+        );
+        self.check(
+            got_ln_p.map(f64::to_bits) == Some(ln_p.to_bits()),
+            "ln p-value bits diverged from the single-node oracle",
+        );
+        self.check(
+            answer.get("support").and_then(Value::as_u64) == Some(support),
+            "support diverged from the single-node oracle",
+        );
+        self.check(
+            answer.get("epoch").and_then(Value::as_u64) == Some(cut.iter().sum()),
+            "scalar epoch is not the epoch-vector sum",
+        );
+    }
+
+    /// The oracle: one in-memory store over the applied prefixes named
+    /// by the epoch vector, answering through the very engine a
+    /// standalone server uses.
+    fn oracle_at(&self, cut: [u64; 3], items: &[u32]) -> (f64, f64, u64) {
+        let store = Arc::new(IncrementalStore::new(
+            N_ITEMS,
+            StoreConfig {
+                segment_capacity: 64,
+            },
+        ));
+        for (slot, &epoch) in cut.iter().enumerate() {
+            for basket in &self.recorded[slot][..epoch as usize] {
+                store
+                    .append_ids(basket.iter().copied())
+                    .expect("oracle ingest");
+            }
+        }
+        let engine = QueryEngine::new(store, EngineConfig::default());
+        let snap = engine.snapshot();
+        let answer = engine
+            .chi2(&snap, &Itemset::from_ids(items.iter().copied()))
+            .unwrap_or_else(|e| {
+                panic!(
+                    "cluster answered but the oracle refused ({e}) — replay with \
+                     CHAOS_SEED={:#x}",
+                    self.seed
+                )
+            });
+        (
+            answer.outcome.statistic,
+            answer.outcome.ln_p_value,
+            answer.support,
+        )
+    }
+
+    /// Blocks until the follower's store matches the primary's — the
+    /// quiesce point before a controlled primary failure, so promotion
+    /// can never strand acked baskets behind replication lag.
+    fn await_slot0_sync(&self) {
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while self.fstore0.epoch() < self.store0.epoch() {
+            assert!(
+                Instant::now() < deadline,
+                "follower never synced (epoch {} of {}) — replay with CHAOS_SEED={:#x}",
+                self.fstore0.epoch(),
+                self.store0.epoch(),
+                self.seed
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+/// One full seeded schedule: chaotic reads over a healthy cluster, a
+/// controlled primary failure (partition or kill), a promotion storm,
+/// acked writes through the new primary, heal, fenced demotion of the
+/// stale primary, catch-up, and a final full-cluster verification.
+fn run_schedule(seed: u64) {
+    let mut rng = Rng(seed);
+    let chaos = {
+        let mut config = ChaosConfig::new(rng.next());
+        config.delay_per_mille = rng.range(50, 250) as u16;
+        config.max_delay_us = 5_000;
+        config.corrupt_per_mille = rng.range(0, 25) as u16;
+        config.drop_per_mille = rng.range(0, 25) as u16;
+        config.stall_per_mille = rng.range(0, 10) as u16;
+        config.refuse_per_mille = rng.range(0, 30) as u16;
+        config
+    };
+
+    let dirs: Vec<PathBuf> = ["p0", "f0", "p1", "p2"]
+        .iter()
+        .map(|tag| temp_dir(seed, tag))
+        .collect();
+    let stop = Arc::new(AtomicBool::new(false));
+    let store0 = open_durable(&dirs[0]);
+    let fstore0 = open_durable(&dirs[1]);
+    let store1 = open_durable(&dirs[2]);
+    let store2 = open_durable(&dirs[3]);
+
+    let node0 = Arc::new(NodeService::primary(
+        engine_over(&store0),
+        Arc::clone(&store0),
+        repl_tuning(String::new()),
+        Arc::clone(&stop),
+        Arc::new(ClusterMetrics::new()),
+    ));
+    let (node0_running, node0_addr) = bind_node(&node0);
+    let follower0 = Arc::new(
+        NodeService::follower(
+            engine_over(&fstore0),
+            Arc::clone(&fstore0),
+            repl_tuning(node0_addr.to_string()),
+            Arc::clone(&stop),
+            Arc::new(ClusterMetrics::new()),
+        )
+        .expect("spawn follower"),
+    );
+    let (follower_running, follower_addr) = bind_node(&follower0);
+    let node1 = Arc::new(NodeService::primary(
+        engine_over(&store1),
+        Arc::clone(&store1),
+        repl_tuning(String::new()),
+        Arc::clone(&stop),
+        Arc::new(ClusterMetrics::new()),
+    ));
+    let (node1_running, node1_addr) = bind_node(&node1);
+    let node2 = Arc::new(NodeService::primary(
+        engine_over(&store2),
+        Arc::clone(&store2),
+        repl_tuning(String::new()),
+        Arc::clone(&stop),
+        Arc::new(ClusterMetrics::new()),
+    ));
+    let (node2_running, node2_addr) = bind_node(&node2);
+
+    let mut proxy = ChaosProxy::spawn("127.0.0.1:0", &node0_addr.to_string(), None, chaos)
+        .expect("spawn chaos proxy");
+    let proxy_addr = proxy.local_addr();
+    let mut node0_running = Some(node0_running);
+
+    let mut config = CoordinatorConfig::new(N_ITEMS, std::iter::empty());
+    config.shards = vec![
+        ShardSpec::primary(proxy_addr.to_string()).with_follower(follower_addr.to_string()),
+        ShardSpec::primary(node1_addr.to_string()),
+        ShardSpec::primary(node2_addr.to_string()),
+    ];
+    config.retry = fast_retry();
+    config.request_timeout = Duration::from_millis(500);
+    config.probe_cooldown = Duration::from_millis(50);
+    let coordinator = CoordinatorService::new(config);
+
+    let mut torture = Torture {
+        seed,
+        coordinator,
+        node0: Arc::clone(&node0),
+        follower0: Arc::clone(&follower0),
+        store0: Arc::clone(&store0),
+        fstore0: Arc::clone(&fstore0),
+        store1: Arc::clone(&store1),
+        store2: Arc::clone(&store2),
+        node0_addr,
+        proxy_addr,
+        recorded: [Vec::new(), Vec::new(), Vec::new()],
+        attempted: 0,
+        last_gens: [1, 1, 1, 1],
+        oracle_cache: HashMap::new(),
+        rng,
+    };
+
+    // Phase A: chaotic reads over a healthy cluster. Ingest lands and
+    // queries run through the fault-injecting proxy; every answered
+    // query is oracle-checked.
+    for _ in 0..torture.rng.range(2, 4) {
+        torture.do_ingest();
+    }
+    let mut answered = 0;
+    for _ in 0..torture.rng.range(6, 12) {
+        if torture.do_query() {
+            answered += 1;
+        }
+    }
+    // The storm below retries until answered, so zero here is fine —
+    // but with benign-to-mild fault rates most schedules answer.
+    let _ = answered;
+
+    // Phase B: controlled primary failure. Quiesce + sync first so the
+    // promotion cannot strand acked baskets, then cut shard 0 off. (A
+    // phase-A fault may already have promoted the follower — then the
+    // cut just hits a node that already lost its role.)
+    torture.await_slot0_sync();
+    let gen_before = fstore0.generation();
+    let promoted_before_cut = follower0.role() == Role::Primary;
+    let kill = torture.rng.next() & 1 == 0;
+    if kill {
+        node0_running
+            .take()
+            .expect("primary still bound")
+            .stop()
+            .expect("kill primary server");
+    } else {
+        proxy.partition();
+    }
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let mut answered_after_failover = false;
+    while !(answered_after_failover && follower0.role() == Role::Primary) {
+        assert!(
+            Instant::now() < deadline,
+            "cluster never recovered from the failover — replay with CHAOS_SEED={seed:#x}"
+        );
+        answered_after_failover = torture.do_query() || answered_after_failover;
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    if !promoted_before_cut {
+        torture.check(
+            fstore0.generation() == gen_before + 1,
+            "promotion did not strictly bump the persisted generation",
+        );
+    }
+
+    // Acked writes keep flowing through the promoted primary while the
+    // old one is still partitioned or dead.
+    for _ in 0..torture.rng.range(1, 2) {
+        torture.do_ingest();
+    }
+    let deadline = Instant::now() + Duration::from_secs(15);
+    while !torture.do_query() {
+        assert!(
+            Instant::now() < deadline,
+            "no answers through the promoted primary — replay with CHAOS_SEED={seed:#x}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Phase C: heal. A killed node comes back on a fresh port (the
+    // proxy re-points); a partitioned one just gets connectivity back.
+    // Either way it still believes it is primary at the old generation
+    // — the coordinator must fence it down to follower.
+    let healed_running = if kill {
+        let (running, healed_addr) = bind_node(&node0);
+        proxy.set_upstream(healed_addr.to_string());
+        Some(running)
+    } else {
+        proxy.heal();
+        None
+    };
+    let deadline = Instant::now() + Duration::from_secs(15);
+    while node0.role() != Role::Follower {
+        assert!(
+            Instant::now() < deadline,
+            "stale primary was never demoted — replay with CHAOS_SEED={seed:#x}"
+        );
+        let _ = drive(&torture.coordinator, Request::Stats);
+        torture.sample_invariants();
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    torture.check(
+        store0.generation() == fstore0.generation(),
+        "demoted node did not adopt the promoted generation",
+    );
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while store0.epoch() < torture.recorded[0].len() as u64 {
+        assert!(
+            Instant::now() < deadline,
+            "demoted node never caught up (epoch {} of {}) — replay with CHAOS_SEED={seed:#x}",
+            store0.epoch(),
+            torture.recorded[0].len()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Final verification: nothing acked was lost anywhere, and the
+    // healed cluster still answers exactly like the oracle.
+    torture.check(
+        fstore0.epoch() == torture.recorded[0].len() as u64
+            && store1.epoch() == torture.recorded[1].len() as u64
+            && store2.epoch() == torture.recorded[2].len() as u64,
+        "final store epochs do not match the applied record",
+    );
+    let deadline = Instant::now() + Duration::from_secs(15);
+    while !torture.do_query() {
+        assert!(
+            Instant::now() < deadline,
+            "healed cluster stopped answering — replay with CHAOS_SEED={seed:#x}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    torture.sample_invariants();
+
+    stop.store(true, Ordering::Release);
+    proxy.stop();
+    if let Some(running) = healed_running {
+        running.stop().expect("stop healed node");
+    }
+    if let Some(running) = node0_running {
+        running.stop().expect("stop node0");
+    }
+    follower_running.stop().expect("stop follower");
+    node1_running.stop().expect("stop node1");
+    node2_running.stop().expect("stop node2");
+    drop(torture);
+    for dir in dirs {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn seeded_fault_schedules_preserve_every_invariant() {
+    for seed in schedule_seeds() {
+        run_schedule(seed);
+    }
+}
+
+/// The negative control: with fencing disabled (the `NodeService` test
+/// hook plus `fencing: false` on the coordinator), the same partition →
+/// promote → heal sequence ends with BOTH nodes of the pair claiming
+/// the primary role at the same protocol-visible generation — the
+/// split-brain the torture invariant exists to catch.
+#[test]
+fn unfenced_build_split_brains() {
+    let seed = 0x5EED_u64;
+    let dirs: Vec<PathBuf> = ["u-p0", "u-f0"]
+        .iter()
+        .map(|tag| temp_dir(seed, tag))
+        .collect();
+    let stop = Arc::new(AtomicBool::new(false));
+    let store0 = open_durable(&dirs[0]);
+    let fstore0 = open_durable(&dirs[1]);
+
+    let node0 = Arc::new(
+        NodeService::primary(
+            engine_over(&store0),
+            Arc::clone(&store0),
+            repl_tuning(String::new()),
+            Arc::clone(&stop),
+            Arc::new(ClusterMetrics::new()),
+        )
+        .with_fencing_disabled(),
+    );
+    let (node0_running, node0_addr) = bind_node(&node0);
+    let follower0 = Arc::new(
+        NodeService::follower(
+            engine_over(&fstore0),
+            Arc::clone(&fstore0),
+            repl_tuning(node0_addr.to_string()),
+            Arc::clone(&stop),
+            Arc::new(ClusterMetrics::new()),
+        )
+        .expect("spawn follower")
+        .with_fencing_disabled(),
+    );
+    let (follower_running, follower_addr) = bind_node(&follower0);
+
+    let mut proxy = ChaosProxy::spawn(
+        "127.0.0.1:0",
+        &node0_addr.to_string(),
+        None,
+        ChaosConfig::new(seed),
+    )
+    .expect("spawn chaos proxy");
+
+    let mut config = CoordinatorConfig::new(N_ITEMS, std::iter::empty());
+    config.shards =
+        vec![ShardSpec::primary(proxy.local_addr().to_string())
+            .with_follower(follower_addr.to_string())];
+    config.retry = fast_retry();
+    config.request_timeout = Duration::from_millis(500);
+    config.probe_cooldown = Duration::from_millis(50);
+    config.fencing = false;
+    let coordinator = CoordinatorService::new(config);
+
+    // Seed data, let the follower sync, then partition the primary and
+    // storm until the coordinator promotes the follower.
+    drive(
+        &coordinator,
+        Request::Ingest {
+            baskets: vec![vec![0, 1], vec![1, 2], vec![0, 1], vec![0, 2]],
+        },
+    )
+    .expect("seed ingest");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while fstore0.epoch() < store0.epoch() {
+        assert!(Instant::now() < deadline, "follower never synced");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    proxy.partition();
+    let deadline = Instant::now() + Duration::from_secs(15);
+    while follower0.role() != Role::Primary {
+        assert!(Instant::now() < deadline, "follower was never promoted");
+        let _ = drive(&coordinator, Request::Chi2 { items: vec![0, 1] });
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Heal the partition and give the coordinator every chance to fix
+    // the split: without fencing it never demotes anything.
+    proxy.heal();
+    for _ in 0..10 {
+        let _ = drive(&coordinator, Request::Stats);
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Both nodes answer as primary at the same visible generation (no
+    // generations on the wire at all): the split-brain invariant the
+    // fenced torture run proves can never happen.
+    assert_eq!(node0.role(), Role::Primary, "old primary kept its role");
+    assert_eq!(
+        follower0.role(),
+        Role::Primary,
+        "promoted follower is primary"
+    );
+    assert_eq!(
+        primaries_at_top_gen(&[&node0, &follower0]),
+        2,
+        "the unfenced build must exhibit the dual-primary violation"
+    );
+
+    stop.store(true, Ordering::Release);
+    proxy.stop();
+    node0_running.stop().expect("stop node0");
+    follower_running.stop().expect("stop follower");
+    for dir in dirs {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -236,6 +236,7 @@ fn chi2_statistics_match_to_the_bit() {
             start: std::time::Instant::now(),
             config: &config,
             metrics: &metrics,
+            generation: None,
         };
         let got = coordinator
             .dispatch(

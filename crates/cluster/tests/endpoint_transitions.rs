@@ -1,0 +1,346 @@
+//! Endpoint state transitions under an injectable clock: mark-down,
+//! probe-cooldown rest, rejoin, and post-promotion demote pacing — all
+//! driven by explicit [`TestClock::advance`] calls, no real sleeps in
+//! the state machine itself.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bmb_basket::wal::{DurabilityConfig, DurableStore};
+use bmb_basket::{FsDir, IncrementalStore, ItemId, StoreConfig};
+use bmb_cluster::{
+    ClusterMetrics, CoordinatorConfig, CoordinatorService, FollowerConfig, NodeService, Role,
+    ShardSpec, TestClock,
+};
+use bmb_core::{EngineConfig, QueryEngine};
+use bmb_serve::json::Value;
+use bmb_serve::server::RunningServer;
+use bmb_serve::{
+    EngineService, Request, RetryPolicy, Server, ServerConfig, ServerMetrics, Service, ServiceCtx,
+    ServiceFailure,
+};
+
+const N_ITEMS: usize = 8;
+const COOLDOWN: Duration = Duration::from_secs(60);
+
+/// Retry pacing tight enough that a dead endpoint fails fast.
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 2,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(5),
+        ..RetryPolicy::default()
+    }
+}
+
+/// Dispatches one request through the coordinator's service face.
+fn drive(coordinator: &CoordinatorService, request: Request) -> Result<Value, ServiceFailure> {
+    let config = ServerConfig::default();
+    let metrics = ServerMetrics::new();
+    let ctx = ServiceCtx {
+        start: Instant::now(),
+        config: &config,
+        metrics: &metrics,
+        generation: None,
+    };
+    coordinator.dispatch(request, &ctx)
+}
+
+/// The first (only) shard's health row out of a stats response.
+fn shard_row(coordinator: &CoordinatorService) -> Value {
+    let stats = drive(coordinator, Request::Stats).expect("stats");
+    stats
+        .get("shards")
+        .and_then(Value::as_array)
+        .and_then(<[Value]>::first)
+        .cloned()
+        .expect("one shard row")
+}
+
+fn counter(coordinator: &CoordinatorService, name: &str) -> u64 {
+    coordinator
+        .metrics()
+        .registry()
+        .snapshot()
+        .counter_value(name, &[])
+}
+
+/// A plain in-memory shard server with no follower and no generations.
+fn spawn_plain_shard() -> (RunningServer, SocketAddr) {
+    let store = Arc::new(IncrementalStore::new(
+        N_ITEMS,
+        StoreConfig {
+            segment_capacity: 16,
+        },
+    ));
+    store.append_ids([0u32, 1]).expect("seed basket");
+    let engine = Arc::new(QueryEngine::new(store, EngineConfig::default()));
+    let server = Server::bind(engine, ServerConfig::default()).expect("bind shard");
+    let addr = server.local_addr();
+    (server.spawn(), addr)
+}
+
+#[test]
+fn markdown_rests_for_the_cooldown_then_rejoins() {
+    let (running, addr) = spawn_plain_shard();
+    let clock = Arc::new(TestClock::new());
+    let mut config = CoordinatorConfig::new(N_ITEMS, [addr.to_string()]);
+    config.retry = fast_retry();
+    config.probe_cooldown = COOLDOWN;
+    let coordinator = CoordinatorService::new(config).with_clock(Arc::clone(&clock) as _);
+
+    // Healthy: the row reports up with a clean failure ledger.
+    let row = shard_row(&coordinator);
+    assert_eq!(row.get("up").and_then(Value::as_bool), Some(true));
+    assert_eq!(
+        row.get("consecutive_failures").and_then(Value::as_u64),
+        Some(0)
+    );
+    assert!(matches!(row.get("last_error"), Some(Value::Null)));
+
+    // Kill the shard: the next probe marks it down and records why.
+    running.stop().expect("stop shard");
+    let row = shard_row(&coordinator);
+    assert_eq!(row.get("up").and_then(Value::as_bool), Some(false));
+    assert_eq!(
+        row.get("consecutive_failures").and_then(Value::as_u64),
+        Some(1)
+    );
+    assert!(row.get("last_error").and_then(Value::as_str).is_some());
+    assert_eq!(
+        counter(&coordinator, "bmb_cluster_shard_markdowns_total"),
+        1
+    );
+
+    // Inside the cooldown the endpoint rests: no probe is even sent
+    // (the fan-out counter stands still), and the ledger is frozen.
+    let fanout_before = counter(&coordinator, "bmb_cluster_fanout_requests_total");
+    let row = shard_row(&coordinator);
+    assert_eq!(row.get("up").and_then(Value::as_bool), Some(false));
+    assert_eq!(
+        row.get("consecutive_failures").and_then(Value::as_u64),
+        Some(1)
+    );
+    assert_eq!(
+        counter(&coordinator, "bmb_cluster_fanout_requests_total"),
+        fanout_before,
+        "a resting endpoint must not be probed"
+    );
+    assert_eq!(
+        counter(&coordinator, "bmb_cluster_shard_markdowns_total"),
+        1
+    );
+
+    // Past the cooldown the probe goes out again; the shard is still
+    // dead, so the failure count grows but no second markdown fires.
+    clock.advance(COOLDOWN + Duration::from_secs(1));
+    let row = shard_row(&coordinator);
+    assert_eq!(row.get("up").and_then(Value::as_bool), Some(false));
+    assert_eq!(
+        row.get("consecutive_failures").and_then(Value::as_u64),
+        Some(2)
+    );
+    assert_eq!(
+        counter(&coordinator, "bmb_cluster_shard_markdowns_total"),
+        1
+    );
+    assert_eq!(counter(&coordinator, "bmb_cluster_shard_rejoins_total"), 0);
+
+    // Revive the shard on a fresh port, re-point the endpoint, and the
+    // next probe rejoins it: ledger reset, rejoin counted exactly once.
+    let (revived, new_addr) = spawn_plain_shard();
+    coordinator.reconnect_shard(0, &new_addr.to_string());
+    let row = shard_row(&coordinator);
+    assert_eq!(row.get("up").and_then(Value::as_bool), Some(true));
+    assert_eq!(
+        row.get("consecutive_failures").and_then(Value::as_u64),
+        Some(0)
+    );
+    assert!(matches!(row.get("last_error"), Some(Value::Null)));
+    assert_eq!(counter(&coordinator, "bmb_cluster_shard_rejoins_total"), 1);
+    let row = shard_row(&coordinator);
+    assert_eq!(row.get("up").and_then(Value::as_bool), Some(true));
+    assert_eq!(counter(&coordinator, "bmb_cluster_shard_rejoins_total"), 1);
+
+    revived.stop().expect("stop revived shard");
+}
+
+// ---- promotion + paced demotion over durable fenced nodes ---------------
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let pid = std::process::id();
+    let dir = std::env::temp_dir().join(format!("bmb-endpoint-trans-{pid}-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open_durable(dir: &PathBuf) -> Arc<DurableStore> {
+    let fs = FsDir::open(dir).expect("open dir");
+    let (durable, _report) = DurableStore::open_dir(
+        Box::new(fs),
+        N_ITEMS,
+        StoreConfig {
+            segment_capacity: 8,
+        },
+        DurabilityConfig {
+            segment_bytes: 512,
+            retain_checkpoints: 2,
+        },
+    )
+    .expect("open durable store");
+    Arc::new(durable)
+}
+
+fn engine_over(durable: &Arc<DurableStore>) -> EngineService {
+    let engine = Arc::new(QueryEngine::new(
+        Arc::clone(durable.store()),
+        EngineConfig::default(),
+    ));
+    EngineService::new(engine).with_durable(Arc::clone(durable))
+}
+
+fn bind_node(node: &Arc<NodeService>) -> (RunningServer, SocketAddr) {
+    let server = Server::bind_service(
+        Arc::clone(node) as Arc<dyn Service>,
+        ServerConfig::default(),
+    )
+    .expect("bind node");
+    let addr = server.local_addr();
+    (server.spawn(), addr)
+}
+
+#[test]
+fn promotion_then_demote_probe_paced_by_the_cooldown() {
+    let primary_dir = temp_dir("primary");
+    let follower_dir = temp_dir("follower");
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // A durable primary with a little data, and a follower tailing it.
+    let primary_store = open_durable(&primary_dir);
+    primary_store
+        .append_batch((0..50u32).map(|i| vec![ItemId(i % 4), ItemId(4 + i % 3)]))
+        .expect("seed primary");
+    let primary_node = Arc::new(NodeService::primary(
+        engine_over(&primary_store),
+        Arc::clone(&primary_store),
+        {
+            let mut template = FollowerConfig::new(String::new());
+            template.poll_interval = Duration::from_millis(5);
+            template.error_backoff = Duration::from_millis(20);
+            template.retry = fast_retry();
+            template
+        },
+        Arc::clone(&stop),
+        Arc::new(ClusterMetrics::new()),
+    ));
+    let (primary_running, primary_addr) = bind_node(&primary_node);
+
+    let follower_store = open_durable(&follower_dir);
+    let follower_node = Arc::new(
+        NodeService::follower(
+            engine_over(&follower_store),
+            Arc::clone(&follower_store),
+            {
+                let mut config = FollowerConfig::new(primary_addr.to_string());
+                config.poll_interval = Duration::from_millis(5);
+                config.error_backoff = Duration::from_millis(20);
+                config.retry = fast_retry();
+                config
+            },
+            Arc::clone(&stop),
+            Arc::new(ClusterMetrics::new()),
+        )
+        .expect("spawn follower"),
+    );
+    let (follower_running, follower_addr) = bind_node(&follower_node);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while follower_store.epoch() < 50 {
+        assert!(Instant::now() < deadline, "follower never caught up");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let clock = Arc::new(TestClock::new());
+    let mut config = CoordinatorConfig::new(N_ITEMS, std::iter::empty());
+    config.shards =
+        vec![ShardSpec::primary(primary_addr.to_string()).with_follower(follower_addr.to_string())];
+    config.retry = fast_retry();
+    config.probe_cooldown = COOLDOWN;
+    let coordinator = CoordinatorService::new(config).with_clock(Arc::clone(&clock) as _);
+
+    // Startup reconciliation adopts the shards' generation (both at 1).
+    let row = shard_row(&coordinator);
+    assert_eq!(row.get("up").and_then(Value::as_bool), Some(true));
+    assert_eq!(row.get("promoted").and_then(Value::as_bool), Some(false));
+    assert_eq!(row.get("generation").and_then(Value::as_u64), Some(1));
+
+    // Primary dies: mark-down, promotion at a bumped generation — but
+    // the demote probe is NOT due yet (the pacing timer just started).
+    primary_running.stop().expect("stop primary");
+    let row = shard_row(&coordinator);
+    assert_eq!(
+        row.get("up").and_then(Value::as_bool),
+        Some(true),
+        "reads follow the promoted node"
+    );
+    assert_eq!(row.get("promoted").and_then(Value::as_bool), Some(true));
+    assert_eq!(row.get("generation").and_then(Value::as_u64), Some(2));
+    assert_eq!(counter(&coordinator, "bmb_cluster_promotions_total"), 1);
+    assert_eq!(counter(&coordinator, "bmb_cluster_demotions_total"), 0);
+    assert_eq!(follower_node.role(), Role::Primary);
+
+    // The old primary heals on a new port — still at generation 1 and
+    // still believing it is primary. Within the cooldown nothing is
+    // sent to it, so it keeps that belief.
+    let (healed_running, healed_addr) = bind_node(&primary_node);
+    coordinator.reconnect_shard(0, &healed_addr.to_string());
+    let _ = shard_row(&coordinator);
+    assert_eq!(
+        primary_node.role(),
+        Role::Primary,
+        "demote must wait out the cooldown"
+    );
+    assert_eq!(counter(&coordinator, "bmb_cluster_demotions_total"), 0);
+
+    // Once the cooldown lapses the demote goes out: the healed node
+    // adopts the promoted generation, flips to follower, and starts
+    // tailing the new primary.
+    clock.advance(COOLDOWN + Duration::from_secs(1));
+    let _ = shard_row(&coordinator);
+    assert_eq!(counter(&coordinator, "bmb_cluster_demotions_total"), 1);
+    assert_eq!(primary_node.role(), Role::Follower);
+    assert_eq!(primary_node.current_generation(), 2);
+
+    // Ingest lands on the promoted node and replicates back to the
+    // demoted one — the replication direction has reversed.
+    let answer = drive(
+        &coordinator,
+        Request::Ingest {
+            baskets: vec![vec![0, 1]],
+        },
+    )
+    .expect("ingest via promoted node");
+    assert_eq!(answer.get("ingested").and_then(Value::as_u64), Some(1));
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while primary_store.epoch() < 51 {
+        assert!(
+            Instant::now() < deadline,
+            "demoted node never caught up (epoch {})",
+            primary_store.epoch()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // The demote is acked once; no re-probe after the next cooldown.
+    clock.advance(COOLDOWN + Duration::from_secs(1));
+    let _ = shard_row(&coordinator);
+    assert_eq!(counter(&coordinator, "bmb_cluster_demotions_total"), 1);
+
+    stop.store(true, Ordering::Release);
+    healed_running.stop().expect("stop healed node");
+    follower_running.stop().expect("stop follower");
+    let _ = std::fs::remove_dir_all(&primary_dir);
+    let _ = std::fs::remove_dir_all(&follower_dir);
+}

@@ -1,10 +1,14 @@
-//! WAL-shipping replication and follower promotion, over real TCP.
+//! WAL-shipping replication and generation-fenced promotion, over real
+//! TCP.
 //!
-//! A durable primary ingests a workload; a follower tails its WAL via
-//! `replicate_pull` until the lag gauge reads zero; then the primary is
-//! stopped and a coordinator (configured with the follower) must mark
-//! the primary down, promote the follower, and keep answering reads —
-//! with the same bits a local engine over the same baskets produces.
+//! A durable primary ingests a workload; a follower node tails its WAL
+//! via `replicate_pull` until the lag gauge reads zero; then the
+//! primary is stopped and a coordinator (configured with the follower)
+//! must mark the primary down, promote the follower at a bumped
+//! durable generation, and keep answering reads — with the same bits a
+//! local engine over the same baskets produces. The promoted follower
+//! is the shard's primary at the new generation, so acked ingest keeps
+//! working through the failover.
 
 use std::net::SocketAddr;
 use std::path::PathBuf;
@@ -15,13 +19,13 @@ use std::time::{Duration, Instant};
 use bmb_basket::wal::{DurabilityConfig, DurableStore};
 use bmb_basket::{FsDir, ItemId, Itemset, StoreConfig};
 use bmb_cluster::{
-    ClusterMetrics, CoordinatorConfig, CoordinatorService, FollowerConfig, FollowerService,
-    Replicator, ShardSpec,
+    ClusterMetrics, CoordinatorConfig, CoordinatorService, FollowerConfig, NodeService, Role,
+    ShardSpec,
 };
 use bmb_core::{EngineConfig, QueryEngine};
 use bmb_serve::json::Value;
 use bmb_serve::server::RunningServer;
-use bmb_serve::{Client, ClientError, EngineService, Server, ServerConfig, Service};
+use bmb_serve::{Client, EngineService, Server, ServerConfig, Service};
 
 const N_ITEMS: usize = 16;
 
@@ -93,36 +97,33 @@ fn follower_replicates_promotes_and_serves_reads() {
     assert_eq!(primary_epoch, baskets.len() as u64);
     let (primary_running, primary_addr) = serve_durable(&primary);
 
-    // Follower: warm standby + replication loop.
+    // Follower node: warm standby whose replication loop starts with it.
     let standby = open_durable(&follower_dir);
-    let promoted = Arc::new(AtomicBool::new(false));
     let stop = Arc::new(AtomicBool::new(false));
     let metrics = Arc::new(ClusterMetrics::new());
     let follower_engine = Arc::new(QueryEngine::new(
         Arc::clone(standby.store()),
         EngineConfig::default(),
     ));
-    let follower_service = Arc::new(FollowerService::new(
-        EngineService::new(Arc::clone(&follower_engine)).with_durable(Arc::clone(&standby)),
-        Arc::clone(&promoted),
-        Arc::clone(&metrics),
-    ));
+    let follower_node = Arc::new(
+        NodeService::follower(
+            EngineService::new(Arc::clone(&follower_engine)).with_durable(Arc::clone(&standby)),
+            Arc::clone(&standby),
+            FollowerConfig::new(primary_addr.to_string()),
+            Arc::clone(&stop),
+            Arc::clone(&metrics),
+        )
+        .expect("spawn follower node"),
+    );
+    assert_eq!(follower_node.role(), Role::Follower);
+    assert_eq!(standby.generation(), 1, "fresh store starts at the floor");
     let follower_server = Server::bind_service(
-        Arc::clone(&follower_service) as Arc<dyn Service>,
+        Arc::clone(&follower_node) as Arc<dyn Service>,
         ServerConfig::default(),
     )
     .expect("bind follower");
     let follower_addr = follower_server.local_addr();
     let follower_running = follower_server.spawn();
-
-    let replicator = Replicator::new(
-        Arc::clone(&standby),
-        FollowerConfig::new(primary_addr.to_string()),
-        Arc::clone(&promoted),
-        Arc::clone(&stop),
-        Arc::clone(&metrics),
-    );
-    let replicator_thread = std::thread::spawn(move || replicator.run());
 
     // Replication catches up: standby reaches the primary epoch and the
     // lag gauge settles at zero.
@@ -198,10 +199,15 @@ fn follower_replicates_promotes_and_serves_reads() {
         Some(1)
     );
 
-    // Promotion latched: the follower reports it, the replication loop
-    // exits, and the coordinator's promotion counter ticked once.
-    assert!(follower_service.is_promoted());
-    replicator_thread.join().expect("replicator thread");
+    // Promotion switched the node's role, durably bumped its
+    // generation past the old primary's, and stopped the pull loop;
+    // the coordinator's promotion counter ticked once.
+    assert_eq!(follower_node.role(), Role::Primary);
+    assert_eq!(
+        standby.generation(),
+        2,
+        "promotion must bump the persisted generation"
+    );
     let coord_snap = coordinator.metrics().registry().snapshot();
     assert_eq!(
         coord_snap.counter_value("bmb_cluster_promotions_total", &[]),
@@ -212,24 +218,25 @@ fn follower_replicates_promotes_and_serves_reads() {
         1
     );
 
-    // Reads survive; writes do not (the follower is read-only).
+    // The promoted node is the shard's fenced primary now: acked
+    // ingest keeps working through the failover.
     let ingest = Value::object()
         .with("cmd", Value::Str("ingest".to_string()))
         .with(
             "baskets",
             Value::Array(vec![Value::Array(vec![Value::Int(1)])]),
         );
-    match client.request(&ingest) {
-        Err(ClientError::Retryable(message)) => {
-            assert!(
-                message.contains("lost its primary"),
-                "unexpected ingest refusal: {message}"
-            );
-        }
-        other => panic!("ingest should be refused as retryable, got {other:?}"),
-    }
+    let acked = client
+        .request(&ingest)
+        .expect("ingest via promoted follower");
+    assert_eq!(acked.get("ingested").and_then(Value::as_u64), Some(1));
+    assert_eq!(
+        acked.get("epoch").and_then(Value::as_u64),
+        Some(primary_epoch + 1)
+    );
 
-    // Follower stats advertise the role and the latched promotion.
+    // Coordinator stats advertise its role and the slot's health row
+    // carries the adopted generation.
     let stats = client
         .request(&Value::object().with("cmd", Value::Str("stats".to_string())))
         .expect("coordinator stats");
@@ -237,6 +244,17 @@ fn follower_replicates_promotes_and_serves_reads() {
         stats.get("role").and_then(Value::as_str),
         Some("coordinator")
     );
+    let shard_row = stats
+        .get("shards")
+        .and_then(Value::as_array)
+        .and_then(|rows| rows.first())
+        .cloned()
+        .expect("one shard row");
+    assert_eq!(
+        shard_row.get("promoted").and_then(Value::as_bool),
+        Some(true)
+    );
+    assert_eq!(shard_row.get("generation").and_then(Value::as_u64), Some(2));
 
     stop.store(true, Ordering::Release);
     coord_running.stop().expect("stop coordinator");

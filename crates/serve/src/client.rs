@@ -37,6 +37,16 @@ pub enum ClientError {
     /// a transient condition (overload, deadline); trying again later
     /// may succeed.
     Retryable(String),
+    /// The server answered `"ok": false` with `"fenced": true`: the
+    /// request was stamped with a generation below the node's own.
+    /// Permanent for this client's view — the caller must re-learn the
+    /// cluster topology (adopt `generation`) before trying again.
+    Fenced {
+        /// The rejecting node's generation.
+        generation: u64,
+        /// The server's message.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -46,6 +56,10 @@ impl std::fmt::Display for ClientError {
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
             ClientError::Server(m) => write!(f, "server error: {m}"),
             ClientError::Retryable(m) => write!(f, "server busy (retryable): {m}"),
+            ClientError::Fenced {
+                generation,
+                message,
+            } => write!(f, "fenced at generation {generation}: {message}"),
         }
     }
 }
@@ -158,7 +172,12 @@ impl Client {
                     .and_then(Value::as_str)
                     .unwrap_or("unspecified server error")
                     .to_string();
-                if value.get("retryable").and_then(Value::as_bool) == Some(true) {
+                if value.get("fenced").and_then(Value::as_bool) == Some(true) {
+                    Err(ClientError::Fenced {
+                        generation: value.get("gen").and_then(Value::as_u64).unwrap_or(0),
+                        message,
+                    })
+                } else if value.get("retryable").and_then(Value::as_bool) == Some(true) {
                     Err(ClientError::Retryable(message))
                 } else {
                     Err(ClientError::Server(message))
@@ -240,9 +259,9 @@ fn xorshift64(state: &mut u64) -> u64 {
 
 /// Commands that are safe to send twice. Queries are pure reads, as are
 /// the cluster-internal `support_vec` and `replicate_pull`; `promote`
-/// is a one-way latch, so repeating it is harmless. `ingest` mutates
-/// and `shutdown` is one-way-destructive, so a client that cannot tell
-/// whether they landed must not repeat them.
+/// and `demote` bump a monotone generation, so repeating either is
+/// harmless. `ingest` mutates and `shutdown` is one-way-destructive, so
+/// a client that cannot tell whether they landed must not repeat them.
 fn is_idempotent(request: &Value) -> bool {
     matches!(
         request.get("cmd").and_then(Value::as_str),
@@ -257,6 +276,7 @@ fn is_idempotent(request: &Value) -> bool {
                 | "support_vec"
                 | "replicate_pull"
                 | "promote"
+                | "demote"
         )
     )
 }
@@ -406,6 +426,7 @@ mod tests {
             "support_vec",
             "replicate_pull",
             "promote",
+            "demote",
         ] {
             let req = Value::object().with("cmd", Value::Str(cmd.to_string()));
             assert!(is_idempotent(&req), "{cmd} should be idempotent");

@@ -78,6 +78,13 @@ pub enum Request {
     },
     /// Promote a follower to serve reads (follower processes only).
     Promote,
+    /// Demote a stale primary back to a catching-up follower of
+    /// `primary` (cluster node processes only). The request's envelope
+    /// generation is the floor the node's own generation is raised to.
+    Demote {
+        /// Address of the node to tail (the promoted replacement).
+        primary: String,
+    },
     /// Server and cache counters.
     Stats,
     /// The full Prometheus text exposition, as a string payload.
@@ -103,6 +110,7 @@ impl Request {
             Request::SupportVec { .. } => "support_vec",
             Request::ReplicatePull { .. } => "replicate_pull",
             Request::Promote => "promote",
+            Request::Demote { .. } => "demote",
             Request::Stats => "stats",
             Request::Metrics => "metrics",
             Request::Ping => "ping",
@@ -116,6 +124,10 @@ impl Request {
 pub struct Envelope {
     /// Echoed back in the response as `"id"`.
     pub id: Option<i64>,
+    /// The sender's fencing generation (`"gen"`), when stamped. A
+    /// cluster node rejects requests fenced below its own generation;
+    /// `promote`/`demote` instead treat it as the floor to bump past.
+    pub generation: Option<u64>,
     /// The decoded command.
     pub request: Request,
 }
@@ -155,6 +167,7 @@ fn parse_ids(value: Option<&Value>, what: &str) -> Result<Vec<u32>, String> {
 pub fn parse_request(line: &str) -> Result<Envelope, String> {
     let value = parse(line).map_err(|e| format!("bad JSON: {e}"))?;
     let id = value.get("id").and_then(Value::as_i64);
+    let generation = value.get("gen").and_then(Value::as_u64);
     let cmd = value
         .get("cmd")
         .and_then(Value::as_str)
@@ -208,13 +221,24 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
                 .unwrap_or(8192),
         },
         "promote" => Request::Promote,
+        "demote" => Request::Demote {
+            primary: value
+                .get("primary")
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| "'primary' must be an address string".to_string())?,
+        },
         "stats" => Request::Stats,
         "metrics" => Request::Metrics,
         "ping" => Request::Ping,
         "shutdown" => Request::Shutdown,
         other => return Err(format!("unknown cmd '{other}'")),
     };
-    Ok(Envelope { id, request })
+    Ok(Envelope {
+        id,
+        generation,
+        request,
+    })
 }
 
 /// Starts a success response, echoing `id` when present.
@@ -242,6 +266,17 @@ pub fn error_response(id: Option<i64>, message: &str) -> Value {
 /// `retryable` field at all.
 pub fn retryable_error_response(id: Option<i64>, message: &str) -> Value {
     error_response(id, message).with("retryable", Value::Bool(true))
+}
+
+/// A failure response marked `"fenced":true` carrying the server's
+/// generation: the request was stamped with a generation below the
+/// node's own, so the sender is acting on a stale view of the cluster
+/// and must re-learn the topology rather than retry. Permanent — never
+/// marked retryable.
+pub fn fenced_error_response(id: Option<i64>, generation: u64, message: &str) -> Value {
+    error_response(id, message)
+        .with("fenced", Value::Bool(true))
+        .with("gen", Value::Int(generation as i64))
 }
 
 /// An itemset as a JSON array of ids.
@@ -376,6 +411,12 @@ mod tests {
                 },
             ),
             (r#"{"cmd":"promote"}"#, Request::Promote),
+            (
+                r#"{"cmd":"demote","primary":"127.0.0.1:9001","gen":7}"#,
+                Request::Demote {
+                    primary: "127.0.0.1:9001".to_string(),
+                },
+            ),
             (r#"{"cmd":"stats"}"#, Request::Stats),
             (r#"{"cmd":"ping"}"#, Request::Ping),
             (r#"{"cmd":"shutdown"}"#, Request::Shutdown),
@@ -403,6 +444,8 @@ mod tests {
             r#"{"cmd":"support_vec","itemsets":[[1],"x"]}"#,
             r#"{"cmd":"replicate_pull"}"#,
             r#"{"cmd":"replicate_pull","after_epoch":-4}"#,
+            r#"{"cmd":"demote"}"#,
+            r#"{"cmd":"demote","primary":7}"#,
         ] {
             assert!(parse_request(bad).is_err(), "{bad:?} should fail");
         }
@@ -428,5 +471,26 @@ mod tests {
         assert!(!error_response(None, "bad")
             .to_string()
             .contains("retryable"));
+    }
+
+    #[test]
+    fn envelope_generation_parses_and_defaults_to_none() {
+        let stamped = parse_request(r#"{"cmd":"ping","gen":9}"#).unwrap();
+        assert_eq!(stamped.generation, Some(9));
+        let bare = parse_request(r#"{"cmd":"ping"}"#).unwrap();
+        assert_eq!(bare.generation, None);
+    }
+
+    #[test]
+    fn fenced_errors_carry_marker_and_generation() {
+        let err = fenced_error_response(Some(3), 12, "stale generation");
+        assert_eq!(
+            err.to_string(),
+            r#"{"id":3,"ok":false,"error":"stale generation","fenced":true,"gen":12}"#
+        );
+        // Fenced failures are permanent: no retryable marker, and plain
+        // errors never grow the fenced field.
+        assert!(!err.to_string().contains("retryable"));
+        assert!(!error_response(None, "bad").to_string().contains("fenced"));
     }
 }

@@ -43,8 +43,8 @@ use bmb_obs::{Registry, RegistrySnapshot, Severity, TraceId};
 use crate::json::Value;
 use crate::metrics::{ErrorCategory, ServerMetrics};
 use crate::protocol::{
-    border_value, chi2_value, error_response, interest_value, ok_response, pair_value,
-    parse_request, retryable_error_response, Request, HELLO,
+    border_value, chi2_value, error_response, fenced_error_response, interest_value, ok_response,
+    pair_value, parse_request, retryable_error_response, Request, HELLO,
 };
 
 /// Server tuning knobs.
@@ -547,6 +547,10 @@ pub struct ServiceCtx<'a> {
     pub config: &'a ServerConfig,
     /// The server's request metrics (served-epoch and ingest counters).
     pub metrics: &'a ServerMetrics,
+    /// The generation the request was stamped with (`"gen"`), when the
+    /// sender is generation-aware. `promote`/`demote` read it as the
+    /// floor their node generation must be bumped past.
+    pub generation: Option<u64>,
 }
 
 impl ServiceCtx<'_> {
@@ -573,16 +577,25 @@ pub trait Service: Send + Sync {
     /// The observability registries this service exposes over
     /// `/metrics`, in exposition order.
     fn registries(&self) -> Vec<Arc<Registry>>;
+
+    /// The node's fencing generation, when this service participates in
+    /// generation-fenced failover. `Some(gen)` makes the server reject
+    /// requests stamped below `gen` (except `promote`/`demote`) and
+    /// stamp `"gen"` into every success payload; the default `None`
+    /// leaves the wire format untouched.
+    fn generation(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Whether a late success for this request should be converted into a
 /// deadline error. Queries are safe to fail late (the client can retry
-/// them); `ingest`, `promote`, and `shutdown` already had effects, so
-/// their answers must report what actually happened.
+/// them); `ingest`, `promote`, `demote`, and `shutdown` already had
+/// effects, so their answers must report what actually happened.
 fn deadline_sensitive(request: &Request) -> bool {
     !matches!(
         request,
-        Request::Ingest { .. } | Request::Shutdown | Request::Promote
+        Request::Ingest { .. } | Request::Shutdown | Request::Promote | Request::Demote { .. }
     )
 }
 
@@ -596,6 +609,7 @@ fn handle_line(line: &str, ctx: &ConnectionContext<'_>) -> (Value, bool) {
     // durability restart test) stay deterministic.
     let trace = TraceId::from_u64(ctx.trace_seq.fetch_add(1, Ordering::Relaxed));
     bmb_obs::trace::set_current_trace(trace);
+    let mut fenced_at: Option<u64> = None;
     let (id, cmd, outcome, stop) = match parse_request(line) {
         Err(message) => (
             None,
@@ -610,28 +624,59 @@ fn handle_line(line: &str, ctx: &ConnectionContext<'_>) -> (Value, bool) {
             let cmd = envelope.request.name();
             let stop = envelope.request == Request::Shutdown;
             let convert_late = deadline_sensitive(&envelope.request);
-            let service_ctx = ServiceCtx {
-                start,
-                config: ctx.config,
-                metrics: ctx.metrics.as_ref(),
+            // Generation fence: a request stamped below this node's own
+            // generation comes from a sender with a stale view of the
+            // cluster — refuse it before it can have effects. Promote
+            // and demote are exempt: they carry the generation as the
+            // floor to bump past, not as a claim of currency.
+            let exempt = matches!(envelope.request, Request::Promote | Request::Demote { .. });
+            let outcome = match (ctx.service.generation(), envelope.generation) {
+                (Some(own), Some(stamped)) if stamped < own && !exempt => {
+                    fenced_at = Some(own);
+                    Err(ServiceFailure::other(format!(
+                        "stale generation: request gen {stamped} is fenced below node gen {own}"
+                    )))
+                }
+                _ => {
+                    let service_ctx = ServiceCtx {
+                        start,
+                        config: ctx.config,
+                        metrics: ctx.metrics.as_ref(),
+                        generation: envelope.generation,
+                    };
+                    let mut outcome = ctx.service.dispatch(envelope.request, &service_ctx);
+                    if convert_late && outcome.is_ok() && start.elapsed() > deadline {
+                        outcome = Err(ServiceFailure::deadline(deadline));
+                    }
+                    outcome
+                }
             };
-            let mut outcome = ctx.service.dispatch(envelope.request, &service_ctx);
-            if convert_late && outcome.is_ok() && start.elapsed() > deadline {
-                outcome = Err(ServiceFailure::deadline(deadline));
-            }
             (envelope.id, cmd, outcome, stop)
         }
     };
     let (response, failed) = match outcome {
-        Ok(payload) => (ok_response(id).with("result", payload), None),
+        Ok(payload) => {
+            // Generation-aware nodes stamp their (post-dispatch, so a
+            // promote reports the bumped value) generation into the
+            // success payload; `with` is a no-op on non-object payloads.
+            let payload = match ctx.service.generation() {
+                Some(own) => payload.with("gen", Value::Int(own as i64)),
+                None => payload,
+            };
+            (ok_response(id).with("result", payload), None)
+        }
         Err(failure) => {
-            let response = match failure.category {
-                // Overload and deadline failures are transient: tell
-                // the client it may retry.
-                ErrorCategory::Overload | ErrorCategory::Deadline => {
-                    retryable_error_response(id, &failure.message)
+            let response = if let Some(own) = fenced_at {
+                fenced_error_response(id, own, &failure.message)
+            } else {
+                match failure.category {
+                    // Overload and deadline failures are transient:
+                    // tell the client it may retry.
+                    ErrorCategory::Overload | ErrorCategory::Deadline => {
+                        retryable_error_response(id, &failure.message)
+                    }
+                    _ => error_response(id, &failure.message),
                 }
-                _ => error_response(id, &failure.message),
             };
             (response, Some(failure.category))
         }
@@ -970,6 +1015,10 @@ fn dispatch_engine(
         }
         Request::Promote => Err(ServiceFailure::other(
             "not a follower: 'promote' is only valid on follower processes".to_string(),
+        )),
+        Request::Demote { .. } => Err(ServiceFailure::other(
+            "not a cluster node: 'demote' is only valid on generation-fenced shard processes"
+                .to_string(),
         )),
     }
 }

@@ -1,0 +1,190 @@
+#!/usr/bin/env bash
+# Deterministic network-chaos smoke test: shard 0 sits behind the
+# `bmb cluster chaos` fault proxy (fixed seed, zero random fault rates,
+# partition driven over the control socket). Partitioning the primary
+# must promote its follower at a bumped generation; healing must demote
+# the old primary back to follower, which catches up over
+# `replicate_pull` and then answers byte-for-byte identically to the
+# new primary. The whole run is bounded well under a minute.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN="${BMB_BIN:-target/release/bmb}"
+if [[ ! -x "$BIN" ]]; then
+    echo "==> building bmb ($BIN not found)"
+    cargo build --release -q -p bmb-cli
+fi
+
+SEED=20260809
+
+WORK="$(mktemp -d)"
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]}"; do kill -9 "$pid" 2>/dev/null || true; done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Polls a log for the address a role announced; the address is the
+# first word after the marker (announcements may trail extras like
+# "(generation 1)" or "(seed N)").
+wait_addr() {
+    local log="$1" marker="$2" addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n "s/^${marker} //p" "$log" | head -n 1 | awk '{print $1}')"
+        [[ -n "$addr" ]] && { echo "$addr"; return 0; }
+        sleep 0.1
+    done
+    echo "no '${marker}' line in $log" >&2
+    cat "$log" >&2
+    return 1
+}
+
+# Extracts one JSON field ("key":value, value up to the next , or })
+# from the line on stdin; first match wins.
+field() {
+    grep -o "\"$1\":[^,}]*" | head -n 1
+}
+
+echo "==> starting 3 shards (shard 0 will sit behind the chaos proxy)"
+SHARD_ADDRS=()
+for i in 0 1 2; do
+    "$BIN" cluster shard --dir "$WORK/s$i" --items 8 --addr 127.0.0.1:0 \
+        --poll-ms 10 >"$WORK/s$i.log" &
+    PIDS+=($!)
+    disown
+done
+for i in 0 1 2; do
+    SHARD_ADDRS+=("$(wait_addr "$WORK/s$i.log" "shard listening on")")
+done
+echo "    shards at ${SHARD_ADDRS[*]}"
+
+echo "==> starting chaos proxy in front of shard 0 (seed $SEED)"
+"$BIN" cluster chaos --listen 127.0.0.1:0 --upstream "${SHARD_ADDRS[0]}" \
+    --control 127.0.0.1:0 --seed "$SEED" >"$WORK/chaos.log" &
+PIDS+=($!)
+disown
+PROXY_ADDR="$(wait_addr "$WORK/chaos.log" "chaos proxy on")"
+CTRL_ADDR="$(wait_addr "$WORK/chaos.log" "control on")"
+echo "    proxy at $PROXY_ADDR, control at $CTRL_ADDR"
+
+echo "==> starting follower (tailing shard 0 directly)"
+"$BIN" cluster follow --dir "$WORK/f0" --items 8 \
+    --primary "${SHARD_ADDRS[0]}" --poll-ms 10 --addr 127.0.0.1:0 \
+    >"$WORK/f0.log" &
+PIDS+=($!)
+disown
+FOLLOWER_ADDR="$(wait_addr "$WORK/f0.log" "follower listening on")"
+echo "    follower at $FOLLOWER_ADDR"
+
+echo "==> starting coordinator (shard 0 reached only through the proxy)"
+"$BIN" cluster serve --items 8 \
+    --shards "$PROXY_ADDR,${SHARD_ADDRS[1]},${SHARD_ADDRS[2]}" \
+    --followers "$FOLLOWER_ADDR,," --round-robin --addr 127.0.0.1:0 \
+    --request-timeout-ms 500 --probe-cooldown-ms 200 \
+    >"$WORK/coord.log" &
+PIDS+=($!)
+disown
+COORD_ADDR="$(wait_addr "$WORK/coord.log" "coordinator listening on")"
+echo "    coordinator at $COORD_ADDR"
+
+echo "==> ingest + baseline chi2 through the coordinator"
+BEFORE="$("$BIN" query "$COORD_ADDR" \
+    '{"id":1,"cmd":"ingest","baskets":[[0,1],[0,1],[2],[0,3],[0,1,2],[1,3]]}' \
+    '{"id":2,"cmd":"chi2","items":[0,1]}')"
+echo "$BEFORE"
+grep -q '"epochs":\[2,2,2\]' <<<"$BEFORE" || { echo "unexpected epoch vector"; exit 1; }
+STAT_BEFORE="$(field statistic <<<"$BEFORE")"
+SUPPORT_BEFORE="$(field support <<<"$BEFORE")"
+[[ -n "$STAT_BEFORE" ]] || { echo "no statistic in baseline"; exit 1; }
+
+echo "==> waiting for the follower to catch up to shard 0"
+for _ in $(seq 1 100); do
+    FSTATS="$("$BIN" query "$FOLLOWER_ADDR" '{"cmd":"stats"}')"
+    LAG="$(field replication_lag <<<"$FSTATS")"
+    EPOCH="$(field epoch <<<"$FSTATS")"
+    [[ "$LAG" == '"replication_lag":0' && "$EPOCH" != '"epoch":0' ]] && break
+    sleep 0.1
+done
+[[ "$LAG" == '"replication_lag":0' ]] || { echo "follower never caught up ($LAG)"; exit 1; }
+echo "    follower caught up ($EPOCH)"
+
+echo "==> partitioning shard 0 behind the proxy"
+"$BIN" query "$CTRL_ADDR" '{"id":1,"cmd":"partition"}' \
+    | grep -q '"partitioned":true' || { echo "partition command failed"; exit 1; }
+
+echo "==> reads must fail over to the follower at a bumped generation"
+OK=""
+for _ in $(seq 1 50); do
+    AFTER="$("$BIN" query "$COORD_ADDR" '{"id":3,"cmd":"chi2","items":[0,1]}')"
+    if grep -q '"ok":true' <<<"$AFTER"; then
+        OK=1
+        break
+    fi
+    grep -q '"retryable":true' <<<"$AFTER" \
+        || { echo "non-retryable failure after partition: $AFTER"; exit 1; }
+    sleep 0.2
+done
+[[ -n "$OK" ]] || { echo "coordinator never failed over"; exit 1; }
+STAT_AFTER="$(field statistic <<<"$AFTER")"
+[[ "$STAT_AFTER" == "$STAT_BEFORE" ]] \
+    || { echo "WRONG ANSWER after failover: $STAT_AFTER != $STAT_BEFORE"; exit 1; }
+[[ "$(field support <<<"$AFTER")" == "$SUPPORT_BEFORE" ]] \
+    || { echo "support diverged after failover"; exit 1; }
+echo "$AFTER"
+
+STATS="$("$BIN" query "$COORD_ADDR" '{"cmd":"stats"}')"
+grep -q '"promoted":true' <<<"$STATS" || { echo "no promotion in stats: $STATS"; exit 1; }
+grep -q '"generation":2' <<<"$STATS" \
+    || { echo "promotion did not bump the generation: $STATS"; exit 1; }
+grep -q '"promotions":1' <<<"$STATS" || { echo "no promotion counted: $STATS"; exit 1; }
+echo "    promoted at generation 2"
+
+echo "==> healing the partition; the old primary must demote and catch up"
+"$BIN" query "$CTRL_ADDR" '{"id":2,"cmd":"heal"}' \
+    | grep -q '"partitioned":false' || { echo "heal command failed"; exit 1; }
+DEMOTED=""
+for _ in $(seq 1 100); do
+    STATS="$("$BIN" query "$COORD_ADDR" '{"cmd":"stats"}')"
+    if grep -q '"demotions":1' <<<"$STATS"; then
+        DEMOTED=1
+        break
+    fi
+    sleep 0.1
+done
+[[ -n "$DEMOTED" ]] || { echo "old primary never demoted: $STATS"; exit 1; }
+"$BIN" query "${SHARD_ADDRS[0]}" '{"cmd":"stats"}' | grep -q '"role":"follower"' \
+    || { echo "old primary does not report follower role"; exit 1; }
+echo "    old primary demoted to follower"
+
+echo "==> ingest through the new primary; the demoted node must catch up"
+"$BIN" query "$COORD_ADDR" \
+    '{"id":4,"cmd":"ingest","baskets":[[0,1,4],[5],[4,5]]}' \
+    | grep -q '"ingested":3' || { echo "post-heal ingest failed"; exit 1; }
+CAUGHT=""
+for _ in $(seq 1 100); do
+    S0="$("$BIN" query "${SHARD_ADDRS[0]}" '{"cmd":"stats"}')"
+    NEWP="$("$BIN" query "$FOLLOWER_ADDR" '{"cmd":"stats"}')"
+    if [[ "$(field epoch <<<"$S0")" == "$(field epoch <<<"$NEWP")" ]] \
+        && grep -q '"catching_up":false' <<<"$S0"; then
+        CAUGHT=1
+        break
+    fi
+    sleep 0.1
+done
+[[ -n "$CAUGHT" ]] || { echo "demoted node never caught up: $S0 vs $NEWP"; exit 1; }
+grep -q '"gen":2' <<<"$S0" || { echo "demoted node did not adopt generation 2: $S0"; exit 1; }
+echo "    caught up at $(field epoch <<<"$S0"), generation 2"
+
+echo "==> byte-identical answers from the new primary and the rejoined node"
+ANSWER_NEW="$("$BIN" query "$FOLLOWER_ADDR" '{"id":5,"cmd":"chi2","items":[0,1]}')"
+ANSWER_OLD="$("$BIN" query "${SHARD_ADDRS[0]}" '{"id":5,"cmd":"chi2","items":[0,1]}')"
+for key in statistic ln_p_value support epoch; do
+    NEW="$(field "$key" <<<"$ANSWER_NEW")"
+    OLD="$(field "$key" <<<"$ANSWER_OLD")"
+    [[ -n "$NEW" && "$NEW" == "$OLD" ]] \
+        || { echo "divergence on $key: new=$NEW old=$OLD"; exit 1; }
+done
+echo "$ANSWER_NEW"
+
+echo "chaos smoke: OK"

@@ -26,7 +26,9 @@ trap cleanup EXIT
 wait_addr() {
     local log="$1" role="$2" addr=""
     for _ in $(seq 1 100); do
-        addr="$(sed -n "s/^${role} listening on //p" "$log" | head -n 1)"
+        # The address is the first word: shard/follower announcements
+        # trail it with "(generation N)".
+        addr="$(sed -n "s/^${role} listening on //p" "$log" | head -n 1 | awk '{print $1}')"
         [[ -n "$addr" ]] && { echo "$addr"; return 0; }
         sleep 0.1
     done
