@@ -59,4 +59,13 @@ echo "==> cluster smoke test (3 shards + coordinator + follower)"
 echo "==> chaos smoke test (partition, fenced failover, heal, rejoin)"
 ./scripts/chaos_smoke.sh
 
+echo "==> observability smoke test (trace tree, federation, event ledger)"
+./scripts/obs_smoke.sh
+
+echo "==> perf trajectory (noise-gated vs committed BENCH_*.json)"
+# Runs the committed bench suite and fails only on a 3x-plus-absolute
+# regression against the best committed baseline; the freshly written
+# BENCH_<rev>.json is a candidate to commit when cutting a release.
+cargo run -q -p bmb-xtask -- bench
+
 echo "CI: all gates passed"

@@ -59,6 +59,7 @@ pub const SERVE_SPEC: &[(&str, FlagKind)] = &[
     ("checkpoint-interval-secs", FlagKind::Value),
     ("max-connections", FlagKind::Value),
     ("metrics-addr", FlagKind::Value),
+    ("events-ledger", FlagKind::Value),
     ("numeric", FlagKind::Boolean),
 ];
 
@@ -82,6 +83,11 @@ pub const CLUSTER_SPEC: &[(&str, FlagKind)] = &[
     ("round-robin", FlagKind::Boolean),
     ("request-timeout-ms", FlagKind::Value),
     ("probe-cooldown-ms", FlagKind::Value),
+    // shard identity stamped on spans (`cluster shard`, `cluster follow`)
+    ("shard-index", FlagKind::Value),
+    // observability clients (`cluster trace`, `cluster events`)
+    ("since-us", FlagKind::Value),
+    ("timeout-secs", FlagKind::Value),
     // durable roles (`cluster shard`, `cluster follow`)
     ("dir", FlagKind::Value),
     ("segment-capacity", FlagKind::Value),
@@ -457,6 +463,13 @@ pub fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), String> {
             }
         },
     };
+    let events_ledger_attached = match args.get::<String>("events-ledger")? {
+        Some(path) => {
+            attach_events_ledger(std::path::Path::new(&path), out)?;
+            true
+        }
+        None => false,
+    };
     let engine = std::sync::Arc::new(bmb_core::QueryEngine::new(
         store,
         bmb_core::EngineConfig::default(),
@@ -489,6 +502,9 @@ pub fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let run_result = server.run();
     if let Some(checkpointer) = checkpointer {
         checkpointer.stop();
+    }
+    if events_ledger_attached {
+        bmb_obs::events().detach_ledger();
     }
     run_result.map_err(|e| format!("server failed: {e}"))?;
     let snapshot = metrics.snapshot();
@@ -700,29 +716,54 @@ fn wal_inspect_dir(dir: &str, limit: usize, out: &mut dyn Write) -> Result<(), S
 /// bumped generation on `promote`. `chaos` runs the deterministic
 /// fault-injection proxy in front of one upstream.
 pub fn cmd_cluster(args: &Args, out: &mut dyn Write) -> Result<(), String> {
-    const CLUSTER_USAGE: &str = "usage: bmb cluster {serve|shard|follow|chaos} [flags]";
+    const CLUSTER_USAGE: &str =
+        "usage: bmb cluster {serve|shard|follow|chaos|trace|events} [flags]";
     match args.positional(1) {
         Some("serve") => cluster_serve(args, out),
         Some("shard") => cluster_shard(args, out),
         Some("follow") => cluster_follow(args, out),
         Some("chaos") => cluster_chaos(args, out),
+        Some("trace") => cluster_trace(args, out),
+        Some("events") => cluster_events(args, out),
         Some(other) => Err(format!("unknown cluster role {other:?} ({CLUSTER_USAGE})")),
         None => Err(CLUSTER_USAGE.to_string()),
     }
 }
 
-/// The listener config shared by all three cluster roles.
+/// The listener config shared by all three cluster roles. `role` is
+/// stamped on every span the node records (the `node` field of a trace
+/// tree); `--shard-index N` adds the shard coordinate for shard-role
+/// nodes so cross-node trees name which partition answered.
 fn cluster_server_config(
     args: &Args,
     default_addr: &str,
+    role: &str,
 ) -> Result<bmb_serve::ServerConfig, String> {
     Ok(bmb_serve::ServerConfig {
         addr: args.get_or("addr", default_addr.to_string())?,
         workers: args.get_or("workers", 4usize)?,
         max_connections: args.get_or("max-connections", 256usize)?,
         metrics_addr: args.get::<String>("metrics-addr")?,
+        node_role: role.to_string(),
+        shard_index: args.get::<i64>("shard-index")?,
         ..Default::default()
     })
+}
+
+/// Line budget for the on-disk event ledger durable roles keep next to
+/// their WAL (`events.jsonl`): compaction rewrites the file once it
+/// doubles past this.
+const EVENTS_LEDGER_CAPACITY: usize = 4096;
+
+/// Routes the process-wide event log into a persisted JSON-lines
+/// ledger at `path`, so promotion/fencing timelines survive the
+/// process (`bmb cluster events` reads them back). Best-effort
+/// durability: appends are not fsynced (see DESIGN.md §14).
+fn attach_events_ledger(path: &std::path::Path, out: &mut dyn Write) -> Result<(), String> {
+    let ledger = bmb_obs::EventLedger::open(path, EVENTS_LEDGER_CAPACITY)
+        .map_err(|e| format!("cannot open events ledger {}: {e}", path.display()))?;
+    bmb_obs::events().attach_ledger(std::sync::Arc::new(ledger));
+    writeln!(out, "events ledger at {}", path.display()).map_err(|e| e.to_string())
 }
 
 /// Opens (recovering if needed) the durable store a shard or follower
@@ -798,9 +839,14 @@ fn cluster_shard(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         std::sync::Arc::new(bmb_cluster::ClusterMetrics::new()),
     );
     let service = std::sync::Arc::new(node) as std::sync::Arc<dyn bmb_serve::Service>;
-    let server =
-        bmb_serve::Server::bind_service(service, cluster_server_config(args, "127.0.0.1:0")?)
-            .map_err(|e| format!("cannot bind: {e}"))?;
+    let server = bmb_serve::Server::bind_service(
+        service,
+        cluster_server_config(args, "127.0.0.1:0", "shard")?,
+    )
+    .map_err(|e| format!("cannot bind: {e}"))?;
+    if let Some(dir) = args.get::<String>("dir")? {
+        attach_events_ledger(&std::path::Path::new(&dir).join("events.jsonl"), out)?;
+    }
     let checkpointer = cluster_checkpointer(args, &durable)?;
     writeln!(
         out,
@@ -816,6 +862,7 @@ fn cluster_shard(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let run_result = server.run();
     stop.store(true, std::sync::atomic::Ordering::Release);
     checkpointer.stop();
+    bmb_obs::events().detach_ledger();
     run_result.map_err(|e| format!("shard failed: {e}"))
 }
 
@@ -863,9 +910,11 @@ fn cluster_serve(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     config.probe_cooldown = std::time::Duration::from_millis(probe_cooldown_ms);
     let service = std::sync::Arc::new(bmb_cluster::CoordinatorService::new(config))
         as std::sync::Arc<dyn bmb_serve::Service>;
-    let server =
-        bmb_serve::Server::bind_service(service, cluster_server_config(args, "127.0.0.1:7878")?)
-            .map_err(|e| format!("cannot bind: {e}"))?;
+    let server = bmb_serve::Server::bind_service(
+        service,
+        cluster_server_config(args, "127.0.0.1:7878", "coordinator")?,
+    )
+    .map_err(|e| format!("cannot bind: {e}"))?;
     let metrics = server.metrics();
     writeln!(
         out,
@@ -917,9 +966,14 @@ fn cluster_follow(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     )
     .map_err(|e| format!("cannot start replication: {e}"))?;
     let service = std::sync::Arc::new(node) as std::sync::Arc<dyn bmb_serve::Service>;
-    let server =
-        bmb_serve::Server::bind_service(service, cluster_server_config(args, "127.0.0.1:0")?)
-            .map_err(|e| format!("cannot bind: {e}"))?;
+    let server = bmb_serve::Server::bind_service(
+        service,
+        cluster_server_config(args, "127.0.0.1:0", "follower")?,
+    )
+    .map_err(|e| format!("cannot bind: {e}"))?;
+    if let Some(dir) = args.get::<String>("dir")? {
+        attach_events_ledger(&std::path::Path::new(&dir).join("events.jsonl"), out)?;
+    }
     let checkpointer = cluster_checkpointer(args, &standby)?;
     writeln!(out, "tailing primary {primary}").map_err(sink)?;
     writeln!(
@@ -933,6 +987,7 @@ fn cluster_follow(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let run_result = server.run();
     stop.store(true, std::sync::atomic::Ordering::Release);
     checkpointer.stop();
+    bmb_obs::events().detach_ledger();
     run_result.map_err(|e| format!("follower failed: {e}"))
 }
 
@@ -978,6 +1033,142 @@ fn cluster_chaos(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     Ok(())
 }
 
+/// `bmb cluster trace ADDR TRACE_ID` — pull a trace's span tree.
+///
+/// Against a coordinator the answer is the cross-node tree: the
+/// coordinator fans the lookup out to every shard primary and follower
+/// it knows, merges their retained spans with its own, and the render
+/// below indents children under parents — one line per span with the
+/// node that recorded it, its start offset within the trace, its
+/// duration, and its outcome. Against a single node it shows just that
+/// node's spans.
+fn cluster_trace(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    const TRACE_USAGE: &str =
+        "usage: bmb cluster trace ADDR TRACE_ID (16 lowercase hex digits) [--timeout-secs N]";
+    let addr = args.positional(2).ok_or(TRACE_USAGE)?;
+    let id = args.positional(3).ok_or(TRACE_USAGE)?;
+    let timeout = std::time::Duration::from_secs(args.get_or("timeout-secs", 30u64)?);
+    let mut client = bmb_serve::Client::connect_timeout(addr, timeout)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let request = bmb_serve::json::Value::object()
+        .with("cmd", bmb_serve::json::Value::Str("trace".to_string()))
+        .with("trace", bmb_serve::json::Value::Str(id.to_string()));
+    let result = client
+        .request(&request)
+        .map_err(|e| format!("trace query failed: {e}"))?;
+    render_trace_tree(&result, out)
+}
+
+/// Renders a `trace` response as an indented tree: children under
+/// parents, orphans (parent span evicted from some node's ring) at the
+/// root level.
+fn render_trace_tree(result: &bmb_serve::json::Value, out: &mut dyn Write) -> Result<(), String> {
+    use bmb_serve::json::Value;
+    let sink = |e: std::io::Error| e.to_string();
+    let trace = result.get("trace").and_then(Value::as_str).unwrap_or("?");
+    let spans = result
+        .get("spans")
+        .and_then(Value::as_array)
+        .map(<[Value]>::to_vec)
+        .unwrap_or_default();
+    writeln!(out, "trace {trace}: {} span(s)", spans.len()).map_err(sink)?;
+    if spans.is_empty() {
+        writeln!(out, "  (no node retains spans for that trace)").map_err(sink)?;
+        return Ok(());
+    }
+    let field = |s: &Value, key: &str| s.get(key).and_then(Value::as_str).map(str::to_string);
+    let ids: std::collections::HashSet<String> =
+        spans.iter().filter_map(|s| field(s, "span")).collect();
+    let base_start = spans
+        .iter()
+        .filter_map(|s| s.get("start_us").and_then(Value::as_u64))
+        .min()
+        .unwrap_or(0);
+    let mut children: std::collections::HashMap<String, Vec<usize>> =
+        std::collections::HashMap::new();
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, span) in spans.iter().enumerate() {
+        match field(span, "parent") {
+            // A self-parented span would make itself its own child.
+            Some(p) if ids.contains(&p) && field(span, "span") != Some(p.clone()) => {
+                children.entry(p).or_default().push(i);
+            }
+            _ => roots.push(i),
+        }
+    }
+    let mut visited = vec![false; spans.len()];
+    let mut stack: Vec<(usize, usize)> = roots.into_iter().rev().map(|i| (i, 0)).collect();
+    while let Some((i, depth)) = stack.pop() {
+        if std::mem::replace(&mut visited[i], true) {
+            continue;
+        }
+        let span = &spans[i];
+        let name = field(span, "name").unwrap_or_else(|| "?".to_string());
+        let node = field(span, "node").unwrap_or_else(|| "?".to_string());
+        let outcome = field(span, "outcome").unwrap_or_else(|| "?".to_string());
+        let start = span
+            .get("start_us")
+            .and_then(Value::as_u64)
+            .unwrap_or(base_start);
+        let duration = span.get("duration_us").and_then(Value::as_u64).unwrap_or(0);
+        let at = match span.get("shard").and_then(Value::as_i64) {
+            Some(shard) => format!("{node}/shard{shard}"),
+            None => node,
+        };
+        writeln!(
+            out,
+            "{:indent$}{name}  [{at}]  +{}us {duration}us  {outcome}",
+            "",
+            start.saturating_sub(base_start),
+            indent = depth * 2
+        )
+        .map_err(sink)?;
+        if let Some(kids) = children.get(&field(span, "span").unwrap_or_default()) {
+            for &kid in kids.iter().rev() {
+                stack.push((kid, depth + 1));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `bmb cluster events ADDR [--since-us N]` — a node's event timeline.
+///
+/// Prints the node's retained events (its persisted ledger when the
+/// role runs with `--dir`, the in-memory ring otherwise) one JSON line
+/// each, oldest first. `--since-us N` keeps only events stamped at or
+/// after the unix-microsecond floor.
+fn cluster_events(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    const EVENTS_USAGE: &str = "usage: bmb cluster events ADDR [--since-us N] [--timeout-secs N]";
+    let addr = args.positional(2).ok_or(EVENTS_USAGE)?;
+    let timeout = std::time::Duration::from_secs(args.get_or("timeout-secs", 30u64)?);
+    let mut client = bmb_serve::Client::connect_timeout(addr, timeout)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut request = bmb_serve::json::Value::object()
+        .with("cmd", bmb_serve::json::Value::Str("events".to_string()));
+    if let Some(since) = args.get::<u64>("since-us")? {
+        request = request.with("since_us", bmb_serve::json::Value::Int(since as i64));
+    }
+    let result = client
+        .request(&request)
+        .map_err(|e| format!("events query failed: {e}"))?;
+    let sink = |e: std::io::Error| e.to_string();
+    let source = result
+        .get("source")
+        .and_then(bmb_serve::json::Value::as_str)
+        .unwrap_or("?");
+    let events = result
+        .get("events")
+        .and_then(bmb_serve::json::Value::as_array)
+        .map(<[bmb_serve::json::Value]>::to_vec)
+        .unwrap_or_default();
+    writeln!(out, "{} event(s) from the node's {source}", events.len()).map_err(sink)?;
+    for event in &events {
+        writeln!(out, "{event}").map_err(sink)?;
+    }
+    Ok(())
+}
+
 /// Top-level usage text.
 pub const USAGE: &str = "\
 bmb — correlation mining for generalized basket data
@@ -997,28 +1188,32 @@ USAGE:
                      [--checkpoint-dir DIR] [--checkpoint-every N]
                      [--checkpoint-interval-secs N]
                      [--max-connections N] [--metrics-addr HOST:PORT]
-                     [--numeric]
+                     [--events-ledger PATH] [--numeric]
   bmb query ADDR     [LINE...]  [--timeout-secs N]
   bmb wal inspect PATH  [--limit N]
   bmb wal inspect --dir DIR  [--limit N]
   bmb cluster shard  --dir DIR --items N [--addr HOST:PORT]
-                     [--segment-capacity N] [--segment-bytes N]
-                     [--retain-checkpoints N] [--checkpoint-every N]
-                     [--checkpoint-interval-secs N] [--workers N]
-                     [--max-connections N] [--metrics-addr HOST:PORT]
+                     [--shard-index N] [--segment-capacity N]
+                     [--segment-bytes N] [--retain-checkpoints N]
+                     [--checkpoint-every N] [--checkpoint-interval-secs N]
+                     [--workers N] [--max-connections N]
+                     [--metrics-addr HOST:PORT]
   bmb cluster serve  --items N --shards A,B,... [--followers A,,...]
                      [--addr HOST:PORT] [--seed N] [--round-robin]
                      [--request-timeout-ms N] [--probe-cooldown-ms N]
                      [--workers N] [--max-connections N]
                      [--metrics-addr HOST:PORT]
   bmb cluster follow --dir DIR --items N --primary HOST:PORT
-                     [--addr HOST:PORT] [--poll-ms N] [--workers N]
+                     [--addr HOST:PORT] [--shard-index N] [--poll-ms N]
+                     [--workers N]
   bmb cluster chaos  --listen HOST:PORT --upstream HOST:PORT
                      [--control HOST:PORT] [--seed N]
                      [--refuse-per-mille N] [--drop-per-mille N]
                      [--stall-per-mille N] [--corrupt-per-mille N]
                      [--delay-per-mille N] [--max-delay-us N]
                      [--throttle-per-mille N] [--throttle-bytes-per-sec N]
+  bmb cluster trace  ADDR TRACE_ID  [--timeout-secs N]
+  bmb cluster events ADDR  [--since-us N] [--timeout-secs N]
 
 Basket files are one basket per line; tokens are item names (default) or
 numeric ids (--numeric). '#' starts a comment line.
@@ -1040,6 +1235,15 @@ gathers per-shard support vectors into answers bit-identical to a
 single store (every response carries the per-shard epoch vector), and
 'follow' is a warm standby that tails a shard's WAL over
 'replicate_pull' and serves reads once promoted.
+
+Every response names its trace id (16 hex digits; supply your own via
+a \"trace\" request field to correlate across requests). 'bmb cluster
+trace ADDR ID' pulls the span tree for one trace — against the
+coordinator, the full cross-node scatter-gather tree. 'bmb cluster
+events ADDR' prints a node's event timeline (persisted to
+events.jsonl under --dir for durable roles; see also 'bmb serve
+--events-ledger'). The coordinator's /metrics federates every node's
+exposition with node=/shard= labels plus cluster rollups.
 ";
 
 #[cfg(test)]

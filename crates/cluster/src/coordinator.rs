@@ -44,7 +44,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use bmb_basket::{ContingencyTable, ItemId, Itemset};
 use bmb_core::{
@@ -52,11 +52,12 @@ use bmb_core::{
     Chi2Answer, EngineConfig, EngineError, InterestAnswer, Marginals, MinerConfig, PairCorrelation,
     SupportSpec, MAX_QUERY_DIMS,
 };
-use bmb_obs::Registry;
+use bmb_obs::{Registry, SpanRecord, SpanRing, TraceId, DEFAULT_SPAN_CAPACITY};
 use bmb_serve::json::Value;
-use bmb_serve::protocol::{border_value, chi2_value, interest_value, pair_value};
+use bmb_serve::protocol::{border_value, chi2_value, interest_value, pair_value, trace_value};
 use bmb_serve::{
-    ClientError, Request, RetryClient, RetryPolicy, Service, ServiceCtx, ServiceFailure,
+    ClientError, ErrorCategory, Request, RetryClient, RetryPolicy, ServerMetrics, Service,
+    ServiceCtx, ServiceFailure,
 };
 use bmb_stats::{Chi2Test, InterestReport, SignificanceLevel};
 
@@ -209,6 +210,10 @@ pub struct CoordinatorService {
     shards: Vec<ShardState>,
     /// Monotonic basket-id source for the partitioner.
     next_basket: AtomicU64,
+    /// Completed client spans: one `rpc:<cmd>` span per traced
+    /// sub-request the coordinator sent a shard. Merged with the
+    /// serving layer's own server spans by the `trace` command.
+    client_spans: SpanRing,
     metrics: ClusterMetrics,
     /// Time source for mark-down/cooldown arithmetic (tests inject a
     /// [`crate::clock::TestClock`]).
@@ -245,6 +250,7 @@ impl CoordinatorService {
             test,
             shards,
             next_basket: AtomicU64::new(0),
+            client_spans: SpanRing::new(DEFAULT_SPAN_CAPACITY),
             metrics: ClusterMetrics::new(),
             clock: Arc::new(SystemClock),
             config,
@@ -435,8 +441,53 @@ impl CoordinatorService {
 
     /// Sends one request to a shard, handling generation fencing,
     /// mark-down, follower promotion, demotion of healed old primaries,
-    /// and re-probe rejoin.
+    /// and re-probe rejoin. When the calling thread carries a trace
+    /// context, the sub-request is stamped with `"trace"` and a fresh
+    /// client span id as `"pspan"`, and the client span is recorded
+    /// into [`Self::client_spans`] — the coordinator's half of the
+    /// cross-node trace tree.
     fn shard_request(&self, index: usize, request: &Value) -> Result<Value, ServiceFailure> {
+        let trace = bmb_obs::trace::current_trace();
+        let cmd = request.get("cmd").and_then(Value::as_str).unwrap_or("?");
+        // A `trace` sub-request's own "trace" field is the query
+        // *target*; stamping the context over it would corrupt the
+        // query, so trace fan-out travels unstamped.
+        if !trace.is_set() || cmd == "trace" {
+            return self.shard_request_inner(index, request);
+        }
+        let span_id = bmb_obs::next_span_id();
+        let start_unix_us = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_micros().min(u128::from(u64::MAX)) as u64)
+            .unwrap_or(0);
+        let start = Instant::now();
+        let stamped = request
+            .clone()
+            .with("trace", Value::Str(trace.to_string()))
+            .with("pspan", Value::Str(format!("{span_id:016x}")));
+        let result = self.shard_request_inner(index, &stamped);
+        let outcome = match &result {
+            Ok(_) => "ok",
+            Err(failure) => match failure.category {
+                ErrorCategory::Overload | ErrorCategory::Deadline => "retryable",
+                _ => "error",
+            },
+        };
+        self.client_spans.record(SpanRecord {
+            name: format!("rpc:{cmd}"),
+            trace: trace.as_u64(),
+            span: span_id,
+            parent: bmb_obs::trace::current_span(),
+            start_unix_us,
+            duration_us: u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX),
+            node: "coordinator".to_string(),
+            shard: index as i64,
+            outcome: outcome.to_string(),
+        });
+        result
+    }
+
+    fn shard_request_inner(&self, index: usize, request: &Value) -> Result<Value, ServiceFailure> {
         let shard = &self.shards[index];
         if self.config.fencing {
             self.reconcile_slot(index);
@@ -570,11 +621,20 @@ impl CoordinatorService {
         let request = Value::object()
             .with("cmd", Value::Str("support_vec".to_string()))
             .with("itemsets", Value::Array(itemsets));
+        // Thread-locals don't cross `scope.spawn`: capture the trace
+        // context here and re-establish it inside each scatter thread
+        // so per-shard client spans parent onto the server span.
+        let trace = bmb_obs::trace::current_trace();
+        let parent_span = bmb_obs::trace::current_span();
         let answers: Vec<Result<Value, ServiceFailure>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.shards.len())
                 .map(|index| {
                     let request = &request;
-                    scope.spawn(move || self.shard_request(index, request))
+                    scope.spawn(move || {
+                        bmb_obs::trace::set_current_trace(trace);
+                        bmb_obs::trace::set_current_span(parent_span);
+                        self.shard_request(index, request)
+                    })
                 })
                 .collect();
             handles
@@ -1004,9 +1064,64 @@ impl CoordinatorService {
                 Value::Int(self.metrics.promotions.get() as i64),
             )
             .with("demotions", Value::Int(self.metrics.demotions.get() as i64))
+            .with(
+                "slow_exemplars",
+                bmb_serve::slow_exemplars_value(ctx.metrics),
+            )
             .with("shards", Value::Array(shard_rows))
             .with("epoch", Value::Int(epoch_sum as i64))
             .with("epochs", Value::Array(epochs)))
+    }
+
+    /// `trace`: reconstruct the cross-node tree for one trace id. Own
+    /// server spans and client spans merge with every endpoint's ring
+    /// (primary *and* follower — after a failover the spans of one
+    /// trace can live on either side), queried best-effort: a down
+    /// node simply contributes nothing.
+    fn dispatch_trace(&self, trace: u64, ctx: &ServiceCtx<'_>) -> Result<Value, ServiceFailure> {
+        let mut spans = ctx.metrics.spans().for_trace(trace);
+        spans.extend(self.client_spans.for_trace(trace));
+        let request = Value::object()
+            .with("cmd", Value::Str("trace".to_string()))
+            .with("trace", Value::Str(TraceId::from_u64(trace).to_string()));
+        for shard in &self.shards {
+            let endpoints = [Some(&shard.primary), shard.follower.as_ref()];
+            for endpoint in endpoints.into_iter().flatten() {
+                // Straight to the endpoint, not through shard_request:
+                // a diagnostic read must not trigger mark-downs or
+                // promotions, and must reach fenced/demoted nodes too.
+                if let Ok(value) = self.request_on(endpoint, &request) {
+                    spans.extend(spans_from_value(trace, &value));
+                }
+            }
+        }
+        Ok(trace_value(trace, spans))
+    }
+
+    /// The federated `/metrics` body: this process's own exposition
+    /// plus every shard's, pulled over the `metrics` wire command
+    /// (best-effort — a down shard is skipped) and re-labeled.
+    fn federated_metrics(&self, metrics: &ServerMetrics) -> String {
+        let mut inputs = vec![crate::federation::NodeExposition {
+            node: "coordinator".to_string(),
+            shard: None,
+            text: bmb_serve::exposition(metrics, &self.registries()),
+        }];
+        let request = Value::object().with("cmd", Value::Str("metrics".to_string()));
+        for index in 0..self.shards.len() {
+            let Ok(value) = self.shard_request(index, &request) else {
+                continue;
+            };
+            let Some(text) = value.get("text").and_then(Value::as_str) else {
+                continue;
+            };
+            inputs.push(crate::federation::NodeExposition {
+                node: format!("shard{index}"),
+                shard: Some(index as i64),
+                text: text.to_string(),
+            });
+        }
+        crate::federation::federate(&inputs)
     }
 
     fn dispatch_support_vec(
@@ -1050,6 +1165,10 @@ impl Service for CoordinatorService {
         vec![Arc::clone(self.metrics.registry())]
     }
 
+    fn render_metrics(&self, metrics: &ServerMetrics) -> String {
+        self.federated_metrics(metrics)
+    }
+
     fn dispatch(&self, request: Request, ctx: &ServiceCtx<'_>) -> Result<Value, ServiceFailure> {
         match request {
             Request::Ping => Ok(Value::object().with("pong", Value::Bool(true))),
@@ -1071,10 +1190,11 @@ impl Service for CoordinatorService {
             }
             Request::SupportVec { itemsets } => self.dispatch_support_vec(itemsets, ctx),
             Request::Stats => self.dispatch_stats(ctx),
-            Request::Metrics => Ok(Value::object().with(
-                "text",
-                Value::Str(bmb_serve::exposition(ctx.metrics, &self.registries())),
-            )),
+            Request::Metrics => {
+                Ok(Value::object().with("text", Value::Str(self.federated_metrics(ctx.metrics))))
+            }
+            Request::Trace { trace } => self.dispatch_trace(trace, ctx),
+            Request::Events { since_us } => Ok(bmb_serve::events_value(since_us)),
             Request::Checkpoint => Err(ServiceFailure::other(
                 "issue 'checkpoint' to each shard directly; the coordinator holds no baskets"
                     .to_string(),
@@ -1129,6 +1249,47 @@ fn malformed(what: &str) -> ServiceFailure {
 /// An engine-shaped error, with the standalone server's exact message.
 fn engine_failure(error: EngineError) -> ServiceFailure {
     ServiceFailure::other(error.to_string())
+}
+
+/// Decodes a remote node's `trace` response back into span records
+/// (the inverse of [`bmb_serve::protocol::span_value`]); malformed
+/// entries are skipped — the tree renders from whatever survives.
+fn spans_from_value(trace: u64, value: &Value) -> Vec<SpanRecord> {
+    let Some(raw) = value.get("spans").and_then(Value::as_array) else {
+        return Vec::new();
+    };
+    raw.iter()
+        .filter_map(|entry| {
+            let hex = |key: &str| {
+                entry
+                    .get(key)
+                    .and_then(Value::as_str)
+                    .and_then(|text| u64::from_str_radix(text, 16).ok())
+            };
+            Some(SpanRecord {
+                name: entry.get("name").and_then(Value::as_str)?.to_string(),
+                trace,
+                span: hex("span")?,
+                parent: hex("parent").unwrap_or(0),
+                start_unix_us: entry.get("start_us").and_then(Value::as_u64).unwrap_or(0),
+                duration_us: entry
+                    .get("duration_us")
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0),
+                node: entry
+                    .get("node")
+                    .and_then(Value::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                shard: entry.get("shard").and_then(Value::as_i64).unwrap_or(-1),
+                outcome: entry
+                    .get("outcome")
+                    .and_then(Value::as_str)
+                    .unwrap_or("ok")
+                    .to_string(),
+            })
+        })
+        .collect()
 }
 
 /// The epoch vector as a JSON array, in shard order.

@@ -1,0 +1,361 @@
+//! Federated Prometheus exposition: the coordinator's cluster-wide
+//! `/metrics` view.
+//!
+//! The coordinator pulls each node's own text exposition over the
+//! `metrics` wire command and re-exposes the union: every sample line
+//! gains `node=`/`shard=` labels (appended at the end of the existing
+//! label list, so per-node series never collide), family headers are
+//! emitted once (first occurrence wins, matching
+//! [`bmb_obs::expose::render`]'s merge rule), and cluster rollups are
+//! appended — worst replication lag, the shard epoch spread, and a
+//! per-shard request p99 recovered from the merged latency histograms.
+//!
+//! The output is byte-deterministic for fixed inputs (families keep
+//! first-appearance order, rollups sort by shard index), which is what
+//! the golden test pins.
+
+use std::fmt::Write as _;
+
+/// One node's exposition input.
+pub struct NodeExposition {
+    /// Display label for the `node=` label (`coordinator`, `shard0`, …).
+    pub node: String,
+    /// Shard index for the `shard=` label (`None` on the coordinator).
+    pub shard: Option<i64>,
+    /// The node's own Prometheus text exposition.
+    pub text: String,
+}
+
+struct Family {
+    name: String,
+    /// `# HELP` / `# TYPE` lines from the family's first occurrence.
+    header: Vec<String>,
+    /// Relabeled sample lines, in input order.
+    samples: Vec<String>,
+}
+
+/// Merges per-node expositions into one federated text (see module
+/// docs). Inputs are scanned in order; pass the coordinator first so
+/// its families anchor the layout.
+pub fn federate(inputs: &[NodeExposition]) -> String {
+    let mut families: Vec<Family> = Vec::new();
+    for input in inputs {
+        let mut current: Option<usize> = None;
+        for line in input.text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split_whitespace().next().unwrap_or("");
+                current = Some(match families.iter().position(|f| f.name == name) {
+                    Some(index) => index,
+                    None => {
+                        families.push(Family {
+                            name: name.to_string(),
+                            header: vec![line.to_string()],
+                            samples: Vec::new(),
+                        });
+                        families.len() - 1
+                    }
+                });
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let name = rest.split_whitespace().next().unwrap_or("");
+                if let Some(index) = families.iter().position(|f| f.name == name) {
+                    if families[index].header.len() < 2 {
+                        families[index].header.push(line.to_string());
+                    }
+                    current = Some(index);
+                }
+            } else if line.starts_with('#') {
+                continue;
+            } else if let Some(index) = current {
+                families[index]
+                    .samples
+                    .push(relabel(line, &input.node, input.shard));
+            }
+        }
+    }
+    let mut out = String::new();
+    for family in &families {
+        for line in &family.header {
+            out.push_str(line);
+            out.push('\n');
+        }
+        for line in &family.samples {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    append_rollups(&mut out, inputs);
+    out
+}
+
+/// Appends `node=`/`shard=` to a sample line's label block (creating
+/// one when the series is unlabeled).
+fn relabel(line: &str, node: &str, shard: Option<i64>) -> String {
+    let mut extra = format!("node=\"{node}\"");
+    if let Some(shard) = shard {
+        let _ = write!(extra, ",shard=\"{shard}\"");
+    }
+    if let (Some(open), Some(close)) = (line.find('{'), line.rfind('}')) {
+        let labels = &line[open + 1..close];
+        if labels.is_empty() {
+            return format!("{}{{{extra}}}{}", &line[..open], &line[close + 1..]);
+        }
+        return format!(
+            "{}{{{labels},{extra}}}{}",
+            &line[..open],
+            &line[close + 1..]
+        );
+    }
+    match line.find(' ') {
+        Some(space) => format!("{}{{{extra}}}{}", &line[..space], &line[space..]),
+        None => line.to_string(),
+    }
+}
+
+/// Sample lines of family `name` in `text` (excluding derived
+/// `_bucket`/`_sum`/`_count` series unless named explicitly): the line
+/// starts with the name followed by `{` or a space.
+fn sample_values<'a>(text: &'a str, name: &'a str) -> impl Iterator<Item = u64> + 'a {
+    text.lines().filter_map(move |line| {
+        let rest = line.strip_prefix(name)?;
+        if !(rest.starts_with('{') || rest.starts_with(' ')) {
+            return None;
+        }
+        line.rsplit(' ').next()?.parse::<u64>().ok()
+    })
+}
+
+/// Cluster rollups over the raw (pre-relabel) inputs: worst
+/// replication lag across nodes, the shard epoch spread, and per-shard
+/// request p99.
+fn append_rollups(out: &mut String, inputs: &[NodeExposition]) {
+    let lag_max = inputs
+        .iter()
+        .flat_map(|i| sample_values(&i.text, "bmb_cluster_replication_lag_baskets"))
+        .max();
+    if let Some(lag) = lag_max {
+        let _ = writeln!(
+            out,
+            "# HELP bmb_cluster_fed_replication_lag_max Worst replication lag (baskets) across nodes."
+        );
+        let _ = writeln!(out, "# TYPE bmb_cluster_fed_replication_lag_max gauge");
+        let _ = writeln!(out, "bmb_cluster_fed_replication_lag_max {lag}");
+    }
+    // Epoch spread over shard nodes only: the coordinator's own served
+    // epoch is the *sum* of shard epochs and would drown the skew.
+    let epochs: Vec<u64> = inputs
+        .iter()
+        .filter(|i| i.shard.is_some())
+        .filter_map(|i| sample_values(&i.text, "bmb_serve_last_served_epoch").max())
+        .collect();
+    if let (Some(&min), Some(&max)) = (epochs.iter().min(), epochs.iter().max()) {
+        let _ = writeln!(
+            out,
+            "# HELP bmb_cluster_fed_epoch_skew Served-epoch spread across shard nodes (max-min, with bounds)."
+        );
+        let _ = writeln!(out, "# TYPE bmb_cluster_fed_epoch_skew gauge");
+        let _ = writeln!(out, "bmb_cluster_fed_epoch_skew{{bound=\"min\"}} {min}");
+        let _ = writeln!(out, "bmb_cluster_fed_epoch_skew{{bound=\"max\"}} {max}");
+        let _ = writeln!(
+            out,
+            "bmb_cluster_fed_epoch_skew{{bound=\"spread\"}} {}",
+            max - min
+        );
+    }
+    let mut p99s: Vec<(i64, u64)> = inputs
+        .iter()
+        .filter_map(|i| Some((i.shard?, shard_p99_us(&i.text)?)))
+        .collect();
+    p99s.sort_unstable();
+    if !p99s.is_empty() {
+        let _ = writeln!(
+            out,
+            "# HELP bmb_cluster_fed_shard_p99_us Per-shard request p99 (us) from merged latency histograms."
+        );
+        let _ = writeln!(out, "# TYPE bmb_cluster_fed_shard_p99_us gauge");
+        for (shard, p99) in p99s {
+            let _ = writeln!(
+                out,
+                "bmb_cluster_fed_shard_p99_us{{shard=\"{shard}\"}} {p99}"
+            );
+        }
+    }
+}
+
+/// Nearest-rank p99 over a node's `bmb_serve_request_us_bucket` lines,
+/// merging every `cmd=` series by summing cumulative counts per `le`
+/// bound. A p99 that falls in the `+Inf` bucket saturates to the
+/// largest finite bound seen. `None` when the node recorded nothing.
+fn shard_p99_us(text: &str) -> Option<u64> {
+    // (le_bound, summed cumulative count); +Inf keyed as u64::MAX.
+    let mut buckets: Vec<(u64, u64)> = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix("bmb_serve_request_us_bucket{") else {
+            continue;
+        };
+        let le_key = "le=\"";
+        let at = rest.find(le_key)? + le_key.len();
+        let end = rest[at..].find('"')? + at;
+        let le = match &rest[at..end] {
+            "+Inf" => u64::MAX,
+            digits => digits.parse::<u64>().ok()?,
+        };
+        let count = line.rsplit(' ').next()?.parse::<u64>().ok()?;
+        match buckets.iter_mut().find(|(bound, _)| *bound == le) {
+            Some((_, total)) => *total += count,
+            None => buckets.push((le, count)),
+        }
+    }
+    buckets.sort_unstable();
+    let total = buckets.last().map(|&(_, count)| count)?;
+    if total == 0 {
+        return None;
+    }
+    let rank = (total * 99).div_ceil(100).max(1);
+    let mut largest_finite = 0u64;
+    for &(le, cumulative) in &buckets {
+        if le != u64::MAX {
+            largest_finite = largest_finite.max(le);
+        }
+        if cumulative >= rank {
+            return Some(if le == u64::MAX { largest_finite } else { le });
+        }
+    }
+    Some(largest_finite)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs() -> Vec<NodeExposition> {
+        let coordinator = "\
+# HELP bmb_cluster_scatters_total Scatter rounds issued.\n\
+# TYPE bmb_cluster_scatters_total counter\n\
+bmb_cluster_scatters_total 4\n\
+# HELP bmb_serve_requests_total Requests handled.\n\
+# TYPE bmb_serve_requests_total counter\n\
+bmb_serve_requests_total 4\n";
+        let shard0 = "\
+# HELP bmb_serve_last_served_epoch Epoch of the last served snapshot.\n\
+# TYPE bmb_serve_last_served_epoch gauge\n\
+bmb_serve_last_served_epoch 7\n\
+# HELP bmb_serve_request_us Request latency (us).\n\
+# TYPE bmb_serve_request_us histogram\n\
+bmb_serve_request_us_bucket{cmd=\"support_vec\",le=\"1\"} 0\n\
+bmb_serve_request_us_bucket{cmd=\"support_vec\",le=\"128\"} 98\n\
+bmb_serve_request_us_bucket{cmd=\"support_vec\",le=\"256\"} 100\n\
+bmb_serve_request_us_bucket{cmd=\"support_vec\",le=\"+Inf\"} 100\n\
+bmb_serve_request_us_sum{cmd=\"support_vec\"} 9000\n\
+bmb_serve_request_us_count{cmd=\"support_vec\"} 100\n\
+# HELP bmb_serve_requests_total Requests handled.\n\
+# TYPE bmb_serve_requests_total counter\n\
+bmb_serve_requests_total 100\n";
+        let shard1 = "\
+# HELP bmb_cluster_replication_lag_baskets Baskets the follower trails by.\n\
+# TYPE bmb_cluster_replication_lag_baskets gauge\n\
+bmb_cluster_replication_lag_baskets 3\n\
+# HELP bmb_serve_last_served_epoch Epoch of the last served snapshot.\n\
+# TYPE bmb_serve_last_served_epoch gauge\n\
+bmb_serve_last_served_epoch 5\n\
+# HELP bmb_serve_request_us Request latency (us).\n\
+# TYPE bmb_serve_request_us histogram\n\
+bmb_serve_request_us_bucket{cmd=\"support_vec\",le=\"1\"} 0\n\
+bmb_serve_request_us_bucket{cmd=\"support_vec\",le=\"64\"} 50\n\
+bmb_serve_request_us_bucket{cmd=\"support_vec\",le=\"+Inf\"} 50\n\
+bmb_serve_request_us_sum{cmd=\"support_vec\"} 2000\n\
+bmb_serve_request_us_count{cmd=\"support_vec\"} 50\n";
+        vec![
+            NodeExposition {
+                node: "coordinator".to_string(),
+                shard: None,
+                text: coordinator.to_string(),
+            },
+            NodeExposition {
+                node: "shard0".to_string(),
+                shard: Some(0),
+                text: shard0.to_string(),
+            },
+            NodeExposition {
+                node: "shard1".to_string(),
+                shard: Some(1),
+                text: shard1.to_string(),
+            },
+        ]
+    }
+
+    /// The golden test: fixed inputs must federate to these exact bytes.
+    #[test]
+    fn federation_is_byte_stable() {
+        let expected = "\
+# HELP bmb_cluster_scatters_total Scatter rounds issued.\n\
+# TYPE bmb_cluster_scatters_total counter\n\
+bmb_cluster_scatters_total{node=\"coordinator\"} 4\n\
+# HELP bmb_serve_requests_total Requests handled.\n\
+# TYPE bmb_serve_requests_total counter\n\
+bmb_serve_requests_total{node=\"coordinator\"} 4\n\
+bmb_serve_requests_total{node=\"shard0\",shard=\"0\"} 100\n\
+# HELP bmb_serve_last_served_epoch Epoch of the last served snapshot.\n\
+# TYPE bmb_serve_last_served_epoch gauge\n\
+bmb_serve_last_served_epoch{node=\"shard0\",shard=\"0\"} 7\n\
+bmb_serve_last_served_epoch{node=\"shard1\",shard=\"1\"} 5\n\
+# HELP bmb_serve_request_us Request latency (us).\n\
+# TYPE bmb_serve_request_us histogram\n\
+bmb_serve_request_us_bucket{cmd=\"support_vec\",le=\"1\",node=\"shard0\",shard=\"0\"} 0\n\
+bmb_serve_request_us_bucket{cmd=\"support_vec\",le=\"128\",node=\"shard0\",shard=\"0\"} 98\n\
+bmb_serve_request_us_bucket{cmd=\"support_vec\",le=\"256\",node=\"shard0\",shard=\"0\"} 100\n\
+bmb_serve_request_us_bucket{cmd=\"support_vec\",le=\"+Inf\",node=\"shard0\",shard=\"0\"} 100\n\
+bmb_serve_request_us_sum{cmd=\"support_vec\",node=\"shard0\",shard=\"0\"} 9000\n\
+bmb_serve_request_us_count{cmd=\"support_vec\",node=\"shard0\",shard=\"0\"} 100\n\
+bmb_serve_request_us_bucket{cmd=\"support_vec\",le=\"1\",node=\"shard1\",shard=\"1\"} 0\n\
+bmb_serve_request_us_bucket{cmd=\"support_vec\",le=\"64\",node=\"shard1\",shard=\"1\"} 50\n\
+bmb_serve_request_us_bucket{cmd=\"support_vec\",le=\"+Inf\",node=\"shard1\",shard=\"1\"} 50\n\
+bmb_serve_request_us_sum{cmd=\"support_vec\",node=\"shard1\",shard=\"1\"} 2000\n\
+bmb_serve_request_us_count{cmd=\"support_vec\",node=\"shard1\",shard=\"1\"} 50\n\
+# HELP bmb_cluster_replication_lag_baskets Baskets the follower trails by.\n\
+# TYPE bmb_cluster_replication_lag_baskets gauge\n\
+bmb_cluster_replication_lag_baskets{node=\"shard1\",shard=\"1\"} 3\n\
+# HELP bmb_cluster_fed_replication_lag_max Worst replication lag (baskets) across nodes.\n\
+# TYPE bmb_cluster_fed_replication_lag_max gauge\n\
+bmb_cluster_fed_replication_lag_max 3\n\
+# HELP bmb_cluster_fed_epoch_skew Served-epoch spread across shard nodes (max-min, with bounds).\n\
+# TYPE bmb_cluster_fed_epoch_skew gauge\n\
+bmb_cluster_fed_epoch_skew{bound=\"min\"} 5\n\
+bmb_cluster_fed_epoch_skew{bound=\"max\"} 7\n\
+bmb_cluster_fed_epoch_skew{bound=\"spread\"} 2\n\
+# HELP bmb_cluster_fed_shard_p99_us Per-shard request p99 (us) from merged latency histograms.\n\
+# TYPE bmb_cluster_fed_shard_p99_us gauge\n\
+bmb_cluster_fed_shard_p99_us{shard=\"0\"} 256\n\
+bmb_cluster_fed_shard_p99_us{shard=\"1\"} 64\n";
+        assert_eq!(federate(&inputs()), expected);
+    }
+
+    #[test]
+    fn relabel_handles_labeled_unlabeled_and_empty_blocks() {
+        assert_eq!(
+            relabel("bmb_x_total 3", "n0", None),
+            "bmb_x_total{node=\"n0\"} 3"
+        );
+        assert_eq!(
+            relabel("bmb_x_total{} 3", "n0", Some(1)),
+            "bmb_x_total{node=\"n0\",shard=\"1\"} 3"
+        );
+        assert_eq!(
+            relabel("bmb_x_total{cmd=\"chi2\"} 3", "n0", Some(1)),
+            "bmb_x_total{cmd=\"chi2\",node=\"n0\",shard=\"1\"} 3"
+        );
+    }
+
+    #[test]
+    fn p99_saturates_to_largest_finite_bound() {
+        // Every observation lands in +Inf: p99 reports the largest
+        // finite bound rather than an unusable sentinel.
+        let text = "\
+bmb_serve_request_us_bucket{cmd=\"chi2\",le=\"1\"} 0\n\
+bmb_serve_request_us_bucket{cmd=\"chi2\",le=\"+Inf\"} 10\n";
+        assert_eq!(shard_p99_us(text), Some(1));
+        assert_eq!(shard_p99_us(""), None);
+    }
+}

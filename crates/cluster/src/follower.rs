@@ -64,6 +64,10 @@ pub struct Replicator {
     caught_up: Option<Arc<AtomicBool>>,
     config: FollowerConfig,
     metrics: Arc<ClusterMetrics>,
+    /// Session trace stamped on every pull this loop sends, so a
+    /// primary's span ring attributes replication traffic to one
+    /// queryable trace per pull-loop lifetime.
+    session_trace: u64,
 }
 
 impl Replicator {
@@ -87,7 +91,14 @@ impl Replicator {
             caught_up: None,
             config,
             metrics,
+            session_trace: bmb_obs::next_span_id(),
         }
+    }
+
+    /// The trace id this loop stamps on its pulls (16-hex wire form:
+    /// `bmb cluster trace <id>` against the primary shows the pulls).
+    pub fn session_trace(&self) -> u64 {
+        self.session_trace
     }
 
     /// Shares a caught-up latch: set to `true` the first time a pull
@@ -132,7 +143,8 @@ impl Replicator {
             .with(
                 "max_baskets",
                 Value::Int(self.config.max_baskets_per_pull as i64),
-            );
+            )
+            .with("trace", Value::Str(format!("{:016x}", self.session_trace)));
         let response = self.client.request(&request).map_err(|e| e.to_string())?;
         self.metrics.replication_pulls.inc();
         let batch = parse_ship_batch(&response)?;

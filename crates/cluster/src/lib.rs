@@ -34,6 +34,8 @@ pub mod chaos;
 pub mod clock;
 /// Scatter-gather coordinator: central evaluation over shard supports.
 pub mod coordinator;
+/// Federated Prometheus exposition across cluster nodes.
+pub mod federation;
 /// WAL-shipping replication pull loop and its tuning.
 pub mod follower;
 /// Cluster-wide counters and gauges (`bmb_cluster_*`).
@@ -46,6 +48,7 @@ pub mod partition;
 pub use chaos::{ChaosConfig, ChaosHandle, ChaosProxy};
 pub use clock::{Clock, SystemClock, TestClock};
 pub use coordinator::{CoordinatorConfig, CoordinatorService, ShardSpec};
+pub use federation::{federate, NodeExposition};
 pub use follower::{FollowerConfig, Replicator};
 pub use metrics::ClusterMetrics;
 pub use node::{NodeService, Role};

@@ -339,6 +339,10 @@ impl Service for NodeService {
                 self.inner.dispatch(request, ctx)
             }
             Request::ReplicatePull { .. } => self.inner.dispatch(request, ctx),
+            // Observability reads bypass the catch-up gate: a trace
+            // tree or event timeline is most needed mid-failover, when
+            // the node is busiest catching up.
+            Request::Trace { .. } | Request::Events { .. } => self.inner.dispatch(request, ctx),
             Request::Stats => {
                 let catching_up = self.still_catching_up();
                 let role = self.role();

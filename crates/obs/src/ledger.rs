@@ -1,0 +1,234 @@
+//! Persisted, bounded event ledger: the post-mortem timeline.
+//!
+//! The in-memory [`crate::EventLog`] ring dies with the process — the
+//! one moment a promotion/fencing timeline matters most. An
+//! [`EventLedger`] is a JSON-lines file (the exact
+//! [`crate::trace::Event::to_json_line`] format) that an event log can
+//! be attached to: every retained event is appended, and when the file
+//! grows past twice its line budget it is compacted down to the newest
+//! `capacity` lines via a write-sync-rename cycle, so a crash leaves
+//! either the old or the new file — never a torn one.
+//!
+//! Durability caveat (DESIGN.md §14): appends are *not* fsynced — an
+//! event ledger is diagnostic, and syncing per event would put a disk
+//! barrier on the failover path. A crash can lose the last few
+//! appended events; compaction, which rewrites history, does sync.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, PoisonError};
+
+/// Bounded JSON-lines event ledger on disk.
+#[derive(Debug)]
+pub struct EventLedger {
+    path: PathBuf,
+    capacity: usize,
+    state: Mutex<LedgerState>,
+}
+
+#[derive(Debug)]
+struct LedgerState {
+    file: Option<File>,
+    lines: usize,
+}
+
+impl EventLedger {
+    /// Opens (creating if absent) the ledger at `path`, retaining at
+    /// most `capacity` newest lines after compaction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file open/read failures.
+    pub fn open(path: impl Into<PathBuf>, capacity: usize) -> std::io::Result<EventLedger> {
+        let path = path.into();
+        let lines = match File::open(&path) {
+            Ok(file) => BufReader::new(file).lines().count(),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => 0,
+            Err(e) => return Err(e),
+        };
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(EventLedger {
+            path,
+            capacity: capacity.max(1),
+            state: Mutex::new(LedgerState {
+                file: Some(file),
+                lines,
+            }),
+        })
+    }
+
+    /// The ledger's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one JSON line (no trailing newline expected). Best
+    /// effort: an I/O failure drops the event rather than failing the
+    /// operation that emitted it.
+    pub fn append_line(&self, line: &str) {
+        // Serializes appends and compaction; the file write below
+        // happens under the guard on purpose. // lock:allow(io)
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(file) = state.file.as_mut() else {
+            return;
+        };
+        let mut buf = String::with_capacity(line.len() + 1);
+        buf.push_str(line);
+        buf.push('\n');
+        if file.write_all(buf.as_bytes()).is_err() {
+            return;
+        }
+        state.lines += 1;
+        if state.lines >= self.capacity.saturating_mul(2) {
+            self.compact(&mut state);
+        }
+    }
+
+    /// Reads the retained lines back, oldest first.
+    pub fn read_lines(&self) -> Vec<String> {
+        // Hold the lock so a concurrent compaction can't swap the file
+        // out from under the read. // lock:allow(io)
+        let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ = &*state;
+        read_all_lines(&self.path)
+    }
+
+    /// Rewrites the file down to its newest `capacity` lines via
+    /// temp-write, sync, atomic rename.
+    fn compact(&self, state: &mut LedgerState) {
+        let mut lines = read_all_lines(&self.path);
+        if lines.len() > self.capacity {
+            lines.drain(..lines.len() - self.capacity);
+        }
+        let tmp = self.path.with_extension("jsonl.tmp");
+        let rewrite = || -> std::io::Result<File> {
+            let mut out = File::create(&tmp)?;
+            for line in &lines {
+                out.write_all(line.as_bytes())?;
+                out.write_all(b"\n")?;
+            }
+            out.sync_all()?;
+            std::fs::rename(&tmp, &self.path)?;
+            OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&self.path)
+        };
+        match rewrite() {
+            Ok(file) => {
+                state.file = Some(file);
+                state.lines = lines.len();
+            }
+            Err(_) => {
+                // Leave the oversized file in place; a later append
+                // retries compaction. Diagnostic data: never fatal.
+                let _ = std::fs::remove_file(&tmp);
+            }
+        }
+    }
+}
+
+fn read_all_lines(path: &Path) -> Vec<String> {
+    let mut text = String::new();
+    if File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut text))
+        .is_err()
+    {
+        return Vec::new();
+    }
+    text.lines().map(str::to_string).collect()
+}
+
+/// Extracts the `"ts_us":<digits>` timestamp from one ledger line
+/// without a JSON parser; `None` when absent or malformed. Used for
+/// cheap `events --since` filtering.
+pub fn line_ts_us(line: &str) -> Option<u64> {
+    let key = "\"ts_us\":";
+    let at = line.find(key)? + key.len();
+    let digits: String = line[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    if digits.is_empty() {
+        None
+    } else {
+        digits.parse().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "bmb_ledger_{tag}_{}_{}.jsonl",
+            std::process::id(),
+            next_span_tag()
+        ));
+        path
+    }
+
+    fn next_span_tag() -> u64 {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        // ordering: test-only unique suffix.
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    }
+
+    #[test]
+    fn appends_and_reads_back_in_order() {
+        let path = temp_path("order");
+        let ledger = EventLedger::open(&path, 16).unwrap();
+        ledger.append_line(r#"{"seq":0,"ts_us":10,"msg":"a"}"#);
+        ledger.append_line(r#"{"seq":1,"ts_us":20,"msg":"b"}"#);
+        let lines = ledger.read_lines();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"a\""));
+        assert!(lines[1].contains("\"b\""));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compaction_bounds_the_file_to_newest_lines() {
+        let path = temp_path("compact");
+        let ledger = EventLedger::open(&path, 4).unwrap();
+        for i in 0..20u64 {
+            ledger.append_line(&format!("{{\"seq\":{i},\"ts_us\":{i}}}"));
+        }
+        let lines = ledger.read_lines();
+        assert!(
+            lines.len() <= 8,
+            "file must stay under 2x capacity, got {}",
+            lines.len()
+        );
+        // The newest line always survives.
+        assert!(lines.last().is_some_and(|l| l.contains("\"seq\":19")));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reopen_counts_existing_lines() {
+        let path = temp_path("reopen");
+        {
+            let ledger = EventLedger::open(&path, 64).unwrap();
+            ledger.append_line(r#"{"seq":0,"ts_us":1}"#);
+        }
+        let ledger = EventLedger::open(&path, 64).unwrap();
+        ledger.append_line(r#"{"seq":1,"ts_us":2}"#);
+        assert_eq!(ledger.read_lines().len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn ts_scanner_reads_timestamps() {
+        assert_eq!(
+            line_ts_us(r#"{"seq":3,"ts_us":1234,"msg":"x"}"#),
+            Some(1234)
+        );
+        assert_eq!(line_ts_us(r#"{"seq":3}"#), None);
+        assert_eq!(line_ts_us(r#"{"ts_us":"nope"}"#), None);
+    }
+}

@@ -26,18 +26,24 @@
 pub mod expose;
 /// Fixed-bucket log-scale histograms with quantile extraction.
 pub mod histogram;
+/// Persisted, bounded JSON-lines event ledger (failover post-mortems).
+pub mod ledger;
 /// The metrics registry: counters, gauges, histograms, snapshots.
 pub mod registry;
+/// Completed-span rings and cross-process span ids.
+pub mod spanring;
 /// Spans, trace ids, severity-tagged events, and sinks.
 pub mod trace;
 
 use std::sync::OnceLock;
 
 pub use histogram::{bucket_index, bucket_upper_bound, HistogramSnapshot, BUCKETS, FINITE_BUCKETS};
+pub use ledger::EventLedger;
 pub use registry::{
     Counter, FamilySnapshot, Gauge, Histogram, MetricKind, MetricValue, Registry, RegistrySnapshot,
     SeriesSnapshot,
 };
+pub use spanring::{next_span_id, SpanRecord, SpanRing, DEFAULT_SPAN_CAPACITY};
 pub use trace::{EventLog, Severity, Sink, Span, TraceId};
 
 /// The process-wide registry, used by code with no natural owner for a

@@ -1,0 +1,197 @@
+//! Completed-span records for cross-node trace reconstruction.
+//!
+//! A [`SpanRecord`] is the durable residue of one timed operation —
+//! request handling on a server, or one sub-request a coordinator sent
+//! to a shard. Each node keeps a bounded [`SpanRing`] of recently
+//! completed spans; the `trace <id>` wire command reads the ring back,
+//! and the coordinator merges rings across nodes into the full
+//! scatter-gather tree for one trace.
+//!
+//! Span ids must be unique across *processes* (a coordinator's client
+//! span and a shard's server span land in different rings and meet
+//! again only at reconstruction time), so [`next_span_id`] mixes a
+//! per-process random base into a process-local counter. Trace ids
+//! stay per-server sequential (golden fixtures pin them); span ids are
+//! never echoed in responses, so randomness is safe here.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Default capacity of a node's span ring.
+pub const DEFAULT_SPAN_CAPACITY: usize = 512;
+
+/// One completed span, as recorded into a node's [`SpanRing`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Operation name (`serve:chi2`, `rpc:support_vec`, …).
+    pub name: String,
+    /// The trace this span belongs to (never 0 for recorded spans).
+    pub trace: u64,
+    /// This span's id (unique across processes; never 0).
+    pub span: u64,
+    /// Parent span id (0 = root of its process's contribution).
+    pub parent: u64,
+    /// Wall-clock start, microseconds since the Unix epoch.
+    pub start_unix_us: u64,
+    /// Wall time the operation took, microseconds.
+    pub duration_us: u64,
+    /// The recording node's role (`server`, `coordinator`, `shard`,
+    /// `follower`).
+    pub node: String,
+    /// Shard index when the node serves one (`-1` = not sharded).
+    pub shard: i64,
+    /// Outcome: `ok`, `error`, `retryable`, or `fenced`.
+    pub outcome: String,
+}
+
+/// Fixed-capacity ring of completed spans, oldest evicted first.
+#[derive(Debug)]
+pub struct SpanRing {
+    capacity: usize,
+    dropped: AtomicU64,
+    ring: Mutex<VecDeque<SpanRecord>>,
+}
+
+impl SpanRing {
+    /// A ring keeping at most `capacity` recent spans.
+    pub fn new(capacity: usize) -> SpanRing {
+        SpanRing {
+            capacity: capacity.max(1),
+            dropped: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Records one completed span, evicting the oldest when full.
+    /// Spans without a trace id are dropped — they could never be
+    /// queried back.
+    pub fn record(&self, record: SpanRecord) {
+        if record.trace == 0 {
+            return;
+        }
+        let mut ring = self.ring.lock().unwrap_or_else(PoisonError::into_inner);
+        if ring.len() >= self.capacity {
+            ring.pop_front();
+            // ordering: statistics only; racing reads may lag by one.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(record);
+    }
+
+    /// The retained spans belonging to `trace`, oldest first.
+    pub fn for_trace(&self, trace: u64) -> Vec<SpanRecord> {
+        let ring = self.ring.lock().unwrap_or_else(PoisonError::into_inner);
+        ring.iter().filter(|s| s.trace == trace).cloned().collect()
+    }
+
+    /// Every retained span, oldest first.
+    pub fn recent(&self) -> Vec<SpanRecord> {
+        let ring = self.ring.lock().unwrap_or_else(PoisonError::into_inner);
+        ring.iter().cloned().collect()
+    }
+
+    /// How many spans the ring has evicted since creation.
+    pub fn dropped(&self) -> u64 {
+        // ordering: statistics only.
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// SplitMix64 finalizer — a cheap, well-mixed bijection on `u64`.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A per-process random base so span ids never collide across the
+/// nodes of one cluster (each process seeds from its own start time
+/// and pid).
+fn process_base() -> u64 {
+    static BASE: OnceLock<u64> = OnceLock::new();
+    *BASE.get_or_init(|| {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        splitmix64(nanos ^ (std::process::id() as u64).rotate_left(32))
+    })
+}
+
+/// Allocates a process-unique span id (never 0). Unlike trace ids —
+/// per-server sequential so golden fixtures stay byte-stable — span
+/// ids are internal to trace reconstruction and carry a random
+/// per-process base for cross-process uniqueness.
+pub fn next_span_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    // ordering: uniqueness only needs the RMW to be atomic.
+    let seq = NEXT.fetch_add(1, Ordering::Relaxed);
+    let id = splitmix64(process_base().wrapping_add(seq));
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(trace: u64, span: u64, start: u64) -> SpanRecord {
+        SpanRecord {
+            name: "serve:chi2".to_string(),
+            trace,
+            span,
+            parent: 0,
+            start_unix_us: start,
+            duration_us: 5,
+            node: "server".to_string(),
+            shard: -1,
+            outcome: "ok".to_string(),
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let ring = SpanRing::new(2);
+        ring.record(record(1, 10, 0));
+        ring.record(record(1, 11, 1));
+        ring.record(record(2, 12, 2));
+        let all = ring.recent();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].span, 11);
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn for_trace_filters() {
+        let ring = SpanRing::new(8);
+        ring.record(record(1, 10, 0));
+        ring.record(record(2, 11, 1));
+        ring.record(record(1, 12, 2));
+        let spans = ring.for_trace(1);
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().all(|s| s.trace == 1));
+    }
+
+    #[test]
+    fn traceless_spans_are_dropped() {
+        let ring = SpanRing::new(8);
+        ring.record(record(0, 10, 0));
+        assert!(ring.recent().is_empty());
+    }
+
+    #[test]
+    fn span_ids_are_distinct_and_nonzero() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let id = next_span_id();
+            assert_ne!(id, 0);
+            assert!(seen.insert(id), "span id collided");
+        }
+    }
+}

@@ -19,9 +19,10 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::io::Write as _;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
+use crate::ledger::EventLedger;
 use crate::registry::Histogram;
 
 /// Identifier propagated across one logical request. Zero means "no
@@ -47,6 +48,25 @@ impl TraceId {
     pub fn is_set(self) -> bool {
         self.0 != 0
     }
+
+    /// Parses the wire form: exactly 16 lowercase hex digits, nonzero.
+    /// This is the validation gate for client-supplied `"trace"` ids —
+    /// anything else is rejected rather than silently replaced.
+    pub fn parse_hex(text: &str) -> Option<TraceId> {
+        if text.len() != 16 {
+            return None;
+        }
+        if !text
+            .bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+        {
+            return None;
+        }
+        match u64::from_str_radix(text, 16) {
+            Ok(0) | Err(_) => None,
+            Ok(raw) => Some(TraceId(raw)),
+        }
+    }
 }
 
 impl fmt::Display for TraceId {
@@ -64,6 +84,7 @@ pub fn next_trace_id() -> TraceId {
 
 thread_local! {
     static CURRENT_TRACE: StdCell<u64> = const { StdCell::new(0) };
+    static CURRENT_SPAN: StdCell<u64> = const { StdCell::new(0) };
     static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
 }
 
@@ -76,6 +97,20 @@ pub fn set_current_trace(id: TraceId) -> TraceId {
 /// This thread's current trace id ([`TraceId::NONE`] if unset).
 pub fn current_trace() -> TraceId {
     CURRENT_TRACE.with(|c| TraceId(c.get()))
+}
+
+/// Sets this thread's current *recorded* span id (the parent for child
+/// spans fanned out downstream), returning the previous one so pooled
+/// worker threads can restore it. Distinct from the named
+/// [`span_path`] stack: this is the cross-process tree identity, that
+/// is human-readable context.
+pub fn set_current_span(id: u64) -> u64 {
+    CURRENT_SPAN.with(|c| c.replace(id))
+}
+
+/// This thread's current recorded span id (0 if unset).
+pub fn current_span() -> u64 {
+    CURRENT_SPAN.with(|c| c.get())
 }
 
 /// This thread's span stack joined with `>` (empty string when no span
@@ -267,6 +302,10 @@ pub struct EventLog {
     sink: AtomicU8,
     dropped: AtomicU64,
     ring: Mutex<VecDeque<Event>>,
+    /// Optional persisted ledger every retained event is appended to
+    /// (see [`EventLedger`]); the slot lock is never held across the
+    /// ledger's own I/O.
+    ledger: Mutex<Option<Arc<EventLedger>>>,
 }
 
 impl EventLog {
@@ -280,7 +319,33 @@ impl EventLog {
             sink: AtomicU8::new(0),
             dropped: AtomicU64::new(0),
             ring: Mutex::new(VecDeque::new()),
+            ledger: Mutex::new(None),
         }
+    }
+
+    /// Attaches a persisted ledger: every retained event is also
+    /// appended (as its JSON line) to `ledger`. Pass-through for the
+    /// process-global log on cluster nodes; detach with
+    /// [`EventLog::detach_ledger`].
+    pub fn attach_ledger(&self, ledger: Arc<EventLedger>) {
+        *self.ledger.lock().unwrap_or_else(PoisonError::into_inner) = Some(ledger);
+    }
+
+    /// Detaches the persisted ledger, if any, returning it.
+    pub fn detach_ledger(&self) -> Option<Arc<EventLedger>> {
+        self.ledger
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+    }
+
+    /// The attached ledger, if any (the `events` wire command serves
+    /// from it when present).
+    pub fn ledger(&self) -> Option<Arc<EventLedger>> {
+        self.ledger
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// Sets the sink.
@@ -330,6 +395,10 @@ impl EventLog {
             let mut line = event.to_json_line();
             line.push('\n');
             let _ = std::io::stderr().write_all(line.as_bytes());
+        }
+        let ledger = self.ledger();
+        if let Some(ledger) = &ledger {
+            ledger.append_line(&event.to_json_line());
         }
         let mut ring = self.ring.lock().unwrap_or_else(PoisonError::into_inner);
         if ring.len() >= self.capacity {
@@ -414,6 +483,58 @@ mod tests {
         let events = log.recent();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].message, "kept");
+    }
+
+    #[test]
+    fn parse_hex_accepts_only_canonical_ids() {
+        assert_eq!(
+            TraceId::parse_hex("00000000000000ab"),
+            Some(TraceId::from_u64(0xab))
+        );
+        let id = TraceId::from_u64(0xdead_beef_0123);
+        assert_eq!(TraceId::parse_hex(&id.to_string()), Some(id));
+        for bad in [
+            "",
+            "ab",                // too short
+            "00000000000000abc", // too long
+            "00000000000000AB",  // uppercase
+            "0000000000000000",  // zero
+            "0000000000000zzz",  // non-hex
+            " 0000000000000ab",  // whitespace
+            "+0000000000000ab",  // sign
+        ] {
+            assert_eq!(TraceId::parse_hex(bad), None, "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn current_span_propagates_and_restores() {
+        assert_eq!(current_span(), 0);
+        let prev = set_current_span(42);
+        assert_eq!(prev, 0);
+        assert_eq!(current_span(), 42);
+        set_current_span(prev);
+        assert_eq!(current_span(), 0);
+    }
+
+    #[test]
+    fn attached_ledger_receives_event_lines() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("bmb_eventlog_ledger_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let log = EventLog::new(8);
+        log.attach_ledger(Arc::new(EventLedger::open(&path, 32).unwrap()));
+        log.emit(Severity::Warn, "promotion", &[("generation", "3")]);
+        let lines = log.ledger().unwrap().read_lines();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("\"msg\":\"promotion\""));
+        assert!(lines[0].contains("\"generation\":\"3\""));
+        assert!(log.detach_ledger().is_some());
+        log.emit(Severity::Warn, "after detach", &[]);
+        // Detached: the file must not grow.
+        let ledger = EventLedger::open(&path, 32).unwrap();
+        assert_eq!(ledger.read_lines().len(), 1);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -275,6 +275,9 @@ fn is_idempotent(request: &Value) -> bool {
                 | "border"
                 | "support_vec"
                 | "replicate_pull"
+                | "trace"
+                | "events"
+                | "metrics"
                 | "promote"
                 | "demote"
         )

@@ -58,6 +58,6 @@ pub use client::{Client, ClientError, RetryClient, RetryPolicy};
 pub use metrics::{ErrorCategory, MetricsSnapshot, ServerMetrics};
 pub use protocol::{parse_request, Envelope, Request, HELLO};
 pub use server::{
-    exposition, EngineService, RunningServer, Server, ServerConfig, Service, ServiceCtx,
-    ServiceFailure, ShutdownHandle,
+    events_value, exposition, slow_exemplars_value, EngineService, RunningServer, Server,
+    ServerConfig, Service, ServiceCtx, ServiceFailure, ShutdownHandle,
 };

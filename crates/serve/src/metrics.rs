@@ -9,10 +9,14 @@
 //! reported as bucket upper bounds, so they are within one power-of-two
 //! bucket of the true latency.
 
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
-use bmb_obs::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, BUCKETS};
+use bmb_obs::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Registry, SpanRing, TraceId, BUCKETS,
+    DEFAULT_SPAN_CAPACITY,
+};
 
 /// Command labels pre-registered at construction so the request hot
 /// path never takes the registry lock. `"invalid"` is the bucket for
@@ -28,9 +32,30 @@ pub const KNOWN_COMMANDS: &[&str] = &[
     "checkpoint",
     "stats",
     "metrics",
+    "trace",
+    "events",
+    "support_vec",
+    "replicate_pull",
+    "promote",
+    "demote",
     "shutdown",
     "invalid",
 ];
+
+/// How many slow-request exemplars the server retains for `/stats`.
+const SLOW_EXEMPLAR_CAPACITY: usize = 8;
+
+/// One slow request's identity: what ran, how long, and the trace id
+/// that explains it (feed it to `trace <id>` for the full tree).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlowExemplar {
+    /// The wire command.
+    pub cmd: String,
+    /// How long it took, microseconds.
+    pub elapsed_us: u64,
+    /// The request's trace id (raw).
+    pub trace: u64,
+}
 
 /// Why a request (or connection) failed, for the per-category error
 /// counters surfaced in `/stats`.
@@ -77,6 +102,10 @@ pub struct ServerMetrics {
     slow_requests: Counter,
     /// Per-command request latency histograms.
     per_command: Vec<(&'static str, Histogram)>,
+    /// Recent slow requests with their trace ids ([`SlowExemplar`]).
+    slow_exemplars: Mutex<VecDeque<SlowExemplar>>,
+    /// Completed spans for cross-node trace reconstruction.
+    spans: SpanRing,
 }
 
 /// A point-in-time copy of every counter, plus derived percentiles.
@@ -189,8 +218,16 @@ impl ServerMetrics {
                 "Requests slower than the slow-query threshold.",
             ),
             per_command,
+            slow_exemplars: Mutex::new(VecDeque::new()),
+            spans: SpanRing::new(DEFAULT_SPAN_CAPACITY),
             registry,
         }
+    }
+
+    /// The server's span ring (completed request/sub-request spans,
+    /// served back by the `trace <id>` wire command).
+    pub fn spans(&self) -> &SpanRing {
+        &self.spans
     }
 
     /// The registry backing these metrics, for exposition merging and
@@ -270,9 +307,35 @@ impl ServerMetrics {
             .set_max(i64::try_from(epoch).unwrap_or(i64::MAX));
     }
 
-    /// Records one request over the slow-query threshold.
-    pub fn record_slow_request(&self) {
+    /// Records one request over the slow-query threshold, keeping its
+    /// trace id as an exemplar so `/stats` can name the worst recent
+    /// traces, not just a p99 number.
+    pub fn record_slow_request(&self, cmd: &str, elapsed_us: u64, trace: TraceId) {
         self.slow_requests.inc();
+        let mut ring = self
+            .slow_exemplars
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if ring.len() >= SLOW_EXEMPLAR_CAPACITY {
+            ring.pop_front();
+        }
+        ring.push_back(SlowExemplar {
+            cmd: cmd.to_string(),
+            elapsed_us,
+            trace: trace.as_u64(),
+        });
+    }
+
+    /// The retained slow-request exemplars, worst (slowest) first;
+    /// ties keep arrival order.
+    pub fn slow_exemplars(&self) -> Vec<SlowExemplar> {
+        let ring = self
+            .slow_exemplars
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let mut exemplars: Vec<SlowExemplar> = ring.iter().cloned().collect();
+        exemplars.sort_by_key(|e| std::cmp::Reverse(e.elapsed_us));
+        exemplars
     }
 
     /// All request latencies merged across commands.
@@ -418,7 +481,7 @@ mod tests {
     fn registry_exposes_the_same_cells_stats_reads() {
         let m = ServerMetrics::new();
         m.record_request("chi2", Duration::from_micros(9), None);
-        m.record_slow_request();
+        m.record_slow_request("chi2", 9, TraceId::from_u64(1));
         let snap = m.registry().snapshot();
         assert_eq!(snap.counter_value("bmb_serve_requests_total", &[]), 1);
         assert_eq!(snap.counter_value("bmb_serve_slow_requests_total", &[]), 1);

@@ -14,6 +14,7 @@
 use bmb_basket::Itemset;
 use bmb_core::{Chi2Answer, EngineError, InterestAnswer};
 use bmb_core::{MiningResult, PairCorrelation};
+use bmb_obs::{SpanRecord, TraceId};
 
 use crate::json::{parse, Value};
 
@@ -89,6 +90,19 @@ pub enum Request {
     Stats,
     /// The full Prometheus text exposition, as a string payload.
     Metrics,
+    /// Completed spans for one trace id from this node's span ring
+    /// (the coordinator fans the query out and merges the tree).
+    Trace {
+        /// The trace id being reconstructed (raw, nonzero).
+        trace: u64,
+    },
+    /// The node's event timeline (promotions, demotions, fence
+    /// rejections, WAL degradations), from the persisted ledger when
+    /// one is attached, else the in-memory ring.
+    Events {
+        /// Only events at or after this Unix-microsecond timestamp.
+        since_us: Option<u64>,
+    },
     /// Liveness probe.
     Ping,
     /// Graceful shutdown: drain in-flight queries, then exit.
@@ -113,6 +127,8 @@ impl Request {
             Request::Demote { .. } => "demote",
             Request::Stats => "stats",
             Request::Metrics => "metrics",
+            Request::Trace { .. } => "trace",
+            Request::Events { .. } => "events",
             Request::Ping => "ping",
             Request::Shutdown => "shutdown",
         }
@@ -128,6 +144,17 @@ pub struct Envelope {
     /// cluster node rejects requests fenced below its own generation;
     /// `promote`/`demote` instead treat it as the floor to bump past.
     pub generation: Option<u64>,
+    /// Inbound trace context (`"trace"`, 16 lowercase hex digits): the
+    /// server *adopts* this id instead of minting one, so one logical
+    /// request keeps a single trace id across every wire hop.
+    /// Malformed values are rejected at parse time, never silently
+    /// replaced. (For the `trace` command itself the field is the
+    /// query target, not context — it stays `None` here.)
+    pub trace: Option<TraceId>,
+    /// Parent span id (`"pspan"`, same wire format): the sender's span
+    /// this request is a child of; 0 when absent. Recorded spans on
+    /// this node parent under it in the reconstructed tree.
+    pub parent_span: u64,
     /// The decoded command.
     pub request: Request,
 }
@@ -172,6 +199,23 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
         .get("cmd")
         .and_then(Value::as_str)
         .ok_or_else(|| "missing 'cmd'".to_string())?;
+    // Trace context: a present-but-malformed id is a parse error (the
+    // client asked for correlation and would silently lose it), never
+    // silently replaced with a minted one. The `trace` *command* reads
+    // the same field as its query target instead.
+    let (trace, parent_span) = if cmd == "trace" {
+        (None, 0)
+    } else {
+        let trace = match value.get("trace") {
+            None => None,
+            Some(raw) => Some(parse_trace_id(raw, "trace")?),
+        };
+        let parent_span = match value.get("pspan") {
+            None => 0,
+            Some(raw) => parse_trace_id(raw, "pspan")?.as_u64(),
+        };
+        (trace, parent_span)
+    };
     let request = match cmd {
         "chi2" => Request::Chi2 {
             items: parse_ids(value.get("items"), "items")?,
@@ -230,6 +274,16 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
         },
         "stats" => Request::Stats,
         "metrics" => Request::Metrics,
+        "trace" => Request::Trace {
+            trace: value
+                .get("trace")
+                .ok_or_else(|| "missing 'trace' (the id to reconstruct)".to_string())
+                .and_then(|raw| parse_trace_id(raw, "trace"))?
+                .as_u64(),
+        },
+        "events" => Request::Events {
+            since_us: value.get("since_us").and_then(Value::as_u64),
+        },
         "ping" => Request::Ping,
         "shutdown" => Request::Shutdown,
         other => return Err(format!("unknown cmd '{other}'")),
@@ -237,8 +291,18 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
     Ok(Envelope {
         id,
         generation,
+        trace,
+        parent_span,
         request,
     })
+}
+
+/// Validates one wire trace/span id field: a string of exactly 16
+/// lowercase hex digits, nonzero.
+fn parse_trace_id(raw: &Value, what: &str) -> Result<TraceId, String> {
+    raw.as_str()
+        .and_then(TraceId::parse_hex)
+        .ok_or_else(|| format!("invalid '{what}': expected 16 lowercase hex digits (nonzero)"))
 }
 
 /// Starts a success response, echoing `id` when present.
@@ -277,6 +341,40 @@ pub fn fenced_error_response(id: Option<i64>, generation: u64, message: &str) ->
     error_response(id, message)
         .with("fenced", Value::Bool(true))
         .with("gen", Value::Int(generation as i64))
+}
+
+/// One completed span for a `trace` response. The `parent` field is
+/// omitted for roots (parent id 0), and `shard` for unsharded nodes.
+pub fn span_value(span: &SpanRecord) -> Value {
+    let mut v = Value::object()
+        .with("name", Value::Str(span.name.clone()))
+        .with("span", Value::Str(format!("{:016x}", span.span)));
+    if span.parent != 0 {
+        v = v.with("parent", Value::Str(format!("{:016x}", span.parent)));
+    }
+    v = v
+        .with("start_us", Value::Int(span.start_unix_us as i64))
+        .with("duration_us", Value::Int(span.duration_us as i64))
+        .with("node", Value::Str(span.node.clone()));
+    if span.shard >= 0 {
+        v = v.with("shard", Value::Int(span.shard));
+    }
+    v.with("outcome", Value::Str(span.outcome.clone()))
+}
+
+/// The payload of a `trace` response: every known span of one trace,
+/// sorted by start time (ties by span id) so the tree reads in
+/// execution order.
+pub fn trace_value(trace: u64, mut spans: Vec<SpanRecord>) -> Value {
+    spans.sort_by_key(|s| (s.start_unix_us, s.span));
+    spans.dedup();
+    Value::object()
+        .with("trace", Value::Str(TraceId::from_u64(trace).to_string()))
+        .with("count", Value::Int(spans.len() as i64))
+        .with(
+            "spans",
+            Value::Array(spans.iter().map(span_value).collect()),
+        )
 }
 
 /// An itemset as a JSON array of ids.
@@ -418,6 +516,17 @@ mod tests {
                 },
             ),
             (r#"{"cmd":"stats"}"#, Request::Stats),
+            (
+                r#"{"cmd":"trace","trace":"00000000000000ab"}"#,
+                Request::Trace { trace: 0xab },
+            ),
+            (
+                r#"{"cmd":"events","since_us":1700}"#,
+                Request::Events {
+                    since_us: Some(1700),
+                },
+            ),
+            (r#"{"cmd":"events"}"#, Request::Events { since_us: None }),
             (r#"{"cmd":"ping"}"#, Request::Ping),
             (r#"{"cmd":"shutdown"}"#, Request::Shutdown),
         ];
@@ -446,9 +555,41 @@ mod tests {
             r#"{"cmd":"replicate_pull","after_epoch":-4}"#,
             r#"{"cmd":"demote"}"#,
             r#"{"cmd":"demote","primary":7}"#,
+            r#"{"cmd":"trace"}"#,
+            r#"{"cmd":"trace","trace":"xyz"}"#,
+            r#"{"cmd":"trace","trace":7}"#,
         ] {
             assert!(parse_request(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn envelope_trace_context_parses_and_is_validated() {
+        let adopted = parse_request(r#"{"cmd":"ping","trace":"00000000000000ab"}"#).unwrap();
+        assert_eq!(adopted.trace, Some(TraceId::from_u64(0xab)));
+        assert_eq!(adopted.parent_span, 0);
+        let with_parent = parse_request(
+            r#"{"cmd":"ping","trace":"00000000000000ab","pspan":"000000000000cafe"}"#,
+        )
+        .unwrap();
+        assert_eq!(with_parent.parent_span, 0xcafe);
+        let bare = parse_request(r#"{"cmd":"ping"}"#).unwrap();
+        assert_eq!(bare.trace, None);
+        // Malformed context is a parse error — rejected, never silently
+        // replaced with a minted id.
+        for bad in [
+            r#"{"cmd":"ping","trace":"ab"}"#,
+            r#"{"cmd":"ping","trace":"00000000000000AB"}"#,
+            r#"{"cmd":"ping","trace":"0000000000000000"}"#,
+            r#"{"cmd":"ping","trace":17}"#,
+            r#"{"cmd":"ping","trace":"00000000000000ab","pspan":"nope"}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?} should fail");
+        }
+        // The `trace` command's field is the query target, not context.
+        let query = parse_request(r#"{"cmd":"trace","trace":"00000000000000ab"}"#).unwrap();
+        assert_eq!(query.trace, None);
+        assert_eq!(query.request, Request::Trace { trace: 0xab });
     }
 
     #[test]

@@ -33,12 +33,12 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::Receiver;
 use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use bmb_basket::wal::DurableStore;
 use bmb_basket::{ItemId, Itemset};
 use bmb_core::{MinerConfig, QueryEngine, SupportSpec};
-use bmb_obs::{Registry, RegistrySnapshot, Severity, TraceId};
+use bmb_obs::{Registry, RegistrySnapshot, Severity, SpanRecord, TraceId};
 
 use crate::json::Value;
 use crate::metrics::{ErrorCategory, ServerMetrics};
@@ -74,6 +74,13 @@ pub struct ServerConfig {
     /// serving the Prometheus text exposition (`None` disables it; use
     /// port 0 for an ephemeral port).
     pub metrics_addr: Option<String>,
+    /// This node's role label stamped into completed span records
+    /// (`"server"`, `"coordinator"`, `"shard"`, `"follower"`), so a
+    /// reconstructed trace tree names which process ran each span.
+    pub node_role: String,
+    /// Shard index stamped into span records when this process serves
+    /// one shard of a cluster (`None` for standalone/coordinator).
+    pub shard_index: Option<i64>,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +95,8 @@ impl Default for ServerConfig {
             request_deadline: Duration::from_secs(10),
             slow_request_threshold: Duration::from_secs(1),
             metrics_addr: None,
+            node_role: "server".to_string(),
+            shard_index: None,
         }
     }
 }
@@ -254,9 +263,7 @@ impl Server {
                 let service = self.service.as_ref();
                 let metrics = &self.metrics;
                 scope.spawn(move |_| {
-                    metrics_http_loop(listener, shutdown, || {
-                        exposition(metrics, &service.registries())
-                    })
+                    metrics_http_loop(listener, shutdown, || service.render_metrics(metrics))
                 });
             }
             // Acceptor: hand connections to the pool until shutdown.
@@ -383,6 +390,58 @@ pub fn exposition(metrics: &ServerMetrics, registries: &[Arc<Registry>]) -> Stri
     snaps.push(bmb_obs::global().snapshot());
     let refs: Vec<&RegistrySnapshot> = snaps.iter().collect();
     bmb_obs::expose::render(&refs)
+}
+
+/// The `events` command's payload: the process event timeline, served
+/// from the persisted ledger when one is attached to the global event
+/// log (surviving restarts — the failover post-mortem case), from the
+/// in-memory ring otherwise. `since_us` drops events older than the
+/// given Unix-microsecond floor.
+pub fn events_value(since_us: Option<u64>) -> Value {
+    let log = bmb_obs::events();
+    let floor = since_us.unwrap_or(0);
+    let mut events: Vec<Value> = Vec::new();
+    let source = if let Some(ledger) = log.ledger() {
+        for line in ledger.read_lines() {
+            let keep = bmb_obs::ledger::line_ts_us(&line).map_or(floor == 0, |ts| ts >= floor);
+            if keep {
+                if let Ok(value) = crate::json::parse(&line) {
+                    events.push(value);
+                }
+            }
+        }
+        "ledger"
+    } else {
+        for event in log.recent() {
+            if event.unix_micros >= floor {
+                if let Ok(value) = crate::json::parse(&event.to_json_line()) {
+                    events.push(value);
+                }
+            }
+        }
+        "ring"
+    };
+    Value::object()
+        .with("source", Value::Str(source.to_string()))
+        .with("count", Value::Int(events.len() as i64))
+        .with("events", Value::Array(events))
+}
+
+/// The `stats` response's `slow_exemplars` array: the worst recent
+/// over-threshold requests with the trace ids to pull their trees.
+pub fn slow_exemplars_value(metrics: &ServerMetrics) -> Value {
+    Value::Array(
+        metrics
+            .slow_exemplars()
+            .iter()
+            .map(|e| {
+                Value::object()
+                    .with("cmd", Value::Str(e.cmd.clone()))
+                    .with("elapsed_us", Value::Int(e.elapsed_us as i64))
+                    .with("trace", Value::Str(TraceId::from_u64(e.trace).to_string()))
+            })
+            .collect(),
+    )
 }
 
 /// Serves `/metrics` over bare HTTP/1.1 until shutdown: read (and
@@ -586,6 +645,14 @@ pub trait Service: Send + Sync {
     fn generation(&self) -> Option<u64> {
         None
     }
+
+    /// Renders the `/metrics` exposition body (also the `metrics` wire
+    /// command's `"text"`). The default serves this node's own
+    /// registries; the cluster coordinator overrides it to federate
+    /// every node's exposition under `node=`/`shard=` labels.
+    fn render_metrics(&self, metrics: &ServerMetrics) -> String {
+        exposition(metrics, &self.registries())
+    }
 }
 
 /// Whether a late success for this request should be converted into a
@@ -603,14 +670,34 @@ fn deadline_sensitive(request: &Request) -> bool {
 /// should shut down afterwards.
 fn handle_line(line: &str, ctx: &ConnectionContext<'_>) -> (Value, bool) {
     let start = Instant::now();
+    let start_unix_us = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros().min(u128::from(u64::MAX)) as u64)
+        .unwrap_or(0);
     let deadline = ctx.config.request_deadline;
-    // Per-server sequence, not the process-global one: a fresh server
-    // always numbers its requests 1, 2, … so fixture bytes (and the
-    // durability restart test) stay deterministic.
-    let trace = TraceId::from_u64(ctx.trace_seq.fetch_add(1, Ordering::Relaxed));
-    bmb_obs::trace::set_current_trace(trace);
+    let parsed = parse_request(line);
+    // A valid client-supplied (or coordinator-stamped) `"trace"` is
+    // adopted; everything else — including parse errors — mints from
+    // the per-server sequence, not the process-global one: a fresh
+    // server always numbers its requests 1, 2, … so fixture bytes (and
+    // the durability restart test) stay deterministic. Adoption does
+    // not consume the sequence, so interleaved traced requests leave
+    // golden numbering untouched.
+    let (trace, parent_span) = match &parsed {
+        Ok(envelope) if envelope.trace.is_some() => (
+            envelope.trace.unwrap_or(TraceId::NONE),
+            envelope.parent_span,
+        ),
+        _ => (
+            TraceId::from_u64(ctx.trace_seq.fetch_add(1, Ordering::Relaxed)),
+            0,
+        ),
+    };
+    let span_id = bmb_obs::next_span_id();
+    let prev_trace = bmb_obs::trace::set_current_trace(trace);
+    let prev_span = bmb_obs::trace::set_current_span(span_id);
     let mut fenced_at: Option<u64> = None;
-    let (id, cmd, outcome, stop) = match parse_request(line) {
+    let (id, cmd, outcome, stop) = match parsed {
         Err(message) => (
             None,
             "invalid",
@@ -682,9 +769,29 @@ fn handle_line(line: &str, ctx: &ConnectionContext<'_>) -> (Value, bool) {
         }
     };
     let elapsed = start.elapsed();
+    let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+    let outcome_label = if fenced_at.is_some() {
+        "fenced"
+    } else {
+        match failed {
+            None => "ok",
+            Some(ErrorCategory::Overload | ErrorCategory::Deadline) => "retryable",
+            Some(_) => "error",
+        }
+    };
+    ctx.metrics.spans().record(SpanRecord {
+        name: format!("serve:{cmd}"),
+        trace: trace.as_u64(),
+        span: span_id,
+        parent: parent_span,
+        start_unix_us,
+        duration_us: micros,
+        node: ctx.config.node_role.clone(),
+        shard: ctx.config.shard_index.unwrap_or(-1),
+        outcome: outcome_label.to_string(),
+    });
     if elapsed > ctx.config.slow_request_threshold {
-        ctx.metrics.record_slow_request();
-        let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        ctx.metrics.record_slow_request(cmd, micros, trace);
         bmb_obs::events().emit(
             Severity::Warn,
             "slow request",
@@ -696,6 +803,10 @@ fn handle_line(line: &str, ctx: &ConnectionContext<'_>) -> (Value, bool) {
         );
     }
     ctx.metrics.record_request(cmd, elapsed, failed);
+    // Worker threads are pooled: restore the thread-locals so the next
+    // request (or idle emit) does not inherit this trace context.
+    bmb_obs::trace::set_current_span(prev_span);
+    bmb_obs::trace::set_current_trace(prev_trace);
     (response.with("trace", Value::Str(trace.to_string())), stop)
 }
 
@@ -940,6 +1051,7 @@ fn dispatch_engine(
                 .with("p50_us", Value::Int(metrics.p50_us as i64))
                 .with("p99_us", Value::Int(metrics.p99_us as i64))
                 .with("slow_requests", Value::Int(metrics.slow_requests as i64))
+                .with("slow_exemplars", slow_exemplars_value(ctx.metrics))
                 .with("error_rate", Value::float(metrics.error_rate())))
         }
         Request::Metrics => {
@@ -1013,6 +1125,11 @@ fn dispatch_engine(
                 .with("source", Value::Str(batch.source.to_string()))
                 .with("baskets", Value::Array(baskets)))
         }
+        Request::Trace { trace } => Ok(crate::protocol::trace_value(
+            trace,
+            ctx.metrics.spans().for_trace(trace),
+        )),
+        Request::Events { since_us } => Ok(events_value(since_us)),
         Request::Promote => Err(ServiceFailure::other(
             "not a follower: 'promote' is only valid on follower processes".to_string(),
         )),

@@ -80,6 +80,140 @@ fn responses_carry_distinct_trace_ids() {
 }
 
 #[test]
+fn client_supplied_trace_is_adopted_and_consumes_no_sequence() {
+    let running = spawn_server(ServerConfig::default());
+    let mut client = Client::connect(running.addr).expect("connect");
+    let trace_of = |line: &str| -> String {
+        parse(line)
+            .expect("response json")
+            .get("trace")
+            .and_then(Value::as_str)
+            .expect("trace field present")
+            .to_string()
+    };
+    let before = client.request_line(r#"{"cmd":"ping"}"#).expect("minted");
+    let adopted = client
+        .request_line(r#"{"cmd":"ping","trace":"00000000deadbeef"}"#)
+        .expect("adopted");
+    let after = client.request_line(r#"{"cmd":"ping"}"#).expect("minted");
+    assert_eq!(
+        trace_of(&adopted),
+        "00000000deadbeef",
+        "a valid inbound trace is echoed verbatim"
+    );
+    let seq = |line: &str| u64::from_str_radix(&trace_of(line), 16).expect("hex trace");
+    assert_eq!(
+        seq(&after),
+        seq(&before) + 1,
+        "adopting a trace must not consume a server sequence number"
+    );
+    running.stop().expect("clean stop");
+}
+
+#[test]
+fn malformed_inbound_traces_are_rejected() {
+    let running = spawn_server(ServerConfig::default());
+    let mut client = Client::connect(running.addr).expect("connect");
+    for bad in [
+        r#"{"cmd":"ping","trace":"DEADBEEF"}"#,
+        r#"{"cmd":"ping","trace":"0000000000000000"}"#,
+        r#"{"cmd":"ping","trace":"123"}"#,
+        r#"{"cmd":"ping","trace":42}"#,
+    ] {
+        let line = client.request_line(bad).expect("response line");
+        let value = parse(&line).expect("response json");
+        assert_eq!(
+            value.get("ok").and_then(Value::as_bool),
+            Some(false),
+            "malformed trace must be rejected: {line}"
+        );
+        let error = value
+            .get("error")
+            .and_then(Value::as_str)
+            .expect("error message");
+        assert!(error.contains("trace"), "error names the field: {error}");
+        // The rejection itself still carries a minted trace id.
+        assert!(value.get("trace").and_then(Value::as_str).is_some());
+    }
+    running.stop().expect("clean stop");
+}
+
+#[test]
+fn trace_command_returns_recorded_server_spans() {
+    let running = spawn_server(ServerConfig::default());
+    let mut client = Client::connect(running.addr).expect("connect");
+    client
+        .request_line(r#"{"cmd":"chi2","items":[0,1],"trace":"00000000000000aa"}"#)
+        .expect("traced query");
+    let tree = client
+        .request(&parse(r#"{"cmd":"trace","trace":"00000000000000aa"}"#).expect("req"))
+        .expect("trace lookup");
+    assert_eq!(
+        tree.get("trace").and_then(Value::as_str),
+        Some("00000000000000aa")
+    );
+    let spans = tree
+        .get("spans")
+        .and_then(Value::as_array)
+        .expect("spans array");
+    assert_eq!(spans.len(), 1, "one server span recorded: {tree}");
+    let span = &spans[0];
+    assert_eq!(span.get("name").and_then(Value::as_str), Some("serve:chi2"));
+    assert_eq!(span.get("node").and_then(Value::as_str), Some("server"));
+    assert_eq!(span.get("outcome").and_then(Value::as_str), Some("ok"));
+    assert!(span.get("parent").is_none(), "root span has no parent");
+    running.stop().expect("clean stop");
+}
+
+#[test]
+fn slow_requests_surface_trace_exemplars_in_stats() {
+    // A zero threshold makes every request "slow", so the exemplar
+    // ring fills deterministically.
+    let running = spawn_server(ServerConfig {
+        slow_request_threshold: Duration::from_secs(0),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(running.addr).expect("connect");
+    client
+        .request_line(r#"{"cmd":"chi2","items":[0,1],"trace":"00000000000000bb"}"#)
+        .expect("traced query");
+    let stats = client
+        .request(&parse(r#"{"cmd":"stats"}"#).expect("req"))
+        .expect("stats");
+    let exemplars = stats
+        .get("slow_exemplars")
+        .and_then(Value::as_array)
+        .expect("slow_exemplars array");
+    assert!(!exemplars.is_empty(), "exemplars recorded: {stats}");
+    let chi2 = exemplars
+        .iter()
+        .find(|e| e.get("cmd").and_then(Value::as_str) == Some("chi2"))
+        .expect("chi2 exemplar present");
+    assert_eq!(
+        chi2.get("trace").and_then(Value::as_str),
+        Some("00000000000000bb"),
+        "the exemplar names the trace to pull its tree"
+    );
+    assert!(chi2.get("elapsed_us").and_then(Value::as_u64).is_some());
+    running.stop().expect("clean stop");
+}
+
+#[test]
+fn events_command_reports_ring_events() {
+    let running = spawn_server(ServerConfig::default());
+    let mut client = Client::connect(running.addr).expect("connect");
+    let events = client
+        .request(&parse(r#"{"cmd":"events"}"#).expect("req"))
+        .expect("events");
+    // No ledger attached in this process: the source is the in-memory
+    // ring, and the shape is stable even when it holds no events.
+    assert_eq!(events.get("source").and_then(Value::as_str), Some("ring"));
+    assert!(events.get("count").and_then(Value::as_u64).is_some());
+    assert!(events.get("events").and_then(Value::as_array).is_some());
+    running.stop().expect("clean stop");
+}
+
+#[test]
 fn metrics_command_returns_exposition_text() {
     let running = spawn_server(ServerConfig::default());
     let mut client = Client::connect(running.addr).expect("connect");

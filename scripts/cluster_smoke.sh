@@ -75,7 +75,10 @@ RESPONSE="$("$BIN" query "$COORD_ADDR" \
     '{"id":2,"cmd":"chi2","items":[0,1]}')"
 echo "$RESPONSE"
 grep -q '"epochs":\[2,2,2\]' <<<"$RESPONSE" || { echo "unexpected epoch vector"; exit 1; }
-SUPPORT="$(grep -o '"support":[0-9]*' <<<"$RESPONSE" | head -n 1)"
+# Key the extraction on the chi2 response's id — position-based "first
+# support in the transcript" silently reads the wrong line if an
+# earlier response ever grows a support field.
+SUPPORT="$(grep '"id":2' <<<"$RESPONSE" | grep -o '"support":[0-9]*' | head -n 1)"
 [[ "$SUPPORT" == '"support":3' ]] || { echo "wrong support before kill: $SUPPORT"; exit 1; }
 
 echo "==> waiting for the follower to catch up to shard 0"
@@ -99,7 +102,7 @@ OK=""
 for _ in $(seq 1 20); do
     AFTER="$("$BIN" query "$COORD_ADDR" '{"id":3,"cmd":"chi2","items":[0,1]}')"
     if grep -q '"ok":true' <<<"$AFTER"; then
-        SUPPORT_AFTER="$(grep -o '"support":[0-9]*' <<<"$AFTER" | head -n 1)"
+        SUPPORT_AFTER="$(grep '"id":3' <<<"$AFTER" | grep -o '"support":[0-9]*' | head -n 1)"
         [[ "$SUPPORT_AFTER" == '"support":3' ]] \
             || { echo "WRONG ANSWER after kill: $AFTER"; exit 1; }
         OK=1

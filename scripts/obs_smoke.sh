@@ -1,0 +1,149 @@
+#!/usr/bin/env bash
+# Distributed-observability smoke test: two `bmb cluster shard`
+# processes and a follower (each with a persisted event ledger under
+# --dir), one coordinator with a federated /metrics listener. Drives a
+# client-supplied trace id through the coordinator and requires
+#   * the response to echo the caller's trace id verbatim,
+#   * `bmb cluster trace` to reconstruct a tree whose spans cover the
+#     coordinator AND both shards,
+#   * the federated /metrics body to label every sample with its origin
+#     node and to synthesize cluster rollup families,
+#   * `bmb cluster events` to surface a failover event from the
+#     follower's persisted ledger.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN="${BMB_BIN:-target/release/bmb}"
+if [[ ! -x "$BIN" ]]; then
+    echo "==> building bmb ($BIN not found)"
+    cargo build --release -q -p bmb-cli
+fi
+
+WORK="$(mktemp -d)"
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]}"; do kill -9 "$pid" 2>/dev/null || true; done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Polls a role's log for its announced address.
+wait_addr() {
+    local log="$1" role="$2" addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n "s/^${role} listening on //p" "$log" | head -n 1 | awk '{print $1}')"
+        [[ -n "$addr" ]] && { echo "$addr"; return 0; }
+        sleep 0.1
+    done
+    echo "no ${role} address in $log" >&2
+    cat "$log" >&2
+    return 1
+}
+
+echo "==> starting 2 shards (event ledgers under --dir)"
+SHARD_ADDRS=()
+for i in 0 1; do
+    "$BIN" cluster shard --dir "$WORK/s$i" --items 8 --shard-index "$i" \
+        --addr 127.0.0.1:0 >"$WORK/s$i.log" &
+    PIDS+=($!)
+    disown
+done
+for i in 0 1; do
+    SHARD_ADDRS+=("$(wait_addr "$WORK/s$i.log" shard)")
+    grep -q "events ledger at" "$WORK/s$i.log" \
+        || { echo "shard $i never attached its event ledger"; cat "$WORK/s$i.log"; exit 1; }
+done
+echo "    shards at ${SHARD_ADDRS[*]}"
+
+echo "==> starting follower (tailing shard 0)"
+"$BIN" cluster follow --dir "$WORK/f0" --items 8 \
+    --primary "${SHARD_ADDRS[0]}" --poll-ms 10 --addr 127.0.0.1:0 \
+    >"$WORK/f0.log" &
+PIDS+=($!)
+disown
+FOLLOWER_ADDR="$(wait_addr "$WORK/f0.log" follower)"
+echo "    follower at $FOLLOWER_ADDR"
+
+echo "==> starting coordinator with federated /metrics"
+"$BIN" cluster serve --items 8 \
+    --shards "${SHARD_ADDRS[0]},${SHARD_ADDRS[1]}" \
+    --metrics-addr 127.0.0.1:0 --addr 127.0.0.1:0 \
+    >"$WORK/coord.log" &
+PIDS+=($!)
+disown
+COORD_ADDR="$(wait_addr "$WORK/coord.log" coordinator)"
+METRICS="$(sed -n 's|^metrics on http://||p' "$WORK/coord.log" | sed 's|/metrics$||' | head -n 1)"
+[[ -n "$METRICS" ]] || { echo "coordinator never announced /metrics"; cat "$WORK/coord.log"; exit 1; }
+echo "    coordinator at $COORD_ADDR, metrics at $METRICS"
+
+echo "==> traced query through the coordinator"
+TRACE_ID="00000000feedface"
+RESPONSE="$("$BIN" query "$COORD_ADDR" \
+    '{"id":1,"cmd":"ingest","baskets":[[0,1],[0,1,2],[2,3],[0,1],[1,2],[0,3]]}' \
+    "{\"id\":2,\"cmd\":\"chi2\",\"items\":[0,1],\"trace\":\"$TRACE_ID\"}")"
+echo "$RESPONSE"
+grep '"id":2' <<<"$RESPONSE" | grep -q "\"trace\":\"$TRACE_ID\"" \
+    || { echo "coordinator did not echo the caller's trace id"; exit 1; }
+
+echo "==> cross-node trace tree"
+TREE="$("$BIN" cluster trace "$COORD_ADDR" "$TRACE_ID")"
+echo "$TREE"
+grep -q "^trace $TRACE_ID:" <<<"$TREE" || { echo "tree is not for our trace"; exit 1; }
+grep -q 'serve:chi2.*\[coordinator\]' <<<"$TREE" \
+    || { echo "no coordinator root span in the tree"; exit 1; }
+for shard in 0 1; do
+    grep -q "serve:support_vec.*\[shard/shard${shard}\]" <<<"$TREE" \
+        || { echo "no span recorded by shard ${shard}"; exit 1; }
+done
+# Three distinct processes contributed spans: coordinator + 2 shards.
+NODES="$(grep -o '\[[a-z/0-9]*\]' <<<"$TREE" | sort -u)"
+[[ "$(wc -l <<<"$NODES")" -ge 3 ]] \
+    || { echo "trace tree spans fewer than 3 nodes: $NODES"; exit 1; }
+
+echo "==> federated /metrics exposition"
+HOST="${METRICS%:*}"
+PORT="${METRICS##*:}"
+# The listener drains the request head best-effort, so on a loaded
+# machine a scrape can be reset mid-read; retry a few times.
+SCRAPE=""
+trap '' PIPE
+for _ in $(seq 1 10); do
+    exec 3<>"/dev/tcp/${HOST}/${PORT}" || { sleep 0.2; continue; }
+    printf 'GET /metrics HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\n\r\n' >&3 2>/dev/null || true
+    SCRAPE="$(cat <&3 2>/dev/null || true)"
+    exec 3<&- 3>&- || true
+    grep -q '200 OK' <<<"$SCRAPE" && break
+    SCRAPE=""
+    sleep 0.2
+done
+trap - PIPE
+[[ -n "$SCRAPE" ]] || { echo "metrics scrape never returned a 200"; exit 1; }
+BODY="$(awk 'body {print} /^\r?$/ {body=1}' <<<"$SCRAPE")"
+for needle in \
+    'node="coordinator"' \
+    'node="shard0",shard="0"' \
+    'node="shard1",shard="1"' \
+    'bmb_cluster_fed_epoch_skew' \
+    'bmb_cluster_fed_shard_p99_us'; do
+    grep -q "$needle" <<<"$BODY" \
+        || { echo "federated exposition missing $needle"; echo "$BODY" | head -n 30; exit 1; }
+done
+# Every re-exposed sample carries its origin node label; only the
+# synthesized bmb_cluster_fed_* rollups may go bare.
+echo "$BODY" | awk '
+    /^#/ || /^\r?$/ || /^bmb_cluster_fed_/ { next }
+    !/node="/ { print "unlabeled federated sample: " $0; bad = 1 }
+    END { exit bad }
+'
+
+echo "==> failover event in the follower's persisted ledger"
+"$BIN" query "$FOLLOWER_ADDR" '{"cmd":"promote"}' | grep -q '"promoted":true' \
+    || { echo "follower refused promotion"; exit 1; }
+EVENTS="$("$BIN" cluster events "$FOLLOWER_ADDR")"
+echo "$EVENTS" | head -n 5
+grep -q "event(s) from the node's ledger" <<<"$EVENTS" \
+    || { echo "events did not come from the persisted ledger"; exit 1; }
+grep -q '"msg":"follower promoted"' <<<"$EVENTS" \
+    || { echo "promotion never reached the event ledger"; exit 1; }
+
+echo "obs smoke: OK"
