@@ -34,10 +34,22 @@ echo "==> checkpoint crash-recovery torture (bounded)"
 # the loop: 300+ planned directory-fault points, bit-identical answers.
 timeout 60 cargo test -q --release -p bmb-core --test checkpoint_torture
 
+echo "==> scrub at-rest corruption torture (bounded)"
+# Exhaustive planned byte-flip sweep over every scrub-walked artifact
+# (200+ points): one pass detects, quarantines, repairs byte-identical,
+# and answers stay bit-identical to a never-corrupted store.
+timeout 120 cargo test -q --release -p bmb-core --test scrub_torture
+
 echo "==> kill -9 crash harness"
 # Ten real SIGKILLs of a child server mid-ingest; every acked append
 # must survive and recovery must replay only the post-checkpoint tail.
 timeout 120 cargo test -q --release -p bmb-serve --test crash_kill
+
+echo "==> kill -9 during scrub repair (two-node)"
+# SIGKILL ladder across the quarantine → rebuild → publish window with
+# a live repair peer: no kill point may lose acked epochs, and the
+# directory must converge to a clean fsck.
+timeout 120 cargo test -q --release -p bmb-cli --test scrub_kill
 
 echo "==> cluster kill -9 / chaos torture / differential harness"
 # SIGKILL one shard mid-query-storm (coordinator must degrade
@@ -61,6 +73,9 @@ echo "==> chaos smoke test (partition, fenced failover, heal, rejoin)"
 
 echo "==> observability smoke test (trace tree, federation, event ledger)"
 ./scripts/obs_smoke.sh
+
+echo "==> scrub smoke test (flip byte at rest, repair from follower, fsck clean)"
+./scripts/scrub_smoke.sh
 
 echo "==> perf trajectory (noise-gated vs committed BENCH_*.json)"
 # Runs the committed bench suite and fails only on a 3x-plus-absolute

@@ -48,6 +48,8 @@ pub mod io;
 pub mod item;
 /// Canonical sorted itemsets and subset enumeration.
 pub mod itemset;
+/// Background integrity scrubbing: verify, quarantine, repair.
+pub mod scrub;
 /// Append-only ingest with sealed segments and epoch snapshots.
 pub mod segment;
 /// Pluggable byte-log backends: real file, in-memory, fault injection.
@@ -56,6 +58,7 @@ pub mod storage;
 pub mod wal;
 
 pub use bitmap::{Bitmap, BitmapIndex};
+pub use checkpoint::{checkpoint_name, parse_checkpoint_name, MANIFEST_NAME};
 pub use contingency::{
     cell_mask_of, CellMask, ContingencyTable, SparseContingencyTable, MAX_DENSE_DIMS,
 };
@@ -63,6 +66,11 @@ pub use counts::{BitmapCounter, ScanCounter, SupportCounter};
 pub use database::BasketDatabase;
 pub use item::{ItemCatalog, ItemId};
 pub use itemset::Itemset;
+pub use scrub::{
+    fsck_dir, quarantine_name, segment_digests, verify_checkpoint_bytes, verify_generation_bytes,
+    verify_manifest_bytes, FsckFinding, FsckReport, PeerError, RepairPeer, ScrubOptions,
+    ScrubReport, SegmentDigest, QUARANTINE_PREFIX,
+};
 pub use segment::{IncrementalStore, ItemOutOfRange, Segment, Snapshot, StoreConfig};
 pub use storage::{
     Dir, DirFaultPlan, FaultDir, FaultPlan, FaultStorage, FileStorage, FsDir, MemDir, MemStorage,

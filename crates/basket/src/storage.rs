@@ -241,6 +241,13 @@ pub struct FaultPlan {
     /// torn tail that cannot be cut away must degrade the log rather
     /// than let a later append land behind the damage.
     pub fail_truncate: bool,
+    /// At-rest corruption: on the *next* [`Storage::read_all`], XOR the
+    /// media byte at this offset with 0xFF — persistently, so every
+    /// later read sees the same rot. Unlike [`FaultPlan::corrupt_at`]
+    /// this fires without any write fault, modelling bit rot in bytes
+    /// whose sync was long since acknowledged (the scrub case).
+    /// Out-of-range offsets are ignored. Fires once.
+    pub corrupt_at_rest: Option<u64>,
 }
 
 /// A [`MemStorage`] that injects the faults of a [`FaultPlan`].
@@ -353,6 +360,17 @@ impl Storage for FaultStorage {
     fn read_all(&mut self) -> io::Result<Vec<u8>> {
         if self.plan.fail_reads {
             return Err(self.fault("read_all"));
+        }
+        if let Some(offset) = self.plan.corrupt_at_rest.take() {
+            // Bit rot lands in the shared media itself, so the damage
+            // outlives this handle exactly like rot on a real disk.
+            let bytes = self.inner.bytes();
+            let mut bytes = lock(&bytes);
+            if let Ok(idx) = usize::try_from(offset) {
+                if let Some(byte) = bytes.get_mut(idx) {
+                    *byte ^= 0xFF;
+                }
+            }
         }
         self.inner.read_all()
     }
@@ -664,6 +682,9 @@ struct DirFaultState {
     renames: u64,
     deletes: u64,
     dir_syncs: u64,
+    /// Planned at-rest flips: `(name, offset)` pairs applied (and
+    /// consumed) when `name` is next opened for read/scan.
+    at_rest: Vec<(String, u64)>,
 }
 
 impl DirFaultState {
@@ -703,6 +724,7 @@ impl FaultDir {
                 renames: 0,
                 deletes: 0,
                 dir_syncs: 0,
+                at_rest: Vec::new(),
             })),
         }
     }
@@ -715,6 +737,46 @@ impl FaultDir {
     /// Whether the shared write-byte fault has tripped.
     pub fn is_tripped(&self) -> bool {
         lock_fault(&self.faults).tripped
+    }
+
+    /// Plans an at-rest byte flip: the next time `name` is opened, the
+    /// media byte at `offset` is XORed with 0xFF — persistently, like
+    /// bit rot in a file whose sync was acknowledged long ago. The
+    /// write path is untouched; this is how scrub tests corrupt a
+    /// sealed segment or checkpoint *after* it became durable without
+    /// depending on in-flight write timing. Out-of-range offsets and
+    /// absent names are ignored. Each planned flip fires once.
+    pub fn plan_at_rest_corruption(&self, name: &str, offset: u64) {
+        lock_fault(&self.faults)
+            .at_rest
+            .push((name.to_string(), offset));
+    }
+
+    /// Applies (and consumes) every at-rest flip planned for `name`.
+    fn apply_at_rest(&mut self, name: &str) {
+        let offsets: Vec<u64> = {
+            let mut st = lock_fault(&self.faults);
+            if st.at_rest.iter().all(|(n, _)| n != name) {
+                return;
+            }
+            let (hit, keep): (Vec<_>, Vec<_>) = st.at_rest.drain(..).partition(|(n, _)| n == name);
+            st.at_rest = keep;
+            hit.into_iter().map(|(_, offset)| offset).collect()
+        };
+        let state = self.inner.state();
+        let entries = lock_state(&state);
+        if let Some(bytes) = entries.live.get(name) {
+            // Flips planned media bytes in memory.
+            // lock:order(state < bytes) // lock:allow(io)
+            let mut bytes = lock(bytes);
+            for offset in offsets {
+                if let Ok(idx) = usize::try_from(offset) {
+                    if let Some(byte) = bytes.get_mut(idx) {
+                        *byte ^= 0xFF;
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -795,6 +857,7 @@ impl Dir for FaultDir {
     }
 
     fn open(&mut self, name: &str) -> io::Result<Box<dyn Storage>> {
+        self.apply_at_rest(name);
         let inner = self.inner.open(name)?;
         Ok(Box::new(FaultFile {
             inner,
@@ -988,6 +1051,58 @@ mod tests {
         // Appends and reads are unaffected.
         s.append(b"d").unwrap();
         assert_eq!(s.read_all().unwrap(), b"abcd");
+    }
+
+    #[test]
+    fn at_rest_corruption_fires_on_next_read() {
+        let mut s = FaultStorage::new(FaultPlan {
+            corrupt_at_rest: Some(1),
+            ..FaultPlan::default()
+        });
+        // The write path is untouched: appends and syncs succeed.
+        s.append(b"abc").unwrap();
+        s.sync().unwrap();
+        assert_eq!(s.read_all().unwrap(), [b'a', b'b' ^ 0xFF, b'c']);
+        // The rot is persistent media damage, not a transient read
+        // error: a second read sees the same bytes (no double flip).
+        assert_eq!(s.read_all().unwrap(), [b'a', b'b' ^ 0xFF, b'c']);
+        // ...and it survives the handle, like a real disk.
+        let bytes = s.bytes();
+        drop(s);
+        let mut reopened = MemStorage::with_bytes(bytes);
+        assert_eq!(reopened.read_all().unwrap(), [b'a', b'b' ^ 0xFF, b'c']);
+
+        // An out-of-range offset is ignored.
+        let mut s = FaultStorage::new(FaultPlan {
+            corrupt_at_rest: Some(100),
+            ..FaultPlan::default()
+        });
+        s.append(b"xy").unwrap();
+        assert_eq!(s.read_all().unwrap(), b"xy");
+    }
+
+    #[test]
+    fn fault_dir_at_rest_corruption_flips_on_open() {
+        let mut d = FaultDir::new(DirFaultPlan::default());
+        let mut f = d.create("sealed").unwrap();
+        f.append(b"synced-data").unwrap();
+        f.sync().unwrap();
+        d.sync().unwrap();
+        drop(f);
+
+        d.plan_at_rest_corruption("sealed", 0);
+        d.plan_at_rest_corruption("sealed", 7);
+        d.plan_at_rest_corruption("absent", 0); // harmless
+        let mut expect = b"synced-data".to_vec();
+        expect[0] ^= 0xFF;
+        expect[7] ^= 0xFF;
+        assert_eq!(d.open("sealed").unwrap().read_all().unwrap(), expect);
+        // The flips fired once; a later open sees the same rot.
+        assert_eq!(d.open("sealed").unwrap().read_all().unwrap(), expect);
+        // A file the plan never names is untouched.
+        let mut g = d.create("clean").unwrap();
+        g.append(b"ok").unwrap();
+        assert_eq!(d.open("clean").unwrap().read_all().unwrap(), b"ok");
     }
 
     #[test]

@@ -105,7 +105,7 @@ pub const GEN_MAGIC: &[u8; 8] = b"BMBGEN1\n";
 
 /// Encodes a generation record: magic + `generation:u64le` + CRC32 of
 /// the payload bytes.
-fn encode_generation(generation: u64) -> Vec<u8> {
+pub(crate) fn encode_generation(generation: u64) -> Vec<u8> {
     let payload = generation.to_le_bytes();
     let mut out = Vec::with_capacity(20);
     out.extend_from_slice(GEN_MAGIC);
@@ -116,7 +116,7 @@ fn encode_generation(generation: u64) -> Vec<u8> {
 
 /// Decodes a generation record; `None` on any damage (wrong length,
 /// magic, or CRC) — the caller falls back to the generation floor.
-fn decode_generation(bytes: &[u8]) -> Option<u64> {
+pub(crate) fn decode_generation(bytes: &[u8]) -> Option<u64> {
     if bytes.len() != 20 || &bytes[..8] != GEN_MAGIC {
         return None;
     }
@@ -147,7 +147,7 @@ pub fn parse_segment_name(name: &str) -> Option<u64> {
 
 /// Parses a v2 segment header, returning its `base_epoch`; `None` when
 /// the bytes are too short or carry the wrong magic.
-fn parse_segment_header(bytes: &[u8]) -> Option<u64> {
+pub(crate) fn parse_segment_header(bytes: &[u8]) -> Option<u64> {
     if bytes.len() < WAL2_HEADER_LEN || &bytes[..8] != WAL2_MAGIC {
         return None;
     }
@@ -359,31 +359,31 @@ pub struct RecoveryReport {
 
 /// One on-media WAL segment the writer knows about.
 #[derive(Clone, Copy, Debug)]
-struct SegMeta {
+pub(crate) struct SegMeta {
     /// The segment's rotation index (its [`segment_name`]).
-    index: u64,
+    pub(crate) index: u64,
     /// Store epoch before the segment's first record.
-    base_epoch: u64,
+    pub(crate) base_epoch: u64,
 }
 
 /// A shared handle to the durability directory: rotation (under the WAL
 /// lock) and checkpointing (never holding the WAL lock) both need it,
 /// so it lives behind its own mutex with a strict WAL-then-dir lock
 /// order.
-type SharedDirHandle = Arc<Mutex<Box<dyn Dir>>>;
+pub(crate) type SharedDirHandle = Arc<Mutex<Box<dyn Dir>>>;
 
 /// Directory-mode writer state.
-struct DirMode {
-    dir: SharedDirHandle,
+pub(crate) struct DirMode {
+    pub(crate) dir: SharedDirHandle,
     /// Segments on media, ascending by index; the last one is active.
-    segments: Vec<SegMeta>,
+    pub(crate) segments: Vec<SegMeta>,
     /// Rotation threshold (committed bytes in the active segment).
     segment_bytes: u64,
 }
 
 /// Writer-side WAL state, guarded by one mutex so log order always
 /// matches store-apply order.
-struct WalInner {
+pub(crate) struct WalInner {
     storage: Box<dyn Storage>,
     /// Offset just past the last record whose sync barrier succeeded —
     /// the repair target after a failed append leaves a torn tail.
@@ -396,7 +396,7 @@ struct WalInner {
     /// Metric handles shared with the store's registry.
     metrics: WalMetrics,
     /// Segment rotation state; `None` in single-file mode.
-    dir_mode: Option<DirMode>,
+    pub(crate) dir_mode: Option<DirMode>,
 }
 
 /// Handle bundle for the WAL-writer metrics (`bmb_basket_wal_*`); the
@@ -597,8 +597,8 @@ impl WalInner {
 /// ```
 pub struct DurableStore {
     store: Arc<IncrementalStore>,
-    segment_capacity: usize,
-    wal: Mutex<WalInner>,
+    pub(crate) segment_capacity: usize,
+    pub(crate) wal: Mutex<WalInner>,
     /// Per-store metrics registry (`bmb_basket_wal_*` and
     /// `bmb_basket_ckpt_*`); see [`DurableStore::observability`].
     obs: Arc<Registry>,
@@ -609,29 +609,29 @@ pub struct DurableStore {
     /// Appends rejected by a WAL write/sync failure (or a degraded WAL).
     append_errors: Counter,
     /// Checkpoint machinery; `None` in single-file mode.
-    ckpt: Option<CkptShared>,
+    pub(crate) ckpt: Option<CkptShared>,
     /// Monotonic fencing generation; persisted as the `GEN` record in
     /// directory mode, memory-only in single-file mode.
     generation: AtomicU64,
 }
 
 /// Checkpoint-side state of a directory-mode [`DurableStore`].
-struct CkptShared {
-    dir: SharedDirHandle,
-    config: DurabilityConfig,
+pub(crate) struct CkptShared {
+    pub(crate) dir: SharedDirHandle,
+    pub(crate) config: DurabilityConfig,
     /// Serializes [`DurableStore::checkpoint`] calls and tracks which
     /// snapshots are on media vs durably manifested.
-    state: Mutex<CkptState>,
+    pub(crate) state: Mutex<CkptState>,
     metrics: CkptMetrics,
 }
 
 /// Which checkpoint epochs exist where.
-struct CkptState {
+pub(crate) struct CkptState {
     /// Epochs recorded in the durable manifest, ascending.
-    manifest: Vec<u64>,
+    pub(crate) manifest: Vec<u64>,
     /// Epochs with a snapshot file on media (superset of `manifest`
     /// between a snapshot rename and its manifest update).
-    files: Vec<u64>,
+    pub(crate) files: Vec<u64>,
 }
 
 /// Handle bundle for the checkpoint metrics (`bmb_basket_ckpt_*` plus
@@ -1477,6 +1477,46 @@ impl DurableStore {
         !lock(&self.wal).degraded
     }
 
+    /// The seal capacity the wrapped store was configured with (baskets
+    /// per sealed segment) — the unit anti-entropy digests are computed
+    /// over.
+    pub fn segment_capacity(&self) -> usize {
+        self.segment_capacity
+    }
+
+    /// Degrades the WAL loudly: every later append fails fast until the
+    /// store is reopened. The scrub path calls this when an at-rest
+    /// corruption was quarantined but neither a peer fetch nor a local
+    /// rebuild could repair it — acknowledging more appends on top of a
+    /// store with a known hole would compound the damage silently.
+    pub(crate) fn mark_degraded(&self, reason: &str) {
+        let mut wal = lock(&self.wal);
+        if !wal.degraded {
+            wal.degraded = true;
+            wal.metrics.degraded.set(1);
+            bmb_obs::events().emit(
+                Severity::Error,
+                "wal degraded: unrepaired at-rest corruption",
+                &[("reason", reason)],
+            );
+        }
+    }
+
+    /// The sealed (non-active) on-media WAL segments, ascending by
+    /// index, paired with the base epoch of the segment that follows
+    /// each — i.e. the exact epoch range `(base, next_base]` the sealed
+    /// segment must cover. Empty in single-file mode.
+    pub(crate) fn sealed_segment_ranges(&self) -> Vec<(SegMeta, u64)> {
+        let wal = lock(&self.wal);
+        let Some(dm) = &wal.dir_mode else {
+            return Vec::new();
+        };
+        dm.segments
+            .windows(2)
+            .map(|w| (w[0], w[1].base_epoch))
+            .collect()
+    }
+
     /// Ships the baskets a replica at `after_epoch` is missing, reading
     /// at most `max_baskets` from the WAL segment that covers the range
     /// (directory mode). Rotation makes sealed segments natural
@@ -1639,7 +1679,7 @@ pub struct ShipBatch {
 }
 
 /// Encodes a basket batch payload.
-fn encode_batch(baskets: &[Vec<ItemId>]) -> Vec<u8> {
+pub(crate) fn encode_batch(baskets: &[Vec<ItemId>]) -> Vec<u8> {
     let items: usize = baskets.iter().map(Vec::len).sum();
     let mut payload = Vec::with_capacity(5 + 4 * baskets.len() + 4 * items);
     payload.push(KIND_BATCH);
@@ -1654,7 +1694,7 @@ fn encode_batch(baskets: &[Vec<ItemId>]) -> Vec<u8> {
 }
 
 /// Encodes an epoch-fence payload.
-fn encode_fence(epoch: u64) -> Vec<u8> {
+pub(crate) fn encode_fence(epoch: u64) -> Vec<u8> {
     let mut payload = Vec::with_capacity(9);
     payload.push(KIND_FENCE);
     payload.extend_from_slice(&epoch.to_le_bytes());
@@ -2088,7 +2128,7 @@ fn register_recovery_gauges(obs: &Registry, report: &RecoveryReport) {
 /// Acquires a mutex, recovering from poisoning: WAL state is only
 /// mutated through panic-free code, so a poisoned lock still holds
 /// consistent data.
-fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 

@@ -60,6 +60,8 @@ pub const SERVE_SPEC: &[(&str, FlagKind)] = &[
     ("max-connections", FlagKind::Value),
     ("metrics-addr", FlagKind::Value),
     ("events-ledger", FlagKind::Value),
+    ("scrub-interval-secs", FlagKind::Value),
+    ("repair-peer", FlagKind::Value),
     ("numeric", FlagKind::Boolean),
 ];
 
@@ -68,6 +70,9 @@ pub const QUERY_SPEC: &[(&str, FlagKind)] = &[("timeout-secs", FlagKind::Value)]
 
 /// Flags accepted by `bmb wal` (the `inspect` subcommand).
 pub const WAL_SPEC: &[(&str, FlagKind)] = &[("limit", FlagKind::Value), ("dir", FlagKind::Value)];
+
+/// Flags accepted by `bmb fsck` (none; the DIR positional is the input).
+pub const FSCK_SPEC: &[(&str, FlagKind)] = &[];
 
 /// Flags accepted by `bmb cluster {serve|shard|follow|chaos}`.
 pub const CLUSTER_SPEC: &[(&str, FlagKind)] = &[
@@ -95,6 +100,11 @@ pub const CLUSTER_SPEC: &[(&str, FlagKind)] = &[
     ("retain-checkpoints", FlagKind::Value),
     ("checkpoint-every", FlagKind::Value),
     ("checkpoint-interval-secs", FlagKind::Value),
+    // background integrity scrubbing (`cluster shard`, `cluster
+    // follow`); on `cluster serve` the same interval paces the
+    // coordinator's anti-entropy digest comparisons
+    ("scrub-interval-secs", FlagKind::Value),
+    ("repair-peer", FlagKind::Value),
     // follower (`cluster follow`)
     ("primary", FlagKind::Value),
     ("poll-ms", FlagKind::Value),
@@ -352,6 +362,34 @@ pub fn cmd_stats(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     Ok(())
 }
 
+/// Spawns the background integrity scrubber when the role asked for it
+/// (`--scrub-interval-secs N`; 0 disables). `peer` names the replica
+/// that damaged sealed segments are re-fetched from; without one,
+/// repair is limited to what the live store can rebuild locally.
+fn spawn_scrubber(
+    args: &Args,
+    durable: &std::sync::Arc<bmb_basket::DurableStore>,
+    peer: Option<String>,
+    out: &mut dyn Write,
+) -> Result<Option<bmb_serve::Scrubber>, String> {
+    let Some(secs) = args.get::<u64>("scrub-interval-secs")? else {
+        return Ok(None);
+    };
+    let config = bmb_serve::ScrubberConfig {
+        interval: (secs > 0).then(|| std::time::Duration::from_secs(secs)),
+        peer,
+        ..Default::default()
+    };
+    if !config.is_enabled() {
+        return Ok(None);
+    }
+    writeln!(out, "scrubbing every {secs}s").map_err(|e| e.to_string())?;
+    Ok(Some(bmb_serve::Scrubber::spawn(
+        std::sync::Arc::clone(durable),
+        config,
+    )))
+}
+
 /// `bmb serve [FILE]` — run the correlation-query server.
 ///
 /// With a FILE the store is seeded from it; with `--items N` (and no
@@ -364,7 +402,11 @@ pub fn cmd_stats(args: &Args, out: &mut dyn Write) -> Result<(), String> {
 /// client's `shutdown` command drains in-flight queries and exits 0.
 /// With `--metrics-addr HOST:PORT` a second listener serves a
 /// Prometheus text snapshot at `/metrics` (announced as
-/// `metrics on http://HOST:PORT/metrics`).
+/// `metrics on http://HOST:PORT/metrics`). With `--checkpoint-dir` and
+/// `--scrub-interval-secs N`, a background scrubber re-verifies sealed
+/// WAL segments and checkpoints on that cadence, quarantining and
+/// repairing what it can (`--repair-peer HOST:PORT` names a replica to
+/// re-fetch damaged segments from).
 pub fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let sink = |e: std::io::Error| e.to_string();
     let store_config = bmb_basket::StoreConfig {
@@ -474,10 +516,22 @@ pub fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         store,
         bmb_core::EngineConfig::default(),
     ));
-    let mut server =
-        bmb_serve::Server::bind(engine, server_config).map_err(|e| format!("cannot bind: {e}"))?;
+    let repair_peer = args.get::<String>("repair-peer")?;
+    let mut service = bmb_serve::EngineService::new(engine);
+    if let Some(peer) = &repair_peer {
+        service = service.with_repair_peer(peer.clone());
+    }
+    if let Some(durable) = &durable {
+        service = service.with_durable(std::sync::Arc::clone(durable));
+    }
+    let server = bmb_serve::Server::bind_service(
+        std::sync::Arc::new(service) as std::sync::Arc<dyn bmb_serve::Service>,
+        server_config,
+    )
+    .map_err(|e| format!("cannot bind: {e}"))?;
     let mut checkpointer = None;
-    if let Some(durable) = durable {
+    let mut scrubber = None;
+    if let Some(durable) = &durable {
         if ckpt_dir.is_some() {
             let config = bmb_serve::CheckpointerConfig {
                 interval: Some(std::time::Duration::from_secs(
@@ -487,11 +541,11 @@ pub fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), String> {
                 ..Default::default()
             };
             checkpointer = Some(bmb_serve::Checkpointer::spawn(
-                std::sync::Arc::clone(&durable),
+                std::sync::Arc::clone(durable),
                 config,
             ));
+            scrubber = spawn_scrubber(args, durable, repair_peer, out)?;
         }
-        server = server.with_durable_store(durable);
     }
     let metrics = server.metrics();
     writeln!(out, "listening on {}", server.local_addr()).map_err(sink)?;
@@ -500,6 +554,9 @@ pub fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     }
     out.flush().map_err(sink)?;
     let run_result = server.run();
+    if let Some(scrubber) = scrubber {
+        scrubber.stop();
+    }
     if let Some(checkpointer) = checkpointer {
         checkpointer.stop();
     }
@@ -643,16 +700,22 @@ pub fn cmd_wal(args: &Args, out: &mut dyn Write) -> Result<(), String> {
 
 /// Walks a rotated WAL segment directory, one summary line per
 /// `wal.NNNNNN` file in rotation order: base epoch, record count, end
-/// epoch, and diagnosis. `limit` caps the per-segment lines (the
-/// trailing summary always prints).
+/// epoch, and diagnosis. Checkpoint artifacts ride along: every
+/// `ckpt.*` file is structurally verified (magic, CRC, named epoch,
+/// basket-table walk) and `MANIFEST` must be intact, list strictly
+/// ascending epochs, and agree with the files on disk. `limit` caps
+/// the per-segment lines (the summaries always print).
 fn wal_inspect_dir(dir: &str, limit: usize, out: &mut dyn Write) -> Result<(), String> {
     let sink = |e: std::io::Error| e.to_string();
     let entries = std::fs::read_dir(dir).map_err(|e| format!("cannot read {dir}: {e}"))?;
-    let mut segments: Vec<(u64, String)> = entries
+    let names: Vec<String> = entries
         .filter_map(Result::ok)
-        .filter_map(|entry| {
-            let name = entry.file_name().to_string_lossy().into_owned();
-            bmb_basket::wal::parse_segment_name(&name).map(|index| (index, name))
+        .map(|entry| entry.file_name().to_string_lossy().into_owned())
+        .collect();
+    let mut segments: Vec<(u64, String)> = names
+        .iter()
+        .filter_map(|name| {
+            bmb_basket::wal::parse_segment_name(name).map(|index| (index, name.clone()))
         })
         .collect();
     if segments.is_empty() {
@@ -698,10 +761,117 @@ fn wal_inspect_dir(dir: &str, limit: usize, out: &mut dyn Write) -> Result<(), S
          torn segments: {torn}"
     )
     .map_err(sink)?;
-    if torn > 0 {
-        return Err(format!("{dir}: {torn} torn segment(s)"));
+
+    // The checkpoint side of the directory: every `ckpt.*` file must
+    // verify structurally, and the MANIFEST must agree with the disk.
+    let mut checkpoints: Vec<(u64, String)> = names
+        .iter()
+        .filter_map(|name| bmb_basket::parse_checkpoint_name(name).map(|e| (e, name.clone())))
+        .collect();
+    checkpoints.sort_unstable();
+    let mut damaged = 0usize;
+    for (epoch, name) in &checkpoints {
+        let path = std::path::Path::new(dir).join(name);
+        let bytes =
+            std::fs::read(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        match bmb_basket::verify_checkpoint_bytes(*epoch, &bytes, None) {
+            Ok(()) => writeln!(out, "{name}: epoch {epoch}, {} bytes, clean", bytes.len())
+                .map_err(sink)?,
+            Err(detail) => {
+                damaged += 1;
+                writeln!(out, "{name}: {detail}").map_err(sink)?;
+            }
+        }
+    }
+    let manifest_path = std::path::Path::new(dir).join(bmb_basket::MANIFEST_NAME);
+    if names.iter().any(|n| n == bmb_basket::MANIFEST_NAME) {
+        let bytes = std::fs::read(&manifest_path)
+            .map_err(|e| format!("cannot read {}: {e}", manifest_path.display()))?;
+        match bmb_basket::verify_manifest_bytes(&bytes) {
+            Ok(listed) => {
+                writeln!(out, "MANIFEST: {} checkpoint(s) listed", listed.len()).map_err(sink)?;
+                for epoch in &listed {
+                    if !checkpoints.iter().any(|(e, _)| e == epoch) {
+                        damaged += 1;
+                        writeln!(
+                            out,
+                            "MANIFEST lists epoch {epoch} but {} is missing",
+                            bmb_basket::checkpoint_name(*epoch)
+                        )
+                        .map_err(sink)?;
+                    }
+                }
+                for (epoch, name) in &checkpoints {
+                    if !listed.contains(epoch) {
+                        damaged += 1;
+                        writeln!(out, "{name} is on disk but not listed in MANIFEST")
+                            .map_err(sink)?;
+                    }
+                }
+            }
+            Err(detail) => {
+                damaged += 1;
+                writeln!(out, "MANIFEST: {detail}").map_err(sink)?;
+            }
+        }
+    } else if !checkpoints.is_empty() {
+        damaged += 1;
+        writeln!(
+            out,
+            "MANIFEST missing with {} checkpoint(s) on disk",
+            checkpoints.len()
+        )
+        .map_err(sink)?;
+    }
+    writeln!(
+        out,
+        "checkpoints: {}, damaged artifacts: {damaged}",
+        checkpoints.len()
+    )
+    .map_err(sink)?;
+    if torn > 0 || damaged > 0 {
+        return Err(format!(
+            "{dir}: {torn} torn segment(s), {damaged} damaged checkpoint artifact(s)"
+        ));
     }
     Ok(())
+}
+
+/// `bmb fsck DIR` — offline integrity check of a durability directory.
+///
+/// Runs the same structural verification the background scrubber uses
+/// (see `bmb_basket::fsck_dir`): the `GEN` record, the `MANIFEST`'s
+/// CRC and epoch order, manifest↔file agreement, every checkpoint's
+/// magic/CRC/epoch/basket table, every WAL segment's record walk, and
+/// the segment base-epoch chain. Read-only — nothing is repaired,
+/// renamed, or deleted — and exits non-zero when anything fails to
+/// verify, so scripts and CI can assert at-rest integrity. Quarantined
+/// evidence files (`quarantine.*`) are counted but are not damage.
+pub fn cmd_fsck(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let dir_path = args.positional(1).ok_or("usage: bmb fsck DIR")?;
+    let sink = |e: std::io::Error| e.to_string();
+    let mut dir = bmb_basket::FsDir::open(std::path::Path::new(dir_path))
+        .map_err(|e| format!("cannot open {dir_path}: {e}"))?;
+    let report =
+        bmb_basket::fsck_dir(&mut dir).map_err(|e| format!("cannot list {dir_path}: {e}"))?;
+    writeln!(
+        out,
+        "{dir_path}: {} artifact(s), {} byte(s) verified, {} quarantined",
+        report.artifacts, report.bytes, report.quarantined
+    )
+    .map_err(sink)?;
+    for finding in &report.findings {
+        writeln!(out, "  {}: {}", finding.name, finding.detail).map_err(sink)?;
+    }
+    if report.is_clean() {
+        writeln!(out, "clean").map_err(sink)?;
+        Ok(())
+    } else {
+        Err(format!(
+            "{dir_path}: {} integrity finding(s)",
+            report.findings.len()
+        ))
+    }
 }
 
 /// `bmb cluster {serve|shard|follow|chaos}` — the sharded-cluster roles.
@@ -831,8 +1001,14 @@ fn cluster_shard(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
     let mut repl = bmb_cluster::FollowerConfig::new(String::new());
     repl.poll_interval = std::time::Duration::from_millis(args.get_or("poll-ms", 50u64)?);
+    let repair_peer = args.get::<String>("repair-peer")?;
+    let mut inner =
+        bmb_serve::EngineService::new(engine).with_durable(std::sync::Arc::clone(&durable));
+    if let Some(peer) = &repair_peer {
+        inner = inner.with_repair_peer(peer.clone());
+    }
     let node = bmb_cluster::NodeService::primary(
-        bmb_serve::EngineService::new(engine).with_durable(std::sync::Arc::clone(&durable)),
+        inner,
         std::sync::Arc::clone(&durable),
         repl,
         std::sync::Arc::clone(&stop),
@@ -848,6 +1024,7 @@ fn cluster_shard(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         attach_events_ledger(&std::path::Path::new(&dir).join("events.jsonl"), out)?;
     }
     let checkpointer = cluster_checkpointer(args, &durable)?;
+    let scrubber = spawn_scrubber(args, &durable, repair_peer, out)?;
     writeln!(
         out,
         "shard listening on {} (generation {})",
@@ -861,6 +1038,9 @@ fn cluster_shard(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     out.flush().map_err(sink)?;
     let run_result = server.run();
     stop.store(true, std::sync::atomic::Ordering::Release);
+    if let Some(scrubber) = scrubber {
+        scrubber.stop();
+    }
     checkpointer.stop();
     bmb_obs::events().detach_ledger();
     run_result.map_err(|e| format!("shard failed: {e}"))
@@ -908,14 +1088,37 @@ fn cluster_serve(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let probe_cooldown_ms = args.get_or("probe-cooldown-ms", 1000u64)?;
     config.request_timeout = std::time::Duration::from_millis(request_timeout_ms);
     config.probe_cooldown = std::time::Duration::from_millis(probe_cooldown_ms);
-    let service = std::sync::Arc::new(bmb_cluster::CoordinatorService::new(config))
-        as std::sync::Arc<dyn bmb_serve::Service>;
+    let coordinator = std::sync::Arc::new(bmb_cluster::CoordinatorService::new(config));
+    let service = std::sync::Arc::clone(&coordinator) as std::sync::Arc<dyn bmb_serve::Service>;
     let server = bmb_serve::Server::bind_service(
         service,
         cluster_server_config(args, "127.0.0.1:7878", "coordinator")?,
     )
     .map_err(|e| format!("cannot bind: {e}"))?;
     let metrics = server.metrics();
+    // With --scrub-interval-secs, the coordinator periodically compares
+    // primary/follower segment digests per slot and triggers a scrub on
+    // whichever side diverged (anti-entropy; see DESIGN.md §15).
+    let ae_stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut anti_entropy = None;
+    if let Some(secs) = args.get::<u64>("scrub-interval-secs")? {
+        if secs > 0 {
+            writeln!(out, "anti-entropy every {secs}s").map_err(sink)?;
+            let coordinator = std::sync::Arc::clone(&coordinator);
+            let ae_stop = std::sync::Arc::clone(&ae_stop);
+            let interval = std::time::Duration::from_secs(secs);
+            anti_entropy = Some(std::thread::spawn(move || {
+                let mut next = std::time::Instant::now() + interval;
+                while !ae_stop.load(std::sync::atomic::Ordering::Acquire) {
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    if std::time::Instant::now() >= next {
+                        coordinator.anti_entropy_round();
+                        next = std::time::Instant::now() + interval;
+                    }
+                }
+            }));
+        }
+    }
     writeln!(
         out,
         "scattering over {} shards (request timeout {request_timeout_ms}ms, \
@@ -928,9 +1131,12 @@ fn cluster_serve(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         writeln!(out, "metrics on http://{addr}/metrics").map_err(sink)?;
     }
     out.flush().map_err(sink)?;
-    server
-        .run()
-        .map_err(|e| format!("coordinator failed: {e}"))?;
+    let run_result = server.run();
+    ae_stop.store(true, std::sync::atomic::Ordering::Release);
+    if let Some(thread) = anti_entropy {
+        thread.join().ok();
+    }
+    run_result.map_err(|e| format!("coordinator failed: {e}"))?;
     let snapshot = metrics.snapshot();
     writeln!(
         out,
@@ -957,8 +1163,15 @@ fn cluster_follow(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let mut follower_config = bmb_cluster::FollowerConfig::new(primary.clone());
     follower_config.poll_interval =
         std::time::Duration::from_millis(args.get_or("poll-ms", 50u64)?);
+    // The follower's repair source is the primary it tails, unless a
+    // different replica is named explicitly.
+    let repair_peer = args
+        .get::<String>("repair-peer")?
+        .unwrap_or_else(|| primary.clone());
     let node = bmb_cluster::NodeService::follower(
-        bmb_serve::EngineService::new(engine).with_durable(std::sync::Arc::clone(&standby)),
+        bmb_serve::EngineService::new(engine)
+            .with_durable(std::sync::Arc::clone(&standby))
+            .with_repair_peer(repair_peer.clone()),
         std::sync::Arc::clone(&standby),
         follower_config,
         std::sync::Arc::clone(&stop),
@@ -975,6 +1188,7 @@ fn cluster_follow(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         attach_events_ledger(&std::path::Path::new(&dir).join("events.jsonl"), out)?;
     }
     let checkpointer = cluster_checkpointer(args, &standby)?;
+    let scrubber = spawn_scrubber(args, &standby, Some(repair_peer), out)?;
     writeln!(out, "tailing primary {primary}").map_err(sink)?;
     writeln!(
         out,
@@ -986,6 +1200,9 @@ fn cluster_follow(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     out.flush().map_err(sink)?;
     let run_result = server.run();
     stop.store(true, std::sync::atomic::Ordering::Release);
+    if let Some(scrubber) = scrubber {
+        scrubber.stop();
+    }
     checkpointer.stop();
     bmb_obs::events().detach_ledger();
     run_result.map_err(|e| format!("follower failed: {e}"))
@@ -1187,24 +1404,29 @@ USAGE:
                      [--segment-capacity N] [--wal PATH]
                      [--checkpoint-dir DIR] [--checkpoint-every N]
                      [--checkpoint-interval-secs N]
+                     [--scrub-interval-secs N] [--repair-peer HOST:PORT]
                      [--max-connections N] [--metrics-addr HOST:PORT]
                      [--events-ledger PATH] [--numeric]
   bmb query ADDR     [LINE...]  [--timeout-secs N]
   bmb wal inspect PATH  [--limit N]
   bmb wal inspect --dir DIR  [--limit N]
+  bmb fsck DIR
   bmb cluster shard  --dir DIR --items N [--addr HOST:PORT]
                      [--shard-index N] [--segment-capacity N]
                      [--segment-bytes N] [--retain-checkpoints N]
                      [--checkpoint-every N] [--checkpoint-interval-secs N]
+                     [--scrub-interval-secs N] [--repair-peer HOST:PORT]
                      [--workers N] [--max-connections N]
                      [--metrics-addr HOST:PORT]
   bmb cluster serve  --items N --shards A,B,... [--followers A,,...]
                      [--addr HOST:PORT] [--seed N] [--round-robin]
                      [--request-timeout-ms N] [--probe-cooldown-ms N]
+                     [--scrub-interval-secs N]
                      [--workers N] [--max-connections N]
                      [--metrics-addr HOST:PORT]
   bmb cluster follow --dir DIR --items N --primary HOST:PORT
                      [--addr HOST:PORT] [--shard-index N] [--poll-ms N]
+                     [--scrub-interval-secs N] [--repair-peer HOST:PORT]
                      [--workers N]
   bmb cluster chaos  --listen HOST:PORT --upstream HOST:PORT
                      [--control HOST:PORT] [--seed N]
@@ -1227,7 +1449,15 @@ wall times. With --checkpoint-dir, 'bmb serve' keeps a rotating WAL
 plus periodic checkpoints in DIR — restarts replay only the records
 after the newest valid checkpoint; 'bmb wal inspect' dumps any WAL
 file's records and torn-tail diagnosis (with --dir, one summary line
-per rotated segment with its base epoch).
+per rotated segment with its base epoch, plus every checkpoint's
+CRC/epoch verdict and the MANIFEST's agreement with the disk). 'bmb
+fsck DIR' is the full offline integrity check — every artifact's
+magic, CRC, and epoch chain — exiting non-zero on any finding. With
+--scrub-interval-secs, durable roles re-verify sealed segments and
+checkpoints in the background, quarantining damage and repairing from
+--repair-peer or a re-cut checkpoint ('scrub' over the protocol runs
+one pass on demand; on the coordinator the same flag paces
+anti-entropy digest comparisons across replicas).
 
 'bmb cluster' runs the sharded roles: 'shard' is one durable store,
 'serve' is the coordinator that scatters queries over --shards and
@@ -1834,6 +2064,129 @@ mod tests {
         assert!(cmd_wal(&a, &mut out).unwrap_err().contains("no wal."));
         let _ = std::fs::remove_dir_all(&dir);
         let _ = std::fs::remove_dir_all(&empty);
+    }
+
+    /// A healthy on-disk durability directory: rotated segments, one
+    /// checkpoint (plus its MANIFEST), and post-checkpoint records.
+    fn durable_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("bmb-cli-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fs = bmb_basket::FsDir::open(&dir).unwrap();
+        let (durable, _) = bmb_basket::DurableStore::open_dir(
+            Box::new(fs),
+            8,
+            bmb_basket::StoreConfig {
+                segment_capacity: 4,
+            },
+            bmb_basket::DurabilityConfig {
+                segment_bytes: 64,
+                retain_checkpoints: 2,
+            },
+        )
+        .unwrap();
+        for i in 0..10u32 {
+            durable.append_ids([i % 3, 3 + (i % 5)]).unwrap();
+        }
+        durable.checkpoint().unwrap();
+        for i in 0..4u32 {
+            durable.append_ids([i % 3, 3 + (i % 5)]).unwrap();
+        }
+        dir
+    }
+
+    /// The directory's checkpoint file (there is exactly one).
+    fn checkpoint_file(dir: &std::path::Path) -> std::path::PathBuf {
+        std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .find(|p| {
+                p.file_name()
+                    .map(|n| n.to_string_lossy().starts_with("ckpt."))
+                    .unwrap_or(false)
+            })
+            .expect("a checkpoint on disk")
+    }
+
+    #[test]
+    fn fsck_passes_a_healthy_directory_and_fails_a_damaged_one() {
+        let dir = durable_dir("fsck");
+        let a = args(FSCK_SPEC, &["fsck", dir.to_str().unwrap()]);
+        let mut out = Vec::new();
+        cmd_fsck(&a, &mut out).unwrap();
+        let rendered = String::from_utf8(out).unwrap();
+        assert!(rendered.contains("clean"), "{rendered}");
+        assert!(rendered.contains("artifact(s)"), "{rendered}");
+
+        // Flip one checkpoint byte: fsck must report it and exit
+        // non-zero (the Err return maps to exit code 1 in main).
+        let ckpt = checkpoint_file(&dir);
+        let mut bytes = std::fs::read(&ckpt).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&ckpt, &bytes).unwrap();
+        let mut out = Vec::new();
+        let verdict = cmd_fsck(&a, &mut out).unwrap_err();
+        assert!(verdict.contains("integrity finding"), "{verdict}");
+        let rendered = String::from_utf8(out).unwrap();
+        assert!(rendered.contains("ckpt."), "{rendered}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsck_requires_a_directory_argument() {
+        let a = args(FSCK_SPEC, &["fsck"]);
+        let mut out = Vec::new();
+        assert!(cmd_fsck(&a, &mut out)
+            .unwrap_err()
+            .contains("usage: bmb fsck DIR"));
+    }
+
+    #[test]
+    fn wal_inspect_dir_validates_checkpoints_and_manifest() {
+        let dir = durable_dir("walck");
+        let a = args(
+            WAL_SPEC,
+            &["wal", "inspect", "--dir", dir.to_str().unwrap()],
+        );
+
+        // Healthy: the checkpoint and MANIFEST verify and are listed.
+        let mut out = Vec::new();
+        cmd_wal(&a, &mut out).unwrap();
+        let rendered = String::from_utf8(out).unwrap();
+        assert!(rendered.contains("ckpt."), "{rendered}");
+        assert!(
+            rendered.contains("MANIFEST: 1 checkpoint(s) listed"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("checkpoints: 1, damaged artifacts: 0"),
+            "{rendered}"
+        );
+
+        // A flipped checkpoint byte fails the walk with a CRC verdict.
+        let ckpt = checkpoint_file(&dir);
+        let pristine = std::fs::read(&ckpt).unwrap();
+        let mut damaged = pristine.clone();
+        let mid = damaged.len() / 2;
+        damaged[mid] ^= 0xFF;
+        std::fs::write(&ckpt, &damaged).unwrap();
+        let mut out = Vec::new();
+        let verdict = cmd_wal(&a, &mut out).unwrap_err();
+        assert!(verdict.contains("damaged checkpoint artifact"), "{verdict}");
+        let rendered = String::from_utf8(out).unwrap();
+        assert!(rendered.contains("CRC mismatch"), "{rendered}");
+
+        // Restore the bytes but delete the file: the MANIFEST now
+        // disagrees with the disk, which is also a non-zero exit.
+        std::fs::write(&ckpt, &pristine).unwrap();
+        std::fs::remove_file(&ckpt).unwrap();
+        let mut out = Vec::new();
+        let verdict = cmd_wal(&a, &mut out).unwrap_err();
+        assert!(verdict.contains("damaged checkpoint artifact"), "{verdict}");
+        let rendered = String::from_utf8(out).unwrap();
+        assert!(rendered.contains("is missing"), "{rendered}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// Boots one `bmb cluster shard` on an ephemeral port.

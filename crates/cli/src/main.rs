@@ -2,9 +2,9 @@
 
 use bmb_cli::args::Args;
 use bmb_cli::commands::{
-    cmd_cluster, cmd_generate, cmd_mine, cmd_pairs, cmd_query, cmd_rules, cmd_serve, cmd_stats,
-    cmd_wal, CLUSTER_SPEC, GENERATE_SPEC, MINE_SPEC, PAIRS_SPEC, QUERY_SPEC, RULES_SPEC,
-    SERVE_SPEC, STATS_SPEC, USAGE, WAL_SPEC,
+    cmd_cluster, cmd_fsck, cmd_generate, cmd_mine, cmd_pairs, cmd_query, cmd_rules, cmd_serve,
+    cmd_stats, cmd_wal, CLUSTER_SPEC, FSCK_SPEC, GENERATE_SPEC, MINE_SPEC, PAIRS_SPEC, QUERY_SPEC,
+    RULES_SPEC, SERVE_SPEC, STATS_SPEC, USAGE, WAL_SPEC,
 };
 
 fn main() {
@@ -20,6 +20,7 @@ fn main() {
         "serve" => SERVE_SPEC,
         "query" => QUERY_SPEC,
         "wal" => WAL_SPEC,
+        "fsck" => FSCK_SPEC,
         "cluster" => CLUSTER_SPEC,
         _ => {
             eprint!("{USAGE}");
@@ -38,6 +39,7 @@ fn main() {
             "serve" => cmd_serve(&args, &mut out),
             "query" => cmd_query(&args, &mut out),
             "wal" => cmd_wal(&args, &mut out),
+            "fsck" => cmd_fsck(&args, &mut out),
             "cluster" => cmd_cluster(&args, &mut out),
             _ => unreachable!(),
         }

@@ -1,0 +1,315 @@
+//! Live two-node scrub-repair SIGKILL torture: `kill -9` landing
+//! during at-rest repair must never lose acked epochs (DESIGN.md §15).
+//!
+//! Two real `bmb cluster shard` processes over real directories: node
+//! B holds a pristine copy of the workload and serves as the repair
+//! peer; node A's on-disk sealed segment is corrupted between runs.
+//! Each round restarts A with `--scrub-interval-secs 1
+//! --repair-peer B`, fires an admin `scrub` over the wire, and
+//! SIGKILLs A at a different delay so the kill lands before, inside,
+//! and after the quarantine → rebuild → atomic-replace window. The
+//! contract, checked on every restart:
+//!
+//! * the recovered epoch is exactly the acked basket count — repair
+//!   publishes (quarantine copy, rebuilt segment, re-cut checkpoint)
+//!   are sync-before-rename, so no kill point can eat acked history;
+//! * answers stay byte-identical to the pre-kill baseline;
+//! * after one *completed* scrub pass the directory converges: `bmb
+//!   fsck` exits clean on the survivors of all those kills.
+//!
+//! The exhaustive in-process corruption sweep lives in `bmb-core`'s
+//! `scrub_torture`; this test is the end-to-end half: real processes,
+//! real fsync, real SIGKILL.
+
+use std::io::{BufRead, BufReader, Write as IoWrite};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use bmb_serve::json::{parse, Value};
+use bmb_serve::Client;
+
+const N_ITEMS: usize = 8;
+const N_BASKETS: u64 = 24;
+const CHECKPOINT_AT: u64 = 10;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let pid = std::process::id();
+    let dir = std::env::temp_dir().join(format!("bmb-scrub-kill-{pid}-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Deterministic basket for epoch `i` (same shape the scrub torture
+/// suite uses).
+fn basket(i: u64) -> Vec<i64> {
+    vec![(i % 3) as i64, 3 + (i % 5) as i64]
+}
+
+struct KillOnDrop(Child);
+
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Spawns `bmb cluster shard` over `dir`; `repair_peer` also enables
+/// the background scrubber. Returns once the listen address is known.
+fn spawn_node(dir: &Path, repair_peer: Option<&str>) -> (KillOnDrop, SocketAddr) {
+    let mut command = Command::new(env!("CARGO_BIN_EXE_bmb"));
+    command
+        .arg("cluster")
+        .arg("shard")
+        .arg("--addr")
+        .arg("127.0.0.1:0")
+        .arg("--items")
+        .arg(N_ITEMS.to_string())
+        .arg("--dir")
+        .arg(dir)
+        .arg("--segment-capacity")
+        .arg("4")
+        .arg("--segment-bytes")
+        .arg("64")
+        .arg("--retain-checkpoints")
+        .arg("2");
+    if let Some(peer) = repair_peer {
+        command
+            .arg("--scrub-interval-secs")
+            .arg("1")
+            .arg("--repair-peer")
+            .arg(peer);
+    }
+    let mut child = command
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn bmb cluster shard");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let child = KillOnDrop(child);
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("shard exited before listening")
+            .expect("read shard stdout");
+        if let Some(rest) = line.split("listening on ").nth(1) {
+            let addr = rest.split_whitespace().next().expect("address token");
+            break addr.parse::<SocketAddr>().expect("shard address");
+        }
+    };
+    (child, addr)
+}
+
+/// Strips the per-request trace id; everything else must be stable.
+fn stripped(line: &str) -> String {
+    let Value::Object(pairs) = parse(line).expect("response JSON") else {
+        panic!("response is not an object: {line}");
+    };
+    Value::Object(pairs.into_iter().filter(|(k, _)| k != "trace").collect()).to_string()
+}
+
+/// Fixed-id chi-squared probes whose stripped response lines are the
+/// byte-identity baseline.
+fn probes() -> Vec<String> {
+    (0..6)
+        .map(|i| {
+            let a = i * 2 % N_ITEMS;
+            let b = (i * 2 + 3) % N_ITEMS;
+            format!(r#"{{"id":{i},"cmd":"chi2","items":[{a},{b}]}}"#)
+        })
+        .collect()
+}
+
+/// Ingests the full workload with a checkpoint cut mid-stream, so the
+/// directory holds a checkpoint plus sealed segments past it.
+fn ingest_workload(client: &mut Client) {
+    for chunk in (0..N_BASKETS).collect::<Vec<u64>>().chunks(5) {
+        let rows: Vec<Value> = chunk
+            .iter()
+            .map(|&i| Value::Array(basket(i).into_iter().map(Value::Int).collect()))
+            .collect();
+        let request = Value::object()
+            .with("cmd", Value::Str("ingest".to_string()))
+            .with("baskets", Value::Array(rows));
+        client.request(&request).expect("ingest");
+        if chunk.contains(&(CHECKPOINT_AT - 1)) {
+            client
+                .request_line(r#"{"cmd":"checkpoint"}"#)
+                .expect("checkpoint");
+        }
+    }
+}
+
+fn stats_epoch(client: &mut Client) -> u64 {
+    let line = client
+        .request_line(r#"{"id":90,"cmd":"stats"}"#)
+        .expect("stats");
+    parse(&line)
+        .expect("stats JSON")
+        .get("result")
+        .and_then(|r| r.get("epoch"))
+        .and_then(Value::as_u64)
+        .expect("stats epoch")
+}
+
+/// The lowest-indexed (sealed) WAL segment on disk, if any survives.
+fn sealed_segment(dir: &Path) -> Option<PathBuf> {
+    let mut segments: Vec<(u64, PathBuf)> = std::fs::read_dir(dir)
+        .expect("read dir")
+        .filter_map(|entry| {
+            let entry = entry.expect("dir entry");
+            let name = entry.file_name().to_string_lossy().into_owned();
+            name.strip_prefix("wal.")
+                .and_then(|digits| digits.parse::<u64>().ok())
+                .map(|index| (index, entry.path()))
+        })
+        .collect();
+    segments.sort();
+    // The highest index is the active tail; everything below is sealed.
+    if segments.len() < 2 {
+        return None;
+    }
+    segments.pop();
+    segments.into_iter().next().map(|(_, path)| path)
+}
+
+/// Re-damages the sealed segment if a prior round's scrub already
+/// repaired it back to pristine. Returns false when the segment is
+/// gone (a repair fell back to re-checkpointing past the hole and
+/// retention reclaimed it — also a legal way to heal).
+fn ensure_corrupt(path: &Path, pristine: &[u8]) -> bool {
+    let Ok(mut bytes) = std::fs::read(path) else {
+        return false;
+    };
+    if bytes == pristine {
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(path, bytes).expect("write corrupted segment");
+    }
+    true
+}
+
+/// Connects, consumes the HELLO banner, fires one request line, and
+/// returns *without reading the response* — the caller SIGKILLs the
+/// server while the command is (potentially) mid-repair.
+fn fire_and_forget(addr: SocketAddr, line: &str) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut hello = String::new();
+    reader.read_line(&mut hello).expect("HELLO");
+    let mut stream = stream;
+    stream
+        .write_all(format!("{line}\n").as_bytes())
+        .expect("write request");
+    stream.flush().expect("flush request");
+}
+
+#[test]
+fn sigkill_during_repair_never_loses_acked_epochs() {
+    // --- node B: the pristine replica that serves repairs ---
+    let dir_b = scratch_dir("peer");
+    let (_peer, peer_addr) = spawn_node(&dir_b, None);
+    let mut client = Client::connect(peer_addr).expect("connect peer");
+    ingest_workload(&mut client);
+    assert_eq!(stats_epoch(&mut client), N_BASKETS);
+    drop(client);
+
+    // --- node A: same workload, then SIGKILL (acks are durable) ---
+    let dir_a = scratch_dir("node");
+    let (mut node, addr) = spawn_node(&dir_a, None);
+    let mut client = Client::connect(addr).expect("connect node");
+    ingest_workload(&mut client);
+    assert_eq!(stats_epoch(&mut client), N_BASKETS);
+    let baseline: Vec<String> = probes()
+        .iter()
+        .map(|line| stripped(&client.request_line(line).expect("baseline")))
+        .collect();
+    drop(client);
+    node.0.kill().expect("SIGKILL node");
+    node.0.wait().expect("reap node");
+    drop(node);
+
+    let segment = sealed_segment(&dir_a).expect("a sealed segment on disk");
+    let pristine = std::fs::read(&segment).expect("pristine segment bytes");
+
+    // --- the kill ladder: scrub in flight, SIGKILL at varied delays ---
+    let peer = peer_addr.to_string();
+    for (round, delay_ms) in [0u64, 2, 5, 10, 20, 40].into_iter().enumerate() {
+        ensure_corrupt(&segment, &pristine);
+        let (mut node, addr) = spawn_node(&dir_a, Some(&peer));
+        let mut client = Client::connect(addr).expect("reconnect after kill");
+        assert_eq!(
+            stats_epoch(&mut client),
+            N_BASKETS,
+            "round {round}: restart lost acked epochs"
+        );
+        let probe = &probes()[round % 6];
+        assert_eq!(
+            &stripped(&client.request_line(probe).expect("probe")),
+            &baseline[round % 6],
+            "round {round}: answer diverged from the pre-kill baseline"
+        );
+        drop(client);
+        fire_and_forget(addr, r#"{"id":77,"cmd":"scrub"}"#);
+        std::thread::sleep(Duration::from_millis(delay_ms));
+        node.0.kill().expect("SIGKILL mid-scrub");
+        node.0.wait().expect("reap node");
+    }
+
+    // --- convergence: one completed pass, then clean fsck ---
+    ensure_corrupt(&segment, &pristine);
+    let (mut node, addr) = spawn_node(&dir_a, Some(&peer));
+    let mut client = Client::connect(addr).expect("final connect");
+    assert_eq!(stats_epoch(&mut client), N_BASKETS);
+    let scrub = parse(
+        &client
+            .request_line(r#"{"id":88,"cmd":"scrub"}"#)
+            .expect("completed scrub"),
+    )
+    .expect("scrub JSON");
+    assert_eq!(
+        scrub.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "scrub failed: {scrub}"
+    );
+    let result = scrub.get("result").expect("scrub result");
+    assert_eq!(
+        result.get("degraded").and_then(Value::as_bool),
+        Some(false),
+        "store degraded after the kill ladder: {scrub}"
+    );
+    assert_eq!(result.get("complete").and_then(Value::as_bool), Some(true));
+    for (probe, expected) in probes().iter().zip(&baseline) {
+        assert_eq!(
+            &stripped(&client.request_line(probe).expect("final probe")),
+            expected,
+            "post-repair answer diverged from the pre-kill baseline"
+        );
+    }
+    assert_eq!(stats_epoch(&mut client), N_BASKETS);
+    let _ = client.request_line(r#"{"cmd":"shutdown"}"#);
+    drop(client);
+    node.0.wait().expect("graceful shutdown");
+
+    let fsck = Command::new(env!("CARGO_BIN_EXE_bmb"))
+        .arg("fsck")
+        .arg(&dir_a)
+        .output()
+        .expect("run bmb fsck");
+    let stdout = String::from_utf8_lossy(&fsck.stdout);
+    assert!(
+        fsck.status.success(),
+        "fsck found damage after convergence:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("clean"),
+        "unexpected fsck output:\n{stdout}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}

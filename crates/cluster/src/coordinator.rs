@@ -154,6 +154,28 @@ struct Health {
     last_error: Option<String>,
     /// Primary failures since the last success, for stats.
     consecutive_failures: u32,
+    /// Integrity totals absorbed from this slot's scrub reports.
+    scrub: ScrubTotals,
+}
+
+/// Running totals from the scrub reports a slot's endpoints returned
+/// (guarded by the `health` lock; surfaced per shard in `/stats`).
+#[derive(Clone, Copy, Debug, Default)]
+struct ScrubTotals {
+    scrubbed: u64,
+    corruptions: u64,
+    repairs: u64,
+    quarantined: u64,
+}
+
+impl ScrubTotals {
+    fn absorb(&mut self, report: &Value) {
+        let field = |key: &str| report.get(key).and_then(Value::as_u64).unwrap_or(0);
+        self.scrubbed += field("scrubbed");
+        self.corruptions += field("corruptions");
+        self.repairs += field("repairs");
+        self.quarantined += field("quarantined");
+    }
 }
 
 /// One endpoint (primary or follower) with its own retry client. The
@@ -1021,13 +1043,14 @@ impl CoordinatorService {
             } else {
                 epochs.push(Value::Null);
             }
-            let (promoted, generation, last_error, consecutive_failures) = {
+            let (promoted, generation, last_error, consecutive_failures, scrub) = {
                 let health = lock(&shard.health);
                 (
                     health.promoted,
                     health.generation,
                     health.last_error.clone(),
                     health.consecutive_failures,
+                    health.scrub,
                 )
             };
             shard_rows.push(
@@ -1046,7 +1069,11 @@ impl CoordinatorService {
                     .with(
                         "consecutive_failures",
                         Value::Int(consecutive_failures as i64),
-                    ),
+                    )
+                    .with("scrubbed", Value::Int(scrub.scrubbed as i64))
+                    .with("scrub_corruptions", Value::Int(scrub.corruptions as i64))
+                    .with("scrub_repairs", Value::Int(scrub.repairs as i64))
+                    .with("scrub_quarantined", Value::Int(scrub.quarantined as i64)),
             );
         }
         Ok(Value::object()
@@ -1064,6 +1091,14 @@ impl CoordinatorService {
                 Value::Int(self.metrics.promotions.get() as i64),
             )
             .with("demotions", Value::Int(self.metrics.demotions.get() as i64))
+            .with(
+                "anti_entropy_rounds",
+                Value::Int(self.metrics.anti_entropy_rounds.get() as i64),
+            )
+            .with(
+                "digest_divergences",
+                Value::Int(self.metrics.digest_divergences.get() as i64),
+            )
             .with(
                 "slow_exemplars",
                 bmb_serve::slow_exemplars_value(ctx.metrics),
@@ -1122,6 +1157,107 @@ impl CoordinatorService {
             });
         }
         crate::federation::federate(&inputs)
+    }
+
+    // ---- anti-entropy ----------------------------------------------------
+
+    /// One anti-entropy round: for every slot with a follower, pull
+    /// per-segment digests from both endpoints (the `integrity`
+    /// command) and compare. Replicas that applied the same epochs
+    /// answer bit-identical digests, so any mismatch on a shared
+    /// segment is at-rest divergence — the coordinator then triggers a
+    /// scrub-and-repair on the *follower*, pointed at the primary as
+    /// its repair peer (the primary's acked history is the slot's
+    /// authority), and a local scrub on the primary so damage on its
+    /// side is detected and quarantined too. Follower lag (missing
+    /// trailing segments) is not divergence; replication will close it.
+    ///
+    /// Endpoints are queried best-effort, straight past the mark-down
+    /// machinery — like `trace`, a diagnostic must not cause failovers.
+    pub fn anti_entropy_round(&self) -> Value {
+        self.metrics.anti_entropy_rounds.inc();
+        let request = Value::object().with("cmd", Value::Str("integrity".to_string()));
+        let mut slots: Vec<Value> = Vec::with_capacity(self.shards.len());
+        let mut divergent_slots = 0u64;
+        for (index, shard) in self.shards.iter().enumerate() {
+            let row = Value::object().with("shard", Value::Int(index as i64));
+            let Some(follower) = &shard.follower else {
+                slots.push(row.with("checked", Value::Bool(false)));
+                continue;
+            };
+            let primary = self.request_on(&shard.primary, &request).ok();
+            let standby = self.request_on(follower, &request).ok();
+            let (Some(primary), Some(standby)) = (primary, standby) else {
+                slots.push(row.with("checked", Value::Bool(false)));
+                continue;
+            };
+            let divergent = digests_diverge(&primary, &standby);
+            let mut row = row
+                .with("checked", Value::Bool(true))
+                .with("divergent", Value::Bool(divergent));
+            if divergent {
+                divergent_slots += 1;
+                self.metrics.digest_divergences.inc();
+                self.event("anti-entropy digest divergence", &follower.addr());
+                let repair = Value::object()
+                    .with("cmd", Value::Str("scrub".to_string()))
+                    .with("peer", Value::Str(shard.primary.addr()));
+                if let Ok(report) = self.request_on(follower, &repair) {
+                    self.metrics.remote_scrubs.inc();
+                    lock(&shard.health).scrub.absorb(&report);
+                    row = row.with("follower_repairs", report_count(&report, "repairs"));
+                }
+                let local = Value::object().with("cmd", Value::Str("scrub".to_string()));
+                if let Ok(report) = self.request_on(&shard.primary, &local) {
+                    lock(&shard.health).scrub.absorb(&report);
+                    row = row.with("primary_repairs", report_count(&report, "repairs"));
+                }
+            }
+            slots.push(row);
+        }
+        Value::object()
+            .with("slots", Value::Array(slots))
+            .with("divergent", Value::Int(divergent_slots as i64))
+    }
+
+    /// `scrub` on the coordinator: fan the command out to every slot's
+    /// read endpoint, pointing each primary at its follower as the
+    /// repair peer (and falling back to local-only repair on promoted
+    /// slots, where the follower *is* the read endpoint and must not
+    /// dial itself). Totals are absorbed into the per-slot stats.
+    fn dispatch_scrub(&self) -> Result<Value, ServiceFailure> {
+        let mut rows: Vec<Value> = Vec::with_capacity(self.shards.len());
+        let mut totals = ScrubTotals::default();
+        for (index, shard) in self.shards.iter().enumerate() {
+            let promoted = {
+                let health = lock(&shard.health);
+                health.promoted
+            };
+            let mut request = Value::object().with("cmd", Value::Str("scrub".to_string()));
+            if !promoted {
+                if let Some(follower) = &shard.follower {
+                    request = request.with("peer", Value::Str(follower.addr()));
+                }
+            }
+            match self.shard_request(index, &request) {
+                Ok(report) => {
+                    lock(&shard.health).scrub.absorb(&report);
+                    totals.absorb(&report);
+                    rows.push(report.with("shard", Value::Int(index as i64)));
+                }
+                Err(e) => rows.push(
+                    Value::object()
+                        .with("shard", Value::Int(index as i64))
+                        .with("error", Value::Str(e.message.clone())),
+                ),
+            }
+        }
+        Ok(Value::object()
+            .with("scrubbed", Value::Int(totals.scrubbed as i64))
+            .with("corruptions", Value::Int(totals.corruptions as i64))
+            .with("repairs", Value::Int(totals.repairs as i64))
+            .with("quarantined", Value::Int(totals.quarantined as i64))
+            .with("shards", Value::Array(rows)))
     }
 
     fn dispatch_support_vec(
@@ -1202,6 +1338,8 @@ impl Service for CoordinatorService {
             Request::ReplicatePull { .. } => Err(ServiceFailure::other(
                 "not a shard: 'replicate_pull' reads a shard's WAL".to_string(),
             )),
+            Request::Integrity { .. } => Ok(self.anti_entropy_round()),
+            Request::Scrub { .. } => self.dispatch_scrub(),
             Request::Promote => Err(ServiceFailure::other(
                 "not a follower: 'promote' is only valid on follower processes".to_string(),
             )),
@@ -1295,6 +1433,42 @@ fn spans_from_value(trace: u64, value: &Value) -> Vec<SpanRecord> {
 /// The epoch vector as a JSON array, in shard order.
 fn epochs_value(epochs: &[u64]) -> Value {
     Value::Array(epochs.iter().map(|&e| Value::Int(e as i64)).collect())
+}
+
+/// Decodes one endpoint's `integrity` answer into
+/// `(segment, end_epoch, crc)` triples; malformed rows are skipped.
+fn parse_digests(value: &Value) -> Vec<(u64, u64, u64)> {
+    let Some(rows) = value.get("segments").and_then(Value::as_array) else {
+        return Vec::new();
+    };
+    rows.iter()
+        .filter_map(|row| {
+            Some((
+                row.get("segment").and_then(Value::as_u64)?,
+                row.get("end_epoch").and_then(Value::as_u64)?,
+                row.get("crc").and_then(Value::as_u64)?,
+            ))
+        })
+        .collect()
+}
+
+/// Whether two `integrity` answers disagree on any segment both hold.
+/// Segments only one side has sealed yet are replication lag, not
+/// divergence.
+fn digests_diverge(primary: &Value, follower: &Value) -> bool {
+    let ours = parse_digests(primary);
+    let theirs = parse_digests(follower);
+    ours.iter().any(|&(segment, end_epoch, crc)| {
+        theirs
+            .iter()
+            .any(|&(s, e, c)| s == segment && (e != end_epoch || c != crc))
+    })
+}
+
+/// One numeric field of a scrub report, as a JSON value for the round
+/// summary (0 when absent).
+fn report_count(report: &Value, key: &str) -> Value {
+    Value::Int(report.get(key).and_then(Value::as_i64).unwrap_or(0))
 }
 
 /// Acquires a mutex, recovering from poisoning (health flags and retry

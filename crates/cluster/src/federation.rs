@@ -164,6 +164,39 @@ fn append_rollups(out: &mut String, inputs: &[NodeExposition]) {
             max - min
         );
     }
+    // Integrity rollups: cluster-wide sums of the per-node scrub
+    // counters, emitted only when some node actually exposes them (so
+    // clusters without scrubbing federate byte-identically to before).
+    let scrub_families = [
+        ("corruptions", "bmb_basket_scrub_corruptions_total"),
+        ("repairs", "bmb_basket_scrub_repairs_total"),
+        ("quarantined", "bmb_basket_scrub_quarantines_total"),
+    ];
+    let scrub_sums: Vec<(&str, u64)> = scrub_families
+        .iter()
+        .filter_map(|&(label, family)| {
+            let mut seen = false;
+            let total: u64 = inputs
+                .iter()
+                .flat_map(|i| sample_values(&i.text, family))
+                .inspect(|_| seen = true)
+                .sum();
+            seen.then_some((label, total))
+        })
+        .collect();
+    if !scrub_sums.is_empty() {
+        let _ = writeln!(
+            out,
+            "# HELP bmb_cluster_fed_scrub_total Cluster-wide integrity-scrub outcomes (summed over nodes)."
+        );
+        let _ = writeln!(out, "# TYPE bmb_cluster_fed_scrub_total counter");
+        for (label, total) in scrub_sums {
+            let _ = writeln!(
+                out,
+                "bmb_cluster_fed_scrub_total{{outcome=\"{label}\"}} {total}"
+            );
+        }
+    }
     let mut p99s: Vec<(i64, u64)> = inputs
         .iter()
         .filter_map(|i| Some((i.shard?, shard_p99_us(&i.text)?)))
@@ -346,6 +379,38 @@ bmb_cluster_fed_shard_p99_us{shard=\"1\"} 64\n";
             relabel("bmb_x_total{cmd=\"chi2\"} 3", "n0", Some(1)),
             "bmb_x_total{cmd=\"chi2\",node=\"n0\",shard=\"1\"} 3"
         );
+    }
+
+    /// Scrub counters federate into one summed rollup per outcome —
+    /// and only when some node exposes them, so the golden layout
+    /// above is untouched for clusters that never scrub.
+    #[test]
+    fn scrub_rollup_sums_across_nodes_and_is_conditional() {
+        let mut nodes = inputs();
+        assert!(
+            !federate(&nodes).contains("bmb_cluster_fed_scrub_total"),
+            "no scrub samples, no rollup"
+        );
+        nodes[1].text.push_str(
+            "# HELP bmb_basket_scrub_corruptions_total At-rest corruptions detected.\n\
+             # TYPE bmb_basket_scrub_corruptions_total counter\n\
+             bmb_basket_scrub_corruptions_total 2\n\
+             # HELP bmb_basket_scrub_repairs_total Artifacts repaired.\n\
+             # TYPE bmb_basket_scrub_repairs_total counter\n\
+             bmb_basket_scrub_repairs_total 2\n",
+        );
+        nodes[2].text.push_str(
+            "# HELP bmb_basket_scrub_corruptions_total At-rest corruptions detected.\n\
+             # TYPE bmb_basket_scrub_corruptions_total counter\n\
+             bmb_basket_scrub_corruptions_total 3\n\
+             # HELP bmb_basket_scrub_quarantines_total Damaged artifacts quarantined.\n\
+             # TYPE bmb_basket_scrub_quarantines_total counter\n\
+             bmb_basket_scrub_quarantines_total 1\n",
+        );
+        let text = federate(&nodes);
+        assert!(text.contains("bmb_cluster_fed_scrub_total{outcome=\"corruptions\"} 5"));
+        assert!(text.contains("bmb_cluster_fed_scrub_total{outcome=\"repairs\"} 2"));
+        assert!(text.contains("bmb_cluster_fed_scrub_total{outcome=\"quarantined\"} 1"));
     }
 
     #[test]

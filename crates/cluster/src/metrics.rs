@@ -35,6 +35,12 @@ pub struct ClusterMetrics {
     pub replicated_baskets: Counter,
     /// The follower's current lag behind its primary, in baskets.
     pub replication_lag: Gauge,
+    /// Anti-entropy rounds run (per-slot digest comparisons).
+    pub anti_entropy_rounds: Counter,
+    /// Primary/follower digest divergences detected by anti-entropy.
+    pub digest_divergences: Counter,
+    /// Remote scrubs triggered on a diverged replica.
+    pub remote_scrubs: Counter,
 }
 
 impl ClusterMetrics {
@@ -89,6 +95,18 @@ impl ClusterMetrics {
             replication_lag: registry.gauge(
                 "bmb_cluster_replication_lag_baskets",
                 "Follower lag behind its primary, in baskets.",
+            ),
+            anti_entropy_rounds: registry.counter(
+                "bmb_cluster_anti_entropy_rounds_total",
+                "Anti-entropy rounds comparing primary and follower digests.",
+            ),
+            digest_divergences: registry.counter(
+                "bmb_cluster_digest_divergences_total",
+                "Primary/follower segment-digest divergences detected.",
+            ),
+            remote_scrubs: registry.counter(
+                "bmb_cluster_remote_scrubs_total",
+                "Scrub-and-repair runs triggered on diverged replicas.",
             ),
             registry,
         }

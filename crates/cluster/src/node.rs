@@ -339,10 +339,15 @@ impl Service for NodeService {
                 self.inner.dispatch(request, ctx)
             }
             Request::ReplicatePull { .. } => self.inner.dispatch(request, ctx),
-            // Observability reads bypass the catch-up gate: a trace
-            // tree or event timeline is most needed mid-failover, when
-            // the node is busiest catching up.
-            Request::Trace { .. } | Request::Events { .. } => self.inner.dispatch(request, ctx),
+            // Observability and integrity requests bypass the catch-up
+            // gate: a trace tree or event timeline is most needed
+            // mid-failover, and anti-entropy must be able to compare
+            // digests with (and scrub) a node that is busiest catching
+            // up.
+            Request::Trace { .. }
+            | Request::Events { .. }
+            | Request::Integrity { .. }
+            | Request::Scrub { .. } => self.inner.dispatch(request, ctx),
             Request::Stats => {
                 let catching_up = self.still_catching_up();
                 let role = self.role();

@@ -258,10 +258,12 @@ fn xorshift64(state: &mut u64) -> u64 {
 }
 
 /// Commands that are safe to send twice. Queries are pure reads, as are
-/// the cluster-internal `support_vec` and `replicate_pull`; `promote`
-/// and `demote` bump a monotone generation, so repeating either is
-/// harmless. `ingest` mutates and `shutdown` is one-way-destructive, so
-/// a client that cannot tell whether they landed must not repeat them.
+/// the cluster-internal `support_vec`, `replicate_pull`, and
+/// `integrity` (digests); `promote` and `demote` bump a monotone
+/// generation, and `scrub` converges (re-verifying and re-repairing the
+/// same artifacts is harmless), so repeating any of them is safe.
+/// `ingest` mutates and `shutdown` is one-way-destructive, so a client
+/// that cannot tell whether they landed must not repeat them.
 fn is_idempotent(request: &Value) -> bool {
     matches!(
         request.get("cmd").and_then(Value::as_str),
@@ -275,6 +277,8 @@ fn is_idempotent(request: &Value) -> bool {
                 | "border"
                 | "support_vec"
                 | "replicate_pull"
+                | "integrity"
+                | "scrub"
                 | "trace"
                 | "events"
                 | "metrics"
@@ -415,6 +419,76 @@ fn connection_broken(e: &ClientError) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// A fenced rejection is permanent for this client's view: it must
+    /// surface immediately as [`ClientError::Fenced`] without burning a
+    /// single retry — the caller has to re-learn the topology first, so
+    /// backing off and resending the same stale generation is pure
+    /// waste.
+    #[test]
+    fn fenced_rejection_is_never_retried() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let requests_served = Arc::new(AtomicUsize::new(0));
+        let served = Arc::clone(&requests_served);
+        let server = std::thread::spawn(move || {
+            use std::io::{BufRead, BufReader, Write};
+            // Serve until the client side closes; every request on every
+            // connection is answered with the same fenced rejection.
+            while let Ok((stream, _)) = listener.accept() {
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let mut writer = stream;
+                writeln!(writer, r#"{{"proto":"bmb/1","ok":true}}"#).expect("banner");
+                let mut line = String::new();
+                while reader.read_line(&mut line).map(|n| n > 0).unwrap_or(false) {
+                    served.fetch_add(1, Ordering::SeqCst);
+                    writeln!(
+                        writer,
+                        r#"{{"ok":false,"error":"stale generation","fenced":true,"gen":7}}"#
+                    )
+                    .expect("fenced line");
+                    line.clear();
+                }
+                break; // one connection is all a correct client needs
+            }
+        });
+
+        let mut client = RetryClient::new(
+            addr.to_string(),
+            RetryPolicy {
+                max_attempts: 5,
+                base_backoff: Duration::from_millis(1),
+                ..RetryPolicy::default()
+            },
+        );
+        // `replicate_pull` is idempotent, so only the fenced
+        // classification — not the idempotency gate — can stop retries.
+        let request = Value::object()
+            .with("cmd", Value::Str("replicate_pull".to_string()))
+            .with("after_epoch", Value::Int(0))
+            .with("gen", Value::Int(1));
+        match client.request(&request) {
+            Err(ClientError::Fenced {
+                generation,
+                message,
+            }) => {
+                assert_eq!(generation, 7, "the rejecting node's generation surfaces");
+                assert_eq!(message, "stale generation");
+            }
+            other => panic!("expected Fenced, got {other:?}"),
+        }
+        assert_eq!(
+            requests_served.load(Ordering::SeqCst),
+            1,
+            "exactly one attempt: fencing must not burn the retry budget"
+        );
+        client.disconnect();
+        drop(client);
+        server.join().expect("fake server thread");
+    }
 
     #[test]
     fn idempotency_classification() {
@@ -428,6 +502,8 @@ mod tests {
             "border",
             "support_vec",
             "replicate_pull",
+            "integrity",
+            "scrub",
             "promote",
             "demote",
         ] {

@@ -32,6 +32,7 @@
 //! Modules:
 //!
 //! * [`checkpointer`] — the background checkpointer thread;
+//! * [`scrubber`] — the background integrity scrubber and wire repair peer;
 //! * [`json`] — the hand-rolled JSON value/parser/serializer;
 //! * [`protocol`] — request/response shapes of the wire protocol;
 //! * [`server`] — accept loop, worker pool, graceful shutdown;
@@ -50,6 +51,8 @@ pub mod json;
 pub mod metrics;
 /// The line-delimited JSON wire protocol.
 pub mod protocol;
+/// The background integrity scrubber and the wire repair peer.
+pub mod scrubber;
 /// The TCP server: accept loop, worker pool, shutdown.
 pub mod server;
 
@@ -57,7 +60,8 @@ pub use checkpointer::{Checkpointer, CheckpointerConfig};
 pub use client::{Client, ClientError, RetryClient, RetryPolicy};
 pub use metrics::{ErrorCategory, MetricsSnapshot, ServerMetrics};
 pub use protocol::{parse_request, Envelope, Request, HELLO};
+pub use scrubber::{Scrubber, ScrubberConfig, WirePeer};
 pub use server::{
-    events_value, exposition, slow_exemplars_value, EngineService, RunningServer, Server,
-    ServerConfig, Service, ServiceCtx, ServiceFailure, ShutdownHandle,
+    events_value, exposition, scrub_report_value, slow_exemplars_value, EngineService,
+    RunningServer, Server, ServerConfig, Service, ServiceCtx, ServiceFailure, ShutdownHandle,
 };

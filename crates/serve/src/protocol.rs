@@ -77,6 +77,22 @@ pub enum Request {
         /// At most this many baskets per pull.
         max_baskets: usize,
     },
+    /// Anti-entropy: logical per-segment digests of the node's sealed
+    /// segments, so a coordinator can compare primary and follower
+    /// content without shipping baskets. Answered from the in-memory
+    /// snapshot — works on every node, durable or not.
+    Integrity {
+        /// Skip segments wholly covered by this epoch (default 0).
+        from_epoch: u64,
+    },
+    /// Admin: run one full scrub pass over the durable artifacts now
+    /// (checkpointed servers only), quarantining and repairing at-rest
+    /// damage. See `bmb-basket`'s `scrub` module for the decision tree.
+    Scrub {
+        /// Replica address to re-fetch damaged segment ranges from;
+        /// overrides the server's configured repair peer for this pass.
+        peer: Option<String>,
+    },
     /// Promote a follower to serve reads (follower processes only).
     Promote,
     /// Demote a stale primary back to a catching-up follower of
@@ -123,6 +139,8 @@ impl Request {
             Request::Checkpoint => "checkpoint",
             Request::SupportVec { .. } => "support_vec",
             Request::ReplicatePull { .. } => "replicate_pull",
+            Request::Integrity { .. } => "integrity",
+            Request::Scrub { .. } => "scrub",
             Request::Promote => "promote",
             Request::Demote { .. } => "demote",
             Request::Stats => "stats",
@@ -263,6 +281,24 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
                 .and_then(Value::as_u64)
                 .map(|m| m as usize)
                 .unwrap_or(8192),
+        },
+        "integrity" => Request::Integrity {
+            from_epoch: match value.get("from_epoch") {
+                None => 0,
+                Some(raw) => raw
+                    .as_u64()
+                    .ok_or_else(|| "'from_epoch' must be a non-negative integer".to_string())?,
+            },
+        },
+        "scrub" => Request::Scrub {
+            peer: match value.get("peer") {
+                None => None,
+                Some(raw) => Some(
+                    raw.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "'peer' must be an address string".to_string())?,
+                ),
+            },
         },
         "promote" => Request::Promote,
         "demote" => Request::Demote {
@@ -508,6 +544,21 @@ mod tests {
                     max_baskets: 8192,
                 },
             ),
+            (
+                r#"{"cmd":"integrity","from_epoch":8}"#,
+                Request::Integrity { from_epoch: 8 },
+            ),
+            (
+                r#"{"cmd":"integrity"}"#,
+                Request::Integrity { from_epoch: 0 },
+            ),
+            (
+                r#"{"cmd":"scrub","peer":"127.0.0.1:9001"}"#,
+                Request::Scrub {
+                    peer: Some("127.0.0.1:9001".to_string()),
+                },
+            ),
+            (r#"{"cmd":"scrub"}"#, Request::Scrub { peer: None }),
             (r#"{"cmd":"promote"}"#, Request::Promote),
             (
                 r#"{"cmd":"demote","primary":"127.0.0.1:9001","gen":7}"#,
@@ -555,6 +606,8 @@ mod tests {
             r#"{"cmd":"replicate_pull","after_epoch":-4}"#,
             r#"{"cmd":"demote"}"#,
             r#"{"cmd":"demote","primary":7}"#,
+            r#"{"cmd":"integrity","from_epoch":-2}"#,
+            r#"{"cmd":"scrub","peer":7}"#,
             r#"{"cmd":"trace"}"#,
             r#"{"cmd":"trace","trace":"xyz"}"#,
             r#"{"cmd":"trace","trace":7}"#,

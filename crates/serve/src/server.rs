@@ -662,7 +662,11 @@ pub trait Service: Send + Sync {
 fn deadline_sensitive(request: &Request) -> bool {
     !matches!(
         request,
-        Request::Ingest { .. } | Request::Shutdown | Request::Promote | Request::Demote { .. }
+        Request::Ingest { .. }
+            | Request::Shutdown
+            | Request::Promote
+            | Request::Demote { .. }
+            | Request::Scrub { .. }
     )
 }
 
@@ -815,6 +819,7 @@ fn handle_line(line: &str, ctx: &ConnectionContext<'_>) -> (Value, bool) {
 pub struct EngineService {
     engine: Arc<QueryEngine>,
     durable: Option<Arc<DurableStore>>,
+    repair_peer: Option<String>,
 }
 
 impl EngineService {
@@ -823,6 +828,7 @@ impl EngineService {
         EngineService {
             engine,
             durable: None,
+            repair_peer: None,
         }
     }
 
@@ -830,6 +836,13 @@ impl EngineService {
     /// acknowledged only after the log's sync barrier.
     pub fn with_durable(mut self, durable: Arc<DurableStore>) -> EngineService {
         self.durable = Some(durable);
+        self
+    }
+
+    /// A replica address the `scrub` command re-fetches damaged sealed
+    /// segments from (a request's explicit `peer` field overrides it).
+    pub fn with_repair_peer(mut self, addr: impl Into<String>) -> EngineService {
+        self.repair_peer = Some(addr.into());
         self
     }
 
@@ -841,6 +854,11 @@ impl EngineService {
     /// The WAL-backed store, when durability is wired.
     pub fn durable(&self) -> Option<&Arc<DurableStore>> {
         self.durable.as_ref()
+    }
+
+    /// The configured repair peer, if any.
+    pub fn repair_peer(&self) -> Option<&str> {
+        self.repair_peer.as_deref()
     }
 }
 
@@ -854,7 +872,13 @@ impl Service for EngineService {
     }
 
     fn dispatch(&self, request: Request, ctx: &ServiceCtx<'_>) -> Result<Value, ServiceFailure> {
-        dispatch_engine(&self.engine, self.durable.as_ref(), request, ctx)
+        dispatch_engine(
+            &self.engine,
+            self.durable.as_ref(),
+            self.repair_peer.as_deref(),
+            request,
+            ctx,
+        )
     }
 }
 
@@ -863,6 +887,7 @@ impl Service for EngineService {
 fn dispatch_engine(
     engine: &Arc<QueryEngine>,
     durable: Option<&Arc<DurableStore>>,
+    repair_peer: Option<&str>,
     request: Request,
     ctx: &ServiceCtx<'_>,
 ) -> Result<Value, ServiceFailure> {
@@ -1125,6 +1150,46 @@ fn dispatch_engine(
                 .with("source", Value::Str(batch.source.to_string()))
                 .with("baskets", Value::Array(baskets)))
         }
+        Request::Integrity { from_epoch } => {
+            // Anti-entropy digests: one crc per sealed segment over the
+            // canonical basket bytes, so two replicas that applied the
+            // same epochs answer bit-identically regardless of how their
+            // WALs framed the records.
+            let snap = engine.snapshot();
+            let digests = bmb_basket::segment_digests(&snap, from_epoch);
+            let segments: Vec<Value> = digests
+                .iter()
+                .map(|d| {
+                    Value::object()
+                        .with("segment", Value::Int(d.segment as i64))
+                        .with("end_epoch", Value::Int(d.end_epoch as i64))
+                        .with("crc", Value::Int(i64::from(d.crc)))
+                })
+                .collect();
+            Ok(Value::object()
+                .with("epoch", Value::Int(snap.epoch() as i64))
+                .with("segments", Value::Array(segments)))
+        }
+        Request::Scrub { peer } => {
+            let Some(durable) = durable else {
+                return Err(ServiceFailure::other(
+                    "server has no durable store (started without --wal)".to_string(),
+                ));
+            };
+            // The request's peer overrides the configured repair peer so
+            // a coordinator can point the scrub at whichever replica it
+            // believes is healthy right now.
+            let peer_addr = peer.or_else(|| repair_peer.map(str::to_string));
+            let options = bmb_basket::ScrubOptions::default();
+            let report = match peer_addr {
+                Some(addr) => {
+                    let mut wire = crate::scrubber::WirePeer::new(&addr);
+                    durable.scrub_pass(Some(&mut wire), &options)
+                }
+                None => durable.scrub_pass(None, &options),
+            };
+            Ok(scrub_report_value(&report))
+        }
         Request::Trace { trace } => Ok(crate::protocol::trace_value(
             trace,
             ctx.metrics.spans().for_trace(trace),
@@ -1138,6 +1203,26 @@ fn dispatch_engine(
                 .to_string(),
         )),
     }
+}
+
+/// Encodes a [`bmb_basket::ScrubReport`] as the `scrub` command's
+/// response payload (also reused by the coordinator's anti-entropy
+/// rollups).
+pub fn scrub_report_value(report: &bmb_basket::ScrubReport) -> Value {
+    let findings: Vec<Value> = report
+        .findings
+        .iter()
+        .map(|f| Value::Str(f.clone()))
+        .collect();
+    Value::object()
+        .with("scrubbed", Value::Int(report.artifacts_scanned as i64))
+        .with("bytes", Value::Int(report.bytes_scanned as i64))
+        .with("corruptions", Value::Int(report.corruptions as i64))
+        .with("repairs", Value::Int(report.repairs as i64))
+        .with("quarantined", Value::Int(report.quarantines as i64))
+        .with("degraded", Value::Bool(report.degraded))
+        .with("complete", Value::Bool(report.complete))
+        .with("findings", Value::Array(findings))
 }
 
 /// Acquires a mutex, recovering from poisoning (worker state is a plain

@@ -1,0 +1,23 @@
+//! Fixture: seeded durability violation on the quarantine path.
+//!
+//! Mirrors the scrub module's quarantine/repair publishes: moving
+//! damaged evidence aside (or publishing a rebuilt artifact) must
+//! follow write-temp → fsync → rename like any other publish, or a
+//! crash can lose the only copy of the damage (DESIGN.md §15).
+
+use std::io;
+
+use crate::wal::{Dir, Media};
+
+/// Flagged [rename-no-sync]: quarantines evidence without syncing the
+/// written bytes first.
+pub fn quarantine_unsynced(dir: &mut dyn Dir) -> io::Result<()> {
+    dir.rename("wal.000001", "quarantine.0001.wal.000001") // RenameNoSync
+}
+
+/// Not flagged: the evidence bytes reach stable storage before the
+/// rename publishes them under the quarantine name.
+pub fn quarantine_synced(dir: &mut dyn Dir, media: &mut Media) -> io::Result<()> {
+    media.sync()?;
+    dir.rename("wal.000001", "quarantine.0001.wal.000001")
+}

@@ -59,6 +59,7 @@ fn fixture_workspace_yields_exactly_the_seeded_findings() {
             94,
         ),
         (Lint::RenameNoSync, "crates/basket/src/wal.rs".into(), 57),
+        (Lint::RenameNoSync, "crates/basket/src/scrub.rs".into(), 15),
         (Lint::AckNoSync, "crates/basket/src/wal.rs".into(), 36),
     ];
     let mut want = want;
@@ -104,7 +105,7 @@ fn single_pass_configs_isolate_their_lint() {
     };
     let findings = run_lint(&root, &only_durability).expect("durability-only lint runs");
     assert!(findings.iter().all(|f| f.lint.pass() == "durability"));
-    assert_eq!(findings.len(), 2);
+    assert_eq!(findings.len(), 3);
 }
 
 /// CI gate: every pass must catch *something* on the seeded fixtures —

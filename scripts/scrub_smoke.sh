@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for at-rest integrity scrubbing: a primary
+# shard plus a follower tailing it, a deterministic workload with a
+# checkpoint and sealed WAL segments, then a byte flipped in a sealed
+# segment on disk. The admin `scrub` command (repairing from the
+# follower over the wire) must detect the corruption, quarantine the
+# evidence, repair in place without degrading, leave `bmb fsck` clean,
+# and keep the chi2 answer byte-identical to the pre-corruption
+# baseline. Fixed inputs, no timing dependence; finishes in seconds.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN="${BMB_BIN:-target/release/bmb}"
+if [[ ! -x "$BIN" ]]; then
+    echo "==> building bmb ($BIN not found)"
+    cargo build --release -q -p bmb-cli
+fi
+
+WORK="$(mktemp -d)"
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]}"; do kill -9 "$pid" 2>/dev/null || true; done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Polls a role's log for its announced address.
+wait_addr() {
+    local log="$1" role="$2" addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n "s/^${role} listening on //p" "$log" | head -n 1 | awk '{print $1}')"
+        [[ -n "$addr" ]] && { echo "$addr"; return 0; }
+        sleep 0.1
+    done
+    echo "no ${role} address in $log" >&2
+    cat "$log" >&2
+    return 1
+}
+
+echo "==> starting primary shard (tiny segments so ingest seals several)"
+"$BIN" cluster shard --dir "$WORK/a" --items 8 --addr 127.0.0.1:0 \
+    --segment-capacity 4 --segment-bytes 64 --retain-checkpoints 2 \
+    >"$WORK/a.log" &
+PIDS+=($!)
+disown
+PRIMARY="$(wait_addr "$WORK/a.log" shard)"
+echo "    primary at $PRIMARY"
+
+echo "==> starting follower (the repair source)"
+"$BIN" cluster follow --dir "$WORK/f" --items 8 \
+    --primary "$PRIMARY" --poll-ms 10 --addr 127.0.0.1:0 \
+    >"$WORK/f.log" &
+PIDS+=($!)
+disown
+FOLLOWER="$(wait_addr "$WORK/f.log" follower)"
+echo "    follower at $FOLLOWER"
+
+echo "==> deterministic ingest: checkpoint mid-stream, sealed tail past it"
+"$BIN" query "$PRIMARY" \
+    '{"id":1,"cmd":"ingest","baskets":[[0,3],[1,4],[2,5],[0,6],[1,7],[2,3],[0,4],[1,5],[2,6],[0,7]]}' \
+    '{"id":2,"cmd":"checkpoint"}' \
+    '{"id":3,"cmd":"ingest","baskets":[[1,3],[2,4],[0,5],[1,6],[2,7],[0,3],[1,4],[2,5],[0,6],[1,7]]}' \
+    | grep -q '"ok":true' || { echo "ingest failed"; exit 1; }
+
+echo "==> waiting for the follower to catch up"
+for _ in $(seq 1 100); do
+    LAG="$("$BIN" query "$FOLLOWER" '{"cmd":"stats"}' \
+        | grep -o '"replication_lag":[0-9]*' || true)"
+    [[ "$LAG" == '"replication_lag":0' ]] && break
+    sleep 0.1
+done
+[[ "$LAG" == '"replication_lag":0' ]] || { echo "follower never caught up ($LAG)"; exit 1; }
+
+BASELINE="$("$BIN" query "$PRIMARY" '{"id":4,"cmd":"chi2","items":[0,3]}' \
+    | grep -o '"support":[0-9]*\|"statistic":[^,}]*')"
+echo "    baseline answer: $BASELINE"
+
+echo "==> flipping a byte in a sealed segment at rest"
+SEALED="$(ls "$WORK/a"/wal.* | sort | head -n 1)"
+[[ "$(ls "$WORK/a"/wal.* | wc -l)" -ge 2 ]] || { echo "no sealed segment"; exit 1; }
+OFF=$(( $(stat -c %s "$SEALED") / 2 ))
+BYTE="$(od -An -tu1 -j "$OFF" -N1 "$SEALED" | tr -d ' ')"
+printf "$(printf '\\%03o' $(( BYTE ^ 255 )))" \
+    | dd of="$SEALED" bs=1 seek="$OFF" conv=notrunc status=none
+echo "    flipped $SEALED @$OFF"
+
+echo "==> fsck sees the damage (exit non-zero)"
+if "$BIN" fsck "$WORK/a" >"$WORK/fsck-dirty.log" 2>&1; then
+    echo "fsck missed the corruption"; cat "$WORK/fsck-dirty.log"; exit 1
+fi
+grep -qi 'finding' "$WORK/fsck-dirty.log" || { cat "$WORK/fsck-dirty.log"; exit 1; }
+
+echo "==> admin scrub repairs from the follower"
+SCRUB="$("$BIN" query "$PRIMARY" \
+    "{\"id\":5,\"cmd\":\"scrub\",\"peer\":\"$FOLLOWER\"}")"
+echo "$SCRUB"
+grep -q '"corruptions":1' <<<"$SCRUB" || { echo "corruption not detected"; exit 1; }
+grep -q '"repairs":1' <<<"$SCRUB" || { echo "not repaired"; exit 1; }
+grep -q '"quarantined":1' <<<"$SCRUB" || { echo "evidence not quarantined"; exit 1; }
+grep -q '"degraded":false' <<<"$SCRUB" || { echo "store degraded"; exit 1; }
+
+echo "==> quarantine evidence preserved on disk"
+ls "$WORK/a"/quarantine.* >/dev/null || { echo "no quarantine file"; exit 1; }
+
+echo "==> answers byte-identical after repair"
+AFTER="$("$BIN" query "$PRIMARY" '{"id":4,"cmd":"chi2","items":[0,3]}' \
+    | grep -o '"support":[0-9]*\|"statistic":[^,}]*')"
+[[ "$AFTER" == "$BASELINE" ]] \
+    || { echo "answer changed: '$AFTER' vs '$BASELINE'"; exit 1; }
+
+echo "==> clean shutdown, then offline fsck is clean"
+"$BIN" query "$PRIMARY" '{"cmd":"shutdown"}' >/dev/null || true
+sleep 0.3
+"$BIN" fsck "$WORK/a" | grep -q 'clean' || { echo "fsck not clean"; exit 1; }
+
+echo "scrub smoke: OK"
